@@ -1,0 +1,86 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * the estimate-based heuristic lower bound on/off in EG (the paper's
+//!   core idea vs a myopic greedy);
+//! * diversity-zone symmetry reduction (§III-B3) on/off in BA\*;
+//! * parallel vs serial candidate scoring in EG.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ostro_bench::{multi_tier_instance, Args};
+use ostro_core::{Algorithm, ObjectiveWeights, PlacementRequest, Scheduler};
+
+fn bench_args() -> Args {
+    Args { racks: 10, hosts_per_rack: 8, ..Args::default() }
+}
+
+fn bench_estimate_ablation(c: &mut Criterion) {
+    let args = bench_args();
+    let (infra, state, topology) = multi_tier_instance(25, true, &args, 7).unwrap();
+    let scheduler = Scheduler::new(&infra);
+    let mut group = c.benchmark_group("ablation_estimate");
+    group.sample_size(10);
+    for (label, use_estimate) in [("eg_with_estimate", true), ("eg_without_estimate", false)] {
+        let request = PlacementRequest {
+            algorithm: Algorithm::Greedy,
+            weights: ObjectiveWeights::SIMULATION,
+            use_estimate,
+            ..PlacementRequest::default()
+        };
+        // Record the quality difference once, so the bench log shows
+        // what the speedup costs.
+        let outcome = scheduler.place(&topology, &state, &request).unwrap();
+        eprintln!(
+            "{label}: bandwidth {}, new hosts {}",
+            outcome.reserved_bandwidth, outcome.new_active_hosts
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(label), &request, |b, request| {
+            b.iter(|| scheduler.place(&topology, &state, request).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_symmetry_ablation(c: &mut Criterion) {
+    let args = bench_args();
+    let (infra, state, topology) = multi_tier_instance(25, false, &args, 7).unwrap();
+    let scheduler = Scheduler::new(&infra);
+    let mut group = c.benchmark_group("ablation_symmetry");
+    group.sample_size(10);
+    for (label, zone_symmetry) in [("bastar_symmetry_on", true), ("bastar_symmetry_off", false)]
+    {
+        let request = PlacementRequest {
+            algorithm: Algorithm::BoundedAStar,
+            weights: ObjectiveWeights::SIMULATION,
+            zone_symmetry,
+            max_expansions: 200,
+            ..PlacementRequest::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &request, |b, request| {
+            b.iter(|| scheduler.place(&topology, &state, request).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_ablation(c: &mut Criterion) {
+    let args = bench_args();
+    let (infra, state, topology) = multi_tier_instance(50, true, &args, 7).unwrap();
+    let scheduler = Scheduler::new(&infra);
+    let mut group = c.benchmark_group("ablation_parallel");
+    group.sample_size(10);
+    for (label, parallel) in [("eg_parallel", true), ("eg_serial", false)] {
+        let request = PlacementRequest {
+            algorithm: Algorithm::Greedy,
+            weights: ObjectiveWeights::SIMULATION,
+            parallel,
+            ..PlacementRequest::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &request, |b, request| {
+            b.iter(|| scheduler.place(&topology, &state, request).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimate_ablation, bench_symmetry_ablation, bench_parallel_ablation);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion benches for the run-time rows of Tables I and II: every
+//! algorithm on the QFS application over the 16-host testbed.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ostro_core::{Algorithm, ObjectiveWeights, PlacementRequest, Scheduler};
+use ostro_sim::scenarios::qfs_testbed;
+use ostro_sim::workloads::qfs_topology;
+
+fn bench_qfs(c: &mut Criterion) {
+    let topology = qfs_topology().unwrap();
+    let algorithms = [
+        Algorithm::GreedyCompute,
+        Algorithm::GreedyBandwidth,
+        Algorithm::Greedy,
+        Algorithm::BoundedAStar,
+        Algorithm::DeadlineBoundedAStar { deadline: Duration::from_millis(500) },
+    ];
+    for (label, non_uniform) in [("table1_non_uniform", true), ("table2_uniform", false)] {
+        let (infra, state) = qfs_testbed(non_uniform).unwrap();
+        let scheduler = Scheduler::new(&infra);
+        let mut group = c.benchmark_group(label);
+        group.sample_size(20);
+        for algorithm in algorithms {
+            let request = PlacementRequest {
+                algorithm,
+                weights: ObjectiveWeights::BANDWIDTH_DOMINANT,
+                ..PlacementRequest::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::from_parameter(algorithm.abbreviation()),
+                &request,
+                |b, request| {
+                    b.iter(|| scheduler.place(&topology, &state, request).unwrap());
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_qfs);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion benches for Figures 9 and 10c/d: algorithm run time as
+//! the multi-tier / mesh topologies scale, on a data center reduced to
+//! a benchable size (the figure *binaries* run the full 2400 hosts).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ostro_bench::{mesh_instance, multi_tier_instance, Args};
+use ostro_core::{Algorithm, ObjectiveWeights, PlacementRequest, Scheduler};
+
+fn bench_args() -> Args {
+    Args { racks: 10, hosts_per_rack: 8, ..Args::default() }
+}
+
+fn algorithms() -> [Algorithm; 4] {
+    [
+        Algorithm::GreedyCompute,
+        Algorithm::GreedyBandwidth,
+        Algorithm::Greedy,
+        Algorithm::DeadlineBoundedAStar { deadline: Duration::from_millis(300) },
+    ]
+}
+
+fn bench_multi_tier(c: &mut Criterion) {
+    let args = bench_args();
+    let mut group = c.benchmark_group("fig9_multi_tier_runtime");
+    group.sample_size(10);
+    for size in [25usize, 50] {
+        let (infra, state, topology) =
+            multi_tier_instance(size, true, &args, 42 + size as u64).unwrap();
+        let scheduler = Scheduler::new(&infra);
+        for algorithm in algorithms() {
+            let request = PlacementRequest {
+                algorithm,
+                weights: ObjectiveWeights::SIMULATION,
+                ..PlacementRequest::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(algorithm.abbreviation(), size),
+                &request,
+                |b, request| {
+                    b.iter(|| scheduler.place(&topology, &state, request).unwrap());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_mesh(c: &mut Criterion) {
+    let args = bench_args();
+    let mut group = c.benchmark_group("fig10_mesh_runtime");
+    group.sample_size(10);
+    for size in [25usize, 50] {
+        let (infra, state, topology) =
+            mesh_instance(size, true, &args, 42 + size as u64).unwrap();
+        let scheduler = Scheduler::new(&infra);
+        for algorithm in algorithms() {
+            let request = PlacementRequest {
+                algorithm,
+                weights: ObjectiveWeights::SIMULATION,
+                ..PlacementRequest::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(algorithm.abbreviation(), size),
+                &request,
+                |b, request| {
+                    b.iter(|| scheduler.place(&topology, &state, request).unwrap());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_multi_tier, bench_mesh);
+criterion_main!(benches);

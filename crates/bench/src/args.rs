@@ -1,0 +1,146 @@
+//! Minimal flag parsing shared by all reproduction binaries (no
+//! external CLI dependency).
+
+use std::time::Duration;
+
+/// Common knobs of the reproduction binaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Args {
+    /// Repetitions per data point.
+    pub runs: usize,
+    /// Topology sizes to sweep (binaries define their own defaults).
+    pub sizes: Option<Vec<usize>>,
+    /// Racks in the simulated data center.
+    pub racks: usize,
+    /// Hosts per rack.
+    pub hosts_per_rack: usize,
+    /// DBA\*'s time budget.
+    pub deadline: Duration,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Objective weight θbw.
+    pub theta_bw: f64,
+    /// Objective weight θc.
+    pub theta_c: f64,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            runs: 3,
+            sizes: None,
+            racks: 150,
+            hosts_per_rack: 16,
+            deadline: Duration::from_secs(10),
+            seed: 42,
+            theta_bw: 0.6,
+            theta_c: 0.4,
+        }
+    }
+}
+
+impl Args {
+    /// Parses flags from an iterator of argument strings (usually
+    /// `std::env::args().skip(1)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on an unknown flag or an
+    /// unparsable value.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut out = Args::default();
+        let mut iter = args.into_iter();
+        while let Some(flag) = iter.next() {
+            let mut value = |name: &str| {
+                iter.next().ok_or_else(|| format!("flag {name} needs a value"))
+            };
+            match flag.as_str() {
+                "--runs" => out.runs = parse_num(&value("--runs")?)?,
+                "--sizes" => {
+                    let list = value("--sizes")?;
+                    out.sizes = Some(
+                        list.split(',')
+                            .map(|s| parse_num(s.trim()))
+                            .collect::<Result<_, _>>()?,
+                    );
+                }
+                "--racks" => out.racks = parse_num(&value("--racks")?)?,
+                "--hosts" => out.hosts_per_rack = parse_num(&value("--hosts")?)?,
+                "--deadline-ms" => {
+                    out.deadline = Duration::from_millis(parse_num(&value("--deadline-ms")?)? as u64);
+                }
+                "--seed" => out.seed = parse_num(&value("--seed")?)? as u64,
+                "--theta-bw" => out.theta_bw = parse_float(&value("--theta-bw")?)?,
+                "--theta-c" => out.theta_c = parse_float(&value("--theta-c")?)?,
+                other => return Err(format!("unknown flag `{other}`")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parses from the process arguments, exiting with usage on error.
+    #[must_use]
+    pub fn from_env() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                eprintln!(
+                    "flags: --runs N --sizes a,b,c --racks N --hosts N \
+                     --deadline-ms N --seed N --theta-bw X --theta-c X"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+fn parse_num(s: &str) -> Result<usize, String> {
+    s.parse().map_err(|_| format!("`{s}` is not a number"))
+}
+
+fn parse_float(s: &str) -> Result<f64, String> {
+    s.parse().map_err(|_| format!("`{s}` is not a number"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Args, String> {
+        Args::parse(args.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn defaults_match_paper_scale() {
+        let a = Args::default();
+        assert_eq!(a.racks, 150);
+        assert_eq!(a.hosts_per_rack, 16);
+        assert_eq!(a.theta_bw, 0.6);
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let a = parse(&[
+            "--runs", "5", "--sizes", "25,50", "--racks", "10", "--hosts", "8",
+            "--deadline-ms", "250", "--seed", "7", "--theta-bw", "0.99", "--theta-c", "0.01",
+        ])
+        .unwrap();
+        assert_eq!(a.runs, 5);
+        assert_eq!(a.sizes, Some(vec![25, 50]));
+        assert_eq!(a.racks, 10);
+        assert_eq!(a.hosts_per_rack, 8);
+        assert_eq!(a.deadline, Duration::from_millis(250));
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.theta_bw, 0.99);
+        assert_eq!(a.theta_c, 0.01);
+    }
+
+    #[test]
+    fn rejects_unknown_and_malformed() {
+        assert!(parse(&["--nope"]).is_err());
+        assert!(parse(&["--runs"]).is_err());
+        assert!(parse(&["--runs", "abc"]).is_err());
+        assert!(parse(&["--sizes", "1,x"]).is_err());
+    }
+}

@@ -1,0 +1,68 @@
+//! Extension experiment (beyond the paper): multi-tenant churn. A
+//! stream of applications arrives and departs on one shared cloud;
+//! each algorithm's acceptance rate, consolidation, and bandwidth
+//! footprint are compared. This closes the loop the paper opens with
+//! Table IV — here the non-uniform availability *emerges* from earlier
+//! placements instead of being synthesized.
+
+use ostro_bench::Args;
+use ostro_core::{Algorithm, ObjectiveWeights};
+use ostro_sim::churn::{run_churn, ChurnConfig};
+use ostro_sim::report::TextTable;
+use ostro_sim::scenarios::sized_datacenter;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args = Args::from_env();
+    let mut rng = SmallRng::seed_from_u64(args.seed);
+    let racks = if args.racks == 150 { 20 } else { args.racks };
+    let (infra, _) = match sized_datacenter(racks, args.hosts_per_rack, false, &mut rng) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("churn setup failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let config = ChurnConfig {
+        arrivals: args.runs.max(1) * 25,
+        mean_lifetime: 8,
+        seed: args.seed,
+        weights: ObjectiveWeights { bandwidth: args.theta_bw, hosts: args.theta_c },
+    };
+    let algorithms = [
+        Algorithm::GreedyCompute,
+        Algorithm::GreedyBandwidth,
+        Algorithm::Greedy,
+        Algorithm::DeadlineBoundedAStar { deadline: args.deadline },
+    ];
+    let mut table = TextTable::new([
+        "algo", "accepted", "rejected", "mean hosts", "peak hosts", "mean bw (Gbps)",
+        "solver (s)",
+    ]);
+    for algorithm in algorithms {
+        match run_churn(&infra, algorithm, &config) {
+            Ok(report) => table.row([
+                algorithm.abbreviation().to_owned(),
+                report.accepted.to_string(),
+                report.rejected.to_string(),
+                format!("{:.1}", report.mean_active_hosts),
+                report.peak_active_hosts.to_string(),
+                format!("{:.2}", report.mean_reserved_mbps / 1_000.0),
+                format!("{:.3}", report.mean_solver_secs),
+            ]),
+            Err(e) => {
+                eprintln!("churn failed for {}: {e}", algorithm.abbreviation());
+                std::process::exit(1);
+            }
+        }
+    }
+    println!(
+        "Churn: {} arrivals on {} hosts ({} racks), mean lifetime {} ticks",
+        config.arrivals,
+        infra.host_count(),
+        racks,
+        config.mean_lifetime,
+    );
+    println!("{}", table.render());
+}

@@ -1,0 +1,45 @@
+//! Reproduces **Figure 10**: reserved bandwidth and run time of each
+//! algorithm on the mesh-communication application, under
+//! (a, c) heterogeneous + non-uniform (25–200 VMs) and
+//! (b, d) homogeneous + uniform (35–280 VMs) conditions.
+
+use ostro_bench::{sweep_mesh, Args};
+use ostro_sim::report::{fmt_secs, TextTable};
+
+fn main() {
+    let args = Args::from_env();
+    let het_sizes = args.sizes.clone().unwrap_or_else(|| vec![25, 50, 75, 100, 125, 150, 175, 200]);
+    let hom_sizes = args
+        .sizes
+        .clone()
+        .unwrap_or_else(|| vec![35, 70, 105, 140, 175, 210, 245, 280]);
+    for (bw_label, time_label, het, sizes) in [
+        ("(a) heterogeneous", "(c) heterogeneous", true, &het_sizes),
+        ("(b) homogeneous", "(d) homogeneous", false, &hom_sizes),
+    ] {
+        let points = match sweep_mesh(sizes, het, &args) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("fig10 failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        let mut bw_table = TextTable::new(["size", "EGC", "EGBW", "EG", "DBA*"]);
+        let mut time_table = TextTable::new(["size", "EGC", "EGBW", "EG", "DBA*"]);
+        for point in &points {
+            bw_table.row(
+                std::iter::once(point.size.to_string()).chain(
+                    point.rows.iter().map(|r| format!("{:.1}", r.bandwidth_mbps / 1_000.0)),
+                ),
+            );
+            time_table.row(
+                std::iter::once(point.size.to_string())
+                    .chain(point.rows.iter().map(|r| fmt_secs(r.runtime))),
+            );
+        }
+        println!("Figure 10{bw_label}: reserved bandwidth (Gbps) for mesh");
+        println!("{}", bw_table.render());
+        println!("Figure 10{time_label}: run time (sec) for mesh");
+        println!("{}", time_table.render());
+    }
+}

@@ -1,0 +1,31 @@
+//! Reproduces **Figure 11**: the total number of active hosts in the
+//! data center after placing the mesh-communication application, as
+//! topology size grows (heterogeneous requirements, non-uniform
+//! availability).
+
+use ostro_bench::{sweep_mesh, Args};
+use ostro_sim::report::TextTable;
+
+fn main() {
+    let args = Args::from_env();
+    let sizes = args.sizes.clone().unwrap_or_else(|| vec![25, 50, 75, 100, 125, 150, 175, 200]);
+    let points = match sweep_mesh(&sizes, true, &args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("fig11 failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut table = TextTable::new(["size", "EGC", "EGBW", "EG", "DBA*"]);
+    for point in &points {
+        table.row(
+            std::iter::once(point.size.to_string())
+                .chain(point.rows.iter().map(|r| format!("{:.1}", r.total_hosts))),
+        );
+    }
+    println!(
+        "Figure 11: total used hosts for mesh (heterogeneous / non-uniform, runs={})",
+        args.runs
+    );
+    println!("{}", table.render());
+}

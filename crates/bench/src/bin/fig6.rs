@@ -1,0 +1,67 @@
+//! Reproduces **Figure 6**: the tradeoff between DBA\*'s deadline T
+//! and placement optimality, on the 200-VM heterogeneous multi-tier
+//! application over the 2400-host data center. The paper sweeps T from
+//! ~5 s to ~60 s and reports reserved bandwidth and newly used hosts.
+
+use std::time::Duration;
+
+use ostro_bench::{multi_tier_instance, Args};
+use ostro_core::{Algorithm, ObjectiveWeights, PlacementRequest, Scheduler};
+use ostro_sim::report::TextTable;
+
+fn main() {
+    let args = Args::from_env();
+    let size = args.sizes.as_ref().and_then(|s| s.first().copied()).unwrap_or(200);
+    let deadlines_s: &[u64] = &[5, 10, 15, 20, 30, 45, 60];
+    let mut table = TextTable::new(["T (sec)", "bandwidth (Gbps)", "newly used hosts", "actual (sec)"]);
+    for &t in deadlines_s {
+        let mut bw = 0.0;
+        let mut hosts = 0.0;
+        let mut actual = 0.0;
+        for run in 0..args.runs {
+            let seed = args.seed + run as u64 * 1_000;
+            let (infra, state, topo) = match multi_tier_instance(size, true, &args, seed) {
+                Ok(v) => v,
+                Err(e) => {
+                    eprintln!("fig6 failed: {e}");
+                    std::process::exit(1);
+                }
+            };
+            let scheduler = Scheduler::new(&infra);
+            let request = PlacementRequest {
+                algorithm: Algorithm::DeadlineBoundedAStar {
+                    deadline: Duration::from_secs(t),
+                },
+                weights: ObjectiveWeights {
+                    bandwidth: args.theta_bw,
+                    hosts: args.theta_c,
+                },
+                seed,
+                ..PlacementRequest::default()
+            };
+            match scheduler.place(&topo, &state, &request) {
+                Ok(o) => {
+                    bw += o.reserved_bandwidth.as_mbps() as f64 / 1_000.0;
+                    hosts += o.new_active_hosts as f64;
+                    actual += o.elapsed.as_secs_f64();
+                }
+                Err(e) => {
+                    eprintln!("fig6 failed at T={t}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        let n = args.runs as f64;
+        table.row([
+            t.to_string(),
+            format!("{:.2}", bw / n),
+            format!("{:.1}", hosts / n),
+            format!("{:.1}", actual / n),
+        ]);
+    }
+    println!(
+        "Figure 6: DBA* time-optimality tradeoff (multi-tier {size} VMs, heterogeneous, runs={})",
+        args.runs
+    );
+    println!("{}", table.render());
+}

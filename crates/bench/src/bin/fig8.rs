@@ -1,0 +1,30 @@
+//! Reproduces **Figure 8**: the total number of active hosts in the
+//! data center after placing the multi-tier application, as topology
+//! size grows (heterogeneous requirements, non-uniform availability).
+
+use ostro_bench::{sweep_multi_tier, Args};
+use ostro_sim::report::TextTable;
+
+fn main() {
+    let args = Args::from_env();
+    let sizes = args.sizes.clone().unwrap_or_else(|| vec![25, 50, 75, 100, 125, 150, 175, 200]);
+    let points = match sweep_multi_tier(&sizes, true, &args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("fig8 failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut table = TextTable::new(["size", "EGC", "EGBW", "EG", "DBA*"]);
+    for point in &points {
+        table.row(
+            std::iter::once(point.size.to_string())
+                .chain(point.rows.iter().map(|r| format!("{:.1}", r.total_hosts))),
+        );
+    }
+    println!(
+        "Figure 8: total used hosts for multi-tier (heterogeneous / non-uniform, runs={})",
+        args.runs
+    );
+    println!("{}", table.render());
+}

@@ -1,0 +1,32 @@
+//! Reproduces **Figure 9**: run time of each algorithm on the
+//! multi-tier application as topology size grows, under
+//! (a) heterogeneous + non-uniform and (b) homogeneous + uniform
+//! conditions.
+
+use ostro_bench::{sweep_multi_tier, Args};
+use ostro_sim::report::{fmt_secs, TextTable};
+
+fn main() {
+    let args = Args::from_env();
+    let sizes = args.sizes.clone().unwrap_or_else(|| vec![25, 50, 75, 100, 125, 150, 175, 200]);
+    for (label, het) in
+        [("(a) heterogeneous / non-uniform", true), ("(b) homogeneous / uniform", false)]
+    {
+        let points = match sweep_multi_tier(&sizes, het, &args) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("fig9 failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        let mut table = TextTable::new(["size", "EGC", "EGBW", "EG", "DBA*"]);
+        for point in &points {
+            table.row(
+                std::iter::once(point.size.to_string())
+                    .chain(point.rows.iter().map(|r| fmt_secs(r.runtime))),
+            );
+        }
+        println!("Figure 9{label}: run time (sec) for multi-tier");
+        println!("{}", table.render());
+    }
+}

@@ -1,0 +1,42 @@
+//! Reproduces **Table I**: the QFS application on the 16-host testbed
+//! under *non-uniform* resource availability, comparing EGC, EGBW, EG,
+//! BA\*, and DBA\*.
+//!
+//! Paper settings: θbw = 0.99, θc = 0.01, DBA\* deadline T = 0.5 s.
+//! Run `--theta-c 0.4 --theta-bw 0.6` for the §IV-B weight-variation
+//! experiment.
+
+use ostro_bench::Args;
+use ostro_sim::report::render_table_one_style;
+
+fn main() {
+    let mut args = Args::from_env();
+    // Paper defaults for this experiment unless overridden.
+    if (args.theta_bw, args.theta_c) == (0.6, 0.4)
+        && !std::env::args().any(|a| a.starts_with("--theta"))
+    {
+        args.theta_bw = 0.99;
+        args.theta_c = 0.01;
+    }
+    if !std::env::args().any(|a| a == "--deadline-ms") {
+        args.deadline = std::time::Duration::from_millis(500);
+    }
+    let rows = match ostro_bench::qfs_rows(true, &args) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("table1 failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "{}",
+        render_table_one_style(
+            &format!(
+                "Table I: QFS under NON-UNIFORM availability \
+                 (theta_bw={}, theta_c={}, T={:?}, runs={})",
+                args.theta_bw, args.theta_c, args.deadline, args.runs
+            ),
+            &rows
+        )
+    );
+}

@@ -1,0 +1,37 @@
+//! Reproduces **Table II**: the QFS application on the 16-host testbed
+//! under *uniform* availability (all hosts idle), comparing EGC, EGBW,
+//! EG, BA\*, and DBA\*. Paper settings: θbw = 0.99, θc = 0.01, T = 0.5 s.
+
+use ostro_bench::Args;
+use ostro_sim::report::render_table_one_style;
+
+fn main() {
+    let mut args = Args::from_env();
+    if (args.theta_bw, args.theta_c) == (0.6, 0.4)
+        && !std::env::args().any(|a| a.starts_with("--theta"))
+    {
+        args.theta_bw = 0.99;
+        args.theta_c = 0.01;
+    }
+    if !std::env::args().any(|a| a == "--deadline-ms") {
+        args.deadline = std::time::Duration::from_millis(500);
+    }
+    let rows = match ostro_bench::qfs_rows(false, &args) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("table2 failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "{}",
+        render_table_one_style(
+            &format!(
+                "Table II: QFS under UNIFORM availability \
+                 (theta_bw={}, theta_c={}, T={:?}, runs={})",
+                args.theta_bw, args.theta_c, args.deadline, args.runs
+            ),
+            &rows
+        )
+    );
+}

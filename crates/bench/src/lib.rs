@@ -1,0 +1,22 @@
+//! Shared harness code for the table/figure reproduction binaries and
+//! the criterion benches.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper (see `DESIGN.md`'s experiment index); this library holds the
+//! sweep drivers they share. All binaries accept a common set of flags
+//! parsed by [`Args`]:
+//!
+//! * `--runs N` — repetitions per data point (paper: 20; default 3).
+//! * `--sizes a,b,c` — override the topology sizes swept.
+//! * `--racks N` / `--hosts N` — shrink the simulated data center.
+//! * `--deadline-ms N` — DBA\*'s budget per placement.
+//! * `--seed N` — base RNG seed.
+//! * `--theta-bw X` / `--theta-c X` — objective weights.
+
+pub mod args;
+pub mod sweep;
+
+pub use args::Args;
+pub use sweep::{
+    mesh_instance, multi_tier_instance, qfs_rows, sweep_mesh, sweep_multi_tier, SweepPoint,
+};

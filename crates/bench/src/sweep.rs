@@ -1,0 +1,226 @@
+//! Sweep drivers shared by the figure binaries: generate (topology,
+//! state) instances at each scale, run the algorithm set, aggregate.
+
+use std::time::Duration;
+
+use ostro_core::{Algorithm, ObjectiveWeights};
+use ostro_datacenter::{CapacityState, Infrastructure};
+use ostro_model::ApplicationTopology;
+use ostro_sim::requirements::RequirementMix;
+use ostro_sim::runner::{aggregate, run_trial, ComparisonRow, SimError, TrialResult};
+use ostro_sim::scenarios::{qfs_testbed, sized_datacenter};
+use ostro_sim::workloads::{mesh, multi_tier, qfs_topology, MESH_GROUP_SIZE};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::args::Args;
+
+/// One aggregated point of a figure: a topology size plus one row per
+/// algorithm.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Topology size (number of VMs).
+    pub size: usize,
+    /// One aggregated row per algorithm, in the order requested.
+    pub rows: Vec<ComparisonRow>,
+}
+
+/// The algorithm set of the paper's figures (Figs. 7–11): the three
+/// greedy variants plus DBA\* with the given deadline.
+#[must_use]
+pub fn figure_algorithms(deadline: Duration) -> Vec<Algorithm> {
+    vec![
+        Algorithm::GreedyCompute,
+        Algorithm::GreedyBandwidth,
+        Algorithm::Greedy,
+        Algorithm::DeadlineBoundedAStar { deadline },
+    ]
+}
+
+/// Generates one multi-tier instance (topology + availability state)
+/// for a given seed.
+///
+/// # Errors
+///
+/// Propagates scenario construction errors.
+pub fn multi_tier_instance(
+    size: usize,
+    heterogeneous: bool,
+    args: &Args,
+    seed: u64,
+) -> Result<(Infrastructure, CapacityState, ApplicationTopology), SimError> {
+    let mix = if heterogeneous {
+        RequirementMix::heterogeneous()
+    } else {
+        RequirementMix::homogeneous()
+    };
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let (infra, state) =
+        sized_datacenter(args.racks, args.hosts_per_rack, heterogeneous, &mut rng)?;
+    let topology = multi_tier(size, &mix, &mut rng)?;
+    Ok((infra, state, topology))
+}
+
+/// Generates one mesh instance for a given seed. `size` is the VM
+/// count and must be a multiple of [`MESH_GROUP_SIZE`].
+///
+/// # Errors
+///
+/// Propagates scenario construction errors.
+pub fn mesh_instance(
+    size: usize,
+    heterogeneous: bool,
+    args: &Args,
+    seed: u64,
+) -> Result<(Infrastructure, CapacityState, ApplicationTopology), SimError> {
+    let mix = if heterogeneous {
+        RequirementMix::heterogeneous()
+    } else {
+        RequirementMix::homogeneous()
+    };
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let (infra, state) =
+        sized_datacenter(args.racks, args.hosts_per_rack, heterogeneous, &mut rng)?;
+    let topology = mesh(size / MESH_GROUP_SIZE, &mix, &mut rng)?;
+    Ok((infra, state, topology))
+}
+
+fn weights(args: &Args) -> ObjectiveWeights {
+    ObjectiveWeights { bandwidth: args.theta_bw, hosts: args.theta_c }
+}
+
+fn sweep<F>(
+    sizes: &[usize],
+    args: &Args,
+    make: F,
+) -> Result<Vec<SweepPoint>, SimError>
+where
+    F: Fn(usize, u64) -> Result<(Infrastructure, CapacityState, ApplicationTopology), SimError>,
+{
+    let algorithms = figure_algorithms(args.deadline);
+    let mut points = Vec::with_capacity(sizes.len());
+    for &size in sizes {
+        let mut per_algo: Vec<Vec<TrialResult>> = vec![Vec::new(); algorithms.len()];
+        for run in 0..args.runs {
+            let seed = args.seed + run as u64 * 1_000 + size as u64;
+            let (infra, state, topology) = make(size, seed)?;
+            for (i, &algorithm) in algorithms.iter().enumerate() {
+                let trial =
+                    run_trial(&infra, &state, &topology, algorithm, weights(args), seed)?;
+                per_algo[i].push(trial);
+            }
+        }
+        points.push(SweepPoint {
+            size,
+            rows: per_algo.iter().map(|rs| aggregate(rs)).collect(),
+        });
+    }
+    Ok(points)
+}
+
+/// Runs the multi-tier sweep behind Figures 7, 8, and 9.
+///
+/// # Errors
+///
+/// Propagates the first scenario or placement error.
+pub fn sweep_multi_tier(
+    sizes: &[usize],
+    heterogeneous: bool,
+    args: &Args,
+) -> Result<Vec<SweepPoint>, SimError> {
+    sweep(sizes, args, |size, seed| multi_tier_instance(size, heterogeneous, args, seed))
+}
+
+/// Runs the mesh sweep behind Figures 10 and 11.
+///
+/// # Errors
+///
+/// Propagates the first scenario or placement error.
+pub fn sweep_mesh(
+    sizes: &[usize],
+    heterogeneous: bool,
+    args: &Args,
+) -> Result<Vec<SweepPoint>, SimError> {
+    sweep(sizes, args, |size, seed| mesh_instance(size, heterogeneous, args, seed))
+}
+
+/// Runs the QFS testbed comparison behind Tables I and II: all five
+/// algorithms on the Fig. 5 application.
+///
+/// # Errors
+///
+/// Propagates the first scenario or placement error.
+pub fn qfs_rows(non_uniform: bool, args: &Args) -> Result<Vec<ComparisonRow>, SimError> {
+    let (infra, state) = qfs_testbed(non_uniform)?;
+    let topology = qfs_topology()?;
+    let algorithms = [
+        Algorithm::GreedyCompute,
+        Algorithm::GreedyBandwidth,
+        Algorithm::Greedy,
+        Algorithm::BoundedAStar,
+        Algorithm::DeadlineBoundedAStar { deadline: args.deadline },
+    ];
+    let mut rows = Vec::new();
+    for &algorithm in &algorithms {
+        let mut results = Vec::new();
+        for run in 0..args.runs {
+            results.push(run_trial(
+                &infra,
+                &state,
+                &topology,
+                algorithm,
+                weights(args),
+                args.seed + run as u64,
+            )?);
+        }
+        rows.push(aggregate(&results));
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_args() -> Args {
+        Args {
+            runs: 1,
+            racks: 4,
+            hosts_per_rack: 8,
+            deadline: Duration::from_millis(300),
+            theta_bw: 0.6,
+            theta_c: 0.4,
+            ..Args::default()
+        }
+    }
+
+    #[test]
+    fn multi_tier_sweep_produces_a_row_per_algorithm() {
+        let args = tiny_args();
+        let points = sweep_multi_tier(&[25], true, &args).unwrap();
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].rows.len(), 4);
+        let labels: Vec<&str> = points[0].rows.iter().map(|r| r.label.as_str()).collect();
+        assert_eq!(labels, ["EGC", "EGBW", "EG", "DBA*"]);
+        for row in &points[0].rows {
+            assert!(row.bandwidth_mbps >= 0.0);
+            assert_eq!(row.runs, 1);
+        }
+    }
+
+    #[test]
+    fn mesh_sweep_runs() {
+        let args = tiny_args();
+        let points = sweep_mesh(&[25], false, &args).unwrap();
+        assert_eq!(points[0].size, 25);
+        assert_eq!(points[0].rows.len(), 4);
+    }
+
+    #[test]
+    fn qfs_rows_cover_all_five_algorithms() {
+        let args = Args { runs: 1, deadline: Duration::from_millis(500), ..Args::default() };
+        let rows = qfs_rows(true, &args).unwrap();
+        let labels: Vec<&str> = rows.iter().map(|r| r.label.as_str()).collect();
+        assert_eq!(labels, ["EGC", "EGBW", "EG", "BA*", "DBA*"]);
+    }
+}

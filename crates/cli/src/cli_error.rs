@@ -1,0 +1,93 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced to the command-line user.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CliError {
+    /// Bad command line (unknown command/flag, missing value).
+    Usage(String),
+    /// A file could not be read or written.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A JSON document failed to parse.
+    Parse {
+        /// The path involved.
+        path: String,
+        /// The underlying error.
+        source: serde_json::Error,
+    },
+    /// The infrastructure spec was structurally invalid.
+    Build(ostro_datacenter::BuildError),
+    /// Template extraction or deployment failed.
+    Heat(ostro_heat::HeatError),
+    /// Placement failed.
+    Placement(ostro_core::PlacementError),
+    /// A supplied capacity state does not match the infrastructure.
+    StateMismatch,
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Usage(msg) => write!(f, "usage error: {msg}"),
+            Self::Io { path, source } => write!(f, "cannot access `{path}`: {source}"),
+            Self::Parse { path, source } => write!(f, "cannot parse `{path}`: {source}"),
+            Self::Build(e) => write!(f, "invalid infrastructure: {e}"),
+            Self::Heat(e) => write!(f, "{e}"),
+            Self::Placement(e) => write!(f, "placement failed: {e}"),
+            Self::StateMismatch => {
+                write!(f, "the capacity state does not match the infrastructure")
+            }
+        }
+    }
+}
+
+impl Error for CliError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Io { source, .. } => Some(source),
+            Self::Parse { source, .. } => Some(source),
+            Self::Build(e) => Some(e),
+            Self::Heat(e) => Some(e),
+            Self::Placement(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ostro_datacenter::BuildError> for CliError {
+    fn from(e: ostro_datacenter::BuildError) -> Self {
+        CliError::Build(e)
+    }
+}
+
+impl From<ostro_heat::HeatError> for CliError {
+    fn from(e: ostro_heat::HeatError) -> Self {
+        CliError::Heat(e)
+    }
+}
+
+impl From<ostro_core::PlacementError> for CliError {
+    fn from(e: ostro_core::PlacementError) -> Self {
+        CliError::Placement(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_actionable() {
+        let e = CliError::Usage("unknown flag `--frob`".into());
+        assert!(e.to_string().contains("--frob"));
+        let e: CliError = ostro_datacenter::BuildError::NoHosts.into();
+        assert!(e.to_string().contains("invalid infrastructure"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,24 @@
+//! The `ostro` command-line planner: place QoS-enhanced Heat templates
+//! onto JSON-described data centers from the shell.
+//!
+//! ```text
+//! ostro inspect  --infra infra.json [--state state.json]
+//! ostro place    --infra infra.json --template app.json
+//!                [--algorithm egc|egbw|eg|bastar|dbastar]
+//!                [--deadline-ms N] [--theta-bw X] [--theta-c X]
+//!                [--seed N] [--state state.json] [--commit new-state.json]
+//! ostro validate --infra infra.json --template app.json
+//!                --placement placement.json [--state state.json]
+//! ostro example  infra|template
+//! ```
+//!
+//! `place` prints a JSON document with the node → host decision, the
+//! annotated template, and the metrics the paper reports; `--commit`
+//! additionally writes the post-placement capacity state so a sequence
+//! of invocations models a live cloud.
+
+mod commands;
+mod cli_error;
+
+pub use cli_error::CliError;
+pub use commands::{run, Command};

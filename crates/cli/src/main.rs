@@ -1,0 +1,15 @@
+//! Binary entry point for the `ostro` CLI; all logic lives in the
+//! library so it can be tested in-process.
+
+fn main() {
+    match ostro_cli::run(std::env::args().skip(1)) {
+        Ok(output) => print!("{output}"),
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(match err {
+                ostro_cli::CliError::Usage(_) => 2,
+                _ => 1,
+            });
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! The two single-objective greedy baselines of §IV-A.
+//!
+//! * `EGC` — pure compute bin-packing: first-fit into the feasible host
+//!   with the smallest remaining compute capacity, ignoring links.
+//! * `EGBW` — pure bandwidth minimization: nodes ordered by incident
+//!   bandwidth, each placed to minimize the added hop-weighted
+//!   bandwidth, preferring hosts with the most available NIC bandwidth
+//!   (which drags placements onto idle hosts, as Table I shows).
+
+use ostro_datacenter::HostId;
+use ostro_model::NodeId;
+
+use crate::candidates::feasible_hosts;
+use crate::error::PlacementError;
+use crate::placement::SearchStats;
+use crate::search::{Ctx, Path};
+
+/// Runs the EGC baseline from `start` to completion.
+pub(crate) fn run_egc<'a>(
+    ctx: &Ctx<'a>,
+    start: &Path<'a>,
+    stats: &mut SearchStats,
+) -> Result<Path<'a>, PlacementError> {
+    run_baseline(ctx, start, stats, |ctx, path, _node, host| {
+        let avail = path.overlay.available(host);
+        let _ = ctx;
+        // Smallest remaining compute first (best-fit); deterministic
+        // tie-break on host id via the caller.
+        (u64::from(avail.vcpus), avail.memory_mb, avail.disk_gb, 0)
+    })
+}
+
+/// Runs the EGBW baseline from `start` to completion.
+pub(crate) fn run_egbw<'a>(
+    ctx: &Ctx<'a>,
+    start: &Path<'a>,
+    stats: &mut SearchStats,
+) -> Result<Path<'a>, PlacementError> {
+    run_baseline(ctx, start, stats, |ctx, path, node, host| {
+        // Added hop-weighted bandwidth dominates; most-available NIC
+        // bandwidth breaks ties (inverted so that smaller is better).
+        let added = path.probe(ctx, node, host).unwrap_or(u64::MAX);
+        let nic_free = path.overlay.link_available(ostro_datacenter::LinkRef::HostNic(host));
+        (added, u64::MAX - nic_free.as_mbps(), 0, 0)
+    })
+}
+
+/// Shared scaffolding: place each node on the feasible candidate with
+/// the minimal `key`, trying candidates in key order until one
+/// materializes.
+fn run_baseline<'a, K>(
+    ctx: &Ctx<'a>,
+    start: &Path<'a>,
+    stats: &mut SearchStats,
+    key: K,
+) -> Result<Path<'a>, PlacementError>
+where
+    K: Fn(&Ctx<'a>, &Path<'a>, NodeId, HostId) -> (u64, u64, u64, u64),
+{
+    let mut path = start.clone();
+    while let Some(node) = path.next_node(ctx) {
+        let infeasible = || PlacementError::Infeasible {
+            node,
+            name: ctx.topo.node(node).name().to_owned(),
+        };
+        let mut hosts = feasible_hosts(ctx, &path, node);
+        stats.expanded += 1;
+        stats.generated += hosts.len() as u64;
+        if hosts.is_empty() {
+            return Err(infeasible());
+        }
+        hosts.sort_by_key(|&h| (key(ctx, &path, node, h), h));
+        let mut placed = None;
+        for &host in &hosts {
+            if path.probe(ctx, node, host).is_none() {
+                continue;
+            }
+            if let Some(child) = path.place(ctx, node, host) {
+                placed = Some(child);
+                break;
+            }
+        }
+        path = placed.ok_or_else(infeasible)?;
+    }
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::pinned_root;
+    use crate::request::PlacementRequest;
+    use ostro_datacenter::{CapacityState, Infrastructure, InfrastructureBuilder};
+    use ostro_model::{ApplicationTopology, Bandwidth, Resources, TopologyBuilder};
+
+    fn infra() -> Infrastructure {
+        InfrastructureBuilder::flat(
+            "dc",
+            2,
+            4,
+            Resources::new(8, 16_384, 500),
+            Bandwidth::from_gbps(10),
+            Bandwidth::from_gbps(100),
+        )
+        .build()
+        .unwrap()
+    }
+
+    fn linked_pair() -> ApplicationTopology {
+        let mut b = TopologyBuilder::new("t");
+        let a = b.vm("a", 2, 2_048).unwrap();
+        let c = b.vm("c", 2, 2_048).unwrap();
+        b.link(a, c, Bandwidth::from_mbps(500)).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn egc_packs_into_the_fullest_feasible_host() {
+        let topo = linked_pair();
+        let inf = infra();
+        let mut base = CapacityState::new(&inf);
+        // Host 5 is half full: smallest remaining compute that still fits.
+        base.reserve_node(HostId::from_index(5), Resources::new(4, 8_192, 0)).unwrap();
+        let req = PlacementRequest { parallel: false, ..PlacementRequest::default() };
+        let ctx = Ctx::new(&topo, &inf, &base, &req, vec![None; 2]).unwrap();
+        let root = pinned_root(&ctx).unwrap();
+        let path = run_egc(&ctx, &root, &mut SearchStats::default()).unwrap();
+        // Both VMs land on host 5 (4 vCPUs left fits 2+2).
+        assert_eq!(path.assignment[0], Some(HostId::from_index(5)));
+        assert_eq!(path.assignment[1], Some(HostId::from_index(5)));
+        assert_eq!(path.new_hosts(), 0);
+    }
+
+    #[test]
+    fn egbw_minimizes_added_bandwidth() {
+        let topo = linked_pair();
+        let inf = infra();
+        let base = CapacityState::new(&inf);
+        let req = PlacementRequest { parallel: false, ..PlacementRequest::default() };
+        let ctx = Ctx::new(&topo, &inf, &base, &req, vec![None; 2]).unwrap();
+        let root = pinned_root(&ctx).unwrap();
+        let path = run_egbw(&ctx, &root, &mut SearchStats::default()).unwrap();
+        assert_eq!(path.ubw_mbps, 0, "linked pair co-located");
+    }
+
+    #[test]
+    fn egbw_prefers_hosts_with_free_bandwidth() {
+        let mut b = TopologyBuilder::new("t");
+        b.vm("solo", 2, 2_048).unwrap();
+        let topo = b.build().unwrap();
+        let inf = infra();
+        let mut base = CapacityState::new(&inf);
+        // Consume NIC bandwidth on hosts 0..6; host 6 the least.
+        for i in 0..7u32 {
+            let h = HostId::from_index(i);
+            let peer = HostId::from_index((i + 1) % 8);
+            base.reserve_flow(&inf, h, peer, Bandwidth::from_mbps(100 * (8 - u64::from(i))))
+                .unwrap();
+        }
+        let req = PlacementRequest { parallel: false, ..PlacementRequest::default() };
+        let ctx = Ctx::new(&topo, &inf, &base, &req, vec![None; 1]).unwrap();
+        let root = pinned_root(&ctx).unwrap();
+        let path = run_egbw(&ctx, &root, &mut SearchStats::default()).unwrap();
+        // Host 7 only carries the wrap-around flow's far end; it has
+        // the most free NIC bandwidth.
+        let chosen = path.assignment[0].unwrap();
+        let free = base.nic_available(chosen);
+        let max_free = (0..8u32)
+            .map(|i| base.nic_available(HostId::from_index(i)))
+            .max()
+            .unwrap();
+        assert_eq!(free, max_free);
+    }
+
+    #[test]
+    fn egc_ignores_links_and_splits_when_packing_demands() {
+        // Two large linked VMs that cannot share any host: EGC packs
+        // them wherever compute is tightest, paying bandwidth.
+        let mut b = TopologyBuilder::new("t");
+        let a = b.vm("a", 6, 2_048).unwrap();
+        let c = b.vm("c", 6, 2_048).unwrap();
+        b.link(a, c, Bandwidth::from_mbps(100)).unwrap();
+        let topo = b.build().unwrap();
+        let inf = infra();
+        let base = CapacityState::new(&inf);
+        let req = PlacementRequest { parallel: false, ..PlacementRequest::default() };
+        let ctx = Ctx::new(&topo, &inf, &base, &req, vec![None; 2]).unwrap();
+        let root = pinned_root(&ctx).unwrap();
+        let path = run_egc(&ctx, &root, &mut SearchStats::default()).unwrap();
+        assert_ne!(path.assignment[0], path.assignment[1]);
+        assert!(path.ubw_mbps > 0);
+    }
+}

@@ -1,0 +1,311 @@
+//! The deadline-bounded A\* search `DBA*` (§III-C): BA\* plus
+//! progressive probabilistic pruning so a decision is produced within
+//! a wall-clock budget T.
+//!
+//! A path of length |V\*p| is pruned with probability `p(x > s)` where
+//! `x ~ U[0, r)` and `s = |V*p| / |V|` — deep paths survive, shallow
+//! ones are culled, biasing the search depth-first. The range bound `r`
+//! starts at zero (no pruning) and grows by `α = 0.2 · (T / T_left)`
+//! whenever the forecast number of remaining open paths exceeds what
+//! the remaining time can absorb.
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::astar::{run_astar, SearchPolicy};
+use crate::error::PlacementError;
+use crate::placement::SearchStats;
+use crate::search::{Ctx, Path};
+
+pub(crate) struct DeadlinePolicy {
+    start: Instant,
+    deadline: Duration,
+    rng: SmallRng,
+    /// Upper bound of the pruning range (the paper's `r`).
+    r: f64,
+    next_check: Duration,
+    total_nodes: usize,
+    /// L\[i\]: open-queue entries of length i.
+    len_hist: Vec<f64>,
+    last_popped_len: usize,
+    pops: u64,
+    /// Deepest path an upper-bound refresh has run from.
+    deepest_refresh: usize,
+    /// Cost of the initial full EG run, used to budget refreshes.
+    initial_eg: Duration,
+    /// Wall-clock time spent on refreshes so far.
+    refresh_spent: Duration,
+    /// Cost of the most recent refresh (a better estimator than the
+    /// initial uncapped EG, since refreshes are candidate-capped).
+    last_refresh: Option<Duration>,
+}
+
+impl DeadlinePolicy {
+    pub(crate) fn new(deadline: Duration, seed: u64, total_nodes: usize) -> Self {
+        DeadlinePolicy {
+            start: Instant::now(),
+            deadline,
+            rng: SmallRng::seed_from_u64(seed),
+            r: 0.0,
+            next_check: deadline / 2,
+            total_nodes: total_nodes.max(1),
+            len_hist: vec![0.0; total_nodes + 2],
+            last_popped_len: 0,
+            pops: 0,
+            deepest_refresh: 0,
+            initial_eg: Duration::ZERO,
+            refresh_spent: Duration::ZERO,
+            last_refresh: None,
+        }
+    }
+
+    /// Forecast of open paths still to be handled (the paper's
+    /// |P^left| recurrence over L\[i\]).
+    fn forecast_open_paths(&self, avg_branching: f64) -> f64 {
+        let mut sim = self.len_hist.clone();
+        let mut p_left = 0.0;
+        for i in self.last_popped_len..self.total_nodes {
+            let s = i as f64 / self.total_nodes as f64;
+            let keep = self.keep_probability(s);
+            let handled = sim[i].max(0.0) * keep;
+            p_left += handled;
+            // Each surviving path spawns ~avg_branching children, which
+            // must themselves survive insertion pruning.
+            sim[i + 1] += sim[i].max(0.0) * keep * keep * avg_branching;
+        }
+        p_left
+    }
+
+    /// 1 − p(x > s): the probability a path at progress `s` survives.
+    fn keep_probability(&self, s: f64) -> f64 {
+        if self.r <= s || self.r <= 0.0 {
+            1.0
+        } else {
+            (s / self.r).clamp(0.0, 1.0)
+        }
+    }
+}
+
+impl SearchPolicy for DeadlinePolicy {
+    fn on_push(&mut self, placed: usize) {
+        self.len_hist[placed.min(self.total_nodes + 1)] += 1.0;
+    }
+
+    fn on_pop(&mut self, placed: usize) {
+        let i = placed.min(self.total_nodes + 1);
+        self.len_hist[i] = (self.len_hist[i] - 1.0).max(0.0);
+        self.last_popped_len = placed;
+        self.pops += 1;
+    }
+
+    fn should_prune(&mut self, placed: usize) -> bool {
+        let s = placed as f64 / self.total_nodes as f64;
+        if self.r <= s {
+            return false;
+        }
+        self.rng.gen_range(0.0..self.r) > s
+    }
+
+    fn note_initial_eg(&mut self, elapsed: Duration) {
+        self.initial_eg = elapsed;
+    }
+
+    /// Deadline-aware refresh rule: greedily complete promising popped
+    /// prefixes as often as the remaining budget allows. Each refresh
+    /// is a (candidate-capped) greedy completion of a different
+    /// low-estimate prefix, so spending a large share of the deadline
+    /// on refreshes is exactly how a larger T buys a better placement
+    /// (the paper's Fig. 6 behavior). At most ~70% of the budget goes
+    /// to refreshes; the rest drives the A\* frontier that supplies
+    /// the prefixes.
+    fn should_refresh(&mut self, placed: usize, _u_total: f64, _umax: f64) -> bool {
+        let elapsed = self.start.elapsed();
+        if elapsed >= self.deadline {
+            return false;
+        }
+        let remaining_frac =
+            (self.total_nodes - placed.min(self.total_nodes)) as f64 / self.total_nodes as f64;
+        // Refreshes are candidate-capped, so before the first
+        // observation assume they cost a fraction of the full EG run.
+        let per_full_run = self
+            .last_refresh
+            .map_or(self.initial_eg.as_secs_f64() / 6.0, |d| d.as_secs_f64());
+        let estimated = per_full_run * remaining_frac;
+        let left = (self.deadline - elapsed).as_secs_f64();
+        if estimated > 0.9 * left {
+            return false;
+        }
+        if self.refresh_spent.as_secs_f64() + estimated > 0.7 * self.deadline.as_secs_f64() {
+            return false;
+        }
+        self.deepest_refresh = self.deepest_refresh.max(placed);
+        true
+    }
+
+    fn note_refresh(&mut self, elapsed: Duration) {
+        self.refresh_spent += elapsed;
+        // Scale the observation back up to a full-depth run.
+        let frac = 1.0
+            - self.deepest_refresh.min(self.total_nodes) as f64 / self.total_nodes as f64;
+        if frac > 0.05 {
+            self.last_refresh = Some(elapsed.div_f64(frac.max(0.05)));
+        }
+    }
+
+    fn should_stop(&mut self, stats: &SearchStats) -> bool {
+        let elapsed = self.start.elapsed();
+        if elapsed >= self.deadline {
+            return true;
+        }
+        if elapsed >= self.next_check && self.pops > 0 {
+            let t_left = self.deadline - elapsed;
+            // How many more paths can be handled in the time left.
+            let avg_pop_secs = elapsed.as_secs_f64() / self.pops as f64;
+            let capacity = t_left.as_secs_f64() / avg_pop_secs.max(1e-9);
+            let avg_branching = stats.generated as f64 / stats.expanded.max(1) as f64;
+            if self.forecast_open_paths(avg_branching) > capacity {
+                let alpha = 0.2 * (self.deadline.as_secs_f64() / t_left.as_secs_f64().max(1e-6));
+                self.r += alpha;
+            }
+            self.next_check = elapsed + t_left / 2;
+        }
+        false
+    }
+}
+
+/// Runs DBA\*: BA\* with pruning tuned to finish within `deadline`.
+///
+/// When the deadline fires mid-search, the best EG-completed upper
+/// bound found so far is returned and `stats.deadline_hit` is set.
+pub(crate) fn run_dbastar<'a>(
+    ctx: &Ctx<'a>,
+    stats: &mut SearchStats,
+    deadline: Duration,
+    seed: u64,
+    max_expansions: u64,
+) -> Result<Path<'a>, PlacementError> {
+    if deadline.is_zero() {
+        return Err(PlacementError::ZeroDeadline);
+    }
+    let mut policy = DeadlinePolicy::new(deadline, seed, ctx.topo.node_count());
+    run_astar(ctx, stats, max_expansions, &mut policy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::ObjectiveWeights;
+    use crate::request::PlacementRequest;
+    use ostro_datacenter::{CapacityState, Infrastructure, InfrastructureBuilder};
+    use ostro_model::{
+        ApplicationTopology, Bandwidth, DiversityLevel, Resources, TopologyBuilder,
+    };
+
+    fn infra() -> Infrastructure {
+        InfrastructureBuilder::flat(
+            "dc",
+            4,
+            4,
+            Resources::new(8, 16_384, 500),
+            Bandwidth::from_gbps(10),
+            Bandwidth::from_gbps(100),
+        )
+        .build()
+        .unwrap()
+    }
+
+    fn chain(n: usize) -> ApplicationTopology {
+        let mut b = TopologyBuilder::new("chain");
+        let mut prev = b.vm("v0", 1, 1_024).unwrap();
+        let mut all = vec![prev];
+        for i in 1..n {
+            let v = b.vm(format!("v{i}"), 1, 1_024).unwrap();
+            b.link(prev, v, Bandwidth::from_mbps(50)).unwrap();
+            prev = v;
+            all.push(v);
+        }
+        b.diversity_zone("spread", DiversityLevel::Host, &all).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn completes_within_a_generous_deadline() {
+        let topo = chain(5);
+        let inf = infra();
+        let base = CapacityState::new(&inf);
+        let req = PlacementRequest {
+            weights: ObjectiveWeights::BANDWIDTH_DOMINANT,
+            parallel: false,
+            ..PlacementRequest::default()
+        };
+        let ctx = Ctx::new(&topo, &inf, &base, &req, vec![None; topo.node_count()]).unwrap();
+        let mut stats = SearchStats::default();
+        let path = run_dbastar(&ctx, &mut stats, Duration::from_secs(10), 42, 0).unwrap();
+        assert!(path.is_complete(&ctx));
+    }
+
+    #[test]
+    fn tight_deadline_returns_quickly_with_a_valid_placement() {
+        let topo = chain(8);
+        let inf = infra();
+        let base = CapacityState::new(&inf);
+        let req = PlacementRequest { parallel: false, ..PlacementRequest::default() };
+        let ctx = Ctx::new(&topo, &inf, &base, &req, vec![None; topo.node_count()]).unwrap();
+        let mut stats = SearchStats::default();
+        let started = Instant::now();
+        let path = run_dbastar(&ctx, &mut stats, Duration::from_millis(30), 42, 0).unwrap();
+        // Budget plus slack for one in-flight expansion.
+        assert!(started.elapsed() < Duration::from_secs(5));
+        assert!(path.is_complete(&ctx));
+    }
+
+    #[test]
+    fn zero_deadline_is_rejected() {
+        let topo = chain(3);
+        let inf = infra();
+        let base = CapacityState::new(&inf);
+        let req = PlacementRequest::default();
+        let ctx = Ctx::new(&topo, &inf, &base, &req, vec![None; topo.node_count()]).unwrap();
+        let err =
+            run_dbastar(&ctx, &mut SearchStats::default(), Duration::ZERO, 1, 0).unwrap_err();
+        assert_eq!(err, PlacementError::ZeroDeadline);
+    }
+
+    #[test]
+    fn same_seed_same_answer() {
+        let topo = chain(6);
+        let inf = infra();
+        let base = CapacityState::new(&inf);
+        let req = PlacementRequest { parallel: false, ..PlacementRequest::default() };
+        let ctx = Ctx::new(&topo, &inf, &base, &req, vec![None; topo.node_count()]).unwrap();
+        let a = run_dbastar(&ctx, &mut SearchStats::default(), Duration::from_secs(5), 7, 0)
+            .unwrap();
+        let b = run_dbastar(&ctx, &mut SearchStats::default(), Duration::from_secs(5), 7, 0)
+            .unwrap();
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    fn keep_probability_shape() {
+        let mut p = DeadlinePolicy::new(Duration::from_secs(1), 1, 10);
+        // r = 0: everything survives.
+        assert_eq!(p.keep_probability(0.1), 1.0);
+        p.r = 0.8;
+        // Deeper paths survive more.
+        assert!(p.keep_probability(0.7) > p.keep_probability(0.2));
+        assert_eq!(p.keep_probability(0.9), 1.0); // s >= r
+    }
+
+    #[test]
+    fn pruning_increases_with_r() {
+        let mut p = DeadlinePolicy::new(Duration::from_secs(1), 99, 100);
+        p.r = 0.0;
+        assert!((0..100).filter(|_| p.should_prune(10)).count() == 0);
+        p.r = 5.0;
+        let pruned = (0..1000).filter(|_| p.should_prune(10)).count();
+        // s = 0.1, r = 5 -> prune probability 0.98.
+        assert!(pruned > 900, "pruned {pruned}");
+    }
+}

@@ -1,0 +1,107 @@
+use std::error::Error;
+use std::fmt;
+
+use ostro_datacenter::CapacityError;
+use ostro_model::NodeId;
+
+/// Errors produced by the placement engine.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PlacementError {
+    /// No feasible host exists for a node under the current constraints
+    /// and availability.
+    Infeasible {
+        /// The first node for which every candidate host was rejected.
+        node: NodeId,
+        /// The node's name, for diagnostics.
+        name: String,
+    },
+    /// The search space was exhausted without completing a placement
+    /// (can happen when early decisions paint the search into a corner).
+    Exhausted,
+    /// The objective weights are invalid (negative, NaN, or not summing
+    /// to 1).
+    InvalidWeights {
+        /// The offending bandwidth weight θbw.
+        bandwidth: f64,
+        /// The offending host weight θc.
+        hosts: f64,
+    },
+    /// A zero deadline was given to the deadline-bounded search.
+    ZeroDeadline,
+    /// A placement/topology size mismatch (e.g. verifying a placement
+    /// against a different topology).
+    SizeMismatch {
+        /// Nodes in the topology.
+        expected: usize,
+        /// Assignments in the placement.
+        actual: usize,
+    },
+    /// A capacity operation failed while committing or releasing a
+    /// placement.
+    Capacity(CapacityError),
+}
+
+impl fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Infeasible { node, name } => {
+                write!(f, "no feasible host for node {node} (`{name}`)")
+            }
+            Self::Exhausted => write!(f, "search space exhausted without a full placement"),
+            Self::InvalidWeights { bandwidth, hosts } => write!(
+                f,
+                "objective weights must be non-negative and sum to 1 \
+                 (got θbw={bandwidth}, θc={hosts})"
+            ),
+            Self::ZeroDeadline => {
+                write!(f, "deadline-bounded search needs a non-zero deadline")
+            }
+            Self::SizeMismatch { expected, actual } => write!(
+                f,
+                "placement covers {actual} nodes but topology has {expected}"
+            ),
+            Self::Capacity(e) => write!(f, "capacity error: {e}"),
+        }
+    }
+}
+
+impl Error for PlacementError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Capacity(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CapacityError> for PlacementError {
+    fn from(e: CapacityError) -> Self {
+        PlacementError::Capacity(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = PlacementError::Infeasible { node: NodeId::from_index(3), name: "db".into() };
+        assert!(e.to_string().contains("db"));
+        assert!(e.source().is_none());
+
+        let cap = CapacityError::ReleaseUnderflowHost(ostro_datacenter::HostId::from_index(0));
+        let e: PlacementError = cap.clone().into();
+        assert_eq!(e, PlacementError::Capacity(cap));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn weight_error_mentions_both_thetas() {
+        let e = PlacementError::InvalidWeights { bandwidth: 0.7, hosts: 0.7 };
+        let s = e.to_string();
+        assert!(s.contains("0.7"));
+        assert!(s.contains("sum to 1"));
+    }
+}

@@ -1,0 +1,287 @@
+//! The estimate of §III-A2: a lower bound on the bandwidth cost of
+//! completing a partial placement, computed by *approximately* placing
+//! the remaining nodes onto the hosts already in use plus imaginary
+//! hosts (Fig. 4).
+//!
+//! The bound is what makes EG's host choice forward-looking and what
+//! lets BA\*/DBA\* prune: a path whose `u* + ū` already exceeds the
+//! best known complete placement cannot win.
+//!
+//! Accounting rules (per the paper):
+//! * imaginary hosts have the *maximum* real host capacity and are
+//!   **not** counted toward `uc` — the host-count part of the bound is
+//!   therefore zero, trivially admissible;
+//! * an edge whose endpoints land on the same (real or imaginary) host
+//!   costs nothing;
+//! * a split edge costs its bandwidth times the *cheapest* hop cost
+//!   compatible with the diversity constraints between its endpoints.
+
+use ostro_datacenter::HostId;
+use ostro_model::{NodeId, Resources};
+
+use crate::search::{Ctx, Path};
+
+/// Slot index type: real slots first, imaginary slots appended.
+type SlotIdx = u32;
+const UNASSIGNED: SlotIdx = SlotIdx::MAX;
+
+struct Slots {
+    /// Remaining capacity per slot.
+    avail: Vec<Resources>,
+    /// Real host behind the slot, if any.
+    real: Vec<Option<HostId>>,
+    /// Which slot each node sits on (placed, hypothetical, or approximated).
+    of_node: Vec<SlotIdx>,
+}
+
+impl Slots {
+    fn push(&mut self, avail: Resources, real: Option<HostId>) -> SlotIdx {
+        let idx = self.avail.len() as SlotIdx;
+        self.avail.push(avail);
+        self.real.push(real);
+        idx
+    }
+}
+
+/// Estimates the hop-weighted Mbps still to be reserved after `path`
+/// hypothetically places `node` on `host` (`GetHeuristic(vi, hj, ...)`).
+pub(crate) fn lower_bound_mbps(
+    ctx: &Ctx<'_>,
+    path: &Path<'_>,
+    node: NodeId,
+    host: HostId,
+) -> u64 {
+    let n = ctx.topo.node_count();
+    let mut slots = Slots {
+        avail: Vec::with_capacity(16),
+        real: Vec::with_capacity(16),
+        of_node: vec![UNASSIGNED; n],
+    };
+
+    // Seed real slots with the hosts this application already uses,
+    // including the hypothetical host for `node`.
+    let mut slot_of_host: Vec<(HostId, SlotIdx)> = Vec::with_capacity(path.placed + 1);
+    let mut slot_for = |slots: &mut Slots, h: HostId, path: &Path<'_>| -> SlotIdx {
+        if let Some(&(_, s)) = slot_of_host.iter().find(|&&(hh, _)| hh == h) {
+            return s;
+        }
+        let s = slots.push(path.overlay.available(h), Some(h));
+        slot_of_host.push((h, s));
+        s
+    };
+    for placed in ctx.topo.nodes() {
+        if let Some(h) = path.assignment[placed.id().index()] {
+            let s = slot_for(&mut slots, h, path);
+            slots.of_node[placed.id().index()] = s;
+        }
+    }
+    let s = slot_for(&mut slots, host, path);
+    let req = ctx.topo.node(node).requirements();
+    slots.avail[s as usize] = slots.avail[s as usize].saturating_sub(req);
+    slots.of_node[node.index()] = s;
+
+    // Approximately place the remaining nodes, heaviest bandwidth
+    // first, co-locating each with the slot it is most linked to.
+    let mut affinity: Vec<u64> = Vec::new();
+    let mut touched: Vec<SlotIdx> = Vec::with_capacity(8);
+    for &v in &ctx.bw_order {
+        if slots.of_node[v.index()] != UNASSIGNED {
+            continue;
+        }
+        affinity.resize(slots.avail.len(), 0);
+        touched.clear();
+        let mut assigned_bw = 0u64;
+        let mut total_bw = 0u64;
+        for &(neighbor, bw) in ctx.topo.neighbors(v) {
+            total_bw += bw.as_mbps();
+            let s = slots.of_node[neighbor.index()];
+            if s != UNASSIGNED {
+                if affinity[s as usize] == 0 {
+                    touched.push(s);
+                }
+                affinity[s as usize] += bw.as_mbps();
+                assigned_bw += bw.as_mbps();
+            }
+        }
+        // Slots carrying a diversity-zone co-member are forbidden
+        // (same-host placement violates every level).
+        let vreq = ctx.topo.node(v).requirements();
+        let mut best: Option<(u64, SlotIdx)> = None;
+        'slot: for &s in &touched {
+            for &zone_id in ctx.topo.zones_of(v) {
+                for &member in ctx.topo.zone(zone_id).members() {
+                    if member != v && slots.of_node[member.index()] == s {
+                        continue 'slot;
+                    }
+                }
+            }
+            if !vreq.fits_within(&slots.avail[s as usize]) {
+                continue;
+            }
+            let score = affinity[s as usize];
+            if best.is_none_or(|(b, bs)| score > b || (score == b && s < bs)) {
+                best = Some((score, s));
+            }
+        }
+        // Reset the touched affinity entries for the next node.
+        for &s in &touched {
+            affinity[s as usize] = 0;
+        }
+        let remaining_bw = total_bw - assigned_bw;
+        let dest = match best {
+            // Condition (4): if the node is pulled harder by the still
+            // unplaced nodes, keep it free on a fresh imaginary host.
+            Some((score, s)) if remaining_bw <= score => s,
+            // Conditions (1)–(3): no capacity, all zones violated, or
+            // no link to any used host.
+            _ => slots.push(ctx.max_capacity, None),
+        };
+        slots.avail[dest as usize] = slots.avail[dest as usize].saturating_sub(vreq);
+        slots.of_node[v.index()] = dest;
+    }
+
+    // Cost every edge not already paid for by the placed prefix.
+    let mut bound = 0u64;
+    for link in ctx.topo.links() {
+        let (a, b) = link.endpoints();
+        let a_placed = path.assignment[a.index()].is_some() || a == node;
+        let b_placed = path.assignment[b.index()].is_some() || b == node;
+        if a_placed && b_placed {
+            continue; // accounted in u* (or in the probe's added cost)
+        }
+        let sa = slots.of_node[a.index()];
+        let sb = slots.of_node[b.index()];
+        if sa == sb {
+            continue;
+        }
+        let sep = ctx.topo.required_separation(a, b);
+        let hop = ctx.sep_costs.min_cost(sep).max(ctx.min_split_cost);
+        bound += link.bandwidth().as_mbps() * hop;
+    }
+    bound
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::PlacementRequest;
+    use ostro_datacenter::{CapacityState, Infrastructure, InfrastructureBuilder};
+    use ostro_model::{ApplicationTopology, Bandwidth, DiversityLevel, TopologyBuilder};
+
+    fn infra() -> Infrastructure {
+        InfrastructureBuilder::flat(
+            "dc",
+            2,
+            4,
+            Resources::new(8, 16_384, 500),
+            Bandwidth::from_gbps(10),
+            Bandwidth::from_gbps(100),
+        )
+        .build()
+        .unwrap()
+    }
+
+    fn ctx_for<'a>(
+        topo: &'a ApplicationTopology,
+        infra: &'a Infrastructure,
+        base: &'a CapacityState,
+        req: &PlacementRequest,
+    ) -> Ctx<'a> {
+        Ctx::new(topo, infra, base, req, vec![None; topo.node_count()]).unwrap()
+    }
+
+    #[test]
+    fn bound_is_zero_when_everything_can_colocate() {
+        let mut b = TopologyBuilder::new("t");
+        let a = b.vm("a", 2, 2_048).unwrap();
+        let c = b.vm("c", 2, 2_048).unwrap();
+        let d = b.vm("d", 2, 2_048).unwrap();
+        b.link(a, c, Bandwidth::from_mbps(100)).unwrap();
+        b.link(c, d, Bandwidth::from_mbps(100)).unwrap();
+        let topo = b.build().unwrap();
+        let infra = infra();
+        let base = CapacityState::new(&infra);
+        let req = PlacementRequest::default();
+        let ctx = ctx_for(&topo, &infra, &base, &req);
+        let path = Path::empty(&ctx);
+        let first = ctx.order[0];
+        // All three VMs fit on one host, all linked -> everything
+        // gravitates to the same slot, bound = 0.
+        assert_eq!(lower_bound_mbps(&ctx, &path, first, HostId::from_index(0)), 0);
+    }
+
+    #[test]
+    fn diversity_forces_a_nonzero_bound() {
+        let mut b = TopologyBuilder::new("t");
+        let a = b.vm("a", 2, 2_048).unwrap();
+        let c = b.vm("c", 2, 2_048).unwrap();
+        b.link(a, c, Bandwidth::from_mbps(100)).unwrap();
+        b.diversity_zone("z", DiversityLevel::Rack, &[a, c]).unwrap();
+        let topo = b.build().unwrap();
+        let infra = infra();
+        let base = CapacityState::new(&infra);
+        let req = PlacementRequest::default();
+        let ctx = ctx_for(&topo, &infra, &base, &req);
+        let path = Path::empty(&ctx);
+        let first = ctx.order[0];
+        // The rack-level zone forces the 100 Mbps edge across racks:
+        // at least 4 hops.
+        assert_eq!(lower_bound_mbps(&ctx, &path, first, HostId::from_index(0)), 400);
+    }
+
+    #[test]
+    fn capacity_pressure_forces_a_split() {
+        let mut b = TopologyBuilder::new("t");
+        let a = b.vm("a", 6, 2_048).unwrap();
+        let c = b.vm("c", 6, 2_048).unwrap();
+        b.link(a, c, Bandwidth::from_mbps(50)).unwrap();
+        let topo = b.build().unwrap();
+        let infra = infra(); // 8 vCPUs per host: a and c cannot share
+        let base = CapacityState::new(&infra);
+        let req = PlacementRequest::default();
+        let ctx = ctx_for(&topo, &infra, &base, &req);
+        let path = Path::empty(&ctx);
+        let first = ctx.order[0];
+        // The second VM cannot fit next to the first: split across
+        // hosts at min cost 2 hops => 100.
+        assert_eq!(lower_bound_mbps(&ctx, &path, first, HostId::from_index(0)), 100);
+    }
+
+    #[test]
+    fn bound_never_exceeds_true_completion_cost_on_a_chain() {
+        // a - b - c chain, all co-locatable: the bound from any partial
+        // state must be <= the cost of the best completion (which is 0
+        // when co-located).
+        let mut b = TopologyBuilder::new("t");
+        let x = b.vm("x", 1, 1_024).unwrap();
+        let y = b.vm("y", 1, 1_024).unwrap();
+        let z = b.vm("z", 1, 1_024).unwrap();
+        b.link(x, y, Bandwidth::from_mbps(10)).unwrap();
+        b.link(y, z, Bandwidth::from_mbps(10)).unwrap();
+        let topo = b.build().unwrap();
+        let infra = infra();
+        let base = CapacityState::new(&infra);
+        let req = PlacementRequest::default();
+        let ctx = ctx_for(&topo, &infra, &base, &req);
+        let path = Path::empty(&ctx);
+        let first = ctx.order[0];
+        assert_eq!(lower_bound_mbps(&ctx, &path, first, HostId::from_index(0)), 0);
+    }
+
+    #[test]
+    fn unlinked_heavy_nodes_go_to_imaginary_hosts_for_free() {
+        let mut b = TopologyBuilder::new("t");
+        let a = b.vm("a", 2, 2_048).unwrap();
+        for i in 0..4 {
+            b.vm(format!("iso{i}"), 8, 16_384).unwrap();
+        }
+        let topo = b.build().unwrap();
+        let infra = infra();
+        let base = CapacityState::new(&infra);
+        let req = PlacementRequest::default();
+        let ctx = ctx_for(&topo, &infra, &base, &req);
+        let path = Path::empty(&ctx);
+        // No links at all: bound must be zero (imaginary hosts are free).
+        assert_eq!(lower_bound_mbps(&ctx, &path, a, HostId::from_index(0)), 0);
+    }
+}

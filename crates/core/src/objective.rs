@@ -1,0 +1,203 @@
+use ostro_datacenter::{CapacityState, Infrastructure};
+use ostro_model::ApplicationTopology;
+use serde::{Deserialize, Serialize};
+
+use crate::error::PlacementError;
+
+/// The objective weights θbw and θc of §II-B1:
+///
+/// > min( θbw · ubw/ûbw + θc · uc/ûc ),  θbw + θc = 1
+///
+/// `bandwidth` (θbw) weights the total network bandwidth reserved for
+/// the application; `hosts` (θc) weights the number of previously idle
+/// hosts the placement activates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ObjectiveWeights {
+    /// θbw — weight of the normalized reserved-bandwidth term.
+    pub bandwidth: f64,
+    /// θc — weight of the normalized newly-activated-hosts term.
+    pub hosts: f64,
+}
+
+impl ObjectiveWeights {
+    /// The paper's simulation setting: θbw = 0.6, θc = 0.4.
+    pub const SIMULATION: ObjectiveWeights = ObjectiveWeights { bandwidth: 0.6, hosts: 0.4 };
+
+    /// The paper's testbed setting: θbw = 0.99, θc = 0.01 (bandwidth
+    /// dominant, host count as tie-breaker).
+    pub const BANDWIDTH_DOMINANT: ObjectiveWeights =
+        ObjectiveWeights { bandwidth: 0.99, hosts: 0.01 };
+
+    /// Creates and validates a weight pair.
+    ///
+    /// # Errors
+    ///
+    /// [`PlacementError::InvalidWeights`] unless both weights are
+    /// finite, non-negative, and sum to 1 (±1e-9).
+    pub fn new(bandwidth: f64, hosts: f64) -> Result<Self, PlacementError> {
+        let w = ObjectiveWeights { bandwidth, hosts };
+        w.validate()?;
+        Ok(w)
+    }
+
+    /// Re-validates the weights (useful after deserialization).
+    ///
+    /// # Errors
+    ///
+    /// [`PlacementError::InvalidWeights`] on any invalid combination.
+    pub fn validate(&self) -> Result<(), PlacementError> {
+        let ok = self.bandwidth.is_finite()
+            && self.hosts.is_finite()
+            && self.bandwidth >= 0.0
+            && self.hosts >= 0.0
+            && (self.bandwidth + self.hosts - 1.0).abs() <= 1e-9;
+        if ok {
+            Ok(())
+        } else {
+            Err(PlacementError::InvalidWeights { bandwidth: self.bandwidth, hosts: self.hosts })
+        }
+    }
+}
+
+impl Default for ObjectiveWeights {
+    /// Defaults to the paper's simulation setting (θbw=0.6, θc=0.4).
+    fn default() -> Self {
+        ObjectiveWeights::SIMULATION
+    }
+}
+
+/// Worst-case normalizers ûbw and ûc for one placement request, fixed
+/// at the start of the search.
+///
+/// * `ubw_worst` — every application link routed at the maximum hop
+///   cost the infrastructure allows.
+/// * `uc_worst` — every node activating its own previously idle host,
+///   capped by how many idle hosts exist.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normalizers {
+    /// ûbw in Mbps (≥ 1 to avoid division by zero).
+    pub ubw_worst_mbps: f64,
+    /// ûc in hosts (≥ 1 to avoid division by zero).
+    pub uc_worst: f64,
+}
+
+impl Normalizers {
+    /// Computes the normalizers for `topology` placed onto `infra`
+    /// starting from `state`.
+    #[must_use]
+    pub fn compute(
+        topology: &ApplicationTopology,
+        infra: &Infrastructure,
+        state: &CapacityState,
+    ) -> Self {
+        let worst_hops = infra.max_hop_cost();
+        let ubw = topology.total_link_bandwidth().as_mbps() * worst_hops;
+        let idle = infra.host_count().saturating_sub(state.active_host_count());
+        let uc = topology.node_count().min(idle);
+        Normalizers {
+            ubw_worst_mbps: (ubw as f64).max(1.0),
+            uc_worst: (uc as f64).max(1.0),
+        }
+    }
+
+    /// The normalized objective u = θbw·ubw/ûbw + θc·uc/ûc.
+    #[must_use]
+    pub fn objective(&self, weights: ObjectiveWeights, ubw_mbps: u64, new_hosts: usize) -> f64 {
+        weights.bandwidth * (ubw_mbps as f64 / self.ubw_worst_mbps)
+            + weights.hosts * (new_hosts as f64 / self.uc_worst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ostro_datacenter::InfrastructureBuilder;
+    use ostro_model::{Bandwidth, Resources, TopologyBuilder};
+
+    #[test]
+    fn weights_validate() {
+        assert!(ObjectiveWeights::new(0.6, 0.4).is_ok());
+        assert!(ObjectiveWeights::new(1.0, 0.0).is_ok());
+        assert!(ObjectiveWeights::new(0.7, 0.7).is_err());
+        assert!(ObjectiveWeights::new(-0.2, 1.2).is_err());
+        assert!(ObjectiveWeights::new(f64::NAN, 1.0).is_err());
+        assert!(ObjectiveWeights::SIMULATION.validate().is_ok());
+        assert!(ObjectiveWeights::BANDWIDTH_DOMINANT.validate().is_ok());
+        assert_eq!(ObjectiveWeights::default(), ObjectiveWeights::SIMULATION);
+    }
+
+    fn fixtures() -> (ApplicationTopology, Infrastructure) {
+        let mut b = TopologyBuilder::new("t");
+        let a = b.vm("a", 1, 1024).unwrap();
+        let c = b.vm("c", 1, 1024).unwrap();
+        b.link(a, c, Bandwidth::from_mbps(100)).unwrap();
+        let t = b.build().unwrap();
+        let infra = InfrastructureBuilder::flat(
+            "dc",
+            2,
+            2,
+            Resources::new(8, 8192, 100),
+            Bandwidth::from_gbps(10),
+            Bandwidth::from_gbps(100),
+        )
+        .build()
+        .unwrap();
+        (t, infra)
+    }
+
+    #[test]
+    fn normalizers_use_worst_case() {
+        let (t, infra) = fixtures();
+        let state = CapacityState::new(&infra);
+        let n = Normalizers::compute(&t, &infra, &state);
+        // One 100 Mbps link at max hop cost 4 (flat site, 2 racks).
+        assert_eq!(n.ubw_worst_mbps, 400.0);
+        // 2 nodes, 4 idle hosts -> ûc = 2.
+        assert_eq!(n.uc_worst, 2.0);
+    }
+
+    #[test]
+    fn uc_worst_is_capped_by_idle_hosts() {
+        let (t, infra) = fixtures();
+        let mut state = CapacityState::new(&infra);
+        for h in infra.hosts().iter().take(3) {
+            state.reserve_node(h.id(), Resources::new(1, 1, 1)).unwrap();
+        }
+        let n = Normalizers::compute(&t, &infra, &state);
+        assert_eq!(n.uc_worst, 1.0); // only one idle host left
+    }
+
+    #[test]
+    fn objective_combines_terms() {
+        let n = Normalizers { ubw_worst_mbps: 1000.0, uc_worst: 10.0 };
+        let w = ObjectiveWeights::new(0.6, 0.4).unwrap();
+        let u = n.objective(w, 500, 5);
+        assert!((u - (0.6 * 0.5 + 0.4 * 0.5)).abs() < 1e-12);
+        // Best case is zero; worst case is one.
+        assert_eq!(n.objective(w, 0, 0), 0.0);
+        assert!((n.objective(w, 1000, 10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalizers_never_divide_by_zero() {
+        let mut b = TopologyBuilder::new("lonely");
+        b.vm("only", 1, 1024).unwrap();
+        let t = b.build().unwrap();
+        let infra = InfrastructureBuilder::flat(
+            "dc",
+            1,
+            1,
+            Resources::new(8, 8192, 100),
+            Bandwidth::from_gbps(10),
+            Bandwidth::from_gbps(100),
+        )
+        .build()
+        .unwrap();
+        let mut state = CapacityState::new(&infra);
+        state.reserve_node(infra.hosts()[0].id(), Resources::new(1, 1, 1)).unwrap();
+        let n = Normalizers::compute(&t, &infra, &state);
+        assert_eq!(n.ubw_worst_mbps, 1.0);
+        assert_eq!(n.uc_worst, 1.0);
+        assert!(n.objective(ObjectiveWeights::default(), 0, 0).is_finite());
+    }
+}

@@ -1,0 +1,283 @@
+//! Online adaptation (§IV-E): incrementally re-placing an application
+//! after its topology is updated (VMs added or removed, requirements
+//! changed), while disturbing as few existing nodes as possible.
+//!
+//! The strategy pins every surviving node to its current host and
+//! places only the new nodes. If that is infeasible, pinned nodes are
+//! progressively unpinned outward from the new nodes (1-hop neighbors,
+//! then 2-hop, ...), reproducing the paper's observation that larger
+//! updates can "trigger the re-positioning of previously placed nodes"
+//! and even "spread out to a large portion of the application nodes".
+
+use std::collections::VecDeque;
+
+use ostro_datacenter::{CapacityState, HostId};
+use ostro_model::{ApplicationTopology, NodeId};
+use serde::{Deserialize, Serialize};
+
+use crate::error::PlacementError;
+use crate::placement::PlacementOutcome;
+use crate::request::PlacementRequest;
+use crate::scheduler::Scheduler;
+
+/// The result of one incremental re-placement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnlineOutcome {
+    /// The full new placement (covering old and new nodes).
+    pub outcome: PlacementOutcome,
+    /// Previously placed nodes that ended up on a different host.
+    pub repositioned: Vec<NodeId>,
+    /// How many unpinning rounds were needed (0 = only new nodes moved).
+    pub rounds: u32,
+}
+
+impl<'a> Scheduler<'a> {
+    /// Re-places `topology` given that some nodes (`prior`) already
+    /// have hosts. `state` must *exclude* the application's own usage
+    /// (release the old placement first).
+    ///
+    /// `prior[i]` is the current host of node `i`, or `None` for new
+    /// nodes. Pins are relaxed outward from the new nodes until a
+    /// feasible placement is found; `max_rounds` caps the relaxation
+    /// (the final round is always a fully unpinned re-place).
+    ///
+    /// # Errors
+    ///
+    /// Any [`PlacementError`] from the underlying algorithm once even
+    /// the fully unpinned round fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prior.len() != topology.node_count()`.
+    pub fn replace_online(
+        &self,
+        topology: &ApplicationTopology,
+        state: &CapacityState,
+        request: &PlacementRequest,
+        prior: &[Option<HostId>],
+        max_rounds: u32,
+    ) -> Result<OnlineOutcome, PlacementError> {
+        assert_eq!(prior.len(), topology.node_count(), "one prior slot per node");
+        let mut pinned: Vec<Option<HostId>> = prior.to_vec();
+        let mut rounds = 0u32;
+        loop {
+            match self.place_pinned(topology, state, request, &pinned) {
+                Ok(outcome) => {
+                    let repositioned = topology
+                        .nodes()
+                        .iter()
+                        .filter_map(|n| {
+                            let old = prior[n.id().index()]?;
+                            (outcome.placement.host_of(n.id()) != old).then(|| n.id())
+                        })
+                        .collect();
+                    return Ok(OnlineOutcome { outcome, repositioned, rounds });
+                }
+                Err(err) => {
+                    let still_pinned = pinned.iter().filter(|p| p.is_some()).count();
+                    if still_pinned == 0 || rounds >= max_rounds {
+                        return Err(err);
+                    }
+                    rounds += 1;
+                    if rounds >= max_rounds {
+                        // Final attempt: free everything.
+                        pinned.iter_mut().for_each(|p| *p = None);
+                    } else {
+                        unpin_frontier(topology, &mut pinned, rounds);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Unpins every pinned node within `hops` hops of an unpinned node
+/// (BFS from the currently unpinned set).
+fn unpin_frontier(
+    topology: &ApplicationTopology,
+    pinned: &mut [Option<HostId>],
+    hops: u32,
+) {
+    let mut distance: Vec<Option<u32>> = vec![None; topology.node_count()];
+    let mut queue = VecDeque::new();
+    for node in topology.nodes() {
+        if pinned[node.id().index()].is_none() {
+            distance[node.id().index()] = Some(0);
+            queue.push_back(node.id());
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        let d = distance[v.index()].expect("queued nodes have distances");
+        if d >= hops {
+            continue;
+        }
+        for &(n, _) in topology.neighbors(v) {
+            if distance[n.index()].is_none() {
+                distance[n.index()] = Some(d + 1);
+                queue.push_back(n);
+            }
+        }
+    }
+    for node in topology.nodes() {
+        if let Some(d) = distance[node.id().index()] {
+            if d > 0 && d <= hops {
+                pinned[node.id().index()] = None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::ObjectiveWeights;
+    use crate::validate::verify_placement;
+    use ostro_datacenter::{Infrastructure, InfrastructureBuilder};
+    use ostro_model::{Bandwidth, Resources, TopologyBuilder, TopologyDelta};
+
+    fn infra() -> Infrastructure {
+        InfrastructureBuilder::flat(
+            "dc",
+            2,
+            4,
+            Resources::new(8, 16_384, 500),
+            Bandwidth::from_gbps(10),
+            Bandwidth::from_gbps(100),
+        )
+        .build()
+        .unwrap()
+    }
+
+    fn request() -> PlacementRequest {
+        PlacementRequest {
+            weights: ObjectiveWeights::BANDWIDTH_DOMINANT,
+            parallel: false,
+            ..PlacementRequest::default()
+        }
+    }
+
+    #[test]
+    fn pure_addition_keeps_existing_nodes_in_place() {
+        let inf = infra();
+        let scheduler = Scheduler::new(&inf);
+        let mut state = CapacityState::new(&inf);
+
+        let mut b = TopologyBuilder::new("app");
+        let a = b.vm("a", 2, 2_048).unwrap();
+        let c = b.vm("c", 2, 2_048).unwrap();
+        b.link(a, c, Bandwidth::from_mbps(100)).unwrap();
+        let topo = b.build().unwrap();
+
+        let initial = scheduler.place(&topo, &state, &request()).unwrap();
+        scheduler.commit(&topo, &initial.placement, &mut state).unwrap();
+
+        let mut delta = TopologyDelta::new();
+        let d = delta.add_vm("d", 1, 1_024);
+        delta.add_link(c, d, Bandwidth::from_mbps(50));
+        let (topo2, mapping) = delta.apply(&topo).unwrap();
+
+        // Release old usage, then re-place with pins.
+        scheduler.release(&topo, &initial.placement, &mut state).unwrap();
+        let mut prior = vec![None; topo2.node_count()];
+        for (old, new) in mapping.surviving() {
+            prior[new.index()] = Some(initial.placement.host_of(old));
+        }
+        let result =
+            scheduler.replace_online(&topo2, &state, &request(), &prior, 4).unwrap();
+        assert!(result.repositioned.is_empty());
+        assert_eq!(result.rounds, 0);
+        let v = verify_placement(&topo2, &inf, &state, &result.outcome.placement).unwrap();
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn escalates_unpinning_when_pins_are_infeasible() {
+        let inf = infra();
+        let scheduler = Scheduler::new(&inf);
+        let mut state = CapacityState::new(&inf);
+
+        let mut b = TopologyBuilder::new("app");
+        let a = b.vm("a", 4, 4_096).unwrap();
+        let topo = b.build().unwrap();
+        let initial = scheduler.place(&topo, &state, &request()).unwrap();
+        scheduler.commit(&topo, &initial.placement, &mut state).unwrap();
+        let host_a = initial.placement.host_of(a);
+
+        // Fill host_a's remaining capacity so a linked addition cannot
+        // co-locate and in fact `a` itself must move once its pin drops.
+        state
+            .reserve_node(host_a, state.available(host_a))
+            .unwrap();
+        // New node demands co-location-scale bandwidth to `a`, but the
+        // NIC of host_a is saturated too.
+        let mut nic_eater = CapacityState::new(&inf); // scratch to compute full nic
+        let _ = &mut nic_eater;
+        let peer = inf.hosts().iter().find(|h| h.id() != host_a).unwrap().id();
+        let free_nic = state.nic_available(host_a);
+        state.reserve_flow(&inf, host_a, peer, free_nic).unwrap();
+
+        let mut delta = TopologyDelta::new();
+        let d = delta.add_vm("d", 1, 1_024);
+        delta.add_link(a, d, Bandwidth::from_mbps(50));
+        let (topo2, mapping) = delta.apply(&topo).unwrap();
+
+        scheduler.release(&topo, &initial.placement, &mut state).err();
+        // The release fails because we deliberately polluted state;
+        // instead rebuild a clean state representing "app released".
+        let mut clean = CapacityState::new(&inf);
+        clean.reserve_node(host_a, Resources::new(4, 12_288, 500)).unwrap();
+        let free = clean.nic_available(host_a);
+        clean.reserve_flow(&inf, host_a, peer, free).unwrap();
+
+        let mut prior = vec![None; topo2.node_count()];
+        for (old, new) in mapping.surviving() {
+            prior[new.index()] = Some(initial.placement.host_of(old));
+        }
+        let result =
+            scheduler.replace_online(&topo2, &clean, &request(), &prior, 4).unwrap();
+        // `a` had to move (its pinned host has no room / no bandwidth).
+        assert!(result.rounds >= 1);
+        let new_a = mapping.new_id_of(a).unwrap();
+        assert!(result.repositioned.contains(&new_a));
+        let v = verify_placement(&topo2, &inf, &clean, &result.outcome.placement).unwrap();
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn fails_cleanly_when_even_unpinned_is_infeasible() {
+        let inf = infra();
+        let scheduler = Scheduler::new(&inf);
+        let mut state = CapacityState::new(&inf);
+        // Exhaust the whole cluster.
+        for h in inf.hosts() {
+            state.reserve_node(h.id(), h.capacity()).unwrap();
+        }
+        let mut b = TopologyBuilder::new("app");
+        b.vm("x", 1, 1_024).unwrap();
+        let topo = b.build().unwrap();
+        let prior = vec![None; 1];
+        let err = scheduler.replace_online(&topo, &state, &request(), &prior, 3);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn unpin_frontier_expands_by_hops() {
+        let mut b = TopologyBuilder::new("chain");
+        let v0 = b.vm("v0", 1, 1_024).unwrap();
+        let v1 = b.vm("v1", 1, 1_024).unwrap();
+        let v2 = b.vm("v2", 1, 1_024).unwrap();
+        let v3 = b.vm("v3", 1, 1_024).unwrap();
+        b.link(v0, v1, Bandwidth::from_mbps(10)).unwrap();
+        b.link(v1, v2, Bandwidth::from_mbps(10)).unwrap();
+        b.link(v2, v3, Bandwidth::from_mbps(10)).unwrap();
+        let topo = b.build().unwrap();
+        let h = HostId::from_index(0);
+        // v0 is new (unpinned); the rest pinned.
+        let mut pinned = vec![None, Some(h), Some(h), Some(h)];
+        unpin_frontier(&topo, &mut pinned, 1);
+        assert_eq!(pinned, vec![None, None, Some(h), Some(h)]);
+        let mut pinned2 = vec![None, Some(h), Some(h), Some(h)];
+        unpin_frontier(&topo, &mut pinned2, 2);
+        assert_eq!(pinned2, vec![None, None, None, Some(h)]);
+    }
+}

@@ -1,0 +1,139 @@
+use std::collections::HashSet;
+use std::time::Duration;
+
+use ostro_datacenter::HostId;
+use ostro_model::{Bandwidth, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// A complete mapping of every topology node to a host.
+///
+/// Index `i` holds the host of the node with id `i`; placements are
+/// only meaningful together with the topology they were computed for.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    assignments: Vec<HostId>,
+}
+
+impl Placement {
+    /// Wraps a dense per-node host assignment.
+    #[must_use]
+    pub fn new(assignments: Vec<HostId>) -> Self {
+        Placement { assignments }
+    }
+
+    /// The host assigned to `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range for this placement.
+    #[must_use]
+    pub fn host_of(&self, node: NodeId) -> HostId {
+        self.assignments[node.index()]
+    }
+
+    /// The raw per-node assignment vector.
+    #[must_use]
+    pub fn assignments(&self) -> &[HostId] {
+        &self.assignments
+    }
+
+    /// Iterates `(node, host)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, HostId)> + '_ {
+        self.assignments
+            .iter()
+            .enumerate()
+            .map(|(i, &h)| (NodeId::from_index(i as u32), h))
+    }
+
+    /// The number of distinct hosts this placement touches.
+    #[must_use]
+    pub fn distinct_hosts(&self) -> usize {
+        self.assignments.iter().collect::<HashSet<_>>().len()
+    }
+
+    /// Nodes assigned to `host`.
+    #[must_use]
+    pub fn nodes_on(&self, host: HostId) -> Vec<NodeId> {
+        self.iter().filter(|&(_, h)| h == host).map(|(n, _)| n).collect()
+    }
+}
+
+/// Counters describing how hard the search worked; useful for the
+/// paper's scalability analysis and for regression tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchStats {
+    /// Search paths popped and expanded (A\* variants) or node steps
+    /// taken (greedy variants).
+    pub expanded: u64,
+    /// Candidate paths generated.
+    pub generated: u64,
+    /// Paths discarded because their utility met or exceeded the
+    /// current upper bound (Alg. 2, line 11).
+    pub pruned_by_bound: u64,
+    /// Paths discarded by DBA\*'s probabilistic pruning.
+    pub pruned_probabilistically: u64,
+    /// Paths skipped because an identical placement was already closed
+    /// (Alg. 2, line 10).
+    pub deduplicated: u64,
+    /// Paths never generated thanks to diversity-zone symmetry
+    /// reduction (§III-B3).
+    pub symmetry_skipped: u64,
+    /// How many times the embedded greedy search ran to (re)establish
+    /// the upper bound (Alg. 2, lines 3 and 17).
+    pub eg_runs: u64,
+    /// Heuristic lower-bound evaluations.
+    pub heuristic_evals: u64,
+    /// `true` if a deadline-bounded run hit its deadline and returned
+    /// the best bound found so far.
+    pub deadline_hit: bool,
+}
+
+/// The result of one placement request: the decision plus the resource
+/// and search metrics the paper reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementOutcome {
+    /// The node → host decision.
+    pub placement: Placement,
+    /// Normalized objective value u ∈ [0, 1] (lower is better).
+    pub objective: f64,
+    /// Total bandwidth reserved across all physical links for this
+    /// application (the tables' "Bandwidth" row).
+    pub reserved_bandwidth: Bandwidth,
+    /// Previously idle hosts activated by this placement (the tables'
+    /// "New active hosts" row).
+    pub new_active_hosts: usize,
+    /// Distinct hosts the application occupies.
+    pub hosts_used: usize,
+    /// Wall-clock time the algorithm took.
+    pub elapsed: Duration,
+    /// Search-effort counters.
+    pub stats: SearchStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(i: u32) -> HostId {
+        HostId::from_index(i)
+    }
+
+    #[test]
+    fn lookup_and_iteration() {
+        let p = Placement::new(vec![h(3), h(1), h(3)]);
+        assert_eq!(p.host_of(NodeId::from_index(0)), h(3));
+        assert_eq!(p.assignments().len(), 3);
+        assert_eq!(p.distinct_hosts(), 2);
+        let pairs: Vec<_> = p.iter().collect();
+        assert_eq!(pairs[1], (NodeId::from_index(1), h(1)));
+        assert_eq!(p.nodes_on(h(3)), vec![NodeId::from_index(0), NodeId::from_index(2)]);
+        assert!(p.nodes_on(h(9)).is_empty());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = Placement::new(vec![h(0), h(5)]);
+        let json = serde_json::to_string(&p).unwrap();
+        assert_eq!(serde_json::from_str::<Placement>(&json).unwrap(), p);
+    }
+}

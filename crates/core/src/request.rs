@@ -1,0 +1,143 @@
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::objective::ObjectiveWeights;
+
+/// Which placement algorithm to run.
+///
+/// The five algorithms match the paper's evaluation head-to-head:
+/// the two single-objective greedy baselines, the estimate-based
+/// greedy, and the two A\*-based searches.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Algorithm {
+    /// `EGC` — compute bin-packing baseline: always picks the feasible
+    /// host with the smallest remaining compute capacity, ignoring
+    /// communication links.
+    GreedyCompute,
+    /// `EGBW` — bandwidth-only baseline: places linked nodes as close
+    /// together as possible, preferring hosts with the most available
+    /// bandwidth, ignoring host consolidation.
+    GreedyBandwidth,
+    /// `EG` — the estimate-based greedy search of Algorithm 1, guided
+    /// by the admissible heuristic lower bound over both objectives.
+    Greedy,
+    /// `BA*` — the bounded A\* search of Algorithm 2: explores all
+    /// branches, bounded by repeatedly running EG for an upper bound.
+    BoundedAStar,
+    /// `DBA*` — deadline-bounded A\* (§III-C): BA\* plus progressive
+    /// probabilistic pruning so a decision is produced within the
+    /// deadline.
+    DeadlineBoundedAStar {
+        /// The wall-clock budget T.
+        deadline: Duration,
+    },
+}
+
+impl Algorithm {
+    /// The paper's abbreviation for this algorithm.
+    #[must_use]
+    pub const fn abbreviation(&self) -> &'static str {
+        match self {
+            Algorithm::GreedyCompute => "EGC",
+            Algorithm::GreedyBandwidth => "EGBW",
+            Algorithm::Greedy => "EG",
+            Algorithm::BoundedAStar => "BA*",
+            Algorithm::DeadlineBoundedAStar { .. } => "DBA*",
+        }
+    }
+}
+
+/// All knobs of one placement request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementRequest {
+    /// The algorithm to run. Defaults to [`Algorithm::Greedy`].
+    pub algorithm: Algorithm,
+    /// Objective weights θbw/θc. Defaults to the paper's simulation
+    /// setting (0.6/0.4).
+    pub weights: ObjectiveWeights,
+    /// Seed for DBA\*'s pruning randomness; fixed for reproducibility.
+    pub seed: u64,
+    /// Evaluate candidate hosts on multiple threads (the paper's EG
+    /// "computes the utility in parallel").
+    pub parallel: bool,
+    /// Enable §III-B3's diversity-zone symmetry reduction: nodes that
+    /// share a zone, have identical requirements, and have identical
+    /// link fingerprints are treated as interchangeable.
+    pub zone_symmetry: bool,
+    /// Use the estimate-based heuristic lower bound when scoring
+    /// candidates (§III-A2). Disabling it degrades EG to a myopic
+    /// accumulated-utility greedy — the ablation of the paper's core
+    /// idea.
+    pub use_estimate: bool,
+    /// Safety cap on A\* path expansions (0 = unlimited). BA\* on an
+    /// adversarial instance is exponential; this turns a hang into a
+    /// best-bound answer.
+    pub max_expansions: u64,
+}
+
+impl Default for PlacementRequest {
+    fn default() -> Self {
+        PlacementRequest {
+            algorithm: Algorithm::Greedy,
+            weights: ObjectiveWeights::default(),
+            seed: 0xB0DE,
+            parallel: true,
+            zone_symmetry: true,
+            use_estimate: true,
+            max_expansions: 0,
+        }
+    }
+}
+
+impl PlacementRequest {
+    /// A request running `algorithm` with otherwise default knobs.
+    #[must_use]
+    pub fn with_algorithm(algorithm: Algorithm) -> Self {
+        PlacementRequest { algorithm, ..PlacementRequest::default() }
+    }
+
+    /// Sets the objective weights, builder-style.
+    #[must_use]
+    pub fn weights(mut self, weights: ObjectiveWeights) -> Self {
+        self.weights = weights;
+        self
+    }
+
+    /// Sets the RNG seed, builder-style.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abbreviations_match_paper() {
+        assert_eq!(Algorithm::GreedyCompute.abbreviation(), "EGC");
+        assert_eq!(Algorithm::GreedyBandwidth.abbreviation(), "EGBW");
+        assert_eq!(Algorithm::Greedy.abbreviation(), "EG");
+        assert_eq!(Algorithm::BoundedAStar.abbreviation(), "BA*");
+        assert_eq!(
+            Algorithm::DeadlineBoundedAStar { deadline: Duration::from_millis(500) }
+                .abbreviation(),
+            "DBA*"
+        );
+    }
+
+    #[test]
+    fn builder_style_setters() {
+        let r = PlacementRequest::with_algorithm(Algorithm::BoundedAStar)
+            .weights(ObjectiveWeights::BANDWIDTH_DOMINANT)
+            .seed(7);
+        assert_eq!(r.algorithm, Algorithm::BoundedAStar);
+        assert_eq!(r.weights, ObjectiveWeights::BANDWIDTH_DOMINANT);
+        assert_eq!(r.seed, 7);
+        assert!(r.parallel);
+    }
+}

@@ -1,0 +1,370 @@
+//! The public facade: one [`Scheduler`] per infrastructure, dispatching
+//! placement requests to the five algorithms and applying decisions to
+//! live capacity state.
+
+use std::time::Instant;
+
+use ostro_datacenter::{CapacityState, HostId, Infrastructure};
+use ostro_model::{ApplicationTopology, Bandwidth};
+
+use crate::astar::run_bastar;
+use crate::baselines::{run_egbw, run_egc};
+use crate::deadline::run_dbastar;
+use crate::error::PlacementError;
+use crate::greedy::{pinned_root, run_eg};
+use crate::placement::{Placement, PlacementOutcome, SearchStats};
+use crate::request::{Algorithm, PlacementRequest};
+use crate::search::{Ctx, Path};
+
+/// The Ostro scheduler for one infrastructure.
+///
+/// Stateless apart from the infrastructure reference: capacity state is
+/// passed per call, so one scheduler can serve many what-if scenarios
+/// concurrently.
+///
+/// ```
+/// use ostro_core::{PlacementRequest, Scheduler};
+/// use ostro_datacenter::{CapacityState, InfrastructureBuilder};
+/// use ostro_model::{Bandwidth, Resources, TopologyBuilder};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let infra = InfrastructureBuilder::flat(
+///     "dc", 2, 4,
+///     Resources::new(16, 32_768, 1_000),
+///     Bandwidth::from_gbps(10),
+///     Bandwidth::from_gbps(100),
+/// ).build()?;
+/// let mut b = TopologyBuilder::new("app");
+/// let web = b.vm("web", 2, 2_048)?;
+/// let db = b.vm("db", 4, 8_192)?;
+/// b.link(web, db, Bandwidth::from_mbps(100))?;
+/// let topology = b.build()?;
+///
+/// let scheduler = Scheduler::new(&infra);
+/// let mut state = CapacityState::new(&infra);
+/// let outcome = scheduler.place(&topology, &state, &PlacementRequest::default())?;
+/// scheduler.commit(&topology, &outcome.placement, &mut state)?;
+/// assert_eq!(state.active_host_count(), outcome.hosts_used);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Scheduler<'a> {
+    infra: &'a Infrastructure,
+}
+
+impl<'a> Scheduler<'a> {
+    /// Creates a scheduler over `infra`.
+    #[must_use]
+    pub fn new(infra: &'a Infrastructure) -> Self {
+        Scheduler { infra }
+    }
+
+    /// The infrastructure this scheduler places onto.
+    #[must_use]
+    pub fn infrastructure(&self) -> &'a Infrastructure {
+        self.infra
+    }
+
+    /// Computes a holistic placement for `topology` on top of `state`.
+    ///
+    /// `state` is *not* modified — call [`commit`](Self::commit) to
+    /// apply the returned decision.
+    ///
+    /// # Errors
+    ///
+    /// [`PlacementError::Infeasible`] / [`PlacementError::Exhausted`]
+    /// when no valid placement exists (or none was found within the
+    /// algorithm's bounds), [`PlacementError::InvalidWeights`] or
+    /// [`PlacementError::ZeroDeadline`] on bad parameters.
+    pub fn place(
+        &self,
+        topology: &ApplicationTopology,
+        state: &CapacityState,
+        request: &PlacementRequest,
+    ) -> Result<PlacementOutcome, PlacementError> {
+        self.place_pinned(topology, state, request, &vec![None; topology.node_count()])
+    }
+
+    /// Like [`place`](Self::place), but with some nodes pinned to fixed
+    /// hosts (the online re-placement path, §IV-E).
+    ///
+    /// # Errors
+    ///
+    /// As [`place`](Self::place); additionally infeasible when a pinned
+    /// host cannot accommodate its node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pinned.len() != topology.node_count()`.
+    pub fn place_pinned(
+        &self,
+        topology: &ApplicationTopology,
+        state: &CapacityState,
+        request: &PlacementRequest,
+        pinned: &[Option<HostId>],
+    ) -> Result<PlacementOutcome, PlacementError> {
+        assert_eq!(pinned.len(), topology.node_count(), "one pin slot per node");
+        let started = Instant::now();
+        let ctx = Ctx::new(topology, self.infra, state, request, pinned.to_vec())?;
+        let mut stats = SearchStats::default();
+        let path = match request.algorithm {
+            Algorithm::GreedyCompute => {
+                let root = pinned_root(&ctx)?;
+                run_egc(&ctx, &root, &mut stats)?
+            }
+            Algorithm::GreedyBandwidth => {
+                let root = pinned_root(&ctx)?;
+                run_egbw(&ctx, &root, &mut stats)?
+            }
+            Algorithm::Greedy => {
+                let root = pinned_root(&ctx)?;
+                run_eg(&ctx, &root, &mut stats)?
+            }
+            Algorithm::BoundedAStar => run_bastar(&ctx, &mut stats, request.max_expansions)?,
+            Algorithm::DeadlineBoundedAStar { deadline } => {
+                run_dbastar(&ctx, &mut stats, deadline, request.seed, request.max_expansions)?
+            }
+        };
+        drop(ctx);
+        Ok(Self::outcome(path, stats, started))
+    }
+
+    fn outcome(
+        path: Path<'_>,
+        stats: SearchStats,
+        started: Instant,
+    ) -> PlacementOutcome {
+        let assignments: Vec<HostId> = path
+            .assignment
+            .iter()
+            .map(|h| h.expect("complete path assigns every node"))
+            .collect();
+        let placement = Placement::new(assignments);
+        PlacementOutcome {
+            objective: path.u_star,
+            reserved_bandwidth: Bandwidth::from_mbps(path.ubw_mbps),
+            new_active_hosts: path.new_hosts(),
+            hosts_used: placement.distinct_hosts(),
+            elapsed: started.elapsed(),
+            stats,
+            placement,
+        }
+    }
+
+    /// Applies a placement decision to live capacity state, reserving
+    /// every node's resources and every link's bandwidth.
+    ///
+    /// All-or-nothing: on error the state is left untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`PlacementError::SizeMismatch`] or a wrapped
+    /// [`CapacityError`](ostro_datacenter::CapacityError) if anything
+    /// does not fit.
+    pub fn commit(
+        &self,
+        topology: &ApplicationTopology,
+        placement: &Placement,
+        state: &mut CapacityState,
+    ) -> Result<(), PlacementError> {
+        if placement.assignments().len() != topology.node_count() {
+            return Err(PlacementError::SizeMismatch {
+                expected: topology.node_count(),
+                actual: placement.assignments().len(),
+            });
+        }
+        let mut trial = state.clone();
+        for node in topology.nodes() {
+            trial.reserve_node(placement.host_of(node.id()), node.requirements())?;
+        }
+        for link in topology.links() {
+            let (a, b) = link.endpoints();
+            trial.reserve_flow(
+                self.infra,
+                placement.host_of(a),
+                placement.host_of(b),
+                link.bandwidth(),
+            )?;
+        }
+        *state = trial;
+        Ok(())
+    }
+
+    /// Releases a previously committed placement from live state.
+    ///
+    /// All-or-nothing: on error the state is left untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`PlacementError::SizeMismatch`] or a wrapped
+    /// [`CapacityError`](ostro_datacenter::CapacityError) on any
+    /// release underflow (e.g. the placement was never committed).
+    pub fn release(
+        &self,
+        topology: &ApplicationTopology,
+        placement: &Placement,
+        state: &mut CapacityState,
+    ) -> Result<(), PlacementError> {
+        if placement.assignments().len() != topology.node_count() {
+            return Err(PlacementError::SizeMismatch {
+                expected: topology.node_count(),
+                actual: placement.assignments().len(),
+            });
+        }
+        let mut trial = state.clone();
+        for node in topology.nodes() {
+            trial.release_node(self.infra, placement.host_of(node.id()), node.requirements())?;
+        }
+        for link in topology.links() {
+            let (a, b) = link.endpoints();
+            trial.release_flow(
+                self.infra,
+                placement.host_of(a),
+                placement.host_of(b),
+                link.bandwidth(),
+            )?;
+        }
+        *state = trial;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::ObjectiveWeights;
+    use crate::validate::verify_placement;
+    use ostro_datacenter::InfrastructureBuilder;
+    use ostro_model::{DiversityLevel, Resources, TopologyBuilder};
+    use std::time::Duration;
+
+    fn infra() -> Infrastructure {
+        InfrastructureBuilder::flat(
+            "dc",
+            2,
+            4,
+            Resources::new(8, 16_384, 500),
+            Bandwidth::from_gbps(10),
+            Bandwidth::from_gbps(100),
+        )
+        .build()
+        .unwrap()
+    }
+
+    fn topology() -> ApplicationTopology {
+        let mut b = TopologyBuilder::new("app");
+        let web = b.vm("web", 2, 2_048).unwrap();
+        let db = b.vm("db", 4, 8_192).unwrap();
+        let vol = b.volume("vol", 100).unwrap();
+        b.link(web, db, Bandwidth::from_mbps(100)).unwrap();
+        b.link(db, vol, Bandwidth::from_mbps(200)).unwrap();
+        b.diversity_zone("z", DiversityLevel::Host, &[web, db]).unwrap();
+        b.build().unwrap()
+    }
+
+    fn all_algorithms() -> Vec<Algorithm> {
+        vec![
+            Algorithm::GreedyCompute,
+            Algorithm::GreedyBandwidth,
+            Algorithm::Greedy,
+            Algorithm::BoundedAStar,
+            Algorithm::DeadlineBoundedAStar { deadline: Duration::from_secs(5) },
+        ]
+    }
+
+    #[test]
+    fn every_algorithm_yields_a_valid_placement() {
+        let inf = infra();
+        let topo = topology();
+        let state = CapacityState::new(&inf);
+        let scheduler = Scheduler::new(&inf);
+        for algorithm in all_algorithms() {
+            let request = PlacementRequest { algorithm, ..PlacementRequest::default() };
+            let outcome = scheduler.place(&topo, &state, &request).unwrap();
+            let violations =
+                verify_placement(&topo, &inf, &state, &outcome.placement).unwrap();
+            assert!(violations.is_empty(), "{algorithm:?}: {violations:?}");
+            assert!(outcome.hosts_used >= 2, "diversity zone forces >= 2 hosts");
+        }
+    }
+
+    #[test]
+    fn commit_then_release_restores_state() {
+        let inf = infra();
+        let topo = topology();
+        let mut state = CapacityState::new(&inf);
+        let snapshot = state.clone();
+        let scheduler = Scheduler::new(&inf);
+        let outcome = scheduler.place(&topo, &state, &PlacementRequest::default()).unwrap();
+        scheduler.commit(&topo, &outcome.placement, &mut state).unwrap();
+        assert!(state.active_host_count() > 0);
+        assert_eq!(
+            state.total_reserved_bandwidth(&inf),
+            outcome.reserved_bandwidth
+        );
+        scheduler.release(&topo, &outcome.placement, &mut state).unwrap();
+        assert_eq!(state, snapshot);
+    }
+
+    #[test]
+    fn commit_is_atomic_on_failure() {
+        let inf = infra();
+        let topo = topology();
+        let mut state = CapacityState::new(&inf);
+        let scheduler = Scheduler::new(&inf);
+        // A placement that overloads host 0 on purpose.
+        let bogus = Placement::new(vec![HostId::from_index(0); 3]);
+        // web+db on one host violates nothing capacity-wise... fill it first.
+        state.reserve_node(HostId::from_index(0), Resources::new(7, 16_000, 450)).unwrap();
+        let before = state.clone();
+        assert!(scheduler.commit(&topo, &bogus, &mut state).is_err());
+        assert_eq!(state, before);
+    }
+
+    #[test]
+    fn release_of_uncommitted_placement_fails_atomically() {
+        let inf = infra();
+        let topo = topology();
+        let mut state = CapacityState::new(&inf);
+        let scheduler = Scheduler::new(&inf);
+        let bogus = Placement::new(vec![HostId::from_index(0); 3]);
+        let before = state.clone();
+        assert!(scheduler.release(&topo, &bogus, &mut state).is_err());
+        assert_eq!(state, before);
+    }
+
+    #[test]
+    fn size_mismatch_detected_everywhere() {
+        let inf = infra();
+        let topo = topology();
+        let mut state = CapacityState::new(&inf);
+        let scheduler = Scheduler::new(&inf);
+        let short = Placement::new(vec![HostId::from_index(0)]);
+        assert!(matches!(
+            scheduler.commit(&topo, &short, &mut state),
+            Err(PlacementError::SizeMismatch { .. })
+        ));
+        assert!(matches!(
+            scheduler.release(&topo, &short, &mut state),
+            Err(PlacementError::SizeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn bandwidth_dominant_weights_colocate_linked_nodes() {
+        let inf = infra();
+        let mut b = TopologyBuilder::new("pair");
+        let x = b.vm("x", 2, 2_048).unwrap();
+        let y = b.vm("y", 2, 2_048).unwrap();
+        b.link(x, y, Bandwidth::from_mbps(500)).unwrap();
+        let topo = b.build().unwrap();
+        let state = CapacityState::new(&inf);
+        let scheduler = Scheduler::new(&inf);
+        let request = PlacementRequest::default().weights(ObjectiveWeights::BANDWIDTH_DOMINANT);
+        let outcome = scheduler.place(&topo, &state, &request).unwrap();
+        assert_eq!(outcome.reserved_bandwidth, Bandwidth::ZERO);
+        assert_eq!(outcome.hosts_used, 1);
+        assert!(outcome.elapsed > Duration::ZERO);
+    }
+}

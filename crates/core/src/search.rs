@@ -1,0 +1,560 @@
+//! Shared search state: the per-request context and the partial
+//! placement paths the algorithms branch over.
+
+use ostro_datacenter::{CapacityState, HostId, Infrastructure, OverlayState};
+use ostro_model::{ApplicationTopology, DiversityLevel, NodeId, Resources};
+
+use crate::error::PlacementError;
+use crate::objective::{Normalizers, ObjectiveWeights};
+use crate::request::PlacementRequest;
+
+/// Sentinel meaning "node belongs to no symmetry group".
+pub(crate) const NO_GROUP: u32 = u32::MAX;
+
+/// Minimum hop costs needed to satisfy each diversity level on a given
+/// infrastructure; used by the admissible heuristic.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SeparationCosts {
+    host: u64,
+    rack: u64,
+    pod: u64,
+    site: u64,
+}
+
+/// Hop cost stand-in for a separation the infrastructure cannot provide
+/// at all; large but safe against overflow when multiplied by Mbps.
+pub(crate) const INFEASIBLE_COST: u64 = 1 << 20;
+
+impl SeparationCosts {
+    pub(crate) fn compute(infra: &Infrastructure) -> Self {
+        // Cheapest cross-site flow: NICs + ToRs + per-side pod uplink
+        // (0 if the site has a transparent pod) + site uplinks.
+        let site = if infra.sites().len() >= 2 {
+            let mut side: Vec<u64> = infra
+                .sites()
+                .iter()
+                .map(|s| {
+                    let all_real = s
+                        .pods()
+                        .iter()
+                        .all(|&p| !infra.pod(p).is_transparent());
+                    u64::from(all_real)
+                })
+                .collect();
+            side.sort_unstable();
+            4 + side[0] + side[1] + 2
+        } else {
+            INFEASIBLE_COST
+        };
+        // Cheapest cross-pod flow within one site.
+        let pod = infra
+            .sites()
+            .iter()
+            .filter(|s| s.pods().len() >= 2)
+            .map(|s| {
+                let mut contrib: Vec<u64> = s
+                    .pods()
+                    .iter()
+                    .map(|&p| u64::from(!infra.pod(p).is_transparent()))
+                    .collect();
+                contrib.sort_unstable();
+                4 + contrib[0] + contrib[1]
+            })
+            .min()
+            .unwrap_or(site);
+        let rack = if infra.pods().iter().any(|p| p.racks().len() >= 2) { 4 } else { pod };
+        let host = if infra.racks().iter().any(|r| r.hosts().len() >= 2) { 2 } else { rack };
+        SeparationCosts { host, rack, pod, site }
+    }
+
+    /// The cheapest hop cost of any placement separating two nodes at
+    /// `level` (`None` = no constraint, co-location possible).
+    pub(crate) fn min_cost(&self, level: Option<DiversityLevel>) -> u64 {
+        match level {
+            None => 0,
+            Some(DiversityLevel::Host) => self.host,
+            Some(DiversityLevel::Rack) => self.rack,
+            Some(DiversityLevel::Pod) => self.pod,
+            Some(DiversityLevel::DataCenter) => self.site,
+        }
+    }
+}
+
+/// Everything immutable the search needs, precomputed once per request.
+pub(crate) struct Ctx<'a> {
+    pub topo: &'a ApplicationTopology,
+    pub infra: &'a Infrastructure,
+    pub base: &'a CapacityState,
+    pub weights: ObjectiveWeights,
+    pub norm: Normalizers,
+    /// Node placement order: pinned nodes first, then by descending
+    /// relative weight (Algorithm 1's `Sort(V)`).
+    pub order: Vec<NodeId>,
+    /// Number of leading entries of `order` that are pinned.
+    pub pinned_prefix: usize,
+    /// Per node: the host it is pinned to (online re-placement).
+    pub pinned: Vec<Option<HostId>>,
+    /// Imaginary-host capacity: the max real host capacity (§III-A2).
+    pub max_capacity: Resources,
+    /// Minimum hop costs per diversity level.
+    pub sep_costs: SeparationCosts,
+    /// Symmetry group per node (`NO_GROUP` if none).
+    pub sym_group: Vec<u32>,
+    /// Remaining nodes pre-sorted by descending incident bandwidth,
+    /// for the heuristic's `Sort by bandwidth requirement`.
+    pub bw_order: Vec<NodeId>,
+    pub parallel: bool,
+    /// Whether candidate scoring includes the heuristic lower bound.
+    pub use_estimate: bool,
+    /// Mbps cost of separating two nodes the heuristic put on distinct
+    /// hosts with no diversity constraint between them.
+    pub min_split_cost: u64,
+}
+
+impl<'a> Ctx<'a> {
+    pub(crate) fn new(
+        topo: &'a ApplicationTopology,
+        infra: &'a Infrastructure,
+        base: &'a CapacityState,
+        request: &PlacementRequest,
+        pinned: Vec<Option<HostId>>,
+    ) -> Result<Self, PlacementError> {
+        request.weights.validate()?;
+        debug_assert_eq!(pinned.len(), topo.node_count());
+        let stats = topo.stats();
+        let mut order: Vec<NodeId> = topo.nodes().iter().map(|n| n.id()).collect();
+        // Sort descending by relative weight; stable tie-break on id so
+        // symmetry-group members appear consecutively in id order.
+        order.sort_by(|&a, &b| {
+            let wa = stats.relative_weight(topo, a);
+            let wb = stats.relative_weight(topo, b);
+            wb.partial_cmp(&wa).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+        });
+        // Pinned nodes move to the front, preserving relative order.
+        order.sort_by_key(|&n| pinned[n.index()].is_none());
+        let pinned_prefix = pinned.iter().filter(|p| p.is_some()).count();
+
+        let mut bw_order: Vec<NodeId> = topo.nodes().iter().map(|n| n.id()).collect();
+        bw_order.sort_by(|&a, &b| {
+            topo.incident_bandwidth(b)
+                .cmp(&topo.incident_bandwidth(a))
+                .then(a.cmp(&b))
+        });
+
+        let max_capacity = infra
+            .hosts()
+            .iter()
+            .map(|h| h.capacity())
+            .fold(Resources::ZERO, Resources::max);
+
+        let sym_group = if request.zone_symmetry {
+            symmetry_groups(topo)
+        } else {
+            vec![NO_GROUP; topo.node_count()]
+        };
+
+        let sep_costs = SeparationCosts::compute(infra);
+        Ok(Ctx {
+            topo,
+            infra,
+            base,
+            weights: request.weights,
+            norm: Normalizers::compute(topo, infra, base),
+            order,
+            pinned_prefix,
+            pinned,
+            max_capacity,
+            sep_costs,
+            sym_group,
+            bw_order,
+            parallel: request.parallel,
+            use_estimate: request.use_estimate,
+            min_split_cost: sep_costs.min_cost(Some(DiversityLevel::Host)),
+        })
+    }
+
+    /// Normalized objective of a (possibly partial) usage.
+    pub(crate) fn objective(&self, ubw_mbps: u64, new_hosts: usize) -> f64 {
+        self.norm.objective(self.weights, ubw_mbps, new_hosts)
+    }
+}
+
+/// Groups interchangeable nodes: same requirements, same diversity-zone
+/// membership (non-empty), and identical links to every third node
+/// (§III-B3's assumption, verified rather than assumed).
+fn symmetry_groups(topo: &ApplicationTopology) -> Vec<u32> {
+    let n = topo.node_count();
+    let mut group = vec![NO_GROUP; n];
+    let mut next_group = 0u32;
+    // Representative node of each open group.
+    let mut reps: Vec<NodeId> = Vec::new();
+    for node in topo.nodes() {
+        let id = node.id();
+        if topo.zones_of(id).is_empty() {
+            continue;
+        }
+        let mut found = false;
+        for (gi, &rep) in reps.iter().enumerate() {
+            if interchangeable(topo, rep, id) {
+                group[id.index()] = gi as u32;
+                found = true;
+                break;
+            }
+        }
+        if !found {
+            group[id.index()] = next_group;
+            reps.push(id);
+            next_group += 1;
+        }
+    }
+    // Singleton groups are useless; clear them.
+    let mut counts = vec![0u32; next_group as usize];
+    for &g in &group {
+        if g != NO_GROUP {
+            counts[g as usize] += 1;
+        }
+    }
+    for g in &mut group {
+        if *g != NO_GROUP && counts[*g as usize] < 2 {
+            *g = NO_GROUP;
+        }
+    }
+    group
+}
+
+/// `true` if swapping `a` and `b` leaves the placement problem
+/// unchanged: same kind and size, same zone set, and identical
+/// bandwidth to every other node.
+fn interchangeable(topo: &ApplicationTopology, a: NodeId, b: NodeId) -> bool {
+    if topo.node(a).kind() != topo.node(b).kind() {
+        return false;
+    }
+    let (za, zb) = (topo.zones_of(a), topo.zones_of(b));
+    if za != zb {
+        return false;
+    }
+    let mut na: Vec<(NodeId, _)> = topo
+        .neighbors(a)
+        .iter()
+        .filter(|&&(n, _)| n != b)
+        .copied()
+        .collect();
+    let mut nb: Vec<(NodeId, _)> = topo
+        .neighbors(b)
+        .iter()
+        .filter(|&&(n, _)| n != a)
+        .copied()
+        .collect();
+    na.sort_unstable();
+    nb.sort_unstable();
+    na == nb
+}
+
+/// One partial placement hypothesis: the paper's search path
+/// `(V_p, H*_p, u_p)`.
+#[derive(Clone, Debug)]
+pub(crate) struct Path<'a> {
+    pub overlay: OverlayState<'a>,
+    /// Host per node; `None` while unplaced.
+    pub assignment: Vec<Option<HostId>>,
+    /// How many entries of `ctx.order` are placed (always a prefix).
+    pub placed: usize,
+    /// Accumulated hop-weighted bandwidth of placed-placed edges (Mbps·hops).
+    pub ubw_mbps: u64,
+    /// Normalized accumulated utility u\* of the placed prefix.
+    pub u_star: f64,
+    /// u\* plus the admissible heuristic lower bound.
+    pub u_total: f64,
+    /// Order-independent signature of the assignment set, for the
+    /// closed queue.
+    pub signature: u64,
+    /// Per host: Mbps promised to edges between a resident node and a
+    /// still-unplaced neighbor. The candidate screen reserves this
+    /// headroom so placing more nodes never strands a resident's
+    /// future edges behind a saturated NIC.
+    pub promised_nic: std::collections::HashMap<HostId, u64>,
+}
+
+impl<'a> Path<'a> {
+    /// The empty root path (before pinned nodes are applied).
+    pub(crate) fn empty(ctx: &Ctx<'a>) -> Self {
+        Path {
+            overlay: OverlayState::new(ctx.infra, ctx.base),
+            assignment: vec![None; ctx.topo.node_count()],
+            placed: 0,
+            ubw_mbps: 0,
+            u_star: 0.0,
+            u_total: 0.0,
+            signature: 0,
+            promised_nic: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Mbps of NIC bandwidth promised to residents' future edges.
+    pub(crate) fn promised_nic(&self, host: HostId) -> u64 {
+        self.promised_nic.get(&host).copied().unwrap_or(0)
+    }
+
+    /// The next node this path must place, per the fixed order.
+    pub(crate) fn next_node(&self, ctx: &Ctx<'a>) -> Option<NodeId> {
+        ctx.order.get(self.placed).copied()
+    }
+
+    /// `true` once every node is placed.
+    pub(crate) fn is_complete(&self, ctx: &Ctx<'a>) -> bool {
+        self.placed == ctx.order.len()
+    }
+
+    /// Newly activated hosts under this hypothesis (the uc numerator).
+    pub(crate) fn new_hosts(&self) -> usize {
+        self.overlay.newly_active_hosts()
+    }
+
+    /// Materializes the child path that places `node` on `host`.
+    ///
+    /// Returns `None` if the combined reservations do not fit (the
+    /// per-edge feasibility pre-check is necessary but not sufficient
+    /// when several flows share links).
+    pub(crate) fn place(&self, ctx: &Ctx<'a>, node: NodeId, host: HostId) -> Option<Path<'a>> {
+        debug_assert_eq!(Some(node), self.next_node(ctx));
+        let mut child = self.clone();
+        let req = ctx.topo.node(node).requirements();
+        child.overlay.reserve_node(host, req).ok()?;
+        let mut added = 0u64;
+        let mut future_mbps = 0u64;
+        for &(neighbor, bw) in ctx.topo.neighbors(node) {
+            if let Some(other_host) = child.assignment[neighbor.index()] {
+                child.overlay.reserve_flow(host, other_host, bw).ok()?;
+                added += bw.as_mbps() * ctx.infra.hop_cost(host, other_host);
+                // The promise made when the neighbor was placed is now
+                // either consumed (reserved above) or void (co-located).
+                if let Some(p) = child.promised_nic.get_mut(&other_host) {
+                    *p = p.saturating_sub(bw.as_mbps());
+                    if *p == 0 {
+                        child.promised_nic.remove(&other_host);
+                    }
+                }
+            } else {
+                future_mbps += bw.as_mbps();
+            }
+        }
+        if future_mbps > 0 {
+            *child.promised_nic.entry(host).or_insert(0) += future_mbps;
+        }
+        child.assignment[node.index()] = Some(host);
+        child.placed += 1;
+        child.ubw_mbps += added;
+        child.u_star = ctx.objective(child.ubw_mbps, child.new_hosts());
+        child.signature ^= pair_hash(node, host);
+        Some(child)
+    }
+
+    /// The cost delta and feasibility of placing `node` on `host`,
+    /// *without* materializing the child (used to score candidates).
+    /// Returns the added hop-weighted Mbps, or `None` if an edge fails
+    /// its individual feasibility check.
+    pub(crate) fn probe(&self, ctx: &Ctx<'a>, node: NodeId, host: HostId) -> Option<u64> {
+        let mut added = 0u64;
+        let mut nic_demand = ostro_model::Bandwidth::ZERO;
+        for &(neighbor, bw) in ctx.topo.neighbors(node) {
+            if let Some(other_host) = self.assignment[neighbor.index()] {
+                if !self.overlay.flow_fits(host, other_host, bw) {
+                    return None;
+                }
+                if other_host != host {
+                    nic_demand += bw;
+                }
+                added += bw.as_mbps() * ctx.infra.hop_cost(host, other_host);
+            }
+        }
+        // Every off-host flow shares this host's NIC; the per-edge
+        // checks above cannot see their sum.
+        use ostro_datacenter::LinkRef;
+        if nic_demand > self.overlay.link_available(LinkRef::HostNic(host)) {
+            return None;
+        }
+        Some(added)
+    }
+}
+
+/// Commutative hash of one (node, host) decision; XOR-combined into an
+/// order-independent placement signature.
+pub(crate) fn pair_hash(node: NodeId, host: HostId) -> u64 {
+    let x = ((node.index() as u64) << 32) | host.index() as u64;
+    // splitmix64 finalizer.
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ostro_datacenter::InfrastructureBuilder;
+    use ostro_model::{Bandwidth, TopologyBuilder};
+
+    fn infra_flat(racks: usize, hosts: usize) -> Infrastructure {
+        InfrastructureBuilder::flat(
+            "dc",
+            racks,
+            hosts,
+            Resources::new(16, 32_768, 1_000),
+            Bandwidth::from_gbps(10),
+            Bandwidth::from_gbps(100),
+        )
+        .build()
+        .unwrap()
+    }
+
+    #[test]
+    fn separation_costs_flat_site() {
+        let infra = infra_flat(3, 4);
+        let costs = SeparationCosts::compute(&infra);
+        assert_eq!(costs.min_cost(None), 0);
+        assert_eq!(costs.min_cost(Some(DiversityLevel::Host)), 2);
+        assert_eq!(costs.min_cost(Some(DiversityLevel::Rack)), 4);
+        // Single transparent pod, single site: pod/DC diversity infeasible.
+        assert_eq!(costs.min_cost(Some(DiversityLevel::Pod)), INFEASIBLE_COST);
+        assert_eq!(costs.min_cost(Some(DiversityLevel::DataCenter)), INFEASIBLE_COST);
+    }
+
+    #[test]
+    fn separation_costs_with_pods_and_sites() {
+        let mut b = InfrastructureBuilder::new();
+        let cap = Resources::new(8, 8_192, 100);
+        for s in 0..2 {
+            let site = b.site(format!("s{s}"), Bandwidth::from_gbps(100));
+            for p in 0..2 {
+                let pod = b.pod(site, format!("s{s}p{p}"), Bandwidth::from_gbps(40)).unwrap();
+                let rack = b
+                    .rack_in_pod(pod, format!("s{s}p{p}r"), Bandwidth::from_gbps(100))
+                    .unwrap();
+                b.host(rack, format!("s{s}p{p}h"), cap, Bandwidth::from_gbps(10)).unwrap();
+            }
+        }
+        let infra = b.build().unwrap();
+        let costs = SeparationCosts::compute(&infra);
+        // One host per rack: host diversity needs a rack change... but
+        // racks are one per pod, so it needs a pod change.
+        assert_eq!(costs.min_cost(Some(DiversityLevel::Host)), 6);
+        assert_eq!(costs.min_cost(Some(DiversityLevel::Rack)), 6);
+        assert_eq!(costs.min_cost(Some(DiversityLevel::Pod)), 6);
+        // Cross-site: 4 + 1 + 1 + 2 (all pods real).
+        assert_eq!(costs.min_cost(Some(DiversityLevel::DataCenter)), 8);
+    }
+
+    fn simple_ctx_fixture() -> (ApplicationTopology, Infrastructure) {
+        let mut b = TopologyBuilder::new("t");
+        let big = b.vm("big", 8, 16_384).unwrap();
+        let small = b.vm("small", 1, 1_024).unwrap();
+        let vol = b.volume("vol", 100).unwrap();
+        b.link(big, small, Bandwidth::from_mbps(100)).unwrap();
+        b.link(big, vol, Bandwidth::from_mbps(200)).unwrap();
+        (b.build().unwrap(), infra_flat(2, 2))
+    }
+
+    #[test]
+    fn order_is_heaviest_first() {
+        let (topo, infra) = simple_ctx_fixture();
+        let base = CapacityState::new(&infra);
+        let req = PlacementRequest::default();
+        let ctx = Ctx::new(&topo, &infra, &base, &req, vec![None; 3]).unwrap();
+        assert_eq!(ctx.order[0], topo.node_by_name("big").unwrap().id());
+        assert_eq!(ctx.pinned_prefix, 0);
+        // bw_order: big (300) first, then vol (200), then small (100).
+        assert_eq!(ctx.bw_order[0], topo.node_by_name("big").unwrap().id());
+        assert_eq!(ctx.bw_order[1], topo.node_by_name("vol").unwrap().id());
+    }
+
+    #[test]
+    fn pinned_nodes_lead_the_order() {
+        let (topo, infra) = simple_ctx_fixture();
+        let base = CapacityState::new(&infra);
+        let req = PlacementRequest::default();
+        let small = topo.node_by_name("small").unwrap().id();
+        let mut pinned = vec![None; 3];
+        pinned[small.index()] = Some(HostId::from_index(1));
+        let ctx = Ctx::new(&topo, &infra, &base, &req, pinned).unwrap();
+        assert_eq!(ctx.order[0], small);
+        assert_eq!(ctx.pinned_prefix, 1);
+    }
+
+    #[test]
+    fn place_accumulates_cost_and_signature() {
+        let (topo, infra) = simple_ctx_fixture();
+        let base = CapacityState::new(&infra);
+        let req = PlacementRequest::default();
+        let ctx = Ctx::new(&topo, &infra, &base, &req, vec![None; 3]).unwrap();
+        let root = Path::empty(&ctx);
+        assert_eq!(root.next_node(&ctx), Some(ctx.order[0]));
+
+        let h0 = HostId::from_index(0);
+        let h2 = HostId::from_index(2); // different rack
+        let p1 = root.place(&ctx, ctx.order[0], h0).unwrap();
+        assert_eq!(p1.placed, 1);
+        assert_eq!(p1.ubw_mbps, 0);
+        assert_eq!(p1.new_hosts(), 1);
+
+        let next = p1.next_node(&ctx).unwrap();
+        let probe_same = p1.probe(&ctx, next, h0).unwrap();
+        let probe_far = p1.probe(&ctx, next, h2).unwrap();
+        assert_eq!(probe_same, 0);
+        // next is `vol` (200 Mbps to big) at hop cost 4.
+        assert!(probe_far > 0);
+
+        let p2 = p1.place(&ctx, next, h2).unwrap();
+        assert_eq!(p2.ubw_mbps, probe_far);
+        assert!(p2.u_star > p1.u_star);
+        assert_ne!(p2.signature, p1.signature);
+        assert!(!p2.is_complete(&ctx));
+    }
+
+    #[test]
+    fn place_rejects_overflow() {
+        let (topo, infra) = simple_ctx_fixture();
+        let base = CapacityState::new(&infra);
+        let req = PlacementRequest::default();
+        let ctx = Ctx::new(&topo, &infra, &base, &req, vec![None; 3]).unwrap();
+        let root = Path::empty(&ctx);
+        let h0 = HostId::from_index(0);
+        let p1 = root.place(&ctx, ctx.order[0], h0).unwrap();
+        // big took 8 of 16 vCPUs; second node is the volume (disk
+        // only); third (small) fits. Saturate by placing big again is
+        // impossible; instead verify a too-big reservation fails via
+        // overlay state — emulate by exhausting vCPUs.
+        let mut ov = p1.overlay.clone();
+        ov.reserve_node(h0, Resources::new(8, 16_384, 0)).unwrap();
+        assert!(ov.reserve_node(h0, Resources::new(1, 1, 0)).is_err());
+    }
+
+    #[test]
+    fn signature_is_order_independent() {
+        let a = pair_hash(NodeId::from_index(1), HostId::from_index(2));
+        let b = pair_hash(NodeId::from_index(3), HostId::from_index(4));
+        assert_eq!(a ^ b, b ^ a);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn symmetry_groups_require_identical_links_and_zones() {
+        let mut b = TopologyBuilder::new("t");
+        let hub = b.vm("hub", 2, 2_048).unwrap();
+        let w1 = b.vm("w1", 1, 1_024).unwrap();
+        let w2 = b.vm("w2", 1, 1_024).unwrap();
+        let w3 = b.vm("w3", 2, 2_048).unwrap(); // different size
+        let lone = b.vm("lone", 1, 1_024).unwrap(); // no zone
+        for &w in &[w1, w2, w3] {
+            b.link(hub, w, Bandwidth::from_mbps(50)).unwrap();
+        }
+        b.link(hub, lone, Bandwidth::from_mbps(50)).unwrap();
+        b.diversity_zone("z", DiversityLevel::Host, &[w1, w2, w3]).unwrap();
+        let topo = b.build().unwrap();
+        let groups = symmetry_groups(&topo);
+        assert_eq!(groups[w1.index()], groups[w2.index()]);
+        assert_ne!(groups[w1.index()], NO_GROUP);
+        assert_eq!(groups[w3.index()], NO_GROUP); // size differs -> singleton
+        assert_eq!(groups[lone.index()], NO_GROUP);
+        assert_eq!(groups[hub.index()], NO_GROUP);
+    }
+}

@@ -1,0 +1,236 @@
+//! Independent verification of a finished placement against every
+//! constraint class — used by tests, by the commit path, and as a
+//! safety net for downstream integrations.
+
+use std::fmt;
+
+use ostro_datacenter::{CapacityState, HostId, Infrastructure, OverlayState};
+use ostro_model::{ApplicationTopology, Bandwidth, NodeId, Proximity, ZoneId};
+
+use crate::error::PlacementError;
+use crate::placement::Placement;
+
+/// One constraint violation found by [`verify_placement`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Violation {
+    /// A host ended up over-committed on CPU, memory, or disk.
+    HostCapacity {
+        /// The over-committed host.
+        host: HostId,
+    },
+    /// A link ended up carrying more bandwidth than it has.
+    LinkCapacity {
+        /// The endpoints whose flow overflowed first.
+        nodes: (NodeId, NodeId),
+    },
+    /// Two members of a diversity zone are insufficiently separated.
+    Diversity {
+        /// The violated zone.
+        zone: ZoneId,
+        /// The offending pair.
+        nodes: (NodeId, NodeId),
+    },
+    /// A latency-bounded link's endpoints are too far apart.
+    Proximity {
+        /// The offending pair.
+        nodes: (NodeId, NodeId),
+        /// The bound that was violated.
+        bound: Proximity,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::HostCapacity { host } => write!(f, "host {host} over-committed"),
+            Violation::LinkCapacity { nodes: (a, b) } => {
+                write!(f, "flow {a} <-> {b} overflows a network link")
+            }
+            Violation::Diversity { zone, nodes: (a, b) } => {
+                write!(f, "zone {zone}: {a} and {b} insufficiently separated")
+            }
+            Violation::Proximity { nodes: (a, b), bound } => {
+                write!(f, "{a} and {b} violate their {bound} latency bound")
+            }
+        }
+    }
+}
+
+/// Checks `placement` of `topology` against `state`, reporting every
+/// violation (empty result = fully valid).
+///
+/// # Errors
+///
+/// [`PlacementError::SizeMismatch`] if the placement does not cover the
+/// topology exactly.
+pub fn verify_placement(
+    topology: &ApplicationTopology,
+    infra: &Infrastructure,
+    state: &CapacityState,
+    placement: &Placement,
+) -> Result<Vec<Violation>, PlacementError> {
+    if placement.assignments().len() != topology.node_count() {
+        return Err(PlacementError::SizeMismatch {
+            expected: topology.node_count(),
+            actual: placement.assignments().len(),
+        });
+    }
+    let mut violations = Vec::new();
+    let mut overlay = OverlayState::new(infra, state);
+    for node in topology.nodes() {
+        let host = placement.host_of(node.id());
+        if overlay.reserve_node(host, node.requirements()).is_err() {
+            violations.push(Violation::HostCapacity { host });
+        }
+    }
+    for link in topology.links() {
+        let (a, b) = link.endpoints();
+        let (ha, hb) = (placement.host_of(a), placement.host_of(b));
+        if overlay.reserve_flow(ha, hb, link.bandwidth()).is_err() {
+            violations.push(Violation::LinkCapacity { nodes: (a, b) });
+        }
+    }
+    for link in topology.links() {
+        if let Some(bound) = link.max_proximity() {
+            let (a, b) = link.endpoints();
+            let (ha, hb) = (placement.host_of(a), placement.host_of(b));
+            if !infra.within(ha, hb, bound) {
+                violations.push(Violation::Proximity { nodes: (a, b), bound });
+            }
+        }
+    }
+    for zone in topology.zones() {
+        for (i, &a) in zone.members().iter().enumerate() {
+            for &b in &zone.members()[i + 1..] {
+                let (ha, hb) = (placement.host_of(a), placement.host_of(b));
+                if !infra.satisfies_diversity(ha, hb, zone.level()) {
+                    violations.push(Violation::Diversity { zone: zone.id(), nodes: (a, b) });
+                }
+            }
+        }
+    }
+    Ok(violations)
+}
+
+/// The total hop-weighted bandwidth `placement` reserves — the ubw the
+/// paper's tables report, recomputed from first principles.
+#[must_use]
+pub fn reserved_bandwidth(
+    topology: &ApplicationTopology,
+    infra: &Infrastructure,
+    placement: &Placement,
+) -> Bandwidth {
+    let mbps = topology
+        .links()
+        .iter()
+        .map(|l| {
+            let (a, b) = l.endpoints();
+            l.bandwidth().as_mbps() * infra.hop_cost(placement.host_of(a), placement.host_of(b))
+        })
+        .sum();
+    Bandwidth::from_mbps(mbps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ostro_datacenter::InfrastructureBuilder;
+    use ostro_model::{DiversityLevel, Resources, TopologyBuilder};
+
+    fn fixtures() -> (ApplicationTopology, Infrastructure, CapacityState) {
+        let mut b = TopologyBuilder::new("t");
+        let a = b.vm("a", 2, 2_048).unwrap();
+        let c = b.vm("c", 2, 2_048).unwrap();
+        b.link(a, c, Bandwidth::from_mbps(100)).unwrap();
+        b.diversity_zone("z", DiversityLevel::Rack, &[a, c]).unwrap();
+        let topo = b.build().unwrap();
+        let infra = InfrastructureBuilder::flat(
+            "dc",
+            2,
+            2,
+            Resources::new(4, 8_192, 100),
+            Bandwidth::from_gbps(1),
+            Bandwidth::from_gbps(10),
+        )
+        .build()
+        .unwrap();
+        let state = CapacityState::new(&infra);
+        (topo, infra, state)
+    }
+
+    fn h(i: u32) -> HostId {
+        HostId::from_index(i)
+    }
+
+    #[test]
+    fn valid_placement_passes() {
+        let (topo, infra, state) = fixtures();
+        let p = Placement::new(vec![h(0), h(2)]); // different racks
+        assert!(verify_placement(&topo, &infra, &state, &p).unwrap().is_empty());
+        assert_eq!(
+            reserved_bandwidth(&topo, &infra, &p),
+            Bandwidth::from_mbps(400) // 100 Mbps across 4 links
+        );
+    }
+
+    #[test]
+    fn detects_diversity_violation() {
+        let (topo, infra, state) = fixtures();
+        let p = Placement::new(vec![h(0), h(1)]); // same rack, zone wants racks
+        let v = verify_placement(&topo, &infra, &state, &p).unwrap();
+        assert_eq!(v.len(), 1);
+        assert!(matches!(v[0], Violation::Diversity { .. }));
+        assert!(v[0].to_string().contains("insufficiently separated"));
+    }
+
+    #[test]
+    fn detects_host_overcommit() {
+        let (topo, infra, mut state) = fixtures();
+        state.reserve_node(h(0), Resources::new(3, 8_000, 0)).unwrap();
+        let p = Placement::new(vec![h(0), h(2)]);
+        let v = verify_placement(&topo, &infra, &state, &p).unwrap();
+        assert!(matches!(v[0], Violation::HostCapacity { host } if host == h(0)));
+    }
+
+    #[test]
+    fn detects_link_overflow() {
+        let (topo, infra, mut state) = fixtures();
+        // Saturate h0's NIC.
+        state.reserve_flow(&infra, h(0), h(1), Bandwidth::from_mbps(950)).unwrap();
+        let p = Placement::new(vec![h(0), h(2)]);
+        let v = verify_placement(&topo, &infra, &state, &p).unwrap();
+        assert!(v.iter().any(|x| matches!(x, Violation::LinkCapacity { .. })));
+    }
+
+    #[test]
+    fn size_mismatch_is_an_error() {
+        let (topo, infra, state) = fixtures();
+        let p = Placement::new(vec![h(0)]);
+        assert!(matches!(
+            verify_placement(&topo, &infra, &state, &p),
+            Err(PlacementError::SizeMismatch { expected: 2, actual: 1 })
+        ));
+    }
+
+    #[test]
+    fn colocated_reserved_bandwidth_is_zero() {
+        let mut b = TopologyBuilder::new("t");
+        let a = b.vm("a", 1, 1_024).unwrap();
+        let c = b.vm("c", 1, 1_024).unwrap();
+        b.link(a, c, Bandwidth::from_mbps(100)).unwrap();
+        let topo = b.build().unwrap();
+        let infra = InfrastructureBuilder::flat(
+            "dc",
+            1,
+            1,
+            Resources::new(4, 8_192, 100),
+            Bandwidth::from_gbps(1),
+            Bandwidth::from_gbps(10),
+        )
+        .build()
+        .unwrap();
+        let p = Placement::new(vec![h(0), h(0)]);
+        assert_eq!(reserved_bandwidth(&topo, &infra, &p), Bandwidth::ZERO);
+    }
+}

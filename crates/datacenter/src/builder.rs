@@ -1,0 +1,326 @@
+use std::collections::HashSet;
+
+use ostro_model::{Bandwidth, Resources};
+
+use crate::error::BuildError;
+use crate::ids::{HostId, PodId, RackId, SiteId};
+use crate::structure::{Host, Infrastructure, Pod, Rack, Site};
+
+/// Incremental constructor for [`Infrastructure`].
+///
+/// Supports both a full host → rack → pod → root hierarchy and flat
+/// sites where racks hang directly off the root switch (the paper's
+/// simulated data center); in the latter case racks are grouped under a
+/// per-site *transparent* pod that carries no capacity and no hops.
+///
+/// ```
+/// use ostro_datacenter::InfrastructureBuilder;
+/// use ostro_model::{Bandwidth, Resources};
+///
+/// # fn main() -> Result<(), ostro_datacenter::BuildError> {
+/// let mut b = InfrastructureBuilder::new();
+/// let site = b.site("east", Bandwidth::from_gbps(400));
+/// let rack = b.rack(site, "r0", Bandwidth::from_gbps(100))?;
+/// b.host(rack, "h0", Resources::new(16, 32_768, 1_000), Bandwidth::from_gbps(10))?;
+/// let infra = b.build()?;
+/// assert_eq!(infra.host_count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct InfrastructureBuilder {
+    sites: Vec<Site>,
+    pods: Vec<Pod>,
+    racks: Vec<Rack>,
+    hosts: Vec<Host>,
+    transparent_pod: Vec<Option<PodId>>, // per site
+    names: HashSet<String>,
+}
+
+impl InfrastructureBuilder {
+    /// Starts an empty infrastructure.
+    #[must_use]
+    pub fn new() -> Self {
+        InfrastructureBuilder::default()
+    }
+
+    /// Convenience constructor for the common single-site flat layout:
+    /// `racks` racks of `hosts_per_rack` identical hosts, no pod layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if names collide, which cannot happen for the generated
+    /// names.
+    #[must_use]
+    pub fn flat(
+        site_name: &str,
+        racks: usize,
+        hosts_per_rack: usize,
+        host_capacity: Resources,
+        nic: Bandwidth,
+        tor_uplink: Bandwidth,
+    ) -> Self {
+        let mut b = InfrastructureBuilder::new();
+        let site = b.site(site_name, Bandwidth::ZERO);
+        for r in 0..racks {
+            let rack = b
+                .rack(site, format!("{site_name}-r{r}"), tor_uplink)
+                .expect("generated rack names are unique");
+            for h in 0..hosts_per_rack {
+                b.host(rack, format!("{site_name}-r{r}-h{h}"), host_capacity, nic)
+                    .expect("generated host names are unique");
+            }
+        }
+        b
+    }
+
+    fn claim_name(&mut self, name: &str) -> Result<(), BuildError> {
+        if !self.names.insert(name.to_owned()) {
+            return Err(BuildError::DuplicateName(name.to_owned()));
+        }
+        Ok(())
+    }
+
+    /// Adds a data-center site with the given backbone uplink capacity.
+    /// The uplink only matters when more than one site exists.
+    pub fn site(&mut self, name: impl Into<String>, uplink: Bandwidth) -> SiteId {
+        let name = name.into();
+        let id = SiteId(self.sites.len() as u32);
+        // Site names share the global namespace but a duplicate is
+        // caught at build() to keep this constructor infallible.
+        self.sites.push(Site { id, name, uplink, pods: Vec::new() });
+        self.transparent_pod.push(None);
+        id
+    }
+
+    /// Adds a pod (pod switch) to a site.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::DuplicateName`] on a name collision.
+    pub fn pod(
+        &mut self,
+        site: SiteId,
+        name: impl Into<String>,
+        uplink: Bandwidth,
+    ) -> Result<PodId, BuildError> {
+        let name = name.into();
+        self.claim_name(&name)?;
+        let id = PodId(self.pods.len() as u32);
+        self.pods.push(Pod { id, name, site, uplink, transparent: false, racks: Vec::new() });
+        self.sites[site.index()].pods.push(id);
+        Ok(id)
+    }
+
+    /// Adds a rack directly under a site's root switch (no pod switch);
+    /// the rack joins the site's transparent pod.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::DuplicateName`] on a name collision.
+    pub fn rack(
+        &mut self,
+        site: SiteId,
+        name: impl Into<String>,
+        uplink: Bandwidth,
+    ) -> Result<RackId, BuildError> {
+        let pod = match self.transparent_pod[site.index()] {
+            Some(p) => p,
+            None => {
+                let id = PodId(self.pods.len() as u32);
+                self.pods.push(Pod {
+                    id,
+                    name: format!("{}-root", self.sites[site.index()].name),
+                    site,
+                    uplink: Bandwidth::ZERO,
+                    transparent: true,
+                    racks: Vec::new(),
+                });
+                self.sites[site.index()].pods.push(id);
+                self.transparent_pod[site.index()] = Some(id);
+                id
+            }
+        };
+        self.rack_in_pod(pod, name, uplink)
+    }
+
+    /// Adds a rack under an explicit pod.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::DuplicateName`] on a name collision.
+    pub fn rack_in_pod(
+        &mut self,
+        pod: PodId,
+        name: impl Into<String>,
+        uplink: Bandwidth,
+    ) -> Result<RackId, BuildError> {
+        let name = name.into();
+        self.claim_name(&name)?;
+        let id = RackId(self.racks.len() as u32);
+        self.racks.push(Rack { id, name, pod, uplink, hosts: Vec::new() });
+        self.pods[pod.index()].racks.push(id);
+        Ok(id)
+    }
+
+    /// Adds a host to a rack.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::DuplicateName`], [`BuildError::ZeroCapacityHost`],
+    /// or [`BuildError::ZeroNic`].
+    pub fn host(
+        &mut self,
+        rack: RackId,
+        name: impl Into<String>,
+        capacity: Resources,
+        nic: Bandwidth,
+    ) -> Result<HostId, BuildError> {
+        let name = name.into();
+        if capacity.is_zero() {
+            return Err(BuildError::ZeroCapacityHost(name));
+        }
+        if nic.is_zero() {
+            return Err(BuildError::ZeroNic(name));
+        }
+        self.claim_name(&name)?;
+        let id = HostId(self.hosts.len() as u32);
+        self.hosts.push(Host { id, name, rack, capacity, nic });
+        self.racks[rack.index()].hosts.push(id);
+        Ok(id)
+    }
+
+    /// Finalizes the infrastructure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::NoHosts`], [`BuildError::EmptySite`],
+    /// [`BuildError::EmptyRack`], or [`BuildError::DuplicateName`] (for
+    /// site names, which are checked here).
+    pub fn build(self) -> Result<Infrastructure, BuildError> {
+        if self.hosts.is_empty() {
+            return Err(BuildError::NoHosts);
+        }
+        let mut site_names = HashSet::new();
+        for site in &self.sites {
+            if !site_names.insert(site.name.clone()) {
+                return Err(BuildError::DuplicateName(site.name.clone()));
+            }
+            if site.pods.is_empty() {
+                return Err(BuildError::EmptySite(site.name.clone()));
+            }
+        }
+        for rack in &self.racks {
+            if rack.hosts.is_empty() {
+                return Err(BuildError::EmptyRack(rack.name.clone()));
+            }
+        }
+        Ok(Infrastructure {
+            sites: self.sites,
+            pods: self.pods,
+            racks: self.racks,
+            hosts: self.hosts,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cap() -> Resources {
+        Resources::new(8, 16_384, 500)
+    }
+
+    #[test]
+    fn flat_layout_generates_transparent_pod() {
+        let infra = InfrastructureBuilder::flat(
+            "dc",
+            3,
+            4,
+            cap(),
+            Bandwidth::from_gbps(10),
+            Bandwidth::from_gbps(100),
+        )
+        .build()
+        .unwrap();
+        assert_eq!(infra.host_count(), 12);
+        assert_eq!(infra.racks().len(), 3);
+        assert_eq!(infra.pods().len(), 1);
+        assert!(infra.pods()[0].is_transparent());
+        assert_eq!(infra.sites().len(), 1);
+        assert_eq!(infra.max_hop_cost(), 4);
+    }
+
+    #[test]
+    fn rejects_empty_structures() {
+        assert_eq!(InfrastructureBuilder::new().build().unwrap_err(), BuildError::NoHosts);
+
+        let mut b = InfrastructureBuilder::new();
+        let s = b.site("s", Bandwidth::ZERO);
+        let _r = b.rack(s, "r", Bandwidth::from_gbps(1)).unwrap();
+        // Rack without hosts is rejected even though a host exists elsewhere.
+        let r2 = b.rack(s, "r2", Bandwidth::from_gbps(1)).unwrap();
+        b.host(r2, "h", cap(), Bandwidth::from_gbps(1)).unwrap();
+        assert_eq!(b.build().unwrap_err(), BuildError::EmptyRack("r".into()));
+    }
+
+    #[test]
+    fn rejects_empty_site() {
+        let mut b = InfrastructureBuilder::new();
+        let s = b.site("good", Bandwidth::ZERO);
+        let r = b.rack(s, "r", Bandwidth::from_gbps(1)).unwrap();
+        b.host(r, "h", cap(), Bandwidth::from_gbps(1)).unwrap();
+        b.site("empty", Bandwidth::ZERO);
+        assert_eq!(b.build().unwrap_err(), BuildError::EmptySite("empty".into()));
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let mut b = InfrastructureBuilder::new();
+        let s = b.site("s", Bandwidth::ZERO);
+        let r = b.rack(s, "x", Bandwidth::from_gbps(1)).unwrap();
+        assert_eq!(
+            b.host(r, "x", cap(), Bandwidth::from_gbps(1)).unwrap_err(),
+            BuildError::DuplicateName("x".into())
+        );
+        let mut b2 = InfrastructureBuilder::new();
+        let s1 = b2.site("dup", Bandwidth::ZERO);
+        b2.site("dup", Bandwidth::ZERO);
+        let r = b2.rack(s1, "r", Bandwidth::from_gbps(1)).unwrap();
+        b2.host(r, "h", cap(), Bandwidth::from_gbps(1)).unwrap();
+        assert_eq!(b2.build().unwrap_err(), BuildError::DuplicateName("dup".into()));
+    }
+
+    #[test]
+    fn rejects_degenerate_hosts() {
+        let mut b = InfrastructureBuilder::new();
+        let s = b.site("s", Bandwidth::ZERO);
+        let r = b.rack(s, "r", Bandwidth::from_gbps(1)).unwrap();
+        assert_eq!(
+            b.host(r, "h", Resources::ZERO, Bandwidth::from_gbps(1)).unwrap_err(),
+            BuildError::ZeroCapacityHost("h".into())
+        );
+        assert_eq!(
+            b.host(r, "h", cap(), Bandwidth::ZERO).unwrap_err(),
+            BuildError::ZeroNic("h".into())
+        );
+    }
+
+    #[test]
+    fn mixed_flat_and_podded_racks_in_one_site() {
+        let mut b = InfrastructureBuilder::new();
+        let s = b.site("s", Bandwidth::ZERO);
+        let pod = b.pod(s, "p0", Bandwidth::from_gbps(40)).unwrap();
+        let r0 = b.rack_in_pod(pod, "r0", Bandwidth::from_gbps(100)).unwrap();
+        let r1 = b.rack(s, "r1", Bandwidth::from_gbps(100)).unwrap();
+        b.host(r0, "h0", cap(), Bandwidth::from_gbps(10)).unwrap();
+        b.host(r1, "h1", cap(), Bandwidth::from_gbps(10)).unwrap();
+        let infra = b.build().unwrap();
+        assert_eq!(infra.pods().len(), 2);
+        assert_eq!(infra.pods().iter().filter(|p| p.is_transparent()).count(), 1);
+        // Cross-pod path includes only the non-transparent pod's uplink.
+        let route = infra.route(HostId::from_index(0), HostId::from_index(1));
+        assert_eq!(route.len(), 5);
+    }
+}

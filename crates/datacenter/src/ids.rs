@@ -1,0 +1,74 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// Creates an id from a raw dense index.
+            ///
+            /// Ordinarily ids come from
+            /// [`InfrastructureBuilder`](crate::InfrastructureBuilder);
+            /// this is for deserialization and tests.
+            #[must_use]
+            pub const fn from_index(index: u32) -> Self {
+                $name(index)
+            }
+
+            /// The dense index of this id.
+            #[must_use]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type! {
+    /// Identifier of a host server within one [`Infrastructure`](crate::Infrastructure).
+    HostId, "h"
+}
+id_type! {
+    /// Identifier of a rack (equivalently, its ToR switch).
+    RackId, "rack"
+}
+id_type! {
+    /// Identifier of a pod (equivalently, its pod switch).
+    PodId, "pod"
+}
+id_type! {
+    /// Identifier of a data-center site.
+    SiteId, "site"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_and_display() {
+        assert_eq!(HostId::from_index(3).index(), 3);
+        assert_eq!(HostId::from_index(3).to_string(), "h3");
+        assert_eq!(RackId::from_index(1).to_string(), "rack1");
+        assert_eq!(PodId::from_index(0).to_string(), "pod0");
+        assert_eq!(SiteId::from_index(2).to_string(), "site2");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(HostId::from_index(1) < HostId::from_index(2));
+    }
+}

@@ -1,0 +1,359 @@
+use std::collections::HashMap;
+
+use ostro_model::{Bandwidth, Resources};
+
+use crate::error::CapacityError;
+use crate::ids::HostId;
+use crate::path::LinkRef;
+use crate::state::{link_total, CapacityState};
+use crate::structure::Infrastructure;
+
+/// A cheap copy-on-write view over a [`CapacityState`].
+///
+/// Search algorithms branch thousands of placement hypotheses; cloning
+/// the full availability vectors for each would dominate runtime. An
+/// overlay records only the *additional* usage of one hypothesis in
+/// small hash maps, so cloning costs O(nodes placed so far), not
+/// O(hosts in the data center).
+///
+/// Overlays are additive-only (a hypothesis never un-places a node);
+/// releases happen on the underlying [`CapacityState`] after a decision
+/// is committed.
+///
+/// ```
+/// use ostro_datacenter::{CapacityState, InfrastructureBuilder, OverlayState};
+/// use ostro_model::{Bandwidth, Resources};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let infra = InfrastructureBuilder::flat(
+///     "dc", 1, 2, Resources::new(8, 8_192, 100),
+///     Bandwidth::from_gbps(10), Bandwidth::from_gbps(100),
+/// ).build()?;
+/// let base = CapacityState::new(&infra);
+/// let h0 = infra.hosts()[0].id();
+///
+/// let mut hypothesis = OverlayState::new(&infra, &base);
+/// hypothesis.reserve_node(h0, Resources::new(2, 2_048, 0))?;
+/// assert_eq!(hypothesis.available(h0).vcpus, 6);
+/// assert_eq!(base.available(h0).vcpus, 8); // base untouched
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct OverlayState<'a> {
+    infra: &'a Infrastructure,
+    base: &'a CapacityState,
+    used_host: HashMap<HostId, Resources>,
+    used_link: HashMap<LinkRef, Bandwidth>,
+    added_nodes: HashMap<HostId, u32>,
+}
+
+impl<'a> OverlayState<'a> {
+    /// An overlay that initially mirrors `base` exactly.
+    #[must_use]
+    pub fn new(infra: &'a Infrastructure, base: &'a CapacityState) -> Self {
+        OverlayState {
+            infra,
+            base,
+            used_host: HashMap::new(),
+            used_link: HashMap::new(),
+            added_nodes: HashMap::new(),
+        }
+    }
+
+    /// The infrastructure this overlay is defined over.
+    #[must_use]
+    pub fn infrastructure(&self) -> &'a Infrastructure {
+        self.infra
+    }
+
+    /// The base state this overlay extends.
+    #[must_use]
+    pub fn base(&self) -> &'a CapacityState {
+        self.base
+    }
+
+    /// Remaining host-local capacity under this hypothesis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `host` is out of range.
+    #[must_use]
+    pub fn available(&self, host: HostId) -> Resources {
+        let base = self.base.available(host);
+        match self.used_host.get(&host) {
+            Some(&extra) => base.saturating_sub(extra),
+            None => base,
+        }
+    }
+
+    /// Remaining bandwidth on a link under this hypothesis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link's id is out of range.
+    #[must_use]
+    pub fn link_available(&self, link: LinkRef) -> Bandwidth {
+        let base = self.base.link_available(link);
+        match self.used_link.get(&link) {
+            Some(&extra) => base.saturating_sub(extra),
+            None => base,
+        }
+    }
+
+    /// `true` if the host runs any node, in the base state or in this
+    /// hypothesis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `host` is out of range.
+    #[must_use]
+    pub fn is_active(&self, host: HostId) -> bool {
+        self.base.is_active(host) || self.added_nodes.contains_key(&host)
+    }
+
+    /// Number of nodes this hypothesis itself placed on `host`.
+    #[must_use]
+    pub fn added_node_count(&self, host: HostId) -> u32 {
+        self.added_nodes.get(&host).copied().unwrap_or(0)
+    }
+
+    /// Hosts that were idle in the base state but are used by this
+    /// hypothesis — the objective's `uc` numerator.
+    #[must_use]
+    pub fn newly_active_hosts(&self) -> usize {
+        self.added_nodes.keys().filter(|&&h| !self.base.is_active(h)).count()
+    }
+
+    /// Total additional bandwidth this hypothesis reserved across all
+    /// links — its contribution to `ubw`.
+    #[must_use]
+    pub fn added_reserved_bandwidth(&self) -> Bandwidth {
+        self.used_link.values().copied().sum()
+    }
+
+    /// Reserves host-local resources for one node under this hypothesis.
+    ///
+    /// # Errors
+    ///
+    /// [`CapacityError::InsufficientHost`] if the node does not fit on
+    /// top of base usage plus this overlay's usage; the overlay is
+    /// unchanged on error.
+    pub fn reserve_node(&mut self, host: HostId, req: Resources) -> Result<(), CapacityError> {
+        let available = self.available(host);
+        if !req.fits_within(&available) {
+            return Err(CapacityError::InsufficientHost { host, needed: req, available });
+        }
+        *self.used_host.entry(host).or_insert(Resources::ZERO) += req;
+        *self.added_nodes.entry(host).or_insert(0) += 1;
+        Ok(())
+    }
+
+    /// Bandwidth remaining along the route between `a` and `b`, or
+    /// `None` when `a == b`.
+    #[must_use]
+    pub fn route_headroom(&self, a: HostId, b: HostId) -> Option<Bandwidth> {
+        if a == b {
+            return None;
+        }
+        let mut route = Vec::with_capacity(8);
+        self.infra.route_into(a, b, &mut route);
+        route.into_iter().map(|l| self.link_available(l)).min()
+    }
+
+    /// `true` if a flow of `demand` fits on every link between `a` and `b`.
+    #[must_use]
+    pub fn flow_fits(&self, a: HostId, b: HostId, demand: Bandwidth) -> bool {
+        match self.route_headroom(a, b) {
+            None => true,
+            Some(headroom) => demand <= headroom,
+        }
+    }
+
+    /// Reserves `demand` on every link between `a` and `b` under this
+    /// hypothesis.
+    ///
+    /// # Errors
+    ///
+    /// [`CapacityError::InsufficientLink`] naming the first saturated
+    /// link; the overlay is unchanged on error.
+    pub fn reserve_flow(
+        &mut self,
+        a: HostId,
+        b: HostId,
+        demand: Bandwidth,
+    ) -> Result<(), CapacityError> {
+        let mut route = Vec::with_capacity(8);
+        self.infra.route_into(a, b, &mut route);
+        for &link in &route {
+            let available = self.link_available(link);
+            if demand > available {
+                return Err(CapacityError::InsufficientLink { link, needed: demand, available });
+            }
+        }
+        for &link in &route {
+            *self.used_link.entry(link).or_insert(Bandwidth::ZERO) += demand;
+        }
+        Ok(())
+    }
+
+    /// Commits this hypothesis into a real capacity state, which must be
+    /// equal to the overlay's base (same usage).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first reservation failure; `target` may then hold
+    /// a partial commit, so callers should treat an error as fatal for
+    /// that state (in practice this cannot fail when `target` equals
+    /// the overlay's base, because every reservation was validated).
+    pub fn commit(&self, target: &mut CapacityState) -> Result<(), CapacityError> {
+        for (&host, &used) in &self.used_host {
+            let avail = target.available(host);
+            if !used.fits_within(&avail) {
+                return Err(CapacityError::InsufficientHost {
+                    host,
+                    needed: used,
+                    available: avail,
+                });
+            }
+        }
+        for (&link, &used) in &self.used_link {
+            let available = target.link_available(link);
+            if used > available {
+                return Err(CapacityError::InsufficientLink { link, needed: used, available });
+            }
+        }
+        for (&host, &used) in &self.used_host {
+            let count = self.added_nodes.get(&host).copied().unwrap_or(0);
+            target.reserve_node(host, used)?;
+            if count > 1 {
+                target.bump_node_count(host, count - 1);
+            }
+        }
+        for (&link, &used) in &self.used_link {
+            debug_assert!(target.link_available(link) <= link_total(self.infra, link));
+            target.debit_link_unchecked(link, used);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::InfrastructureBuilder;
+    use crate::ids::RackId;
+
+    fn setup() -> (Infrastructure, CapacityState) {
+        let infra = InfrastructureBuilder::flat(
+            "dc",
+            2,
+            2,
+            Resources::new(8, 16_384, 500),
+            Bandwidth::from_gbps(10),
+            Bandwidth::from_gbps(100),
+        )
+        .build()
+        .unwrap();
+        let state = CapacityState::new(&infra);
+        (infra, state)
+    }
+
+    fn h(i: u32) -> HostId {
+        HostId::from_index(i)
+    }
+
+    #[test]
+    fn overlay_shadows_base_without_mutating_it() {
+        let (infra, base) = setup();
+        let mut ov = OverlayState::new(&infra, &base);
+        ov.reserve_node(h(0), Resources::new(4, 4_096, 0)).unwrap();
+        assert_eq!(ov.available(h(0)).vcpus, 4);
+        assert_eq!(base.available(h(0)).vcpus, 8);
+        assert!(ov.is_active(h(0)));
+        assert!(!base.is_active(h(0)));
+        assert_eq!(ov.newly_active_hosts(), 1);
+    }
+
+    #[test]
+    fn overlay_sees_base_usage() {
+        let (infra, mut base) = setup();
+        base.reserve_node(h(1), Resources::new(6, 1, 1)).unwrap();
+        let mut ov = OverlayState::new(&infra, &base);
+        assert!(ov.is_active(h(1)));
+        assert_eq!(ov.newly_active_hosts(), 0);
+        let err = ov.reserve_node(h(1), Resources::new(3, 1, 1)).unwrap_err();
+        assert!(matches!(err, CapacityError::InsufficientHost { .. }));
+        ov.reserve_node(h(1), Resources::new(2, 1, 1)).unwrap();
+        assert_eq!(ov.newly_active_hosts(), 0);
+        assert_eq!(ov.added_node_count(h(1)), 1);
+    }
+
+    #[test]
+    fn overlay_flow_accounting() {
+        let (infra, base) = setup();
+        let mut ov = OverlayState::new(&infra, &base);
+        let bw = Bandwidth::from_gbps(2);
+        ov.reserve_flow(h(0), h(2), bw).unwrap();
+        // 2 NICs + 2 ToR uplinks.
+        assert_eq!(ov.added_reserved_bandwidth(), Bandwidth::from_gbps(8));
+        assert_eq!(ov.link_available(LinkRef::HostNic(h(0))), Bandwidth::from_gbps(8));
+        assert_eq!(
+            ov.link_available(LinkRef::TorUplink(RackId::from_index(0))),
+            Bandwidth::from_gbps(98)
+        );
+        assert!(ov.flow_fits(h(0), h(2), Bandwidth::from_gbps(8)));
+        assert!(!ov.flow_fits(h(0), h(2), Bandwidth::from_gbps(9)));
+        assert_eq!(ov.route_headroom(h(0), h(1)), Some(Bandwidth::from_gbps(8)));
+    }
+
+    #[test]
+    fn overlay_flow_rejection_is_atomic() {
+        let (infra, base) = setup();
+        let mut ov = OverlayState::new(&infra, &base);
+        ov.reserve_flow(h(0), h(1), Bandwidth::from_gbps(10)).unwrap();
+        let snapshot = ov.added_reserved_bandwidth();
+        assert!(ov.reserve_flow(h(0), h(2), Bandwidth::from_mbps(1)).is_err());
+        assert_eq!(ov.added_reserved_bandwidth(), snapshot);
+    }
+
+    #[test]
+    fn clone_branches_independently() {
+        let (infra, base) = setup();
+        let mut a = OverlayState::new(&infra, &base);
+        a.reserve_node(h(0), Resources::new(2, 2_048, 0)).unwrap();
+        let mut b = a.clone();
+        b.reserve_node(h(0), Resources::new(2, 2_048, 0)).unwrap();
+        assert_eq!(a.available(h(0)).vcpus, 6);
+        assert_eq!(b.available(h(0)).vcpus, 4);
+    }
+
+    #[test]
+    fn commit_transfers_usage_to_real_state() {
+        let (infra, mut base) = setup();
+        let committed = {
+            let snapshot = base.clone();
+            let mut ov = OverlayState::new(&infra, &snapshot);
+            ov.reserve_node(h(0), Resources::new(4, 4_096, 100)).unwrap();
+            ov.reserve_node(h(0), Resources::new(1, 1_024, 0)).unwrap();
+            ov.reserve_node(h(2), Resources::new(2, 2_048, 0)).unwrap();
+            ov.reserve_flow(h(0), h(2), Bandwidth::from_gbps(1)).unwrap();
+            let mut target = snapshot.clone();
+            ov.commit(&mut target).unwrap();
+            target
+        };
+        base = committed;
+        assert_eq!(base.available(h(0)), Resources::new(3, 11_264, 400));
+        assert_eq!(base.node_count(h(0)), 2);
+        assert_eq!(base.node_count(h(2)), 1);
+        assert_eq!(base.total_reserved_bandwidth(&infra), Bandwidth::from_gbps(4));
+    }
+
+    #[test]
+    fn same_host_flow_is_free_in_overlay() {
+        let (infra, base) = setup();
+        let mut ov = OverlayState::new(&infra, &base);
+        ov.reserve_flow(h(0), h(0), Bandwidth::from_gbps(1_000)).unwrap();
+        assert_eq!(ov.added_reserved_bandwidth(), Bandwidth::ZERO);
+    }
+}

@@ -1,0 +1,89 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{HostId, PodId, RackId, SiteId};
+
+/// How far apart two hosts sit in the physical hierarchy.
+///
+/// Ordered from closest to farthest; useful for comparisons like
+/// "at least rack-separated".
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Separation {
+    /// The very same host.
+    SameHost,
+    /// Different hosts behind one ToR switch.
+    SameRack,
+    /// Different racks under one pod.
+    SamePod,
+    /// Different pods within one site.
+    SameSite,
+    /// Different data-center sites.
+    CrossSite,
+}
+
+impl fmt::Display for Separation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Separation::SameHost => "same host",
+            Separation::SameRack => "same rack",
+            Separation::SamePod => "same pod",
+            Separation::SameSite => "same site",
+            Separation::CrossSite => "cross-site",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One capacity-bearing network link in the hierarchy.
+///
+/// A flow's route is a set of these; reserving a flow decrements the
+/// available bandwidth on each.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum LinkRef {
+    /// The NIC connecting a host to its ToR switch.
+    HostNic(HostId),
+    /// The uplink from a ToR switch to its parent (pod or root).
+    TorUplink(RackId),
+    /// The uplink from a pod switch to the site's root switch.
+    PodUplink(PodId),
+    /// The uplink from a site's root switch to the inter-site backbone.
+    SiteUplink(SiteId),
+}
+
+impl fmt::Display for LinkRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkRef::HostNic(h) => write!(f, "nic({h})"),
+            LinkRef::TorUplink(r) => write!(f, "tor({r})"),
+            LinkRef::PodUplink(p) => write!(f, "pod({p})"),
+            LinkRef::SiteUplink(s) => write!(f, "site({s})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separation_is_ordered_near_to_far() {
+        assert!(Separation::SameHost < Separation::SameRack);
+        assert!(Separation::SameRack < Separation::SamePod);
+        assert!(Separation::SamePod < Separation::SameSite);
+        assert!(Separation::SameSite < Separation::CrossSite);
+        assert_eq!(Separation::SamePod.to_string(), "same pod");
+    }
+
+    #[test]
+    fn link_display() {
+        assert_eq!(LinkRef::HostNic(HostId::from_index(2)).to_string(), "nic(h2)");
+        assert_eq!(LinkRef::TorUplink(RackId::from_index(1)).to_string(), "tor(rack1)");
+        assert_eq!(LinkRef::PodUplink(PodId::from_index(0)).to_string(), "pod(pod0)");
+        assert_eq!(LinkRef::SiteUplink(SiteId::from_index(3)).to_string(), "site(site3)");
+    }
+}

@@ -1,0 +1,290 @@
+//! Declarative infrastructure descriptions: a serde-friendly mirror of
+//! [`InfrastructureBuilder`] so data centers can be loaded from JSON
+//! files (used by the `ostro-cli` tool and handy for tests).
+//!
+//! ```
+//! use ostro_datacenter::InfraSpec;
+//!
+//! let spec: InfraSpec = serde_json::from_str(r#"{
+//!   "sites": [{
+//!     "name": "east",
+//!     "backbone_uplink_mbps": 400000,
+//!     "pods": [{
+//!       "name": "p0",
+//!       "uplink_mbps": 200000,
+//!       "racks": [{
+//!         "name": "r0",
+//!         "uplink_mbps": 100000,
+//!         "hosts": 4,
+//!         "host": {"vcpus": 16, "memory_mb": 32768, "disk_gb": 1000,
+//!                   "nic_mbps": 10000}
+//!       }]
+//!     }]
+//!   }]
+//! }"#).unwrap();
+//! let infra = spec.build().unwrap();
+//! assert_eq!(infra.host_count(), 4);
+//! ```
+
+use ostro_model::{Bandwidth, Resources};
+use serde::{Deserialize, Serialize};
+
+use crate::builder::InfrastructureBuilder;
+use crate::error::BuildError;
+use crate::structure::Infrastructure;
+
+/// Host template shared by all hosts of one rack spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostSpec {
+    /// CPU cores per host.
+    pub vcpus: u32,
+    /// Memory per host in MiB.
+    pub memory_mb: u64,
+    /// Disk per host in GiB.
+    pub disk_gb: u64,
+    /// NIC bandwidth per host in Mbps.
+    pub nic_mbps: u64,
+}
+
+/// One rack: a count of identical hosts behind a ToR switch.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RackSpec {
+    /// Rack name (hosts are named `<rack>-h<i>`).
+    pub name: String,
+    /// ToR uplink capacity in Mbps.
+    pub uplink_mbps: u64,
+    /// Number of hosts.
+    pub hosts: usize,
+    /// The host template.
+    pub host: HostSpec,
+}
+
+/// One pod of racks behind a pod switch.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PodSpec {
+    /// Pod name.
+    pub name: String,
+    /// Pod-switch uplink capacity in Mbps.
+    pub uplink_mbps: u64,
+    /// The racks under this pod.
+    pub racks: Vec<RackSpec>,
+}
+
+/// One data-center site. Racks may hang off pods or directly off the
+/// root switch (`racks`), mirroring the builder's two rack methods.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SiteSpec {
+    /// Site name.
+    pub name: String,
+    /// Backbone uplink capacity in Mbps (only used with several sites).
+    #[serde(default)]
+    pub backbone_uplink_mbps: u64,
+    /// Pods with pod switches.
+    #[serde(default)]
+    pub pods: Vec<PodSpec>,
+    /// Racks directly under the root switch (no pod layer).
+    #[serde(default)]
+    pub racks: Vec<RackSpec>,
+}
+
+/// A whole infrastructure, ready to [`build`](Self::build).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InfraSpec {
+    /// All sites.
+    pub sites: Vec<SiteSpec>,
+}
+
+impl InfraSpec {
+    /// Materializes the spec into an [`Infrastructure`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BuildError`] for empty/duplicate/degenerate specs.
+    pub fn build(&self) -> Result<Infrastructure, BuildError> {
+        let mut b = InfrastructureBuilder::new();
+        for site_spec in &self.sites {
+            let site =
+                b.site(&site_spec.name, Bandwidth::from_mbps(site_spec.backbone_uplink_mbps));
+            let add_rack = |b: &mut InfrastructureBuilder,
+                                rack_spec: &RackSpec,
+                                pod: Option<crate::ids::PodId>|
+             -> Result<(), BuildError> {
+                let rack = match pod {
+                    Some(pod) => b.rack_in_pod(
+                        pod,
+                        &rack_spec.name,
+                        Bandwidth::from_mbps(rack_spec.uplink_mbps),
+                    )?,
+                    None => {
+                        b.rack(site, &rack_spec.name, Bandwidth::from_mbps(rack_spec.uplink_mbps))?
+                    }
+                };
+                let h = rack_spec.host;
+                for i in 0..rack_spec.hosts {
+                    b.host(
+                        rack,
+                        format!("{}-h{i}", rack_spec.name),
+                        Resources::new(h.vcpus, h.memory_mb, h.disk_gb),
+                        Bandwidth::from_mbps(h.nic_mbps),
+                    )?;
+                }
+                Ok(())
+            };
+            for pod_spec in &site_spec.pods {
+                let pod =
+                    b.pod(site, &pod_spec.name, Bandwidth::from_mbps(pod_spec.uplink_mbps))?;
+                for rack_spec in &pod_spec.racks {
+                    add_rack(&mut b, rack_spec, Some(pod))?;
+                }
+            }
+            for rack_spec in &site_spec.racks {
+                add_rack(&mut b, rack_spec, None)?;
+            }
+        }
+        b.build()
+    }
+}
+
+impl From<&Infrastructure> for InfraSpec {
+    /// Extracts a spec from an existing infrastructure (lossy only in
+    /// that per-host heterogeneity collapses to each rack's first host,
+    /// which is exact for spec-built infrastructures).
+    fn from(infra: &Infrastructure) -> Self {
+        let rack_spec = |rack: &crate::structure::Rack| -> RackSpec {
+            let first = infra.host(rack.hosts()[0]);
+            RackSpec {
+                name: rack.name().to_owned(),
+                uplink_mbps: rack.uplink().as_mbps(),
+                hosts: rack.hosts().len(),
+                host: HostSpec {
+                    vcpus: first.capacity().vcpus,
+                    memory_mb: first.capacity().memory_mb,
+                    disk_gb: first.capacity().disk_gb,
+                    nic_mbps: first.nic().as_mbps(),
+                },
+            }
+        };
+        InfraSpec {
+            sites: infra
+                .sites()
+                .iter()
+                .map(|site| SiteSpec {
+                    name: site.name().to_owned(),
+                    backbone_uplink_mbps: site.uplink().as_mbps(),
+                    pods: site
+                        .pods()
+                        .iter()
+                        .map(|&p| infra.pod(p))
+                        .filter(|p| !p.is_transparent())
+                        .map(|pod| PodSpec {
+                            name: pod.name().to_owned(),
+                            uplink_mbps: pod.uplink().as_mbps(),
+                            racks: pod
+                                .racks()
+                                .iter()
+                                .map(|&r| rack_spec(infra.rack(r)))
+                                .collect(),
+                        })
+                        .collect(),
+                    racks: site
+                        .pods()
+                        .iter()
+                        .map(|&p| infra.pod(p))
+                        .filter(|p| p.is_transparent())
+                        .flat_map(|pod| pod.racks().iter().map(|&r| rack_spec(infra.rack(r))))
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> InfraSpec {
+        InfraSpec {
+            sites: vec![SiteSpec {
+                name: "east".into(),
+                backbone_uplink_mbps: 400_000,
+                pods: vec![PodSpec {
+                    name: "p0".into(),
+                    uplink_mbps: 200_000,
+                    racks: vec![RackSpec {
+                        name: "p0r0".into(),
+                        uplink_mbps: 100_000,
+                        hosts: 3,
+                        host: HostSpec {
+                            vcpus: 16,
+                            memory_mb: 32_768,
+                            disk_gb: 1_000,
+                            nic_mbps: 10_000,
+                        },
+                    }],
+                }],
+                racks: vec![RackSpec {
+                    name: "flat-r0".into(),
+                    uplink_mbps: 100_000,
+                    hosts: 2,
+                    host: HostSpec {
+                        vcpus: 8,
+                        memory_mb: 16_384,
+                        disk_gb: 500,
+                        nic_mbps: 10_000,
+                    },
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn builds_both_podded_and_flat_racks() {
+        let infra = spec().build().unwrap();
+        assert_eq!(infra.host_count(), 5);
+        assert_eq!(infra.racks().len(), 2);
+        // One real pod plus the transparent pod for the flat rack.
+        assert_eq!(infra.pods().len(), 2);
+        assert_eq!(infra.pods().iter().filter(|p| p.is_transparent()).count(), 1);
+        assert_eq!(infra.host(crate::HostId::from_index(0)).name(), "p0r0-h0");
+        assert_eq!(infra.host(crate::HostId::from_index(3)).name(), "flat-r0-h0");
+        assert_eq!(
+            infra.host(crate::HostId::from_index(4)).capacity(),
+            Resources::new(8, 16_384, 500)
+        );
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let original = spec();
+        let json = serde_json::to_string_pretty(&original).unwrap();
+        let back: InfraSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn spec_extraction_round_trips_through_build() {
+        let infra = spec().build().unwrap();
+        let extracted = InfraSpec::from(&infra);
+        let rebuilt = extracted.build().unwrap();
+        assert_eq!(rebuilt, infra);
+    }
+
+    #[test]
+    fn empty_spec_is_rejected() {
+        let empty = InfraSpec { sites: vec![] };
+        assert_eq!(empty.build().unwrap_err(), BuildError::NoHosts);
+    }
+
+    #[test]
+    fn optional_fields_default() {
+        let json = r#"{"sites": [{"name": "s",
+            "racks": [{"name": "r", "uplink_mbps": 1000, "hosts": 1,
+                        "host": {"vcpus": 4, "memory_mb": 4096,
+                                  "disk_gb": 100, "nic_mbps": 1000}}]}]}"#;
+        let spec: InfraSpec = serde_json::from_str(json).unwrap();
+        assert!(spec.sites[0].pods.is_empty());
+        assert_eq!(spec.sites[0].backbone_uplink_mbps, 0);
+        assert_eq!(spec.build().unwrap().host_count(), 1);
+    }
+}

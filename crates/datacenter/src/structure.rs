@@ -1,0 +1,542 @@
+use ostro_model::{Bandwidth, DiversityLevel, Proximity, Resources};
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{HostId, PodId, RackId, SiteId};
+use crate::path::{LinkRef, Separation};
+
+/// A physical host server: compute capacity, local disk, and one NIC
+/// connecting it to its rack's ToR switch.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Host {
+    pub(crate) id: HostId,
+    pub(crate) name: String,
+    pub(crate) rack: RackId,
+    pub(crate) capacity: Resources,
+    pub(crate) nic: Bandwidth,
+}
+
+impl Host {
+    /// This host's id.
+    #[must_use]
+    pub const fn id(&self) -> HostId {
+        self.id
+    }
+
+    /// The operator-assigned host name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The rack this host sits in.
+    #[must_use]
+    pub const fn rack(&self) -> RackId {
+        self.rack
+    }
+
+    /// Total (not remaining) host-local capacity.
+    #[must_use]
+    pub const fn capacity(&self) -> Resources {
+        self.capacity
+    }
+
+    /// Total bandwidth of the host's NIC (host ↔ ToR link).
+    #[must_use]
+    pub const fn nic(&self) -> Bandwidth {
+        self.nic
+    }
+}
+
+/// A rack: a ToR switch plus the hosts behind it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rack {
+    pub(crate) id: RackId,
+    pub(crate) name: String,
+    pub(crate) pod: PodId,
+    pub(crate) uplink: Bandwidth,
+    pub(crate) hosts: Vec<HostId>,
+}
+
+impl Rack {
+    /// This rack's id.
+    #[must_use]
+    pub const fn id(&self) -> RackId {
+        self.id
+    }
+
+    /// The operator-assigned rack name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The pod this rack belongs to (possibly a *transparent* pod if the
+    /// site has no pod-switch layer).
+    #[must_use]
+    pub const fn pod(&self) -> PodId {
+        self.pod
+    }
+
+    /// Total capacity of the ToR switch's uplink toward its parent.
+    #[must_use]
+    pub const fn uplink(&self) -> Bandwidth {
+        self.uplink
+    }
+
+    /// The hosts in this rack.
+    #[must_use]
+    pub fn hosts(&self) -> &[HostId] {
+        &self.hosts
+    }
+}
+
+/// A pod: a pod switch plus the racks under it.
+///
+/// A *transparent* pod models a site without a pod-switch layer: its
+/// racks connect directly to the site's root switch, so the pod carries
+/// no uplink capacity and adds no hops to any path.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Pod {
+    pub(crate) id: PodId,
+    pub(crate) name: String,
+    pub(crate) site: SiteId,
+    pub(crate) uplink: Bandwidth,
+    pub(crate) transparent: bool,
+    pub(crate) racks: Vec<RackId>,
+}
+
+impl Pod {
+    /// This pod's id.
+    #[must_use]
+    pub const fn id(&self) -> PodId {
+        self.id
+    }
+
+    /// The operator-assigned pod name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The site this pod belongs to.
+    #[must_use]
+    pub const fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// Total capacity of the pod switch's uplink to the root switch.
+    /// Zero (and unused) for transparent pods.
+    #[must_use]
+    pub const fn uplink(&self) -> Bandwidth {
+        self.uplink
+    }
+
+    /// `true` if this pod only exists structurally (no pod switch).
+    #[must_use]
+    pub const fn is_transparent(&self) -> bool {
+        self.transparent
+    }
+
+    /// The racks under this pod.
+    #[must_use]
+    pub fn racks(&self) -> &[RackId] {
+        &self.racks
+    }
+}
+
+/// A data-center site: a root switch, its pods, and an uplink to the
+/// inter-site backbone.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Site {
+    pub(crate) id: SiteId,
+    pub(crate) name: String,
+    pub(crate) uplink: Bandwidth,
+    pub(crate) pods: Vec<PodId>,
+}
+
+impl Site {
+    /// This site's id.
+    #[must_use]
+    pub const fn id(&self) -> SiteId {
+        self.id
+    }
+
+    /// The operator-assigned site name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total capacity of the site's uplink to the inter-site backbone.
+    #[must_use]
+    pub const fn uplink(&self) -> Bandwidth {
+        self.uplink
+    }
+
+    /// The pods in this site.
+    #[must_use]
+    pub fn pods(&self) -> &[PodId] {
+        &self.pods
+    }
+}
+
+/// The immutable physical structure of one or more interconnected data
+/// centers — the paper's `T_p`.
+///
+/// Build one with [`InfrastructureBuilder`](crate::InfrastructureBuilder).
+/// All capacity *bookkeeping* lives in
+/// [`CapacityState`](crate::CapacityState), not here.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Infrastructure {
+    pub(crate) sites: Vec<Site>,
+    pub(crate) pods: Vec<Pod>,
+    pub(crate) racks: Vec<Rack>,
+    pub(crate) hosts: Vec<Host>,
+}
+
+impl Infrastructure {
+    /// All sites.
+    #[must_use]
+    pub fn sites(&self) -> &[Site] {
+        &self.sites
+    }
+
+    /// All pods (including transparent ones).
+    #[must_use]
+    pub fn pods(&self) -> &[Pod] {
+        &self.pods
+    }
+
+    /// All racks.
+    #[must_use]
+    pub fn racks(&self) -> &[Rack] {
+        &self.racks
+    }
+
+    /// All hosts.
+    #[must_use]
+    pub fn hosts(&self) -> &[Host] {
+        &self.hosts
+    }
+
+    /// Looks up a host by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this infrastructure.
+    #[must_use]
+    pub fn host(&self, id: HostId) -> &Host {
+        &self.hosts[id.index()]
+    }
+
+    /// Looks up a rack by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this infrastructure.
+    #[must_use]
+    pub fn rack(&self, id: RackId) -> &Rack {
+        &self.racks[id.index()]
+    }
+
+    /// Looks up a pod by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this infrastructure.
+    #[must_use]
+    pub fn pod(&self, id: PodId) -> &Pod {
+        &self.pods[id.index()]
+    }
+
+    /// Looks up a site by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this infrastructure.
+    #[must_use]
+    pub fn site(&self, id: SiteId) -> &Site {
+        &self.sites[id.index()]
+    }
+
+    /// Number of hosts across all sites.
+    #[must_use]
+    pub fn host_count(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// The rack, pod, and site of a host, in one lookup.
+    #[must_use]
+    pub fn location(&self, host: HostId) -> (RackId, PodId, SiteId) {
+        let rack = self.hosts[host.index()].rack;
+        let pod = self.racks[rack.index()].pod;
+        let site = self.pods[pod.index()].site;
+        (rack, pod, site)
+    }
+
+    /// How far apart two hosts are in the hierarchy.
+    #[must_use]
+    pub fn separation(&self, a: HostId, b: HostId) -> Separation {
+        if a == b {
+            return Separation::SameHost;
+        }
+        let (rack_a, pod_a, site_a) = self.location(a);
+        let (rack_b, pod_b, site_b) = self.location(b);
+        if rack_a == rack_b {
+            Separation::SameRack
+        } else if pod_a == pod_b {
+            Separation::SamePod
+        } else if site_a == site_b {
+            Separation::SameSite
+        } else {
+            Separation::CrossSite
+        }
+    }
+
+    /// Whether hosts `a` and `b` are in *different* units at `level` —
+    /// i.e. whether co-members of a diversity zone at that level may be
+    /// placed on `a` and `b`.
+    #[must_use]
+    pub fn satisfies_diversity(&self, a: HostId, b: HostId, level: DiversityLevel) -> bool {
+        if a == b {
+            return false;
+        }
+        let (rack_a, pod_a, site_a) = self.location(a);
+        let (rack_b, pod_b, site_b) = self.location(b);
+        match level {
+            DiversityLevel::Host => true,
+            DiversityLevel::Rack => rack_a != rack_b,
+            DiversityLevel::Pod => pod_a != pod_b,
+            DiversityLevel::DataCenter => site_a != site_b,
+        }
+    }
+
+    /// Whether hosts `a` and `b` share the infrastructure unit named
+    /// by `proximity` — i.e. whether a latency-bounded link between
+    /// nodes on `a` and `b` meets its bound.
+    #[must_use]
+    pub fn within(&self, a: HostId, b: HostId, proximity: Proximity) -> bool {
+        if a == b {
+            return true;
+        }
+        let (rack_a, pod_a, site_a) = self.location(a);
+        let (rack_b, pod_b, site_b) = self.location(b);
+        match proximity {
+            Proximity::Host => false,
+            Proximity::Rack => rack_a == rack_b,
+            Proximity::Pod => pod_a == pod_b,
+            Proximity::DataCenter => site_a == site_b,
+        }
+    }
+
+    /// The capacity-bearing network links a flow between hosts `a` and
+    /// `b` traverses. Empty when `a == b`; transparent pods contribute
+    /// no link.
+    #[must_use]
+    pub fn route(&self, a: HostId, b: HostId) -> Vec<LinkRef> {
+        let mut links = Vec::with_capacity(8);
+        self.route_into(a, b, &mut links);
+        links
+    }
+
+    /// Like [`route`](Self::route) but appends into a caller-provided
+    /// buffer, for hot paths.
+    pub fn route_into(&self, a: HostId, b: HostId, out: &mut Vec<LinkRef>) {
+        if a == b {
+            return;
+        }
+        out.push(LinkRef::HostNic(a));
+        out.push(LinkRef::HostNic(b));
+        let (rack_a, pod_a, site_a) = self.location(a);
+        let (rack_b, pod_b, site_b) = self.location(b);
+        if rack_a == rack_b {
+            return;
+        }
+        out.push(LinkRef::TorUplink(rack_a));
+        out.push(LinkRef::TorUplink(rack_b));
+        if pod_a != pod_b {
+            for pod in [pod_a, pod_b] {
+                if !self.pods[pod.index()].transparent {
+                    out.push(LinkRef::PodUplink(pod));
+                }
+            }
+        }
+        if site_a != site_b {
+            out.push(LinkRef::SiteUplink(site_a));
+            out.push(LinkRef::SiteUplink(site_b));
+        }
+    }
+
+    /// The number of capacity-bearing links between `a` and `b` — the
+    /// hop weight used by the objective's bandwidth term.
+    #[must_use]
+    pub fn hop_cost(&self, a: HostId, b: HostId) -> u64 {
+        if a == b {
+            return 0;
+        }
+        let (rack_a, pod_a, site_a) = self.location(a);
+        let (rack_b, pod_b, site_b) = self.location(b);
+        if rack_a == rack_b {
+            return 2;
+        }
+        let mut cost = 4;
+        if pod_a != pod_b {
+            cost += u64::from(!self.pods[pod_a.index()].transparent)
+                + u64::from(!self.pods[pod_b.index()].transparent);
+        }
+        if site_a != site_b {
+            cost += 2;
+        }
+        cost
+    }
+
+    /// The worst hop cost any flow can incur on this infrastructure;
+    /// used to normalize the objective's bandwidth term.
+    #[must_use]
+    pub fn max_hop_cost(&self) -> u64 {
+        let has_pod_switches = self.pods.iter().any(|p| !p.transparent);
+        let mut cost = 4; // NICs + ToR uplinks (cross-rack)
+        if has_pod_switches {
+            cost += 2;
+        }
+        if self.sites.len() > 1 {
+            cost += 2;
+        }
+        if self.racks.len() == 1 {
+            // A single rack can never pay more than the NIC hops.
+            cost = 2;
+        }
+        if self.hosts.len() == 1 {
+            cost = 0;
+        }
+        cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::InfrastructureBuilder;
+
+    /// Two sites; site 0 has 2 pods of 2 racks x 2 hosts, site 1 is flat
+    /// (transparent pod) with 2 racks x 2 hosts.
+    fn infra() -> Infrastructure {
+        let mut b = InfrastructureBuilder::new();
+        let cap = Resources::new(16, 32_768, 1_000);
+        let s0 = b.site("s0", Bandwidth::from_gbps(200));
+        for p in 0..2 {
+            let pod = b.pod(s0, format!("s0p{p}"), Bandwidth::from_gbps(40)).unwrap();
+            for r in 0..2 {
+                let rack = b
+                    .rack_in_pod(pod, format!("s0p{p}r{r}"), Bandwidth::from_gbps(100))
+                    .unwrap();
+                for h in 0..2 {
+                    b.host(rack, format!("s0p{p}r{r}h{h}"), cap, Bandwidth::from_gbps(10))
+                        .unwrap();
+                }
+            }
+        }
+        let s1 = b.site("s1", Bandwidth::from_gbps(200));
+        for r in 0..2 {
+            let rack = b.rack(s1, format!("s1r{r}"), Bandwidth::from_gbps(100)).unwrap();
+            for h in 0..2 {
+                b.host(rack, format!("s1r{r}h{h}"), cap, Bandwidth::from_gbps(10)).unwrap();
+            }
+        }
+        b.build().unwrap()
+    }
+
+    fn h(i: u32) -> HostId {
+        HostId::from_index(i)
+    }
+
+    #[test]
+    fn separation_levels() {
+        let i = infra();
+        assert_eq!(i.separation(h(0), h(0)), Separation::SameHost);
+        assert_eq!(i.separation(h(0), h(1)), Separation::SameRack);
+        assert_eq!(i.separation(h(0), h(2)), Separation::SamePod);
+        assert_eq!(i.separation(h(0), h(4)), Separation::SameSite);
+        assert_eq!(i.separation(h(0), h(8)), Separation::CrossSite);
+    }
+
+    #[test]
+    fn diversity_checks_match_levels() {
+        let i = infra();
+        assert!(!i.satisfies_diversity(h(0), h(0), DiversityLevel::Host));
+        assert!(i.satisfies_diversity(h(0), h(1), DiversityLevel::Host));
+        assert!(!i.satisfies_diversity(h(0), h(1), DiversityLevel::Rack));
+        assert!(i.satisfies_diversity(h(0), h(2), DiversityLevel::Rack));
+        assert!(!i.satisfies_diversity(h(0), h(2), DiversityLevel::Pod));
+        assert!(i.satisfies_diversity(h(0), h(4), DiversityLevel::Pod));
+        assert!(!i.satisfies_diversity(h(0), h(4), DiversityLevel::DataCenter));
+        assert!(i.satisfies_diversity(h(0), h(8), DiversityLevel::DataCenter));
+    }
+
+    #[test]
+    fn routes_grow_with_separation() {
+        let i = infra();
+        assert!(i.route(h(0), h(0)).is_empty());
+        // Same rack: both NICs.
+        assert_eq!(
+            i.route(h(0), h(1)),
+            vec![LinkRef::HostNic(h(0)), LinkRef::HostNic(h(1))]
+        );
+        // Same pod, different rack: NICs + ToR uplinks.
+        assert_eq!(i.route(h(0), h(2)).len(), 4);
+        // Different pods with real pod switches: + pod uplinks.
+        assert_eq!(i.route(h(0), h(4)).len(), 6);
+        // Cross-site: + site uplinks; site 1's pod is transparent, so
+        // only one pod uplink appears.
+        let cross = i.route(h(0), h(8));
+        assert_eq!(cross.len(), 7);
+        assert!(cross.contains(&LinkRef::SiteUplink(SiteId::from_index(0))));
+        assert!(cross.contains(&LinkRef::SiteUplink(SiteId::from_index(1))));
+    }
+
+    #[test]
+    fn transparent_pod_racks_pay_no_pod_hop() {
+        let i = infra();
+        // h8 and h10 are in different racks of flat site 1 (same
+        // transparent pod): NICs + ToR uplinks only.
+        assert_eq!(i.separation(h(8), h(10)), Separation::SamePod);
+        assert_eq!(i.route(h(8), h(10)).len(), 4);
+        assert_eq!(i.hop_cost(h(8), h(10)), 4);
+    }
+
+    #[test]
+    fn hop_cost_equals_route_len() {
+        let i = infra();
+        for a in 0..12u32 {
+            for b in 0..12u32 {
+                assert_eq!(
+                    i.hop_cost(h(a), h(b)),
+                    i.route(h(a), h(b)).len() as u64,
+                    "hosts {a},{b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn max_hop_cost_bounds_all_pairs() {
+        let i = infra();
+        let max = i.max_hop_cost();
+        for a in 0..12u32 {
+            for b in 0..12u32 {
+                assert!(i.hop_cost(h(a), h(b)) <= max);
+            }
+        }
+        assert_eq!(max, 8);
+    }
+
+    #[test]
+    fn location_is_consistent() {
+        let i = infra();
+        let (rack, pod, site) = i.location(h(5));
+        assert!(i.rack(rack).hosts().contains(&h(5)));
+        assert!(i.pod(pod).racks().contains(&rack));
+        assert!(i.site(site).pods().contains(&pod));
+        assert_eq!(i.host_count(), 12);
+    }
+}

@@ -1,0 +1,96 @@
+//! Stamping an Ostro placement decision back into a Heat template as
+//! per-resource scheduler hints (the "QoS-enhanced Heat template →
+//! annotated Heat template" step of Fig. 1).
+
+use ostro_core::Placement;
+use ostro_datacenter::Infrastructure;
+
+use crate::template::{HeatTemplate, Resource, SchedulerHints};
+use crate::wrapper::NameMap;
+
+/// Returns a copy of `template` in which every server and volume
+/// carries an `"ostro:host"` scheduler hint naming its decided host.
+///
+/// Resources absent from `names` (non-node resources, or nodes the
+/// placement does not cover) are left untouched.
+#[must_use]
+pub fn annotate_template(
+    template: &HeatTemplate,
+    placement: &Placement,
+    infra: &Infrastructure,
+    names: &NameMap,
+) -> HeatTemplate {
+    let mut annotated = template.clone();
+    for (name, resource) in &mut annotated.resources {
+        let Some(&node) = names.get(name) else { continue };
+        if node.index() >= placement.assignments().len() {
+            continue;
+        }
+        let host = placement.host_of(node);
+        let hints = SchedulerHints { host: infra.host(host).name().to_owned() };
+        match resource {
+            Resource::Server { properties } => properties.scheduler_hints = Some(hints),
+            Resource::Volume { properties } => properties.scheduler_hints = Some(hints),
+            _ => {}
+        }
+    }
+    annotated
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wrapper::extract_topology;
+    use ostro_core::{PlacementRequest, Scheduler};
+    use ostro_datacenter::{CapacityState, InfrastructureBuilder};
+    use ostro_model::{Bandwidth, Resources};
+
+    #[test]
+    fn annotation_names_real_hosts_for_every_node() {
+        let template: HeatTemplate = serde_json::from_str(
+            r#"{
+          "heat_template_version": "2015-04-30",
+          "resources": {
+            "web": {"type": "OS::Nova::Server", "properties": {"vcpus": 2, "memory_mb": 2048}},
+            "vol": {"type": "OS::Cinder::Volume", "properties": {"size_gb": 50}},
+            "p":   {"type": "ATT::QoS::Pipe",
+                    "properties": {"between": ["web", "vol"], "bandwidth_mbps": 100}}
+          }
+        }"#,
+        )
+        .unwrap();
+        let infra = InfrastructureBuilder::flat(
+            "dc",
+            2,
+            2,
+            Resources::new(8, 16_384, 500),
+            Bandwidth::from_gbps(10),
+            Bandwidth::from_gbps(100),
+        )
+        .build()
+        .unwrap();
+        let (topo, names) = extract_topology(&template).unwrap();
+        let state = CapacityState::new(&infra);
+        let scheduler = Scheduler::new(&infra);
+        let outcome = scheduler.place(&topo, &state, &PlacementRequest::default()).unwrap();
+        let annotated = annotate_template(&template, &outcome.placement, &infra, &names);
+
+        let host_names: Vec<&str> = infra.hosts().iter().map(|h| h.name()).collect();
+        for key in ["web", "vol"] {
+            let hint = match &annotated.resources[key] {
+                Resource::Server { properties } => properties.scheduler_hints.clone(),
+                Resource::Volume { properties } => properties.scheduler_hints.clone(),
+                other => panic!("unexpected {other:?}"),
+            }
+            .expect("node resources must be annotated");
+            assert!(host_names.contains(&hint.host.as_str()), "{}", hint.host);
+        }
+        // The pipe itself carries no hint.
+        assert!(matches!(annotated.resources["p"], Resource::Pipe { .. }));
+        // The original template is untouched.
+        match &template.resources["web"] {
+            Resource::Server { properties } => assert!(properties.scheduler_hints.is_none()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,109 @@
+use std::error::Error;
+use std::fmt;
+
+use ostro_core::PlacementError;
+use ostro_datacenter::CapacityError;
+use ostro_model::ModelError;
+
+/// Errors produced by the Heat wrapper and the mock cloud services.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum HeatError {
+    /// A pipe, attachment, or zone references a resource that does not
+    /// exist in the template.
+    BadReference {
+        /// The referencing resource's name.
+        from: String,
+        /// The missing or wrong-typed target.
+        target: String,
+    },
+    /// A pipe or attachment endpoint is not a server or volume.
+    NotANode {
+        /// The referencing resource's name.
+        from: String,
+        /// The referenced non-node resource.
+        target: String,
+    },
+    /// A volume attachment's `instance` is not a server, or its
+    /// `volume` is not a volume.
+    BadAttachment {
+        /// The attachment resource's name.
+        name: String,
+    },
+    /// The template declares no servers or volumes.
+    EmptyTemplate,
+    /// The extracted topology failed model validation.
+    Model(ModelError),
+    /// Placement failed.
+    Placement(PlacementError),
+    /// Deploying the decided placement failed (should not happen when
+    /// the state matches what Ostro planned against).
+    Capacity(CapacityError),
+    /// An unknown stack id was supplied.
+    UnknownStack(u64),
+}
+
+impl fmt::Display for HeatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadReference { from, target } => {
+                write!(f, "resource `{from}` references unknown resource `{target}`")
+            }
+            Self::NotANode { from, target } => {
+                write!(f, "resource `{from}` references `{target}`, which is not a server or volume")
+            }
+            Self::BadAttachment { name } => {
+                write!(f, "attachment `{name}` must connect a server to a volume")
+            }
+            Self::EmptyTemplate => write!(f, "template declares no servers or volumes"),
+            Self::Model(e) => write!(f, "invalid topology: {e}"),
+            Self::Placement(e) => write!(f, "placement failed: {e}"),
+            Self::Capacity(e) => write!(f, "deployment failed: {e}"),
+            Self::UnknownStack(id) => write!(f, "unknown stack id {id}"),
+        }
+    }
+}
+
+impl Error for HeatError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Model(e) => Some(e),
+            Self::Placement(e) => Some(e),
+            Self::Capacity(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for HeatError {
+    fn from(e: ModelError) -> Self {
+        HeatError::Model(e)
+    }
+}
+
+impl From<PlacementError> for HeatError {
+    fn from(e: PlacementError) -> Self {
+        HeatError::Placement(e)
+    }
+}
+
+impl From<CapacityError> for HeatError {
+    fn from(e: CapacityError) -> Self {
+        HeatError::Capacity(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = HeatError::BadReference { from: "p1".into(), target: "ghost".into() };
+        assert!(e.to_string().contains("ghost"));
+        assert!(e.source().is_none());
+        let e: HeatError = ModelError::EmptyTopology.into();
+        assert!(e.source().is_some());
+        assert!(HeatError::UnknownStack(4).to_string().contains('4'));
+    }
+}

@@ -1,0 +1,83 @@
+//! Simulated OpenStack integration for Ostro (Fig. 1 of the paper).
+//!
+//! The real Ostro ships as a wrapper around the OpenStack Heat service:
+//! a tenant submits a *QoS-enhanced Heat template* (a Heat template
+//! extended with bandwidth *pipes* and *diversity zones*), the wrapper
+//! extracts the application topology, Ostro computes a holistic
+//! placement, the template is annotated with per-resource scheduler
+//! hints, and the Heat engine drives Nova (compute) and Cinder (block
+//! storage) to deploy onto the designated hosts.
+//!
+//! This crate reproduces that pipeline against the in-process
+//! data-center model instead of a live cloud:
+//!
+//! * [`HeatTemplate`] — the JSON template dialect, with
+//!   `OS::Nova::Server`, `OS::Cinder::Volume`,
+//!   `OS::Cinder::VolumeAttachment`, `ATT::QoS::Pipe`, and
+//!   `ATT::QoS::DiversityZone` resources.
+//! * [`extract_topology`] / [`topology_to_template`] — the wrapper's
+//!   translation between templates and [`ApplicationTopology`].
+//! * [`annotate_template`] — stamping the placement decision back into
+//!   the template as `scheduler_hints`.
+//! * [`CloudController`] — a mock Heat engine + Nova + Cinder that
+//!   executes annotated templates against a [`CapacityState`].
+//!
+//! [`ApplicationTopology`]: ostro_model::ApplicationTopology
+//! [`CapacityState`]: ostro_datacenter::CapacityState
+//!
+//! # Example
+//!
+//! ```
+//! use ostro_datacenter::InfrastructureBuilder;
+//! use ostro_heat::{CloudController, HeatTemplate};
+//! use ostro_core::PlacementRequest;
+//! use ostro_model::{Bandwidth, Resources};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let template: HeatTemplate = serde_json::from_str(r#"{
+//!   "heat_template_version": "2015-04-30",
+//!   "resources": {
+//!     "web":  {"type": "OS::Nova::Server", "properties": {"vcpus": 2, "memory_mb": 2048}},
+//!     "db":   {"type": "OS::Nova::Server", "properties": {"vcpus": 4, "memory_mb": 8192}},
+//!     "data": {"type": "OS::Cinder::Volume", "properties": {"size_gb": 120}},
+//!     "p1":   {"type": "ATT::QoS::Pipe",
+//!              "properties": {"between": ["web", "db"], "bandwidth_mbps": 100}},
+//!     "att":  {"type": "OS::Cinder::VolumeAttachment",
+//!              "properties": {"instance": "db", "volume": "data", "bandwidth_mbps": 200}},
+//!     "dz":   {"type": "ATT::QoS::DiversityZone",
+//!              "properties": {"level": "host", "members": ["web", "db"]}}
+//!   }
+//! }"#)?;
+//!
+//! let infra = InfrastructureBuilder::flat(
+//!     "dc", 2, 8,
+//!     Resources::new(16, 32_768, 1_000),
+//!     Bandwidth::from_gbps(10),
+//!     Bandwidth::from_gbps(100),
+//! ).build()?;
+//! let mut cloud = CloudController::new(&infra);
+//! let stack_id = cloud.create_stack("demo", template, &PlacementRequest::default())?;
+//! let stack = cloud.stack(stack_id).unwrap();
+//! assert_eq!(stack.placement.assignments().len(), 3);
+//! assert_eq!(cloud.nova().instance_count(), 2);
+//! assert_eq!(cloud.cinder().volume_count(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+mod annotate;
+mod error;
+mod services;
+mod template;
+mod wrapper;
+
+pub use annotate::annotate_template;
+pub use error::HeatError;
+pub use services::{
+    CinderService, CloudController, Instance, NovaService, StackId, StackRecord, VolumeRecord,
+};
+pub use template::{
+    HeatTemplate, PipeProperties, Resource, SchedulerHints, ServerProperties,
+    VolumeAttachmentProperties, VolumeProperties, ZoneLevel, ZoneProperties,
+};
+pub use wrapper::{extract_topology, topology_to_template, NameMap};

@@ -1,0 +1,732 @@
+//! Mock OpenStack control plane: a Heat engine orchestrating Nova and
+//! Cinder against the in-process data-center model.
+//!
+//! The real services expose REST APIs; these mocks expose the same
+//! *semantics* — boot a server on a designated host, create a volume on
+//! a designated host's disk, reserve pipe bandwidth — so the full
+//! template → Ostro → deployment pipeline is exercised end to end.
+
+use std::collections::BTreeMap;
+
+use ostro_core::{Placement, PlacementOutcome, PlacementRequest, Scheduler};
+use ostro_datacenter::{CapacityState, HostId, Infrastructure};
+use ostro_model::{ApplicationTopology, Bandwidth, Resources};
+
+use crate::annotate::annotate_template;
+use crate::error::HeatError;
+use crate::template::HeatTemplate;
+use crate::wrapper::{extract_topology, NameMap};
+
+/// Identifier of a deployed stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StackId(u64);
+
+/// One booted server (mock Nova's bookkeeping record).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instance {
+    /// The resource name from the template.
+    pub name: String,
+    /// The host the instance runs on.
+    pub host: HostId,
+    /// Compute reserved for the instance.
+    pub resources: Resources,
+    /// The owning stack.
+    pub stack: StackId,
+}
+
+/// One created volume (mock Cinder's bookkeeping record).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VolumeRecord {
+    /// The resource name from the template.
+    pub name: String,
+    /// The host whose disk holds the volume.
+    pub host: HostId,
+    /// Volume size in GiB.
+    pub size_gb: u64,
+    /// The owning stack.
+    pub stack: StackId,
+}
+
+/// Mock Nova: tracks booted instances.
+#[derive(Debug, Clone, Default)]
+pub struct NovaService {
+    instances: Vec<Instance>,
+}
+
+impl NovaService {
+    /// All booted instances.
+    #[must_use]
+    pub fn instances(&self) -> &[Instance] {
+        &self.instances
+    }
+
+    /// Number of booted instances.
+    #[must_use]
+    pub fn instance_count(&self) -> usize {
+        self.instances.len()
+    }
+}
+
+/// Mock Cinder: tracks created volumes.
+#[derive(Debug, Clone, Default)]
+pub struct CinderService {
+    volumes: Vec<VolumeRecord>,
+}
+
+impl CinderService {
+    /// All created volumes.
+    #[must_use]
+    pub fn volumes(&self) -> &[VolumeRecord] {
+        &self.volumes
+    }
+
+    /// Number of created volumes.
+    #[must_use]
+    pub fn volume_count(&self) -> usize {
+        self.volumes.len()
+    }
+}
+
+/// A deployed stack: everything the controller knows about it.
+#[derive(Debug, Clone)]
+pub struct StackRecord {
+    /// The stack's human-readable name.
+    pub name: String,
+    /// The template as submitted.
+    pub template: HeatTemplate,
+    /// The template with Ostro's scheduler hints stamped in.
+    pub annotated: HeatTemplate,
+    /// The extracted topology.
+    pub topology: ApplicationTopology,
+    /// Resource-name → node-id mapping.
+    pub names: NameMap,
+    /// The placement decision.
+    pub placement: Placement,
+    /// Full placement metrics.
+    pub outcome: PlacementOutcome,
+}
+
+/// The mock Heat engine: owns the cloud's live capacity state and the
+/// Nova/Cinder services, and runs the Fig. 1 pipeline for each stack.
+#[derive(Debug, Clone)]
+pub struct CloudController<'a> {
+    infra: &'a Infrastructure,
+    state: CapacityState,
+    nova: NovaService,
+    cinder: CinderService,
+    stacks: BTreeMap<StackId, StackRecord>,
+    next_id: u64,
+}
+
+impl<'a> CloudController<'a> {
+    /// A controller over a fresh (fully idle) cloud.
+    #[must_use]
+    pub fn new(infra: &'a Infrastructure) -> Self {
+        Self::with_state(infra, CapacityState::new(infra))
+    }
+
+    /// A controller over a cloud with pre-existing usage.
+    #[must_use]
+    pub fn with_state(infra: &'a Infrastructure, state: CapacityState) -> Self {
+        CloudController {
+            infra,
+            state,
+            nova: NovaService::default(),
+            cinder: CinderService::default(),
+            stacks: BTreeMap::new(),
+            next_id: 1,
+        }
+    }
+
+    /// The cloud's current capacity state.
+    #[must_use]
+    pub fn state(&self) -> &CapacityState {
+        &self.state
+    }
+
+    /// The mock Nova service.
+    #[must_use]
+    pub fn nova(&self) -> &NovaService {
+        &self.nova
+    }
+
+    /// The mock Cinder service.
+    #[must_use]
+    pub fn cinder(&self) -> &CinderService {
+        &self.cinder
+    }
+
+    /// A deployed stack's record, if the id is live.
+    #[must_use]
+    pub fn stack(&self, id: StackId) -> Option<&StackRecord> {
+        self.stacks.get(&id)
+    }
+
+    /// Ids of all live stacks.
+    #[must_use]
+    pub fn stack_ids(&self) -> Vec<StackId> {
+        self.stacks.keys().copied().collect()
+    }
+
+    /// Runs the full pipeline for one template: extract topology →
+    /// Ostro placement → annotate → deploy via Nova/Cinder.
+    ///
+    /// # Errors
+    ///
+    /// Any [`HeatError`]: template problems, infeasible placement, or
+    /// (never, absent bugs) deployment failure. The cloud state is
+    /// unchanged on error.
+    pub fn create_stack(
+        &mut self,
+        name: impl Into<String>,
+        template: HeatTemplate,
+        request: &PlacementRequest,
+    ) -> Result<StackId, HeatError> {
+        let (topology, names) = extract_topology(&template)?;
+        let scheduler = Scheduler::new(self.infra);
+        let outcome = scheduler.place(&topology, &self.state, request)?;
+        let annotated = annotate_template(&template, &outcome.placement, self.infra, &names);
+
+        // "Heat engine calls Nova and Cinder to schedule the VMs and
+        // disk volumes on the designated cloud resources."
+        let mut trial = self.state.clone();
+        let id = StackId(self.next_id);
+        let mut booted = Vec::new();
+        let mut created = Vec::new();
+        for node in topology.nodes() {
+            let host = outcome.placement.host_of(node.id());
+            let req = node.requirements();
+            trial.reserve_node(host, req)?;
+            if node.is_vm() {
+                booted.push(Instance {
+                    name: node.name().to_owned(),
+                    host,
+                    resources: req,
+                    stack: id,
+                });
+            } else {
+                created.push(VolumeRecord {
+                    name: node.name().to_owned(),
+                    host,
+                    size_gb: req.disk_gb,
+                    stack: id,
+                });
+            }
+        }
+        for link in topology.links() {
+            let (a, b) = link.endpoints();
+            trial.reserve_flow(
+                self.infra,
+                outcome.placement.host_of(a),
+                outcome.placement.host_of(b),
+                link.bandwidth(),
+            )?;
+        }
+
+        self.state = trial;
+        self.nova.instances.extend(booted);
+        self.cinder.volumes.extend(created);
+        self.next_id += 1;
+        self.stacks.insert(
+            id,
+            StackRecord {
+                name: name.into(),
+                template,
+                annotated,
+                topology,
+                names,
+                placement: outcome.placement.clone(),
+                outcome,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Updates a live stack to a new template (the paper's §IV-E
+    /// online adaptation, driven through the Heat pipeline): resources
+    /// keeping their name stay pinned to their current hosts where
+    /// possible; Ostro re-places the rest incrementally.
+    ///
+    /// Returns the nodes that had to move. On error the stack and the
+    /// cloud state are unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`HeatError::UnknownStack`], template errors, or placement
+    /// failure once even a fully unpinned re-place is infeasible.
+    pub fn update_stack(
+        &mut self,
+        id: StackId,
+        template: HeatTemplate,
+        request: &PlacementRequest,
+    ) -> Result<Vec<String>, HeatError> {
+        let record = self.stacks.get(&id).ok_or(HeatError::UnknownStack(id.0))?;
+        let (topology, names) = extract_topology(&template)?;
+
+        // Pin surviving resources (same name in old and new template)
+        // to their current hosts.
+        let mut prior: Vec<Option<HostId>> = vec![None; topology.node_count()];
+        for (name, &node) in &names {
+            if let Some(&old_node) = record.names.get(name) {
+                prior[node.index()] = Some(record.placement.host_of(old_node));
+            }
+        }
+
+        // Plan against the cloud minus this stack's own usage.
+        let scheduler = Scheduler::new(self.infra);
+        let mut state_without = self.state.clone();
+        scheduler
+            .release(&record.topology, &record.placement, &mut state_without)
+            .map_err(HeatError::Placement)?;
+        let result = scheduler.replace_online(&topology, &state_without, request, &prior, 4)?;
+
+        // Apply: the new placement replaces the old one atomically.
+        let mut new_state = state_without;
+        scheduler
+            .commit(&topology, &result.outcome.placement, &mut new_state)
+            .map_err(HeatError::Placement)?;
+        let annotated =
+            annotate_template(&template, &result.outcome.placement, self.infra, &names);
+
+        let moved: Vec<String> = result
+            .repositioned
+            .iter()
+            .map(|&n| topology.node(n).name().to_owned())
+            .collect();
+
+        self.state = new_state;
+        self.nova.instances.retain(|i| i.stack != id);
+        self.cinder.volumes.retain(|v| v.stack != id);
+        for node in topology.nodes() {
+            let host = result.outcome.placement.host_of(node.id());
+            if node.is_vm() {
+                self.nova.instances.push(Instance {
+                    name: node.name().to_owned(),
+                    host,
+                    resources: node.requirements(),
+                    stack: id,
+                });
+            } else {
+                self.cinder.volumes.push(VolumeRecord {
+                    name: node.name().to_owned(),
+                    host,
+                    size_gb: node.requirements().disk_gb,
+                    stack: id,
+                });
+            }
+        }
+        let record = self.stacks.get_mut(&id).expect("checked above");
+        record.template = template;
+        record.annotated = annotated;
+        record.topology = topology;
+        record.names = names;
+        record.placement = result.outcome.placement.clone();
+        record.outcome = result.outcome;
+        Ok(moved)
+    }
+
+    /// Evacuates a failing host: every stack with a node on `host` is
+    /// incrementally re-placed with that host quarantined — unaffected
+    /// nodes stay pinned where they are.
+    ///
+    /// Returns `(stack, resource)` pairs for every node that moved.
+    /// On error (some stack cannot be re-placed anywhere) the entire
+    /// cloud is rolled back to its pre-call state and the host is
+    /// *not* quarantined.
+    ///
+    /// # Errors
+    ///
+    /// Placement errors if some affected stack no longer fits in the
+    /// remaining capacity.
+    pub fn evacuate_host(
+        &mut self,
+        host: HostId,
+        request: &PlacementRequest,
+    ) -> Result<Vec<(StackId, String)>, HeatError> {
+        let backup = self.clone();
+        let affected: Vec<StackId> = self
+            .stacks
+            .iter()
+            .filter(|(_, r)| r.placement.assignments().contains(&host))
+            .map(|(&id, _)| id)
+            .collect();
+
+        let scheduler = Scheduler::new(self.infra);
+        // Free every affected stack first so the quarantine below
+        // freezes only the host's *unowned* remainder.
+        for &id in &affected {
+            let record = &self.stacks[&id];
+            if let Err(e) = scheduler.release(&record.topology, &record.placement, &mut self.state)
+            {
+                *self = backup;
+                return Err(HeatError::Placement(e));
+            }
+        }
+        self.state.quarantine_host(host);
+
+        let mut moved = Vec::new();
+        for &id in &affected {
+            let record = self.stacks.get(&id).expect("affected ids are live");
+            let topology = record.topology.clone();
+            let prior: Vec<Option<HostId>> = record
+                .topology
+                .nodes()
+                .iter()
+                .map(|n| {
+                    let old = record.placement.host_of(n.id());
+                    (old != host).then_some(old)
+                })
+                .collect();
+            // Nodes on the dead host are free; everything else pinned.
+            let result = match scheduler.replace_online(
+                &topology,
+                &self.state,
+                request,
+                &prior,
+                4,
+            ) {
+                Ok(result) => result,
+                Err(e) => {
+                    *self = backup;
+                    return Err(HeatError::Placement(e));
+                }
+            };
+            if let Err(e) =
+                scheduler.commit(&topology, &result.outcome.placement, &mut self.state)
+            {
+                *self = backup;
+                return Err(HeatError::Placement(e));
+            }
+            for node in topology.nodes() {
+                let new_host = result.outcome.placement.host_of(node.id());
+                let old_host = self.stacks[&id].placement.host_of(node.id());
+                if new_host != old_host {
+                    moved.push((id, node.name().to_owned()));
+                }
+            }
+            // Refresh service records and the stack entry.
+            self.nova.instances.retain(|i| i.stack != id);
+            self.cinder.volumes.retain(|v| v.stack != id);
+            for node in topology.nodes() {
+                let node_host = result.outcome.placement.host_of(node.id());
+                if node.is_vm() {
+                    self.nova.instances.push(Instance {
+                        name: node.name().to_owned(),
+                        host: node_host,
+                        resources: node.requirements(),
+                        stack: id,
+                    });
+                } else {
+                    self.cinder.volumes.push(VolumeRecord {
+                        name: node.name().to_owned(),
+                        host: node_host,
+                        size_gb: node.requirements().disk_gb,
+                        stack: id,
+                    });
+                }
+            }
+            let record = self.stacks.get_mut(&id).expect("affected ids are live");
+            record.annotated = annotate_template(
+                &record.template,
+                &result.outcome.placement,
+                self.infra,
+                &record.names,
+            );
+            record.placement = result.outcome.placement.clone();
+            record.outcome = result.outcome;
+        }
+        Ok(moved)
+    }
+
+    /// Tears a stack down, releasing all its resources.
+    ///
+    /// # Errors
+    ///
+    /// [`HeatError::UnknownStack`] for a dead id; capacity errors
+    /// cannot occur for a stack this controller deployed.
+    pub fn delete_stack(&mut self, id: StackId) -> Result<(), HeatError> {
+        let record = self.stacks.remove(&id).ok_or(HeatError::UnknownStack(id.0))?;
+        let scheduler = Scheduler::new(self.infra);
+        scheduler
+            .release(&record.topology, &record.placement, &mut self.state)
+            .map_err(|e| {
+                // Put the record back so state stays consistent.
+                self.stacks.insert(id, record.clone());
+                HeatError::Placement(e)
+            })?;
+        self.nova.instances.retain(|i| i.stack != id);
+        self.cinder.volumes.retain(|v| v.stack != id);
+        Ok(())
+    }
+
+    /// Total bandwidth currently reserved across the cloud's links.
+    #[must_use]
+    pub fn reserved_bandwidth(&self) -> Bandwidth {
+        self.state.total_reserved_bandwidth(self.infra)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ostro_datacenter::InfrastructureBuilder;
+
+    fn template(n: usize) -> HeatTemplate {
+        let mut resources = String::new();
+        for i in 0..n {
+            resources.push_str(&format!(
+                r#""vm{i}": {{"type": "OS::Nova::Server",
+                     "properties": {{"vcpus": 2, "memory_mb": 2048}}}},"#
+            ));
+        }
+        let json = format!(
+            r#"{{
+              "heat_template_version": "2015-04-30",
+              "resources": {{
+                {resources}
+                "vol": {{"type": "OS::Cinder::Volume", "properties": {{"size_gb": 40}}}},
+                "att": {{"type": "OS::Cinder::VolumeAttachment",
+                         "properties": {{"instance": "vm0", "volume": "vol",
+                                          "bandwidth_mbps": 100}}}}
+              }}
+            }}"#
+        );
+        serde_json::from_str(&json).unwrap()
+    }
+
+    fn infra() -> ostro_datacenter::Infrastructure {
+        InfrastructureBuilder::flat(
+            "dc",
+            2,
+            4,
+            Resources::new(8, 16_384, 500),
+            Bandwidth::from_gbps(10),
+            Bandwidth::from_gbps(100),
+        )
+        .build()
+        .unwrap()
+    }
+
+    #[test]
+    fn create_then_delete_restores_the_cloud() {
+        let infra = infra();
+        let mut cloud = CloudController::new(&infra);
+        let fresh = cloud.state().clone();
+        let id = cloud
+            .create_stack("s1", template(3), &PlacementRequest::default())
+            .unwrap();
+        assert_eq!(cloud.nova().instance_count(), 3);
+        assert_eq!(cloud.cinder().volume_count(), 1);
+        assert!(cloud.state().active_host_count() > 0);
+        assert_eq!(cloud.stack_ids(), vec![id]);
+        cloud.delete_stack(id).unwrap();
+        assert_eq!(cloud.nova().instance_count(), 0);
+        assert_eq!(cloud.cinder().volume_count(), 0);
+        assert_eq!(*cloud.state(), fresh);
+        assert!(matches!(
+            cloud.delete_stack(id).unwrap_err(),
+            HeatError::UnknownStack(_)
+        ));
+    }
+
+    #[test]
+    fn stacks_accumulate_and_see_each_other() {
+        let infra = infra();
+        let mut cloud = CloudController::new(&infra);
+        let a = cloud.create_stack("a", template(2), &PlacementRequest::default()).unwrap();
+        let before = cloud.state().active_host_count();
+        let b = cloud.create_stack("b", template(2), &PlacementRequest::default()).unwrap();
+        assert_ne!(a, b);
+        // The second stack was placed against the first stack's usage.
+        assert!(cloud.state().active_host_count() >= before);
+        assert_eq!(cloud.nova().instance_count(), 4);
+        // Reserved bandwidth equals the sum of each stack's share.
+        let total: Bandwidth = cloud
+            .stack_ids()
+            .iter()
+            .map(|&id| cloud.stack(id).unwrap().outcome.reserved_bandwidth)
+            .sum();
+        assert_eq!(cloud.reserved_bandwidth(), total);
+    }
+
+    #[test]
+    fn infeasible_stack_leaves_state_untouched() {
+        let infra = infra();
+        let mut cloud = CloudController::new(&infra);
+        let fresh = cloud.state().clone();
+        let huge: HeatTemplate = serde_json::from_str(
+            r#"{
+              "heat_template_version": "2015-04-30",
+              "resources": {
+                "vm": {"type": "OS::Nova::Server",
+                        "properties": {"vcpus": 999, "memory_mb": 1}}
+              }
+            }"#,
+        )
+        .unwrap();
+        assert!(cloud.create_stack("nope", huge, &PlacementRequest::default()).is_err());
+        assert_eq!(*cloud.state(), fresh);
+        assert!(cloud.stack_ids().is_empty());
+    }
+
+    #[test]
+    fn update_stack_keeps_survivors_and_adds_new_resources() {
+        let infra = infra();
+        let mut cloud = CloudController::new(&infra);
+        let id = cloud
+            .create_stack("s", template(2), &PlacementRequest::default())
+            .unwrap();
+        let old_host_vm0 = cloud
+            .nova()
+            .instances()
+            .iter()
+            .find(|i| i.name == "vm0")
+            .unwrap()
+            .host;
+
+        let moved = cloud
+            .update_stack(id, template(3), &PlacementRequest::default())
+            .unwrap();
+        assert!(moved.is_empty(), "pure addition repositions nothing: {moved:?}");
+        assert_eq!(cloud.nova().instance_count(), 3);
+        let new_host_vm0 = cloud
+            .nova()
+            .instances()
+            .iter()
+            .find(|i| i.name == "vm0")
+            .unwrap()
+            .host;
+        assert_eq!(new_host_vm0, old_host_vm0);
+        // The stored record reflects the new template.
+        assert_eq!(cloud.stack(id).unwrap().topology.vm_count(), 3);
+    }
+
+    #[test]
+    fn update_stack_can_shrink() {
+        let infra = infra();
+        let mut cloud = CloudController::new(&infra);
+        let id = cloud
+            .create_stack("s", template(3), &PlacementRequest::default())
+            .unwrap();
+        let before = cloud.reserved_bandwidth();
+        cloud.update_stack(id, template(1), &PlacementRequest::default()).unwrap();
+        assert_eq!(cloud.nova().instance_count(), 1);
+        assert!(cloud.reserved_bandwidth() <= before);
+        // Teardown still restores a pristine cloud.
+        let pristine = CapacityState::new(&infra);
+        cloud.delete_stack(id).unwrap();
+        assert_eq!(*cloud.state(), pristine);
+    }
+
+    #[test]
+    fn evacuation_moves_only_the_dead_hosts_nodes() {
+        let infra = infra();
+        let mut cloud = CloudController::new(&infra);
+        let request = PlacementRequest::default();
+        let a = cloud.create_stack("a", template(2), &request).unwrap();
+        let b = cloud.create_stack("b", template(2), &request).unwrap();
+        // Pick a host actually in use by stack a.
+        let dead = cloud.stack(a).unwrap().placement.assignments()[0];
+        let victims_before: Vec<String> = cloud
+            .nova()
+            .instances()
+            .iter()
+            .chain_names_on(dead);
+        assert!(!victims_before.is_empty());
+
+        let moved = cloud.evacuate_host(dead, &request).unwrap();
+        assert!(!moved.is_empty());
+        // Nothing remains on the dead host, in either service.
+        assert!(cloud.nova().instances().iter().all(|i| i.host != dead));
+        assert!(cloud.cinder().volumes().iter().all(|v| v.host != dead));
+        // Quarantine holds: the host admits nothing new.
+        assert!(cloud.state().available(dead).is_zero());
+        // Both stacks still fully deployed and valid.
+        for id in [a, b] {
+            let record = cloud.stack(id).unwrap();
+            let violations = ostro_core::verify_placement(
+                &record.topology,
+                &infra,
+                &CapacityState::new(&infra),
+                &record.placement,
+            )
+            .unwrap();
+            assert!(violations.is_empty());
+            assert!(!record.placement.assignments().contains(&dead));
+        }
+    }
+
+    trait NamesOn {
+        fn chain_names_on(self, host: HostId) -> Vec<String>;
+    }
+    impl<'a, I: Iterator<Item = &'a Instance>> NamesOn for I {
+        fn chain_names_on(self, host: HostId) -> Vec<String> {
+            self.filter(|i| i.host == host).map(|i| i.name.clone()).collect()
+        }
+    }
+
+    #[test]
+    fn evacuation_rolls_back_when_impossible() {
+        // A cluster of exactly two hosts where the app needs host
+        // diversity: killing one host leaves nowhere to go.
+        let tiny = InfrastructureBuilder::flat(
+            "tiny",
+            1,
+            2,
+            Resources::new(8, 16_384, 500),
+            Bandwidth::from_gbps(10),
+            Bandwidth::from_gbps(100),
+        )
+        .build()
+        .unwrap();
+        let mut cloud = CloudController::with_state(&tiny, CapacityState::new(&tiny));
+        let request = PlacementRequest::default();
+        let two_vms: HeatTemplate = serde_json::from_str(
+            r#"{
+              "heat_template_version": "2015-04-30",
+              "resources": {
+                "a": {"type": "OS::Nova::Server", "properties": {"vcpus": 2, "memory_mb": 2048}},
+                "b": {"type": "OS::Nova::Server", "properties": {"vcpus": 2, "memory_mb": 2048}},
+                "dz": {"type": "ATT::QoS::DiversityZone",
+                        "properties": {"level": "host", "members": ["a", "b"]}}
+              }
+            }"#,
+        )
+        .unwrap();
+        let id = cloud.create_stack("s", two_vms, &request).unwrap();
+        let dead = cloud.stack(id).unwrap().placement.assignments()[0];
+        let snapshot_state = cloud.state().clone();
+        let err = cloud.evacuate_host(dead, &request).unwrap_err();
+        assert!(matches!(err, HeatError::Placement(_)));
+        // Full rollback: state and records untouched, host not quarantined.
+        assert_eq!(*cloud.state(), snapshot_state);
+        assert_eq!(cloud.nova().instance_count(), 2);
+        assert!(!cloud.state().available(dead).is_zero());
+    }
+
+    #[test]
+    fn update_unknown_stack_fails_cleanly() {
+        let infra = infra();
+        let mut cloud = CloudController::new(&infra);
+        let err = cloud
+            .update_stack(StackId(99), template(1), &PlacementRequest::default())
+            .unwrap_err();
+        assert!(matches!(err, HeatError::UnknownStack(99)));
+    }
+
+    #[test]
+    fn annotated_template_is_stored_with_hints() {
+        let infra = infra();
+        let mut cloud = CloudController::new(&infra);
+        let id = cloud
+            .create_stack("s", template(1), &PlacementRequest::default())
+            .unwrap();
+        let record = cloud.stack(id).unwrap();
+        let json = serde_json::to_string(&record.annotated).unwrap();
+        assert!(json.contains("ostro:host"));
+        assert_eq!(record.name, "s");
+        // The instance really sits on the annotated host.
+        let vm0 = cloud.nova().instances().iter().find(|i| i.name == "vm0").unwrap();
+        assert_eq!(vm0.host, record.placement.host_of(record.names["vm0"]));
+    }
+}

@@ -1,0 +1,291 @@
+//! The QoS-enhanced Heat template dialect: standard Heat JSON plus the
+//! `ATT::QoS::Pipe` and `ATT::QoS::DiversityZone` resource types the
+//! paper adds for bandwidth and anti-affinity requirements.
+
+use std::collections::BTreeMap;
+
+use ostro_model::{DiversityLevel, Proximity};
+use serde::{Deserialize, Serialize};
+
+/// A parsed QoS-enhanced Heat template.
+///
+/// Resources are keyed by name in a sorted map so serialization is
+/// deterministic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeatTemplate {
+    /// The Heat template format version (e.g. `"2015-04-30"`).
+    pub heat_template_version: String,
+    /// Free-form template description.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub description: Option<String>,
+    /// All declared resources, by name.
+    pub resources: BTreeMap<String, Resource>,
+}
+
+impl HeatTemplate {
+    /// An empty template with the version the paper's prototype targeted.
+    #[must_use]
+    pub fn new() -> Self {
+        HeatTemplate {
+            heat_template_version: "2015-04-30".to_owned(),
+            description: None,
+            resources: BTreeMap::new(),
+        }
+    }
+
+    /// Number of server resources.
+    #[must_use]
+    pub fn server_count(&self) -> usize {
+        self.resources.values().filter(|r| matches!(r, Resource::Server { .. })).count()
+    }
+
+    /// Number of volume resources.
+    #[must_use]
+    pub fn volume_count(&self) -> usize {
+        self.resources.values().filter(|r| matches!(r, Resource::Volume { .. })).count()
+    }
+}
+
+impl Default for HeatTemplate {
+    fn default() -> Self {
+        HeatTemplate::new()
+    }
+}
+
+/// One Heat resource, dispatched on its `type` field.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type")]
+pub enum Resource {
+    /// A virtual machine.
+    #[serde(rename = "OS::Nova::Server")]
+    Server {
+        /// The server's sizing and (after annotation) placement hints.
+        properties: ServerProperties,
+    },
+    /// A block-storage volume.
+    #[serde(rename = "OS::Cinder::Volume")]
+    Volume {
+        /// The volume's sizing and (after annotation) placement hints.
+        properties: VolumeProperties,
+    },
+    /// Attaches a volume to a server, optionally with an I/O bandwidth
+    /// guarantee (which becomes a topology link).
+    #[serde(rename = "OS::Cinder::VolumeAttachment")]
+    VolumeAttachment {
+        /// Which server/volume pair to attach.
+        properties: VolumeAttachmentProperties,
+    },
+    /// A guaranteed-bandwidth pipe between two nodes (QoS extension).
+    #[serde(rename = "ATT::QoS::Pipe")]
+    Pipe {
+        /// The pipe's endpoints and bandwidth.
+        properties: PipeProperties,
+    },
+    /// An anti-affinity group (QoS extension).
+    #[serde(rename = "ATT::QoS::DiversityZone")]
+    DiversityZone {
+        /// The zone's level and members.
+        properties: ZoneProperties,
+    },
+}
+
+/// Sizing and placement properties of a server.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerProperties {
+    /// Virtual CPUs.
+    pub vcpus: u32,
+    /// Memory in MiB.
+    pub memory_mb: u64,
+    /// Best-effort CPU reservation: vCPUs are opportunistic and do not
+    /// count against host capacity (only memory is guaranteed).
+    #[serde(default, skip_serializing_if = "std::ops::Not::not")]
+    pub best_effort_cpu: bool,
+    /// Placement decision, stamped in by [`annotate_template`](crate::annotate_template).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub scheduler_hints: Option<SchedulerHints>,
+}
+
+/// Sizing and placement properties of a volume.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VolumeProperties {
+    /// Volume size in GiB.
+    pub size_gb: u64,
+    /// Placement decision, stamped in by [`annotate_template`](crate::annotate_template).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub scheduler_hints: Option<SchedulerHints>,
+}
+
+/// Properties of a volume attachment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VolumeAttachmentProperties {
+    /// The server resource name.
+    pub instance: String,
+    /// The volume resource name.
+    pub volume: String,
+    /// Optional I/O bandwidth guarantee between the pair (Mbps).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub bandwidth_mbps: Option<u64>,
+}
+
+/// Properties of a QoS pipe.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipeProperties {
+    /// The two endpoint resource names.
+    pub between: (String, String),
+    /// Guaranteed bandwidth in Mbps.
+    pub bandwidth_mbps: u64,
+    /// Optional latency bound: the endpoints must share this unit.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub within: Option<ZoneLevel>,
+}
+
+/// Properties of a diversity zone.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ZoneProperties {
+    /// The separation level.
+    pub level: ZoneLevel,
+    /// The member resource names.
+    pub members: Vec<String>,
+}
+
+/// Template-level spelling of [`DiversityLevel`], lowercase in JSON.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum ZoneLevel {
+    /// Distinct hosts.
+    Host,
+    /// Distinct racks.
+    Rack,
+    /// Distinct pods.
+    Pod,
+    /// Distinct data centers.
+    Datacenter,
+}
+
+impl From<ZoneLevel> for Proximity {
+    fn from(z: ZoneLevel) -> Self {
+        match z {
+            ZoneLevel::Host => Proximity::Host,
+            ZoneLevel::Rack => Proximity::Rack,
+            ZoneLevel::Pod => Proximity::Pod,
+            ZoneLevel::Datacenter => Proximity::DataCenter,
+        }
+    }
+}
+
+impl From<Proximity> for ZoneLevel {
+    fn from(p: Proximity) -> Self {
+        match p {
+            Proximity::Host => ZoneLevel::Host,
+            Proximity::Rack => ZoneLevel::Rack,
+            Proximity::Pod => ZoneLevel::Pod,
+            Proximity::DataCenter => ZoneLevel::Datacenter,
+        }
+    }
+}
+
+impl From<ZoneLevel> for DiversityLevel {
+    fn from(z: ZoneLevel) -> Self {
+        match z {
+            ZoneLevel::Host => DiversityLevel::Host,
+            ZoneLevel::Rack => DiversityLevel::Rack,
+            ZoneLevel::Pod => DiversityLevel::Pod,
+            ZoneLevel::Datacenter => DiversityLevel::DataCenter,
+        }
+    }
+}
+
+impl From<DiversityLevel> for ZoneLevel {
+    fn from(d: DiversityLevel) -> Self {
+        match d {
+            DiversityLevel::Host => ZoneLevel::Host,
+            DiversityLevel::Rack => ZoneLevel::Rack,
+            DiversityLevel::Pod => ZoneLevel::Pod,
+            DiversityLevel::DataCenter => ZoneLevel::Datacenter,
+        }
+    }
+}
+
+/// The placement decision attached to a server or volume resource.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchedulerHints {
+    /// The exact host Ostro selected, by name.
+    #[serde(rename = "ostro:host")]
+    pub host: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_json() -> &'static str {
+        r#"{
+          "heat_template_version": "2015-04-30",
+          "description": "tiny",
+          "resources": {
+            "web": {"type": "OS::Nova::Server", "properties": {"vcpus": 2, "memory_mb": 2048}},
+            "vol": {"type": "OS::Cinder::Volume", "properties": {"size_gb": 50}},
+            "att": {"type": "OS::Cinder::VolumeAttachment",
+                    "properties": {"instance": "web", "volume": "vol", "bandwidth_mbps": 80}},
+            "p": {"type": "ATT::QoS::Pipe",
+                  "properties": {"between": ["web", "vol"], "bandwidth_mbps": 10}},
+            "z": {"type": "ATT::QoS::DiversityZone",
+                  "properties": {"level": "rack", "members": ["web"]}}
+          }
+        }"#
+    }
+
+    #[test]
+    fn parses_all_resource_types() {
+        let t: HeatTemplate = serde_json::from_str(sample_json()).unwrap();
+        assert_eq!(t.resources.len(), 5);
+        assert_eq!(t.server_count(), 1);
+        assert_eq!(t.volume_count(), 1);
+        assert!(matches!(t.resources["att"], Resource::VolumeAttachment { .. }));
+        match &t.resources["z"] {
+            Resource::DiversityZone { properties } => {
+                assert_eq!(properties.level, ZoneLevel::Rack);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let t: HeatTemplate = serde_json::from_str(sample_json()).unwrap();
+        let json = serde_json::to_string_pretty(&t).unwrap();
+        let back: HeatTemplate = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+        // Hints absent -> not serialized.
+        assert!(!json.contains("scheduler_hints"));
+    }
+
+    #[test]
+    fn unknown_resource_type_is_rejected() {
+        let bad = r#"{
+          "heat_template_version": "2015-04-30",
+          "resources": {"x": {"type": "OS::Neutron::Port", "properties": {}}}
+        }"#;
+        assert!(serde_json::from_str::<HeatTemplate>(bad).is_err());
+    }
+
+    #[test]
+    fn zone_level_conversions() {
+        for (z, d) in [
+            (ZoneLevel::Host, DiversityLevel::Host),
+            (ZoneLevel::Rack, DiversityLevel::Rack),
+            (ZoneLevel::Pod, DiversityLevel::Pod),
+            (ZoneLevel::Datacenter, DiversityLevel::DataCenter),
+        ] {
+            assert_eq!(DiversityLevel::from(z), d);
+            assert_eq!(ZoneLevel::from(d), z);
+        }
+    }
+
+    #[test]
+    fn hints_serialize_with_ostro_prefix() {
+        let hints = SchedulerHints { host: "dc-r0-h1".into() };
+        let json = serde_json::to_string(&hints).unwrap();
+        assert_eq!(json, r#"{"ostro:host":"dc-r0-h1"}"#);
+    }
+}

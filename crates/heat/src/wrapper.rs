@@ -1,0 +1,302 @@
+//! The Ostro Heat wrapper: translating between QoS-enhanced Heat
+//! templates and [`ApplicationTopology`] values.
+
+use std::collections::BTreeMap;
+
+use ostro_model::{ApplicationTopology, Bandwidth, NodeId, TopologyBuilder};
+
+use crate::error::HeatError;
+use crate::template::{
+    HeatTemplate, PipeProperties, Resource, ServerProperties, VolumeAttachmentProperties,
+    VolumeProperties, ZoneProperties,
+};
+
+/// Maps template resource names to topology node ids (and back via the
+/// topology's own name index).
+pub type NameMap = BTreeMap<String, NodeId>;
+
+/// Extracts the application topology from a template.
+///
+/// Servers and volumes become nodes named after their resource keys;
+/// pipes and bandwidth-bearing volume attachments become links; QoS
+/// diversity zones become topology diversity zones. Plain attachments
+/// (no bandwidth) impose no placement constraint.
+///
+/// # Errors
+///
+/// [`HeatError::EmptyTemplate`], [`HeatError::BadReference`],
+/// [`HeatError::NotANode`], [`HeatError::BadAttachment`], or a wrapped
+/// [`ModelError`](ostro_model::ModelError) from topology validation.
+pub fn extract_topology(
+    template: &HeatTemplate,
+) -> Result<(ApplicationTopology, NameMap), HeatError> {
+    if template.server_count() + template.volume_count() == 0 {
+        return Err(HeatError::EmptyTemplate);
+    }
+    let mut builder = TopologyBuilder::new("heat-stack");
+    let mut names: NameMap = BTreeMap::new();
+
+    for (name, resource) in &template.resources {
+        match resource {
+            Resource::Server {
+                properties: ServerProperties { vcpus, memory_mb, best_effort_cpu, .. },
+            } => {
+                let id = if *best_effort_cpu {
+                    builder.vm_best_effort(name, *vcpus, *memory_mb)?
+                } else {
+                    builder.vm(name, *vcpus, *memory_mb)?
+                };
+                names.insert(name.clone(), id);
+            }
+            Resource::Volume { properties: VolumeProperties { size_gb, .. } } => {
+                let id = builder.volume(name, *size_gb)?;
+                names.insert(name.clone(), id);
+            }
+            _ => {}
+        }
+    }
+
+    let resolve = |from: &str, target: &str| -> Result<NodeId, HeatError> {
+        match names.get(target) {
+            Some(&id) => Ok(id),
+            None if template.resources.contains_key(target) => Err(HeatError::NotANode {
+                from: from.to_owned(),
+                target: target.to_owned(),
+            }),
+            None => Err(HeatError::BadReference {
+                from: from.to_owned(),
+                target: target.to_owned(),
+            }),
+        }
+    };
+
+    for (name, resource) in &template.resources {
+        match resource {
+            Resource::Pipe {
+                properties: PipeProperties { between: (a, b), bandwidth_mbps, within },
+            } => {
+                let (na, nb) = (resolve(name, a)?, resolve(name, b)?);
+                let bw = Bandwidth::from_mbps(*bandwidth_mbps);
+                match within {
+                    Some(level) => builder.link_within(na, nb, bw, (*level).into())?,
+                    None => builder.link(na, nb, bw)?,
+                };
+            }
+            Resource::VolumeAttachment {
+                properties: VolumeAttachmentProperties { instance, volume, bandwidth_mbps },
+            } => {
+                let vm = resolve(name, instance)?;
+                let vol = resolve(name, volume)?;
+                let vm_ok = matches!(
+                    template.resources.get(instance),
+                    Some(Resource::Server { .. })
+                );
+                let vol_ok = matches!(
+                    template.resources.get(volume),
+                    Some(Resource::Volume { .. })
+                );
+                if !vm_ok || !vol_ok {
+                    return Err(HeatError::BadAttachment { name: name.clone() });
+                }
+                if let Some(bw) = bandwidth_mbps {
+                    builder.link(vm, vol, Bandwidth::from_mbps(*bw))?;
+                }
+            }
+            Resource::DiversityZone { properties: ZoneProperties { level, members } } => {
+                let ids: Vec<NodeId> = members
+                    .iter()
+                    .map(|m| resolve(name, m))
+                    .collect::<Result<_, _>>()?;
+                builder.diversity_zone(name, (*level).into(), &ids)?;
+            }
+            _ => {}
+        }
+    }
+
+    Ok((builder.build()?, names))
+}
+
+/// Renders a topology back into a QoS-enhanced Heat template (the
+/// inverse of [`extract_topology`], up to generated pipe names).
+#[must_use]
+pub fn topology_to_template(topology: &ApplicationTopology) -> HeatTemplate {
+    let mut template = HeatTemplate::new();
+    template.description = Some(format!("generated from topology `{}`", topology.name()));
+    for node in topology.nodes() {
+        let resource = match *node.kind() {
+            ostro_model::NodeKind::Vm { vcpus, memory_mb } => Resource::Server {
+                properties: ServerProperties {
+                    vcpus,
+                    memory_mb,
+                    best_effort_cpu: node.is_best_effort(),
+                    scheduler_hints: None,
+                },
+            },
+            ostro_model::NodeKind::Volume { size_gb } => Resource::Volume {
+                properties: VolumeProperties { size_gb, scheduler_hints: None },
+            },
+        };
+        template.resources.insert(node.name().to_owned(), resource);
+    }
+    for link in topology.links() {
+        let (a, b) = link.endpoints();
+        template.resources.insert(
+            format!("pipe-{}", link.id().index()),
+            Resource::Pipe {
+                properties: PipeProperties {
+                    between: (
+                        topology.node(a).name().to_owned(),
+                        topology.node(b).name().to_owned(),
+                    ),
+                    bandwidth_mbps: link.bandwidth().as_mbps(),
+                    within: link.max_proximity().map(Into::into),
+                },
+            },
+        );
+    }
+    for zone in topology.zones() {
+        template.resources.insert(
+            zone.name().to_owned(),
+            Resource::DiversityZone {
+                properties: ZoneProperties {
+                    level: zone.level().into(),
+                    members: zone
+                        .members()
+                        .iter()
+                        .map(|&m| topology.node(m).name().to_owned())
+                        .collect(),
+                },
+            },
+        );
+    }
+    template
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::ZoneLevel;
+    use ostro_model::DiversityLevel;
+
+    fn template() -> HeatTemplate {
+        serde_json::from_str(
+            r#"{
+          "heat_template_version": "2015-04-30",
+          "resources": {
+            "web": {"type": "OS::Nova::Server", "properties": {"vcpus": 2, "memory_mb": 2048}},
+            "db":  {"type": "OS::Nova::Server", "properties": {"vcpus": 4, "memory_mb": 8192}},
+            "vol": {"type": "OS::Cinder::Volume", "properties": {"size_gb": 50}},
+            "att": {"type": "OS::Cinder::VolumeAttachment",
+                    "properties": {"instance": "db", "volume": "vol", "bandwidth_mbps": 200}},
+            "p":   {"type": "ATT::QoS::Pipe",
+                    "properties": {"between": ["web", "db"], "bandwidth_mbps": 100}},
+            "z":   {"type": "ATT::QoS::DiversityZone",
+                    "properties": {"level": "host", "members": ["web", "db"]}}
+          }
+        }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn extracts_nodes_links_and_zones() {
+        let (topo, names) = extract_topology(&template()).unwrap();
+        assert_eq!(topo.vm_count(), 2);
+        assert_eq!(topo.volume_count(), 1);
+        assert_eq!(topo.links().len(), 2); // pipe + bandwidth attachment
+        assert_eq!(topo.zones().len(), 1);
+        assert_eq!(topo.zones()[0].level(), DiversityLevel::Host);
+        let web = names["web"];
+        let db = names["db"];
+        assert_eq!(topo.bandwidth_between(web, db), Some(Bandwidth::from_mbps(100)));
+        let vol = names["vol"];
+        assert_eq!(topo.bandwidth_between(db, vol), Some(Bandwidth::from_mbps(200)));
+    }
+
+    #[test]
+    fn attachment_without_bandwidth_creates_no_link() {
+        let mut t = template();
+        if let Some(Resource::VolumeAttachment { properties }) = t.resources.get_mut("att") {
+            properties.bandwidth_mbps = None;
+        }
+        let (topo, _) = extract_topology(&t).unwrap();
+        assert_eq!(topo.links().len(), 1);
+    }
+
+    #[test]
+    fn bad_reference_is_reported() {
+        let mut t = template();
+        t.resources.insert(
+            "bad".into(),
+            Resource::Pipe {
+                properties: PipeProperties {
+                    between: ("web".into(), "ghost".into()),
+                    bandwidth_mbps: 5,
+                    within: None,
+                },
+            },
+        );
+        match extract_topology(&t).unwrap_err() {
+            HeatError::BadReference { from, target } => {
+                assert_eq!(from, "bad");
+                assert_eq!(target, "ghost");
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn pipe_to_non_node_is_reported() {
+        let mut t = template();
+        t.resources.insert(
+            "meta-pipe".into(),
+            Resource::Pipe {
+                properties: PipeProperties {
+                    between: ("web".into(), "z".into()), // a zone, not a node
+                    bandwidth_mbps: 5,
+                    within: None,
+                },
+            },
+        );
+        assert!(matches!(
+            extract_topology(&t).unwrap_err(),
+            HeatError::NotANode { .. }
+        ));
+    }
+
+    #[test]
+    fn attachment_must_connect_server_to_volume() {
+        let mut t = template();
+        if let Some(Resource::VolumeAttachment { properties }) = t.resources.get_mut("att") {
+            properties.volume = "web".into(); // a server, not a volume
+        }
+        assert!(matches!(
+            extract_topology(&t).unwrap_err(),
+            HeatError::BadAttachment { .. }
+        ));
+    }
+
+    #[test]
+    fn empty_template_is_rejected() {
+        let t = HeatTemplate::new();
+        assert!(matches!(extract_topology(&t).unwrap_err(), HeatError::EmptyTemplate));
+    }
+
+    #[test]
+    fn topology_round_trips_to_template_and_back() {
+        let (topo, _) = extract_topology(&template()).unwrap();
+        let rendered = topology_to_template(&topo);
+        assert_eq!(rendered.server_count(), 2);
+        assert_eq!(rendered.volume_count(), 1);
+        match &rendered.resources["z"] {
+            Resource::DiversityZone { properties } => {
+                assert_eq!(properties.level, ZoneLevel::Host);
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+        let (topo2, _) = extract_topology(&rendered).unwrap();
+        assert_eq!(topo2.vm_count(), topo.vm_count());
+        assert_eq!(topo2.links().len(), topo.links().len());
+        assert_eq!(topo2.total_link_bandwidth(), topo.total_link_bandwidth());
+    }
+}

@@ -1,0 +1,157 @@
+//! Property tests for the Heat wrapper: random topologies survive the
+//! template round trip, and random templates deploy consistently.
+
+use ostro_core::PlacementRequest;
+use ostro_datacenter::InfrastructureBuilder;
+use ostro_heat::{extract_topology, topology_to_template, CloudController};
+use ostro_model::{
+    ApplicationTopology, Bandwidth, DiversityLevel, Proximity, Resources, TopologyBuilder,
+};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct TopoSpec {
+    vms: Vec<(u32, u64)>,
+    volumes: Vec<u64>,
+    links: Vec<(usize, usize, u64, u8)>,
+    zone_members: Vec<usize>,
+    zone_level: u8,
+}
+
+fn spec_strategy() -> impl Strategy<Value = TopoSpec> {
+    let vms = prop::collection::vec((1u32..8, 1u64..16), 1..6);
+    let volumes = prop::collection::vec(1u64..200, 0..4);
+    (vms, volumes).prop_flat_map(|(vms, volumes)| {
+        let n = vms.len() + volumes.len();
+        (
+            Just(vms),
+            Just(volumes),
+            prop::collection::vec((0..n, 0..n, 1u64..500, 0u8..5), 0..8),
+            prop::collection::vec(0..n, 0..3),
+            0u8..4,
+        )
+            .prop_map(|(vms, volumes, links, zone_members, zone_level)| TopoSpec {
+                vms,
+                volumes,
+                links,
+                zone_members,
+                zone_level,
+            })
+    })
+}
+
+fn build(spec: &TopoSpec) -> ApplicationTopology {
+    let mut b = TopologyBuilder::new("roundtrip");
+    let mut ids = Vec::new();
+    for (i, &(vcpus, mem_gb)) in spec.vms.iter().enumerate() {
+        ids.push(b.vm(format!("vm{i}"), vcpus, mem_gb * 1024).unwrap());
+    }
+    for (i, &size) in spec.volumes.iter().enumerate() {
+        ids.push(b.volume(format!("vol{i}"), size).unwrap());
+    }
+    for &(x, y, bw, prox) in &spec.links {
+        if x == y {
+            continue;
+        }
+        let bw = Bandwidth::from_mbps(bw);
+        let result = match prox {
+            0 => b.link_within(ids[x], ids[y], bw, Proximity::Host),
+            1 => b.link_within(ids[x], ids[y], bw, Proximity::Rack),
+            2 => b.link_within(ids[x], ids[y], bw, Proximity::Pod),
+            3 => b.link_within(ids[x], ids[y], bw, Proximity::DataCenter),
+            _ => b.link(ids[x], ids[y], bw),
+        };
+        let _ = result; // duplicate pairs are rejected; skip those
+    }
+    let mut members: Vec<_> = spec.zone_members.iter().map(|&m| ids[m]).collect();
+    members.sort();
+    members.dedup();
+    if !members.is_empty() {
+        let level = match spec.zone_level {
+            0 => DiversityLevel::Host,
+            1 => DiversityLevel::Rack,
+            2 => DiversityLevel::Pod,
+            _ => DiversityLevel::DataCenter,
+        };
+        b.diversity_zone("zone", level, &members).unwrap();
+    }
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// topology -> template -> topology preserves all structure that
+    /// matters for placement.
+    #[test]
+    fn template_round_trip_is_lossless(spec in spec_strategy()) {
+        let original = build(&spec);
+        let template = topology_to_template(&original);
+        let (back, _) = extract_topology(&template).unwrap();
+
+        prop_assert_eq!(back.vm_count(), original.vm_count());
+        prop_assert_eq!(back.volume_count(), original.volume_count());
+        prop_assert_eq!(back.links().len(), original.links().len());
+        prop_assert_eq!(back.zones().len(), original.zones().len());
+        prop_assert_eq!(back.total_link_bandwidth(), original.total_link_bandwidth());
+        prop_assert_eq!(back.total_requirements(), original.total_requirements());
+        // Per-link bandwidth and proximity survive (match by endpoint names).
+        for link in original.links() {
+            let (a, b) = link.endpoints();
+            let na = back.node_by_name(original.node(a).name()).unwrap().id();
+            let nb = back.node_by_name(original.node(b).name()).unwrap().id();
+            prop_assert_eq!(back.bandwidth_between(na, nb), Some(link.bandwidth()));
+            let back_link = back
+                .links()
+                .iter()
+                .find(|l| l.touches(na) && l.touches(nb))
+                .unwrap();
+            prop_assert_eq!(back_link.max_proximity(), link.max_proximity());
+        }
+        // JSON serialization round trips too.
+        let json = serde_json::to_string(&template).unwrap();
+        let reparsed: ostro_heat::HeatTemplate = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(reparsed, template);
+    }
+
+    /// Deploying any feasible generated template leaves the controller
+    /// consistent, and deleting the stack restores it exactly.
+    #[test]
+    fn deploy_teardown_restores_cloud(spec in spec_strategy()) {
+        let topology = build(&spec);
+        let template = topology_to_template(&topology);
+        let infra = InfrastructureBuilder::flat(
+            "dc",
+            3,
+            4,
+            Resources::new(32, 131_072, 4_000),
+            Bandwidth::from_gbps(10),
+            Bandwidth::from_gbps(100),
+        )
+        .build()
+        .unwrap();
+        let mut cloud = CloudController::new(&infra);
+        let pristine = cloud.state().clone();
+        match cloud.create_stack("s", template, &PlacementRequest::default()) {
+            Ok(id) => {
+                let stack = cloud.stack(id).unwrap();
+                prop_assert_eq!(
+                    stack.placement.assignments().len(),
+                    topology.node_count()
+                );
+                prop_assert_eq!(
+                    cloud.nova().instance_count(),
+                    topology.vm_count()
+                );
+                cloud.delete_stack(id).unwrap();
+                prop_assert_eq!(cloud.state(), &pristine);
+            }
+            Err(_) => {
+                // Infeasible (e.g. contradictory proximity + diversity);
+                // the cloud must be untouched.
+                prop_assert_eq!(cloud.state(), &pristine);
+                prop_assert_eq!(cloud.nova().instance_count(), 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,363 @@
+use std::collections::{HashMap, HashSet};
+
+use crate::diversity::{DiversityLevel, DiversityZone, Proximity, ZoneId};
+use crate::error::ModelError;
+use crate::link::{Link, LinkId};
+use crate::node::{Node, NodeId, NodeKind};
+use crate::resources::Bandwidth;
+use crate::topology::ApplicationTopology;
+
+/// Incremental constructor for [`ApplicationTopology`].
+///
+/// Node- and link-level validation happens eagerly as elements are
+/// added; whole-topology validation (non-emptiness) happens in
+/// [`build`](Self::build).
+///
+/// ```
+/// use ostro_model::{Bandwidth, DiversityLevel, TopologyBuilder};
+///
+/// # fn main() -> Result<(), ostro_model::ModelError> {
+/// let mut b = TopologyBuilder::new("app");
+/// let v0 = b.vm("v0", 1, 1024)?;
+/// let v1 = b.vm("v1", 1, 1024)?;
+/// b.link(v0, v1, Bandwidth::from_mbps(50))?;
+/// b.diversity_zone("spread", DiversityLevel::Host, &[v0, v1])?;
+/// let topology = b.build()?;
+/// assert_eq!(topology.node_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TopologyBuilder {
+    name: String,
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    zones: Vec<DiversityZone>,
+    node_names: HashMap<String, NodeId>,
+    zone_names: HashSet<String>,
+    link_pairs: HashSet<(NodeId, NodeId)>,
+}
+
+impl TopologyBuilder {
+    /// Starts an empty topology with the given application name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        TopologyBuilder { name: name.into(), ..TopologyBuilder::default() }
+    }
+
+    pub(crate) fn from_topology(t: &ApplicationTopology) -> Self {
+        TopologyBuilder {
+            name: t.name.clone(),
+            nodes: t.nodes.clone(),
+            links: t.links.clone(),
+            zones: t.zones.clone(),
+            node_names: t.name_index.clone(),
+            zone_names: t.zones.iter().map(|z| z.name.clone()).collect(),
+            link_pairs: t.links.iter().map(|l| (l.a, l.b)).collect(),
+        }
+    }
+
+    /// Number of nodes added so far.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Looks up an already-added node by name.
+    #[must_use]
+    pub fn node_id(&self, name: &str) -> Option<NodeId> {
+        self.node_names.get(name).copied()
+    }
+
+    /// Adds a virtual machine with the given vCPU and memory requirement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::DuplicateName`] if the name is taken and
+    /// [`ModelError::InvalidVmSize`] if `vcpus` or `memory_mb` is zero.
+    pub fn vm(
+        &mut self,
+        name: impl Into<String>,
+        vcpus: u32,
+        memory_mb: u64,
+    ) -> Result<NodeId, ModelError> {
+        let name = name.into();
+        if vcpus == 0 || memory_mb == 0 {
+            return Err(ModelError::InvalidVmSize(name));
+        }
+        self.add_node(name, NodeKind::Vm { vcpus, memory_mb }, false)
+    }
+
+    /// Adds a virtual machine whose CPU reservation is *best effort*
+    /// (the paper's §VI future work): the vCPUs describe the desired
+    /// share but reserve no host capacity; only the memory is
+    /// guaranteed.
+    ///
+    /// # Errors
+    ///
+    /// As [`vm`](Self::vm).
+    pub fn vm_best_effort(
+        &mut self,
+        name: impl Into<String>,
+        vcpus: u32,
+        memory_mb: u64,
+    ) -> Result<NodeId, ModelError> {
+        let name = name.into();
+        if vcpus == 0 || memory_mb == 0 {
+            return Err(ModelError::InvalidVmSize(name));
+        }
+        self.add_node(name, NodeKind::Vm { vcpus, memory_mb }, true)
+    }
+
+    /// Adds a disk volume of the given size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::DuplicateName`] if the name is taken and
+    /// [`ModelError::InvalidVolumeSize`] if `size_gb` is zero.
+    pub fn volume(&mut self, name: impl Into<String>, size_gb: u64) -> Result<NodeId, ModelError> {
+        let name = name.into();
+        if size_gb == 0 {
+            return Err(ModelError::InvalidVolumeSize(name));
+        }
+        self.add_node(name, NodeKind::Volume { size_gb }, false)
+    }
+
+    fn add_node(
+        &mut self,
+        name: String,
+        kind: NodeKind,
+        best_effort: bool,
+    ) -> Result<NodeId, ModelError> {
+        if self.node_names.contains_key(&name) {
+            return Err(ModelError::DuplicateName(name));
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.node_names.insert(name.clone(), id);
+        self.nodes.push(Node { id, name, kind, best_effort });
+        Ok(id)
+    }
+
+    /// Adds an undirected bandwidth link between two nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::SelfLoop`], [`ModelError::UnknownNode`],
+    /// [`ModelError::DuplicateLink`], or
+    /// [`ModelError::ZeroBandwidthLink`].
+    pub fn link(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        bandwidth: Bandwidth,
+    ) -> Result<LinkId, ModelError> {
+        self.link_impl(a, b, bandwidth, None)
+    }
+
+    /// Adds a link that additionally requires its endpoints to land
+    /// within the same infrastructure unit of the given level (a
+    /// latency bound; the paper's §VI future work).
+    ///
+    /// # Errors
+    ///
+    /// As [`link`](Self::link).
+    pub fn link_within(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        bandwidth: Bandwidth,
+        proximity: Proximity,
+    ) -> Result<LinkId, ModelError> {
+        self.link_impl(a, b, bandwidth, Some(proximity))
+    }
+
+    fn link_impl(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        bandwidth: Bandwidth,
+        max_proximity: Option<Proximity>,
+    ) -> Result<LinkId, ModelError> {
+        let bound = self.nodes.len() as u32;
+        for id in [a, b] {
+            if id.0 >= bound {
+                return Err(ModelError::UnknownNode(id.to_string()));
+            }
+        }
+        if a == b {
+            return Err(ModelError::SelfLoop(self.nodes[a.index()].name.clone()));
+        }
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        if bandwidth.is_zero() {
+            return Err(ModelError::ZeroBandwidthLink(
+                self.nodes[lo.index()].name.clone(),
+                self.nodes[hi.index()].name.clone(),
+            ));
+        }
+        if !self.link_pairs.insert((lo, hi)) {
+            return Err(ModelError::DuplicateLink(
+                self.nodes[lo.index()].name.clone(),
+                self.nodes[hi.index()].name.clone(),
+            ));
+        }
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(Link { id, a: lo, b: hi, bandwidth, max_proximity });
+        Ok(id)
+    }
+
+    /// Adds a named diversity zone over `members` at `level`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::EmptyDiversityZone`],
+    /// [`ModelError::DuplicateZoneName`], [`ModelError::UnknownNode`],
+    /// or [`ModelError::DuplicateZoneMember`].
+    pub fn diversity_zone(
+        &mut self,
+        name: impl Into<String>,
+        level: DiversityLevel,
+        members: &[NodeId],
+    ) -> Result<ZoneId, ModelError> {
+        let name = name.into();
+        if members.is_empty() {
+            return Err(ModelError::EmptyDiversityZone(name));
+        }
+        if !self.zone_names.insert(name.clone()) {
+            return Err(ModelError::DuplicateZoneName(name));
+        }
+        let bound = self.nodes.len() as u32;
+        let mut seen = HashSet::with_capacity(members.len());
+        for &m in members {
+            if m.0 >= bound {
+                return Err(ModelError::UnknownNode(m.to_string()));
+            }
+            if !seen.insert(m) {
+                return Err(ModelError::DuplicateZoneMember(
+                    name,
+                    self.nodes[m.index()].name.clone(),
+                ));
+            }
+        }
+        let id = ZoneId(self.zones.len() as u32);
+        self.zones.push(DiversityZone { id, name, level, members: members.to_vec() });
+        Ok(id)
+    }
+
+    /// Finalizes the topology, building adjacency and zone indices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::EmptyTopology`] if no node was added.
+    pub fn build(self) -> Result<ApplicationTopology, ModelError> {
+        ApplicationTopology::from_parts(self.name, self.nodes, self.links, self.zones)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_topology() {
+        assert_eq!(TopologyBuilder::new("e").build().unwrap_err(), ModelError::EmptyTopology);
+    }
+
+    #[test]
+    fn rejects_duplicate_node_name() {
+        let mut b = TopologyBuilder::new("t");
+        b.vm("x", 1, 1).unwrap();
+        assert_eq!(b.volume("x", 10).unwrap_err(), ModelError::DuplicateName("x".into()));
+    }
+
+    #[test]
+    fn rejects_invalid_sizes() {
+        let mut b = TopologyBuilder::new("t");
+        assert_eq!(b.vm("a", 0, 1024).unwrap_err(), ModelError::InvalidVmSize("a".into()));
+        assert_eq!(b.vm("b", 1, 0).unwrap_err(), ModelError::InvalidVmSize("b".into()));
+        assert_eq!(b.volume("c", 0).unwrap_err(), ModelError::InvalidVolumeSize("c".into()));
+    }
+
+    #[test]
+    fn rejects_bad_links() {
+        let mut b = TopologyBuilder::new("t");
+        let a = b.vm("a", 1, 1024).unwrap();
+        let c = b.vm("c", 1, 1024).unwrap();
+        assert_eq!(b.link(a, a, Bandwidth::from_mbps(1)).unwrap_err(), ModelError::SelfLoop("a".into()));
+        assert_eq!(
+            b.link(a, c, Bandwidth::ZERO).unwrap_err(),
+            ModelError::ZeroBandwidthLink("a".into(), "c".into())
+        );
+        b.link(a, c, Bandwidth::from_mbps(1)).unwrap();
+        // Same pair in either order is a duplicate.
+        assert_eq!(
+            b.link(c, a, Bandwidth::from_mbps(2)).unwrap_err(),
+            ModelError::DuplicateLink("a".into(), "c".into())
+        );
+        assert_eq!(
+            b.link(a, NodeId(9), Bandwidth::from_mbps(1)).unwrap_err(),
+            ModelError::UnknownNode("v9".into())
+        );
+    }
+
+    #[test]
+    fn rejects_bad_zones() {
+        let mut b = TopologyBuilder::new("t");
+        let a = b.vm("a", 1, 1024).unwrap();
+        assert_eq!(
+            b.diversity_zone("z", DiversityLevel::Host, &[]).unwrap_err(),
+            ModelError::EmptyDiversityZone("z".into())
+        );
+        b.diversity_zone("z", DiversityLevel::Host, &[a]).unwrap();
+        assert_eq!(
+            b.diversity_zone("z", DiversityLevel::Host, &[a]).unwrap_err(),
+            ModelError::DuplicateZoneName("z".into())
+        );
+        assert_eq!(
+            b.diversity_zone("y", DiversityLevel::Host, &[a, a]).unwrap_err(),
+            ModelError::DuplicateZoneMember("y".into(), "a".into())
+        );
+        assert_eq!(
+            b.diversity_zone("w", DiversityLevel::Host, &[NodeId(5)]).unwrap_err(),
+            ModelError::UnknownNode("v5".into())
+        );
+    }
+
+    #[test]
+    fn link_normalizes_endpoint_order() {
+        let mut b = TopologyBuilder::new("t");
+        let a = b.vm("a", 1, 1024).unwrap();
+        let c = b.vm("c", 1, 1024).unwrap();
+        b.link(c, a, Bandwidth::from_mbps(5)).unwrap();
+        let t = b.build().unwrap();
+        assert_eq!(t.links()[0].endpoints(), (a, c));
+    }
+
+    #[test]
+    fn node_id_lookup_during_build() {
+        let mut b = TopologyBuilder::new("t");
+        let a = b.vm("a", 1, 1024).unwrap();
+        assert_eq!(b.node_id("a"), Some(a));
+        assert_eq!(b.node_id("zz"), None);
+        assert_eq!(b.node_count(), 1);
+    }
+
+    #[test]
+    fn round_trip_through_to_builder() {
+        let mut b = TopologyBuilder::new("t");
+        let a = b.vm("a", 1, 1024).unwrap();
+        let c = b.vm("c", 2, 2048).unwrap();
+        b.link(a, c, Bandwidth::from_mbps(10)).unwrap();
+        b.diversity_zone("z", DiversityLevel::Rack, &[a, c]).unwrap();
+        let t = b.build().unwrap();
+
+        let mut b2 = t.to_builder();
+        let d = b2.vm("d", 1, 512).unwrap();
+        b2.link(c, d, Bandwidth::from_mbps(20)).unwrap();
+        let t2 = b2.build().unwrap();
+        assert_eq!(t2.node_count(), 3);
+        assert_eq!(t2.links().len(), 2);
+        assert_eq!(t2.zones().len(), 1);
+        // Original ids remain stable.
+        assert_eq!(t2.node_by_name("a").unwrap().id(), a);
+    }
+}

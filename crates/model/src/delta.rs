@@ -1,0 +1,478 @@
+use std::collections::HashSet;
+
+use crate::builder::TopologyBuilder;
+use crate::diversity::{DiversityLevel, Proximity};
+use crate::error::ModelError;
+use crate::node::{NodeId, NodeKind};
+use crate::resources::Bandwidth;
+use crate::topology::ApplicationTopology;
+
+/// Handle to a node added by a [`TopologyDelta`] before the delta is
+/// applied (the final [`NodeId`] is only known after `apply`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PendingNode(usize);
+
+/// Either an existing node or a node the delta is adding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeltaNodeRef {
+    /// A node that already exists in the base topology.
+    Existing(NodeId),
+    /// A node introduced by this delta.
+    Pending(PendingNode),
+}
+
+impl From<NodeId> for DeltaNodeRef {
+    fn from(id: NodeId) -> Self {
+        DeltaNodeRef::Existing(id)
+    }
+}
+
+impl From<PendingNode> for DeltaNodeRef {
+    fn from(p: PendingNode) -> Self {
+        DeltaNodeRef::Pending(p)
+    }
+}
+
+/// An incremental update to an application topology (the paper's §IV-E
+/// online scenario: "adding or removing VMs, or changing resource
+/// requirements").
+///
+/// A delta is built up programmatically and then [`apply`]d to a base
+/// topology, yielding a fresh validated topology plus a [`NodeMapping`]
+/// that relates old and new node ids.
+///
+/// ```
+/// use ostro_model::{Bandwidth, TopologyBuilder, TopologyDelta};
+///
+/// # fn main() -> Result<(), ostro_model::ModelError> {
+/// let mut b = TopologyBuilder::new("app");
+/// let web = b.vm("web", 2, 2048)?;
+/// let t = b.build()?;
+///
+/// let mut delta = TopologyDelta::new();
+/// let web2 = delta.add_vm("web2", 2, 2048);
+/// delta.add_link(web, web2, Bandwidth::from_mbps(10));
+/// let (t2, mapping) = delta.apply(&t)?;
+///
+/// assert_eq!(t2.node_count(), 2);
+/// assert_eq!(mapping.new_id_of(web), Some(web));
+/// let new_id = mapping.id_of_pending(web2);
+/// assert_eq!(t2.node(new_id).name(), "web2");
+/// # Ok(())
+/// # }
+/// ```
+///
+/// [`apply`]: Self::apply
+#[derive(Debug, Clone, Default)]
+pub struct TopologyDelta {
+    add_nodes: Vec<(String, NodeKind, bool)>,
+    add_links: Vec<(DeltaNodeRef, DeltaNodeRef, Bandwidth, Option<Proximity>)>,
+    add_zones: Vec<(String, DiversityLevel, Vec<DeltaNodeRef>)>,
+    extend_zones: Vec<(String, DeltaNodeRef)>,
+    remove: Vec<NodeId>,
+}
+
+/// Relates node ids across a delta application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeMapping {
+    old_to_new: Vec<Option<NodeId>>,
+    pending_to_new: Vec<NodeId>,
+}
+
+impl NodeMapping {
+    /// The new id of a pre-existing node, or `None` if it was removed.
+    #[must_use]
+    pub fn new_id_of(&self, old: NodeId) -> Option<NodeId> {
+        self.old_to_new.get(old.index()).copied().flatten()
+    }
+
+    /// The id assigned to a node added by the delta.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pending` came from a different delta.
+    #[must_use]
+    pub fn id_of_pending(&self, pending: PendingNode) -> NodeId {
+        self.pending_to_new[pending.0]
+    }
+
+    /// Ids of all nodes added by the delta.
+    #[must_use]
+    pub fn added_ids(&self) -> &[NodeId] {
+        &self.pending_to_new
+    }
+
+    /// Iterates `(old, new)` pairs for surviving pre-existing nodes.
+    pub fn surviving(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.old_to_new
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.map(|new| (NodeId(i as u32), new)))
+    }
+}
+
+impl TopologyDelta {
+    /// Starts an empty delta.
+    #[must_use]
+    pub fn new() -> Self {
+        TopologyDelta::default()
+    }
+
+    /// Returns `true` if the delta makes no changes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.add_nodes.is_empty()
+            && self.add_links.is_empty()
+            && self.add_zones.is_empty()
+            && self.extend_zones.is_empty()
+            && self.remove.is_empty()
+    }
+
+    /// Schedules a new VM; size validation happens at [`apply`](Self::apply).
+    pub fn add_vm(&mut self, name: impl Into<String>, vcpus: u32, memory_mb: u64) -> PendingNode {
+        self.add_nodes.push((name.into(), NodeKind::Vm { vcpus, memory_mb }, false));
+        PendingNode(self.add_nodes.len() - 1)
+    }
+
+    /// Schedules a new best-effort VM (see
+    /// [`TopologyBuilder::vm_best_effort`](crate::TopologyBuilder::vm_best_effort)).
+    pub fn add_vm_best_effort(
+        &mut self,
+        name: impl Into<String>,
+        vcpus: u32,
+        memory_mb: u64,
+    ) -> PendingNode {
+        self.add_nodes.push((name.into(), NodeKind::Vm { vcpus, memory_mb }, true));
+        PendingNode(self.add_nodes.len() - 1)
+    }
+
+    /// Schedules a new volume; size validation happens at [`apply`](Self::apply).
+    pub fn add_volume(&mut self, name: impl Into<String>, size_gb: u64) -> PendingNode {
+        self.add_nodes.push((name.into(), NodeKind::Volume { size_gb }, false));
+        PendingNode(self.add_nodes.len() - 1)
+    }
+
+    /// Schedules a new link between existing and/or pending nodes.
+    pub fn add_link(
+        &mut self,
+        a: impl Into<DeltaNodeRef>,
+        b: impl Into<DeltaNodeRef>,
+        bandwidth: Bandwidth,
+    ) {
+        self.add_links.push((a.into(), b.into(), bandwidth, None));
+    }
+
+    /// Schedules a new latency-bounded link (see
+    /// [`TopologyBuilder::link_within`](crate::TopologyBuilder::link_within)).
+    pub fn add_link_within(
+        &mut self,
+        a: impl Into<DeltaNodeRef>,
+        b: impl Into<DeltaNodeRef>,
+        bandwidth: Bandwidth,
+        proximity: Proximity,
+    ) {
+        self.add_links.push((a.into(), b.into(), bandwidth, Some(proximity)));
+    }
+
+    /// Schedules a new diversity zone.
+    pub fn add_zone(
+        &mut self,
+        name: impl Into<String>,
+        level: DiversityLevel,
+        members: impl IntoIterator<Item = DeltaNodeRef>,
+    ) {
+        self.add_zones.push((name.into(), level, members.into_iter().collect()));
+    }
+
+    /// Schedules adding `member` to the existing zone named `zone`.
+    pub fn extend_zone(&mut self, zone: impl Into<String>, member: impl Into<DeltaNodeRef>) {
+        self.extend_zones.push((zone.into(), member.into()));
+    }
+
+    /// Schedules removal of an existing node together with its incident
+    /// links and zone memberships.
+    pub fn remove_node(&mut self, node: NodeId) {
+        self.remove.push(node);
+    }
+
+    /// Applies the delta to `base`, producing a new validated topology
+    /// and the id mapping.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`ModelError`] from validation: unknown nodes or
+    /// zones, duplicate names/links, invalid sizes, or a delta that both
+    /// removes a node and still references it.
+    pub fn apply(
+        &self,
+        base: &ApplicationTopology,
+    ) -> Result<(ApplicationTopology, NodeMapping), ModelError> {
+        let bound = base.node_count() as u32;
+        let removed: HashSet<NodeId> = self.remove.iter().copied().collect();
+        for &r in &removed {
+            if r.0 >= bound {
+                return Err(ModelError::UnknownNode(r.to_string()));
+            }
+        }
+        let check_ref = |r: DeltaNodeRef| -> Result<(), ModelError> {
+            if let DeltaNodeRef::Existing(id) = r {
+                if id.0 >= bound {
+                    return Err(ModelError::UnknownNode(id.to_string()));
+                }
+                if removed.contains(&id) {
+                    return Err(ModelError::RemovedNodeInUse(base.node(id).name().to_owned()));
+                }
+            }
+            Ok(())
+        };
+        for &(a, b, _, _) in &self.add_links {
+            check_ref(a)?;
+            check_ref(b)?;
+        }
+        for (_, _, members) in &self.add_zones {
+            for &m in members {
+                check_ref(m)?;
+            }
+        }
+        for &(_, m) in &self.extend_zones {
+            check_ref(m)?;
+        }
+
+        // Rebuild through the builder so all validation is re-applied.
+        let mut builder = TopologyBuilder::new(base.name());
+        let mut old_to_new: Vec<Option<NodeId>> = vec![None; base.node_count()];
+        for node in base.nodes() {
+            if removed.contains(&node.id()) {
+                continue;
+            }
+            let new_id = match *node.kind() {
+                NodeKind::Vm { vcpus, memory_mb } if node.is_best_effort() => {
+                    builder.vm_best_effort(node.name(), vcpus, memory_mb)?
+                }
+                NodeKind::Vm { vcpus, memory_mb } => builder.vm(node.name(), vcpus, memory_mb)?,
+                NodeKind::Volume { size_gb } => builder.volume(node.name(), size_gb)?,
+            };
+            old_to_new[node.id().index()] = Some(new_id);
+        }
+        let mut pending_to_new = Vec::with_capacity(self.add_nodes.len());
+        for (name, kind, best_effort) in &self.add_nodes {
+            let new_id = match *kind {
+                NodeKind::Vm { vcpus, memory_mb } if *best_effort => {
+                    builder.vm_best_effort(name, vcpus, memory_mb)?
+                }
+                NodeKind::Vm { vcpus, memory_mb } => builder.vm(name, vcpus, memory_mb)?,
+                NodeKind::Volume { size_gb } => builder.volume(name, size_gb)?,
+            };
+            pending_to_new.push(new_id);
+        }
+        let mapping = NodeMapping { old_to_new, pending_to_new };
+
+        let resolve = |r: DeltaNodeRef| -> NodeId {
+            match r {
+                // Checked above: existing refs are in-bounds and not removed.
+                DeltaNodeRef::Existing(id) => mapping.old_to_new[id.index()].expect("checked"),
+                DeltaNodeRef::Pending(p) => mapping.pending_to_new[p.0],
+            }
+        };
+
+        for link in base.links() {
+            let (Some(a), Some(b)) = (
+                mapping.old_to_new[link.a().index()],
+                mapping.old_to_new[link.b().index()],
+            ) else {
+                continue; // an endpoint was removed; drop the link
+            };
+            match link.max_proximity() {
+                Some(p) => builder.link_within(a, b, link.bandwidth(), p)?,
+                None => builder.link(a, b, link.bandwidth())?,
+            };
+        }
+        for &(a, b, bw, proximity) in &self.add_links {
+            match proximity {
+                Some(p) => builder.link_within(resolve(a), resolve(b), bw, p)?,
+                None => builder.link(resolve(a), resolve(b), bw)?,
+            };
+        }
+
+        let mut extensions: Vec<(String, Vec<NodeId>)> = Vec::new();
+        for (zone_name, member) in &self.extend_zones {
+            if !base.zones().iter().any(|z| z.name() == zone_name.as_str())
+                && !self.add_zones.iter().any(|(n, _, _)| n == zone_name)
+            {
+                return Err(ModelError::UnknownZone(zone_name.clone()));
+            }
+            match extensions.iter_mut().find(|(n, _)| n == zone_name) {
+                Some((_, ms)) => ms.push(resolve(*member)),
+                None => extensions.push((zone_name.clone(), vec![resolve(*member)])),
+            }
+        }
+        let extra = |name: &str| -> Vec<NodeId> {
+            extensions
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, ms)| ms.clone())
+                .unwrap_or_default()
+        };
+
+        for zone in base.zones() {
+            let mut members: Vec<NodeId> = zone
+                .members()
+                .iter()
+                .filter_map(|&m| mapping.old_to_new[m.index()])
+                .collect();
+            members.extend(extra(zone.name()));
+            if members.is_empty() {
+                continue; // every member was removed; drop the zone
+            }
+            builder.diversity_zone(zone.name(), zone.level(), &members)?;
+        }
+        for (name, level, members) in &self.add_zones {
+            let mut resolved: Vec<NodeId> = members.iter().map(|&m| resolve(m)).collect();
+            resolved.extend(extra(name));
+            builder.diversity_zone(name, *level, &resolved)?;
+        }
+
+        Ok((builder.build()?, mapping))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> (ApplicationTopology, NodeId, NodeId, NodeId) {
+        let mut b = TopologyBuilder::new("base");
+        let a = b.vm("a", 2, 2048).unwrap();
+        let c = b.vm("c", 2, 2048).unwrap();
+        let v = b.volume("v", 100).unwrap();
+        b.link(a, c, Bandwidth::from_mbps(100)).unwrap();
+        b.link(c, v, Bandwidth::from_mbps(50)).unwrap();
+        b.diversity_zone("dz", DiversityLevel::Host, &[a, c]).unwrap();
+        (b.build().unwrap(), a, c, v)
+    }
+
+    #[test]
+    fn empty_delta_is_identity() {
+        let (t, a, ..) = base();
+        let delta = TopologyDelta::new();
+        assert!(delta.is_empty());
+        let (t2, m) = delta.apply(&t).unwrap();
+        assert_eq!(t2, t);
+        assert_eq!(m.new_id_of(a), Some(a));
+        assert_eq!(m.added_ids().len(), 0);
+    }
+
+    #[test]
+    fn adds_vm_with_link_and_zone_membership() {
+        let (t, a, c, _) = base();
+        let mut d = TopologyDelta::new();
+        let n = d.add_vm("a2", 1, 1024);
+        d.add_link(a, n, Bandwidth::from_mbps(20));
+        d.extend_zone("dz", n);
+        let (t2, m) = d.apply(&t).unwrap();
+        assert_eq!(t2.node_count(), 4);
+        let new_id = m.id_of_pending(n);
+        assert_eq!(t2.node(new_id).name(), "a2");
+        assert_eq!(t2.bandwidth_between(m.new_id_of(a).unwrap(), new_id), Some(Bandwidth::from_mbps(20)));
+        let dz = &t2.zones()[0];
+        assert_eq!(dz.members().len(), 3);
+        assert!(dz.contains(new_id));
+        assert!(!d.is_empty());
+        let _ = c;
+    }
+
+    #[test]
+    fn removal_drops_incident_links_and_zone_memberships() {
+        let (t, a, c, v) = base();
+        let mut d = TopologyDelta::new();
+        d.remove_node(c);
+        let (t2, m) = d.apply(&t).unwrap();
+        assert_eq!(t2.node_count(), 2);
+        assert_eq!(m.new_id_of(c), None);
+        assert_eq!(t2.links().len(), 0);
+        // dz survives with a single member (a).
+        assert_eq!(t2.zones().len(), 1);
+        assert_eq!(t2.zones()[0].members(), &[m.new_id_of(a).unwrap()]);
+        assert!(t2.node_by_name("v").is_some());
+        let _ = v;
+    }
+
+    #[test]
+    fn removing_all_zone_members_drops_the_zone() {
+        let (t, a, c, _) = base();
+        let mut d = TopologyDelta::new();
+        d.remove_node(a);
+        d.remove_node(c);
+        let (t2, _) = d.apply(&t).unwrap();
+        assert!(t2.zones().is_empty());
+        assert_eq!(t2.node_count(), 1);
+    }
+
+    #[test]
+    fn rejects_link_to_removed_node() {
+        let (t, a, c, _) = base();
+        let mut d = TopologyDelta::new();
+        d.remove_node(c);
+        d.add_link(a, c, Bandwidth::from_mbps(5));
+        assert_eq!(d.apply(&t).unwrap_err(), ModelError::RemovedNodeInUse("c".into()));
+    }
+
+    #[test]
+    fn rejects_unknown_zone_extension() {
+        let (t, a, ..) = base();
+        let mut d = TopologyDelta::new();
+        d.extend_zone("missing", a);
+        assert_eq!(d.apply(&t).unwrap_err(), ModelError::UnknownZone("missing".into()));
+    }
+
+    #[test]
+    fn extension_can_target_zone_added_by_same_delta() {
+        let (t, a, c, _) = base();
+        let mut d = TopologyDelta::new();
+        let n = d.add_vm("n", 1, 1024);
+        d.add_zone("fresh", DiversityLevel::Rack, [DeltaNodeRef::from(a)]);
+        d.extend_zone("fresh", n);
+        let (t2, m) = d.apply(&t).unwrap();
+        let fresh = t2.zones().iter().find(|z| z.name() == "fresh").unwrap();
+        assert_eq!(fresh.members().len(), 2);
+        assert!(fresh.contains(m.id_of_pending(n)));
+        let _ = c;
+    }
+
+    #[test]
+    fn new_zone_over_new_nodes() {
+        let (t, ..) = base();
+        let mut d = TopologyDelta::new();
+        let x = d.add_vm("x", 1, 1024);
+        let y = d.add_vm("y", 1, 1024);
+        d.add_zone("xy", DiversityLevel::Rack, [DeltaNodeRef::from(x), DeltaNodeRef::from(y)]);
+        d.add_link(x, y, Bandwidth::from_mbps(5));
+        let (t2, m) = d.apply(&t).unwrap();
+        assert_eq!(t2.zones().len(), 2);
+        assert_eq!(
+            t2.bandwidth_between(m.id_of_pending(x), m.id_of_pending(y)),
+            Some(Bandwidth::from_mbps(5))
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_existing_node() {
+        let (t, ..) = base();
+        let mut d = TopologyDelta::new();
+        d.add_link(NodeId(40), NodeId(41), Bandwidth::from_mbps(5));
+        assert!(matches!(d.apply(&t).unwrap_err(), ModelError::UnknownNode(_)));
+        let mut d2 = TopologyDelta::new();
+        d2.remove_node(NodeId(40));
+        assert!(matches!(d2.apply(&t).unwrap_err(), ModelError::UnknownNode(_)));
+    }
+
+    #[test]
+    fn surviving_iterates_kept_nodes_in_order() {
+        let (t, a, c, v) = base();
+        let mut d = TopologyDelta::new();
+        d.remove_node(a);
+        let (_, m) = d.apply(&t).unwrap();
+        let pairs: Vec<_> = m.surviving().collect();
+        assert_eq!(pairs, vec![(c, NodeId(0)), (v, NodeId(1))]);
+    }
+}

@@ -1,0 +1,195 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::node::NodeId;
+
+/// Identifier of a diversity zone within one topology.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct ZoneId(pub(crate) u32);
+
+impl ZoneId {
+    /// The dense index of this zone.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ZoneId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dz{}", self.0)
+    }
+}
+
+/// The infrastructure level at which diversity-zone members must be
+/// separated: each member must land in a *different* unit of this level.
+///
+/// Levels are ordered by how far apart they force members:
+/// `Host < Rack < Pod < DataCenter`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum DiversityLevel {
+    /// Members must run on distinct host servers.
+    Host,
+    /// Members must run in distinct racks (distinct ToR switches).
+    Rack,
+    /// Members must run in distinct pods.
+    Pod,
+    /// Members must run in distinct data centers.
+    DataCenter,
+}
+
+impl DiversityLevel {
+    /// All levels, weakest separation first.
+    pub const ALL: [DiversityLevel; 4] = [
+        DiversityLevel::Host,
+        DiversityLevel::Rack,
+        DiversityLevel::Pod,
+        DiversityLevel::DataCenter,
+    ];
+}
+
+impl fmt::Display for DiversityLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DiversityLevel::Host => "host",
+            DiversityLevel::Rack => "rack",
+            DiversityLevel::Pod => "pod",
+            DiversityLevel::DataCenter => "datacenter",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The dual of [`DiversityLevel`]: a *proximity* (latency) bound
+/// requiring two linked nodes to sit within the **same** unit of the
+/// given level — the paper's future-work "latency requirements for the
+/// communication links between nodes" (§VI).
+///
+/// Ordered from tightest to loosest: `Host < Rack < Pod < DataCenter`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum Proximity {
+    /// Endpoints must share a host (memory-speed latency).
+    Host,
+    /// Endpoints must share a rack (one ToR hop).
+    Rack,
+    /// Endpoints must share a pod.
+    Pod,
+    /// Endpoints must share a data-center site.
+    DataCenter,
+}
+
+impl fmt::Display for Proximity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Proximity::Host => "same-host",
+            Proximity::Rack => "same-rack",
+            Proximity::Pod => "same-pod",
+            Proximity::DataCenter => "same-datacenter",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An anti-affinity constraint: a named set of nodes that must be spread
+/// across distinct infrastructure units of a given [`DiversityLevel`].
+///
+/// The paper's example: "10 VMs running redundant database servers must
+/// be deployed across 10 different racks" is a zone with `level = Rack`
+/// and those 10 VMs as members. A node may belong to several zones.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DiversityZone {
+    pub(crate) id: ZoneId,
+    pub(crate) name: String,
+    pub(crate) level: DiversityLevel,
+    pub(crate) members: Vec<NodeId>,
+}
+
+impl DiversityZone {
+    /// This zone's id within its topology.
+    #[must_use]
+    pub const fn id(&self) -> ZoneId {
+        self.id
+    }
+
+    /// The tenant-assigned zone name (unique within the topology).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The separation level this zone enforces.
+    #[must_use]
+    pub const fn level(&self) -> DiversityLevel {
+        self.level
+    }
+
+    /// The nodes that must be kept apart.
+    #[must_use]
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// Returns `true` if `node` belongs to this zone.
+    #[must_use]
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.members.contains(&node)
+    }
+}
+
+impl fmt::Display for DiversityZone {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} members across distinct {}s)",
+            self.name,
+            self.members.len(),
+            self.level
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_ordered_by_separation_strength() {
+        assert!(DiversityLevel::Host < DiversityLevel::Rack);
+        assert!(DiversityLevel::Rack < DiversityLevel::Pod);
+        assert!(DiversityLevel::Pod < DiversityLevel::DataCenter);
+        assert_eq!(DiversityLevel::ALL.len(), 4);
+        assert!(DiversityLevel::ALL.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn proximity_is_ordered_tightest_first() {
+        assert!(Proximity::Host < Proximity::Rack);
+        assert!(Proximity::Rack < Proximity::Pod);
+        assert!(Proximity::Pod < Proximity::DataCenter);
+        assert_eq!(Proximity::Host.to_string(), "same-host");
+        assert_eq!(Proximity::DataCenter.to_string(), "same-datacenter");
+    }
+
+    #[test]
+    fn zone_membership() {
+        let z = DiversityZone {
+            id: ZoneId(0),
+            name: "db-replicas".into(),
+            level: DiversityLevel::Rack,
+            members: vec![NodeId(0), NodeId(3)],
+        };
+        assert!(z.contains(NodeId(3)));
+        assert!(!z.contains(NodeId(1)));
+        assert_eq!(z.members(), &[NodeId(0), NodeId(3)]);
+        assert_eq!(z.level(), DiversityLevel::Rack);
+        assert_eq!(z.to_string(), "db-replicas (2 members across distinct racks)");
+    }
+}

@@ -1,0 +1,83 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or mutating an application topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A topology must contain at least one node.
+    EmptyTopology,
+    /// Two nodes were given the same name.
+    DuplicateName(String),
+    /// A link connects a node to itself.
+    SelfLoop(String),
+    /// The same pair of nodes was linked twice.
+    DuplicateLink(String, String),
+    /// A referenced node does not exist in the topology.
+    UnknownNode(String),
+    /// A link was declared with zero bandwidth.
+    ZeroBandwidthLink(String, String),
+    /// A VM was declared with zero vCPUs or zero memory.
+    InvalidVmSize(String),
+    /// A volume was declared with zero capacity.
+    InvalidVolumeSize(String),
+    /// A diversity zone was declared without any members.
+    EmptyDiversityZone(String),
+    /// Two diversity zones were given the same name.
+    DuplicateZoneName(String),
+    /// A node was listed twice in the same diversity zone.
+    DuplicateZoneMember(String, String),
+    /// A delta attempted to remove a node that other delta entries still use.
+    RemovedNodeInUse(String),
+    /// A referenced diversity zone does not exist.
+    UnknownZone(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyTopology => write!(f, "topology contains no nodes"),
+            Self::DuplicateName(n) => write!(f, "duplicate node name `{n}`"),
+            Self::SelfLoop(n) => write!(f, "link from node `{n}` to itself"),
+            Self::DuplicateLink(a, b) => write!(f, "duplicate link between `{a}` and `{b}`"),
+            Self::UnknownNode(n) => write!(f, "unknown node `{n}`"),
+            Self::ZeroBandwidthLink(a, b) => {
+                write!(f, "link between `{a}` and `{b}` has zero bandwidth")
+            }
+            Self::InvalidVmSize(n) => {
+                write!(f, "VM `{n}` must have at least one vCPU and non-zero memory")
+            }
+            Self::InvalidVolumeSize(n) => write!(f, "volume `{n}` must have non-zero capacity"),
+            Self::EmptyDiversityZone(z) => write!(f, "diversity zone `{z}` has no members"),
+            Self::DuplicateZoneName(z) => write!(f, "duplicate diversity zone name `{z}`"),
+            Self::DuplicateZoneMember(z, n) => {
+                write!(f, "node `{n}` listed twice in diversity zone `{z}`")
+            }
+            Self::RemovedNodeInUse(n) => {
+                write!(f, "delta removes node `{n}` but still references it")
+            }
+            Self::UnknownZone(z) => write!(f, "unknown diversity zone `{z}`"),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = ModelError::DuplicateLink("a".into(), "b".into());
+        assert_eq!(e.to_string(), "duplicate link between `a` and `b`");
+        let e = ModelError::EmptyTopology;
+        assert!(e.to_string().contains("no nodes"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: Error>(_: &E) {}
+        assert_error(&ModelError::EmptyTopology);
+    }
+}

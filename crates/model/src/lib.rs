@@ -1,0 +1,52 @@
+//! Application topology abstraction for the Ostro placement scheduler.
+//!
+//! A *cloud application* forms a logical topology of virtual machines and
+//! disk volumes interconnected by network links, together with placement
+//! properties such as resource requirements and anti-affinity (*diversity
+//! zone*) constraints. This crate models that abstraction — the paper's
+//! `T_a = <V, E>` — independently of any physical infrastructure.
+//!
+//! # Example
+//!
+//! Build the three-node core of a tiny application: a web VM, a database
+//! VM on a separate host, and the database's volume.
+//!
+//! ```
+//! use ostro_model::{Bandwidth, DiversityLevel, TopologyBuilder};
+//!
+//! # fn main() -> Result<(), ostro_model::ModelError> {
+//! let mut b = TopologyBuilder::new("tiny-app");
+//! let web = b.vm("web", 2, 2048)?;
+//! let db = b.vm("db", 4, 8192)?;
+//! let vol = b.volume("db-vol", 120)?;
+//! b.link(web, db, Bandwidth::from_mbps(100))?;
+//! b.link(db, vol, Bandwidth::from_mbps(200))?;
+//! b.diversity_zone("web-db-anti-affinity", DiversityLevel::Host, &[web, db])?;
+//! let topology = b.build()?;
+//!
+//! assert_eq!(topology.vm_count(), 2);
+//! assert_eq!(topology.volume_count(), 1);
+//! assert_eq!(topology.total_link_bandwidth(), Bandwidth::from_mbps(300));
+//! # Ok(())
+//! # }
+//! ```
+
+mod builder;
+mod delta;
+mod diversity;
+mod error;
+mod link;
+mod node;
+mod resources;
+mod stats;
+mod topology;
+
+pub use builder::TopologyBuilder;
+pub use delta::{DeltaNodeRef, NodeMapping, PendingNode, TopologyDelta};
+pub use diversity::{DiversityLevel, DiversityZone, Proximity, ZoneId};
+pub use error::ModelError;
+pub use link::{Link, LinkId};
+pub use node::{Node, NodeId, NodeKind};
+pub use resources::{Bandwidth, Resources};
+pub use stats::TopologyStats;
+pub use topology::ApplicationTopology;

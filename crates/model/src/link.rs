@@ -1,0 +1,149 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::diversity::Proximity;
+use crate::node::NodeId;
+use crate::resources::Bandwidth;
+
+/// Identifier of a link within one [`ApplicationTopology`].
+///
+/// [`ApplicationTopology`]: crate::ApplicationTopology
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct LinkId(pub(crate) u32);
+
+impl LinkId {
+    /// The dense index of this link.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// An undirected communication link between two topology nodes with a
+/// guaranteed-bandwidth demand (the paper's *network pipe*).
+///
+/// Endpoints are stored in normalized order (`a < b`) so that a link
+/// between any pair of nodes has a single canonical representation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Link {
+    pub(crate) id: LinkId,
+    pub(crate) a: NodeId,
+    pub(crate) b: NodeId,
+    pub(crate) bandwidth: Bandwidth,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub(crate) max_proximity: Option<Proximity>,
+}
+
+impl Link {
+    /// This link's id within its topology.
+    #[must_use]
+    pub const fn id(&self) -> LinkId {
+        self.id
+    }
+
+    /// The lower-numbered endpoint.
+    #[must_use]
+    pub const fn a(&self) -> NodeId {
+        self.a
+    }
+
+    /// The higher-numbered endpoint.
+    #[must_use]
+    pub const fn b(&self) -> NodeId {
+        self.b
+    }
+
+    /// Both endpoints, lower-numbered first.
+    #[must_use]
+    pub const fn endpoints(&self) -> (NodeId, NodeId) {
+        (self.a, self.b)
+    }
+
+    /// The bandwidth demand reserved for this link.
+    #[must_use]
+    pub const fn bandwidth(&self) -> Bandwidth {
+        self.bandwidth
+    }
+
+    /// The latency (proximity) bound on this link, if any: endpoints
+    /// must share the given infrastructure unit.
+    #[must_use]
+    pub const fn max_proximity(&self) -> Option<Proximity> {
+        self.max_proximity
+    }
+
+    /// Returns the endpoint opposite to `node`, or `None` if `node` is
+    /// not an endpoint of this link.
+    #[must_use]
+    pub fn other(&self, node: NodeId) -> Option<NodeId> {
+        if node == self.a {
+            Some(self.b)
+        } else if node == self.b {
+            Some(self.a)
+        } else {
+            None
+        }
+    }
+
+    /// Returns `true` if `node` is one of this link's endpoints.
+    #[must_use]
+    pub fn touches(&self, node: NodeId) -> bool {
+        node == self.a || node == self.b
+    }
+}
+
+impl fmt::Display for Link {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} <-{}-> {}", self.a, self.bandwidth, self.b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link() -> Link {
+        Link {
+            id: LinkId(0),
+            a: NodeId(1),
+            b: NodeId(4),
+            bandwidth: Bandwidth::from_mbps(100),
+            max_proximity: None,
+        }
+    }
+
+    #[test]
+    fn other_returns_opposite_endpoint() {
+        let l = link();
+        assert_eq!(l.other(NodeId(1)), Some(NodeId(4)));
+        assert_eq!(l.other(NodeId(4)), Some(NodeId(1)));
+        assert_eq!(l.other(NodeId(2)), None);
+    }
+
+    #[test]
+    fn touches_checks_both_endpoints() {
+        let l = link();
+        assert!(l.touches(NodeId(1)));
+        assert!(l.touches(NodeId(4)));
+        assert!(!l.touches(NodeId(0)));
+    }
+
+    #[test]
+    fn accessors_expose_normalized_pair() {
+        let l = link();
+        assert_eq!(l.endpoints(), (NodeId(1), NodeId(4)));
+        assert!(l.a() < l.b());
+        assert_eq!(l.bandwidth(), Bandwidth::from_mbps(100));
+        assert_eq!(l.id().index(), 0);
+    }
+}

@@ -1,0 +1,206 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::resources::Resources;
+
+/// Identifier of a node within one [`ApplicationTopology`].
+///
+/// Node ids are dense indices assigned by the [`TopologyBuilder`] in
+/// insertion order; they are only meaningful relative to the topology
+/// that produced them.
+///
+/// [`ApplicationTopology`]: crate::ApplicationTopology
+/// [`TopologyBuilder`]: crate::TopologyBuilder
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Creates a node id from a raw index.
+    ///
+    /// Intended for deserialization and test scaffolding; ordinarily ids
+    /// come from [`TopologyBuilder`](crate::TopologyBuilder).
+    #[must_use]
+    pub const fn from_index(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// The dense index of this node.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// What a node *is*: a virtual machine or a disk volume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// A virtual machine with compute requirements.
+    Vm {
+        /// Virtual CPUs required.
+        vcpus: u32,
+        /// Memory required, in mebibytes.
+        memory_mb: u64,
+    },
+    /// A block-storage disk volume.
+    Volume {
+        /// Volume size in gibibytes.
+        size_gb: u64,
+    },
+}
+
+impl NodeKind {
+    /// The host-local resources this kind of node consumes.
+    #[must_use]
+    pub const fn requirements(&self) -> Resources {
+        match *self {
+            NodeKind::Vm { vcpus, memory_mb } => Resources::compute(vcpus, memory_mb),
+            NodeKind::Volume { size_gb } => Resources::storage(size_gb),
+        }
+    }
+}
+
+/// A single element of an application topology: one VM or one volume.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Node {
+    pub(crate) id: NodeId,
+    pub(crate) name: String,
+    pub(crate) kind: NodeKind,
+    /// Best-effort CPU (the paper's §VI future work): the VM's vCPUs
+    /// are scheduled opportunistically and reserve no host CPU, only
+    /// memory. Always `false` for volumes.
+    #[serde(default)]
+    pub(crate) best_effort: bool,
+}
+
+impl Node {
+    /// This node's id within its topology.
+    #[must_use]
+    pub const fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The tenant-assigned name (unique within the topology).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Whether this node is a VM or a volume, with its sizing.
+    #[must_use]
+    pub const fn kind(&self) -> &NodeKind {
+        &self.kind
+    }
+
+    /// `true` if this node is a virtual machine.
+    #[must_use]
+    pub const fn is_vm(&self) -> bool {
+        matches!(self.kind, NodeKind::Vm { .. })
+    }
+
+    /// `true` if this node is a disk volume.
+    #[must_use]
+    pub const fn is_volume(&self) -> bool {
+        matches!(self.kind, NodeKind::Volume { .. })
+    }
+
+    /// `true` if this VM's CPU reservation is best-effort (its vCPUs
+    /// are not reserved against host capacity).
+    #[must_use]
+    pub const fn is_best_effort(&self) -> bool {
+        self.best_effort
+    }
+
+    /// The host-local resources this node consumes when placed. A
+    /// best-effort VM reserves memory but no vCPUs (its CPU time is
+    /// opportunistic).
+    #[must_use]
+    pub const fn requirements(&self) -> Resources {
+        let full = self.kind.requirements();
+        if self.best_effort {
+            Resources::compute(0, full.memory_mb)
+        } else {
+            full
+        }
+    }
+}
+
+impl fmt::Display for Node {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            NodeKind::Vm { vcpus, memory_mb } => {
+                write!(f, "{} (VM, {} vCPU, {} MB)", self.name, vcpus, memory_mb)
+            }
+            NodeKind::Volume { size_gb } => {
+                write!(f, "{} (volume, {} GB)", self.name, size_gb)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vm(id: u32, name: &str) -> Node {
+        Node {
+            id: NodeId(id),
+            name: name.to_owned(),
+            kind: NodeKind::Vm { vcpus: 2, memory_mb: 2_048 },
+            best_effort: false,
+        }
+    }
+
+    #[test]
+    fn node_id_round_trips_index() {
+        let id = NodeId::from_index(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id.to_string(), "v7");
+    }
+
+    #[test]
+    fn vm_requirements_have_no_disk() {
+        let n = vm(0, "web");
+        assert!(n.is_vm());
+        assert!(!n.is_volume());
+        assert_eq!(n.requirements(), Resources::compute(2, 2_048));
+        assert_eq!(n.requirements().disk_gb, 0);
+    }
+
+    #[test]
+    fn best_effort_vm_reserves_memory_but_no_cpu() {
+        let mut n = vm(0, "burst");
+        n.best_effort = true;
+        assert!(n.is_best_effort());
+        assert_eq!(n.requirements(), Resources::compute(0, 2_048));
+        // The declared sizing is still visible through the kind.
+        assert_eq!(n.kind().requirements().vcpus, 2);
+    }
+
+    #[test]
+    fn volume_requirements_are_disk_only() {
+        let n = Node {
+            id: NodeId(1),
+            name: "data".into(),
+            kind: NodeKind::Volume { size_gb: 120 },
+            best_effort: false,
+        };
+        assert!(n.is_volume());
+        assert_eq!(n.requirements(), Resources::storage(120));
+        assert_eq!(n.requirements().vcpus, 0);
+    }
+
+    #[test]
+    fn display_includes_sizing() {
+        assert_eq!(vm(0, "web").to_string(), "web (VM, 2 vCPU, 2048 MB)");
+    }
+}

@@ -1,0 +1,335 @@
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// Network bandwidth, stored with megabit-per-second granularity.
+///
+/// Bandwidth appears on application links (demand), on physical links
+/// (capacity), and in the objective function (total reserved bandwidth),
+/// so it gets a dedicated newtype rather than a bare integer.
+///
+/// ```
+/// use ostro_model::Bandwidth;
+///
+/// let demand = Bandwidth::from_mbps(100);
+/// let capacity = Bandwidth::from_gbps(10);
+/// assert!(demand <= capacity);
+/// assert_eq!((capacity - demand).as_mbps(), 9_900);
+/// ```
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Bandwidth(u64);
+
+impl Bandwidth {
+    /// Zero bandwidth.
+    pub const ZERO: Bandwidth = Bandwidth(0);
+
+    /// Creates a bandwidth from megabits per second.
+    #[must_use]
+    pub const fn from_mbps(mbps: u64) -> Self {
+        Bandwidth(mbps)
+    }
+
+    /// Creates a bandwidth from gigabits per second.
+    #[must_use]
+    pub const fn from_gbps(gbps: u64) -> Self {
+        Bandwidth(gbps * 1_000)
+    }
+
+    /// Returns the value in megabits per second.
+    #[must_use]
+    pub const fn as_mbps(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the value in (fractional) gigabits per second.
+    #[must_use]
+    pub fn as_gbps(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Returns `true` if this is zero bandwidth.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Subtracts, clamping at zero instead of underflowing.
+    #[must_use]
+    pub const fn saturating_sub(self, rhs: Bandwidth) -> Bandwidth {
+        Bandwidth(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked subtraction; `None` if `rhs` exceeds `self`.
+    #[must_use]
+    pub const fn checked_sub(self, rhs: Bandwidth) -> Option<Bandwidth> {
+        match self.0.checked_sub(rhs.0) {
+            Some(v) => Some(Bandwidth(v)),
+            None => None,
+        }
+    }
+
+    /// Multiplies this bandwidth by an integer factor (e.g. a hop count).
+    #[must_use]
+    pub const fn scaled(self, factor: u64) -> Bandwidth {
+        Bandwidth(self.0 * factor)
+    }
+}
+
+impl Add for Bandwidth {
+    type Output = Bandwidth;
+    fn add(self, rhs: Bandwidth) -> Bandwidth {
+        Bandwidth(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Bandwidth {
+    fn add_assign(&mut self, rhs: Bandwidth) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Bandwidth {
+    type Output = Bandwidth;
+    fn sub(self, rhs: Bandwidth) -> Bandwidth {
+        Bandwidth(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Bandwidth {
+    fn sub_assign(&mut self, rhs: Bandwidth) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Sum for Bandwidth {
+    fn sum<I: Iterator<Item = Bandwidth>>(iter: I) -> Bandwidth {
+        iter.fold(Bandwidth::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000 && self.0.is_multiple_of(100) {
+            write!(f, "{} Gbps", self.0 as f64 / 1_000.0)
+        } else {
+            write!(f, "{} Mbps", self.0)
+        }
+    }
+}
+
+/// A bundle of host-local resource quantities: vCPUs, memory, and disk.
+///
+/// Used both as a *requirement* (what a node needs) and as a *capacity*
+/// (what a host can still provide). Network bandwidth is tracked
+/// separately via [`Bandwidth`] because it lives on links, not hosts.
+///
+/// ```
+/// use ostro_model::Resources;
+///
+/// let capacity = Resources::new(16, 32_768, 1_000);
+/// let demand = Resources::new(4, 8_192, 120);
+/// assert!(demand.fits_within(&capacity));
+/// let left = capacity - demand;
+/// assert_eq!(left.vcpus, 12);
+/// ```
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize,
+)]
+pub struct Resources {
+    /// Virtual CPU count.
+    pub vcpus: u32,
+    /// Memory in mebibytes.
+    pub memory_mb: u64,
+    /// Disk space in gibibytes.
+    pub disk_gb: u64,
+}
+
+impl Resources {
+    /// No resources at all.
+    pub const ZERO: Resources = Resources { vcpus: 0, memory_mb: 0, disk_gb: 0 };
+
+    /// Creates a resource bundle.
+    #[must_use]
+    pub const fn new(vcpus: u32, memory_mb: u64, disk_gb: u64) -> Self {
+        Resources { vcpus, memory_mb, disk_gb }
+    }
+
+    /// A compute-only bundle (no disk), as required by a VM.
+    #[must_use]
+    pub const fn compute(vcpus: u32, memory_mb: u64) -> Self {
+        Resources { vcpus, memory_mb, disk_gb: 0 }
+    }
+
+    /// A storage-only bundle, as required by a disk volume.
+    #[must_use]
+    pub const fn storage(disk_gb: u64) -> Self {
+        Resources { vcpus: 0, memory_mb: 0, disk_gb }
+    }
+
+    /// Returns `true` if every dimension of `self` fits within `capacity`.
+    #[must_use]
+    pub const fn fits_within(&self, capacity: &Resources) -> bool {
+        self.vcpus <= capacity.vcpus
+            && self.memory_mb <= capacity.memory_mb
+            && self.disk_gb <= capacity.disk_gb
+    }
+
+    /// Returns `true` if all dimensions are zero.
+    #[must_use]
+    pub const fn is_zero(&self) -> bool {
+        self.vcpus == 0 && self.memory_mb == 0 && self.disk_gb == 0
+    }
+
+    /// Checked subtraction across all dimensions.
+    #[must_use]
+    pub fn checked_sub(self, rhs: Resources) -> Option<Resources> {
+        Some(Resources {
+            vcpus: self.vcpus.checked_sub(rhs.vcpus)?,
+            memory_mb: self.memory_mb.checked_sub(rhs.memory_mb)?,
+            disk_gb: self.disk_gb.checked_sub(rhs.disk_gb)?,
+        })
+    }
+
+    /// Per-dimension saturating subtraction.
+    #[must_use]
+    pub const fn saturating_sub(self, rhs: Resources) -> Resources {
+        Resources {
+            vcpus: self.vcpus.saturating_sub(rhs.vcpus),
+            memory_mb: self.memory_mb.saturating_sub(rhs.memory_mb),
+            disk_gb: self.disk_gb.saturating_sub(rhs.disk_gb),
+        }
+    }
+
+    /// Per-dimension maximum of two bundles.
+    #[must_use]
+    pub fn max(self, rhs: Resources) -> Resources {
+        Resources {
+            vcpus: self.vcpus.max(rhs.vcpus),
+            memory_mb: self.memory_mb.max(rhs.memory_mb),
+            disk_gb: self.disk_gb.max(rhs.disk_gb),
+        }
+    }
+}
+
+impl Add for Resources {
+    type Output = Resources;
+    fn add(self, rhs: Resources) -> Resources {
+        Resources {
+            vcpus: self.vcpus + rhs.vcpus,
+            memory_mb: self.memory_mb + rhs.memory_mb,
+            disk_gb: self.disk_gb + rhs.disk_gb,
+        }
+    }
+}
+
+impl AddAssign for Resources {
+    fn add_assign(&mut self, rhs: Resources) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Resources {
+    type Output = Resources;
+    fn sub(self, rhs: Resources) -> Resources {
+        Resources {
+            vcpus: self.vcpus - rhs.vcpus,
+            memory_mb: self.memory_mb - rhs.memory_mb,
+            disk_gb: self.disk_gb - rhs.disk_gb,
+        }
+    }
+}
+
+impl SubAssign for Resources {
+    fn sub_assign(&mut self, rhs: Resources) {
+        *self = *self - rhs;
+    }
+}
+
+impl Sum for Resources {
+    fn sum<I: Iterator<Item = Resources>>(iter: I) -> Resources {
+        iter.fold(Resources::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Resources {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} vCPU / {} MB mem / {} GB disk",
+            self.vcpus, self.memory_mb, self.disk_gb
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_units_round_trip() {
+        assert_eq!(Bandwidth::from_gbps(10).as_mbps(), 10_000);
+        assert_eq!(Bandwidth::from_mbps(1_500).as_gbps(), 1.5);
+        assert!(Bandwidth::ZERO.is_zero());
+        assert!(!Bandwidth::from_mbps(1).is_zero());
+    }
+
+    #[test]
+    fn bandwidth_arithmetic() {
+        let a = Bandwidth::from_mbps(100);
+        let b = Bandwidth::from_mbps(30);
+        assert_eq!(a + b, Bandwidth::from_mbps(130));
+        assert_eq!(a - b, Bandwidth::from_mbps(70));
+        assert_eq!(b.saturating_sub(a), Bandwidth::ZERO);
+        assert_eq!(b.checked_sub(a), None);
+        assert_eq!(a.checked_sub(b), Some(Bandwidth::from_mbps(70)));
+        assert_eq!(a.scaled(6), Bandwidth::from_mbps(600));
+        let total: Bandwidth = [a, b, b].into_iter().sum();
+        assert_eq!(total, Bandwidth::from_mbps(160));
+    }
+
+    #[test]
+    fn bandwidth_display_picks_unit() {
+        assert_eq!(Bandwidth::from_mbps(100).to_string(), "100 Mbps");
+        assert_eq!(Bandwidth::from_gbps(10).to_string(), "10 Gbps");
+        assert_eq!(Bandwidth::from_mbps(2_500).to_string(), "2.5 Gbps");
+        assert_eq!(Bandwidth::from_mbps(1_001).to_string(), "1001 Mbps");
+    }
+
+    #[test]
+    fn resources_fit_check_is_per_dimension() {
+        let cap = Resources::new(8, 16_384, 500);
+        assert!(Resources::new(8, 16_384, 500).fits_within(&cap));
+        assert!(!Resources::new(9, 1, 1).fits_within(&cap));
+        assert!(!Resources::new(1, 20_000, 1).fits_within(&cap));
+        assert!(!Resources::new(1, 1, 501).fits_within(&cap));
+        assert!(Resources::ZERO.fits_within(&cap));
+    }
+
+    #[test]
+    fn resources_arithmetic() {
+        let a = Resources::new(4, 4_096, 100);
+        let b = Resources::new(1, 1_024, 40);
+        assert_eq!(a + b, Resources::new(5, 5_120, 140));
+        assert_eq!(a - b, Resources::new(3, 3_072, 60));
+        assert_eq!(b.checked_sub(a), None);
+        assert_eq!(b.saturating_sub(a), Resources::ZERO);
+        assert_eq!(a.max(Resources::new(2, 9_000, 10)), Resources::new(4, 9_000, 100));
+        let total: Resources = [a, b].into_iter().sum();
+        assert_eq!(total, a + b);
+    }
+
+    #[test]
+    fn compute_and_storage_constructors() {
+        let vm = Resources::compute(2, 2_048);
+        assert_eq!(vm.disk_gb, 0);
+        let vol = Resources::storage(120);
+        assert_eq!(vol, Resources::new(0, 0, 120));
+        assert!(Resources::ZERO.is_zero());
+        assert!(!vm.is_zero());
+    }
+}

@@ -1,0 +1,110 @@
+use crate::node::NodeId;
+use crate::topology::ApplicationTopology;
+
+/// Per-resource averages over a topology, used to compute each node's
+/// *relative weight* — the paper's node sort key for the greedy search:
+///
+/// > nodes are simply sorted by the sum of relative weights of resource
+/// > types, Σ_x (r_x / R̄_x), where R̄_x is the average total requirement
+/// > of resource type x across all VMs and disk volumes.
+///
+/// Bandwidth is included as a fourth resource type, with a node's
+/// bandwidth requirement taken as the sum of its incident link demands.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopologyStats {
+    /// Mean vCPU requirement per node.
+    pub avg_vcpus: f64,
+    /// Mean memory requirement per node (MB).
+    pub avg_memory_mb: f64,
+    /// Mean disk requirement per node (GB).
+    pub avg_disk_gb: f64,
+    /// Mean incident bandwidth per node (Mbps).
+    pub avg_bandwidth_mbps: f64,
+}
+
+impl TopologyStats {
+    pub(crate) fn of(t: &ApplicationTopology) -> Self {
+        let n = t.node_count() as f64;
+        let total = t.total_requirements();
+        // Every link is incident to exactly two nodes.
+        let total_bw = t.total_link_bandwidth().as_mbps() as f64 * 2.0;
+        TopologyStats {
+            avg_vcpus: f64::from(total.vcpus) / n,
+            avg_memory_mb: total.memory_mb as f64 / n,
+            avg_disk_gb: total.disk_gb as f64 / n,
+            avg_bandwidth_mbps: total_bw / n,
+        }
+    }
+
+    /// The sort key Σ_x (r_x / R̄_x) for `node`. Resource types whose
+    /// topology-wide average is zero contribute nothing (they cannot
+    /// discriminate between nodes).
+    #[must_use]
+    pub fn relative_weight(&self, topology: &ApplicationTopology, node: NodeId) -> f64 {
+        let req = topology.node(node).requirements();
+        let bw = topology.incident_bandwidth(node).as_mbps() as f64;
+        let mut weight = 0.0;
+        if self.avg_vcpus > 0.0 {
+            weight += f64::from(req.vcpus) / self.avg_vcpus;
+        }
+        if self.avg_memory_mb > 0.0 {
+            weight += req.memory_mb as f64 / self.avg_memory_mb;
+        }
+        if self.avg_disk_gb > 0.0 {
+            weight += req.disk_gb as f64 / self.avg_disk_gb;
+        }
+        if self.avg_bandwidth_mbps > 0.0 {
+            weight += bw / self.avg_bandwidth_mbps;
+        }
+        weight
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::TopologyBuilder;
+    use crate::resources::Bandwidth;
+
+    #[test]
+    fn averages_cover_all_node_kinds() {
+        let mut b = TopologyBuilder::new("t");
+        let a = b.vm("a", 2, 2000).unwrap();
+        let c = b.vm("c", 4, 6000).unwrap();
+        let v = b.volume("v", 300).unwrap();
+        b.link(a, c, Bandwidth::from_mbps(100)).unwrap();
+        b.link(c, v, Bandwidth::from_mbps(50)).unwrap();
+        let t = b.build().unwrap();
+        let s = t.stats();
+        assert_eq!(s.avg_vcpus, 2.0);
+        assert_eq!(s.avg_memory_mb, 8000.0 / 3.0);
+        assert_eq!(s.avg_disk_gb, 100.0);
+        assert_eq!(s.avg_bandwidth_mbps, 100.0);
+    }
+
+    #[test]
+    fn heavier_nodes_have_larger_relative_weight() {
+        let mut b = TopologyBuilder::new("t");
+        let small = b.vm("small", 1, 1024).unwrap();
+        let big = b.vm("big", 8, 16_384).unwrap();
+        b.link(small, big, Bandwidth::from_mbps(10)).unwrap();
+        let t = b.build().unwrap();
+        let s = t.stats();
+        assert!(s.relative_weight(&t, big) > s.relative_weight(&t, small));
+    }
+
+    #[test]
+    fn zero_average_dimensions_are_skipped() {
+        // VMs only, no volumes and no links: disk and bandwidth averages
+        // are zero and must not divide by zero.
+        let mut b = TopologyBuilder::new("t");
+        let a = b.vm("a", 2, 2048).unwrap();
+        b.vm("b", 2, 2048).unwrap();
+        let t = b.build().unwrap();
+        let s = t.stats();
+        assert_eq!(s.avg_disk_gb, 0.0);
+        assert_eq!(s.avg_bandwidth_mbps, 0.0);
+        let w = s.relative_weight(&t, a);
+        assert!(w.is_finite());
+        assert_eq!(w, 2.0); // 1.0 from vcpus + 1.0 from memory
+    }
+}

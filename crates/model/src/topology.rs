@@ -1,0 +1,399 @@
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::builder::TopologyBuilder;
+use crate::diversity::{DiversityLevel, DiversityZone, Proximity, ZoneId};
+use crate::error::ModelError;
+use crate::link::{Link, LinkId};
+use crate::node::{Node, NodeId, NodeKind};
+use crate::resources::{Bandwidth, Resources};
+use crate::stats::TopologyStats;
+
+/// The paper's `T_a = <V, E>`: a validated, immutable application
+/// topology of VMs, volumes, bandwidth links, and diversity zones.
+///
+/// Construct one with [`TopologyBuilder`]; mutate one by applying a
+/// [`TopologyDelta`](crate::TopologyDelta), which produces a new
+/// topology. Instances are internally indexed for O(1) node lookup and
+/// O(degree) neighbor iteration.
+///
+/// ```
+/// use ostro_model::{Bandwidth, TopologyBuilder};
+///
+/// # fn main() -> Result<(), ostro_model::ModelError> {
+/// let mut b = TopologyBuilder::new("pair");
+/// let a = b.vm("a", 1, 1024)?;
+/// let c = b.vm("c", 1, 1024)?;
+/// b.link(a, c, Bandwidth::from_mbps(10))?;
+/// let t = b.build()?;
+/// assert_eq!(t.neighbors(a), &[(c, Bandwidth::from_mbps(10))]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(try_from = "TopologyData", into = "TopologyData")]
+pub struct ApplicationTopology {
+    pub(crate) name: String,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) links: Vec<Link>,
+    pub(crate) zones: Vec<DiversityZone>,
+    pub(crate) adjacency: Vec<Vec<(NodeId, Bandwidth)>>,
+    pub(crate) node_zones: Vec<Vec<ZoneId>>,
+    pub(crate) node_proximity: Vec<Vec<(NodeId, Proximity)>>,
+    pub(crate) name_index: HashMap<String, NodeId>,
+}
+
+impl ApplicationTopology {
+    /// The application name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All nodes, indexed by [`NodeId`].
+    #[must_use]
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Looks up a node by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this topology.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Looks up a node by its unique name.
+    #[must_use]
+    pub fn node_by_name(&self, name: &str) -> Option<&Node> {
+        self.name_index.get(name).map(|&id| self.node(id))
+    }
+
+    /// Number of nodes (VMs plus volumes).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of VM nodes.
+    #[must_use]
+    pub fn vm_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_vm()).count()
+    }
+
+    /// Number of volume nodes.
+    #[must_use]
+    pub fn volume_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_volume()).count()
+    }
+
+    /// All links, indexed by [`LinkId`].
+    #[must_use]
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Looks up a link by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this topology.
+    #[must_use]
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.index()]
+    }
+
+    /// The neighbors of `node` with the bandwidth demanded toward each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not belong to this topology.
+    #[must_use]
+    pub fn neighbors(&self, node: NodeId) -> &[(NodeId, Bandwidth)] {
+        &self.adjacency[node.index()]
+    }
+
+    /// The bandwidth demand between `a` and `b`, if they are linked.
+    #[must_use]
+    pub fn bandwidth_between(&self, a: NodeId, b: NodeId) -> Option<Bandwidth> {
+        self.adjacency[a.index()]
+            .iter()
+            .find(|&&(n, _)| n == b)
+            .map(|&(_, bw)| bw)
+    }
+
+    /// All diversity zones, indexed by [`ZoneId`].
+    #[must_use]
+    pub fn zones(&self) -> &[DiversityZone] {
+        &self.zones
+    }
+
+    /// Looks up a zone by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this topology.
+    #[must_use]
+    pub fn zone(&self, id: ZoneId) -> &DiversityZone {
+        &self.zones[id.index()]
+    }
+
+    /// The zones a node belongs to (a node may be in several).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not belong to this topology.
+    #[must_use]
+    pub fn zones_of(&self, node: NodeId) -> &[ZoneId] {
+        &self.node_zones[node.index()]
+    }
+
+    /// The latency-bounded neighbors of `node`: pairs of (neighbor,
+    /// required proximity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not belong to this topology.
+    #[must_use]
+    pub fn proximity_bounds(&self, node: NodeId) -> &[(NodeId, Proximity)] {
+        &self.node_proximity[node.index()]
+    }
+
+    /// The strongest separation two nodes must observe because of shared
+    /// diversity-zone membership, or `None` if no zone contains both.
+    #[must_use]
+    pub fn required_separation(&self, a: NodeId, b: NodeId) -> Option<DiversityLevel> {
+        if a == b {
+            return None;
+        }
+        self.node_zones[a.index()]
+            .iter()
+            .filter(|z| self.node_zones[b.index()].contains(z))
+            .map(|&z| self.zones[z.index()].level)
+            .max()
+    }
+
+    /// Sum of the bandwidth demands of all links.
+    #[must_use]
+    pub fn total_link_bandwidth(&self) -> Bandwidth {
+        self.links.iter().map(Link::bandwidth).sum()
+    }
+
+    /// Sum of the host-local requirements of all nodes.
+    #[must_use]
+    pub fn total_requirements(&self) -> Resources {
+        self.nodes.iter().map(Node::requirements).sum()
+    }
+
+    /// Total bandwidth demanded by links incident to `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not belong to this topology.
+    #[must_use]
+    pub fn incident_bandwidth(&self, node: NodeId) -> Bandwidth {
+        self.adjacency[node.index()].iter().map(|&(_, bw)| bw).sum()
+    }
+
+    /// Per-resource averages used to order nodes for the greedy search.
+    #[must_use]
+    pub fn stats(&self) -> TopologyStats {
+        TopologyStats::of(self)
+    }
+
+    /// Reconstructs a builder pre-populated with this topology's
+    /// contents, for programmatic extension.
+    #[must_use]
+    pub fn to_builder(&self) -> TopologyBuilder {
+        TopologyBuilder::from_topology(self)
+    }
+
+    pub(crate) fn from_parts(
+        name: String,
+        nodes: Vec<Node>,
+        links: Vec<Link>,
+        zones: Vec<DiversityZone>,
+    ) -> Result<Self, ModelError> {
+        if nodes.is_empty() {
+            return Err(ModelError::EmptyTopology);
+        }
+        let mut adjacency = vec![Vec::new(); nodes.len()];
+        for link in &links {
+            adjacency[link.a.index()].push((link.b, link.bandwidth));
+            adjacency[link.b.index()].push((link.a, link.bandwidth));
+        }
+        let mut node_zones = vec![Vec::new(); nodes.len()];
+        for zone in &zones {
+            for &m in &zone.members {
+                node_zones[m.index()].push(zone.id);
+            }
+        }
+        let mut node_proximity = vec![Vec::new(); nodes.len()];
+        for link in &links {
+            if let Some(p) = link.max_proximity {
+                node_proximity[link.a.index()].push((link.b, p));
+                node_proximity[link.b.index()].push((link.a, p));
+            }
+        }
+        let name_index = nodes.iter().map(|n| (n.name.clone(), n.id)).collect();
+        Ok(ApplicationTopology {
+            name,
+            nodes,
+            links,
+            zones,
+            adjacency,
+            node_zones,
+            node_proximity,
+            name_index,
+        })
+    }
+}
+
+/// Flat serialization form; indices are rebuilt on deserialization.
+#[derive(Serialize, Deserialize)]
+struct TopologyData {
+    name: String,
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    zones: Vec<DiversityZone>,
+}
+
+impl From<ApplicationTopology> for TopologyData {
+    fn from(t: ApplicationTopology) -> Self {
+        TopologyData { name: t.name, nodes: t.nodes, links: t.links, zones: t.zones }
+    }
+}
+
+impl TryFrom<TopologyData> for ApplicationTopology {
+    type Error = ModelError;
+
+    fn try_from(d: TopologyData) -> Result<Self, Self::Error> {
+        // Re-validate untrusted data through the builder path.
+        let mut b = TopologyBuilder::new(&d.name);
+        for n in &d.nodes {
+            match n.kind {
+                NodeKind::Vm { vcpus, memory_mb } if n.best_effort => {
+                    b.vm_best_effort(&n.name, vcpus, memory_mb)?;
+                }
+                NodeKind::Vm { vcpus, memory_mb } => {
+                    b.vm(&n.name, vcpus, memory_mb)?;
+                }
+                NodeKind::Volume { size_gb } => {
+                    b.volume(&n.name, size_gb)?;
+                }
+            }
+        }
+        let bound = d.nodes.len() as u32;
+        let check = |id: NodeId| -> Result<NodeId, ModelError> {
+            if id.0 < bound {
+                Ok(id)
+            } else {
+                Err(ModelError::UnknownNode(id.to_string()))
+            }
+        };
+        for l in &d.links {
+            match l.max_proximity {
+                Some(p) => b.link_within(check(l.a)?, check(l.b)?, l.bandwidth, p)?,
+                None => b.link(check(l.a)?, check(l.b)?, l.bandwidth)?,
+            };
+        }
+        for z in &d.zones {
+            let members: Vec<NodeId> =
+                z.members.iter().map(|&m| check(m)).collect::<Result<_, _>>()?;
+            b.diversity_zone(&z.name, z.level, &members)?;
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TopologyBuilder;
+
+    fn sample() -> ApplicationTopology {
+        let mut b = TopologyBuilder::new("sample");
+        let web = b.vm("web", 2, 2048).unwrap();
+        let db = b.vm("db", 4, 8192).unwrap();
+        let vol = b.volume("vol", 120).unwrap();
+        b.link(web, db, Bandwidth::from_mbps(100)).unwrap();
+        b.link(db, vol, Bandwidth::from_mbps(200)).unwrap();
+        b.diversity_zone("dz", DiversityLevel::Rack, &[web, db]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn counts_and_lookup() {
+        let t = sample();
+        assert_eq!(t.node_count(), 3);
+        assert_eq!(t.vm_count(), 2);
+        assert_eq!(t.volume_count(), 1);
+        assert_eq!(t.links().len(), 2);
+        assert_eq!(t.node_by_name("db").unwrap().id(), NodeId(1));
+        assert!(t.node_by_name("nope").is_none());
+        assert_eq!(t.name(), "sample");
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let t = sample();
+        let web = t.node_by_name("web").unwrap().id();
+        let db = t.node_by_name("db").unwrap().id();
+        assert_eq!(t.bandwidth_between(web, db), Some(Bandwidth::from_mbps(100)));
+        assert_eq!(t.bandwidth_between(db, web), Some(Bandwidth::from_mbps(100)));
+        let vol = t.node_by_name("vol").unwrap().id();
+        assert_eq!(t.bandwidth_between(web, vol), None);
+        assert_eq!(t.neighbors(db).len(), 2);
+    }
+
+    #[test]
+    fn incident_bandwidth_sums_links() {
+        let t = sample();
+        let db = t.node_by_name("db").unwrap().id();
+        assert_eq!(t.incident_bandwidth(db), Bandwidth::from_mbps(300));
+        let vol = t.node_by_name("vol").unwrap().id();
+        assert_eq!(t.incident_bandwidth(vol), Bandwidth::from_mbps(200));
+    }
+
+    #[test]
+    fn required_separation_takes_strongest_zone() {
+        let mut b = TopologyBuilder::new("t");
+        let a = b.vm("a", 1, 1024).unwrap();
+        let c = b.vm("c", 1, 1024).unwrap();
+        b.diversity_zone("weak", DiversityLevel::Host, &[a, c]).unwrap();
+        b.diversity_zone("strong", DiversityLevel::Pod, &[a, c]).unwrap();
+        let t = b.build().unwrap();
+        assert_eq!(t.required_separation(a, c), Some(DiversityLevel::Pod));
+        assert_eq!(t.required_separation(a, a), None);
+    }
+
+    #[test]
+    fn totals() {
+        let t = sample();
+        assert_eq!(t.total_link_bandwidth(), Bandwidth::from_mbps(300));
+        assert_eq!(t.total_requirements(), Resources::new(6, 10_240, 120));
+    }
+
+    #[test]
+    fn serde_round_trip_rebuilds_indices() {
+        let t = sample();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: ApplicationTopology = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+        let db = back.node_by_name("db").unwrap().id();
+        assert_eq!(back.neighbors(db).len(), 2);
+    }
+
+    #[test]
+    fn serde_rejects_out_of_range_node_ids() {
+        let t = sample();
+        let mut json: serde_json::Value = serde_json::to_value(&t).unwrap();
+        json["links"][0]["a"] = serde_json::json!(99);
+        let err = serde_json::from_value::<ApplicationTopology>(json);
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,236 @@
+//! Data-center availability profiles (§IV-C, Table IV).
+//!
+//! The paper configures each rack so that 25% of its hosts fall into
+//! each of four buckets ranging from heavily loaded to idle; the
+//! uniform control leaves everything idle.
+
+use ostro_datacenter::{CapacityState, Infrastructure, LinkRef};
+use ostro_model::{Bandwidth, Resources};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One availability bucket: the inclusive ranges of *remaining*
+/// resources a host in this bucket is left with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AvailabilityBucket {
+    /// Remaining CPU cores, inclusive range.
+    pub cores: (u32, u32),
+    /// Remaining memory in MiB, inclusive range.
+    pub memory_mb: (u64, u64),
+    /// Remaining NIC bandwidth in Mbps, inclusive range.
+    pub bandwidth_mbps: (u64, u64),
+}
+
+/// A per-rack availability profile: buckets are assigned to equal
+/// shares of each rack's hosts, in order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AvailabilityProfile {
+    buckets: Vec<AvailabilityBucket>,
+}
+
+impl AvailabilityProfile {
+    /// Table IV: per rack, 25% of hosts in each bucket —
+    /// 9–16 cores / 17–30 GB / 0–1.5 Gbps remaining,
+    /// 6–8 / 8–16 GB / 2–5 Gbps,
+    /// 0–5 / 0–7 GB / 6–8 Gbps,
+    /// and fully idle (16 / 32 GB / 10 Gbps).
+    #[must_use]
+    pub fn table_iv() -> Self {
+        AvailabilityProfile {
+            buckets: vec![
+                // The paper says "0–1.5 Gbps"; the floor here is 100
+                // Mbps because a host with literally zero spare NIC
+                // bandwidth dead-ends every one-shot greedy baseline
+                // (any VM placed there is unreachable for later
+                // neighbors), which would abort the comparison runs.
+                AvailabilityBucket {
+                    cores: (9, 16),
+                    memory_mb: (17 * 1024, 30 * 1024),
+                    bandwidth_mbps: (100, 1_500),
+                },
+                AvailabilityBucket {
+                    cores: (6, 8),
+                    memory_mb: (8 * 1024, 16 * 1024),
+                    bandwidth_mbps: (2_000, 5_000),
+                },
+                AvailabilityBucket {
+                    cores: (0, 5),
+                    memory_mb: (0, 7 * 1024),
+                    bandwidth_mbps: (6_000, 8_000),
+                },
+                AvailabilityBucket {
+                    cores: (16, 16),
+                    memory_mb: (32 * 1024, 32 * 1024),
+                    bandwidth_mbps: (10_000, 10_000),
+                },
+            ],
+        }
+    }
+
+    /// A custom profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` is empty.
+    #[must_use]
+    pub fn custom(buckets: Vec<AvailabilityBucket>) -> Self {
+        assert!(!buckets.is_empty(), "a profile needs at least one bucket");
+        AvailabilityProfile { buckets }
+    }
+
+    /// The buckets of this profile.
+    #[must_use]
+    pub fn buckets(&self) -> &[AvailabilityBucket] {
+        &self.buckets
+    }
+
+    /// Builds a [`CapacityState`] in which each rack's hosts are split
+    /// evenly across the buckets (in host order) with availability
+    /// sampled uniformly inside each bucket's ranges.
+    ///
+    /// Hosts left with less than full capacity are marked active
+    /// (something is already running on them); disk is left untouched
+    /// (Table IV does not constrain it).
+    pub fn apply<R: Rng + ?Sized>(
+        &self,
+        infra: &Infrastructure,
+        rng: &mut R,
+    ) -> CapacityState {
+        let mut state = CapacityState::new(infra);
+        let k = self.buckets.len();
+        for rack in infra.racks() {
+            let per_bucket = rack.hosts().len().div_ceil(k);
+            for (i, &host_id) in rack.hosts().iter().enumerate() {
+                let bucket = &self.buckets[(i / per_bucket.max(1)).min(k - 1)];
+                let host = infra.host(host_id);
+                let cap = host.capacity();
+                let avail_cores = sample(rng, bucket.cores.0, bucket.cores.1).min(cap.vcpus);
+                let avail_mem =
+                    sample(rng, bucket.memory_mb.0, bucket.memory_mb.1).min(cap.memory_mb);
+                let avail_bw = Bandwidth::from_mbps(
+                    sample(rng, bucket.bandwidth_mbps.0, bucket.bandwidth_mbps.1)
+                        .min(host.nic().as_mbps()),
+                );
+                let used = Resources::new(cap.vcpus - avail_cores, cap.memory_mb - avail_mem, 0);
+                if !used.is_zero() {
+                    state
+                        .reserve_node(host_id, used)
+                        .expect("preload within capacity by construction");
+                }
+                let used_bw = host.nic() - avail_bw;
+                if !used_bw.is_zero() {
+                    state
+                        .preload_link(LinkRef::HostNic(host_id), used_bw)
+                        .expect("preload within NIC capacity by construction");
+                }
+            }
+        }
+        state
+    }
+}
+
+fn sample<R: Rng + ?Sized, T: Copy + PartialOrd + rand::distributions::uniform::SampleUniform>(
+    rng: &mut R,
+    lo: T,
+    hi: T,
+) -> T {
+    if lo >= hi {
+        lo
+    } else {
+        rng.gen_range(lo..=hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ostro_datacenter::InfrastructureBuilder;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn infra() -> Infrastructure {
+        InfrastructureBuilder::flat(
+            "dc",
+            3,
+            16,
+            Resources::new(16, 32 * 1024, 1_000),
+            Bandwidth::from_gbps(10),
+            Bandwidth::from_gbps(100),
+        )
+        .build()
+        .unwrap()
+    }
+
+    #[test]
+    fn table_iv_leaves_a_quarter_of_each_rack_idle() {
+        let infra = infra();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let state = AvailabilityProfile::table_iv().apply(&infra, &mut rng);
+        for rack in infra.racks() {
+            let idle = rack.hosts().iter().filter(|&&h| !state.is_active(h)).count();
+            // The last 4 hosts of each 16-host rack are the idle bucket.
+            assert_eq!(idle, 4, "rack {}", rack.name());
+            for &h in &rack.hosts()[12..] {
+                assert_eq!(state.available(h), infra.host(h).capacity());
+                assert_eq!(state.nic_available(h), Bandwidth::from_gbps(10));
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_availability_stays_in_bucket_ranges() {
+        let infra = infra();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let profile = AvailabilityProfile::table_iv();
+        let state = profile.apply(&infra, &mut rng);
+        let rack = &infra.racks()[0];
+        // Bucket 0: hosts 0..4 keep 9..=16 cores and <= 1.5 Gbps NIC.
+        for &h in &rack.hosts()[..4] {
+            let avail = state.available(h);
+            assert!((9..=16).contains(&avail.vcpus), "{}", avail.vcpus);
+            assert!(state.nic_available(h) <= Bandwidth::from_mbps(1_500));
+            assert!(state.is_active(h));
+        }
+        // Bucket 2: hosts 8..12 are heavily loaded.
+        for &h in &rack.hosts()[8..12] {
+            assert!(state.available(h).vcpus <= 5);
+        }
+    }
+
+    #[test]
+    fn disk_is_untouched() {
+        let infra = infra();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let state = AvailabilityProfile::table_iv().apply(&infra, &mut rng);
+        for host in infra.hosts() {
+            assert_eq!(state.available(host.id()).disk_gb, 1_000);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_a_fixed_seed() {
+        let infra = infra();
+        let a = AvailabilityProfile::table_iv().apply(&infra, &mut SmallRng::seed_from_u64(9));
+        let b = AvailabilityProfile::table_iv().apply(&infra, &mut SmallRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uneven_rack_sizes_are_handled() {
+        let infra = InfrastructureBuilder::flat(
+            "dc",
+            1,
+            5, // not divisible by 4 buckets
+            Resources::new(16, 32 * 1024, 1_000),
+            Bandwidth::from_gbps(10),
+            Bandwidth::from_gbps(100),
+        )
+        .build()
+        .unwrap();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let state = AvailabilityProfile::table_iv().apply(&infra, &mut rng);
+        // ceil(5/4) = 2 hosts per bucket: the 5th host lands in the
+        // third (constrained) bucket.
+        assert!(state.available(infra.hosts()[4].id()).vcpus <= 5);
+    }
+}

@@ -1,0 +1,282 @@
+//! Multi-tenant churn simulation: a stream of application arrivals and
+//! departures placed by one algorithm onto one shared data center.
+//!
+//! The paper evaluates single placements against *snapshots* of
+//! multi-tenancy (Table IV's non-uniform availability). This module
+//! closes the loop: the non-uniformity *emerges* from previous
+//! placements, and the metrics that matter to an operator — acceptance
+//! rate, active hosts, reserved bandwidth over time — can be compared
+//! across algorithms.
+
+use ostro_core::{Algorithm, ObjectiveWeights, Placement, PlacementRequest, Scheduler};
+use ostro_datacenter::{CapacityState, Infrastructure};
+use ostro_model::{ApplicationTopology, Bandwidth};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::requirements::RequirementMix;
+use crate::runner::SimError;
+use crate::workloads::{mesh, multi_tier, qfs_topology};
+
+/// Configuration of a churn run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnConfig {
+    /// Number of arrival events to simulate.
+    pub arrivals: usize,
+    /// Mean number of ticks an accepted application stays deployed.
+    pub mean_lifetime: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Objective weights for every placement.
+    pub weights: ObjectiveWeights,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            arrivals: 50,
+            mean_lifetime: 10,
+            seed: 7,
+            weights: ObjectiveWeights::SIMULATION,
+        }
+    }
+}
+
+/// Aggregate metrics of one churn run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnReport {
+    /// Arrivals that were successfully placed.
+    pub accepted: usize,
+    /// Arrivals rejected as infeasible (or search-exhausted).
+    pub rejected: usize,
+    /// Mean active hosts across ticks.
+    pub mean_active_hosts: f64,
+    /// Peak active hosts.
+    pub peak_active_hosts: usize,
+    /// Mean reserved bandwidth across ticks, Mbps.
+    pub mean_reserved_mbps: f64,
+    /// Peak reserved bandwidth, Mbps.
+    pub peak_reserved_mbps: u64,
+    /// Mean solver time per accepted placement, seconds.
+    pub mean_solver_secs: f64,
+}
+
+/// The acceptance-rate convenience: accepted / arrivals.
+impl ChurnReport {
+    /// Fraction of arrivals that were placed.
+    #[must_use]
+    pub fn acceptance_rate(&self) -> f64 {
+        let total = self.accepted + self.rejected;
+        if total == 0 {
+            1.0
+        } else {
+            self.accepted as f64 / total as f64
+        }
+    }
+}
+
+struct Tenant {
+    topology: ApplicationTopology,
+    placement: Placement,
+    expires_at: usize,
+}
+
+/// Draws a random application: small/medium multi-tier, mesh, or QFS.
+fn random_application<R: Rng + ?Sized>(
+    rng: &mut R,
+    index: usize,
+) -> Result<ApplicationTopology, SimError> {
+    let mix = if rng.gen_bool(0.5) {
+        RequirementMix::heterogeneous()
+    } else {
+        RequirementMix::homogeneous()
+    };
+    let topology = match rng.gen_range(0..3u8) {
+        0 => multi_tier(*[25, 50, 75].get(rng.gen_range(0..3)).expect("static"), &mix, rng)?,
+        1 => mesh(rng.gen_range(3..9), &mix, rng)?,
+        _ => qfs_topology()?,
+    };
+    // Rename so successive tenants never collide in diagnostics.
+    let mut builder = ostro_model::TopologyBuilder::new(format!("tenant{index}"));
+    let mut ids = Vec::new();
+    for node in topology.nodes() {
+        let id = match *node.kind() {
+            ostro_model::NodeKind::Vm { vcpus, memory_mb } => {
+                builder.vm(node.name(), vcpus, memory_mb)?
+            }
+            ostro_model::NodeKind::Volume { size_gb } => builder.volume(node.name(), size_gb)?,
+        };
+        ids.push(id);
+    }
+    for link in topology.links() {
+        let (a, b) = link.endpoints();
+        builder.link(ids[a.index()], ids[b.index()], link.bandwidth())?;
+    }
+    for zone in topology.zones() {
+        let members: Vec<_> = zone.members().iter().map(|&m| ids[m.index()]).collect();
+        builder.diversity_zone(zone.name(), zone.level(), &members)?;
+    }
+    Ok(builder.build()?)
+}
+
+/// Runs the churn simulation with one algorithm.
+///
+/// Each tick, expired tenants depart (their resources are released),
+/// then one new application arrives and is placed if feasible.
+///
+/// # Errors
+///
+/// Propagates only *setup* failures (workload generation); placement
+/// infeasibility is counted as a rejection, not an error.
+pub fn run_churn(
+    infra: &Infrastructure,
+    algorithm: Algorithm,
+    config: &ChurnConfig,
+) -> Result<ChurnReport, SimError> {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut state = CapacityState::new(infra);
+    let scheduler = Scheduler::new(infra);
+    let mut tenants: Vec<Tenant> = Vec::new();
+
+    let mut accepted = 0usize;
+    let mut rejected = 0usize;
+    let mut active_sum = 0f64;
+    let mut peak_active = 0usize;
+    let mut reserved_sum = 0f64;
+    let mut peak_reserved = Bandwidth::ZERO;
+    let mut solver_secs = 0f64;
+
+    for tick in 0..config.arrivals {
+        // Departures first.
+        let mut staying = Vec::with_capacity(tenants.len());
+        for tenant in tenants {
+            if tenant.expires_at <= tick {
+                scheduler
+                    .release(&tenant.topology, &tenant.placement, &mut state)
+                    .expect("accepted tenants release cleanly");
+            } else {
+                staying.push(tenant);
+            }
+        }
+        tenants = staying;
+
+        // One arrival.
+        let topology = random_application(&mut rng, tick)?;
+        let request = PlacementRequest {
+            algorithm,
+            weights: config.weights,
+            seed: config.seed ^ tick as u64,
+            ..PlacementRequest::default()
+        };
+        match scheduler.place(&topology, &state, &request) {
+            Ok(outcome) => {
+                scheduler
+                    .commit(&topology, &outcome.placement, &mut state)
+                    .expect("placement was validated against this state");
+                solver_secs += outcome.elapsed.as_secs_f64();
+                accepted += 1;
+                let lifetime = rng.gen_range(1..=config.mean_lifetime * 2);
+                tenants.push(Tenant {
+                    topology,
+                    placement: outcome.placement,
+                    expires_at: tick + lifetime,
+                });
+            }
+            Err(_) => rejected += 1,
+        }
+
+        let active = state.active_host_count();
+        let reserved = state.total_reserved_bandwidth(infra);
+        active_sum += active as f64;
+        peak_active = peak_active.max(active);
+        reserved_sum += reserved.as_mbps() as f64;
+        peak_reserved = peak_reserved.max(reserved);
+    }
+
+    let ticks = config.arrivals.max(1) as f64;
+    Ok(ChurnReport {
+        accepted,
+        rejected,
+        mean_active_hosts: active_sum / ticks,
+        peak_active_hosts: peak_active,
+        mean_reserved_mbps: reserved_sum / ticks,
+        peak_reserved_mbps: peak_reserved.as_mbps(),
+        mean_solver_secs: if accepted > 0 { solver_secs / accepted as f64 } else { 0.0 },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::sized_datacenter;
+    use std::time::Duration;
+
+    fn infra() -> Infrastructure {
+        let mut rng = SmallRng::seed_from_u64(1);
+        sized_datacenter(6, 8, false, &mut rng).unwrap().0
+    }
+
+    fn config(arrivals: usize) -> ChurnConfig {
+        ChurnConfig { arrivals, mean_lifetime: 5, ..ChurnConfig::default() }
+    }
+
+    #[test]
+    fn churn_accepts_everything_on_a_roomy_cloud() {
+        let infra = infra();
+        let report = run_churn(&infra, Algorithm::Greedy, &config(12)).unwrap();
+        assert_eq!(report.accepted, 12);
+        assert_eq!(report.rejected, 0);
+        assert_eq!(report.acceptance_rate(), 1.0);
+        assert!(report.peak_active_hosts > 0);
+        assert!(report.mean_reserved_mbps >= 0.0);
+        assert!(report.mean_solver_secs > 0.0);
+    }
+
+    #[test]
+    fn churn_is_deterministic_per_seed() {
+        let infra = infra();
+        let mut a = run_churn(&infra, Algorithm::Greedy, &config(10)).unwrap();
+        let mut b = run_churn(&infra, Algorithm::Greedy, &config(10)).unwrap();
+        // Wall-clock solver time is the one legitimately noisy field.
+        a.mean_solver_secs = 0.0;
+        b.mean_solver_secs = 0.0;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn consolidating_weights_use_fewer_hosts_than_egbw() {
+        let infra = infra();
+        let cfg = config(20);
+        let eg = run_churn(&infra, Algorithm::Greedy, &cfg).unwrap();
+        let egbw = run_churn(&infra, Algorithm::GreedyBandwidth, &cfg).unwrap();
+        assert!(
+            eg.mean_active_hosts <= egbw.mean_active_hosts + 1e-9,
+            "EG {} vs EGBW {}",
+            eg.mean_active_hosts,
+            egbw.mean_active_hosts
+        );
+    }
+
+    #[test]
+    fn tiny_cloud_rejects_but_survives() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        // 1 rack x 4 hosts: QFS (12-way diversity) can never fit.
+        let (infra, _) = sized_datacenter(1, 4, false, &mut rng).unwrap();
+        let report = run_churn(&infra, Algorithm::Greedy, &config(15)).unwrap();
+        assert!(report.rejected > 0);
+        assert!(report.acceptance_rate() < 1.0);
+    }
+
+    #[test]
+    fn works_with_deadline_bounded_search() {
+        let infra = infra();
+        let report = run_churn(
+            &infra,
+            Algorithm::DeadlineBoundedAStar { deadline: Duration::from_millis(100) },
+            &config(6),
+        )
+        .unwrap();
+        assert_eq!(report.accepted + report.rejected, 6);
+    }
+}

@@ -1,0 +1,50 @@
+//! Evaluation substrate for the Ostro reproduction: the workload
+//! generators, availability scenarios, and experiment runners behind
+//! every table and figure of the paper's §IV.
+//!
+//! * [`requirements`] — Table III's heterogeneous VM mix and the
+//!   homogeneous control.
+//! * [`availability`] — Table IV's non-uniform per-rack availability
+//!   profile and the uniform (all idle) control.
+//! * [`workloads`] — the three applications the paper evaluates: the
+//!   QFS storage application (Fig. 5), the 5-tier multi-tier topology,
+//!   and the mesh-communication topology (Fig. 2).
+//! * [`scenarios`] — the testbed (16 hosts, one ToR) and the simulated
+//!   data center (2400 hosts, 150 racks).
+//! * [`runner`] — algorithm comparison harness with seeded averaging.
+//! * [`report`] — fixed-width text tables matching the paper's layout.
+//!
+//! # Example
+//!
+//! Reproduce one cell of Table I: EG on the QFS application under
+//! non-uniform availability.
+//!
+//! ```
+//! use ostro_core::{Algorithm, PlacementRequest, Scheduler};
+//! use ostro_sim::scenarios::qfs_testbed;
+//! use ostro_sim::workloads::qfs_topology;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let (infra, state) = qfs_testbed(true)?; // non-uniform availability
+//! let topology = qfs_topology()?;
+//! let scheduler = Scheduler::new(&infra);
+//! let request = PlacementRequest::with_algorithm(Algorithm::Greedy)
+//!     .weights(ostro_core::ObjectiveWeights::BANDWIDTH_DOMINANT);
+//! let outcome = scheduler.place(&topology, &state, &request)?;
+//! assert_eq!(outcome.placement.assignments().len(), topology.node_count());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod availability;
+pub mod churn;
+pub mod report;
+pub mod requirements;
+pub mod runner;
+pub mod scenarios;
+pub mod workloads;
+
+pub use availability::AvailabilityProfile;
+pub use churn::{run_churn, ChurnConfig, ChurnReport};
+pub use requirements::{RequirementClass, RequirementMix};
+pub use runner::{run_comparison, ComparisonRow, SimError};

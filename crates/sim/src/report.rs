@@ -1,0 +1,161 @@
+//! Fixed-width text rendering for experiment results, matching the
+//! layout of the paper's tables.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use crate::runner::ComparisonRow;
+
+/// A simple right-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Starts a table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (missing cells render empty; extras are kept).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+    }
+
+    /// Renders the table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let columns = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain([self.headers.len()])
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; columns];
+        let all = std::iter::once(&self.headers).chain(self.rows.iter());
+        for row in all {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |out: &mut String, row: &[String]| {
+            for i in 0..columns {
+                let cell = row.get(i).map_or("", String::as_str);
+                if i == 0 {
+                    let _ = write!(out, "{cell:<width$}", width = widths[0]);
+                } else {
+                    let _ = write!(out, "  {cell:>width$}", width = widths[i]);
+                }
+            }
+            out.push('\n');
+        };
+        render_row(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (columns.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Formats Mbps with the unit the paper's tables use.
+#[must_use]
+pub fn fmt_mbps(mbps: f64) -> String {
+    if mbps >= 10_000.0 {
+        format!("{:.1} Gbps", mbps / 1_000.0)
+    } else {
+        format!("{mbps:.0} Mbps")
+    }
+}
+
+/// Formats a duration as seconds with millisecond precision.
+#[must_use]
+pub fn fmt_secs(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64())
+}
+
+/// Renders comparison rows in the layout of Tables I/II (one column
+/// per algorithm).
+#[must_use]
+pub fn render_table_one_style(title: &str, rows: &[ComparisonRow]) -> String {
+    let mut table = TextTable::new(
+        std::iter::once(String::new()).chain(rows.iter().map(|r| r.label.clone())),
+    );
+    table.row(
+        std::iter::once("Bandwidth (Mbps)".to_owned())
+            .chain(rows.iter().map(|r| format!("{:.0}", r.bandwidth_mbps))),
+    );
+    table.row(
+        std::iter::once("New active hosts".to_owned())
+            .chain(rows.iter().map(|r| format!("{:.1}", r.new_hosts))),
+    );
+    table.row(
+        std::iter::once("Run-time (sec)".to_owned())
+            .chain(rows.iter().map(|r| fmt_secs(r.runtime))),
+    );
+    format!("{title}\n{}", table.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(["algo", "bw", "hosts"]);
+        t.row(["EGC", "4480", "0"]);
+        t.row(["DBA*", "1980", "1"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("algo"));
+        assert!(lines[2].starts_with("EGC"));
+        // All data lines are equally wide.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn handles_ragged_rows() {
+        let mut t = TextTable::new(["a"]);
+        t.row(["x", "y"]);
+        t.row::<&str>([]);
+        let s = t.render();
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    fn unit_formatting() {
+        assert_eq!(fmt_mbps(4480.0), "4480 Mbps");
+        assert_eq!(fmt_mbps(1_523_000.0), "1523.0 Gbps");
+        assert_eq!(fmt_secs(Duration::from_millis(82)), "0.082");
+    }
+
+    #[test]
+    fn table_one_style_has_paper_rows() {
+        let rows = vec![ComparisonRow {
+            label: "EG".into(),
+            bandwidth_mbps: 2000.0,
+            new_hosts: 0.0,
+            total_hosts: 12.0,
+            runtime: Duration::from_millis(84),
+            objective: 0.2,
+            runs: 1,
+        }];
+        let s = render_table_one_style("Table I", &rows);
+        assert!(s.contains("Table I"));
+        assert!(s.contains("Bandwidth (Mbps)"));
+        assert!(s.contains("New active hosts"));
+        assert!(s.contains("Run-time (sec)"));
+        assert!(s.contains("2000"));
+    }
+}

@@ -1,0 +1,189 @@
+//! VM resource-requirement mixes (§IV-C, Table III).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One class of VM in a requirement mix.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RequirementClass {
+    /// Fraction of VMs drawn from this class (classes must sum to 1).
+    pub fraction: f64,
+    /// Virtual CPUs per VM.
+    pub vcpus: u32,
+    /// Memory per VM, in MiB.
+    pub memory_mb: u64,
+    /// Total incident bandwidth demand per VM, in Mbps (spread across
+    /// the VM's links by the workload generator).
+    pub bandwidth_mbps: u64,
+}
+
+/// A distribution of VM requirement classes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequirementMix {
+    classes: Vec<RequirementClass>,
+}
+
+impl RequirementMix {
+    /// Table III: 40% network-intensive small VMs (1 vCPU / 1 GB /
+    /// 100 Mbps), 20% balanced (2 / 2 GB / 50), 40% compute-intensive
+    /// (4 / 4 GB / 10).
+    #[must_use]
+    pub fn heterogeneous() -> Self {
+        RequirementMix {
+            classes: vec![
+                RequirementClass {
+                    fraction: 0.4,
+                    vcpus: 1,
+                    memory_mb: 1_024,
+                    bandwidth_mbps: 100,
+                },
+                RequirementClass {
+                    fraction: 0.2,
+                    vcpus: 2,
+                    memory_mb: 2_048,
+                    bandwidth_mbps: 50,
+                },
+                RequirementClass {
+                    fraction: 0.4,
+                    vcpus: 4,
+                    memory_mb: 4_096,
+                    bandwidth_mbps: 10,
+                },
+            ],
+        }
+    }
+
+    /// The paper's homogeneous control: every VM is 2 vCPUs / 2 GB /
+    /// 50 Mbps.
+    #[must_use]
+    pub fn homogeneous() -> Self {
+        RequirementMix {
+            classes: vec![RequirementClass {
+                fraction: 1.0,
+                vcpus: 2,
+                memory_mb: 2_048,
+                bandwidth_mbps: 50,
+            }],
+        }
+    }
+
+    /// A custom mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is empty or fractions do not sum to 1 (±1e-6).
+    #[must_use]
+    pub fn custom(classes: Vec<RequirementClass>) -> Self {
+        assert!(!classes.is_empty(), "a mix needs at least one class");
+        let total: f64 = classes.iter().map(|c| c.fraction).sum();
+        assert!((total - 1.0).abs() < 1e-6, "fractions must sum to 1, got {total}");
+        RequirementMix { classes }
+    }
+
+    /// The classes of this mix.
+    #[must_use]
+    pub fn classes(&self) -> &[RequirementClass] {
+        &self.classes
+    }
+
+    /// Samples one class for a VM.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> RequirementClass {
+        let mut roll: f64 = rng.gen_range(0.0..1.0);
+        for class in &self.classes {
+            if roll < class.fraction {
+                return *class;
+            }
+            roll -= class.fraction;
+        }
+        *self.classes.last().expect("mix is non-empty")
+    }
+
+    /// Deterministically assigns classes to `n` VMs in the exact mix
+    /// proportions (shuffled by `rng` so classes interleave), which
+    /// keeps the 40/20/40 split exact rather than merely expected.
+    pub fn assign<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<RequirementClass> {
+        let mut out = Vec::with_capacity(n);
+        for (i, class) in self.classes.iter().enumerate() {
+            let sofar: f64 = self.classes[..=i].iter().map(|c| c.fraction).sum();
+            let upto = (sofar * n as f64).round() as usize;
+            while out.len() < upto.min(n) {
+                out.push(*class);
+            }
+        }
+        while out.len() < n {
+            out.push(*self.classes.last().expect("mix is non-empty"));
+        }
+        // Fisher–Yates shuffle for interleaving.
+        for i in (1..out.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            out.swap(i, j);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn table_iii_mix_matches_paper() {
+        let mix = RequirementMix::heterogeneous();
+        assert_eq!(mix.classes().len(), 3);
+        assert_eq!(mix.classes()[0].bandwidth_mbps, 100);
+        assert_eq!(mix.classes()[2].vcpus, 4);
+        let total: f64 = mix.classes().iter().map(|c| c.fraction).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn assign_hits_exact_proportions() {
+        let mix = RequirementMix::heterogeneous();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let classes = mix.assign(100, &mut rng);
+        assert_eq!(classes.len(), 100);
+        let small = classes.iter().filter(|c| c.vcpus == 1).count();
+        let medium = classes.iter().filter(|c| c.vcpus == 2).count();
+        let large = classes.iter().filter(|c| c.vcpus == 4).count();
+        assert_eq!((small, medium, large), (40, 20, 40));
+    }
+
+    #[test]
+    fn homogeneous_assign_is_uniform() {
+        let mix = RequirementMix::homogeneous();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let classes = mix.assign(30, &mut rng);
+        assert!(classes.iter().all(|c| c.vcpus == 2 && c.bandwidth_mbps == 50));
+    }
+
+    #[test]
+    fn sample_respects_distribution_roughly() {
+        let mix = RequirementMix::heterogeneous();
+        let mut rng = SmallRng::seed_from_u64(42);
+        let n = 10_000;
+        let small = (0..n).filter(|_| mix.sample(&mut rng).vcpus == 1).count();
+        let frac = small as f64 / n as f64;
+        assert!((frac - 0.4).abs() < 0.05, "got {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn custom_mix_validates_fractions() {
+        let _ = RequirementMix::custom(vec![RequirementClass {
+            fraction: 0.5,
+            vcpus: 1,
+            memory_mb: 1,
+            bandwidth_mbps: 1,
+        }]);
+    }
+
+    #[test]
+    fn assign_small_n() {
+        let mix = RequirementMix::heterogeneous();
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(mix.assign(1, &mut rng).len(), 1);
+        assert_eq!(mix.assign(0, &mut rng).len(), 0);
+    }
+}

@@ -1,0 +1,242 @@
+//! Experiment runner: executes algorithm comparisons and aggregates
+//! results into the rows the paper's tables and figures report.
+
+use std::error::Error;
+use std::fmt;
+use std::time::Duration;
+
+use ostro_core::{
+    Algorithm, ObjectiveWeights, PlacementError, PlacementOutcome, PlacementRequest, Scheduler,
+};
+use ostro_datacenter::{BuildError, CapacityState, Infrastructure};
+use ostro_model::{ApplicationTopology, ModelError};
+
+/// Errors from scenario setup or placement during an experiment.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SimError {
+    /// Infrastructure construction failed.
+    Build(BuildError),
+    /// Workload generation failed.
+    Model(ModelError),
+    /// Placement failed.
+    Placement(PlacementError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Build(e) => write!(f, "scenario build failed: {e}"),
+            Self::Model(e) => write!(f, "workload generation failed: {e}"),
+            Self::Placement(e) => write!(f, "placement failed: {e}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Build(e) => Some(e),
+            Self::Model(e) => Some(e),
+            Self::Placement(e) => Some(e),
+        }
+    }
+}
+
+impl From<BuildError> for SimError {
+    fn from(e: BuildError) -> Self {
+        SimError::Build(e)
+    }
+}
+impl From<ModelError> for SimError {
+    fn from(e: ModelError) -> Self {
+        SimError::Model(e)
+    }
+}
+impl From<PlacementError> for SimError {
+    fn from(e: PlacementError) -> Self {
+        SimError::Placement(e)
+    }
+}
+
+/// One algorithm's result on one scenario instance.
+#[derive(Debug, Clone)]
+pub struct TrialResult {
+    /// Which algorithm ran.
+    pub algorithm: Algorithm,
+    /// The full placement outcome.
+    pub outcome: PlacementOutcome,
+    /// Hosts active in the whole data center after this placement
+    /// (pre-existing active hosts + newly activated) — the quantity of
+    /// the paper's Figures 8 and 11.
+    pub total_active_hosts: usize,
+}
+
+/// Runs one algorithm on one (topology, state) instance.
+///
+/// # Errors
+///
+/// Propagates any [`PlacementError`].
+pub fn run_trial(
+    infra: &Infrastructure,
+    state: &CapacityState,
+    topology: &ApplicationTopology,
+    algorithm: Algorithm,
+    weights: ObjectiveWeights,
+    seed: u64,
+) -> Result<TrialResult, SimError> {
+    let scheduler = Scheduler::new(infra);
+    let request = PlacementRequest { algorithm, weights, seed, ..PlacementRequest::default() };
+    let outcome = scheduler.place(topology, state, &request)?;
+    Ok(TrialResult {
+        algorithm,
+        total_active_hosts: state.active_host_count() + outcome.new_active_hosts,
+        outcome,
+    })
+}
+
+/// Runs every algorithm of `algorithms` on the same instance.
+///
+/// # Errors
+///
+/// Propagates the first failing algorithm's error.
+pub fn run_comparison(
+    infra: &Infrastructure,
+    state: &CapacityState,
+    topology: &ApplicationTopology,
+    algorithms: &[Algorithm],
+    weights: ObjectiveWeights,
+    seed: u64,
+) -> Result<Vec<TrialResult>, SimError> {
+    algorithms
+        .iter()
+        .map(|&a| run_trial(infra, state, topology, a, weights, seed))
+        .collect()
+}
+
+/// Aggregated (averaged) results for one algorithm across repetitions —
+/// one row of a paper table, or one point of a paper figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparisonRow {
+    /// The algorithm's paper abbreviation.
+    pub label: String,
+    /// Mean reserved bandwidth, Mbps.
+    pub bandwidth_mbps: f64,
+    /// Mean newly activated hosts.
+    pub new_hosts: f64,
+    /// Mean total active hosts in the data center after placement.
+    pub total_hosts: f64,
+    /// Mean solver wall-clock time.
+    pub runtime: Duration,
+    /// Mean normalized objective.
+    pub objective: f64,
+    /// Number of repetitions aggregated.
+    pub runs: usize,
+}
+
+/// Averages repetitions of the same algorithm into one row.
+///
+/// # Panics
+///
+/// Panics if `results` is empty or mixes algorithms.
+#[must_use]
+pub fn aggregate(results: &[TrialResult]) -> ComparisonRow {
+    assert!(!results.is_empty(), "cannot aggregate zero results");
+    let label = results[0].algorithm.abbreviation().to_owned();
+    assert!(
+        results.iter().all(|r| r.algorithm.abbreviation() == label),
+        "aggregate() expects a single algorithm"
+    );
+    let n = results.len() as f64;
+    ComparisonRow {
+        label,
+        bandwidth_mbps: results
+            .iter()
+            .map(|r| r.outcome.reserved_bandwidth.as_mbps() as f64)
+            .sum::<f64>()
+            / n,
+        new_hosts: results.iter().map(|r| r.outcome.new_active_hosts as f64).sum::<f64>() / n,
+        total_hosts: results.iter().map(|r| r.total_active_hosts as f64).sum::<f64>() / n,
+        runtime: Duration::from_secs_f64(
+            results.iter().map(|r| r.outcome.elapsed.as_secs_f64()).sum::<f64>() / n,
+        ),
+        objective: results.iter().map(|r| r.outcome.objective).sum::<f64>() / n,
+        runs: results.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::qfs_testbed;
+    use crate::workloads::qfs_topology;
+
+    #[test]
+    fn trial_and_comparison_run_end_to_end() {
+        let (infra, state) = qfs_testbed(false).unwrap();
+        let topo = qfs_topology().unwrap();
+        let algorithms = [Algorithm::GreedyCompute, Algorithm::GreedyBandwidth];
+        let results = run_comparison(
+            &infra,
+            &state,
+            &topo,
+            &algorithms,
+            ObjectiveWeights::BANDWIDTH_DOMINANT,
+            1,
+        )
+        .unwrap();
+        assert_eq!(results.len(), 2);
+        for r in &results {
+            assert_eq!(r.outcome.placement.assignments().len(), topo.node_count());
+            assert_eq!(r.total_active_hosts, r.outcome.new_active_hosts);
+        }
+    }
+
+    #[test]
+    fn aggregate_averages_fields() {
+        let (infra, state) = qfs_testbed(false).unwrap();
+        let topo = qfs_topology().unwrap();
+        let r1 = run_trial(
+            &infra,
+            &state,
+            &topo,
+            Algorithm::Greedy,
+            ObjectiveWeights::BANDWIDTH_DOMINANT,
+            1,
+        )
+        .unwrap();
+        let row = aggregate(&[r1.clone(), r1.clone()]);
+        assert_eq!(row.label, "EG");
+        assert_eq!(row.runs, 2);
+        assert_eq!(row.bandwidth_mbps, r1.outcome.reserved_bandwidth.as_mbps() as f64);
+        assert_eq!(row.new_hosts, r1.outcome.new_active_hosts as f64);
+    }
+
+    #[test]
+    #[should_panic(expected = "single algorithm")]
+    fn aggregate_rejects_mixed_algorithms() {
+        let (infra, state) = qfs_testbed(false).unwrap();
+        let topo = qfs_topology().unwrap();
+        let a = run_trial(
+            &infra,
+            &state,
+            &topo,
+            Algorithm::Greedy,
+            ObjectiveWeights::BANDWIDTH_DOMINANT,
+            1,
+        )
+        .unwrap();
+        let mut b = a.clone();
+        b.algorithm = Algorithm::GreedyCompute;
+        let _ = aggregate(&[a, b]);
+    }
+
+    #[test]
+    fn errors_convert_and_display() {
+        let e: SimError = ModelError::EmptyTopology.into();
+        assert!(e.to_string().contains("workload generation"));
+        assert!(e.source().is_some());
+        let e: SimError = PlacementError::Exhausted.into();
+        assert!(e.to_string().contains("placement failed"));
+    }
+}

@@ -1,0 +1,271 @@
+//! The two physical environments of the paper's evaluation: the
+//! 16-host QFS testbed (§IV-A) and the 2400-host simulated data center
+//! (§IV-C), each in uniform (all idle) and non-uniform variants.
+
+use ostro_datacenter::{
+    BuildError, CapacityState, Infrastructure, InfrastructureBuilder, LinkRef,
+};
+use ostro_model::{Bandwidth, Resources};
+use rand::Rng;
+
+use crate::availability::AvailabilityProfile;
+
+/// Hosts in the QFS testbed.
+pub const TESTBED_HOSTS: usize = 16;
+
+/// Racks in the simulated data center.
+pub const SIM_RACKS: usize = 150;
+
+/// Hosts per rack in the simulated data center.
+pub const SIM_HOSTS_PER_RACK: usize = 16;
+
+/// Builds the §IV-A testbed: 16 hosts (16 cores / 32 GB / 1 TB) behind
+/// one ToR switch with 3.2 Gbps host links.
+///
+/// With `non_uniform`, the first twelve hosts carry pre-existing load
+/// in three utilization tiers (light / medium / constrained, four hosts
+/// each) and the last four are idle, exactly as §IV-A describes; the
+/// uniform variant leaves all sixteen idle.
+///
+/// # Errors
+///
+/// Propagates [`BuildError`] (cannot occur for these fixed parameters).
+pub fn qfs_testbed(non_uniform: bool) -> Result<(Infrastructure, CapacityState), BuildError> {
+    let infra = InfrastructureBuilder::flat(
+        "testbed",
+        1,
+        TESTBED_HOSTS,
+        Resources::new(16, 32 * 1024, 1_000),
+        Bandwidth::from_mbps(3_200),
+        Bandwidth::from_gbps(40),
+    )
+    .build()?;
+    let mut state = CapacityState::new(&infra);
+    if non_uniform {
+        // (available cores, available memory GB, NIC Mbps in use) per host.
+        #[rustfmt::skip]
+        let plan: [(u32, u64, u64); 12] = [
+            // Lightly utilized: 8 or 10 cores and > 20 GB free.
+            (8, 22, 400), (10, 24, 400), (8, 26, 400), (10, 21, 400),
+            // Medium: 5-6 cores, 15-19 GB free.
+            (6, 15, 800), (6, 17, 800), (6, 19, 800), (6, 16, 800),
+            // Constrained: < 5 cores, < 15 GB free.
+            (4, 4, 1_200), (4, 5, 1_200), (4, 6, 1_200), (4, 7, 1_200),
+        ];
+        for (i, &(avail_cores, avail_mem_gb, nic_used)) in plan.iter().enumerate() {
+            let host = infra.hosts()[i].id();
+            let used = Resources::new(16 - avail_cores, (32 - avail_mem_gb) * 1024, 100);
+            state.reserve_node(host, used).expect("preload fits by construction");
+            state
+                .preload_link(LinkRef::HostNic(host), Bandwidth::from_mbps(nic_used))
+                .expect("preload fits by construction");
+        }
+    }
+    Ok((infra, state))
+}
+
+/// Builds the §IV-C simulated data center: 150 racks × 16 hosts
+/// (16 cores / 32 GB / 1 TB each), host↔ToR 10 Gbps, ToR↔root
+/// 100 Gbps, no pod layer.
+///
+/// With `non_uniform`, availability follows Table IV (sampled with
+/// `rng`); otherwise every host is idle.
+///
+/// # Errors
+///
+/// Propagates [`BuildError`] (cannot occur for these fixed parameters).
+pub fn simulated_datacenter<R: Rng + ?Sized>(
+    non_uniform: bool,
+    rng: &mut R,
+) -> Result<(Infrastructure, CapacityState), BuildError> {
+    sized_datacenter(SIM_RACKS, SIM_HOSTS_PER_RACK, non_uniform, rng)
+}
+
+/// Like [`simulated_datacenter`] but with an arbitrary scale — used by
+/// criterion benches that cannot afford 2400 hosts per sample.
+///
+/// # Errors
+///
+/// Propagates [`BuildError`] if `racks` or `hosts_per_rack` is zero.
+pub fn sized_datacenter<R: Rng + ?Sized>(
+    racks: usize,
+    hosts_per_rack: usize,
+    non_uniform: bool,
+    rng: &mut R,
+) -> Result<(Infrastructure, CapacityState), BuildError> {
+    let infra = InfrastructureBuilder::flat(
+        "simdc",
+        racks,
+        hosts_per_rack,
+        Resources::new(16, 32 * 1024, 1_000),
+        Bandwidth::from_gbps(10),
+        Bandwidth::from_gbps(100),
+    )
+    .build()?;
+    let state = if non_uniform {
+        AvailabilityProfile::table_iv().apply(&infra, rng)
+    } else {
+        CapacityState::new(&infra)
+    };
+    Ok((infra, state))
+}
+
+/// Builds a multi-site infrastructure (the paper notes Ostro "accounts
+/// for any graphical topology representing multiple connected data
+/// centers"): `sites` sites, each with a pod layer of `pods_per_site`
+/// pods × `racks_per_pod` racks × `hosts_per_rack` hosts.
+///
+/// Host/link capacities match [`simulated_datacenter`]; pod uplinks are
+/// 200 Gbps and site backbone uplinks 400 Gbps.
+///
+/// # Errors
+///
+/// Propagates [`BuildError`] if any dimension is zero.
+pub fn multi_site_datacenter<R: Rng + ?Sized>(
+    sites: usize,
+    pods_per_site: usize,
+    racks_per_pod: usize,
+    hosts_per_rack: usize,
+    non_uniform: bool,
+    rng: &mut R,
+) -> Result<(Infrastructure, CapacityState), BuildError> {
+    let mut b = InfrastructureBuilder::new();
+    let capacity = Resources::new(16, 32 * 1024, 1_000);
+    for s in 0..sites {
+        let site = b.site(format!("site{s}"), Bandwidth::from_gbps(400));
+        for p in 0..pods_per_site {
+            let pod = b.pod(site, format!("s{s}p{p}"), Bandwidth::from_gbps(200))?;
+            for r in 0..racks_per_pod {
+                let rack =
+                    b.rack_in_pod(pod, format!("s{s}p{p}r{r}"), Bandwidth::from_gbps(100))?;
+                for h in 0..hosts_per_rack {
+                    b.host(
+                        rack,
+                        format!("s{s}p{p}r{r}h{h}"),
+                        capacity,
+                        Bandwidth::from_gbps(10),
+                    )?;
+                }
+            }
+        }
+    }
+    let infra = b.build()?;
+    let state = if non_uniform {
+        AvailabilityProfile::table_iv().apply(&infra, rng)
+    } else {
+        CapacityState::new(&infra)
+    };
+    Ok((infra, state))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn testbed_uniform_is_fully_idle() {
+        let (infra, state) = qfs_testbed(false).unwrap();
+        assert_eq!(infra.host_count(), 16);
+        assert_eq!(infra.racks().len(), 1);
+        assert_eq!(state.active_host_count(), 0);
+        assert_eq!(infra.hosts()[0].nic(), Bandwidth::from_mbps(3_200));
+    }
+
+    #[test]
+    fn testbed_non_uniform_matches_section_iv_a() {
+        let (infra, state) = qfs_testbed(true).unwrap();
+        assert_eq!(state.active_host_count(), 12);
+        // Light hosts: 8 or 10 cores and more than 20 GB.
+        for host in &infra.hosts()[..4] {
+            let avail = state.available(host.id());
+            assert!(avail.vcpus == 8 || avail.vcpus == 10);
+            assert!(avail.memory_mb > 20 * 1024);
+        }
+        // Medium: 5-6 cores and 15-19 GB.
+        for host in &infra.hosts()[4..8] {
+            let avail = state.available(host.id());
+            assert!((5..=6).contains(&avail.vcpus));
+            assert!((15 * 1024..=19 * 1024).contains(&avail.memory_mb));
+        }
+        // Constrained: < 5 cores and < 15 GB.
+        for host in &infra.hosts()[8..12] {
+            let avail = state.available(host.id());
+            assert!(avail.vcpus < 5);
+            assert!(avail.memory_mb < 15 * 1024);
+        }
+        // Idle tail with full NIC.
+        for host in &infra.hosts()[12..] {
+            assert!(!state.is_active(host.id()));
+            assert_eq!(state.nic_available(host.id()), Bandwidth::from_mbps(3_200));
+        }
+        // Busier hosts have less NIC headroom.
+        assert!(
+            state.nic_available(infra.hosts()[0].id())
+                > state.nic_available(infra.hosts()[8].id())
+        );
+    }
+
+    #[test]
+    fn simulated_datacenter_has_paper_scale() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let (infra, state) = simulated_datacenter(false, &mut rng).unwrap();
+        assert_eq!(infra.host_count(), 2_400);
+        assert_eq!(infra.racks().len(), 150);
+        assert_eq!(infra.pods().len(), 1);
+        assert!(infra.pods()[0].is_transparent());
+        assert_eq!(state.active_host_count(), 0);
+        assert_eq!(infra.hosts()[0].nic(), Bandwidth::from_gbps(10));
+        assert_eq!(infra.racks()[0].uplink(), Bandwidth::from_gbps(100));
+    }
+
+    #[test]
+    fn multi_site_structure_is_complete() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let (infra, state) = multi_site_datacenter(3, 2, 2, 4, false, &mut rng).unwrap();
+        assert_eq!(infra.sites().len(), 3);
+        assert_eq!(infra.pods().len(), 6);
+        assert!(infra.pods().iter().all(|p| !p.is_transparent()));
+        assert_eq!(infra.racks().len(), 12);
+        assert_eq!(infra.host_count(), 48);
+        assert_eq!(state.active_host_count(), 0);
+        // Cross-site flows pay the full 8-link path.
+        assert_eq!(infra.max_hop_cost(), 8);
+        let a = infra.hosts()[0].id();
+        let far = infra.hosts()[47].id();
+        assert_eq!(infra.hop_cost(a, far), 8);
+    }
+
+    #[test]
+    fn multi_site_supports_datacenter_diversity() {
+        use ostro_core::{PlacementRequest, Scheduler};
+        use ostro_model::{Bandwidth as Bw, DiversityLevel, TopologyBuilder};
+        let mut rng = SmallRng::seed_from_u64(5);
+        let (infra, state) = multi_site_datacenter(2, 1, 2, 4, false, &mut rng).unwrap();
+        let mut b = TopologyBuilder::new("geo");
+        let primary = b.vm("primary", 4, 8_192).unwrap();
+        let replica = b.vm("replica", 4, 8_192).unwrap();
+        b.link(primary, replica, Bw::from_mbps(100)).unwrap();
+        b.diversity_zone("geo-ha", DiversityLevel::DataCenter, &[primary, replica]).unwrap();
+        let topo = b.build().unwrap();
+        let scheduler = Scheduler::new(&infra);
+        let outcome = scheduler.place(&topo, &state, &PlacementRequest::default()).unwrap();
+        let (.., site_a) = infra.location(outcome.placement.host_of(primary));
+        let (.., site_b) = infra.location(outcome.placement.host_of(replica));
+        assert_ne!(site_a, site_b);
+    }
+
+    #[test]
+    fn non_uniform_datacenter_activates_three_quarters() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let (infra, state) = sized_datacenter(10, 16, true, &mut rng).unwrap();
+        // 12 of 16 hosts per rack carry load (some bucket-0 hosts may
+        // sample full availability and stay idle, so allow a margin).
+        let active = state.active_host_count();
+        assert!(
+            (infra.host_count() / 2..infra.host_count()).contains(&active),
+            "active = {active}"
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! The mesh-communication topology of §IV-C (Fig. 2, right): disjoint
+//! host-level diversity groups of five VMs, with links between VMs of
+//! ~80% of all group pairs.
+
+use ostro_model::{ApplicationTopology, DiversityLevel, ModelError, NodeId, TopologyBuilder};
+use rand::Rng;
+
+use crate::requirements::RequirementMix;
+use crate::workloads::add_links_with_split_bandwidth;
+
+/// Every mesh diversity group holds five VMs (the paper's `dhost` of 5).
+pub const MESH_GROUP_SIZE: usize = 5;
+
+/// Probability that any two groups communicate.
+const GROUP_LINK_PROBABILITY: f64 = 0.8;
+
+/// Generates a mesh topology of `groups` diversity groups (the paper
+/// scales 5–40 groups, i.e. 25–200 VMs).
+///
+/// For each group pair selected with probability 0.8, the i-th VM of
+/// one group links to the i-th VM of the other. Requirements are drawn
+/// from `mix` in exact proportions.
+///
+/// # Errors
+///
+/// Propagates [`ModelError`] (cannot occur for valid sizes).
+///
+/// # Panics
+///
+/// Panics if `groups == 0`.
+pub fn mesh<R: Rng + ?Sized>(
+    groups: usize,
+    mix: &RequirementMix,
+    rng: &mut R,
+) -> Result<ApplicationTopology, ModelError> {
+    assert!(groups > 0, "need at least one group");
+    let total = groups * MESH_GROUP_SIZE;
+    let mut builder = TopologyBuilder::new(format!("mesh-{total}"));
+    let classes = mix.assign(total, rng);
+
+    let mut nodes: Vec<NodeId> = Vec::with_capacity(total);
+    for g in 0..groups {
+        for i in 0..MESH_GROUP_SIZE {
+            let class = classes[g * MESH_GROUP_SIZE + i];
+            nodes.push(builder.vm(format!("g{g}-vm{i}"), class.vcpus, class.memory_mb)?);
+        }
+    }
+
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for g1 in 0..groups {
+        for g2 in (g1 + 1)..groups {
+            if rng.gen_range(0.0..1.0) < GROUP_LINK_PROBABILITY {
+                for i in 0..MESH_GROUP_SIZE {
+                    edges.push((g1 * MESH_GROUP_SIZE + i, g2 * MESH_GROUP_SIZE + i));
+                }
+            }
+        }
+    }
+    add_links_with_split_bandwidth(&mut builder, &nodes, &classes, &edges)?;
+
+    for g in 0..groups {
+        let members: Vec<NodeId> =
+            nodes[g * MESH_GROUP_SIZE..(g + 1) * MESH_GROUP_SIZE].to_vec();
+        builder.diversity_zone(format!("g{g}-dz"), DiversityLevel::Host, &members)?;
+    }
+
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn structure_matches_spec() {
+        let mix = RequirementMix::heterogeneous();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let t = mesh(10, &mix, &mut rng).unwrap();
+        assert_eq!(t.vm_count(), 50);
+        assert_eq!(t.zones().len(), 10);
+        assert!(t.zones().iter().all(|z| z.members().len() == MESH_GROUP_SIZE));
+        assert!(t.zones().iter().all(|z| z.level() == DiversityLevel::Host));
+        // Links come in bundles of MESH_GROUP_SIZE per selected pair.
+        assert_eq!(t.links().len() % MESH_GROUP_SIZE, 0);
+    }
+
+    #[test]
+    fn about_80_percent_of_group_pairs_communicate() {
+        let mix = RequirementMix::homogeneous();
+        let mut rng = SmallRng::seed_from_u64(99);
+        let groups = 30;
+        let t = mesh(groups, &mix, &mut rng).unwrap();
+        let pairs = t.links().len() / MESH_GROUP_SIZE;
+        let possible = groups * (groups - 1) / 2;
+        let fraction = pairs as f64 / possible as f64;
+        assert!((0.7..0.9).contains(&fraction), "got {fraction}");
+    }
+
+    #[test]
+    fn no_links_within_a_group() {
+        let mix = RequirementMix::homogeneous();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let t = mesh(6, &mix, &mut rng).unwrap();
+        for link in t.links() {
+            let (a, b) = link.endpoints();
+            let ga = t.node(a).name().split('-').next().unwrap().to_owned();
+            let gb = t.node(b).name().split('-').next().unwrap().to_owned();
+            assert_ne!(ga, gb, "{} <-> {}", t.node(a).name(), t.node(b).name());
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mix = RequirementMix::heterogeneous();
+        let a = mesh(8, &mix, &mut SmallRng::seed_from_u64(4)).unwrap();
+        let b = mesh(8, &mix, &mut SmallRng::seed_from_u64(4)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_group_has_no_links() {
+        let mix = RequirementMix::homogeneous();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let t = mesh(1, &mix, &mut rng).unwrap();
+        assert_eq!(t.links().len(), 0);
+        assert_eq!(t.vm_count(), MESH_GROUP_SIZE);
+    }
+}

@@ -1,0 +1,91 @@
+//! The paper's three evaluation applications.
+//!
+//! * [`qfs_topology`] — the QFS cloud-storage application of Fig. 5.
+//! * [`multi_tier`] — the 5-tier enterprise topology of Fig. 2 (left).
+//! * [`mesh`] — the mesh-communication topology of Fig. 2 (right).
+//!
+//! The paper specifies per-VM *total* bandwidth demands (Table III);
+//! the generators spread each VM's demand across its links so that a
+//! VM's incident bandwidth approximates its class demand: a link
+//! between `a` and `b` carries `(bw_a/deg_a + bw_b/deg_b) / 2`.
+
+mod mesh;
+mod multi_tier;
+mod qfs;
+
+pub use mesh::{mesh, MESH_GROUP_SIZE};
+pub use multi_tier::{multi_tier, FAN_IN, MULTI_TIER_TIERS};
+pub use qfs::{qfs_topology, QFS_CHUNK_SERVERS, QFS_VOLUMES};
+
+use ostro_model::{Bandwidth, ModelError, NodeId, TopologyBuilder};
+
+use crate::requirements::RequirementClass;
+
+/// Adds `edges` to `builder`, splitting each endpoint's class bandwidth
+/// across its degree (minimum 1 Mbps per link).
+pub(crate) fn add_links_with_split_bandwidth(
+    builder: &mut TopologyBuilder,
+    nodes: &[NodeId],
+    classes: &[RequirementClass],
+    edges: &[(usize, usize)],
+) -> Result<(), ModelError> {
+    let mut degree = vec![0u64; nodes.len()];
+    for &(a, b) in edges {
+        degree[a] += 1;
+        degree[b] += 1;
+    }
+    for &(a, b) in edges {
+        let share_a = classes[a].bandwidth_mbps as f64 / degree[a] as f64;
+        let share_b = classes[b].bandwidth_mbps as f64 / degree[b] as f64;
+        let mbps = (((share_a + share_b) / 2.0).round() as u64).max(1);
+        builder.link(nodes[a], nodes[b], Bandwidth::from_mbps(mbps))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ostro_model::ApplicationTopology;
+
+    fn build(edges: &[(usize, usize)], bw: &[u64]) -> ApplicationTopology {
+        let mut b = TopologyBuilder::new("t");
+        let nodes: Vec<NodeId> =
+            (0..bw.len()).map(|i| b.vm(format!("v{i}"), 1, 1024).unwrap()).collect();
+        let classes: Vec<RequirementClass> = bw
+            .iter()
+            .map(|&bandwidth_mbps| RequirementClass {
+                fraction: 0.0,
+                vcpus: 1,
+                memory_mb: 1024,
+                bandwidth_mbps,
+            })
+            .collect();
+        add_links_with_split_bandwidth(&mut b, &nodes, &classes, edges).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn single_link_averages_both_demands() {
+        let t = build(&[(0, 1)], &[100, 50]);
+        assert_eq!(t.links()[0].bandwidth(), Bandwidth::from_mbps(75));
+    }
+
+    #[test]
+    fn incident_bandwidth_approximates_class_demand() {
+        // Star: v0 linked to v1..v4, all demanding 100.
+        let t = build(&[(0, 1), (0, 2), (0, 3), (0, 4)], &[100, 100, 100, 100, 100]);
+        let hub = t.node_by_name("v0").unwrap().id();
+        let incident = t.incident_bandwidth(hub).as_mbps();
+        // Each link: (100/4 + 100/1)/2 = 62.5 -> 63; hub sees 4*63.
+        assert_eq!(incident, 252);
+    }
+
+    #[test]
+    fn tiny_demands_floor_at_one() {
+        let t = build(&[(0, 1), (0, 2)], &[1, 1, 1]);
+        for l in t.links() {
+            assert!(l.bandwidth() >= Bandwidth::from_mbps(1));
+        }
+    }
+}

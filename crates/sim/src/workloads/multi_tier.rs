@@ -1,0 +1,151 @@
+//! The multi-tier application topology of §IV-C (Fig. 2, left): five
+//! tiers, each split into two host-level diversity zones, with each VM
+//! linked to a few VMs of the previous tier.
+
+use ostro_model::{ApplicationTopology, DiversityLevel, ModelError, NodeId, TopologyBuilder};
+use rand::Rng;
+
+use crate::requirements::RequirementMix;
+use crate::workloads::add_links_with_split_bandwidth;
+
+/// The paper's multi-tier applications always have five tiers.
+pub const MULTI_TIER_TIERS: usize = 5;
+
+/// Links per VM toward the previous tier.
+pub const FAN_IN: usize = 3;
+
+/// Generates a multi-tier topology with `total_vms` VMs spread evenly
+/// over [`MULTI_TIER_TIERS`] tiers (the paper scales 25–200 in steps of
+/// 25, i.e. 5–40 VMs per tier).
+///
+/// Each tier is divided into two host-level diversity zones; each VM in
+/// tier *t+1* links to [`FAN_IN`] VMs of tier *t* round-robin. Resource
+/// requirements are drawn from `mix` in exact proportions.
+///
+/// # Errors
+///
+/// Propagates [`ModelError`] (cannot occur for valid sizes).
+///
+/// # Panics
+///
+/// Panics if `total_vms` is not a positive multiple of
+/// [`MULTI_TIER_TIERS`].
+pub fn multi_tier<R: Rng + ?Sized>(
+    total_vms: usize,
+    mix: &RequirementMix,
+    rng: &mut R,
+) -> Result<ApplicationTopology, ModelError> {
+    assert!(
+        total_vms > 0 && total_vms.is_multiple_of(MULTI_TIER_TIERS),
+        "total_vms must be a positive multiple of {MULTI_TIER_TIERS}, got {total_vms}"
+    );
+    let per_tier = total_vms / MULTI_TIER_TIERS;
+    let mut builder = TopologyBuilder::new(format!("multi-tier-{total_vms}"));
+    let classes = mix.assign(total_vms, rng);
+
+    let mut nodes: Vec<NodeId> = Vec::with_capacity(total_vms);
+    for tier in 0..MULTI_TIER_TIERS {
+        for i in 0..per_tier {
+            let idx = tier * per_tier + i;
+            let class = classes[idx];
+            nodes.push(builder.vm(
+                format!("tier{tier}-vm{i}"),
+                class.vcpus,
+                class.memory_mb,
+            )?);
+        }
+    }
+
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for tier in 1..MULTI_TIER_TIERS {
+        for i in 0..per_tier {
+            let this = tier * per_tier + i;
+            for j in 0..FAN_IN.min(per_tier) {
+                let prev = (tier - 1) * per_tier + (i + j) % per_tier;
+                edges.push((prev, this));
+            }
+        }
+    }
+    add_links_with_split_bandwidth(&mut builder, &nodes, &classes, &edges)?;
+
+    for tier in 0..MULTI_TIER_TIERS {
+        let start = tier * per_tier;
+        let half = per_tier.div_ceil(2);
+        let first: Vec<NodeId> = nodes[start..start + half].to_vec();
+        let second: Vec<NodeId> = nodes[start + half..start + per_tier].to_vec();
+        builder.diversity_zone(format!("tier{tier}-dz0"), DiversityLevel::Host, &first)?;
+        if !second.is_empty() {
+            builder.diversity_zone(format!("tier{tier}-dz1"), DiversityLevel::Host, &second)?;
+        }
+    }
+
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn structure_matches_spec() {
+        let mix = RequirementMix::heterogeneous();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let t = multi_tier(50, &mix, &mut rng).unwrap();
+        assert_eq!(t.vm_count(), 50);
+        assert_eq!(t.volume_count(), 0);
+        // 4 inter-tier layers x 10 VMs x 3 fan-in.
+        assert_eq!(t.links().len(), 4 * 10 * 3);
+        // 2 zones per tier.
+        assert_eq!(t.zones().len(), 10);
+        assert!(t.zones().iter().all(|z| z.level() == DiversityLevel::Host));
+        assert!(t.zones().iter().all(|z| z.members().len() == 5));
+    }
+
+    #[test]
+    fn tier0_has_no_upstream_links() {
+        let mix = RequirementMix::homogeneous();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let t = multi_tier(25, &mix, &mut rng).unwrap();
+        let v = t.node_by_name("tier0-vm0").unwrap().id();
+        // tier0 nodes only link downward to tier1.
+        for &(n, _) in t.neighbors(v) {
+            assert!(t.node(n).name().starts_with("tier1-"));
+        }
+        // Last tier links only upward.
+        let last = t.node_by_name("tier4-vm0").unwrap().id();
+        assert_eq!(t.neighbors(last).len(), 3);
+    }
+
+    #[test]
+    fn heterogeneous_mix_is_exact() {
+        let mix = RequirementMix::heterogeneous();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let t = multi_tier(100, &mix, &mut rng).unwrap();
+        let small = t
+            .nodes()
+            .iter()
+            .filter(|n| n.requirements().vcpus == 1)
+            .count();
+        assert_eq!(small, 40);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mix = RequirementMix::heterogeneous();
+        let a = multi_tier(25, &mix, &mut SmallRng::seed_from_u64(5)).unwrap();
+        let b = multi_tier(25, &mix, &mut SmallRng::seed_from_u64(5)).unwrap();
+        assert_eq!(a, b);
+        let c = multi_tier(25, &mix, &mut SmallRng::seed_from_u64(6)).unwrap();
+        assert_ne!(a, c, "different seeds shuffle classes differently");
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn rejects_non_multiple_sizes() {
+        let mix = RequirementMix::homogeneous();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let _ = multi_tier(23, &mix, &mut rng);
+    }
+}

@@ -1,0 +1,122 @@
+//! The QFS (Quantcast File System) cloud-storage application of §IV-A,
+//! Fig. 5: one benchmarking client, one meta server, twelve chunk
+//! servers, and fifteen disk volumes.
+//!
+//! Sizing and bandwidth follow the figure's legend: large VMs are
+//! 4 vCPU / 8 GB, small VMs 2 vCPU / 2 GB; large volumes are 120 GB,
+//! small volumes 10 GB; high-bandwidth links carry 100 Mbps and
+//! low-bandwidth links 10 Mbps. The twelve chunk servers form a
+//! host-level diversity zone (the figure's dashed boundary).
+
+use ostro_model::{ApplicationTopology, Bandwidth, DiversityLevel, ModelError, TopologyBuilder};
+
+/// Number of chunk-server VMs in the QFS application.
+pub const QFS_CHUNK_SERVERS: usize = 12;
+
+/// Number of disk volumes in the QFS application.
+pub const QFS_VOLUMES: usize = 15;
+
+const HIGH_BW: Bandwidth = Bandwidth::from_mbps(100);
+const LOW_BW: Bandwidth = Bandwidth::from_mbps(10);
+
+/// Builds the QFS application topology of Fig. 5.
+///
+/// Layout: the client talks to every chunk server at high bandwidth and
+/// to the meta server at low bandwidth; chunk servers heartbeat the
+/// meta server at low bandwidth; each chunk server writes its own large
+/// volume at high bandwidth; the client, the meta server, and the meta
+/// server's log each use a small volume at low bandwidth
+/// (12 + 3 = 15 volumes in total).
+///
+/// # Errors
+///
+/// Never fails in practice; the signature propagates [`ModelError`]
+/// for uniformity with the generated workloads.
+pub fn qfs_topology() -> Result<ApplicationTopology, ModelError> {
+    let mut b = TopologyBuilder::new("qfs");
+
+    // Large VM: the benchmarking client.
+    let client = b.vm("client", 4, 8_192)?;
+    // Small VM: the meta server.
+    let meta = b.vm("meta", 2, 2_048)?;
+    // Small VMs: the chunk servers.
+    let mut chunks = Vec::with_capacity(QFS_CHUNK_SERVERS);
+    for i in 0..QFS_CHUNK_SERVERS {
+        chunks.push(b.vm(format!("chunk{i}"), 2, 2_048)?);
+    }
+
+    b.link(client, meta, LOW_BW)?;
+    for &chunk in &chunks {
+        b.link(client, chunk, HIGH_BW)?;
+        b.link(meta, chunk, LOW_BW)?;
+    }
+
+    // Large volumes: one per chunk server.
+    for (i, &chunk) in chunks.iter().enumerate() {
+        let vol = b.volume(format!("chunk{i}-vol"), 120)?;
+        b.link(chunk, vol, HIGH_BW)?;
+    }
+    // Small volumes: client scratch, meta state, meta log.
+    let client_vol = b.volume("client-vol", 10)?;
+    b.link(client, client_vol, LOW_BW)?;
+    let meta_vol = b.volume("meta-vol", 10)?;
+    b.link(meta, meta_vol, LOW_BW)?;
+    let meta_log = b.volume("meta-log", 10)?;
+    b.link(meta, meta_log, LOW_BW)?;
+
+    // The chunk servers must sit on twelve distinct hosts.
+    b.diversity_zone("chunk-servers", DiversityLevel::Host, &chunks)?;
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_figure_5() {
+        let t = qfs_topology().unwrap();
+        assert_eq!(t.vm_count(), 1 + 1 + QFS_CHUNK_SERVERS); // client + meta + chunks
+        assert_eq!(t.volume_count(), QFS_VOLUMES);
+        assert_eq!(t.zones().len(), 1);
+        assert_eq!(t.zones()[0].members().len(), QFS_CHUNK_SERVERS);
+        assert_eq!(t.zones()[0].level(), DiversityLevel::Host);
+    }
+
+    #[test]
+    fn link_structure_matches_figure_5() {
+        let t = qfs_topology().unwrap();
+        let client = t.node_by_name("client").unwrap().id();
+        let meta = t.node_by_name("meta").unwrap().id();
+        // Client: 12 chunks + meta + its volume.
+        assert_eq!(t.neighbors(client).len(), QFS_CHUNK_SERVERS + 2);
+        // Meta: client + 12 chunks + 2 volumes.
+        assert_eq!(t.neighbors(meta).len(), QFS_CHUNK_SERVERS + 3);
+        // Each chunk server: client + meta + its volume.
+        let chunk = t.node_by_name("chunk0").unwrap().id();
+        assert_eq!(t.neighbors(chunk).len(), 3);
+        // Total links: 1 + 12 + 12 + 12 + 3.
+        assert_eq!(t.links().len(), 40);
+    }
+
+    #[test]
+    fn requirements_are_heterogeneous() {
+        let t = qfs_topology().unwrap();
+        let client = t.node_by_name("client").unwrap();
+        assert_eq!(client.requirements().vcpus, 4);
+        let chunk = t.node_by_name("chunk3").unwrap();
+        assert_eq!(chunk.requirements().vcpus, 2);
+        let big_vol = t.node_by_name("chunk0-vol").unwrap();
+        assert_eq!(big_vol.requirements().disk_gb, 120);
+        let small_vol = t.node_by_name("meta-log").unwrap();
+        assert_eq!(small_vol.requirements().disk_gb, 10);
+    }
+
+    #[test]
+    fn total_demand_is_fixed() {
+        let t = qfs_topology().unwrap();
+        // 1*10 + 12*100 + 12*10 + 12*100 + 3*10 = 2560 Mbps.
+        assert_eq!(t.total_link_bandwidth(), Bandwidth::from_mbps(2_560));
+    }
+}

@@ -1,0 +1,88 @@
+//! Runtime adaptation under failure: a host dies, and the cloud
+//! controller evacuates every affected stack by incrementally
+//! re-placing it with the dead host quarantined — untouched nodes stay
+//! exactly where they were.
+//!
+//! Run with: `cargo run --example evacuation`
+
+use ostro::core::PlacementRequest;
+use ostro::datacenter::InfrastructureBuilder;
+use ostro::heat::{CloudController, HeatTemplate};
+use ostro::model::{Bandwidth, Resources};
+
+fn app(name: &str) -> HeatTemplate {
+    serde_json::from_str(&format!(
+        r#"{{
+      "heat_template_version": "2015-04-30",
+      "resources": {{
+        "{name}-api":  {{"type": "OS::Nova::Server",
+                        "properties": {{"vcpus": 2, "memory_mb": 4096}}}},
+        "{name}-work": {{"type": "OS::Nova::Server",
+                        "properties": {{"vcpus": 4, "memory_mb": 8192}}}},
+        "{name}-vol":  {{"type": "OS::Cinder::Volume", "properties": {{"size_gb": 100}}}},
+        "{name}-p1": {{"type": "ATT::QoS::Pipe",
+                      "properties": {{"between": ["{name}-api", "{name}-work"],
+                                       "bandwidth_mbps": 200}}}},
+        "{name}-att": {{"type": "OS::Cinder::VolumeAttachment",
+                       "properties": {{"instance": "{name}-work",
+                                        "volume": "{name}-vol",
+                                        "bandwidth_mbps": 150}}}}
+      }}
+    }}"#
+    ))
+    .expect("static template is valid")
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let infra = InfrastructureBuilder::flat(
+        "prod",
+        3,
+        6,
+        Resources::new(16, 32_768, 1_000),
+        Bandwidth::from_gbps(10),
+        Bandwidth::from_gbps(100),
+    )
+    .build()?;
+    let mut cloud = CloudController::new(&infra);
+    let request = PlacementRequest::default();
+
+    let ids: Vec<_> = ["billing", "search", "mail"]
+        .iter()
+        .map(|name| cloud.create_stack(*name, app(name), &request))
+        .collect::<Result<_, _>>()?;
+    println!("deployed {} stacks across {} active hosts", ids.len(), cloud.state().active_host_count());
+
+    // Pick the busiest host and declare it dead.
+    let dead = infra
+        .hosts()
+        .iter()
+        .map(|h| h.id())
+        .max_by_key(|&h| cloud.state().node_count(h))
+        .expect("cluster has hosts");
+    println!(
+        "\nhost {} fails ({} nodes on it) — evacuating...",
+        infra.host(dead).name(),
+        cloud.state().node_count(dead),
+    );
+
+    let moved = cloud.evacuate_host(dead, &request)?;
+    println!("moved {} node(s):", moved.len());
+    for (stack, resource) in &moved {
+        let record = cloud.stack(*stack).expect("stack is live");
+        let node = record.names[resource];
+        println!(
+            "  {:12} ({}) -> {}",
+            resource,
+            record.name,
+            infra.host(record.placement.host_of(node)).name(),
+        );
+    }
+    assert!(cloud.nova().instances().iter().all(|i| i.host != dead));
+    assert!(cloud.cinder().volumes().iter().all(|v| v.host != dead));
+    println!(
+        "\nno workload remains on {}; {} hosts still serve the three stacks",
+        infra.host(dead).name(),
+        cloud.state().active_host_count(),
+    );
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! The OpenStack pipeline of Fig. 1: submit a QoS-enhanced Heat
+//! template to the (simulated) cloud controller, let Ostro decide the
+//! placement, and inspect the annotated template and the booted
+//! instances.
+//!
+//! Run with: `cargo run --example heat_stack`
+
+use ostro::core::PlacementRequest;
+use ostro::datacenter::InfrastructureBuilder;
+use ostro::heat::{CloudController, HeatTemplate};
+use ostro::model::{Bandwidth, Resources};
+
+const TEMPLATE: &str = r#"{
+  "heat_template_version": "2015-04-30",
+  "description": "three-tier web application with QoS pipes",
+  "resources": {
+    "lb":    {"type": "OS::Nova::Server", "properties": {"vcpus": 2, "memory_mb": 2048}},
+    "app1":  {"type": "OS::Nova::Server", "properties": {"vcpus": 4, "memory_mb": 8192}},
+    "app2":  {"type": "OS::Nova::Server", "properties": {"vcpus": 4, "memory_mb": 8192}},
+    "db":    {"type": "OS::Nova::Server", "properties": {"vcpus": 8, "memory_mb": 16384}},
+    "dbvol": {"type": "OS::Cinder::Volume", "properties": {"size_gb": 500}},
+    "p-lb-app1": {"type": "ATT::QoS::Pipe",
+                  "properties": {"between": ["lb", "app1"], "bandwidth_mbps": 300}},
+    "p-lb-app2": {"type": "ATT::QoS::Pipe",
+                  "properties": {"between": ["lb", "app2"], "bandwidth_mbps": 300}},
+    "p-app1-db": {"type": "ATT::QoS::Pipe",
+                  "properties": {"between": ["app1", "db"], "bandwidth_mbps": 150}},
+    "p-app2-db": {"type": "ATT::QoS::Pipe",
+                  "properties": {"between": ["app2", "db"], "bandwidth_mbps": 150}},
+    "att-db":    {"type": "OS::Cinder::VolumeAttachment",
+                  "properties": {"instance": "db", "volume": "dbvol",
+                                  "bandwidth_mbps": 400}},
+    "dz-app":    {"type": "ATT::QoS::DiversityZone",
+                  "properties": {"level": "rack", "members": ["app1", "app2"]}}
+  }
+}"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let template: HeatTemplate = serde_json::from_str(TEMPLATE)?;
+
+    let infra = InfrastructureBuilder::flat(
+        "cloud",
+        6,
+        12,
+        Resources::new(24, 65_536, 2_000),
+        Bandwidth::from_gbps(10),
+        Bandwidth::from_gbps(100),
+    )
+    .build()?;
+    let mut cloud = CloudController::new(&infra);
+
+    let stack_id = cloud.create_stack("webshop", template, &PlacementRequest::default())?;
+    let stack = cloud.stack(stack_id).expect("stack just created");
+
+    println!("annotated template:");
+    println!("{}", serde_json::to_string_pretty(&stack.annotated)?);
+
+    println!("\nNova instances:");
+    for instance in cloud.nova().instances() {
+        println!("  {:5} on {}", instance.name, infra.host(instance.host).name());
+    }
+    println!("Cinder volumes:");
+    for volume in cloud.cinder().volumes() {
+        println!("  {:5} ({} GB) on {}", volume.name, volume.size_gb, infra.host(volume.host).name());
+    }
+    println!(
+        "\nstack metrics: bandwidth {}, hosts used {}, cloud-wide reserved {}",
+        stack.outcome.reserved_bandwidth,
+        stack.outcome.hosts_used,
+        cloud.reserved_bandwidth(),
+    );
+
+    cloud.delete_stack(stack_id)?;
+    println!("after teardown, cloud-wide reserved: {}", cloud.reserved_bandwidth());
+    Ok(())
+}

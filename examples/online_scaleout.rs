@@ -1,0 +1,80 @@
+//! Online adaptation (§IV-E): scale a running application out by 25%
+//! and re-place incrementally — existing nodes stay where they are
+//! unless capacity forces repositioning.
+//!
+//! Run with: `cargo run --example online_scaleout`
+
+use ostro::core::{PlacementRequest, Scheduler};
+use ostro::datacenter::{CapacityState, InfrastructureBuilder};
+use ostro::model::{Bandwidth, Resources, TopologyBuilder, TopologyDelta};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let infra = InfrastructureBuilder::flat(
+        "dc",
+        4,
+        8,
+        Resources::new(16, 32_768, 1_000),
+        Bandwidth::from_gbps(10),
+        Bandwidth::from_gbps(100),
+    )
+    .build()?;
+    let scheduler = Scheduler::new(&infra);
+    let mut state = CapacityState::new(&infra);
+
+    // Initial deployment: a frontend pool of 4 workers behind a queue.
+    let mut b = TopologyBuilder::new("pipeline");
+    let queue = b.vm("queue", 4, 8_192)?;
+    let workers: Vec<_> =
+        (0..4).map(|i| b.vm(format!("worker{i}"), 2, 4_096)).collect::<Result<_, _>>()?;
+    for &w in &workers {
+        b.link(queue, w, Bandwidth::from_mbps(100))?;
+    }
+    let topology = b.build()?;
+
+    let request = PlacementRequest::default();
+    let initial = scheduler.place(&topology, &state, &request)?;
+    scheduler.commit(&topology, &initial.placement, &mut state)?;
+    println!("initial placement:");
+    for (node, host) in initial.placement.iter() {
+        println!("  {:8} -> {}", topology.node(node).name(), infra.host(host).name());
+    }
+
+    // Scale out: one more worker, and retire worker0.
+    let mut delta = TopologyDelta::new();
+    let new_worker = delta.add_vm("worker4", 2, 4_096);
+    delta.add_link(queue, new_worker, Bandwidth::from_mbps(100));
+    delta.remove_node(workers[0]);
+    let (topology2, mapping) = delta.apply(&topology)?;
+
+    // Re-place: release the old usage, pin survivors to their hosts.
+    scheduler.release(&topology, &initial.placement, &mut state)?;
+    let mut prior = vec![None; topology2.node_count()];
+    for (old, new) in mapping.surviving() {
+        prior[new.index()] = Some(initial.placement.host_of(old));
+    }
+    let result = scheduler.replace_online(&topology2, &state, &request, &prior, 4)?;
+    scheduler.commit(&topology2, &result.outcome.placement, &mut state)?;
+
+    println!("\nafter scale-out (worker0 retired, worker4 added):");
+    for (node, host) in result.outcome.placement.iter() {
+        let marker = if mapping.added_ids().contains(&node) {
+            " (new)"
+        } else if result.repositioned.contains(&node) {
+            " (moved)"
+        } else {
+            ""
+        };
+        println!(
+            "  {:8} -> {}{marker}",
+            topology2.node(node).name(),
+            infra.host(host).name(),
+        );
+    }
+    println!(
+        "\nre-placed in {:?} with {} repositioned node(s) over {} unpin round(s)",
+        result.outcome.elapsed,
+        result.repositioned.len(),
+        result.rounds,
+    );
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! Quickstart: describe a small application topology, ask Ostro for a
+//! holistic placement, and apply it.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use ostro::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The application topology: a load balancer, two web servers
+    //    that must sit on different hosts, a database, and its volume.
+    let mut b = TopologyBuilder::new("webshop");
+    let lb = b.vm("lb", 2, 2_048)?;
+    let web1 = b.vm("web1", 2, 4_096)?;
+    let web2 = b.vm("web2", 2, 4_096)?;
+    let db = b.vm("db", 4, 8_192)?;
+    let db_vol = b.volume("db-vol", 200)?;
+    b.link(lb, web1, Bandwidth::from_mbps(200))?;
+    b.link(lb, web2, Bandwidth::from_mbps(200))?;
+    b.link(web1, db, Bandwidth::from_mbps(100))?;
+    b.link(web2, db, Bandwidth::from_mbps(100))?;
+    b.link(db, db_vol, Bandwidth::from_mbps(300))?;
+    b.diversity_zone("web-spread", DiversityLevel::Host, &[web1, web2])?;
+    let topology = b.build()?;
+
+    // 2. The data center: 4 racks of 16 hosts behind a root switch.
+    let infra = InfrastructureBuilder::flat(
+        "dc-east",
+        4,
+        16,
+        Resources::new(16, 32_768, 1_000),
+        Bandwidth::from_gbps(10),
+        Bandwidth::from_gbps(100),
+    )
+    .build()?;
+    let mut state = CapacityState::new(&infra);
+
+    // 3. Place the whole application at once.
+    let scheduler = Scheduler::new(&infra);
+    let outcome = scheduler.place(&topology, &state, &PlacementRequest::default())?;
+
+    println!("placement for `{}`:", topology.name());
+    for (node, host) in outcome.placement.iter() {
+        println!("  {:8} -> {}", topology.node(node).name(), infra.host(host).name());
+    }
+    println!(
+        "reserved bandwidth: {}, new hosts: {}, objective: {:.4}, took {:?}",
+        outcome.reserved_bandwidth, outcome.new_active_hosts, outcome.objective, outcome.elapsed,
+    );
+
+    // 4. Commit the decision so the next application sees this usage.
+    scheduler.commit(&topology, &outcome.placement, &mut state)?;
+    println!("active hosts after commit: {}", state.active_host_count());
+    Ok(())
+}

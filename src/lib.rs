@@ -1,0 +1,79 @@
+//! # Ostro
+//!
+//! A from-scratch Rust reproduction of *Ostro: Scalable Placement
+//! Optimization of Complex Application Topologies in Large-Scale Data
+//! Centers* (ICDCS 2015).
+//!
+//! Ostro is a holistic cloud scheduler: it treats a whole *application
+//! topology* — VMs, disk volumes, the bandwidth-guaranteed links between
+//! them, and anti-affinity (*diversity zone*) constraints — as one
+//! indivisible unit, and places all of it onto a hierarchical data
+//! center at once, minimizing a weighted combination of reserved network
+//! bandwidth and newly activated hosts.
+//!
+//! This umbrella crate re-exports the workspace's public API:
+//!
+//! * [`model`] — the application-topology abstraction (`T_a`).
+//! * [`datacenter`] — the physical substrate (`T_p`) with capacity and
+//!   bandwidth bookkeeping.
+//! * [`core`] — the placement engine: the estimate-based greedy search
+//!   (EG), the bin-packing and bandwidth-greedy baselines (EGC, EGBW),
+//!   bounded A\* (BA\*), deadline-bounded A\* (DBA\*), and online
+//!   incremental re-placement.
+//! * [`heat`] — a simulated OpenStack integration: QoS-enhanced Heat
+//!   templates and mock Nova/Cinder services.
+//! * [`sim`] — the paper's evaluation workloads (multi-tier, mesh, QFS)
+//!   and scenario/experiment runners.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ostro::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // 1. Describe the application topology.
+//! let mut b = TopologyBuilder::new("hello");
+//! let web = b.vm("web", 2, 2_048)?;
+//! let db = b.vm("db", 4, 8_192)?;
+//! let vol = b.volume("db-vol", 120)?;
+//! b.link(web, db, Bandwidth::from_mbps(100))?;
+//! b.link(db, vol, Bandwidth::from_mbps(200))?;
+//! b.diversity_zone("spread", DiversityLevel::Host, &[web, db])?;
+//! let topology = b.build()?;
+//!
+//! // 2. Describe the data center.
+//! let infra = InfrastructureBuilder::flat(
+//!     "dc", 4, 16,
+//!     Resources::new(16, 32_768, 1_000),
+//!     Bandwidth::from_gbps(10),
+//!     Bandwidth::from_gbps(100),
+//! ).build()?;
+//! let state = CapacityState::new(&infra);
+//!
+//! // 3. Ask Ostro for a holistic placement.
+//! let scheduler = Scheduler::new(&infra);
+//! let outcome = scheduler.place(&topology, &state, &PlacementRequest::default())?;
+//! assert_eq!(outcome.placement.assignments().len(), 3);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use ostro_core as core;
+pub use ostro_datacenter as datacenter;
+pub use ostro_heat as heat;
+pub use ostro_model as model;
+pub use ostro_sim as sim;
+
+/// One-stop imports for typical use.
+pub mod prelude {
+    pub use ostro_core::{
+        Algorithm, ObjectiveWeights, Placement, PlacementRequest, PlacementOutcome, Scheduler,
+    };
+    pub use ostro_datacenter::{
+        CapacityState, Infrastructure, InfrastructureBuilder, OverlayState,
+    };
+    pub use ostro_model::{
+        ApplicationTopology, Bandwidth, DiversityLevel, NodeId, Proximity, Resources,
+        TopologyBuilder, TopologyDelta,
+    };
+}

@@ -1,0 +1,179 @@
+//! Cross-algorithm invariants from the paper's evaluation.
+
+use ostro::core::{Algorithm, ObjectiveWeights, PlacementRequest, Scheduler};
+use ostro::datacenter::CapacityState;
+use ostro::sim::scenarios::qfs_testbed;
+use ostro::sim::workloads::{mesh, multi_tier, qfs_topology};
+use ostro::sim::RequirementMix;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+fn request(algorithm: Algorithm) -> PlacementRequest {
+    PlacementRequest {
+        algorithm,
+        weights: ObjectiveWeights::BANDWIDTH_DOMINANT,
+        ..PlacementRequest::default()
+    }
+}
+
+/// Table I's headline: the holistic algorithms reserve far less
+/// bandwidth than compute bin-packing, without burning idle hosts.
+#[test]
+fn qfs_non_uniform_shape_matches_table_one() {
+    let (infra, state) = qfs_testbed(true).unwrap();
+    let topology = qfs_topology().unwrap();
+    let scheduler = Scheduler::new(&infra);
+
+    let egc = scheduler.place(&topology, &state, &request(Algorithm::GreedyCompute)).unwrap();
+    let egbw = scheduler.place(&topology, &state, &request(Algorithm::GreedyBandwidth)).unwrap();
+    let eg = scheduler.place(&topology, &state, &request(Algorithm::Greedy)).unwrap();
+    let ba = scheduler.place(&topology, &state, &request(Algorithm::BoundedAStar)).unwrap();
+    let dba = scheduler
+        .place(
+            &topology,
+            &state,
+            &request(Algorithm::DeadlineBoundedAStar { deadline: Duration::from_millis(500) }),
+        )
+        .unwrap();
+
+    // EGC reserves much more bandwidth than everyone else.
+    for other in [&egbw, &eg, &ba, &dba] {
+        assert!(
+            egc.reserved_bandwidth.as_mbps() as f64
+                >= 1.5 * other.reserved_bandwidth.as_mbps() as f64,
+            "EGC {} vs {}",
+            egc.reserved_bandwidth,
+            other.reserved_bandwidth
+        );
+    }
+    // EGC consolidates (no new hosts); EGBW burns idle hosts.
+    assert_eq!(egc.new_active_hosts, 0);
+    assert!(egbw.new_active_hosts >= 1);
+    // EG matches the A* searches here and activates no idle host.
+    assert_eq!(eg.new_active_hosts, 0);
+    assert!(ba.objective <= eg.objective + 1e-9, "BA* never loses to EG");
+    assert!(dba.objective <= eg.objective + 1e-9, "DBA* never loses to EG");
+    // The 12 chunk servers force 12 distinct hosts.
+    for outcome in [&egc, &egbw, &eg, &ba, &dba] {
+        assert!(outcome.hosts_used >= 12);
+    }
+}
+
+/// Table II: under uniform availability every algorithm except EGC
+/// lands on the same (minimal) bandwidth.
+#[test]
+fn qfs_uniform_all_but_egc_agree() {
+    let (infra, state) = qfs_testbed(false).unwrap();
+    let topology = qfs_topology().unwrap();
+    let scheduler = Scheduler::new(&infra);
+    let egbw = scheduler.place(&topology, &state, &request(Algorithm::GreedyBandwidth)).unwrap();
+    let eg = scheduler.place(&topology, &state, &request(Algorithm::Greedy)).unwrap();
+    let ba = scheduler.place(&topology, &state, &request(Algorithm::BoundedAStar)).unwrap();
+    assert_eq!(egbw.reserved_bandwidth, eg.reserved_bandwidth);
+    assert_eq!(eg.reserved_bandwidth, ba.reserved_bandwidth);
+    let egc = scheduler.place(&topology, &state, &request(Algorithm::GreedyCompute)).unwrap();
+    assert!(egc.reserved_bandwidth >= eg.reserved_bandwidth);
+}
+
+/// §IV-B (last paragraph): raising θc makes the A* searches adjust
+/// their placement while the greedy variants keep their fixed sort.
+#[test]
+fn weight_change_does_not_break_any_algorithm() {
+    let (infra, state) = qfs_testbed(true).unwrap();
+    let topology = qfs_topology().unwrap();
+    let scheduler = Scheduler::new(&infra);
+    let weights = ObjectiveWeights::new(0.6, 0.4).unwrap();
+    for algorithm in [
+        Algorithm::GreedyCompute,
+        Algorithm::GreedyBandwidth,
+        Algorithm::Greedy,
+        Algorithm::BoundedAStar,
+        Algorithm::DeadlineBoundedAStar { deadline: Duration::from_millis(500) },
+    ] {
+        let req = PlacementRequest { algorithm, weights, ..PlacementRequest::default() };
+        let outcome = scheduler.place(&topology, &state, &req).unwrap();
+        assert!(
+            ostro::core::verify_placement(&topology, &infra, &state, &outcome.placement)
+                .unwrap()
+                .is_empty()
+        );
+        // With a meaningful host weight nobody should activate all
+        // four idle hosts for this small app.
+        if matches!(algorithm, Algorithm::BoundedAStar | Algorithm::DeadlineBoundedAStar { .. })
+        {
+            assert!(outcome.new_active_hosts <= 1, "{algorithm:?}");
+        }
+    }
+}
+
+/// Placements are deterministic for a fixed seed (required for the
+/// reproducibility of every table in EXPERIMENTS.md).
+#[test]
+fn placements_are_deterministic() {
+    let mix = RequirementMix::heterogeneous();
+    let topo = multi_tier(25, &mix, &mut SmallRng::seed_from_u64(5)).unwrap();
+    let (infra, state) = qfs_testbed(false).unwrap();
+    let scheduler = Scheduler::new(&infra);
+    for algorithm in [
+        Algorithm::Greedy,
+        Algorithm::DeadlineBoundedAStar { deadline: Duration::from_secs(1) },
+    ] {
+        let req = request(algorithm);
+        let a = scheduler.place(&topo, &state, &req).unwrap();
+        let b = scheduler.place(&topo, &state, &req).unwrap();
+        assert_eq!(a.placement, b.placement, "{algorithm:?}");
+    }
+    let _ = state;
+}
+
+/// DBA\* respects its deadline up to one expansion plus one greedy
+/// completion of slack.
+#[test]
+fn dbastar_deadline_is_roughly_respected() {
+    let mix = RequirementMix::homogeneous();
+    let mut rng = SmallRng::seed_from_u64(1);
+    let topo = mesh(8, &mix, &mut rng).unwrap();
+    let (infra, _) = qfs_testbed(false).unwrap();
+    let state = CapacityState::new(&infra);
+    let scheduler = Scheduler::new(&infra);
+    let deadline = Duration::from_millis(200);
+    let started = Instant::now();
+    let outcome = scheduler
+        .place(&topo, &state, &request(Algorithm::DeadlineBoundedAStar { deadline }))
+        .unwrap();
+    // Slack: the initial greedy bound runs to completion regardless.
+    assert!(started.elapsed() < Duration::from_secs(30));
+    assert!(
+        ostro::core::verify_placement(&topo, &infra, &state, &outcome.placement)
+            .unwrap()
+            .is_empty()
+    );
+}
+
+/// Zone-symmetry reduction must never change feasibility, only speed.
+#[test]
+fn symmetry_reduction_preserves_validity_and_quality() {
+    let mix = RequirementMix::homogeneous();
+    let topo = multi_tier(25, &mix, &mut SmallRng::seed_from_u64(9)).unwrap();
+    let (infra, state) = qfs_testbed(false).unwrap();
+    let scheduler = Scheduler::new(&infra);
+    let on = PlacementRequest {
+        algorithm: Algorithm::BoundedAStar,
+        zone_symmetry: true,
+        max_expansions: 500,
+        ..PlacementRequest::default()
+    };
+    let off = PlacementRequest { zone_symmetry: false, ..on.clone() };
+    let with_sym = scheduler.place(&topo, &state, &on).unwrap();
+    let without_sym = scheduler.place(&topo, &state, &off).unwrap();
+    for outcome in [&with_sym, &without_sym] {
+        assert!(
+            ostro::core::verify_placement(&topo, &infra, &state, &outcome.placement)
+                .unwrap()
+                .is_empty()
+        );
+    }
+    // Same objective: the symmetric orderings are interchangeable.
+    assert!((with_sym.objective - without_sym.objective).abs() < 1e-6);
+}

@@ -1,0 +1,119 @@
+//! Tests for best-effort CPU reservations — the paper's §VI future
+//! work: "a VM could have a guaranteed or best effort CPU reservation".
+//! Best-effort vCPUs are opportunistic: they reserve no host CPU
+//! capacity (memory stays guaranteed), letting the scheduler
+//! oversubscribe CPU deliberately.
+
+use ostro::core::{verify_placement, PlacementRequest, Scheduler};
+use ostro::datacenter::{CapacityState, Infrastructure, InfrastructureBuilder};
+use ostro::model::{Bandwidth, Resources, TopologyBuilder, TopologyDelta};
+
+fn small_infra() -> Infrastructure {
+    InfrastructureBuilder::flat(
+        "dc",
+        1,
+        2,
+        Resources::new(4, 16_384, 500),
+        Bandwidth::from_gbps(10),
+        Bandwidth::from_gbps(100),
+    )
+    .build()
+    .unwrap()
+}
+
+#[test]
+fn best_effort_vms_oversubscribe_cpu_but_not_memory() {
+    let infra = small_infra();
+    // Six 2-vCPU VMs on 2 hosts x 4 cores: guaranteed VMs cannot all
+    // fit (12 > 8 cores), best-effort ones can (only memory counts).
+    let mut guaranteed = TopologyBuilder::new("guaranteed");
+    for i in 0..6 {
+        guaranteed.vm(format!("g{i}"), 2, 2_048).unwrap();
+    }
+    let guaranteed = guaranteed.build().unwrap();
+
+    let mut burst = TopologyBuilder::new("burst");
+    for i in 0..6 {
+        burst.vm_best_effort(format!("b{i}"), 2, 2_048).unwrap();
+    }
+    let burst = burst.build().unwrap();
+
+    let state = CapacityState::new(&infra);
+    let scheduler = Scheduler::new(&infra);
+    let request = PlacementRequest::default();
+
+    assert!(scheduler.place(&guaranteed, &state, &request).is_err(), "12 guaranteed vCPUs cannot fit in 8 cores");
+    let outcome = scheduler.place(&burst, &state, &request).unwrap();
+    assert!(verify_placement(&burst, &infra, &state, &outcome.placement).unwrap().is_empty());
+
+    // Memory is still a hard limit: 16 GB per host, 2 GB per VM means
+    // at most 8 per host; 20 best-effort VMs (40 GB) cannot fit on 2
+    // hosts (32 GB).
+    let mut too_much_memory = TopologyBuilder::new("oom");
+    for i in 0..20 {
+        too_much_memory.vm_best_effort(format!("m{i}"), 1, 2_048).unwrap();
+    }
+    let too_much_memory = too_much_memory.build().unwrap();
+    assert!(scheduler.place(&too_much_memory, &state, &request).is_err());
+}
+
+#[test]
+fn best_effort_survives_serde_delta_and_heat_round_trips() {
+    let mut b = TopologyBuilder::new("t");
+    let g = b.vm("steady", 2, 2_048).unwrap();
+    let e = b.vm_best_effort("burst", 4, 4_096).unwrap();
+    b.link(g, e, Bandwidth::from_mbps(50)).unwrap();
+    let topo = b.build().unwrap();
+    assert!(!topo.node(g).is_best_effort());
+    assert!(topo.node(e).is_best_effort());
+    assert_eq!(topo.node(e).requirements().vcpus, 0);
+    assert_eq!(topo.node(e).requirements().memory_mb, 4_096);
+
+    // Serde.
+    let json = serde_json::to_string(&topo).unwrap();
+    let back: ostro::model::ApplicationTopology = serde_json::from_str(&json).unwrap();
+    assert!(back.node_by_name("burst").unwrap().is_best_effort());
+
+    // Delta rebuild + best-effort addition.
+    let mut delta = TopologyDelta::new();
+    let extra = delta.add_vm_best_effort("burst2", 2, 1_024);
+    let (t2, mapping) = delta.apply(&topo).unwrap();
+    assert!(t2.node_by_name("burst").unwrap().is_best_effort());
+    assert!(t2.node(mapping.id_of_pending(extra)).is_best_effort());
+    assert!(!t2.node_by_name("steady").unwrap().is_best_effort());
+
+    // Heat template round trip.
+    let template = ostro::heat::topology_to_template(&topo);
+    let json = serde_json::to_string(&template).unwrap();
+    assert!(json.contains("best_effort_cpu"), "{json}");
+    let (t3, _) = ostro::heat::extract_topology(&template).unwrap();
+    assert!(t3.node_by_name("burst").unwrap().is_best_effort());
+    assert!(!t3.node_by_name("steady").unwrap().is_best_effort());
+}
+
+#[test]
+fn heat_template_parses_best_effort_flag() {
+    let template: ostro::heat::HeatTemplate = serde_json::from_str(
+        r#"{
+      "heat_template_version": "2015-04-30",
+      "resources": {
+        "batch": {"type": "OS::Nova::Server",
+                  "properties": {"vcpus": 8, "memory_mb": 4096,
+                                  "best_effort_cpu": true}},
+        "api":   {"type": "OS::Nova::Server",
+                  "properties": {"vcpus": 2, "memory_mb": 2048}}
+      }
+    }"#,
+    )
+    .unwrap();
+    let (topo, _) = ostro::heat::extract_topology(&template).unwrap();
+    assert!(topo.node_by_name("batch").unwrap().is_best_effort());
+    assert!(!topo.node_by_name("api").unwrap().is_best_effort());
+    // An 8-vCPU best-effort batch job fits next to the api VM on a
+    // 4-core host.
+    let infra = small_infra();
+    let state = CapacityState::new(&infra);
+    let scheduler = Scheduler::new(&infra);
+    let outcome = scheduler.place(&topo, &state, &PlacementRequest::default()).unwrap();
+    assert!(verify_placement(&topo, &infra, &state, &outcome.placement).unwrap().is_empty());
+}

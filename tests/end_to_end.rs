@@ -1,0 +1,177 @@
+//! Workspace integration tests: the full template → placement →
+//! deployment → teardown pipeline across crates.
+
+use ostro::core::{
+    verify_placement, Algorithm, ObjectiveWeights, PlacementRequest, Scheduler,
+};
+use ostro::datacenter::{CapacityState, Infrastructure, InfrastructureBuilder};
+use ostro::heat::{extract_topology, CloudController, HeatTemplate};
+use ostro::model::{Bandwidth, Resources};
+use std::time::Duration;
+
+fn infra() -> Infrastructure {
+    InfrastructureBuilder::flat(
+        "dc",
+        3,
+        8,
+        Resources::new(16, 32_768, 1_000),
+        Bandwidth::from_gbps(10),
+        Bandwidth::from_gbps(100),
+    )
+    .build()
+    .unwrap()
+}
+
+fn template() -> HeatTemplate {
+    serde_json::from_str(
+        r#"{
+      "heat_template_version": "2015-04-30",
+      "resources": {
+        "web1": {"type": "OS::Nova::Server", "properties": {"vcpus": 2, "memory_mb": 4096}},
+        "web2": {"type": "OS::Nova::Server", "properties": {"vcpus": 2, "memory_mb": 4096}},
+        "db":   {"type": "OS::Nova::Server", "properties": {"vcpus": 4, "memory_mb": 8192}},
+        "vol":  {"type": "OS::Cinder::Volume", "properties": {"size_gb": 200}},
+        "p1": {"type": "ATT::QoS::Pipe",
+               "properties": {"between": ["web1", "db"], "bandwidth_mbps": 100}},
+        "p2": {"type": "ATT::QoS::Pipe",
+               "properties": {"between": ["web2", "db"], "bandwidth_mbps": 100}},
+        "att": {"type": "OS::Cinder::VolumeAttachment",
+                "properties": {"instance": "db", "volume": "vol", "bandwidth_mbps": 300}},
+        "dz": {"type": "ATT::QoS::DiversityZone",
+               "properties": {"level": "rack", "members": ["web1", "web2"]}}
+      }
+    }"#,
+    )
+    .unwrap()
+}
+
+#[test]
+fn template_to_placement_to_commit_is_consistent() {
+    let infra = infra();
+    let (topology, _names) = extract_topology(&template()).unwrap();
+    let mut state = CapacityState::new(&infra);
+    let scheduler = Scheduler::new(&infra);
+
+    for algorithm in [
+        Algorithm::GreedyCompute,
+        Algorithm::GreedyBandwidth,
+        Algorithm::Greedy,
+        Algorithm::BoundedAStar,
+        Algorithm::DeadlineBoundedAStar { deadline: Duration::from_secs(2) },
+    ] {
+        let request = PlacementRequest { algorithm, ..PlacementRequest::default() };
+        let outcome = scheduler.place(&topology, &state, &request).unwrap();
+        // Independent re-verification of all constraint classes.
+        let violations = verify_placement(&topology, &infra, &state, &outcome.placement).unwrap();
+        assert!(violations.is_empty(), "{algorithm:?}: {violations:?}");
+        // Reported ubw matches a from-scratch recomputation.
+        assert_eq!(
+            ostro::core::reserved_bandwidth(&topology, &infra, &outcome.placement),
+            outcome.reserved_bandwidth,
+            "{algorithm:?}"
+        );
+
+        let snapshot = state.clone();
+        scheduler.commit(&topology, &outcome.placement, &mut state).unwrap();
+        assert_eq!(
+            state.total_reserved_bandwidth(&infra),
+            snapshot.total_reserved_bandwidth(&infra) + outcome.reserved_bandwidth,
+            "{algorithm:?}"
+        );
+        scheduler.release(&topology, &outcome.placement, &mut state).unwrap();
+        assert_eq!(state, snapshot, "{algorithm:?}");
+    }
+}
+
+#[test]
+fn stacks_share_one_cloud_and_tear_down_cleanly() {
+    let infra = infra();
+    let mut cloud = CloudController::new(&infra);
+    let pristine = cloud.state().clone();
+    let request = PlacementRequest::default();
+
+    let a = cloud.create_stack("a", template(), &request).unwrap();
+    let b = cloud.create_stack("b", template(), &request).unwrap();
+    let c = cloud.create_stack("c", template(), &request).unwrap();
+    assert_eq!(cloud.nova().instance_count(), 9);
+    assert_eq!(cloud.cinder().volume_count(), 3);
+
+    // Every stack's placement is valid against the *pristine* capacity
+    // minus the other stacks — easiest check: cloud-wide bandwidth is
+    // the sum of the parts.
+    let total: Bandwidth = [a, b, c]
+        .iter()
+        .map(|&id| cloud.stack(id).unwrap().outcome.reserved_bandwidth)
+        .sum();
+    assert_eq!(cloud.reserved_bandwidth(), total);
+
+    cloud.delete_stack(b).unwrap();
+    assert_eq!(cloud.nova().instance_count(), 6);
+    cloud.delete_stack(a).unwrap();
+    cloud.delete_stack(c).unwrap();
+    assert_eq!(*cloud.state(), pristine);
+    assert_eq!(cloud.reserved_bandwidth(), Bandwidth::ZERO);
+}
+
+#[test]
+fn capacity_pressure_forces_spread_and_eventually_infeasibility() {
+    let small = InfrastructureBuilder::flat(
+        "tiny",
+        1,
+        2,
+        Resources::new(4, 8_192, 250),
+        Bandwidth::from_gbps(1),
+        Bandwidth::from_gbps(10),
+    )
+    .build()
+    .unwrap();
+    let mut cloud = CloudController::new(&small);
+    let request = PlacementRequest::default();
+    // First stack fits; the two web VMs need rack diversity but there
+    // is a single rack -> infeasible.
+    let err = cloud.create_stack("a", template(), &request).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("placement failed"), "{msg}");
+}
+
+#[test]
+fn weights_trade_hosts_for_bandwidth() {
+    // A chain of 4 linked VMs that fit on one host: bandwidth-dominant
+    // weights co-locate everything; host weight zero with bandwidth
+    // weight zero... must still be valid either way.
+    let infra = infra();
+    let mut b = ostro::model::TopologyBuilder::new("chain");
+    let mut prev = b.vm("v0", 2, 2_048).unwrap();
+    for i in 1..4 {
+        let v = b.vm(format!("v{i}"), 2, 2_048).unwrap();
+        b.link(prev, v, Bandwidth::from_mbps(200)).unwrap();
+        prev = v;
+    }
+    let topology = b.build().unwrap();
+    let state = CapacityState::new(&infra);
+    let scheduler = Scheduler::new(&infra);
+
+    let bw_first = scheduler
+        .place(
+            &topology,
+            &state,
+            &PlacementRequest::default().weights(ObjectiveWeights::BANDWIDTH_DOMINANT),
+        )
+        .unwrap();
+    assert_eq!(bw_first.reserved_bandwidth, Bandwidth::ZERO);
+    assert_eq!(bw_first.hosts_used, 1);
+
+    let hosts_first = scheduler
+        .place(
+            &topology,
+            &state,
+            &PlacementRequest::default().weights(ObjectiveWeights::new(0.01, 0.99).unwrap()),
+        )
+        .unwrap();
+    // Host-dominant weights can never use more new hosts than exist
+    // nodes, and the placement is still valid.
+    let violations =
+        verify_placement(&topology, &infra, &state, &hosts_first.placement).unwrap();
+    assert!(violations.is_empty());
+    assert!(hosts_first.new_active_hosts <= bw_first.new_active_hosts.max(1));
+}

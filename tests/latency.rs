@@ -1,0 +1,157 @@
+//! Tests for the latency (proximity) bound extension — the paper's §VI
+//! future work: "latency requirements for the communication links
+//! between nodes".
+
+use ostro::core::{
+    verify_placement, Algorithm, PlacementError, PlacementRequest, Scheduler, Violation,
+};
+use ostro::datacenter::{CapacityState, HostId, Infrastructure, InfrastructureBuilder};
+use ostro::model::{
+    Bandwidth, DiversityLevel, Proximity, Resources, TopologyBuilder, TopologyDelta,
+};
+use std::time::Duration;
+
+fn infra() -> Infrastructure {
+    InfrastructureBuilder::flat(
+        "dc",
+        3,
+        4,
+        Resources::new(8, 16_384, 500),
+        Bandwidth::from_gbps(10),
+        Bandwidth::from_gbps(100),
+    )
+    .build()
+    .unwrap()
+}
+
+#[test]
+fn rack_bound_keeps_endpoints_in_one_rack() {
+    let infra = infra();
+    let mut b = TopologyBuilder::new("t");
+    let a = b.vm("a", 4, 4_096).unwrap();
+    let c = b.vm("c", 4, 4_096).unwrap();
+    // Host diversity forces a != c hosts; rack proximity keeps them close.
+    b.link_within(a, c, Bandwidth::from_mbps(100), Proximity::Rack).unwrap();
+    b.diversity_zone("z", DiversityLevel::Host, &[a, c]).unwrap();
+    let topology = b.build().unwrap();
+    let state = CapacityState::new(&infra);
+    let scheduler = Scheduler::new(&infra);
+
+    for algorithm in [
+        Algorithm::GreedyCompute,
+        Algorithm::GreedyBandwidth,
+        Algorithm::Greedy,
+        Algorithm::BoundedAStar,
+        Algorithm::DeadlineBoundedAStar { deadline: Duration::from_secs(1) },
+    ] {
+        let request = PlacementRequest { algorithm, ..PlacementRequest::default() };
+        let outcome = scheduler.place(&topology, &state, &request).unwrap();
+        let ha = outcome.placement.host_of(a);
+        let hc = outcome.placement.host_of(c);
+        assert_ne!(ha, hc, "{algorithm:?}: diversity");
+        assert!(infra.within(ha, hc, Proximity::Rack), "{algorithm:?}: proximity");
+        assert!(
+            verify_placement(&topology, &infra, &state, &outcome.placement)
+                .unwrap()
+                .is_empty()
+        );
+    }
+}
+
+#[test]
+fn host_bound_forces_colocation() {
+    let infra = infra();
+    let mut b = TopologyBuilder::new("t");
+    let vm = b.vm("vm", 2, 2_048).unwrap();
+    let vol = b.volume("vol", 100).unwrap();
+    b.link_within(vm, vol, Bandwidth::from_mbps(500), Proximity::Host).unwrap();
+    let topology = b.build().unwrap();
+    let state = CapacityState::new(&infra);
+    let scheduler = Scheduler::new(&infra);
+    let outcome = scheduler.place(&topology, &state, &PlacementRequest::default()).unwrap();
+    assert_eq!(outcome.placement.host_of(vm), outcome.placement.host_of(vol));
+    assert_eq!(outcome.reserved_bandwidth, Bandwidth::ZERO);
+}
+
+#[test]
+fn contradictory_bounds_are_infeasible() {
+    let infra = infra();
+    let mut b = TopologyBuilder::new("t");
+    let a = b.vm("a", 2, 2_048).unwrap();
+    let c = b.vm("c", 2, 2_048).unwrap();
+    // Must share a host AND sit in different racks: impossible.
+    b.link_within(a, c, Bandwidth::from_mbps(10), Proximity::Host).unwrap();
+    b.diversity_zone("z", DiversityLevel::Rack, &[a, c]).unwrap();
+    let topology = b.build().unwrap();
+    let state = CapacityState::new(&infra);
+    let scheduler = Scheduler::new(&infra);
+    let err = scheduler.place(&topology, &state, &PlacementRequest::default()).unwrap_err();
+    assert!(matches!(err, PlacementError::Infeasible { .. } | PlacementError::Exhausted));
+}
+
+#[test]
+fn validator_reports_proximity_violations() {
+    let infra = infra();
+    let mut b = TopologyBuilder::new("t");
+    let a = b.vm("a", 2, 2_048).unwrap();
+    let c = b.vm("c", 2, 2_048).unwrap();
+    b.link_within(a, c, Bandwidth::from_mbps(10), Proximity::Rack).unwrap();
+    let topology = b.build().unwrap();
+    let state = CapacityState::new(&infra);
+    // Hand-build a violating placement: hosts 0 and 4 are in racks 0 and 1.
+    let placement = ostro::core::Placement::new(vec![HostId::from_index(0), HostId::from_index(4)]);
+    let violations = verify_placement(&topology, &infra, &state, &placement).unwrap();
+    assert_eq!(violations.len(), 1);
+    assert!(matches!(
+        violations[0],
+        Violation::Proximity { bound: Proximity::Rack, .. }
+    ));
+    assert!(violations[0].to_string().contains("latency bound"));
+}
+
+#[test]
+fn proximity_survives_serde_and_deltas() {
+    let mut b = TopologyBuilder::new("t");
+    let a = b.vm("a", 2, 2_048).unwrap();
+    let c = b.vm("c", 2, 2_048).unwrap();
+    b.link_within(a, c, Bandwidth::from_mbps(10), Proximity::Pod).unwrap();
+    let topology = b.build().unwrap();
+
+    // Serde round trip.
+    let json = serde_json::to_string(&topology).unwrap();
+    let back: ostro::model::ApplicationTopology = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.links()[0].max_proximity(), Some(Proximity::Pod));
+
+    // Delta rebuild keeps the bound, and new bounded links work.
+    let mut delta = TopologyDelta::new();
+    let d = delta.add_vm("d", 1, 1_024);
+    delta.add_link_within(c, d, Bandwidth::from_mbps(5), Proximity::Rack);
+    let (t2, mapping) = delta.apply(&topology).unwrap();
+    assert_eq!(t2.links()[0].max_proximity(), Some(Proximity::Pod));
+    let new_id = mapping.id_of_pending(d);
+    let new_link = t2.links().iter().find(|l| l.touches(new_id)).unwrap();
+    assert_eq!(new_link.max_proximity(), Some(Proximity::Rack));
+}
+
+#[test]
+fn heat_pipes_carry_latency_bounds() {
+    let template: ostro::heat::HeatTemplate = serde_json::from_str(
+        r#"{
+      "heat_template_version": "2015-04-30",
+      "resources": {
+        "a": {"type": "OS::Nova::Server", "properties": {"vcpus": 1, "memory_mb": 1024}},
+        "b": {"type": "OS::Nova::Server", "properties": {"vcpus": 1, "memory_mb": 1024}},
+        "p": {"type": "ATT::QoS::Pipe",
+              "properties": {"between": ["a", "b"], "bandwidth_mbps": 50,
+                              "within": "rack"}}
+      }
+    }"#,
+    )
+    .unwrap();
+    let (topology, _) = ostro::heat::extract_topology(&template).unwrap();
+    assert_eq!(topology.links()[0].max_proximity(), Some(Proximity::Rack));
+    // Round-trips back into the template dialect.
+    let rendered = ostro::heat::topology_to_template(&topology);
+    let json = serde_json::to_string(&rendered).unwrap();
+    assert!(json.contains(r#""within":"rack""#));
+}

@@ -1,0 +1,197 @@
+//! Brute-force ground truth on tiny instances: enumerate every
+//! feasible assignment, find the true optimum, and check how the
+//! search algorithms compare.
+//!
+//! BA\* is not guaranteed exactly optimal here (the §III-A2 estimate
+//! can over-state the cost of capacity-forced splits and prune the
+//! optimum — the paper's own caveat about heuristic search), but it
+//! must never lose to EG and, on these instances, it lands on the true
+//! optimum.
+
+use ostro::core::{
+    reserved_bandwidth, verify_placement, Algorithm, ObjectiveWeights, Placement,
+    PlacementRequest, Scheduler,
+};
+use ostro::datacenter::{CapacityState, HostId, Infrastructure, InfrastructureBuilder};
+use ostro::model::{ApplicationTopology, Bandwidth, DiversityLevel, Resources, TopologyBuilder};
+
+fn enumerate_optimum(
+    topology: &ApplicationTopology,
+    infra: &Infrastructure,
+    state: &CapacityState,
+    weights: ObjectiveWeights,
+) -> Option<(f64, Placement)> {
+    let hosts = infra.host_count();
+    let nodes = topology.node_count();
+    let idle = infra.host_count() - state.active_host_count();
+    let norm_bw = (topology.total_link_bandwidth().as_mbps() * infra.max_hop_cost()) as f64;
+    let norm_bw = norm_bw.max(1.0);
+    let norm_c = (nodes.min(idle) as f64).max(1.0);
+
+    let mut best: Option<(f64, Placement)> = None;
+    let total = (hosts as u64).pow(nodes as u32);
+    for code in 0..total {
+        let mut c = code;
+        let assignment: Vec<HostId> = (0..nodes)
+            .map(|_| {
+                let h = HostId::from_index((c % hosts as u64) as u32);
+                c /= hosts as u64;
+                h
+            })
+            .collect();
+        let placement = Placement::new(assignment);
+        if !verify_placement(topology, infra, state, &placement)
+            .expect("sizes match")
+            .is_empty()
+        {
+            continue;
+        }
+        let ubw = reserved_bandwidth(topology, infra, &placement).as_mbps() as f64;
+        let new_hosts = placement
+            .assignments()
+            .iter()
+            .collect::<std::collections::HashSet<_>>()
+            .iter()
+            .filter(|&&&h| !state.is_active(h))
+            .count() as f64;
+        let u = weights.bandwidth * ubw / norm_bw + weights.hosts * new_hosts / norm_c;
+        if best.as_ref().is_none_or(|(bu, _)| u < *bu - 1e-12) {
+            best = Some((u, placement));
+        }
+    }
+    best
+}
+
+struct Case {
+    topology: ApplicationTopology,
+    infra: Infrastructure,
+    state: CapacityState,
+}
+
+fn cases() -> Vec<Case> {
+    let infra = |racks: usize, hosts: usize, vcpus: u32| {
+        InfrastructureBuilder::flat(
+            "dc",
+            racks,
+            hosts,
+            Resources::new(vcpus, 16_384, 500),
+            Bandwidth::from_gbps(1),
+            Bandwidth::from_gbps(10),
+        )
+        .build()
+        .unwrap()
+    };
+    let mut out = Vec::new();
+
+    // Case 1: linked pair + volume, everything co-locatable.
+    {
+        let mut b = TopologyBuilder::new("c1");
+        let a = b.vm("a", 2, 2_048).unwrap();
+        let c = b.vm("c", 2, 2_048).unwrap();
+        let v = b.volume("v", 100).unwrap();
+        b.link(a, c, Bandwidth::from_mbps(100)).unwrap();
+        b.link(c, v, Bandwidth::from_mbps(50)).unwrap();
+        let i = infra(2, 2, 8);
+        let state = CapacityState::new(&i);
+        out.push(Case { topology: b.build().unwrap(), infra: i, state });
+    }
+
+    // Case 2: host diversity forces a split; rack choice matters.
+    {
+        let mut b = TopologyBuilder::new("c2");
+        let a = b.vm("a", 2, 2_048).unwrap();
+        let c = b.vm("c", 2, 2_048).unwrap();
+        let d = b.vm("d", 1, 1_024).unwrap();
+        b.link(a, c, Bandwidth::from_mbps(200)).unwrap();
+        b.link(c, d, Bandwidth::from_mbps(100)).unwrap();
+        b.diversity_zone("z", DiversityLevel::Host, &[a, c]).unwrap();
+        let i = infra(2, 2, 8);
+        let state = CapacityState::new(&i);
+        out.push(Case { topology: b.build().unwrap(), infra: i, state });
+    }
+
+    // Case 3: capacity forces spreading (each host fits one VM).
+    {
+        let mut b = TopologyBuilder::new("c3");
+        let a = b.vm("a", 3, 2_048).unwrap();
+        let c = b.vm("c", 3, 2_048).unwrap();
+        let d = b.vm("d", 3, 1_024).unwrap();
+        b.link(a, c, Bandwidth::from_mbps(100)).unwrap();
+        b.link(a, d, Bandwidth::from_mbps(10)).unwrap();
+        let i = infra(2, 2, 4);
+        let state = CapacityState::new(&i);
+        out.push(Case { topology: b.build().unwrap(), infra: i, state });
+    }
+
+    // Case 4: pre-existing load biases the host-count term.
+    {
+        let mut b = TopologyBuilder::new("c4");
+        let a = b.vm("a", 2, 2_048).unwrap();
+        let c = b.vm("c", 2, 2_048).unwrap();
+        b.link(a, c, Bandwidth::from_mbps(50)).unwrap();
+        b.diversity_zone("z", DiversityLevel::Host, &[a, c]).unwrap();
+        let i = infra(2, 2, 8);
+        let mut state = CapacityState::new(&i);
+        state
+            .reserve_node(HostId::from_index(1), Resources::new(1, 1_024, 0))
+            .unwrap();
+        state
+            .reserve_node(HostId::from_index(2), Resources::new(1, 1_024, 0))
+            .unwrap();
+        out.push(Case { topology: b.build().unwrap(), infra: i, state });
+    }
+    out
+}
+
+#[test]
+fn bastar_matches_the_brute_force_optimum_on_tiny_instances() {
+    let weights = ObjectiveWeights::SIMULATION;
+    for (i, case) in cases().iter().enumerate() {
+        let (optimal_u, _) =
+            enumerate_optimum(&case.topology, &case.infra, &case.state, weights)
+                .unwrap_or_else(|| panic!("case {i} must be feasible"));
+        let scheduler = Scheduler::new(&case.infra);
+        let request = PlacementRequest {
+            algorithm: Algorithm::BoundedAStar,
+            weights,
+            ..PlacementRequest::default()
+        };
+        let outcome = scheduler.place(&case.topology, &case.state, &request).unwrap();
+        assert!(
+            (outcome.objective - optimal_u).abs() < 1e-9,
+            "case {i}: BA* found {:.6}, optimum is {:.6}",
+            outcome.objective,
+            optimal_u
+        );
+    }
+}
+
+#[test]
+fn greedy_is_within_the_bound_hierarchy() {
+    let weights = ObjectiveWeights::SIMULATION;
+    for (i, case) in cases().iter().enumerate() {
+        let (optimal_u, _) =
+            enumerate_optimum(&case.topology, &case.infra, &case.state, weights).unwrap();
+        let scheduler = Scheduler::new(&case.infra);
+        let eg = scheduler
+            .place(
+                &case.topology,
+                &case.state,
+                &PlacementRequest { weights, ..PlacementRequest::default() },
+            )
+            .unwrap();
+        let ba = scheduler
+            .place(
+                &case.topology,
+                &case.state,
+                &PlacementRequest {
+                    algorithm: Algorithm::BoundedAStar,
+                    weights,
+                    ..PlacementRequest::default()
+                },
+            )
+            .unwrap();
+        assert!(optimal_u <= ba.objective + 1e-9, "case {i}");
+        assert!(ba.objective <= eg.objective + 1e-9, "case {i}");
+    }
+}
