@@ -46,8 +46,7 @@ fn bench_symmetry_ablation(c: &mut Criterion) {
     let scheduler = Scheduler::new(&infra);
     let mut group = c.benchmark_group("ablation_symmetry");
     group.sample_size(10);
-    for (label, zone_symmetry) in [("bastar_symmetry_on", true), ("bastar_symmetry_off", false)]
-    {
+    for (label, zone_symmetry) in [("bastar_symmetry_on", true), ("bastar_symmetry_off", false)] {
         let request = PlacementRequest {
             algorithm: Algorithm::BoundedAStar,
             weights: ObjectiveWeights::SIMULATION,
@@ -82,5 +81,10 @@ fn bench_parallel_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_estimate_ablation, bench_symmetry_ablation, bench_parallel_ablation);
+criterion_group!(
+    benches,
+    bench_estimate_ablation,
+    bench_symmetry_ablation,
+    bench_parallel_ablation
+);
 criterion_main!(benches);

@@ -1,0 +1,185 @@
+//! Search-kernel microbenchmarks: child-expansion throughput
+//! (place/undo cycles per second, delta-undo vs the clone-based
+//! reference) and candidate-scoring latency, on a flat and a 3-level
+//! data center of 1,024 hosts each.
+//!
+//! Besides the usual stdout report, writes `BENCH_kernel.json` at the
+//! repository root with the derived per-cycle times and the
+//! delta-vs-clone speedup.
+
+use std::time::Duration;
+
+use criterion::Criterion;
+use ostro_core::bench_support as kernel;
+use ostro_datacenter::{CapacityState, Infrastructure, InfrastructureBuilder};
+use ostro_model::{ApplicationTopology, Bandwidth, Resources, TopologyBuilder};
+
+/// Expansions per timed call; large enough to amortize harness setup.
+const CYCLES: u64 = 2_048;
+/// Nodes pre-placed before the measured expansions, so each clone in
+/// the baseline copies a realistically loaded search state.
+const PREFIX: usize = 96;
+/// Application size: a 128-VM chain with cross links.
+const VMS: usize = 128;
+
+fn app_topology() -> ApplicationTopology {
+    let mut b = TopologyBuilder::new("kernel");
+    let ids: Vec<_> = (0..VMS).map(|i| b.vm(format!("vm{i}"), 1, 1_024).unwrap()).collect();
+    for w in ids.windows(2) {
+        b.link(w[0], w[1], Bandwidth::from_mbps(50)).unwrap();
+    }
+    for i in (0..VMS.saturating_sub(5)).step_by(8) {
+        b.link(ids[i], ids[i + 4], Bandwidth::from_mbps(25)).unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// 32 racks x 32 hosts under one root switch (transparent pod).
+fn flat_infra() -> Infrastructure {
+    InfrastructureBuilder::flat(
+        "flat",
+        32,
+        32,
+        Resources::new(64, 131_072, 4_000),
+        Bandwidth::from_gbps(10),
+        Bandwidth::from_gbps(100),
+    )
+    .build()
+    .unwrap()
+}
+
+/// 2 sites x 4 pods x 8 racks x 16 hosts = 1,024 hosts with a real
+/// pod-switch layer, so routes span all three levels.
+fn three_level_infra() -> Infrastructure {
+    let mut b = InfrastructureBuilder::new();
+    for s in 0..2 {
+        let site = b.site(format!("s{s}"), Bandwidth::from_gbps(400));
+        for p in 0..4 {
+            let pod = b.pod(site, format!("s{s}p{p}"), Bandwidth::from_gbps(200)).unwrap();
+            for r in 0..8 {
+                let rack =
+                    b.rack_in_pod(pod, format!("s{s}p{p}r{r}"), Bandwidth::from_gbps(100)).unwrap();
+                for h in 0..16 {
+                    b.host(
+                        rack,
+                        format!("s{s}p{p}r{r}h{h}"),
+                        Resources::new(64, 131_072, 4_000),
+                        Bandwidth::from_gbps(10),
+                    )
+                    .unwrap();
+                }
+            }
+        }
+    }
+    b.build().unwrap()
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    let topo = app_topology();
+    for (label, infra) in [("flat", flat_infra()), ("three_level", three_level_infra())] {
+        assert!(infra.host_count() >= 1_024);
+        let base = CapacityState::new(&infra);
+
+        let mut group = c.benchmark_group(format!("child_expansion/{label}"));
+        group.sample_size(20);
+        // Harness construction alone, subtracted out when deriving
+        // per-cycle figures.
+        group.bench_function("setup_only", |b| {
+            b.iter(|| kernel::expansion_cycles_delta(&topo, &infra, &base, PREFIX, 0));
+        });
+        group.bench_function("delta_undo", |b| {
+            b.iter(|| kernel::expansion_cycles_delta(&topo, &infra, &base, PREFIX, CYCLES));
+        });
+        group.bench_function("clone_based", |b| {
+            b.iter(|| kernel::expansion_cycles_clone(&topo, &infra, &base, PREFIX, CYCLES));
+        });
+        group.finish();
+
+        let mut group = c.benchmark_group(format!("candidate_scoring/{label}"));
+        group.sample_size(10);
+        group.bench_function("serial", |b| {
+            b.iter(|| kernel::scoring_round(&topo, &infra, &base, false, PREFIX));
+        });
+        group.bench_function("parallel", |b| {
+            b.iter(|| kernel::scoring_round(&topo, &infra, &base, true, PREFIX));
+        });
+        group.finish();
+    }
+}
+
+fn median_of(c: &Criterion, id: &str) -> Duration {
+    c.measurements
+        .iter()
+        .find(|m| m.id == id)
+        .unwrap_or_else(|| panic!("missing measurement {id}"))
+        .median
+}
+
+/// Nanoseconds per expansion cycle, with harness setup subtracted.
+fn per_cycle_ns(c: &Criterion, label: &str, which: &str) -> f64 {
+    let setup = median_of(c, &format!("child_expansion/{label}/setup_only"));
+    let total = median_of(c, &format!("child_expansion/{label}/{which}"));
+    let net = total.saturating_sub(setup).max(Duration::from_nanos(1));
+    net.as_nanos() as f64 / CYCLES as f64
+}
+
+fn write_artifact(c: &Criterion) {
+    let mut sections = Vec::new();
+    for label in ["flat", "three_level"] {
+        let delta_ns = per_cycle_ns(c, label, "delta_undo");
+        let clone_ns = per_cycle_ns(c, label, "clone_based");
+        let speedup = clone_ns / delta_ns;
+        let scoring_serial = median_of(c, &format!("candidate_scoring/{label}/serial"));
+        let scoring_parallel = median_of(c, &format!("candidate_scoring/{label}/parallel"));
+        sections.push(format!(
+            concat!(
+                "    \"{}\": {{\n",
+                "      \"delta_undo_ns_per_cycle\": {:.1},\n",
+                "      \"clone_based_ns_per_cycle\": {:.1},\n",
+                "      \"delta_undo_cycles_per_sec\": {:.0},\n",
+                "      \"clone_based_cycles_per_sec\": {:.0},\n",
+                "      \"speedup\": {:.2},\n",
+                "      \"scoring_serial_us\": {:.1},\n",
+                "      \"scoring_parallel_us\": {:.1}\n",
+                "    }}"
+            ),
+            label,
+            delta_ns,
+            clone_ns,
+            1e9 / delta_ns,
+            1e9 / clone_ns,
+            speedup,
+            scoring_serial.as_secs_f64() * 1e6,
+            scoring_parallel.as_secs_f64() * 1e6,
+        ));
+        println!(
+            "{label}: delta {delta_ns:.0} ns/cycle, clone {clone_ns:.0} ns/cycle, \
+             speedup {speedup:.2}x"
+        );
+    }
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"search-kernel child expansion and candidate scoring\",\n",
+            "  \"hosts\": 1024,\n",
+            "  \"vms\": {},\n",
+            "  \"prefix_placed\": {},\n",
+            "  \"cycles_per_call\": {},\n",
+            "  \"topologies\": {{\n{}\n  }}\n",
+            "}}\n"
+        ),
+        VMS,
+        PREFIX,
+        CYCLES,
+        sections.join(",\n"),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernel.json");
+    std::fs::write(path, json).expect("write BENCH_kernel.json");
+    println!("wrote {path}");
+}
+
+fn main() {
+    let mut criterion = Criterion::default().configure_from_args();
+    bench_kernel(&mut criterion);
+    write_artifact(&criterion);
+}

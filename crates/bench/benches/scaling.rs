@@ -52,8 +52,7 @@ fn bench_mesh(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig10_mesh_runtime");
     group.sample_size(10);
     for size in [25usize, 50] {
-        let (infra, state, topology) =
-            mesh_instance(size, true, &args, 42 + size as u64).unwrap();
+        let (infra, state, topology) = mesh_instance(size, true, &args, 42 + size as u64).unwrap();
         let scheduler = Scheduler::new(&infra);
         for algorithm in algorithms() {
             let request = PlacementRequest {

@@ -51,23 +51,21 @@ impl Args {
         let mut out = Args::default();
         let mut iter = args.into_iter();
         while let Some(flag) = iter.next() {
-            let mut value = |name: &str| {
-                iter.next().ok_or_else(|| format!("flag {name} needs a value"))
-            };
+            let mut value =
+                |name: &str| iter.next().ok_or_else(|| format!("flag {name} needs a value"));
             match flag.as_str() {
                 "--runs" => out.runs = parse_num(&value("--runs")?)?,
                 "--sizes" => {
                     let list = value("--sizes")?;
                     out.sizes = Some(
-                        list.split(',')
-                            .map(|s| parse_num(s.trim()))
-                            .collect::<Result<_, _>>()?,
+                        list.split(',').map(|s| parse_num(s.trim())).collect::<Result<_, _>>()?,
                     );
                 }
                 "--racks" => out.racks = parse_num(&value("--racks")?)?,
                 "--hosts" => out.hosts_per_rack = parse_num(&value("--hosts")?)?,
                 "--deadline-ms" => {
-                    out.deadline = Duration::from_millis(parse_num(&value("--deadline-ms")?)? as u64);
+                    out.deadline =
+                        Duration::from_millis(parse_num(&value("--deadline-ms")?)? as u64);
                 }
                 "--seed" => out.seed = parse_num(&value("--seed")?)? as u64,
                 "--theta-bw" => out.theta_bw = parse_float(&value("--theta-bw")?)?,
@@ -122,8 +120,22 @@ mod tests {
     #[test]
     fn parses_all_flags() {
         let a = parse(&[
-            "--runs", "5", "--sizes", "25,50", "--racks", "10", "--hosts", "8",
-            "--deadline-ms", "250", "--seed", "7", "--theta-bw", "0.99", "--theta-c", "0.01",
+            "--runs",
+            "5",
+            "--sizes",
+            "25,50",
+            "--racks",
+            "10",
+            "--hosts",
+            "8",
+            "--deadline-ms",
+            "250",
+            "--seed",
+            "7",
+            "--theta-bw",
+            "0.99",
+            "--theta-c",
+            "0.01",
         ])
         .unwrap();
         assert_eq!(a.runs, 5);

@@ -37,7 +37,12 @@ fn main() {
         Algorithm::DeadlineBoundedAStar { deadline: args.deadline },
     ];
     let mut table = TextTable::new([
-        "algo", "accepted", "rejected", "mean hosts", "peak hosts", "mean bw (Gbps)",
+        "algo",
+        "accepted",
+        "rejected",
+        "mean hosts",
+        "peak hosts",
+        "mean bw (Gbps)",
         "solver (s)",
     ]);
     for algorithm in algorithms {

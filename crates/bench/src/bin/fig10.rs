@@ -9,10 +9,8 @@ use ostro_sim::report::{fmt_secs, TextTable};
 fn main() {
     let args = Args::from_env();
     let het_sizes = args.sizes.clone().unwrap_or_else(|| vec![25, 50, 75, 100, 125, 150, 175, 200]);
-    let hom_sizes = args
-        .sizes
-        .clone()
-        .unwrap_or_else(|| vec![35, 70, 105, 140, 175, 210, 245, 280]);
+    let hom_sizes =
+        args.sizes.clone().unwrap_or_else(|| vec![35, 70, 105, 140, 175, 210, 245, 280]);
     for (bw_label, time_label, het, sizes) in [
         ("(a) heterogeneous", "(c) heterogeneous", true, &het_sizes),
         ("(b) homogeneous", "(d) homogeneous", false, &hom_sizes),
@@ -27,11 +25,10 @@ fn main() {
         let mut bw_table = TextTable::new(["size", "EGC", "EGBW", "EG", "DBA*"]);
         let mut time_table = TextTable::new(["size", "EGC", "EGBW", "EG", "DBA*"]);
         for point in &points {
-            bw_table.row(
-                std::iter::once(point.size.to_string()).chain(
+            bw_table
+                .row(std::iter::once(point.size.to_string()).chain(
                     point.rows.iter().map(|r| format!("{:.1}", r.bandwidth_mbps / 1_000.0)),
-                ),
-            );
+                ));
             time_table.row(
                 std::iter::once(point.size.to_string())
                     .chain(point.rows.iter().map(|r| fmt_secs(r.runtime))),

@@ -13,7 +13,8 @@ fn main() {
     let args = Args::from_env();
     let size = args.sizes.as_ref().and_then(|s| s.first().copied()).unwrap_or(200);
     let deadlines_s: &[u64] = &[5, 10, 15, 20, 30, 45, 60];
-    let mut table = TextTable::new(["T (sec)", "bandwidth (Gbps)", "newly used hosts", "actual (sec)"]);
+    let mut table =
+        TextTable::new(["T (sec)", "bandwidth (Gbps)", "newly used hosts", "actual (sec)"]);
     for &t in deadlines_s {
         let mut bw = 0.0;
         let mut hosts = 0.0;
@@ -29,13 +30,8 @@ fn main() {
             };
             let scheduler = Scheduler::new(&infra);
             let request = PlacementRequest {
-                algorithm: Algorithm::DeadlineBoundedAStar {
-                    deadline: Duration::from_secs(t),
-                },
-                weights: ObjectiveWeights {
-                    bandwidth: args.theta_bw,
-                    hosts: args.theta_c,
-                },
+                algorithm: Algorithm::DeadlineBoundedAStar { deadline: Duration::from_secs(t) },
+                weights: ObjectiveWeights { bandwidth: args.theta_bw, hosts: args.theta_c },
                 seed,
                 ..PlacementRequest::default()
             };

@@ -9,7 +9,8 @@ use ostro_sim::report::TextTable;
 fn main() {
     let args = Args::from_env();
     let sizes = args.sizes.clone().unwrap_or_else(|| vec![25, 50, 75, 100, 125, 150, 175, 200]);
-    for (label, het) in [("(a) heterogeneous / non-uniform", true), ("(b) homogeneous / uniform", false)]
+    for (label, het) in
+        [("(a) heterogeneous / non-uniform", true), ("(b) homogeneous / uniform", false)]
     {
         let points = match sweep_multi_tier(&sizes, het, &args) {
             Ok(p) => p,
@@ -20,11 +21,10 @@ fn main() {
         };
         let mut table = TextTable::new(["size", "EGC", "EGBW", "EG", "DBA*"]);
         for point in &points {
-            table.row(
-                std::iter::once(point.size.to_string()).chain(
+            table
+                .row(std::iter::once(point.size.to_string()).chain(
                     point.rows.iter().map(|r| format!("{:.1}", r.bandwidth_mbps / 1_000.0)),
-                ),
-            );
+                ));
         }
         println!("Figure 7{label}: reserved bandwidth (Gbps) for multi-tier");
         println!("{}", table.render());

@@ -15,7 +15,11 @@ fn main() {
     let args = Args::from_env();
     let size = args.sizes.as_ref().and_then(|s| s.first().copied()).unwrap_or(200);
     let mut table = TextTable::new([
-        "added VMs", "re-place time (s)", "repositioned", "unpin rounds", "added bw (Mbps)",
+        "added VMs",
+        "re-place time (s)",
+        "repositioned",
+        "unpin rounds",
+        "added bw (Mbps)",
     ]);
     for percent in [5usize, 10, 20] {
         let seed = args.seed;
@@ -94,8 +98,6 @@ fn main() {
             }
         }
     }
-    println!(
-        "Online adaptation (sec IV-E): multi-tier {size} VMs, add small VMs to tiers 0-1"
-    );
+    println!("Online adaptation (sec IV-E): multi-tier {size} VMs, add small VMs to tiers 0-1");
     println!("{}", table.render());
 }

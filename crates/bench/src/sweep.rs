@@ -49,11 +49,8 @@ pub fn multi_tier_instance(
     args: &Args,
     seed: u64,
 ) -> Result<(Infrastructure, CapacityState, ApplicationTopology), SimError> {
-    let mix = if heterogeneous {
-        RequirementMix::heterogeneous()
-    } else {
-        RequirementMix::homogeneous()
-    };
+    let mix =
+        if heterogeneous { RequirementMix::heterogeneous() } else { RequirementMix::homogeneous() };
     let mut rng = SmallRng::seed_from_u64(seed);
     let (infra, state) =
         sized_datacenter(args.racks, args.hosts_per_rack, heterogeneous, &mut rng)?;
@@ -73,11 +70,8 @@ pub fn mesh_instance(
     args: &Args,
     seed: u64,
 ) -> Result<(Infrastructure, CapacityState, ApplicationTopology), SimError> {
-    let mix = if heterogeneous {
-        RequirementMix::heterogeneous()
-    } else {
-        RequirementMix::homogeneous()
-    };
+    let mix =
+        if heterogeneous { RequirementMix::heterogeneous() } else { RequirementMix::homogeneous() };
     let mut rng = SmallRng::seed_from_u64(seed);
     let (infra, state) =
         sized_datacenter(args.racks, args.hosts_per_rack, heterogeneous, &mut rng)?;
@@ -89,11 +83,7 @@ fn weights(args: &Args) -> ObjectiveWeights {
     ObjectiveWeights { bandwidth: args.theta_bw, hosts: args.theta_c }
 }
 
-fn sweep<F>(
-    sizes: &[usize],
-    args: &Args,
-    make: F,
-) -> Result<Vec<SweepPoint>, SimError>
+fn sweep<F>(sizes: &[usize], args: &Args, make: F) -> Result<Vec<SweepPoint>, SimError>
 where
     F: Fn(usize, u64) -> Result<(Infrastructure, CapacityState, ApplicationTopology), SimError>,
 {
@@ -105,15 +95,11 @@ where
             let seed = args.seed + run as u64 * 1_000 + size as u64;
             let (infra, state, topology) = make(size, seed)?;
             for (i, &algorithm) in algorithms.iter().enumerate() {
-                let trial =
-                    run_trial(&infra, &state, &topology, algorithm, weights(args), seed)?;
+                let trial = run_trial(&infra, &state, &topology, algorithm, weights(args), seed)?;
                 per_algo[i].push(trial);
             }
         }
-        points.push(SweepPoint {
-            size,
-            rows: per_algo.iter().map(|rs| aggregate(rs)).collect(),
-        });
+        points.push(SweepPoint { size, rows: per_algo.iter().map(|rs| aggregate(rs)).collect() });
     }
     Ok(points)
 }

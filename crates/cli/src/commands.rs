@@ -115,10 +115,9 @@ impl Command {
                 .ok_or_else(|| CliError::Usage(format!("missing required flag --{name}")))
         };
         let command = match sub.as_str() {
-            "inspect" => Command::Inspect {
-                infra: take(&mut flags, "infra")?,
-                state: flags.remove("state"),
-            },
+            "inspect" => {
+                Command::Inspect { infra: take(&mut flags, "infra")?, state: flags.remove("state") }
+            }
             "place" => {
                 let deadline = flags
                     .remove("deadline-ms")
@@ -172,9 +171,7 @@ impl Command {
                     .cloned()
                     .ok_or_else(|| CliError::Usage("example needs `infra` or `template`".into()))?,
             },
-            other => {
-                return Err(CliError::Usage(format!("unknown command `{other}`\n{USAGE}")))
-            }
+            other => return Err(CliError::Usage(format!("unknown command `{other}`\n{USAGE}"))),
         };
         if let Some(extra) = flags.keys().next() {
             return Err(CliError::Usage(format!("unknown flag --{extra}")));
@@ -190,9 +187,15 @@ impl Command {
     pub fn execute(&self) -> Result<String, CliError> {
         match self {
             Command::Inspect { infra, state } => inspect(infra, state.as_deref()),
-            Command::Place { infra, template, algorithm, weights, seed, state, commit } => {
-                place(infra, template, *algorithm, *weights, *seed, state.as_deref(), commit.as_deref())
-            }
+            Command::Place { infra, template, algorithm, weights, seed, state, commit } => place(
+                infra,
+                template,
+                *algorithm,
+                *weights,
+                *seed,
+                state.as_deref(),
+                commit.as_deref(),
+            ),
             Command::Validate { infra, template, placement, state } => {
                 validate(infra, template, placement, state.as_deref())
             }
@@ -256,8 +259,7 @@ fn inspect(infra_path: &str, state_path: Option<&str>) -> Result<String, CliErro
     let infra = load_infra(infra_path)?;
     let state = load_state(&infra, state_path)?;
     let mut out = String::new();
-    let total: ostro_model::Resources =
-        infra.hosts().iter().map(|h| h.capacity()).sum();
+    let total: ostro_model::Resources = infra.hosts().iter().map(|h| h.capacity()).sum();
     out.push_str(&format!(
         "sites: {}  pods: {}  racks: {}  hosts: {}\n",
         infra.sites().len(),
@@ -423,10 +425,7 @@ mod tests {
     fn parse_rejects_garbage() {
         assert!(matches!(Command::parse(argv("")), Err(CliError::Usage(_))));
         assert!(matches!(Command::parse(argv("frob")), Err(CliError::Usage(_))));
-        assert!(matches!(
-            Command::parse(argv("place --infra x.json")),
-            Err(CliError::Usage(_))
-        ));
+        assert!(matches!(Command::parse(argv("place --infra x.json")), Err(CliError::Usage(_))));
         assert!(matches!(
             Command::parse(argv("place --infra a --template b --algorithm quantum")),
             Err(CliError::Usage(_))
@@ -468,10 +467,9 @@ mod tests {
         let placement_out = dir.join("placement.json");
 
         // Place and commit.
-        let output = run(argv(&format!(
-            "place --infra {infra} --template {template} --commit {state_out}"
-        )))
-        .unwrap();
+        let output =
+            run(argv(&format!("place --infra {infra} --template {template} --commit {state_out}")))
+                .unwrap();
         std::fs::write(&placement_out, &output).unwrap();
         let doc: PlacementDocument = serde_json::from_str(&output).unwrap();
         assert_eq!(doc.assignments.len(), 4);
@@ -496,8 +494,7 @@ mod tests {
     fn validate_reports_violations() {
         let dir = tempdir("bad");
         let (infra, template) = write_examples(&dir);
-        let output =
-            run(argv(&format!("place --infra {infra} --template {template}"))).unwrap();
+        let output = run(argv(&format!("place --infra {infra} --template {template}"))).unwrap();
         let mut doc: PlacementDocument = serde_json::from_str(&output).unwrap();
         // Break the anti-affinity by force.
         let w1 = doc.assignments["web1"].clone();
@@ -519,10 +516,9 @@ mod tests {
         let dir = tempdir("seq");
         let (infra, template) = write_examples(&dir);
         let state = dir.join("state.json").to_str().unwrap().to_owned();
-        let first = run(argv(&format!(
-            "place --infra {infra} --template {template} --commit {state}"
-        )))
-        .unwrap();
+        let first =
+            run(argv(&format!("place --infra {infra} --template {template} --commit {state}")))
+                .unwrap();
         let second = run(argv(&format!(
             "place --infra {infra} --template {template} --state {state} --commit {state}"
         )))
@@ -555,8 +551,7 @@ mod tests {
     fn examples_are_valid_inputs() {
         let infra: InfraSpec = serde_json::from_str(&example("infra").unwrap()).unwrap();
         assert_eq!(infra.build().unwrap().host_count(), 32);
-        let template: HeatTemplate =
-            serde_json::from_str(&example("template").unwrap()).unwrap();
+        let template: HeatTemplate = serde_json::from_str(&example("template").unwrap()).unwrap();
         assert_eq!(template.server_count(), 3);
         assert!(example("bogus").is_err());
     }

@@ -17,8 +17,8 @@
 //! additionally writes the post-placement capacity state so a sequence
 //! of invocations models a live cloud.
 
-mod commands;
 mod cli_error;
+mod commands;
 
 pub use cli_error::CliError;
 pub use commands::{run, Command};

@@ -238,9 +238,7 @@ mod tests {
     use crate::objective::ObjectiveWeights;
     use crate::request::PlacementRequest;
     use ostro_datacenter::{CapacityState, Infrastructure, InfrastructureBuilder};
-    use ostro_model::{
-        ApplicationTopology, Bandwidth, DiversityLevel, Resources, TopologyBuilder,
-    };
+    use ostro_model::{ApplicationTopology, Bandwidth, DiversityLevel, Resources, TopologyBuilder};
 
     fn infra(racks: usize, hosts: usize) -> Infrastructure {
         InfrastructureBuilder::flat(

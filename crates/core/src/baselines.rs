@@ -59,10 +59,8 @@ where
 {
     let mut path = start.clone();
     while let Some(node) = path.next_node(ctx) {
-        let infeasible = || PlacementError::Infeasible {
-            node,
-            name: ctx.topo.node(node).name().to_owned(),
-        };
+        let infeasible =
+            || PlacementError::Infeasible { node, name: ctx.topo.node(node).name().to_owned() };
         let mut hosts = feasible_hosts(ctx, &path, node);
         stats.expanded += 1;
         stats.generated += hosts.len() as u64;
@@ -165,10 +163,7 @@ mod tests {
         // the most free NIC bandwidth.
         let chosen = path.assignment[0].unwrap();
         let free = base.nic_available(chosen);
-        let max_free = (0..8u32)
-            .map(|i| base.nic_available(HostId::from_index(i)))
-            .max()
-            .unwrap();
+        let max_free = (0..8u32).map(|i| base.nic_available(HostId::from_index(i))).max().unwrap();
         assert_eq!(free, max_free);
     }
 

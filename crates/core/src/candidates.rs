@@ -35,8 +35,7 @@ pub(crate) fn feasible_hosts_counted(
     node: NodeId,
 ) -> (Vec<HostId>, u64) {
     if let Some(pinned) = ctx.pinned[node.index()] {
-        let hosts =
-            if admits(ctx, path, node, pinned) { vec![pinned] } else { Vec::new() };
+        let hosts = if admits(ctx, path, node, pinned) { vec![pinned] } else { Vec::new() };
         return (hosts, 0);
     }
     let min_host = symmetry_floor(ctx, path, node);
@@ -86,10 +85,7 @@ fn admits(ctx: &Ctx<'_>, path: &Path<'_>, node: NodeId, host: HostId) -> bool {
         }
     }
     let promised = path.promised_nic(host).saturating_sub(promised_to_node_mbps);
-    let nic_avail = path
-        .overlay
-        .link_available(ostro_datacenter::LinkRef::HostNic(host))
-        .as_mbps();
+    let nic_avail = path.overlay.link_available(ostro_datacenter::LinkRef::HostNic(host)).as_mbps();
     if off_host_mbps + promised > nic_avail {
         return false;
     }
@@ -140,9 +136,13 @@ fn symmetry_floor(ctx: &Ctx<'_>, path: &Path<'_>, node: NodeId) -> u32 {
 
 /// Scores every candidate: child accumulated utility plus heuristic
 /// lower bound. Candidates whose per-edge bandwidth probe fails are
-/// dropped. Runs on multiple threads when the context allows and the
-/// candidate set is large (the paper's "EG computes the utility in
-/// parallel").
+/// dropped. Runs on the context's persistent worker pool when the
+/// request allows and the candidate set is large (the paper's "EG
+/// computes the utility in parallel").
+///
+/// The output order — and therefore every downstream decision — is
+/// identical at any thread count: chunk results are concatenated in
+/// chunk order, which reproduces the serial host order exactly.
 pub(crate) fn score_candidates(
     ctx: &Ctx<'_>,
     path: &Path<'_>,
@@ -156,26 +156,17 @@ pub(crate) fn score_candidates(
     if !ctx.parallel || hosts.len() < PARALLEL_THRESHOLD || threads < 2 {
         return hosts.iter().filter_map(|&h| score_one(ctx, path, node, h)).collect();
     }
-    let chunk_size = hosts.len().div_ceil(threads);
-    let mut results: Vec<Vec<ScoredCandidate>> = Vec::new();
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = hosts
-            .chunks(chunk_size)
-            .map(|chunk| {
-                scope.spawn(move |_| {
-                    chunk
-                        .iter()
-                        .filter_map(|&h| score_one(ctx, path, node, h))
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        for handle in handles {
-            results.push(handle.join().expect("candidate scoring thread panicked"));
-        }
-    })
-    .expect("crossbeam scope failed");
-    results.concat()
+    let pool = ctx.pool.get_or_init(|| crate::pool::ScoringPool::new(threads.min(16)));
+    let chunk_size = hosts.len().div_ceil(pool.threads());
+    let chunks: Vec<&[HostId]> = hosts.chunks(chunk_size).collect();
+    let results: Vec<std::sync::Mutex<Vec<ScoredCandidate>>> =
+        chunks.iter().map(|_| std::sync::Mutex::new(Vec::new())).collect();
+    pool.run(chunks.len(), &|i| {
+        let scored: Vec<ScoredCandidate> =
+            chunks[i].iter().filter_map(|&h| score_one(ctx, path, node, h)).collect();
+        *results[i].lock().unwrap() = scored;
+    });
+    results.into_iter().flat_map(|slot| slot.into_inner().unwrap()).collect()
 }
 
 fn score_one(
@@ -188,8 +179,7 @@ fn score_one(
     let new_hosts = path.new_hosts() + usize::from(!path.overlay.is_active(host));
     let ubw_child = path.ubw_mbps + added_ubw;
     let u_star = ctx.objective(ubw_child, new_hosts);
-    let bound =
-        if ctx.use_estimate { lower_bound_mbps(ctx, path, node, host) } else { 0 };
+    let bound = if ctx.use_estimate { lower_bound_mbps(ctx, path, node, host) } else { 0 };
     let u_total = ctx.objective(ubw_child + bound, new_hosts);
     Some(ScoredCandidate { host, added_ubw, u_star, u_total })
 }
@@ -197,10 +187,7 @@ fn score_one(
 /// `GetBest` (Alg. 1 line 11): the candidate minimizing the estimated
 /// total utility, tie-broken toward already-active hosts and then the
 /// lowest host index (deterministic).
-pub(crate) fn pick_best(
-    path: &Path<'_>,
-    scored: &[ScoredCandidate],
-) -> Option<ScoredCandidate> {
+pub(crate) fn pick_best(path: &Path<'_>, scored: &[ScoredCandidate]) -> Option<ScoredCandidate> {
     scored
         .iter()
         .min_by(|a, b| {
@@ -221,9 +208,7 @@ mod tests {
     use super::*;
     use crate::request::PlacementRequest;
     use ostro_datacenter::{CapacityState, Infrastructure, InfrastructureBuilder};
-    use ostro_model::{
-        ApplicationTopology, Bandwidth, DiversityLevel, Resources, TopologyBuilder,
-    };
+    use ostro_model::{ApplicationTopology, Bandwidth, DiversityLevel, Resources, TopologyBuilder};
 
     fn infra() -> Infrastructure {
         InfrastructureBuilder::flat(

@@ -129,9 +129,8 @@ impl SearchPolicy for DeadlinePolicy {
             (self.total_nodes - placed.min(self.total_nodes)) as f64 / self.total_nodes as f64;
         // Refreshes are candidate-capped, so before the first
         // observation assume they cost a fraction of the full EG run.
-        let per_full_run = self
-            .last_refresh
-            .map_or(self.initial_eg.as_secs_f64() / 6.0, |d| d.as_secs_f64());
+        let per_full_run =
+            self.last_refresh.map_or(self.initial_eg.as_secs_f64() / 6.0, |d| d.as_secs_f64());
         let estimated = per_full_run * remaining_frac;
         let left = (self.deadline - elapsed).as_secs_f64();
         if estimated > 0.9 * left {
@@ -147,8 +146,8 @@ impl SearchPolicy for DeadlinePolicy {
     fn note_refresh(&mut self, elapsed: Duration) {
         self.refresh_spent += elapsed;
         // Scale the observation back up to a full-depth run.
-        let frac = 1.0
-            - self.deepest_refresh.min(self.total_nodes) as f64 / self.total_nodes as f64;
+        let frac =
+            1.0 - self.deepest_refresh.min(self.total_nodes) as f64 / self.total_nodes as f64;
         if frac > 0.05 {
             self.last_refresh = Some(elapsed.div_f64(frac.max(0.05)));
         }
@@ -199,9 +198,7 @@ mod tests {
     use crate::objective::ObjectiveWeights;
     use crate::request::PlacementRequest;
     use ostro_datacenter::{CapacityState, Infrastructure, InfrastructureBuilder};
-    use ostro_model::{
-        ApplicationTopology, Bandwidth, DiversityLevel, Resources, TopologyBuilder,
-    };
+    use ostro_model::{ApplicationTopology, Bandwidth, DiversityLevel, Resources, TopologyBuilder};
 
     fn infra() -> Infrastructure {
         InfrastructureBuilder::flat(
@@ -268,8 +265,7 @@ mod tests {
         let base = CapacityState::new(&inf);
         let req = PlacementRequest::default();
         let ctx = Ctx::new(&topo, &inf, &base, &req, vec![None; topo.node_count()]).unwrap();
-        let err =
-            run_dbastar(&ctx, &mut SearchStats::default(), Duration::ZERO, 1, 0).unwrap_err();
+        let err = run_dbastar(&ctx, &mut SearchStats::default(), Duration::ZERO, 1, 0).unwrap_err();
         assert_eq!(err, PlacementError::ZeroDeadline);
     }
 
@@ -280,10 +276,10 @@ mod tests {
         let base = CapacityState::new(&inf);
         let req = PlacementRequest { parallel: false, ..PlacementRequest::default() };
         let ctx = Ctx::new(&topo, &inf, &base, &req, vec![None; topo.node_count()]).unwrap();
-        let a = run_dbastar(&ctx, &mut SearchStats::default(), Duration::from_secs(5), 7, 0)
-            .unwrap();
-        let b = run_dbastar(&ctx, &mut SearchStats::default(), Duration::from_secs(5), 7, 0)
-            .unwrap();
+        let a =
+            run_dbastar(&ctx, &mut SearchStats::default(), Duration::from_secs(5), 7, 0).unwrap();
+        let b =
+            run_dbastar(&ctx, &mut SearchStats::default(), Duration::from_secs(5), 7, 0).unwrap();
         assert_eq!(a.assignment, b.assignment);
     }
 

@@ -57,10 +57,9 @@ impl fmt::Display for PlacementError {
             Self::ZeroDeadline => {
                 write!(f, "deadline-bounded search needs a non-zero deadline")
             }
-            Self::SizeMismatch { expected, actual } => write!(
-                f,
-                "placement covers {actual} nodes but topology has {expected}"
-            ),
+            Self::SizeMismatch { expected, actual } => {
+                write!(f, "placement covers {actual} nodes but topology has {expected}")
+            }
             Self::Capacity(e) => write!(f, "capacity error: {e}"),
         }
     }

@@ -59,12 +59,10 @@ pub(crate) fn run_eg_capped<'a>(
     stats: &mut SearchStats,
     cap: usize,
 ) -> Result<Path<'a>, PlacementError> {
-    let mut path = start.clone();
+    let mut path = start.fork();
     while let Some(node) = path.next_node(ctx) {
-        let infeasible = || PlacementError::Infeasible {
-            node,
-            name: ctx.topo.node(node).name().to_owned(),
-        };
+        let infeasible =
+            || PlacementError::Infeasible { node, name: ctx.topo.node(node).name().to_owned() };
         let mut hosts = feasible_hosts(ctx, &path, node);
         if cap > 0 && hosts.len() > cap {
             let mut cheap: Vec<(u64, bool, HostId)> = hosts
@@ -97,14 +95,12 @@ pub(crate) fn run_eg_capped<'a>(
                 .then_with(|| a.host.cmp(&b.host))
         });
         debug_assert_eq!(scored.first().copied(), pick_best(&path, &scored));
-        let mut placed = None;
-        for cand in &scored {
-            if let Some(child) = path.place(ctx, node, cand.host) {
-                placed = Some(child);
-                break;
-            }
+        // place_mut self-reverts on failure, so the path stays valid
+        // for the next candidate — no clone per attempt.
+        let placed = scored.iter().any(|cand| path.place_mut(ctx, node, cand.host).is_some());
+        if !placed {
+            return Err(infeasible());
         }
-        path = placed.ok_or_else(infeasible)?;
     }
     Ok(path)
 }
@@ -115,9 +111,7 @@ mod tests {
     use crate::objective::ObjectiveWeights;
     use crate::request::PlacementRequest;
     use ostro_datacenter::{CapacityState, HostId, Infrastructure, InfrastructureBuilder};
-    use ostro_model::{
-        ApplicationTopology, Bandwidth, DiversityLevel, Resources, TopologyBuilder,
-    };
+    use ostro_model::{ApplicationTopology, Bandwidth, DiversityLevel, Resources, TopologyBuilder};
 
     fn infra(racks: usize, hosts: usize) -> Infrastructure {
         InfrastructureBuilder::flat(
@@ -231,8 +225,7 @@ mod tests {
         let ctx = Ctx::new(&topo, &inf, &base, &req, vec![None; 3]).unwrap();
         let root = pinned_root(&ctx).unwrap();
         let full = run_eg(&ctx, &root, &mut SearchStats::default()).unwrap();
-        let capped =
-            run_eg_capped(&ctx, &root, &mut SearchStats::default(), 100).unwrap();
+        let capped = run_eg_capped(&ctx, &root, &mut SearchStats::default(), 100).unwrap();
         assert_eq!(full.assignment, capped.assignment);
     }
 

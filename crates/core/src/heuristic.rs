@@ -45,12 +45,7 @@ impl Slots {
 
 /// Estimates the hop-weighted Mbps still to be reserved after `path`
 /// hypothetically places `node` on `host` (`GetHeuristic(vi, hj, ...)`).
-pub(crate) fn lower_bound_mbps(
-    ctx: &Ctx<'_>,
-    path: &Path<'_>,
-    node: NodeId,
-    host: HostId,
-) -> u64 {
+pub(crate) fn lower_bound_mbps(ctx: &Ctx<'_>, path: &Path<'_>, node: NodeId, host: HostId) -> u64 {
     let n = ctx.topo.node_count();
     let mut slots = Slots {
         avail: Vec::with_capacity(16),

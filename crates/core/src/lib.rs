@@ -57,6 +57,8 @@
 
 mod astar;
 mod baselines;
+#[doc(hidden)]
+pub mod bench_support;
 mod candidates;
 mod deadline;
 mod error;
@@ -65,6 +67,7 @@ mod heuristic;
 mod objective;
 mod online;
 mod placement;
+mod pool;
 mod request;
 mod scheduler;
 mod search;

@@ -94,10 +94,7 @@ impl Normalizers {
         let ubw = topology.total_link_bandwidth().as_mbps() * worst_hops;
         let idle = infra.host_count().saturating_sub(state.active_host_count());
         let uc = topology.node_count().min(idle);
-        Normalizers {
-            ubw_worst_mbps: (ubw as f64).max(1.0),
-            uc_worst: (uc as f64).max(1.0),
-        }
+        Normalizers { ubw_worst_mbps: (ubw as f64).max(1.0), uc_worst: (uc as f64).max(1.0) }
     }
 
     /// The normalized objective u = θbw·ubw/ûbw + θc·uc/ûc.

@@ -93,11 +93,7 @@ impl<'a> Scheduler<'a> {
 
 /// Unpins every pinned node within `hops` hops of an unpinned node
 /// (BFS from the currently unpinned set).
-fn unpin_frontier(
-    topology: &ApplicationTopology,
-    pinned: &mut [Option<HostId>],
-    hops: u32,
-) {
+fn unpin_frontier(topology: &ApplicationTopology, pinned: &mut [Option<HostId>], hops: u32) {
     let mut distance: Vec<Option<u32>> = vec![None; topology.node_count()];
     let mut queue = VecDeque::new();
     for node in topology.nodes() {
@@ -182,8 +178,7 @@ mod tests {
         for (old, new) in mapping.surviving() {
             prior[new.index()] = Some(initial.placement.host_of(old));
         }
-        let result =
-            scheduler.replace_online(&topo2, &state, &request(), &prior, 4).unwrap();
+        let result = scheduler.replace_online(&topo2, &state, &request(), &prior, 4).unwrap();
         assert!(result.repositioned.is_empty());
         assert_eq!(result.rounds, 0);
         let v = verify_placement(&topo2, &inf, &state, &result.outcome.placement).unwrap();
@@ -205,9 +200,7 @@ mod tests {
 
         // Fill host_a's remaining capacity so a linked addition cannot
         // co-locate and in fact `a` itself must move once its pin drops.
-        state
-            .reserve_node(host_a, state.available(host_a))
-            .unwrap();
+        state.reserve_node(host_a, state.available(host_a)).unwrap();
         // New node demands co-location-scale bandwidth to `a`, but the
         // NIC of host_a is saturated too.
         let mut nic_eater = CapacityState::new(&inf); // scratch to compute full nic
@@ -233,8 +226,7 @@ mod tests {
         for (old, new) in mapping.surviving() {
             prior[new.index()] = Some(initial.placement.host_of(old));
         }
-        let result =
-            scheduler.replace_online(&topo2, &clean, &request(), &prior, 4).unwrap();
+        let result = scheduler.replace_online(&topo2, &clean, &request(), &prior, 4).unwrap();
         // `a` had to move (its pinned host has no room / no bandwidth).
         assert!(result.rounds >= 1);
         let new_a = mapping.new_id_of(a).unwrap();

@@ -39,10 +39,7 @@ impl Placement {
 
     /// Iterates `(node, host)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, HostId)> + '_ {
-        self.assignments
-            .iter()
-            .enumerate()
-            .map(|(i, &h)| (NodeId::from_index(i as u32), h))
+        self.assignments.iter().enumerate().map(|(i, &h)| (NodeId::from_index(i as u32), h))
     }
 
     /// The number of distinct hosts this placement touches.

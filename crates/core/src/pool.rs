@@ -1,0 +1,171 @@
+//! A persistent scoring pool: worker threads created once per solver
+//! run (lazily, on the first over-threshold candidate set) and reused
+//! for every subsequent scoring call, instead of spawning a scoped
+//! thread per call.
+//!
+//! The pool executes *scoped* jobs: [`ScoringPool::run`] blocks until
+//! every task completes, so jobs may borrow request-local state (the
+//! search context and current path) even though worker threads are
+//! long-lived. Lifetime erasure is confined to `run`, which upholds
+//! the borrow by not returning while any task is in flight.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A task function shared by all workers for one `run` call, plus the
+/// index range bookkeeping. The raw pointer erases the caller's
+/// lifetime; `run` keeps the referent alive until all tasks finish.
+struct Job {
+    task: *const (dyn Fn(usize) + Sync),
+    index: usize,
+    progress: Arc<Progress>,
+}
+
+// SAFETY: the pointee is `Sync` (shared by many workers) and outlives
+// the job because `run` blocks until `Progress` reports completion.
+unsafe impl Send for Job {}
+
+#[derive(Default)]
+struct Progress {
+    state: Mutex<ProgressState>,
+    all_done: Condvar,
+}
+
+#[derive(Default)]
+struct ProgressState {
+    completed: usize,
+    panicked: usize,
+}
+
+/// Long-lived worker threads for candidate scoring.
+pub(crate) struct ScoringPool {
+    sender: Mutex<Option<Sender<Job>>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ScoringPool {
+    /// Spawns `threads` workers (at least one).
+    pub(crate) fn new(threads: usize) -> Self {
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..threads.max(1))
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("ostro-score-{i}"))
+                    .spawn(move || loop {
+                        let job = match receiver.lock().unwrap().recv() {
+                            Ok(job) => job,
+                            Err(_) => return, // pool dropped
+                        };
+                        // SAFETY: `run` keeps the task alive until the
+                        // completion count below reaches the task total.
+                        let task = unsafe { &*job.task };
+                        let outcome = catch_unwind(AssertUnwindSafe(|| task(job.index)));
+                        let mut state = job.progress.state.lock().unwrap();
+                        state.completed += 1;
+                        state.panicked += usize::from(outcome.is_err());
+                        job.progress.all_done.notify_all();
+                    })
+                    .expect("failed to spawn scoring worker")
+            })
+            .collect();
+        ScoringPool { sender: Mutex::new(Some(sender)), workers }
+    }
+
+    /// Number of worker threads.
+    pub(crate) fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs `task(0..tasks)` across the workers and blocks until every
+    /// invocation finished. `task` may borrow caller-local state.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises (as a panic) if any task panicked.
+    pub(crate) fn run(&self, tasks: usize, task: &(dyn Fn(usize) + Sync)) {
+        if tasks == 0 {
+            return;
+        }
+        let progress = Arc::new(Progress::default());
+        // SAFETY: erase the lifetime for transport to the workers. The
+        // wait loop below does not return until all `tasks` invocations
+        // completed, so the borrow outlives every use.
+        let task: *const (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(task) };
+        {
+            let sender = self.sender.lock().unwrap();
+            let sender = sender.as_ref().expect("pool already shut down");
+            for index in 0..tasks {
+                sender
+                    .send(Job { task, index, progress: Arc::clone(&progress) })
+                    .expect("scoring workers exited early");
+            }
+        }
+        let mut state = progress.state.lock().unwrap();
+        while state.completed < tasks {
+            state = progress.all_done.wait(state).unwrap();
+        }
+        assert!(state.panicked == 0, "candidate scoring task panicked");
+    }
+}
+
+impl Drop for ScoringPool {
+    fn drop(&mut self) {
+        // Closing the channel makes every worker's recv fail and exit.
+        *self.sender.lock().unwrap() = None;
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_task_exactly_once() {
+        let pool = ScoringPool::new(4);
+        let hits: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(64, &|i| {
+            hits[i].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn pool_is_reusable_across_calls() {
+        let pool = ScoringPool::new(2);
+        let counter = AtomicUsize::new(0);
+        for _ in 0..10 {
+            pool.run(8, &|_| {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 80);
+        assert_eq!(pool.threads(), 2);
+    }
+
+    #[test]
+    fn tasks_can_borrow_local_state() {
+        let pool = ScoringPool::new(3);
+        let input: Vec<u64> = (0..100).collect();
+        let out: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(100, &|i| {
+            out[i].store(input[i] as usize * 2, Ordering::SeqCst);
+        });
+        for (i, slot) in out.iter().enumerate() {
+            assert_eq!(slot.load(Ordering::SeqCst), i * 2);
+        }
+    }
+
+    #[test]
+    fn zero_tasks_is_a_no_op() {
+        let pool = ScoringPool::new(2);
+        pool.run(0, &|_| panic!("must not run"));
+    }
+}

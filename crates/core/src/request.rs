@@ -124,8 +124,7 @@ mod tests {
         assert_eq!(Algorithm::Greedy.abbreviation(), "EG");
         assert_eq!(Algorithm::BoundedAStar.abbreviation(), "BA*");
         assert_eq!(
-            Algorithm::DeadlineBoundedAStar { deadline: Duration::from_millis(500) }
-                .abbreviation(),
+            Algorithm::DeadlineBoundedAStar { deadline: Duration::from_millis(500) }.abbreviation(),
             "DBA*"
         );
     }

@@ -130,16 +130,9 @@ impl<'a> Scheduler<'a> {
         Ok(Self::outcome(path, stats, started))
     }
 
-    fn outcome(
-        path: Path<'_>,
-        stats: SearchStats,
-        started: Instant,
-    ) -> PlacementOutcome {
-        let assignments: Vec<HostId> = path
-            .assignment
-            .iter()
-            .map(|h| h.expect("complete path assigns every node"))
-            .collect();
+    fn outcome(path: Path<'_>, stats: SearchStats, started: Instant) -> PlacementOutcome {
+        let assignments: Vec<HostId> =
+            path.assignment.iter().map(|h| h.expect("complete path assigns every node")).collect();
         let placement = Placement::new(assignments);
         PlacementOutcome {
             objective: path.u_star,
@@ -282,8 +275,7 @@ mod tests {
         for algorithm in all_algorithms() {
             let request = PlacementRequest { algorithm, ..PlacementRequest::default() };
             let outcome = scheduler.place(&topo, &state, &request).unwrap();
-            let violations =
-                verify_placement(&topo, &inf, &state, &outcome.placement).unwrap();
+            let violations = verify_placement(&topo, &inf, &state, &outcome.placement).unwrap();
             assert!(violations.is_empty(), "{algorithm:?}: {violations:?}");
             assert!(outcome.hosts_used >= 2, "diversity zone forces >= 2 hosts");
         }
@@ -299,10 +291,7 @@ mod tests {
         let outcome = scheduler.place(&topo, &state, &PlacementRequest::default()).unwrap();
         scheduler.commit(&topo, &outcome.placement, &mut state).unwrap();
         assert!(state.active_host_count() > 0);
-        assert_eq!(
-            state.total_reserved_bandwidth(&inf),
-            outcome.reserved_bandwidth
-        );
+        assert_eq!(state.total_reserved_bandwidth(&inf), outcome.reserved_bandwidth);
         scheduler.release(&topo, &outcome.placement, &mut state).unwrap();
         assert_eq!(state, snapshot);
     }

@@ -1,7 +1,9 @@
 //! Shared search state: the per-request context and the partial
 //! placement paths the algorithms branch over.
 
-use ostro_datacenter::{CapacityState, HostId, Infrastructure, OverlayState};
+use ostro_datacenter::{
+    CapacityState, FxHashMap, HostId, Infrastructure, OverlayMark, OverlayState,
+};
 use ostro_model::{ApplicationTopology, DiversityLevel, NodeId, Resources};
 
 use crate::error::PlacementError;
@@ -34,10 +36,7 @@ impl SeparationCosts {
                 .sites()
                 .iter()
                 .map(|s| {
-                    let all_real = s
-                        .pods()
-                        .iter()
-                        .all(|&p| !infra.pod(p).is_transparent());
+                    let all_real = s.pods().iter().all(|&p| !infra.pod(p).is_transparent());
                     u64::from(all_real)
                 })
                 .collect();
@@ -52,11 +51,8 @@ impl SeparationCosts {
             .iter()
             .filter(|s| s.pods().len() >= 2)
             .map(|s| {
-                let mut contrib: Vec<u64> = s
-                    .pods()
-                    .iter()
-                    .map(|&p| u64::from(!infra.pod(p).is_transparent()))
-                    .collect();
+                let mut contrib: Vec<u64> =
+                    s.pods().iter().map(|&p| u64::from(!infra.pod(p).is_transparent())).collect();
                 contrib.sort_unstable();
                 4 + contrib[0] + contrib[1]
             })
@@ -109,6 +105,9 @@ pub(crate) struct Ctx<'a> {
     /// Mbps cost of separating two nodes the heuristic put on distinct
     /// hosts with no diversity constraint between them.
     pub min_split_cost: u64,
+    /// Persistent scoring workers, created lazily on the first
+    /// over-threshold candidate set and reused for the whole run.
+    pub(crate) pool: std::sync::OnceLock<crate::pool::ScoringPool>,
 }
 
 impl<'a> Ctx<'a> {
@@ -136,16 +135,11 @@ impl<'a> Ctx<'a> {
 
         let mut bw_order: Vec<NodeId> = topo.nodes().iter().map(|n| n.id()).collect();
         bw_order.sort_by(|&a, &b| {
-            topo.incident_bandwidth(b)
-                .cmp(&topo.incident_bandwidth(a))
-                .then(a.cmp(&b))
+            topo.incident_bandwidth(b).cmp(&topo.incident_bandwidth(a)).then(a.cmp(&b))
         });
 
-        let max_capacity = infra
-            .hosts()
-            .iter()
-            .map(|h| h.capacity())
-            .fold(Resources::ZERO, Resources::max);
+        let max_capacity =
+            infra.hosts().iter().map(|h| h.capacity()).fold(Resources::ZERO, Resources::max);
 
         let sym_group = if request.zone_symmetry {
             symmetry_groups(topo)
@@ -170,6 +164,7 @@ impl<'a> Ctx<'a> {
             parallel: request.parallel,
             use_estimate: request.use_estimate,
             min_split_cost: sep_costs.min_cost(Some(DiversityLevel::Host)),
+            pool: std::sync::OnceLock::new(),
         })
     }
 
@@ -233,18 +228,10 @@ fn interchangeable(topo: &ApplicationTopology, a: NodeId, b: NodeId) -> bool {
     if za != zb {
         return false;
     }
-    let mut na: Vec<(NodeId, _)> = topo
-        .neighbors(a)
-        .iter()
-        .filter(|&&(n, _)| n != b)
-        .copied()
-        .collect();
-    let mut nb: Vec<(NodeId, _)> = topo
-        .neighbors(b)
-        .iter()
-        .filter(|&&(n, _)| n != a)
-        .copied()
-        .collect();
+    let mut na: Vec<(NodeId, _)> =
+        topo.neighbors(a).iter().filter(|&&(n, _)| n != b).copied().collect();
+    let mut nb: Vec<(NodeId, _)> =
+        topo.neighbors(b).iter().filter(|&&(n, _)| n != a).copied().collect();
     na.sort_unstable();
     nb.sort_unstable();
     na == nb
@@ -271,8 +258,26 @@ pub(crate) struct Path<'a> {
     /// Per host: Mbps promised to edges between a resident node and a
     /// still-unplaced neighbor. The candidate screen reserves this
     /// headroom so placing more nodes never strands a resident's
-    /// future edges behind a saturated NIC.
-    pub promised_nic: std::collections::HashMap<HostId, u64>,
+    /// future edges behind a saturated NIC. Entries may sit at zero
+    /// once fully consumed; only [`Path::promised_nic`] reads them.
+    pub promised_nic: FxHashMap<HostId, u64>,
+}
+
+/// Everything needed to revert one [`Path::place_mut`] call: the
+/// overlay journal position plus the scalar fields and `promised_nic`
+/// entries the placement touched. Marks must be undone in LIFO order
+/// (the overlay journal enforces this).
+#[derive(Debug)]
+pub(crate) struct PlacedMark {
+    overlay: OverlayMark,
+    node: NodeId,
+    host: HostId,
+    prev_ubw_mbps: u64,
+    prev_u_star: f64,
+    prev_u_total: f64,
+    /// `promised_nic` entries this placement modified, oldest first,
+    /// with their prior values (`None` = the key was absent).
+    promised_prev: Vec<(HostId, Option<u64>)>,
 }
 
 impl<'a> Path<'a> {
@@ -286,7 +291,23 @@ impl<'a> Path<'a> {
             u_star: 0.0,
             u_total: 0.0,
             signature: 0,
-            promised_nic: std::collections::HashMap::new(),
+            promised_nic: FxHashMap::default(),
+        }
+    }
+
+    /// A copy of this path whose overlay starts a fresh journal —
+    /// cheaper than `clone()` when this path has a long undo history,
+    /// and what arena snapshots should use.
+    pub(crate) fn fork(&self) -> Path<'a> {
+        Path {
+            overlay: self.overlay.fork(),
+            assignment: self.assignment.clone(),
+            placed: self.placed,
+            ubw_mbps: self.ubw_mbps,
+            u_star: self.u_star,
+            u_total: self.u_total,
+            signature: self.signature,
+            promised_nic: self.promised_nic.clone(),
         }
     }
 
@@ -310,12 +331,121 @@ impl<'a> Path<'a> {
         self.overlay.newly_active_hosts()
     }
 
-    /// Materializes the child path that places `node` on `host`.
+    /// Materializes the child path that places `node` on `host`, by
+    /// forking this path and applying the placement in place.
     ///
     /// Returns `None` if the combined reservations do not fit (the
     /// per-edge feasibility pre-check is necessary but not sufficient
     /// when several flows share links).
     pub(crate) fn place(&self, ctx: &Ctx<'a>, node: NodeId, host: HostId) -> Option<Path<'a>> {
+        let mut child = self.fork();
+        child.place_mut(ctx, node, host)?;
+        Some(child)
+    }
+
+    /// Applies the placement of `node` on `host` to this path directly,
+    /// returning a mark that [`undo`](Self::undo) reverts. Costs
+    /// O(edges of `node`) instead of the O(placed prefix) a clone-based
+    /// child would — this is the search kernel's child-expansion fast
+    /// path.
+    ///
+    /// On failure the path is left exactly as it was (the partial
+    /// reservations are rolled back internally) and `None` is returned.
+    pub(crate) fn place_mut(
+        &mut self,
+        ctx: &Ctx<'a>,
+        node: NodeId,
+        host: HostId,
+    ) -> Option<PlacedMark> {
+        debug_assert_eq!(Some(node), self.next_node(ctx));
+        let mut mark = PlacedMark {
+            overlay: self.overlay.checkpoint(),
+            node,
+            host,
+            prev_ubw_mbps: self.ubw_mbps,
+            prev_u_star: self.u_star,
+            prev_u_total: self.u_total,
+            promised_prev: Vec::new(),
+        };
+        let req = ctx.topo.node(node).requirements();
+        if self.overlay.reserve_node(host, req).is_err() {
+            return None; // reserve_node is atomic; nothing to revert.
+        }
+        let mut added = 0u64;
+        let mut future_mbps = 0u64;
+        for &(neighbor, bw) in ctx.topo.neighbors(node) {
+            if let Some(other_host) = self.assignment[neighbor.index()] {
+                if self.overlay.reserve_flow(host, other_host, bw).is_err() {
+                    self.revert_to(&mut mark);
+                    return None;
+                }
+                added += bw.as_mbps() * ctx.infra.hop_cost(host, other_host);
+                // The promise made when the neighbor was placed is now
+                // either consumed (reserved above) or void (co-located).
+                // The entry stays, possibly at zero — removing it here
+                // and re-inserting on the next promise just churns the
+                // map.
+                if let Some(p) = self.promised_nic.get_mut(&other_host) {
+                    mark.promised_prev.push((other_host, Some(*p)));
+                    *p = p.saturating_sub(bw.as_mbps());
+                }
+            } else {
+                future_mbps += bw.as_mbps();
+            }
+        }
+        if future_mbps > 0 {
+            mark.promised_prev.push((host, self.promised_nic.get(&host).copied()));
+            *self.promised_nic.entry(host).or_insert(0) += future_mbps;
+        }
+        self.assignment[node.index()] = Some(host);
+        self.placed += 1;
+        self.ubw_mbps += added;
+        self.u_star = ctx.objective(self.ubw_mbps, self.new_hosts());
+        self.signature ^= pair_hash(node, host);
+        Some(mark)
+    }
+
+    /// Reverts one [`place_mut`](Self::place_mut), restoring the path
+    /// to the state observed when the mark was taken. Marks must be
+    /// undone newest-first.
+    pub(crate) fn undo(&mut self, mark: PlacedMark) {
+        let mut mark = mark;
+        self.assignment[mark.node.index()] = None;
+        self.placed -= 1;
+        self.signature ^= pair_hash(mark.node, mark.host);
+        self.revert_to(&mut mark);
+    }
+
+    /// Restores the overlay, promises, and scalar cost fields recorded
+    /// in `mark` (shared by `undo` and `place_mut`'s failure path).
+    fn revert_to(&mut self, mark: &mut PlacedMark) {
+        self.overlay.rollback(mark.overlay);
+        for (host, prev) in mark.promised_prev.drain(..).rev() {
+            match prev {
+                Some(v) => {
+                    self.promised_nic.insert(host, v);
+                }
+                None => {
+                    self.promised_nic.remove(&host);
+                }
+            }
+        }
+        self.ubw_mbps = mark.prev_ubw_mbps;
+        self.u_star = mark.prev_u_star;
+        self.u_total = mark.prev_u_total;
+    }
+
+    /// The original clone-per-child expansion, kept as the reference
+    /// implementation: tests assert it agrees with
+    /// [`place_mut`](Self::place_mut), and the kernel benchmark
+    /// measures the speedup against it.
+    #[cfg(any(test, feature = "clone-baseline"))]
+    pub(crate) fn place_via_clone(
+        &self,
+        ctx: &Ctx<'a>,
+        node: NodeId,
+        host: HostId,
+    ) -> Option<Path<'a>> {
         debug_assert_eq!(Some(node), self.next_node(ctx));
         let mut child = self.clone();
         let req = ctx.topo.node(node).requirements();
@@ -326,8 +456,6 @@ impl<'a> Path<'a> {
             if let Some(other_host) = child.assignment[neighbor.index()] {
                 child.overlay.reserve_flow(host, other_host, bw).ok()?;
                 added += bw.as_mbps() * ctx.infra.hop_cost(host, other_host);
-                // The promise made when the neighbor was placed is now
-                // either consumed (reserved above) or void (co-located).
                 if let Some(p) = child.promised_nic.get_mut(&other_host) {
                     *p = p.saturating_sub(bw.as_mbps());
                     if *p == 0 {
@@ -427,9 +555,8 @@ mod tests {
             let site = b.site(format!("s{s}"), Bandwidth::from_gbps(100));
             for p in 0..2 {
                 let pod = b.pod(site, format!("s{s}p{p}"), Bandwidth::from_gbps(40)).unwrap();
-                let rack = b
-                    .rack_in_pod(pod, format!("s{s}p{p}r"), Bandwidth::from_gbps(100))
-                    .unwrap();
+                let rack =
+                    b.rack_in_pod(pod, format!("s{s}p{p}r"), Bandwidth::from_gbps(100)).unwrap();
                 b.host(rack, format!("s{s}p{p}h"), cap, Bandwidth::from_gbps(10)).unwrap();
             }
         }
@@ -526,6 +653,155 @@ mod tests {
         let mut ov = p1.overlay.clone();
         ov.reserve_node(h0, Resources::new(8, 16_384, 0)).unwrap();
         assert!(ov.reserve_node(h0, Resources::new(1, 1, 0)).is_err());
+    }
+
+    /// Asserts two paths are observably identical: same scalars, same
+    /// assignment, same promises, and same availability on every host
+    /// and NIC.
+    fn assert_paths_identical(infra: &Infrastructure, a: &Path<'_>, b: &Path<'_>, what: &str) {
+        assert_eq!(a.placed, b.placed, "{what}: placed");
+        assert_eq!(a.assignment, b.assignment, "{what}: assignment");
+        assert_eq!(a.ubw_mbps, b.ubw_mbps, "{what}: ubw");
+        assert_eq!(a.u_star.to_bits(), b.u_star.to_bits(), "{what}: u_star");
+        assert_eq!(a.signature, b.signature, "{what}: signature");
+        for host in infra.hosts() {
+            let id = host.id();
+            assert_eq!(a.promised_nic(id), b.promised_nic(id), "{what}: promise {id}");
+            assert_eq!(a.overlay.available(id), b.overlay.available(id), "{what}: avail {id}");
+            assert_eq!(
+                a.overlay.link_available(ostro_datacenter::LinkRef::HostNic(id)),
+                b.overlay.link_available(ostro_datacenter::LinkRef::HostNic(id)),
+                "{what}: nic {id}"
+            );
+            assert_eq!(a.overlay.is_active(id), b.overlay.is_active(id), "{what}: active {id}");
+        }
+        assert_eq!(a.new_hosts(), b.new_hosts(), "{what}: new hosts");
+    }
+
+    /// The delta-undo expansion and the clone-based reference produce
+    /// byte-identical children on every (node, host) choice of a walk.
+    #[test]
+    fn place_mut_matches_clone_based_expansion() {
+        let (topo, infra) = simple_ctx_fixture();
+        let base = CapacityState::new(&infra);
+        let req = PlacementRequest::default();
+        let ctx = Ctx::new(&topo, &infra, &base, &req, vec![None; 3]).unwrap();
+        let hosts: Vec<HostId> = infra.hosts().iter().map(|h| h.id()).collect();
+
+        let mut delta = Path::empty(&ctx);
+        let mut reference = Path::empty(&ctx);
+        for step in 0..ctx.order.len() {
+            let node = delta.next_node(&ctx).unwrap();
+            // Probe every host both ways before committing to one.
+            for &host in &hosts {
+                let via_clone = reference.place_via_clone(&ctx, node, host);
+                let mut trial = delta.fork();
+                match trial.place_mut(&ctx, node, host) {
+                    Some(_) => {
+                        let clone_child = via_clone.expect("clone path must also admit");
+                        assert_paths_identical(
+                            &infra,
+                            &trial,
+                            &clone_child,
+                            &format!("step {step} host {host}"),
+                        );
+                    }
+                    None => assert!(via_clone.is_none(), "step {step} host {host}: admission"),
+                }
+            }
+            let host = hosts[step % hosts.len()];
+            let mark = delta.place_mut(&ctx, node, host);
+            let clone_child = reference.place_via_clone(&ctx, node, host);
+            assert_eq!(mark.is_some(), clone_child.is_some(), "step {step}");
+            if let Some(child) = clone_child {
+                reference = child;
+                assert_paths_identical(&infra, &delta, &reference, &format!("step {step}"));
+            }
+        }
+    }
+
+    /// place_mut followed by undo restores the path exactly, including
+    /// after failed placements (which must self-revert).
+    #[test]
+    fn undo_reverts_place_mut_exactly() {
+        let (topo, infra) = simple_ctx_fixture();
+        let base = CapacityState::new(&infra);
+        let req = PlacementRequest::default();
+        let ctx = Ctx::new(&topo, &infra, &base, &req, vec![None; 3]).unwrap();
+        let hosts: Vec<HostId> = infra.hosts().iter().map(|h| h.id()).collect();
+
+        let mut path = Path::empty(&ctx);
+        // Put one node down so later trials touch promises.
+        let n0 = path.next_node(&ctx).unwrap();
+        path.place_mut(&ctx, n0, hosts[0]).unwrap();
+        let reference = path.fork();
+
+        let node = path.next_node(&ctx).unwrap();
+        for &host in &hosts {
+            if let Some(mark) = path.place_mut(&ctx, node, host) {
+                path.undo(mark);
+            }
+            assert_paths_identical(&infra, &path, &reference, &format!("undo on {host}"));
+        }
+    }
+
+    /// The NIC promise made for a resident's future edge is consumed
+    /// when the neighbor lands on a remote host, and voided when the
+    /// neighbor co-locates — in both cases the entry drains without
+    /// churning the map, and undo restores it.
+    #[test]
+    fn promises_are_consumed_or_voided() {
+        let mut b = TopologyBuilder::new("t");
+        let hub = b.vm("hub", 4, 4_096).unwrap();
+        let w1 = b.vm("w1", 1, 1_024).unwrap();
+        let w2 = b.vm("w2", 1, 1_024).unwrap();
+        b.link(hub, w1, Bandwidth::from_mbps(300)).unwrap();
+        b.link(hub, w2, Bandwidth::from_mbps(200)).unwrap();
+        let topo = b.build().unwrap();
+        let infra = infra_flat(2, 2);
+        let base = CapacityState::new(&infra);
+        let req = PlacementRequest::default();
+        let ctx = Ctx::new(&topo, &infra, &base, &req, vec![None; 3]).unwrap();
+        assert_eq!(ctx.order[0], hub, "hub is heaviest and goes first");
+
+        let h0 = HostId::from_index(0);
+        let h2 = HostId::from_index(2); // different rack
+        let mut path = Path::empty(&ctx);
+        path.place_mut(&ctx, hub, h0).unwrap();
+        // Both edges are still open: the full 500 Mbps is promised.
+        assert_eq!(path.promised_nic(h0), 500);
+
+        // Remote placement consumes w1's share of the promise and
+        // reserves the flow for real.
+        let next = path.next_node(&ctx).unwrap();
+        let (first_bw, second_bw) = if next == w1 { (300, 200) } else { (200, 300) };
+        let mark = path.place_mut(&ctx, next, h2).unwrap();
+        assert_eq!(path.promised_nic(h0), second_bw);
+        assert_eq!(
+            path.overlay.link_available(ostro_datacenter::LinkRef::HostNic(h0)),
+            Bandwidth::from_mbps(10_000 - first_bw)
+        );
+        path.undo(mark);
+        assert_eq!(path.promised_nic(h0), 500, "undo restores the promise");
+
+        // Co-location voids the promise instead: nothing is reserved,
+        // but the promise still drains.
+        let mid_mark = path.place_mut(&ctx, next, h0).unwrap();
+        assert_eq!(path.promised_nic(h0), second_bw);
+        assert_eq!(
+            path.overlay.link_available(ostro_datacenter::LinkRef::HostNic(h0)),
+            Bandwidth::from_gbps(10),
+            "co-located edge reserves no NIC bandwidth"
+        );
+        let last = path.next_node(&ctx).unwrap();
+        let last_mark = path.place_mut(&ctx, last, h0).unwrap();
+        assert_eq!(path.promised_nic(h0), 0, "all promises drained");
+
+        // LIFO undo walks back through both promise states.
+        path.undo(last_mark);
+        assert_eq!(path.promised_nic(h0), second_bw);
+        path.undo(mid_mark);
+        assert_eq!(path.promised_nic(h0), 500);
     }
 
     #[test]

@@ -1,13 +1,9 @@
 //! Engine-level integration tests: search statistics, stats plumbing,
 //! serde of outcomes, and knob behavior.
 
-use ostro_core::{
-    Algorithm, ObjectiveWeights, PlacementOutcome, PlacementRequest, Scheduler,
-};
+use ostro_core::{Algorithm, ObjectiveWeights, PlacementOutcome, PlacementRequest, Scheduler};
 use ostro_datacenter::{CapacityState, Infrastructure, InfrastructureBuilder};
-use ostro_model::{
-    ApplicationTopology, Bandwidth, DiversityLevel, Resources, TopologyBuilder,
-};
+use ostro_model::{ApplicationTopology, Bandwidth, DiversityLevel, Resources, TopologyBuilder};
 use std::time::Duration;
 
 fn infra() -> Infrastructure {
@@ -152,8 +148,8 @@ fn invalid_weights_are_rejected_before_searching() {
     let topo = symmetric_star();
     let state = CapacityState::new(&infra);
     let scheduler = Scheduler::new(&infra);
-    let request = PlacementRequest::default()
-        .weights(ObjectiveWeights { bandwidth: 0.9, hosts: 0.9 });
+    let request =
+        PlacementRequest::default().weights(ObjectiveWeights { bandwidth: 0.9, hosts: 0.9 });
     assert!(matches!(
         scheduler.place(&topo, &state, &request),
         Err(ostro_core::PlacementError::InvalidWeights { .. })
@@ -172,32 +168,23 @@ fn tiny_nic_honeypot_host_does_not_dead_end_the_search() {
     let site = b.site("s", Bandwidth::ZERO);
     let rack = b.rack(site, "r", Bandwidth::from_gbps(100)).unwrap();
     // The honeypot: lots of compute, almost no network.
-    b.host(rack, "big", Resources::new(32, 65_536, 1_000), Bandwidth::from_mbps(150))
-        .unwrap();
+    b.host(rack, "big", Resources::new(32, 65_536, 1_000), Bandwidth::from_mbps(150)).unwrap();
     for i in 0..6 {
-        b.host(
-            rack,
-            format!("normal{i}"),
-            Resources::new(4, 8_192, 500),
-            Bandwidth::from_gbps(10),
-        )
-        .unwrap();
+        b.host(rack, format!("normal{i}"), Resources::new(4, 8_192, 500), Bandwidth::from_gbps(10))
+            .unwrap();
     }
     let infra = b.build().unwrap();
 
     // A ring of six VMs, each edge demanding 100 Mbps.
     let mut t = TopologyBuilder::new("ring");
-    let vms: Vec<_> =
-        (0..6).map(|i| t.vm(format!("v{i}"), 2, 2_048).unwrap()).collect();
+    let vms: Vec<_> = (0..6).map(|i| t.vm(format!("v{i}"), 2, 2_048).unwrap()).collect();
     for i in 0..6 {
         t.link(vms[i], vms[(i + 1) % 6], Bandwidth::from_mbps(100)).unwrap();
     }
     let topo = t.build().unwrap();
     let state = CapacityState::new(&infra);
     let scheduler = Scheduler::new(&infra);
-    for algorithm in
-        [Algorithm::GreedyCompute, Algorithm::GreedyBandwidth, Algorithm::Greedy]
-    {
+    for algorithm in [Algorithm::GreedyCompute, Algorithm::GreedyBandwidth, Algorithm::Greedy] {
         let request = PlacementRequest { algorithm, ..PlacementRequest::default() };
         let outcome = scheduler
             .place(&topo, &state, &request)
@@ -229,4 +216,49 @@ fn estimate_ablation_changes_behavior_not_validity() {
     }
     // The estimate can only help (or tie) on the combined objective here.
     assert!(with_est.objective <= without_est.objective + 1e-9);
+}
+
+/// The parallel scoring pool must be a pure speedup: at any thread
+/// count the scored candidate order — and therefore the placement —
+/// matches the serial path exactly, for every algorithm.
+#[test]
+fn parallel_and_serial_placements_are_identical() {
+    // Big enough that candidate sets cross the parallel threshold.
+    let infra = InfrastructureBuilder::flat(
+        "dc",
+        8,
+        16,
+        Resources::new(8, 16_384, 500),
+        Bandwidth::from_gbps(10),
+        Bandwidth::from_gbps(100),
+    )
+    .build()
+    .unwrap();
+    let mut b = TopologyBuilder::new("chain");
+    let ids: Vec<_> = (0..12).map(|i| b.vm(format!("v{i}"), 2, 2_048).unwrap()).collect();
+    for w in ids.windows(2) {
+        b.link(w[0], w[1], Bandwidth::from_mbps(80)).unwrap();
+    }
+    let topo = b.build().unwrap();
+    let state = CapacityState::new(&infra);
+    let scheduler = Scheduler::new(&infra);
+    for algorithm in [Algorithm::Greedy, Algorithm::BoundedAStar] {
+        let run = |parallel| {
+            let request = PlacementRequest {
+                algorithm,
+                weights: ObjectiveWeights::SIMULATION,
+                max_expansions: 400,
+                parallel,
+                ..PlacementRequest::default()
+            };
+            scheduler.place(&topo, &state, &request).unwrap()
+        };
+        let par = run(true);
+        let ser = run(false);
+        assert_eq!(
+            par.placement, ser.placement,
+            "{algorithm:?} diverged between parallel and serial scoring"
+        );
+        assert_eq!(par.objective.to_bits(), ser.objective.to_bits());
+    }
 }

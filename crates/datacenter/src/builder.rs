@@ -215,12 +215,7 @@ impl InfrastructureBuilder {
                 return Err(BuildError::EmptyRack(rack.name.clone()));
             }
         }
-        Ok(Infrastructure {
-            sites: self.sites,
-            pods: self.pods,
-            racks: self.racks,
-            hosts: self.hosts,
-        })
+        Ok(Infrastructure::assemble(self.sites, self.pods, self.racks, self.hosts))
     }
 }
 

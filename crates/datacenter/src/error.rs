@@ -22,6 +22,9 @@ pub enum BuildError {
     ZeroCapacityHost(String),
     /// A host was declared with a zero-bandwidth NIC.
     ZeroNic(String),
+    /// A serialized infrastructure references an entity that does not
+    /// exist (e.g. a host naming a rack index beyond the rack vector).
+    DanglingReference(String),
 }
 
 impl fmt::Display for BuildError {
@@ -33,6 +36,7 @@ impl fmt::Display for BuildError {
             Self::DuplicateName(n) => write!(f, "duplicate name `{n}`"),
             Self::ZeroCapacityHost(h) => write!(f, "host `{h}` has zero capacity"),
             Self::ZeroNic(h) => write!(f, "host `{h}` has a zero-bandwidth NIC"),
+            Self::DanglingReference(what) => write!(f, "dangling reference: {what}"),
         }
     }
 }
@@ -71,14 +75,12 @@ pub enum CapacityError {
 impl fmt::Display for CapacityError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Self::InsufficientHost { host, needed, available } => write!(
-                f,
-                "host {host} cannot fit request ({needed}); only {available} available"
-            ),
-            Self::InsufficientLink { link, needed, available } => write!(
-                f,
-                "link {link} cannot carry {needed}; only {available} available"
-            ),
+            Self::InsufficientHost { host, needed, available } => {
+                write!(f, "host {host} cannot fit request ({needed}); only {available} available")
+            }
+            Self::InsufficientLink { link, needed, available } => {
+                write!(f, "link {link} cannot carry {needed}; only {available} available")
+            }
             Self::ReleaseUnderflowHost(h) => {
                 write!(f, "release on host {h} exceeds reserved amount")
             }

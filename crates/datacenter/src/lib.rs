@@ -41,6 +41,7 @@
 
 mod builder;
 mod error;
+mod fx;
 mod ids;
 mod overlay;
 mod path;
@@ -50,9 +51,10 @@ mod structure;
 
 pub use builder::InfrastructureBuilder;
 pub use error::{BuildError, CapacityError};
+pub use fx::{FxHashMap, FxHasher};
 pub use ids::{HostId, PodId, RackId, SiteId};
-pub use overlay::OverlayState;
+pub use overlay::{OverlayMark, OverlayState};
 pub use path::{LinkRef, Separation};
 pub use spec::{HostSpec, InfraSpec, PodSpec, RackSpec, SiteSpec};
 pub use state::CapacityState;
-pub use structure::{Host, Infrastructure, Pod, Rack, Site};
+pub use structure::{Host, Infrastructure, Pod, Rack, Route, Site};

@@ -1,8 +1,7 @@
-use std::collections::HashMap;
-
 use ostro_model::{Bandwidth, Resources};
 
 use crate::error::CapacityError;
+use crate::fx::FxHashMap;
 use crate::ids::HostId;
 use crate::path::LinkRef;
 use crate::state::{link_total, CapacityState};
@@ -16,9 +15,14 @@ use crate::structure::Infrastructure;
 /// small hash maps, so cloning costs O(nodes placed so far), not
 /// O(hosts in the data center).
 ///
-/// Overlays are additive-only (a hypothesis never un-places a node);
-/// releases happen on the underlying [`CapacityState`] after a decision
-/// is committed.
+/// On top of that, every reservation is journaled, so a search can
+/// speculatively apply a child expansion and revert it in O(edges of
+/// that child) via [`checkpoint`](Self::checkpoint) /
+/// [`rollback`](Self::rollback) instead of cloning at all.
+///
+/// Overlays are additive-only (a hypothesis never un-places a node
+/// except by rolling back to a checkpoint); releases happen on the
+/// underlying [`CapacityState`] after a decision is committed.
 ///
 /// ```
 /// use ostro_datacenter::{CapacityState, InfrastructureBuilder, OverlayState};
@@ -33,9 +37,12 @@ use crate::structure::Infrastructure;
 /// let h0 = infra.hosts()[0].id();
 ///
 /// let mut hypothesis = OverlayState::new(&infra, &base);
+/// let mark = hypothesis.checkpoint();
 /// hypothesis.reserve_node(h0, Resources::new(2, 2_048, 0))?;
 /// assert_eq!(hypothesis.available(h0).vcpus, 6);
 /// assert_eq!(base.available(h0).vcpus, 8); // base untouched
+/// hypothesis.rollback(mark);
+/// assert_eq!(hypothesis.available(h0).vcpus, 8); // hypothesis undone
 /// # Ok(())
 /// # }
 /// ```
@@ -43,10 +50,24 @@ use crate::structure::Infrastructure;
 pub struct OverlayState<'a> {
     infra: &'a Infrastructure,
     base: &'a CapacityState,
-    used_host: HashMap<HostId, Resources>,
-    used_link: HashMap<LinkRef, Bandwidth>,
-    added_nodes: HashMap<HostId, u32>,
+    used_host: FxHashMap<HostId, Resources>,
+    used_link: FxHashMap<LinkRef, Bandwidth>,
+    added_nodes: FxHashMap<HostId, u32>,
+    journal: Vec<OverlayOp>,
 }
+
+/// One journaled mutation, inverted on rollback.
+#[derive(Debug, Clone, Copy)]
+enum OverlayOp {
+    Host { host: HostId, req: Resources },
+    Link { link: LinkRef, amount: Bandwidth },
+}
+
+/// A point in an overlay's journal, returned by
+/// [`OverlayState::checkpoint`] and consumed by
+/// [`OverlayState::rollback`]. Marks must be unwound in LIFO order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverlayMark(usize);
 
 impl<'a> OverlayState<'a> {
     /// An overlay that initially mirrors `base` exactly.
@@ -55,9 +76,10 @@ impl<'a> OverlayState<'a> {
         OverlayState {
             infra,
             base,
-            used_host: HashMap::new(),
-            used_link: HashMap::new(),
-            added_nodes: HashMap::new(),
+            used_host: FxHashMap::default(),
+            used_link: FxHashMap::default(),
+            added_nodes: FxHashMap::default(),
+            journal: Vec::new(),
         }
     }
 
@@ -71,6 +93,71 @@ impl<'a> OverlayState<'a> {
     #[must_use]
     pub fn base(&self) -> &'a CapacityState {
         self.base
+    }
+
+    /// A copy of this overlay that starts its own journal. Equivalent
+    /// to `clone()` for every query, but cheaper when the parent has a
+    /// long history: the journal is not carried over, so the fork can
+    /// only roll back to its own checkpoints.
+    #[must_use]
+    pub fn fork(&self) -> Self {
+        OverlayState {
+            infra: self.infra,
+            base: self.base,
+            used_host: self.used_host.clone(),
+            used_link: self.used_link.clone(),
+            added_nodes: self.added_nodes.clone(),
+            journal: Vec::new(),
+        }
+    }
+
+    /// Marks the current journal position. Reservations made after the
+    /// checkpoint can be reverted with [`rollback`](Self::rollback).
+    #[must_use]
+    pub fn checkpoint(&self) -> OverlayMark {
+        OverlayMark(self.journal.len())
+    }
+
+    /// Reverts every reservation made since `mark`, restoring the
+    /// overlay to exactly the state observed at the checkpoint.
+    ///
+    /// Nested marks must be unwound innermost-first; rolling back to an
+    /// outer mark discards any inner marks taken after it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mark` lies beyond the current journal (i.e. it was
+    /// already rolled back, or it came from a different overlay).
+    pub fn rollback(&mut self, mark: OverlayMark) {
+        assert!(
+            mark.0 <= self.journal.len(),
+            "rollback past the journal: mark {} > len {}",
+            mark.0,
+            self.journal.len()
+        );
+        while self.journal.len() > mark.0 {
+            match self.journal.pop().unwrap() {
+                OverlayOp::Host { host, req } => {
+                    let used = self.used_host.get_mut(&host).expect("journaled host present");
+                    *used -= req;
+                    let count = self.added_nodes.get_mut(&host).expect("journaled count present");
+                    *count -= 1;
+                    if *count == 0 {
+                        // Drop empty entries: `newly_active_hosts` and
+                        // `is_active` key off map membership.
+                        self.added_nodes.remove(&host);
+                        self.used_host.remove(&host);
+                    }
+                }
+                OverlayOp::Link { link, amount } => {
+                    let used = self.used_link.get_mut(&link).expect("journaled link present");
+                    *used -= amount;
+                    if *used == Bandwidth::ZERO {
+                        self.used_link.remove(&link);
+                    }
+                }
+            }
+        }
     }
 
     /// Remaining host-local capacity under this hypothesis.
@@ -146,6 +233,7 @@ impl<'a> OverlayState<'a> {
         }
         *self.used_host.entry(host).or_insert(Resources::ZERO) += req;
         *self.added_nodes.entry(host).or_insert(0) += 1;
+        self.journal.push(OverlayOp::Host { host, req });
         Ok(())
     }
 
@@ -153,12 +241,7 @@ impl<'a> OverlayState<'a> {
     /// `None` when `a == b`.
     #[must_use]
     pub fn route_headroom(&self, a: HostId, b: HostId) -> Option<Bandwidth> {
-        if a == b {
-            return None;
-        }
-        let mut route = Vec::with_capacity(8);
-        self.infra.route_into(a, b, &mut route);
-        route.into_iter().map(|l| self.link_available(l)).min()
+        self.infra.route_pair(a, b).iter().map(|l| self.link_available(l)).min()
     }
 
     /// `true` if a flow of `demand` fits on every link between `a` and `b`.
@@ -183,16 +266,16 @@ impl<'a> OverlayState<'a> {
         b: HostId,
         demand: Bandwidth,
     ) -> Result<(), CapacityError> {
-        let mut route = Vec::with_capacity(8);
-        self.infra.route_into(a, b, &mut route);
-        for &link in &route {
+        let route = self.infra.route_pair(a, b);
+        for link in route.iter() {
             let available = self.link_available(link);
             if demand > available {
                 return Err(CapacityError::InsufficientLink { link, needed: demand, available });
             }
         }
-        for &link in &route {
+        for link in route.iter() {
             *self.used_link.entry(link).or_insert(Bandwidth::ZERO) += demand;
+            self.journal.push(OverlayOp::Link { link, amount: demand });
         }
         Ok(())
     }
@@ -326,6 +409,67 @@ mod tests {
         b.reserve_node(h(0), Resources::new(2, 2_048, 0)).unwrap();
         assert_eq!(a.available(h(0)).vcpus, 6);
         assert_eq!(b.available(h(0)).vcpus, 4);
+    }
+
+    #[test]
+    fn fork_branches_independently_with_fresh_journal() {
+        let (infra, base) = setup();
+        let mut a = OverlayState::new(&infra, &base);
+        a.reserve_node(h(0), Resources::new(2, 2_048, 0)).unwrap();
+        let mut b = a.fork();
+        assert_eq!(b.checkpoint(), OverlayMark(0));
+        let mark = b.checkpoint();
+        b.reserve_node(h(0), Resources::new(2, 2_048, 0)).unwrap();
+        assert_eq!(a.available(h(0)).vcpus, 6);
+        assert_eq!(b.available(h(0)).vcpus, 4);
+        b.rollback(mark);
+        assert_eq!(b.available(h(0)).vcpus, 6);
+        assert_eq!(b.added_node_count(h(0)), 1);
+    }
+
+    #[test]
+    fn rollback_restores_activation_accounting() {
+        let (infra, base) = setup();
+        let mut ov = OverlayState::new(&infra, &base);
+        let mark = ov.checkpoint();
+        ov.reserve_node(h(0), Resources::new(1, 1_024, 0)).unwrap();
+        ov.reserve_node(h(0), Resources::new(1, 1_024, 0)).unwrap();
+        ov.reserve_flow(h(0), h(2), Bandwidth::from_gbps(1)).unwrap();
+        assert_eq!(ov.newly_active_hosts(), 1);
+        assert_eq!(ov.added_node_count(h(0)), 2);
+        ov.rollback(mark);
+        assert_eq!(ov.newly_active_hosts(), 0);
+        assert_eq!(ov.added_node_count(h(0)), 0);
+        assert!(!ov.is_active(h(0)));
+        assert_eq!(ov.added_reserved_bandwidth(), Bandwidth::ZERO);
+        assert_eq!(ov.available(h(0)), base.available(h(0)));
+    }
+
+    #[test]
+    fn partial_rollback_keeps_earlier_reservations() {
+        let (infra, base) = setup();
+        let mut ov = OverlayState::new(&infra, &base);
+        ov.reserve_node(h(0), Resources::new(2, 2_048, 0)).unwrap();
+        let mark = ov.checkpoint();
+        ov.reserve_node(h(0), Resources::new(3, 3_072, 0)).unwrap();
+        ov.reserve_node(h(1), Resources::new(1, 1_024, 0)).unwrap();
+        ov.rollback(mark);
+        assert_eq!(ov.available(h(0)).vcpus, 6);
+        assert_eq!(ov.added_node_count(h(0)), 1);
+        assert_eq!(ov.added_node_count(h(1)), 0);
+        assert!(!ov.is_active(h(1)));
+        assert_eq!(ov.newly_active_hosts(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "rollback past the journal")]
+    fn stale_mark_panics() {
+        let (infra, base) = setup();
+        let mut ov = OverlayState::new(&infra, &base);
+        ov.reserve_node(h(0), Resources::new(1, 1, 0)).unwrap();
+        let mark = ov.checkpoint();
+        ov.rollback(OverlayMark(0));
+        ov.rollback(mark); // now beyond the journal
     }
 
     #[test]

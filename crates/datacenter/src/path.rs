@@ -8,9 +8,7 @@ use crate::ids::{HostId, PodId, RackId, SiteId};
 ///
 /// Ordered from closest to farthest; useful for comparisons like
 /// "at least rack-separated".
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Separation {
     /// The very same host.
     SameHost,
@@ -41,9 +39,7 @@ impl fmt::Display for Separation {
 ///
 /// A flow's route is a set of these; reserving a flow decrements the
 /// available bandwidth on each.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum LinkRef {
     /// The NIC connecting a host to its ToR switch.
     HostNic(HostId),

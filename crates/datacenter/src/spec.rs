@@ -106,8 +106,8 @@ impl InfraSpec {
             let site =
                 b.site(&site_spec.name, Bandwidth::from_mbps(site_spec.backbone_uplink_mbps));
             let add_rack = |b: &mut InfrastructureBuilder,
-                                rack_spec: &RackSpec,
-                                pod: Option<crate::ids::PodId>|
+                            rack_spec: &RackSpec,
+                            pod: Option<crate::ids::PodId>|
              -> Result<(), BuildError> {
                 let rack = match pod {
                     Some(pod) => b.rack_in_pod(
@@ -179,11 +179,7 @@ impl From<&Infrastructure> for InfraSpec {
                         .map(|pod| PodSpec {
                             name: pod.name().to_owned(),
                             uplink_mbps: pod.uplink().as_mbps(),
-                            racks: pod
-                                .racks()
-                                .iter()
-                                .map(|&r| rack_spec(infra.rack(r)))
-                                .collect(),
+                            racks: pod.racks().iter().map(|&r| rack_spec(infra.rack(r))).collect(),
                         })
                         .collect(),
                     racks: site
@@ -227,12 +223,7 @@ mod tests {
                     name: "flat-r0".into(),
                     uplink_mbps: 100_000,
                     hosts: 2,
-                    host: HostSpec {
-                        vcpus: 8,
-                        memory_mb: 16_384,
-                        disk_gb: 500,
-                        nic_mbps: 10_000,
-                    },
+                    host: HostSpec { vcpus: 8, memory_mb: 16_384, disk_gb: 500, nic_mbps: 10_000 },
                 }],
             }],
         }

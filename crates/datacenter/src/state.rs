@@ -182,12 +182,7 @@ impl CapacityState {
         a: HostId,
         b: HostId,
     ) -> Option<Bandwidth> {
-        if a == b {
-            return None;
-        }
-        let mut route = Vec::with_capacity(8);
-        infra.route_into(a, b, &mut route);
-        route.into_iter().map(|l| self.link_available(l)).min()
+        infra.route_pair(a, b).iter().map(|l| self.link_available(l)).min()
     }
 
     /// `true` if a flow of `demand` fits on every link between `a` and `b`.
@@ -219,15 +214,14 @@ impl CapacityState {
         b: HostId,
         demand: Bandwidth,
     ) -> Result<(), CapacityError> {
-        let mut route = Vec::with_capacity(8);
-        infra.route_into(a, b, &mut route);
-        for &link in &route {
+        let route = infra.route_pair(a, b);
+        for link in route.iter() {
             let available = self.link_available(link);
             if demand > available {
                 return Err(CapacityError::InsufficientLink { link, needed: demand, available });
             }
         }
-        for &link in &route {
+        for link in route.iter() {
             *self.link_available_mut(link) -= demand;
         }
         Ok(())
@@ -246,15 +240,14 @@ impl CapacityState {
         b: HostId,
         demand: Bandwidth,
     ) -> Result<(), CapacityError> {
-        let mut route = Vec::with_capacity(8);
-        infra.route_into(a, b, &mut route);
-        for &link in &route {
+        let route = infra.route_pair(a, b);
+        for link in route.iter() {
             let total = link_total(infra, link);
             if self.link_available(link) + demand > total {
                 return Err(CapacityError::ReleaseUnderflowLink(link));
             }
         }
-        for &link in &route {
+        for link in route.iter() {
             *self.link_available_mut(link) += demand;
         }
         Ok(())
@@ -462,10 +455,7 @@ mod tests {
         state.reserve_flow(&infra, h(0), h(1), Bandwidth::from_gbps(4)).unwrap();
         // h0's NIC now has 6 left; ToR uplinks are untouched by the
         // intra-rack flow.
-        assert_eq!(
-            state.route_headroom(&infra, h(0), h(2)),
-            Some(Bandwidth::from_gbps(6))
-        );
+        assert_eq!(state.route_headroom(&infra, h(0), h(2)), Some(Bandwidth::from_gbps(6)));
         assert!(state.flow_fits(&infra, h(0), h(2), Bandwidth::from_gbps(6)));
         assert!(!state.flow_fits(&infra, h(0), h(2), Bandwidth::from_mbps(6_001)));
     }
@@ -490,9 +480,7 @@ mod tests {
         state.preload_link(LinkRef::HostNic(h(0)), Bandwidth::from_gbps(4)).unwrap();
         assert_eq!(state.nic_available(h(0)), Bandwidth::from_gbps(6));
         assert_eq!(state.tor_available(RackId::from_index(0)), Bandwidth::from_gbps(100));
-        let err = state
-            .preload_link(LinkRef::HostNic(h(0)), Bandwidth::from_gbps(7))
-            .unwrap_err();
+        let err = state.preload_link(LinkRef::HostNic(h(0)), Bandwidth::from_gbps(7)).unwrap_err();
         assert!(matches!(err, CapacityError::InsufficientLink { .. }));
         assert_eq!(state.nic_available(h(0)), Bandwidth::from_gbps(6));
         let _ = infra;

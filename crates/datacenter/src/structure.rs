@@ -1,8 +1,88 @@
 use ostro_model::{Bandwidth, DiversityLevel, Proximity, Resources};
 use serde::{Deserialize, Serialize};
 
+use crate::error::BuildError;
 use crate::ids::{HostId, PodId, RackId, SiteId};
 use crate::path::{LinkRef, Separation};
+
+/// Where one host sits in the hierarchy, flattened into a single cache
+/// line so the hot path resolves rack, pod, and site without chasing
+/// three `Vec` lookups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct HostLoc {
+    pub(crate) rack: RackId,
+    pub(crate) pod: PodId,
+    pub(crate) site: SiteId,
+    /// `false` for transparent pods, which carry no uplink capacity.
+    pub(crate) pod_real: bool,
+}
+
+/// The capacity-bearing links a flow between two hosts traverses, as a
+/// fixed-size stack value (a route is never longer than 8 links: two
+/// NICs, two ToR uplinks, up to two pod uplinks, two site uplinks).
+///
+/// Produced by [`Infrastructure::route_pair`]; the whole point is that
+/// building one allocates nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Route {
+    links: [LinkRef; Route::MAX_LEN],
+    len: u8,
+}
+
+impl Route {
+    /// The longest possible route on any infrastructure.
+    pub const MAX_LEN: usize = 8;
+
+    const EMPTY: Route =
+        Route { links: [LinkRef::HostNic(HostId::from_index(0)); Route::MAX_LEN], len: 0 };
+
+    #[inline]
+    fn push(&mut self, link: LinkRef) {
+        self.links[self.len as usize] = link;
+        self.len += 1;
+    }
+
+    /// The links of the route, in canonical (source-then-destination,
+    /// bottom-up) order.
+    #[must_use]
+    pub fn as_slice(&self) -> &[LinkRef] {
+        &self.links[..self.len as usize]
+    }
+
+    /// Number of links on the route.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// `true` for the intra-host route.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterates over the route's links by value.
+    pub fn iter(&self) -> impl Iterator<Item = LinkRef> + '_ {
+        self.as_slice().iter().copied()
+    }
+}
+
+impl std::ops::Deref for Route {
+    type Target = [LinkRef];
+
+    fn deref(&self) -> &[LinkRef] {
+        self.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a Route {
+    type Item = LinkRef;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, LinkRef>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter().copied()
+    }
+}
 
 /// A physical host server: compute capacity, local disk, and one NIC
 /// connecting it to its rack's ToR switch.
@@ -187,14 +267,96 @@ impl Site {
 /// All capacity *bookkeeping* lives in
 /// [`CapacityState`](crate::CapacityState), not here.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(try_from = "InfraData", into = "InfraData")]
 pub struct Infrastructure {
     pub(crate) sites: Vec<Site>,
     pub(crate) pods: Vec<Pod>,
     pub(crate) racks: Vec<Rack>,
     pub(crate) hosts: Vec<Host>,
+    /// Dense per-host location table, derived from the vectors above at
+    /// construction time. Everything on the search hot path (routes,
+    /// separation, hop costs) reads only this.
+    pub(crate) locs: Vec<HostLoc>,
+    /// Precomputed [`max_hop_cost`](Self::max_hop_cost).
+    pub(crate) max_hop: u64,
+}
+
+/// The serialized shape of an [`Infrastructure`]: just the four entity
+/// vectors. The derived tables are rebuilt on deserialization, keeping
+/// the JSON format free of redundant data.
+#[derive(Clone, Serialize, Deserialize)]
+pub(crate) struct InfraData {
+    sites: Vec<Site>,
+    pods: Vec<Pod>,
+    racks: Vec<Rack>,
+    hosts: Vec<Host>,
+}
+
+impl From<Infrastructure> for InfraData {
+    fn from(infra: Infrastructure) -> InfraData {
+        InfraData { sites: infra.sites, pods: infra.pods, racks: infra.racks, hosts: infra.hosts }
+    }
+}
+
+impl TryFrom<InfraData> for Infrastructure {
+    type Error = BuildError;
+
+    fn try_from(data: InfraData) -> Result<Infrastructure, BuildError> {
+        // Deserialized data may contain dangling indices; `assemble`
+        // trusts its inputs, so check every cross-reference it follows.
+        let dangling = |what: String| BuildError::DanglingReference(what);
+        for pod in &data.pods {
+            if pod.site.index() >= data.sites.len() {
+                return Err(dangling(format!(
+                    "pod `{}` names missing site {}",
+                    pod.name, pod.site
+                )));
+            }
+        }
+        for rack in &data.racks {
+            if rack.pod.index() >= data.pods.len() {
+                return Err(dangling(format!(
+                    "rack `{}` names missing pod {}",
+                    rack.name, rack.pod
+                )));
+            }
+        }
+        for host in &data.hosts {
+            if host.rack.index() >= data.racks.len() {
+                return Err(dangling(format!(
+                    "host `{}` names missing rack {}",
+                    host.name, host.rack
+                )));
+            }
+        }
+        Ok(Infrastructure::assemble(data.sites, data.pods, data.racks, data.hosts))
+    }
 }
 
 impl Infrastructure {
+    /// Builds an infrastructure from its entity vectors, deriving the
+    /// dense location table and precomputed hop-cost bound. The sole
+    /// constructor — both the builder and deserialization funnel
+    /// through here, so the tables can never be stale.
+    pub(crate) fn assemble(
+        sites: Vec<Site>,
+        pods: Vec<Pod>,
+        racks: Vec<Rack>,
+        hosts: Vec<Host>,
+    ) -> Self {
+        let locs = hosts
+            .iter()
+            .map(|host| {
+                let rack = host.rack;
+                let pod = racks[rack.index()].pod;
+                let site = pods[pod.index()].site;
+                HostLoc { rack, pod, site, pod_real: !pods[pod.index()].transparent }
+            })
+            .collect();
+        let mut infra = Infrastructure { sites, pods, racks, hosts, locs, max_hop: 0 };
+        infra.max_hop = infra.compute_max_hop_cost();
+        infra
+    }
     /// All sites.
     #[must_use]
     pub fn sites(&self) -> &[Site] {
@@ -268,10 +430,8 @@ impl Infrastructure {
     /// The rack, pod, and site of a host, in one lookup.
     #[must_use]
     pub fn location(&self, host: HostId) -> (RackId, PodId, SiteId) {
-        let rack = self.hosts[host.index()].rack;
-        let pod = self.racks[rack.index()].pod;
-        let site = self.pods[pod.index()].site;
-        (rack, pod, site)
+        let loc = self.locs[host.index()];
+        (loc.rack, loc.pod, loc.site)
     }
 
     /// How far apart two hosts are in the hierarchy.
@@ -280,13 +440,13 @@ impl Infrastructure {
         if a == b {
             return Separation::SameHost;
         }
-        let (rack_a, pod_a, site_a) = self.location(a);
-        let (rack_b, pod_b, site_b) = self.location(b);
-        if rack_a == rack_b {
+        let la = self.locs[a.index()];
+        let lb = self.locs[b.index()];
+        if la.rack == lb.rack {
             Separation::SameRack
-        } else if pod_a == pod_b {
+        } else if la.pod == lb.pod {
             Separation::SamePod
-        } else if site_a == site_b {
+        } else if la.site == lb.site {
             Separation::SameSite
         } else {
             Separation::CrossSite
@@ -301,13 +461,13 @@ impl Infrastructure {
         if a == b {
             return false;
         }
-        let (rack_a, pod_a, site_a) = self.location(a);
-        let (rack_b, pod_b, site_b) = self.location(b);
+        let la = self.locs[a.index()];
+        let lb = self.locs[b.index()];
         match level {
             DiversityLevel::Host => true,
-            DiversityLevel::Rack => rack_a != rack_b,
-            DiversityLevel::Pod => pod_a != pod_b,
-            DiversityLevel::DataCenter => site_a != site_b,
+            DiversityLevel::Rack => la.rack != lb.rack,
+            DiversityLevel::Pod => la.pod != lb.pod,
+            DiversityLevel::DataCenter => la.site != lb.site,
         }
     }
 
@@ -319,52 +479,60 @@ impl Infrastructure {
         if a == b {
             return true;
         }
-        let (rack_a, pod_a, site_a) = self.location(a);
-        let (rack_b, pod_b, site_b) = self.location(b);
+        let la = self.locs[a.index()];
+        let lb = self.locs[b.index()];
         match proximity {
             Proximity::Host => false,
-            Proximity::Rack => rack_a == rack_b,
-            Proximity::Pod => pod_a == pod_b,
-            Proximity::DataCenter => site_a == site_b,
+            Proximity::Rack => la.rack == lb.rack,
+            Proximity::Pod => la.pod == lb.pod,
+            Proximity::DataCenter => la.site == lb.site,
         }
     }
 
     /// The capacity-bearing network links a flow between hosts `a` and
-    /// `b` traverses. Empty when `a == b`; transparent pods contribute
-    /// no link.
+    /// `b` traverses, as an allocation-free stack value. Empty when
+    /// `a == b`; transparent pods contribute no link.
+    #[must_use]
+    pub fn route_pair(&self, a: HostId, b: HostId) -> Route {
+        let mut route = Route::EMPTY;
+        if a == b {
+            return route;
+        }
+        route.push(LinkRef::HostNic(a));
+        route.push(LinkRef::HostNic(b));
+        let la = self.locs[a.index()];
+        let lb = self.locs[b.index()];
+        if la.rack == lb.rack {
+            return route;
+        }
+        route.push(LinkRef::TorUplink(la.rack));
+        route.push(LinkRef::TorUplink(lb.rack));
+        if la.pod != lb.pod {
+            if la.pod_real {
+                route.push(LinkRef::PodUplink(la.pod));
+            }
+            if lb.pod_real {
+                route.push(LinkRef::PodUplink(lb.pod));
+            }
+        }
+        if la.site != lb.site {
+            route.push(LinkRef::SiteUplink(la.site));
+            route.push(LinkRef::SiteUplink(lb.site));
+        }
+        route
+    }
+
+    /// [`route_pair`](Self::route_pair) collected into a `Vec`, for
+    /// callers that want an owned list.
     #[must_use]
     pub fn route(&self, a: HostId, b: HostId) -> Vec<LinkRef> {
-        let mut links = Vec::with_capacity(8);
-        self.route_into(a, b, &mut links);
-        links
+        self.route_pair(a, b).as_slice().to_vec()
     }
 
     /// Like [`route`](Self::route) but appends into a caller-provided
-    /// buffer, for hot paths.
+    /// buffer.
     pub fn route_into(&self, a: HostId, b: HostId, out: &mut Vec<LinkRef>) {
-        if a == b {
-            return;
-        }
-        out.push(LinkRef::HostNic(a));
-        out.push(LinkRef::HostNic(b));
-        let (rack_a, pod_a, site_a) = self.location(a);
-        let (rack_b, pod_b, site_b) = self.location(b);
-        if rack_a == rack_b {
-            return;
-        }
-        out.push(LinkRef::TorUplink(rack_a));
-        out.push(LinkRef::TorUplink(rack_b));
-        if pod_a != pod_b {
-            for pod in [pod_a, pod_b] {
-                if !self.pods[pod.index()].transparent {
-                    out.push(LinkRef::PodUplink(pod));
-                }
-            }
-        }
-        if site_a != site_b {
-            out.push(LinkRef::SiteUplink(site_a));
-            out.push(LinkRef::SiteUplink(site_b));
-        }
+        out.extend_from_slice(self.route_pair(a, b).as_slice());
     }
 
     /// The number of capacity-bearing links between `a` and `b` — the
@@ -374,26 +542,30 @@ impl Infrastructure {
         if a == b {
             return 0;
         }
-        let (rack_a, pod_a, site_a) = self.location(a);
-        let (rack_b, pod_b, site_b) = self.location(b);
-        if rack_a == rack_b {
+        let la = self.locs[a.index()];
+        let lb = self.locs[b.index()];
+        if la.rack == lb.rack {
             return 2;
         }
         let mut cost = 4;
-        if pod_a != pod_b {
-            cost += u64::from(!self.pods[pod_a.index()].transparent)
-                + u64::from(!self.pods[pod_b.index()].transparent);
+        if la.pod != lb.pod {
+            cost += u64::from(la.pod_real) + u64::from(lb.pod_real);
         }
-        if site_a != site_b {
+        if la.site != lb.site {
             cost += 2;
         }
         cost
     }
 
     /// The worst hop cost any flow can incur on this infrastructure;
-    /// used to normalize the objective's bandwidth term.
+    /// used to normalize the objective's bandwidth term. Precomputed at
+    /// construction.
     #[must_use]
-    pub fn max_hop_cost(&self) -> u64 {
+    pub const fn max_hop_cost(&self) -> u64 {
+        self.max_hop
+    }
+
+    fn compute_max_hop_cost(&self) -> u64 {
         let has_pod_switches = self.pods.iter().any(|p| !p.transparent);
         let mut cost = 4; // NICs + ToR uplinks (cross-rack)
         if has_pod_switches {
@@ -427,12 +599,10 @@ mod tests {
         for p in 0..2 {
             let pod = b.pod(s0, format!("s0p{p}"), Bandwidth::from_gbps(40)).unwrap();
             for r in 0..2 {
-                let rack = b
-                    .rack_in_pod(pod, format!("s0p{p}r{r}"), Bandwidth::from_gbps(100))
-                    .unwrap();
+                let rack =
+                    b.rack_in_pod(pod, format!("s0p{p}r{r}"), Bandwidth::from_gbps(100)).unwrap();
                 for h in 0..2 {
-                    b.host(rack, format!("s0p{p}r{r}h{h}"), cap, Bandwidth::from_gbps(10))
-                        .unwrap();
+                    b.host(rack, format!("s0p{p}r{r}h{h}"), cap, Bandwidth::from_gbps(10)).unwrap();
                 }
             }
         }
@@ -478,10 +648,7 @@ mod tests {
         let i = infra();
         assert!(i.route(h(0), h(0)).is_empty());
         // Same rack: both NICs.
-        assert_eq!(
-            i.route(h(0), h(1)),
-            vec![LinkRef::HostNic(h(0)), LinkRef::HostNic(h(1))]
-        );
+        assert_eq!(i.route(h(0), h(1)), vec![LinkRef::HostNic(h(0)), LinkRef::HostNic(h(1))]);
         // Same pod, different rack: NICs + ToR uplinks.
         assert_eq!(i.route(h(0), h(2)).len(), 4);
         // Different pods with real pod switches: + pod uplinks.
@@ -528,6 +695,46 @@ mod tests {
             }
         }
         assert_eq!(max, 8);
+    }
+
+    #[test]
+    fn route_pair_matches_route_and_fits_bound() {
+        let i = infra();
+        for a in 0..12u32 {
+            for b in 0..12u32 {
+                let pair = i.route_pair(h(a), h(b));
+                assert_eq!(pair.as_slice(), i.route(h(a), h(b)).as_slice(), "hosts {a},{b}");
+                assert!(pair.len() <= Route::MAX_LEN);
+                assert_eq!(pair.len() as u64, i.hop_cost(h(a), h(b)));
+                assert_eq!(pair.is_empty(), a == b);
+                assert_eq!(pair.iter().count(), pair.len());
+            }
+        }
+    }
+
+    #[test]
+    fn serde_round_trip_rebuilds_derived_tables() {
+        let i = infra();
+        let json = serde_json::to_string(&i).unwrap();
+        let back: Infrastructure = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, i);
+        assert_eq!(back.locs, i.locs);
+        assert_eq!(back.max_hop_cost(), i.max_hop_cost());
+        // The derived tables stay out of the wire format.
+        assert!(!json.contains("locs"));
+        assert!(!json.contains("max_hop"));
+    }
+
+    #[test]
+    fn deserializing_dangling_rack_reference_errors() {
+        let i = infra();
+        let rack_count = i.racks.len();
+        // Point one host at a rack index past the end of the vector.
+        let json = serde_json::to_string(&i)
+            .unwrap()
+            .replace("\"rack\":0", &format!("\"rack\":{}", rack_count + 7));
+        let err = serde_json::from_str::<Infrastructure>(&json).unwrap_err();
+        assert!(err.to_string().contains("dangling reference"), "got: {err}");
     }
 
     #[test]

@@ -1,41 +1,49 @@
-//! Property tests for the capacity-accounting substrate: routing
-//! invariants, reserve/release round trips, and overlay/base agreement.
+//! Randomized property tests for the capacity-accounting substrate:
+//! routing invariants, reserve/release round trips, overlay/base
+//! agreement, and delta-undo (checkpoint/rollback) equivalence.
+//!
+//! Cases are generated from a seeded [`SmallRng`], so every run checks
+//! the same corpus deterministically.
 
 use ostro_datacenter::{
-    CapacityState, HostId, Infrastructure, InfrastructureBuilder, OverlayState,
+    CapacityState, HostId, Infrastructure, InfrastructureBuilder, LinkRef, OverlayState,
 };
 use ostro_model::{Bandwidth, Resources};
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
-fn infra_strategy() -> impl Strategy<Value = Infrastructure> {
-    (1usize..4, 1usize..4, 1usize..5).prop_map(|(sites, racks, hosts)| {
-        let mut b = InfrastructureBuilder::new();
-        for s in 0..sites {
-            let site = b.site(format!("s{s}"), Bandwidth::from_gbps(100));
-            for r in 0..racks {
-                let rack = b.rack(site, format!("s{s}r{r}"), Bandwidth::from_gbps(40)).unwrap();
-                for h in 0..hosts {
-                    b.host(
-                        rack,
-                        format!("s{s}r{r}h{h}"),
-                        Resources::new(16, 32_768, 1_000),
-                        Bandwidth::from_gbps(10),
-                    )
-                    .unwrap();
-                }
+const CASES: u64 = 64;
+
+fn random_infra(rng: &mut SmallRng) -> Infrastructure {
+    let sites = rng.gen_range(1usize..4);
+    let racks = rng.gen_range(1usize..4);
+    let hosts = rng.gen_range(1usize..5);
+    let mut b = InfrastructureBuilder::new();
+    for s in 0..sites {
+        let site = b.site(format!("s{s}"), Bandwidth::from_gbps(100));
+        for r in 0..racks {
+            let rack = b.rack(site, format!("s{s}r{r}"), Bandwidth::from_gbps(40)).unwrap();
+            for h in 0..hosts {
+                b.host(
+                    rack,
+                    format!("s{s}r{r}h{h}"),
+                    Resources::new(16, 32_768, 1_000),
+                    Bandwidth::from_gbps(10),
+                )
+                .unwrap();
             }
         }
-        b.build().unwrap()
-    })
+    }
+    b.build().unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Routes are symmetric and their length equals the hop cost used
-    /// by the objective, for every host pair.
-    #[test]
-    fn routes_are_symmetric_and_cost_consistent(infra in infra_strategy()) {
+/// Routes are symmetric and their length equals the hop cost used by
+/// the objective, for every host pair.
+#[test]
+fn routes_are_symmetric_and_cost_consistent() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xdc00_0000 + case);
+        let infra = random_infra(&mut rng);
         let n = infra.host_count() as u32;
         for a in 0..n {
             for b in 0..n {
@@ -44,50 +52,69 @@ proptest! {
                 let mut r2 = infra.route(hb, ha);
                 r1.sort();
                 r2.sort();
-                prop_assert_eq!(&r1, &r2);
-                prop_assert_eq!(r1.len() as u64, infra.hop_cost(ha, hb));
-                prop_assert!(infra.hop_cost(ha, hb) <= infra.max_hop_cost());
+                assert_eq!(r1, r2, "case {case}: {a},{b}");
+                assert_eq!(r1.len() as u64, infra.hop_cost(ha, hb), "case {case}");
+                assert!(infra.hop_cost(ha, hb) <= infra.max_hop_cost(), "case {case}");
             }
         }
     }
+}
 
-    /// Separation is symmetric and consistent with diversity checks.
-    #[test]
-    fn separation_and_diversity_agree(infra in infra_strategy()) {
-        use ostro_model::DiversityLevel as L;
-        use ostro_datacenter::Separation as S;
+/// Separation is symmetric and consistent with diversity checks.
+#[test]
+fn separation_and_diversity_agree() {
+    use ostro_datacenter::Separation as S;
+    use ostro_model::DiversityLevel as L;
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xdc00_1000 + case);
+        let infra = random_infra(&mut rng);
         let n = infra.host_count() as u32;
         for a in 0..n {
             for b in 0..n {
                 let (ha, hb) = (HostId::from_index(a), HostId::from_index(b));
                 let sep = infra.separation(ha, hb);
-                prop_assert_eq!(sep, infra.separation(hb, ha));
-                prop_assert_eq!(infra.satisfies_diversity(ha, hb, L::Host), sep >= S::SameRack);
-                prop_assert_eq!(infra.satisfies_diversity(ha, hb, L::Rack), sep >= S::SamePod);
-                prop_assert_eq!(infra.satisfies_diversity(ha, hb, L::Pod), sep >= S::SameSite);
-                prop_assert_eq!(
+                assert_eq!(sep, infra.separation(hb, ha), "case {case}");
+                assert_eq!(
+                    infra.satisfies_diversity(ha, hb, L::Host),
+                    sep >= S::SameRack,
+                    "case {case}"
+                );
+                assert_eq!(
+                    infra.satisfies_diversity(ha, hb, L::Rack),
+                    sep >= S::SamePod,
+                    "case {case}"
+                );
+                assert_eq!(
+                    infra.satisfies_diversity(ha, hb, L::Pod),
+                    sep >= S::SameSite,
+                    "case {case}"
+                );
+                assert_eq!(
                     infra.satisfies_diversity(ha, hb, L::DataCenter),
-                    sep >= S::CrossSite
+                    sep >= S::CrossSite,
+                    "case {case}"
                 );
             }
         }
     }
+}
 
-    /// A random interleaving of node and flow reservations, fully
-    /// released in reverse, restores the pristine state.
-    #[test]
-    fn reserve_release_round_trips(
-        infra in infra_strategy(),
-        ops in prop::collection::vec((0u32..64, 0u32..64, 1u64..500, any::<bool>()), 1..20),
-    ) {
+/// A random interleaving of node and flow reservations, fully released
+/// in reverse, restores the pristine state.
+#[test]
+fn reserve_release_round_trips() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xdc00_2000 + case);
+        let infra = random_infra(&mut rng);
         let pristine = CapacityState::new(&infra);
         let mut state = pristine.clone();
         let n = infra.host_count() as u32;
         let mut done: Vec<(HostId, HostId, Bandwidth, bool)> = Vec::new();
-        for (a, b, amount, is_flow) in ops {
-            let ha = HostId::from_index(a % n);
-            let hb = HostId::from_index(b % n);
-            if is_flow {
+        for _ in 0..rng.gen_range(1usize..20) {
+            let ha = HostId::from_index(rng.gen_range(0..64u32) % n);
+            let hb = HostId::from_index(rng.gen_range(0..64u32) % n);
+            let amount = rng.gen_range(1u64..500);
+            if rng.gen_bool(0.5) {
                 let bw = Bandwidth::from_mbps(amount);
                 if state.reserve_flow(&infra, ha, hb, bw).is_ok() {
                     done.push((ha, hb, bw, true));
@@ -109,37 +136,169 @@ proptest! {
                 state.release_node(&infra, ha, req).unwrap();
             }
         }
-        prop_assert_eq!(&state, &pristine);
+        assert_eq!(state, pristine, "case {case}");
     }
+}
 
-    /// An overlay's view equals the base state after committing the
-    /// same operations directly.
-    #[test]
-    fn overlay_commit_matches_direct_reservation(
-        infra in infra_strategy(),
-        ops in prop::collection::vec((0u32..64, 0u32..64, 1u64..500, any::<bool>()), 1..15),
-    ) {
+/// An overlay's view equals the base state after committing the same
+/// operations directly.
+#[test]
+fn overlay_commit_matches_direct_reservation() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xdc00_3000 + case);
+        let infra = random_infra(&mut rng);
         let base = CapacityState::new(&infra);
         let mut overlay = OverlayState::new(&infra, &base);
         let mut direct = base.clone();
         let n = infra.host_count() as u32;
-        for (a, b, amount, is_flow) in ops {
-            let ha = HostId::from_index(a % n);
-            let hb = HostId::from_index(b % n);
-            if is_flow {
+        for _ in 0..rng.gen_range(1usize..15) {
+            let ha = HostId::from_index(rng.gen_range(0..64u32) % n);
+            let hb = HostId::from_index(rng.gen_range(0..64u32) % n);
+            let amount = rng.gen_range(1u64..500);
+            if rng.gen_bool(0.5) {
                 let bw = Bandwidth::from_mbps(amount);
                 let o = overlay.reserve_flow(ha, hb, bw).is_ok();
                 let d = direct.reserve_flow(&infra, ha, hb, bw).is_ok();
-                prop_assert_eq!(o, d, "flow admission must agree");
+                assert_eq!(o, d, "case {case}: flow admission must agree");
             } else {
                 let req = Resources::new((amount % 8) as u32, amount, amount % 200);
                 let o = overlay.reserve_node(ha, req).is_ok();
                 let d = direct.reserve_node(ha, req).is_ok();
-                prop_assert_eq!(o, d, "node admission must agree");
+                assert_eq!(o, d, "case {case}: node admission must agree");
             }
         }
         let mut committed = base.clone();
         overlay.commit(&mut committed).unwrap();
-        prop_assert_eq!(&committed, &direct);
+        assert_eq!(committed, direct, "case {case}");
+    }
+}
+
+/// Asserts that two overlays present byte-identical availability on
+/// every host and every link, and agree on activation accounting.
+fn assert_overlays_identical(
+    infra: &Infrastructure,
+    a: &OverlayState<'_>,
+    b: &OverlayState<'_>,
+    context: &str,
+) {
+    for host in infra.hosts() {
+        let id = host.id();
+        assert_eq!(a.available(id), b.available(id), "{context}: host {id}");
+        assert_eq!(
+            a.link_available(LinkRef::HostNic(id)),
+            b.link_available(LinkRef::HostNic(id)),
+            "{context}: nic {id}"
+        );
+        assert_eq!(a.is_active(id), b.is_active(id), "{context}: active {id}");
+        assert_eq!(a.added_node_count(id), b.added_node_count(id), "{context}: node count {id}");
+    }
+    for rack in infra.racks() {
+        let link = LinkRef::TorUplink(rack.id());
+        assert_eq!(a.link_available(link), b.link_available(link), "{context}: {link}");
+    }
+    for pod in infra.pods() {
+        let link = LinkRef::PodUplink(pod.id());
+        assert_eq!(a.link_available(link), b.link_available(link), "{context}: {link}");
+    }
+    for site in infra.sites() {
+        let link = LinkRef::SiteUplink(site.id());
+        assert_eq!(a.link_available(link), b.link_available(link), "{context}: {link}");
+    }
+    assert_eq!(a.newly_active_hosts(), b.newly_active_hosts(), "{context}");
+    assert_eq!(a.added_reserved_bandwidth(), b.added_reserved_bandwidth(), "{context}");
+}
+
+/// Applying a random batch of reservations and rolling it back leaves
+/// the overlay byte-identical to a fresh clone taken at the checkpoint
+/// — the delta-undo path never leaks or loses state.
+#[test]
+fn checkpoint_rollback_matches_fresh_clone() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xdc00_4000 + case);
+        let infra = random_infra(&mut rng);
+        let base = CapacityState::new(&infra);
+        let mut overlay = OverlayState::new(&infra, &base);
+        let n = infra.host_count() as u32;
+        // Random prefix that stays in place across the checkpoint.
+        for _ in 0..rng.gen_range(0usize..8) {
+            let ha = HostId::from_index(rng.gen_range(0..n));
+            let hb = HostId::from_index(rng.gen_range(0..n));
+            if rng.gen_bool(0.5) {
+                let _ =
+                    overlay.reserve_flow(ha, hb, Bandwidth::from_mbps(rng.gen_range(1u64..500)));
+            } else {
+                let amount = rng.gen_range(1u64..500);
+                let _ = overlay
+                    .reserve_node(ha, Resources::new((amount % 8) as u32, amount, amount % 200));
+            }
+        }
+        // Fresh clone = the reference for what rollback must restore.
+        let reference = overlay.clone();
+        for _round in 0..3 {
+            let mark = overlay.checkpoint();
+            for _ in 0..rng.gen_range(1usize..12) {
+                let ha = HostId::from_index(rng.gen_range(0..n));
+                let hb = HostId::from_index(rng.gen_range(0..n));
+                if rng.gen_bool(0.5) {
+                    let _ = overlay.reserve_flow(
+                        ha,
+                        hb,
+                        Bandwidth::from_mbps(rng.gen_range(1u64..800)),
+                    );
+                } else {
+                    let amount = rng.gen_range(1u64..500);
+                    let _ = overlay.reserve_node(
+                        ha,
+                        Resources::new((amount % 8) as u32, amount, amount % 200),
+                    );
+                }
+            }
+            overlay.rollback(mark);
+            assert_overlays_identical(
+                &infra,
+                &overlay,
+                &reference,
+                &format!("case {case} after rollback"),
+            );
+        }
+    }
+}
+
+/// Nested checkpoints unwind correctly in LIFO order.
+#[test]
+fn nested_checkpoints_unwind_in_order() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0xdc00_5000 + case);
+        let infra = random_infra(&mut rng);
+        let base = CapacityState::new(&infra);
+        let mut overlay = OverlayState::new(&infra, &base);
+        let n = infra.host_count() as u32;
+        let h = |i: u32| HostId::from_index(i % n);
+
+        overlay.reserve_node(h(0), Resources::new(1, 128, 1)).unwrap();
+        let outer_reference = overlay.clone();
+        let outer = overlay.checkpoint();
+
+        overlay.reserve_node(h(1), Resources::new(2, 256, 2)).unwrap();
+        let inner_reference = overlay.clone();
+        let inner = overlay.checkpoint();
+
+        let far = h(rng.gen_range(0..n));
+        let _ = overlay.reserve_flow(h(1), far, Bandwidth::from_mbps(100));
+        overlay.rollback(inner);
+        assert_overlays_identical(
+            &infra,
+            &overlay,
+            &inner_reference,
+            &format!("case {case} inner"),
+        );
+
+        overlay.rollback(outer);
+        assert_overlays_identical(
+            &infra,
+            &overlay,
+            &outer_reference,
+            &format!("case {case} outer"),
+        );
     }
 }

@@ -50,7 +50,10 @@ impl fmt::Display for HeatError {
                 write!(f, "resource `{from}` references unknown resource `{target}`")
             }
             Self::NotANode { from, target } => {
-                write!(f, "resource `{from}` references `{target}`, which is not a server or volume")
+                write!(
+                    f,
+                    "resource `{from}` references `{target}`, which is not a server or volume"
+                )
             }
             Self::BadAttachment { name } => {
                 write!(f, "attachment `{name}` must connect a server to a volume")

@@ -285,14 +285,10 @@ impl<'a> CloudController<'a> {
         scheduler
             .commit(&topology, &result.outcome.placement, &mut new_state)
             .map_err(HeatError::Placement)?;
-        let annotated =
-            annotate_template(&template, &result.outcome.placement, self.infra, &names);
+        let annotated = annotate_template(&template, &result.outcome.placement, self.infra, &names);
 
-        let moved: Vec<String> = result
-            .repositioned
-            .iter()
-            .map(|&n| topology.node(n).name().to_owned())
-            .collect();
+        let moved: Vec<String> =
+            result.repositioned.iter().map(|&n| topology.node(n).name().to_owned()).collect();
 
         self.state = new_state;
         self.nova.instances.retain(|i| i.stack != id);
@@ -378,21 +374,15 @@ impl<'a> CloudController<'a> {
                 })
                 .collect();
             // Nodes on the dead host are free; everything else pinned.
-            let result = match scheduler.replace_online(
-                &topology,
-                &self.state,
-                request,
-                &prior,
-                4,
-            ) {
+            let result = match scheduler.replace_online(&topology, &self.state, request, &prior, 4)
+            {
                 Ok(result) => result,
                 Err(e) => {
                     *self = backup;
                     return Err(HeatError::Placement(e));
                 }
             };
-            if let Err(e) =
-                scheduler.commit(&topology, &result.outcome.placement, &mut self.state)
+            if let Err(e) = scheduler.commit(&topology, &result.outcome.placement, &mut self.state)
             {
                 *self = backup;
                 return Err(HeatError::Placement(e));
@@ -447,13 +437,11 @@ impl<'a> CloudController<'a> {
     pub fn delete_stack(&mut self, id: StackId) -> Result<(), HeatError> {
         let record = self.stacks.remove(&id).ok_or(HeatError::UnknownStack(id.0))?;
         let scheduler = Scheduler::new(self.infra);
-        scheduler
-            .release(&record.topology, &record.placement, &mut self.state)
-            .map_err(|e| {
-                // Put the record back so state stays consistent.
-                self.stacks.insert(id, record.clone());
-                HeatError::Placement(e)
-            })?;
+        scheduler.release(&record.topology, &record.placement, &mut self.state).map_err(|e| {
+            // Put the record back so state stays consistent.
+            self.stacks.insert(id, record.clone());
+            HeatError::Placement(e)
+        })?;
         self.nova.instances.retain(|i| i.stack != id);
         self.cinder.volumes.retain(|v| v.stack != id);
         Ok(())
@@ -512,9 +500,7 @@ mod tests {
         let infra = infra();
         let mut cloud = CloudController::new(&infra);
         let fresh = cloud.state().clone();
-        let id = cloud
-            .create_stack("s1", template(3), &PlacementRequest::default())
-            .unwrap();
+        let id = cloud.create_stack("s1", template(3), &PlacementRequest::default()).unwrap();
         assert_eq!(cloud.nova().instance_count(), 3);
         assert_eq!(cloud.cinder().volume_count(), 1);
         assert!(cloud.state().active_host_count() > 0);
@@ -523,10 +509,7 @@ mod tests {
         assert_eq!(cloud.nova().instance_count(), 0);
         assert_eq!(cloud.cinder().volume_count(), 0);
         assert_eq!(*cloud.state(), fresh);
-        assert!(matches!(
-            cloud.delete_stack(id).unwrap_err(),
-            HeatError::UnknownStack(_)
-        ));
+        assert!(matches!(cloud.delete_stack(id).unwrap_err(), HeatError::UnknownStack(_)));
     }
 
     #[test]
@@ -573,29 +556,13 @@ mod tests {
     fn update_stack_keeps_survivors_and_adds_new_resources() {
         let infra = infra();
         let mut cloud = CloudController::new(&infra);
-        let id = cloud
-            .create_stack("s", template(2), &PlacementRequest::default())
-            .unwrap();
-        let old_host_vm0 = cloud
-            .nova()
-            .instances()
-            .iter()
-            .find(|i| i.name == "vm0")
-            .unwrap()
-            .host;
+        let id = cloud.create_stack("s", template(2), &PlacementRequest::default()).unwrap();
+        let old_host_vm0 = cloud.nova().instances().iter().find(|i| i.name == "vm0").unwrap().host;
 
-        let moved = cloud
-            .update_stack(id, template(3), &PlacementRequest::default())
-            .unwrap();
+        let moved = cloud.update_stack(id, template(3), &PlacementRequest::default()).unwrap();
         assert!(moved.is_empty(), "pure addition repositions nothing: {moved:?}");
         assert_eq!(cloud.nova().instance_count(), 3);
-        let new_host_vm0 = cloud
-            .nova()
-            .instances()
-            .iter()
-            .find(|i| i.name == "vm0")
-            .unwrap()
-            .host;
+        let new_host_vm0 = cloud.nova().instances().iter().find(|i| i.name == "vm0").unwrap().host;
         assert_eq!(new_host_vm0, old_host_vm0);
         // The stored record reflects the new template.
         assert_eq!(cloud.stack(id).unwrap().topology.vm_count(), 3);
@@ -605,9 +572,7 @@ mod tests {
     fn update_stack_can_shrink() {
         let infra = infra();
         let mut cloud = CloudController::new(&infra);
-        let id = cloud
-            .create_stack("s", template(3), &PlacementRequest::default())
-            .unwrap();
+        let id = cloud.create_stack("s", template(3), &PlacementRequest::default()).unwrap();
         let before = cloud.reserved_bandwidth();
         cloud.update_stack(id, template(1), &PlacementRequest::default()).unwrap();
         assert_eq!(cloud.nova().instance_count(), 1);
@@ -627,11 +592,7 @@ mod tests {
         let b = cloud.create_stack("b", template(2), &request).unwrap();
         // Pick a host actually in use by stack a.
         let dead = cloud.stack(a).unwrap().placement.assignments()[0];
-        let victims_before: Vec<String> = cloud
-            .nova()
-            .instances()
-            .iter()
-            .chain_names_on(dead);
+        let victims_before: Vec<String> = cloud.nova().instances().iter().chain_names_on(dead);
         assert!(!victims_before.is_empty());
 
         let moved = cloud.evacuate_host(dead, &request).unwrap();
@@ -708,9 +669,8 @@ mod tests {
     fn update_unknown_stack_fails_cleanly() {
         let infra = infra();
         let mut cloud = CloudController::new(&infra);
-        let err = cloud
-            .update_stack(StackId(99), template(1), &PlacementRequest::default())
-            .unwrap_err();
+        let err =
+            cloud.update_stack(StackId(99), template(1), &PlacementRequest::default()).unwrap_err();
         assert!(matches!(err, HeatError::UnknownStack(99)));
     }
 
@@ -718,9 +678,7 @@ mod tests {
     fn annotated_template_is_stored_with_hints() {
         let infra = infra();
         let mut cloud = CloudController::new(&infra);
-        let id = cloud
-            .create_stack("s", template(1), &PlacementRequest::default())
-            .unwrap();
+        let id = cloud.create_stack("s", template(1), &PlacementRequest::default()).unwrap();
         let record = cloud.stack(id).unwrap();
         let json = serde_json::to_string(&record.annotated).unwrap();
         assert!(json.contains("ostro:host"));

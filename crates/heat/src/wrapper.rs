@@ -59,14 +59,12 @@ pub fn extract_topology(
     let resolve = |from: &str, target: &str| -> Result<NodeId, HeatError> {
         match names.get(target) {
             Some(&id) => Ok(id),
-            None if template.resources.contains_key(target) => Err(HeatError::NotANode {
-                from: from.to_owned(),
-                target: target.to_owned(),
-            }),
-            None => Err(HeatError::BadReference {
-                from: from.to_owned(),
-                target: target.to_owned(),
-            }),
+            None if template.resources.contains_key(target) => {
+                Err(HeatError::NotANode { from: from.to_owned(), target: target.to_owned() })
+            }
+            None => {
+                Err(HeatError::BadReference { from: from.to_owned(), target: target.to_owned() })
+            }
         }
     };
 
@@ -87,14 +85,10 @@ pub fn extract_topology(
             } => {
                 let vm = resolve(name, instance)?;
                 let vol = resolve(name, volume)?;
-                let vm_ok = matches!(
-                    template.resources.get(instance),
-                    Some(Resource::Server { .. })
-                );
-                let vol_ok = matches!(
-                    template.resources.get(volume),
-                    Some(Resource::Volume { .. })
-                );
+                let vm_ok =
+                    matches!(template.resources.get(instance), Some(Resource::Server { .. }));
+                let vol_ok =
+                    matches!(template.resources.get(volume), Some(Resource::Volume { .. }));
                 if !vm_ok || !vol_ok {
                     return Err(HeatError::BadAttachment { name: name.clone() });
                 }
@@ -103,10 +97,8 @@ pub fn extract_topology(
                 }
             }
             Resource::DiversityZone { properties: ZoneProperties { level, members } } => {
-                let ids: Vec<NodeId> = members
-                    .iter()
-                    .map(|m| resolve(name, m))
-                    .collect::<Result<_, _>>()?;
+                let ids: Vec<NodeId> =
+                    members.iter().map(|m| resolve(name, m)).collect::<Result<_, _>>()?;
                 builder.diversity_zone(name, (*level).into(), &ids)?;
             }
             _ => {}
@@ -132,9 +124,9 @@ pub fn topology_to_template(topology: &ApplicationTopology) -> HeatTemplate {
                     scheduler_hints: None,
                 },
             },
-            ostro_model::NodeKind::Volume { size_gb } => Resource::Volume {
-                properties: VolumeProperties { size_gb, scheduler_hints: None },
-            },
+            ostro_model::NodeKind::Volume { size_gb } => {
+                Resource::Volume { properties: VolumeProperties { size_gb, scheduler_hints: None } }
+            }
         };
         template.resources.insert(node.name().to_owned(), resource);
     }
@@ -258,10 +250,7 @@ mod tests {
                 },
             },
         );
-        assert!(matches!(
-            extract_topology(&t).unwrap_err(),
-            HeatError::NotANode { .. }
-        ));
+        assert!(matches!(extract_topology(&t).unwrap_err(), HeatError::NotANode { .. }));
     }
 
     #[test]
@@ -270,10 +259,7 @@ mod tests {
         if let Some(Resource::VolumeAttachment { properties }) = t.resources.get_mut("att") {
             properties.volume = "web".into(); // a server, not a volume
         }
-        assert!(matches!(
-            extract_topology(&t).unwrap_err(),
-            HeatError::BadAttachment { .. }
-        ));
+        assert!(matches!(extract_topology(&t).unwrap_err(), HeatError::BadAttachment { .. }));
     }
 
     #[test]

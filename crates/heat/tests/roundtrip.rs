@@ -1,5 +1,8 @@
-//! Property tests for the Heat wrapper: random topologies survive the
+//! Randomized tests for the Heat wrapper: random topologies survive the
 //! template round trip, and random templates deploy consistently.
+//!
+//! Cases are generated from a seeded [`SmallRng`], so every run checks
+//! the same corpus deterministically.
 
 use ostro_core::PlacementRequest;
 use ostro_datacenter::InfrastructureBuilder;
@@ -7,54 +10,33 @@ use ostro_heat::{extract_topology, topology_to_template, CloudController};
 use ostro_model::{
     ApplicationTopology, Bandwidth, DiversityLevel, Proximity, Resources, TopologyBuilder,
 };
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
-#[derive(Debug, Clone)]
-struct TopoSpec {
-    vms: Vec<(u32, u64)>,
-    volumes: Vec<u64>,
-    links: Vec<(usize, usize, u64, u8)>,
-    zone_members: Vec<usize>,
-    zone_level: u8,
-}
+const CASES: u64 = 64;
 
-fn spec_strategy() -> impl Strategy<Value = TopoSpec> {
-    let vms = prop::collection::vec((1u32..8, 1u64..16), 1..6);
-    let volumes = prop::collection::vec(1u64..200, 0..4);
-    (vms, volumes).prop_flat_map(|(vms, volumes)| {
-        let n = vms.len() + volumes.len();
-        (
-            Just(vms),
-            Just(volumes),
-            prop::collection::vec((0..n, 0..n, 1u64..500, 0u8..5), 0..8),
-            prop::collection::vec(0..n, 0..3),
-            0u8..4,
-        )
-            .prop_map(|(vms, volumes, links, zone_members, zone_level)| TopoSpec {
-                vms,
-                volumes,
-                links,
-                zone_members,
-                zone_level,
-            })
-    })
-}
-
-fn build(spec: &TopoSpec) -> ApplicationTopology {
+fn random_topo(rng: &mut SmallRng) -> ApplicationTopology {
     let mut b = TopologyBuilder::new("roundtrip");
     let mut ids = Vec::new();
-    for (i, &(vcpus, mem_gb)) in spec.vms.iter().enumerate() {
+    let vm_count = rng.gen_range(1usize..6);
+    for i in 0..vm_count {
+        let vcpus = rng.gen_range(1u32..8);
+        let mem_gb = rng.gen_range(1u64..16);
         ids.push(b.vm(format!("vm{i}"), vcpus, mem_gb * 1024).unwrap());
     }
-    for (i, &size) in spec.volumes.iter().enumerate() {
-        ids.push(b.volume(format!("vol{i}"), size).unwrap());
+    let volume_count = rng.gen_range(0usize..4);
+    for i in 0..volume_count {
+        ids.push(b.volume(format!("vol{i}"), rng.gen_range(1u64..200)).unwrap());
     }
-    for &(x, y, bw, prox) in &spec.links {
+    let n = ids.len();
+    for _ in 0..rng.gen_range(0usize..8) {
+        let x = rng.gen_range(0..n);
+        let y = rng.gen_range(0..n);
         if x == y {
             continue;
         }
-        let bw = Bandwidth::from_mbps(bw);
-        let result = match prox {
+        let bw = Bandwidth::from_mbps(rng.gen_range(1u64..500));
+        let result = match rng.gen_range(0u8..5) {
             0 => b.link_within(ids[x], ids[y], bw, Proximity::Host),
             1 => b.link_within(ids[x], ids[y], bw, Proximity::Rack),
             2 => b.link_within(ids[x], ids[y], bw, Proximity::Pod),
@@ -63,11 +45,12 @@ fn build(spec: &TopoSpec) -> ApplicationTopology {
         };
         let _ = result; // duplicate pairs are rejected; skip those
     }
-    let mut members: Vec<_> = spec.zone_members.iter().map(|&m| ids[m]).collect();
+    let mut members: Vec<_> =
+        (0..rng.gen_range(0usize..3)).map(|_| ids[rng.gen_range(0..n)]).collect();
     members.sort();
     members.dedup();
     if !members.is_empty() {
-        let level = match spec.zone_level {
+        let level = match rng.gen_range(0u8..4) {
             0 => DiversityLevel::Host,
             1 => DiversityLevel::Rack,
             2 => DiversityLevel::Pod,
@@ -78,47 +61,45 @@ fn build(spec: &TopoSpec) -> ApplicationTopology {
     b.build().unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// topology -> template -> topology preserves all structure that
-    /// matters for placement.
-    #[test]
-    fn template_round_trip_is_lossless(spec in spec_strategy()) {
-        let original = build(&spec);
+/// topology -> template -> topology preserves all structure that
+/// matters for placement.
+#[test]
+fn template_round_trip_is_lossless() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x8ea7_0000 + case);
+        let original = random_topo(&mut rng);
         let template = topology_to_template(&original);
         let (back, _) = extract_topology(&template).unwrap();
 
-        prop_assert_eq!(back.vm_count(), original.vm_count());
-        prop_assert_eq!(back.volume_count(), original.volume_count());
-        prop_assert_eq!(back.links().len(), original.links().len());
-        prop_assert_eq!(back.zones().len(), original.zones().len());
-        prop_assert_eq!(back.total_link_bandwidth(), original.total_link_bandwidth());
-        prop_assert_eq!(back.total_requirements(), original.total_requirements());
+        assert_eq!(back.vm_count(), original.vm_count(), "case {case}");
+        assert_eq!(back.volume_count(), original.volume_count(), "case {case}");
+        assert_eq!(back.links().len(), original.links().len(), "case {case}");
+        assert_eq!(back.zones().len(), original.zones().len(), "case {case}");
+        assert_eq!(back.total_link_bandwidth(), original.total_link_bandwidth(), "case {case}");
+        assert_eq!(back.total_requirements(), original.total_requirements(), "case {case}");
         // Per-link bandwidth and proximity survive (match by endpoint names).
         for link in original.links() {
             let (a, b) = link.endpoints();
             let na = back.node_by_name(original.node(a).name()).unwrap().id();
             let nb = back.node_by_name(original.node(b).name()).unwrap().id();
-            prop_assert_eq!(back.bandwidth_between(na, nb), Some(link.bandwidth()));
-            let back_link = back
-                .links()
-                .iter()
-                .find(|l| l.touches(na) && l.touches(nb))
-                .unwrap();
-            prop_assert_eq!(back_link.max_proximity(), link.max_proximity());
+            assert_eq!(back.bandwidth_between(na, nb), Some(link.bandwidth()), "case {case}");
+            let back_link = back.links().iter().find(|l| l.touches(na) && l.touches(nb)).unwrap();
+            assert_eq!(back_link.max_proximity(), link.max_proximity(), "case {case}");
         }
         // JSON serialization round trips too.
         let json = serde_json::to_string(&template).unwrap();
         let reparsed: ostro_heat::HeatTemplate = serde_json::from_str(&json).unwrap();
-        prop_assert_eq!(reparsed, template);
+        assert_eq!(reparsed, template, "case {case}");
     }
+}
 
-    /// Deploying any feasible generated template leaves the controller
-    /// consistent, and deleting the stack restores it exactly.
-    #[test]
-    fn deploy_teardown_restores_cloud(spec in spec_strategy()) {
-        let topology = build(&spec);
+/// Deploying any feasible generated template leaves the controller
+/// consistent, and deleting the stack restores it exactly.
+#[test]
+fn deploy_teardown_restores_cloud() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x8ea7_1000 + case);
+        let topology = random_topo(&mut rng);
         let template = topology_to_template(&topology);
         let infra = InfrastructureBuilder::flat(
             "dc",
@@ -135,22 +116,20 @@ proptest! {
         match cloud.create_stack("s", template, &PlacementRequest::default()) {
             Ok(id) => {
                 let stack = cloud.stack(id).unwrap();
-                prop_assert_eq!(
+                assert_eq!(
                     stack.placement.assignments().len(),
-                    topology.node_count()
+                    topology.node_count(),
+                    "case {case}"
                 );
-                prop_assert_eq!(
-                    cloud.nova().instance_count(),
-                    topology.vm_count()
-                );
+                assert_eq!(cloud.nova().instance_count(), topology.vm_count(), "case {case}");
                 cloud.delete_stack(id).unwrap();
-                prop_assert_eq!(cloud.state(), &pristine);
+                assert_eq!(cloud.state(), &pristine, "case {case}");
             }
             Err(_) => {
                 // Infeasible (e.g. contradictory proximity + diversity);
                 // the cloud must be untouched.
-                prop_assert_eq!(cloud.state(), &pristine);
-                prop_assert_eq!(cloud.nova().instance_count(), 0);
+                assert_eq!(cloud.state(), &pristine, "case {case}");
+                assert_eq!(cloud.nova().instance_count(), 0, "case {case}");
             }
         }
     }

@@ -282,7 +282,10 @@ mod tests {
         let mut b = TopologyBuilder::new("t");
         let a = b.vm("a", 1, 1024).unwrap();
         let c = b.vm("c", 1, 1024).unwrap();
-        assert_eq!(b.link(a, a, Bandwidth::from_mbps(1)).unwrap_err(), ModelError::SelfLoop("a".into()));
+        assert_eq!(
+            b.link(a, a, Bandwidth::from_mbps(1)).unwrap_err(),
+            ModelError::SelfLoop("a".into())
+        );
         assert_eq!(
             b.link(a, c, Bandwidth::ZERO).unwrap_err(),
             ModelError::ZeroBandwidthLink("a".into(), "c".into())

@@ -104,10 +104,7 @@ impl NodeMapping {
 
     /// Iterates `(old, new)` pairs for surviving pre-existing nodes.
     pub fn surviving(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.old_to_new
-            .iter()
-            .enumerate()
-            .filter_map(|(i, n)| n.map(|new| (NodeId(i as u32), new)))
+        self.old_to_new.iter().enumerate().filter_map(|(i, n)| n.map(|new| (NodeId(i as u32), new)))
     }
 }
 
@@ -276,10 +273,9 @@ impl TopologyDelta {
         };
 
         for link in base.links() {
-            let (Some(a), Some(b)) = (
-                mapping.old_to_new[link.a().index()],
-                mapping.old_to_new[link.b().index()],
-            ) else {
+            let (Some(a), Some(b)) =
+                (mapping.old_to_new[link.a().index()], mapping.old_to_new[link.b().index()])
+            else {
                 continue; // an endpoint was removed; drop the link
             };
             match link.max_proximity() {
@@ -307,19 +303,12 @@ impl TopologyDelta {
             }
         }
         let extra = |name: &str| -> Vec<NodeId> {
-            extensions
-                .iter()
-                .find(|(n, _)| n == name)
-                .map(|(_, ms)| ms.clone())
-                .unwrap_or_default()
+            extensions.iter().find(|(n, _)| n == name).map(|(_, ms)| ms.clone()).unwrap_or_default()
         };
 
         for zone in base.zones() {
-            let mut members: Vec<NodeId> = zone
-                .members()
-                .iter()
-                .filter_map(|&m| mapping.old_to_new[m.index()])
-                .collect();
+            let mut members: Vec<NodeId> =
+                zone.members().iter().filter_map(|&m| mapping.old_to_new[m.index()]).collect();
             members.extend(extra(zone.name()));
             if members.is_empty() {
                 continue; // every member was removed; drop the zone
@@ -373,7 +362,10 @@ mod tests {
         assert_eq!(t2.node_count(), 4);
         let new_id = m.id_of_pending(n);
         assert_eq!(t2.node(new_id).name(), "a2");
-        assert_eq!(t2.bandwidth_between(m.new_id_of(a).unwrap(), new_id), Some(Bandwidth::from_mbps(20)));
+        assert_eq!(
+            t2.bandwidth_between(m.new_id_of(a).unwrap(), new_id),
+            Some(Bandwidth::from_mbps(20))
+        );
         let dz = &t2.zones()[0];
         assert_eq!(dz.members().len(), 3);
         assert!(dz.contains(new_id));

@@ -5,9 +5,7 @@ use serde::{Deserialize, Serialize};
 use crate::node::NodeId;
 
 /// Identifier of a diversity zone within one topology.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct ZoneId(pub(crate) u32);
 
@@ -30,9 +28,7 @@ impl fmt::Display for ZoneId {
 ///
 /// Levels are ordered by how far apart they force members:
 /// `Host < Rack < Pod < DataCenter`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum DiversityLevel {
     /// Members must run on distinct host servers.
     Host,
@@ -72,9 +68,7 @@ impl fmt::Display for DiversityLevel {
 /// communication links between nodes" (§VI).
 ///
 /// Ordered from tightest to loosest: `Host < Rack < Pod < DataCenter`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Proximity {
     /// Endpoints must share a host (memory-speed latency).
     Host,
@@ -146,13 +140,7 @@ impl DiversityZone {
 
 impl fmt::Display for DiversityZone {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} ({} members across distinct {}s)",
-            self.name,
-            self.members.len(),
-            self.level
-        )
+        write!(f, "{} ({} members across distinct {}s)", self.name, self.members.len(), self.level)
     }
 }
 

@@ -9,9 +9,7 @@ use crate::resources::Bandwidth;
 /// Identifier of a link within one [`ApplicationTopology`].
 ///
 /// [`ApplicationTopology`]: crate::ApplicationTopology
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct LinkId(pub(crate) u32);
 

@@ -12,9 +12,7 @@ use crate::resources::Resources;
 ///
 /// [`ApplicationTopology`]: crate::ApplicationTopology
 /// [`TopologyBuilder`]: crate::TopologyBuilder
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct NodeId(pub(crate) u32);
 

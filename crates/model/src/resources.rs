@@ -137,9 +137,7 @@ impl fmt::Display for Bandwidth {
 /// let left = capacity - demand;
 /// assert_eq!(left.vcpus, 12);
 /// ```
-#[derive(
-    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Resources {
     /// Virtual CPU count.
     pub vcpus: u32,
@@ -258,11 +256,7 @@ impl Sum for Resources {
 
 impl fmt::Display for Resources {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} vCPU / {} MB mem / {} GB disk",
-            self.vcpus, self.memory_mb, self.disk_gb
-        )
+        write!(f, "{} vCPU / {} MB mem / {} GB disk", self.vcpus, self.memory_mb, self.disk_gb)
     }
 }
 

@@ -120,10 +120,7 @@ impl ApplicationTopology {
     /// The bandwidth demand between `a` and `b`, if they are linked.
     #[must_use]
     pub fn bandwidth_between(&self, a: NodeId, b: NodeId) -> Option<Bandwidth> {
-        self.adjacency[a.index()]
-            .iter()
-            .find(|&&(n, _)| n == b)
-            .map(|&(_, bw)| bw)
+        self.adjacency[a.index()].iter().find(|&&(n, _)| n == b).map(|&(_, bw)| bw)
     }
 
     /// All diversity zones, indexed by [`ZoneId`].

@@ -91,11 +91,7 @@ impl AvailabilityProfile {
     /// Hosts left with less than full capacity are marked active
     /// (something is already running on them); disk is left untouched
     /// (Table IV does not constrain it).
-    pub fn apply<R: Rng + ?Sized>(
-        &self,
-        infra: &Infrastructure,
-        rng: &mut R,
-    ) -> CapacityState {
+    pub fn apply<R: Rng + ?Sized>(&self, infra: &Infrastructure, rng: &mut R) -> CapacityState {
         let mut state = CapacityState::new(infra);
         let k = self.buckets.len();
         for rack in infra.racks() {

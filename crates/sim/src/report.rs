@@ -17,10 +17,7 @@ impl TextTable {
     /// Starts a table with the given column headers.
     #[must_use]
     pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
-        TextTable {
-            headers: headers.into_iter().map(Into::into).collect(),
-            rows: Vec::new(),
-        }
+        TextTable { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
     }
 
     /// Appends a row (missing cells render empty; extras are kept).
@@ -31,13 +28,7 @@ impl TextTable {
     /// Renders the table.
     #[must_use]
     pub fn render(&self) -> String {
-        let columns = self
-            .rows
-            .iter()
-            .map(Vec::len)
-            .chain([self.headers.len()])
-            .max()
-            .unwrap_or(0);
+        let columns = self.rows.iter().map(Vec::len).chain([self.headers.len()]).max().unwrap_or(0);
         let mut widths = vec![0usize; columns];
         let all = std::iter::once(&self.headers).chain(self.rows.iter());
         for row in all {
@@ -88,9 +79,8 @@ pub fn fmt_secs(d: Duration) -> String {
 /// per algorithm).
 #[must_use]
 pub fn render_table_one_style(title: &str, rows: &[ComparisonRow]) -> String {
-    let mut table = TextTable::new(
-        std::iter::once(String::new()).chain(rows.iter().map(|r| r.label.clone())),
-    );
+    let mut table =
+        TextTable::new(std::iter::once(String::new()).chain(rows.iter().map(|r| r.label.clone())));
     table.row(
         std::iter::once("Bandwidth (Mbps)".to_owned())
             .chain(rows.iter().map(|r| format!("{:.0}", r.bandwidth_mbps))),

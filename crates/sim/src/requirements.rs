@@ -31,24 +31,9 @@ impl RequirementMix {
     pub fn heterogeneous() -> Self {
         RequirementMix {
             classes: vec![
-                RequirementClass {
-                    fraction: 0.4,
-                    vcpus: 1,
-                    memory_mb: 1_024,
-                    bandwidth_mbps: 100,
-                },
-                RequirementClass {
-                    fraction: 0.2,
-                    vcpus: 2,
-                    memory_mb: 2_048,
-                    bandwidth_mbps: 50,
-                },
-                RequirementClass {
-                    fraction: 0.4,
-                    vcpus: 4,
-                    memory_mb: 4_096,
-                    bandwidth_mbps: 10,
-                },
+                RequirementClass { fraction: 0.4, vcpus: 1, memory_mb: 1_024, bandwidth_mbps: 100 },
+                RequirementClass { fraction: 0.2, vcpus: 2, memory_mb: 2_048, bandwidth_mbps: 50 },
+                RequirementClass { fraction: 0.4, vcpus: 4, memory_mb: 4_096, bandwidth_mbps: 10 },
             ],
         }
     }

@@ -108,10 +108,7 @@ pub fn run_comparison(
     weights: ObjectiveWeights,
     seed: u64,
 ) -> Result<Vec<TrialResult>, SimError> {
-    algorithms
-        .iter()
-        .map(|&a| run_trial(infra, state, topology, a, weights, seed))
-        .collect()
+    algorithms.iter().map(|&a| run_trial(infra, state, topology, a, weights, seed)).collect()
 }
 
 /// Aggregated (averaged) results for one algorithm across repetitions —

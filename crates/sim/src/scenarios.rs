@@ -2,9 +2,7 @@
 //! 16-host QFS testbed (§IV-A) and the 2400-host simulated data center
 //! (§IV-C), each in uniform (all idle) and non-uniform variants.
 
-use ostro_datacenter::{
-    BuildError, CapacityState, Infrastructure, InfrastructureBuilder, LinkRef,
-};
+use ostro_datacenter::{BuildError, CapacityState, Infrastructure, InfrastructureBuilder, LinkRef};
 use ostro_model::{Bandwidth, Resources};
 use rand::Rng;
 
@@ -139,12 +137,7 @@ pub fn multi_site_datacenter<R: Rng + ?Sized>(
                 let rack =
                     b.rack_in_pod(pod, format!("s{s}p{p}r{r}"), Bandwidth::from_gbps(100))?;
                 for h in 0..hosts_per_rack {
-                    b.host(
-                        rack,
-                        format!("s{s}p{p}r{r}h{h}"),
-                        capacity,
-                        Bandwidth::from_gbps(10),
-                    )?;
+                    b.host(rack, format!("s{s}p{p}r{r}h{h}"), capacity, Bandwidth::from_gbps(10))?;
                 }
             }
         }
@@ -202,8 +195,7 @@ mod tests {
         }
         // Busier hosts have less NIC headroom.
         assert!(
-            state.nic_available(infra.hosts()[0].id())
-                > state.nic_available(infra.hosts()[8].id())
+            state.nic_available(infra.hosts()[0].id()) > state.nic_available(infra.hosts()[8].id())
         );
     }
 

@@ -59,8 +59,7 @@ pub fn mesh<R: Rng + ?Sized>(
     add_links_with_split_bandwidth(&mut builder, &nodes, &classes, &edges)?;
 
     for g in 0..groups {
-        let members: Vec<NodeId> =
-            nodes[g * MESH_GROUP_SIZE..(g + 1) * MESH_GROUP_SIZE].to_vec();
+        let members: Vec<NodeId> = nodes[g * MESH_GROUP_SIZE..(g + 1) * MESH_GROUP_SIZE].to_vec();
         builder.diversity_zone(format!("g{g}-dz"), DiversityLevel::Host, &members)?;
     }
 

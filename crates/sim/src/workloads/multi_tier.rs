@@ -48,11 +48,7 @@ pub fn multi_tier<R: Rng + ?Sized>(
         for i in 0..per_tier {
             let idx = tier * per_tier + i;
             let class = classes[idx];
-            nodes.push(builder.vm(
-                format!("tier{tier}-vm{i}"),
-                class.vcpus,
-                class.memory_mb,
-            )?);
+            nodes.push(builder.vm(format!("tier{tier}-vm{i}"), class.vcpus, class.memory_mb)?);
         }
     }
 
@@ -123,11 +119,7 @@ mod tests {
         let mix = RequirementMix::heterogeneous();
         let mut rng = SmallRng::seed_from_u64(3);
         let t = multi_tier(100, &mix, &mut rng).unwrap();
-        let small = t
-            .nodes()
-            .iter()
-            .filter(|n| n.requirements().vcpus == 1)
-            .count();
+        let small = t.nodes().iter().filter(|n| n.requirements().vcpus == 1).count();
         assert_eq!(small, 40);
     }
 

@@ -50,7 +50,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .map(|name| cloud.create_stack(*name, app(name), &request))
         .collect::<Result<_, _>>()?;
-    println!("deployed {} stacks across {} active hosts", ids.len(), cloud.state().active_host_count());
+    println!(
+        "deployed {} stacks across {} active hosts",
+        ids.len(),
+        cloud.state().active_host_count()
+    );
 
     // Pick the busiest host and declare it dead.
     let dead = infra

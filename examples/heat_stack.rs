@@ -61,7 +61,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("Cinder volumes:");
     for volume in cloud.cinder().volumes() {
-        println!("  {:5} ({} GB) on {}", volume.name, volume.size_gb, infra.host(volume.host).name());
+        println!(
+            "  {:5} ({} GB) on {}",
+            volume.name,
+            volume.size_gb,
+            infra.host(volume.host).name()
+        );
     }
     println!(
         "\nstack metrics: bandwidth {}, hosts used {}, cloud-wide reserved {}",

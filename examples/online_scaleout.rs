@@ -64,11 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         } else {
             ""
         };
-        println!(
-            "  {:8} -> {}{marker}",
-            topology2.node(node).name(),
-            infra.host(host).name(),
-        );
+        println!("  {:8} -> {}{marker}", topology2.node(node).name(), infra.host(host).name(),);
     }
     println!(
         "\nre-placed in {:?} with {} repositioned node(s) over {} unpin round(s)",

@@ -20,7 +20,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for p in 0..2 {
             let pod = b.pod(site, format!("s{s}p{p}"), Bandwidth::from_gbps(200))?;
             for r in 0..3 {
-                let rack = b.rack_in_pod(pod, format!("s{s}p{p}r{r}"), Bandwidth::from_gbps(100))?;
+                let rack =
+                    b.rack_in_pod(pod, format!("s{s}p{p}r{r}"), Bandwidth::from_gbps(100))?;
                 for h in 0..8 {
                     b.host(rack, format!("s{s}p{p}r{r}h{h}"), cap, Bandwidth::from_gbps(25))?;
                 }

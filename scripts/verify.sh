@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Full verification recipe: build, tests (whole workspace), formatting,
+# and lint gate. CI and pre-merge checks should run exactly this.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo test --workspace -q
+cargo fmt --check
+cargo clippy --all-targets -- -D warnings
+echo "verify: all checks passed"

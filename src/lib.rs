@@ -67,7 +67,7 @@ pub use ostro_sim as sim;
 /// One-stop imports for typical use.
 pub mod prelude {
     pub use ostro_core::{
-        Algorithm, ObjectiveWeights, Placement, PlacementRequest, PlacementOutcome, Scheduler,
+        Algorithm, ObjectiveWeights, Placement, PlacementOutcome, PlacementRequest, Scheduler,
     };
     pub use ostro_datacenter::{
         CapacityState, Infrastructure, InfrastructureBuilder, OverlayState,

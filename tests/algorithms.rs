@@ -93,15 +93,12 @@ fn weight_change_does_not_break_any_algorithm() {
     ] {
         let req = PlacementRequest { algorithm, weights, ..PlacementRequest::default() };
         let outcome = scheduler.place(&topology, &state, &req).unwrap();
-        assert!(
-            ostro::core::verify_placement(&topology, &infra, &state, &outcome.placement)
-                .unwrap()
-                .is_empty()
-        );
+        assert!(ostro::core::verify_placement(&topology, &infra, &state, &outcome.placement)
+            .unwrap()
+            .is_empty());
         // With a meaningful host weight nobody should activate all
         // four idle hosts for this small app.
-        if matches!(algorithm, Algorithm::BoundedAStar | Algorithm::DeadlineBoundedAStar { .. })
-        {
+        if matches!(algorithm, Algorithm::BoundedAStar | Algorithm::DeadlineBoundedAStar { .. }) {
             assert!(outcome.new_active_hosts <= 1, "{algorithm:?}");
         }
     }
@@ -115,10 +112,9 @@ fn placements_are_deterministic() {
     let topo = multi_tier(25, &mix, &mut SmallRng::seed_from_u64(5)).unwrap();
     let (infra, state) = qfs_testbed(false).unwrap();
     let scheduler = Scheduler::new(&infra);
-    for algorithm in [
-        Algorithm::Greedy,
-        Algorithm::DeadlineBoundedAStar { deadline: Duration::from_secs(1) },
-    ] {
+    for algorithm in
+        [Algorithm::Greedy, Algorithm::DeadlineBoundedAStar { deadline: Duration::from_secs(1) }]
+    {
         let req = request(algorithm);
         let a = scheduler.place(&topo, &state, &req).unwrap();
         let b = scheduler.place(&topo, &state, &req).unwrap();
@@ -144,11 +140,9 @@ fn dbastar_deadline_is_roughly_respected() {
         .unwrap();
     // Slack: the initial greedy bound runs to completion regardless.
     assert!(started.elapsed() < Duration::from_secs(30));
-    assert!(
-        ostro::core::verify_placement(&topo, &infra, &state, &outcome.placement)
-            .unwrap()
-            .is_empty()
-    );
+    assert!(ostro::core::verify_placement(&topo, &infra, &state, &outcome.placement)
+        .unwrap()
+        .is_empty());
 }
 
 /// Zone-symmetry reduction must never change feasibility, only speed.
@@ -168,11 +162,9 @@ fn symmetry_reduction_preserves_validity_and_quality() {
     let with_sym = scheduler.place(&topo, &state, &on).unwrap();
     let without_sym = scheduler.place(&topo, &state, &off).unwrap();
     for outcome in [&with_sym, &without_sym] {
-        assert!(
-            ostro::core::verify_placement(&topo, &infra, &state, &outcome.placement)
-                .unwrap()
-                .is_empty()
-        );
+        assert!(ostro::core::verify_placement(&topo, &infra, &state, &outcome.placement)
+            .unwrap()
+            .is_empty());
     }
     // Same objective: the symmetric orderings are interchangeable.
     assert!((with_sym.objective - without_sym.objective).abs() < 1e-6);

@@ -42,7 +42,10 @@ fn best_effort_vms_oversubscribe_cpu_but_not_memory() {
     let scheduler = Scheduler::new(&infra);
     let request = PlacementRequest::default();
 
-    assert!(scheduler.place(&guaranteed, &state, &request).is_err(), "12 guaranteed vCPUs cannot fit in 8 cores");
+    assert!(
+        scheduler.place(&guaranteed, &state, &request).is_err(),
+        "12 guaranteed vCPUs cannot fit in 8 cores"
+    );
     let outcome = scheduler.place(&burst, &state, &request).unwrap();
     assert!(verify_placement(&burst, &infra, &state, &outcome.placement).unwrap().is_empty());
 

@@ -1,9 +1,7 @@
 //! Workspace integration tests: the full template → placement →
 //! deployment → teardown pipeline across crates.
 
-use ostro::core::{
-    verify_placement, Algorithm, ObjectiveWeights, PlacementRequest, Scheduler,
-};
+use ostro::core::{verify_placement, Algorithm, ObjectiveWeights, PlacementRequest, Scheduler};
 use ostro::datacenter::{CapacityState, Infrastructure, InfrastructureBuilder};
 use ostro::heat::{extract_topology, CloudController, HeatTemplate};
 use ostro::model::{Bandwidth, Resources};
@@ -99,10 +97,8 @@ fn stacks_share_one_cloud_and_tear_down_cleanly() {
     // Every stack's placement is valid against the *pristine* capacity
     // minus the other stacks — easiest check: cloud-wide bandwidth is
     // the sum of the parts.
-    let total: Bandwidth = [a, b, c]
-        .iter()
-        .map(|&id| cloud.stack(id).unwrap().outcome.reserved_bandwidth)
-        .sum();
+    let total: Bandwidth =
+        [a, b, c].iter().map(|&id| cloud.stack(id).unwrap().outcome.reserved_bandwidth).sum();
     assert_eq!(cloud.reserved_bandwidth(), total);
 
     cloud.delete_stack(b).unwrap();
@@ -170,8 +166,7 @@ fn weights_trade_hosts_for_bandwidth() {
         .unwrap();
     // Host-dominant weights can never use more new hosts than exist
     // nodes, and the placement is still valid.
-    let violations =
-        verify_placement(&topology, &infra, &state, &hosts_first.placement).unwrap();
+    let violations = verify_placement(&topology, &infra, &state, &hosts_first.placement).unwrap();
     assert!(violations.is_empty());
     assert!(hosts_first.new_active_hosts <= bw_first.new_active_hosts.max(1));
 }

@@ -50,11 +50,9 @@ fn rack_bound_keeps_endpoints_in_one_rack() {
         let hc = outcome.placement.host_of(c);
         assert_ne!(ha, hc, "{algorithm:?}: diversity");
         assert!(infra.within(ha, hc, Proximity::Rack), "{algorithm:?}: proximity");
-        assert!(
-            verify_placement(&topology, &infra, &state, &outcome.placement)
-                .unwrap()
-                .is_empty()
-        );
+        assert!(verify_placement(&topology, &infra, &state, &outcome.placement)
+            .unwrap()
+            .is_empty());
     }
 }
 
@@ -102,10 +100,7 @@ fn validator_reports_proximity_violations() {
     let placement = ostro::core::Placement::new(vec![HostId::from_index(0), HostId::from_index(4)]);
     let violations = verify_placement(&topology, &infra, &state, &placement).unwrap();
     assert_eq!(violations.len(), 1);
-    assert!(matches!(
-        violations[0],
-        Violation::Proximity { bound: Proximity::Rack, .. }
-    ));
+    assert!(matches!(violations[0], Violation::Proximity { bound: Proximity::Rack, .. }));
     assert!(violations[0].to_string().contains("latency bound"));
 }
 

@@ -9,8 +9,8 @@
 //! optimum.
 
 use ostro::core::{
-    reserved_bandwidth, verify_placement, Algorithm, ObjectiveWeights, Placement,
-    PlacementRequest, Scheduler,
+    reserved_bandwidth, verify_placement, Algorithm, ObjectiveWeights, Placement, PlacementRequest,
+    Scheduler,
 };
 use ostro::datacenter::{CapacityState, HostId, Infrastructure, InfrastructureBuilder};
 use ostro::model::{ApplicationTopology, Bandwidth, DiversityLevel, Resources, TopologyBuilder};
@@ -40,10 +40,7 @@ fn enumerate_optimum(
             })
             .collect();
         let placement = Placement::new(assignment);
-        if !verify_placement(topology, infra, state, &placement)
-            .expect("sizes match")
-            .is_empty()
-        {
+        if !verify_placement(topology, infra, state, &placement).expect("sizes match").is_empty() {
             continue;
         }
         let ubw = reserved_bandwidth(topology, infra, &placement).as_mbps() as f64;
@@ -132,12 +129,8 @@ fn cases() -> Vec<Case> {
         b.diversity_zone("z", DiversityLevel::Host, &[a, c]).unwrap();
         let i = infra(2, 2, 8);
         let mut state = CapacityState::new(&i);
-        state
-            .reserve_node(HostId::from_index(1), Resources::new(1, 1_024, 0))
-            .unwrap();
-        state
-            .reserve_node(HostId::from_index(2), Resources::new(1, 1_024, 0))
-            .unwrap();
+        state.reserve_node(HostId::from_index(1), Resources::new(1, 1_024, 0)).unwrap();
+        state.reserve_node(HostId::from_index(2), Resources::new(1, 1_024, 0)).unwrap();
         out.push(Case { topology: b.build().unwrap(), infra: i, state });
     }
     out
@@ -147,9 +140,8 @@ fn cases() -> Vec<Case> {
 fn bastar_matches_the_brute_force_optimum_on_tiny_instances() {
     let weights = ObjectiveWeights::SIMULATION;
     for (i, case) in cases().iter().enumerate() {
-        let (optimal_u, _) =
-            enumerate_optimum(&case.topology, &case.infra, &case.state, weights)
-                .unwrap_or_else(|| panic!("case {i} must be feasible"));
+        let (optimal_u, _) = enumerate_optimum(&case.topology, &case.infra, &case.state, weights)
+            .unwrap_or_else(|| panic!("case {i} must be feasible"));
         let scheduler = Scheduler::new(&case.infra);
         let request = PlacementRequest {
             algorithm: Algorithm::BoundedAStar,

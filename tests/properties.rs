@@ -1,111 +1,79 @@
-//! Property-based tests: whatever random topology and data center we
-//! throw at the engine, a returned placement never violates any
+//! Randomized property tests: whatever random topology and data center
+//! we throw at the engine, a returned placement never violates any
 //! constraint, accounting always balances, and state round-trips.
+//!
+//! Cases are generated from a seeded [`SmallRng`], so every run checks
+//! the same corpus deterministically.
 
-use ostro::core::{
-    reserved_bandwidth, verify_placement, Algorithm, PlacementRequest, Scheduler,
-};
+use ostro::core::{reserved_bandwidth, verify_placement, Algorithm, PlacementRequest, Scheduler};
 use ostro::datacenter::{CapacityState, Infrastructure, InfrastructureBuilder};
-use ostro::model::{
-    ApplicationTopology, Bandwidth, DiversityLevel, Resources, TopologyBuilder,
-};
-use proptest::prelude::*;
+use ostro::model::{ApplicationTopology, Bandwidth, DiversityLevel, Resources, TopologyBuilder};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
-#[derive(Debug, Clone)]
-struct RandomInfra {
-    racks: usize,
-    hosts_per_rack: usize,
-    vcpus: u32,
-    memory_gb: u64,
-    disk_gb: u64,
-    nic_mbps: u64,
-}
+const CASES: u64 = 64;
 
-fn infra_strategy() -> impl Strategy<Value = RandomInfra> {
-    (1usize..4, 1usize..5, 4u32..32, 8u64..64, 100u64..1_000, 1_000u64..10_000).prop_map(
-        |(racks, hosts_per_rack, vcpus, memory_gb, disk_gb, nic_mbps)| RandomInfra {
-            racks,
-            hosts_per_rack,
-            vcpus,
-            memory_gb,
-            disk_gb,
-            nic_mbps,
-        },
-    )
-}
-
-fn build_infra(spec: &RandomInfra) -> Infrastructure {
+fn random_infra(rng: &mut SmallRng) -> Infrastructure {
+    let racks = rng.gen_range(1usize..4);
+    let hosts_per_rack = rng.gen_range(1usize..5);
+    let vcpus = rng.gen_range(4u32..32);
+    let memory_gb = rng.gen_range(8u64..64);
+    let disk_gb = rng.gen_range(100u64..1_000);
+    let nic_mbps = rng.gen_range(1_000u64..10_000);
     InfrastructureBuilder::flat(
         "p",
-        spec.racks,
-        spec.hosts_per_rack,
-        Resources::new(spec.vcpus, spec.memory_gb * 1024, spec.disk_gb),
-        Bandwidth::from_mbps(spec.nic_mbps),
+        racks,
+        hosts_per_rack,
+        Resources::new(vcpus, memory_gb * 1024, disk_gb),
+        Bandwidth::from_mbps(nic_mbps),
         Bandwidth::from_gbps(100),
     )
     .build()
     .expect("non-degenerate spec")
 }
 
-#[derive(Debug, Clone)]
-struct RandomTopo {
-    vms: Vec<(u32, u64)>,
-    volumes: Vec<u64>,
-    links: Vec<(usize, usize, u64)>,
-    zone: Option<(Vec<usize>, bool)>, // member indices, rack-level?
-}
-
-fn topo_strategy() -> impl Strategy<Value = RandomTopo> {
-    let vms = prop::collection::vec((1u32..4, 1u64..4), 1..8);
-    let volumes = prop::collection::vec(1u64..50, 0..4);
-    (vms, volumes).prop_flat_map(|(vms, volumes)| {
-        let n = vms.len() + volumes.len();
-        let links = prop::collection::vec((0..n, 0..n, 1u64..200), 0..12);
-        let zone = prop::option::of((prop::collection::vec(0..n, 1..4), any::<bool>()));
-        (Just(vms), Just(volumes), links, zone).prop_map(|(vms, volumes, links, zone)| {
-            RandomTopo { vms, volumes, links, zone }
-        })
-    })
-}
-
-fn build_topo(spec: &RandomTopo) -> ApplicationTopology {
+fn random_topo(rng: &mut SmallRng) -> ApplicationTopology {
     let mut b = TopologyBuilder::new("prop");
     let mut ids = Vec::new();
-    for (i, &(vcpus, mem_gb)) in spec.vms.iter().enumerate() {
+    let vm_count = rng.gen_range(1usize..8);
+    for i in 0..vm_count {
+        let vcpus = rng.gen_range(1u32..4);
+        let mem_gb = rng.gen_range(1u64..4);
         ids.push(b.vm(format!("vm{i}"), vcpus, mem_gb * 1024).unwrap());
     }
-    for (i, &size) in spec.volumes.iter().enumerate() {
-        ids.push(b.volume(format!("vol{i}"), size).unwrap());
+    let volume_count = rng.gen_range(0usize..4);
+    for i in 0..volume_count {
+        ids.push(b.volume(format!("vol{i}"), rng.gen_range(1u64..50)).unwrap());
     }
-    for &(a, c, bw) in &spec.links {
+    let n = ids.len();
+    for _ in 0..rng.gen_range(0usize..12) {
+        let a = rng.gen_range(0..n);
+        let c = rng.gen_range(0..n);
         if a != c {
             // Duplicate links are rejected; ignore those samples.
-            let _ = b.link(ids[a], ids[c], Bandwidth::from_mbps(bw));
+            let _ = b.link(ids[a], ids[c], Bandwidth::from_mbps(rng.gen_range(1u64..200)));
         }
     }
-    if let Some((members, rack_level)) = &spec.zone {
-        let mut unique: Vec<_> = members.iter().map(|&m| ids[m]).collect();
-        unique.sort();
-        unique.dedup();
-        let level = if *rack_level { DiversityLevel::Rack } else { DiversityLevel::Host };
-        b.diversity_zone("z", level, &unique).unwrap();
+    if rng.gen_bool(0.5) {
+        let mut members: Vec<_> =
+            (0..rng.gen_range(1usize..4)).map(|_| ids[rng.gen_range(0..n)]).collect();
+        members.sort();
+        members.dedup();
+        let level = if rng.gen_bool(0.5) { DiversityLevel::Rack } else { DiversityLevel::Host };
+        b.diversity_zone("z", level, &members).unwrap();
     }
     b.build().unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Any placement the engine returns satisfies every constraint,
-    /// reports its bandwidth correctly, and commits/releases cleanly.
-    #[test]
-    fn placements_are_always_valid(
-        ispec in infra_strategy(),
-        tspec in topo_strategy(),
-        greedy in any::<bool>(),
-    ) {
-        let infra = build_infra(&ispec);
-        let topology = build_topo(&tspec);
+/// Any placement the engine returns satisfies every constraint,
+/// reports its bandwidth correctly, and commits/releases cleanly.
+#[test]
+fn placements_are_always_valid() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x9a1c_0000 + case);
+        let infra = random_infra(&mut rng);
+        let topology = random_topo(&mut rng);
+        let greedy = rng.gen_bool(0.5);
         let mut state = CapacityState::new(&infra);
         let scheduler = Scheduler::new(&infra);
         let request = PlacementRequest {
@@ -117,34 +85,36 @@ proptest! {
         if let Ok(outcome) = scheduler.place(&topology, &state, &request) {
             let violations =
                 verify_placement(&topology, &infra, &state, &outcome.placement).unwrap();
-            prop_assert!(violations.is_empty(), "{violations:?}");
-            prop_assert_eq!(
+            assert!(violations.is_empty(), "case {case}: {violations:?}");
+            assert_eq!(
                 reserved_bandwidth(&topology, &infra, &outcome.placement),
-                outcome.reserved_bandwidth
+                outcome.reserved_bandwidth,
+                "case {case}"
             );
-            prop_assert!(outcome.objective >= 0.0);
-            prop_assert!(outcome.objective.is_finite());
+            assert!(outcome.objective >= 0.0, "case {case}");
+            assert!(outcome.objective.is_finite(), "case {case}");
 
             let snapshot = state.clone();
             scheduler.commit(&topology, &outcome.placement, &mut state).unwrap();
-            prop_assert_eq!(
+            assert_eq!(
                 state.total_reserved_bandwidth(&infra),
-                outcome.reserved_bandwidth
+                outcome.reserved_bandwidth,
+                "case {case}"
             );
             scheduler.release(&topology, &outcome.placement, &mut state).unwrap();
-            prop_assert_eq!(&state, &snapshot);
+            assert_eq!(state, snapshot, "case {case}");
         }
     }
+}
 
-    /// The A* search never returns a worse objective than plain EG on
-    /// the same instance (it falls back to the EG bound at worst).
-    #[test]
-    fn bounded_astar_dominates_greedy(
-        ispec in infra_strategy(),
-        tspec in topo_strategy(),
-    ) {
-        let infra = build_infra(&ispec);
-        let topology = build_topo(&tspec);
+/// The A* search never returns a worse objective than plain EG on the
+/// same instance (it falls back to the EG bound at worst).
+#[test]
+fn bounded_astar_dominates_greedy() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x9a1c_1000 + case);
+        let infra = random_infra(&mut rng);
+        let topology = random_topo(&mut rng);
         let state = CapacityState::new(&infra);
         let scheduler = Scheduler::new(&infra);
         let base = PlacementRequest {
@@ -152,27 +122,35 @@ proptest! {
             max_expansions: 2_000,
             ..PlacementRequest::default()
         };
-        let eg = scheduler.place(&topology, &state, &PlacementRequest {
-            algorithm: Algorithm::Greedy, ..base.clone()
-        });
-        let ba = scheduler.place(&topology, &state, &PlacementRequest {
-            algorithm: Algorithm::BoundedAStar, ..base
-        });
+        let eg = scheduler.place(
+            &topology,
+            &state,
+            &PlacementRequest { algorithm: Algorithm::Greedy, ..base.clone() },
+        );
+        let ba = scheduler.place(
+            &topology,
+            &state,
+            &PlacementRequest { algorithm: Algorithm::BoundedAStar, ..base },
+        );
         if let (Ok(eg), Ok(ba)) = (eg, ba) {
-            prop_assert!(ba.objective <= eg.objective + 1e-9,
-                "BA* {} worse than EG {}", ba.objective, eg.objective);
+            assert!(
+                ba.objective <= eg.objective + 1e-9,
+                "case {case}: BA* {} worse than EG {}",
+                ba.objective,
+                eg.objective
+            );
         }
     }
+}
 
-    /// Diversity zones hold in every successful placement, checked
-    /// structurally (not via the shared validator).
-    #[test]
-    fn diversity_zones_always_hold(
-        ispec in infra_strategy(),
-        tspec in topo_strategy(),
-    ) {
-        let infra = build_infra(&ispec);
-        let topology = build_topo(&tspec);
+/// Diversity zones hold in every successful placement, checked
+/// structurally (not via the shared validator).
+#[test]
+fn diversity_zones_always_hold() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x9a1c_2000 + case);
+        let infra = random_infra(&mut rng);
+        let topology = random_topo(&mut rng);
         let state = CapacityState::new(&infra);
         let scheduler = Scheduler::new(&infra);
         let request = PlacementRequest { parallel: false, ..PlacementRequest::default() };
@@ -183,7 +161,7 @@ proptest! {
                     for &b in &members[i + 1..] {
                         let ha = outcome.placement.host_of(a);
                         let hb = outcome.placement.host_of(b);
-                        prop_assert!(infra.satisfies_diversity(ha, hb, zone.level()));
+                        assert!(infra.satisfies_diversity(ha, hb, zone.level()), "case {case}");
                     }
                 }
             }

@@ -1,0 +1,202 @@
+//! Offline facade for the `criterion` crate: a small wall-clock
+//! micro-benchmark harness with the same entry points
+//! (`criterion_group!` / `criterion_main!`, `benchmark_group`,
+//! `bench_with_input`, `Bencher::iter`).
+//!
+//! Each benchmark warms up briefly, then takes `sample_size` samples
+//! and reports the median per-iteration time. Results are printed to
+//! stdout and retained on the [`Criterion`] struct so callers (e.g.
+//! custom bench binaries) can post-process them.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// An opaque value the optimizer must assume is used.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// `group/bench-id` label.
+    pub id: String,
+    /// Median per-iteration time.
+    pub median: Duration,
+    /// Iterations per sample used for the measurement.
+    pub iters_per_sample: u64,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    /// All measurements recorded so far.
+    pub measurements: Vec<Measurement>,
+}
+
+impl Criterion {
+    /// Accepted for CLI parity; arguments are ignored.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 10 }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let m = run_benchmark(&id, 10, &mut f);
+        self.measurements.push(m);
+        self
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    #[must_use]
+    pub fn new<P: Display>(name: impl Into<String>, parameter: P) -> Self {
+        BenchmarkId { label: format!("{}/{parameter}", name.into()) }
+    }
+
+    /// Just the parameter as the label.
+    #[must_use]
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId { label: label.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs a benchmark that borrows an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.into().label);
+        let m = run_benchmark(&id, self.sample_size, &mut |b| f(b, input));
+        self.criterion.measurements.push(m);
+        self
+    }
+
+    /// Runs a benchmark with no external input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into().label);
+        let m = run_benchmark(&id, self.sample_size, &mut f);
+        self.criterion.measurements.push(m);
+        self
+    }
+
+    /// Ends the group (samples were already taken eagerly).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`iter`](Bencher::iter) with
+/// the routine to measure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measures `routine`, running it `iters` times back to back.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F>(id: &str, sample_size: usize, f: &mut F) -> Measurement
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up: one iteration to estimate cost (and page everything in).
+    let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+    f(&mut bencher);
+    let estimate = bencher.elapsed.max(Duration::from_nanos(1));
+
+    // Aim for ~25ms per sample, bounded so the whole bench stays fast.
+    let target = Duration::from_millis(25);
+    let iters = (target.as_nanos() / estimate.as_nanos()).clamp(1, 10_000) as u64;
+
+    let mut samples: Vec<Duration> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut bencher = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut bencher);
+        samples.push(bencher.elapsed / u32::try_from(iters).unwrap_or(u32::MAX));
+    }
+    samples.sort();
+    let median = samples[samples.len() / 2];
+    println!("{id:<60} time: {median:>12.3?}  ({sample_size} samples x {iters} iters)");
+    Measurement { id: id.to_owned(), median, iters_per_sample: iters, samples: sample_size }
+}
+
+/// Declares the group runner function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

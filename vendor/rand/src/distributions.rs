@@ -1,0 +1,126 @@
+//! Uniform-range sampling, mirroring `rand::distributions::uniform`.
+
+/// Uniform sampling over ranges.
+pub mod uniform {
+    use std::ops::{Range, RangeInclusive};
+
+    use crate::RngCore;
+
+    /// Types that can be sampled uniformly from a range.
+    pub trait SampleUniform: Sized + Copy + PartialOrd {
+        /// A uniform sample from `[low, high)` (`inclusive = false`) or
+        /// `[low, high]` (`inclusive = true`).
+        fn sample_uniform<R: RngCore + ?Sized>(
+            rng: &mut R,
+            low: Self,
+            high: Self,
+            inclusive: bool,
+        ) -> Self;
+    }
+
+    /// Range shapes accepted by `Rng::gen_range`.
+    pub trait SampleRange<T: SampleUniform> {
+        /// Draws one sample from this range.
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "cannot sample empty range");
+            T::sample_uniform(rng, self.start, self.end, false)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            let (low, high) = self.into_inner();
+            assert!(low <= high, "cannot sample empty range");
+            T::sample_uniform(rng, low, high, true)
+        }
+    }
+
+    /// Draws uniformly from `[0, span)` by widening multiplication
+    /// (Lemire's method without the rejection step — the bias is at
+    /// most 2^-64 per draw, irrelevant for simulation workloads).
+    fn sample_span<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+        if span == 0 {
+            // Span of the full u64 domain: every draw is in range.
+            return rng.next_u64();
+        }
+        let wide = u128::from(rng.next_u64()) * u128::from(span);
+        (wide >> 64) as u64
+    }
+
+    macro_rules! uniform_uint_impl {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_uniform<R: RngCore + ?Sized>(
+                    rng: &mut R,
+                    low: Self,
+                    high: Self,
+                    inclusive: bool,
+                ) -> Self {
+                    let span = (high as u64)
+                        .wrapping_sub(low as u64)
+                        .wrapping_add(u64::from(inclusive));
+                    let offset = sample_span(rng, span);
+                    ((low as u64).wrapping_add(offset)) as $t
+                }
+            }
+        )*};
+    }
+
+    uniform_uint_impl!(u8, u16, u32, u64, usize);
+
+    macro_rules! uniform_int_impl {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_uniform<R: RngCore + ?Sized>(
+                    rng: &mut R,
+                    low: Self,
+                    high: Self,
+                    inclusive: bool,
+                ) -> Self {
+                    // Work in wrapped unsigned space so negative spans
+                    // are handled correctly.
+                    let span = (high as i64)
+                        .wrapping_sub(low as i64) as u64;
+                    let span = span.wrapping_add(u64::from(inclusive));
+                    let offset = sample_span(rng, span);
+                    (low as i64).wrapping_add(offset as i64) as $t
+                }
+            }
+        )*};
+    }
+
+    uniform_int_impl!(i8, i16, i32, i64, isize);
+
+    impl SampleUniform for f64 {
+        fn sample_uniform<R: RngCore + ?Sized>(
+            rng: &mut R,
+            low: Self,
+            high: Self,
+            _inclusive: bool,
+        ) -> Self {
+            let unit = crate::unit_f64(rng.next_u64());
+            let sample = low + unit * (high - low);
+            // Guard against rounding up to an exclusive upper bound.
+            if sample >= high && low < high {
+                low
+            } else {
+                sample
+            }
+        }
+    }
+
+    impl SampleUniform for f32 {
+        fn sample_uniform<R: RngCore + ?Sized>(
+            rng: &mut R,
+            low: Self,
+            high: Self,
+            inclusive: bool,
+        ) -> Self {
+            f64::sample_uniform(rng, f64::from(low), f64::from(high), inclusive) as f32
+        }
+    }
+}

@@ -1,0 +1,48 @@
+use std::fmt;
+
+/// A (de)serialization error: a message, optionally tagged with the
+/// line/column of a parse failure (filled in by `serde_json`).
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+    position: Option<(usize, usize)>,
+}
+
+impl Error {
+    /// An error carrying just a message.
+    #[must_use]
+    pub fn msg(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into(), position: None }
+    }
+
+    /// An error produced while parsing text, at 1-based `line`/`column`.
+    #[must_use]
+    pub fn at(msg: impl Into<String>, line: usize, column: usize) -> Self {
+        Error { msg: msg.into(), position: Some((line, column)) }
+    }
+
+    /// The 1-based line of a parse failure, or 0 for shape errors.
+    #[must_use]
+    pub fn line(&self) -> usize {
+        self.position.map_or(0, |(l, _)| l)
+    }
+
+    /// The 1-based column of a parse failure, or 0 for shape errors.
+    #[must_use]
+    pub fn column(&self) -> usize {
+        self.position.map_or(0, |(_, c)| c)
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.position {
+            Some((line, column)) => {
+                write!(f, "{} at line {line} column {column}", self.msg)
+            }
+            None => f.write_str(&self.msg),
+        }
+    }
+}
+
+impl std::error::Error for Error {}

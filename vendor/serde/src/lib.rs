@@ -1,0 +1,56 @@
+//! Offline facade for the `serde` crate.
+//!
+//! Real serde is a zero-copy streaming framework; this facade is a much
+//! smaller *value-tree* model: serialization builds an owned [`Value`]
+//! and deserialization reads one. The public names (`Serialize`,
+//! `Deserialize`, `de::DeserializeOwned`, the derive macros) match the
+//! real crate closely enough that the rest of the workspace compiles
+//! unchanged against either.
+
+mod error;
+mod impls;
+mod value;
+
+pub use error::Error;
+pub use value::{Map, Number, Value};
+
+// The derive macros. Same-name export as the real crate (trait and
+// macro live in different namespaces).
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A type that can be represented as a JSON-like [`Value`] tree.
+pub trait Serialize {
+    /// Builds the value tree for `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from a JSON-like [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reads `self` out of a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the tree's shape does not match.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+/// Deserialization-side helpers, mirroring `serde::de`.
+pub mod de {
+    /// In the value-tree model every [`Deserialize`](crate::Deserialize)
+    /// type is already owned, so this is a blanket alias.
+    pub trait DeserializeOwned: crate::Deserialize {}
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+
+    pub use crate::error::Error;
+}
+
+/// Serialization-side helpers, mirroring `serde::ser`.
+pub mod ser {
+    pub use crate::error::Error;
+}

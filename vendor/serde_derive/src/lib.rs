@@ -1,0 +1,665 @@
+//! Offline facade for `serde_derive`: `#[derive(Serialize, Deserialize)]`
+//! implemented with a hand-rolled token parser instead of syn/quote.
+//!
+//! The generated code targets the value-tree model of the in-tree
+//! `serde` facade (`Serialize::to_value` / `Deserialize::from_value`).
+//! Supported shapes: non-generic structs (named, tuple/newtype) and
+//! enums (unit, newtype, tuple, struct variants), with the container
+//! attributes `transparent`, `tag`, `rename_all`, `try_from`, `into`,
+//! the variant attribute `rename`, and the field attributes `rename`,
+//! `default`, `skip_serializing_if`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for the annotated type.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` for the annotated type.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Model
+
+#[derive(Default)]
+struct SerdeAttrs {
+    transparent: bool,
+    tag: Option<String>,
+    rename_all: Option<String>,
+    try_from: Option<String>,
+    into: Option<String>,
+    rename: Option<String>,
+    default: bool,
+    skip_serializing_if: Option<String>,
+}
+
+struct Field {
+    name: String,
+    ty: String,
+    attrs: SerdeAttrs,
+}
+
+impl Field {
+    fn key(&self) -> &str {
+        self.attrs.rename.as_deref().unwrap_or(&self.name)
+    }
+
+    fn missing_ok(&self) -> bool {
+        // Like real serde: explicit #[serde(default)], or an Option
+        // field, tolerates a missing key.
+        self.attrs.default
+            || self.ty.starts_with("Option<")
+            || self.ty.starts_with("std::option::Option<")
+            || self.ty.starts_with("core::option::Option<")
+    }
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    attrs: SerdeAttrs,
+    kind: VariantKind,
+}
+
+enum Data {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    attrs: SerdeAttrs,
+    name: String,
+    data: Data,
+}
+
+impl Item {
+    fn variant_key(&self, v: &Variant) -> String {
+        if let Some(rename) = &v.attrs.rename {
+            return rename.clone();
+        }
+        match self.attrs.rename_all.as_deref() {
+            Some("lowercase") => v.name.to_lowercase(),
+            Some("UPPERCASE") => v.name.to_uppercase(),
+            Some("snake_case") => to_snake_case(&v.name),
+            Some(other) => panic!("serde facade: unsupported rename_all = \"{other}\""),
+            None => v.name.clone(),
+        }
+    }
+}
+
+fn to_snake_case(name: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor { tokens: stream.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<TokenTree> {
+        let tt = self.tokens.get(self.pos).cloned();
+        if tt.is_some() {
+            self.pos += 1;
+        }
+        tt
+    }
+
+    fn at_punct(&self, c: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == c)
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if self.at_punct(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.bump() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde facade: expected {what}, found {other:?}"),
+        }
+    }
+}
+
+fn unquote(lit: &str) -> String {
+    let s = lit.trim();
+    if s.len() >= 2 && s.starts_with('"') && s.ends_with('"') {
+        s[1..s.len() - 1].to_owned()
+    } else {
+        s.to_owned()
+    }
+}
+
+fn parse_serde_args(stream: TokenStream, attrs: &mut SerdeAttrs) {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            _ => {
+                i += 1;
+                continue;
+            }
+        };
+        i += 1;
+        let mut value = None;
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            if let Some(TokenTree::Literal(lit)) = tokens.get(i) {
+                value = Some(unquote(&lit.to_string()));
+                i += 1;
+            }
+        }
+        match (name.as_str(), value) {
+            ("transparent", _) => attrs.transparent = true,
+            ("default", _) => attrs.default = true,
+            ("tag", Some(v)) => attrs.tag = Some(v),
+            ("rename", Some(v)) => attrs.rename = Some(v),
+            ("rename_all", Some(v)) => attrs.rename_all = Some(v),
+            ("try_from", Some(v)) => attrs.try_from = Some(v),
+            ("into", Some(v)) => attrs.into = Some(v),
+            ("skip_serializing_if", Some(v)) => attrs.skip_serializing_if = Some(v),
+            (other, _) => panic!("serde facade: unsupported serde attribute `{other}`"),
+        }
+        while i < tokens.len() && !matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+            i += 1;
+        }
+        i += 1; // the comma, if any
+    }
+}
+
+fn parse_attrs(cur: &mut Cursor) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs::default();
+    while cur.at_punct('#') {
+        cur.bump();
+        let group = match cur.bump() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+            other => panic!("serde facade: malformed attribute, found {other:?}"),
+        };
+        let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+        let is_serde =
+            matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+        if is_serde {
+            if let Some(TokenTree::Group(args)) = inner.get(1) {
+                parse_serde_args(args.stream(), &mut attrs);
+            }
+        }
+    }
+    attrs
+}
+
+fn skip_visibility(cur: &mut Cursor) {
+    if matches!(cur.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        cur.bump();
+        if matches!(
+            cur.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            cur.bump();
+        }
+    }
+}
+
+/// Consumes type tokens until a top-level comma (angle-bracket aware),
+/// returning the space-free textual form (e.g. `Option<Proximity>`).
+fn take_type(cur: &mut Cursor) -> String {
+    let mut depth = 0i32;
+    let mut ty = String::new();
+    while let Some(tt) = cur.peek().cloned() {
+        if depth == 0 {
+            if let TokenTree::Punct(p) = &tt {
+                if p.as_char() == ',' {
+                    cur.bump();
+                    break;
+                }
+            }
+        }
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                _ => {}
+            }
+        }
+        ty.push_str(&tt.to_string());
+        cur.bump();
+    }
+    ty
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut cur = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while cur.peek().is_some() {
+        let attrs = parse_attrs(&mut cur);
+        skip_visibility(&mut cur);
+        let name = cur.expect_ident("field name");
+        if !cur.eat_punct(':') {
+            panic!("serde facade: expected `:` after field `{name}`");
+        }
+        let ty = take_type(&mut cur);
+        fields.push(Field { name, ty, attrs });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut cur = Cursor::new(stream);
+    let mut count = 0;
+    while cur.peek().is_some() {
+        // Leading attributes and visibility on tuple fields.
+        let _ = parse_attrs(&mut cur);
+        skip_visibility(&mut cur);
+        let ty = take_type(&mut cur);
+        if !ty.is_empty() {
+            count += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut cur = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while cur.peek().is_some() {
+        let attrs = parse_attrs(&mut cur);
+        let name = cur.expect_ident("variant name");
+        let kind = match cur.peek().cloned() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                cur.bump();
+                match count_tuple_fields(g.stream()) {
+                    1 => VariantKind::Newtype,
+                    n => VariantKind::Tuple(n),
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                cur.bump();
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        if cur.peek().is_some() && !cur.eat_punct(',') {
+            panic!("serde facade: expected `,` after variant `{name}`");
+        }
+        variants.push(Variant { name, attrs, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut cur = Cursor::new(input);
+    let attrs = parse_attrs(&mut cur);
+    skip_visibility(&mut cur);
+    let keyword = cur.expect_ident("`struct` or `enum`");
+    let name = cur.expect_ident("type name");
+    if cur.at_punct('<') {
+        panic!("serde facade: generic type `{name}` is not supported by the derive");
+    }
+    let data = match keyword.as_str() {
+        "struct" => match cur.bump() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            other => panic!("serde facade: unsupported struct body {other:?}"),
+        },
+        "enum" => match cur.bump() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde facade: unsupported enum body {other:?}"),
+        },
+        other => panic!("serde facade: cannot derive for `{other}` items"),
+    };
+    Item { attrs, name, data }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Serialize
+
+fn ser_named_fields(fields: &[Field], access: &str) -> String {
+    // `access` is `self.` for struct fields (expressions of type T, so
+    // they need a leading `&`) or `` for match bindings (already &T).
+    let mut out = String::from("let mut map = ::serde::Map::new();\n");
+    for f in fields {
+        let expr = if access.is_empty() { f.name.clone() } else { format!("&{access}{}", f.name) };
+        let insert = format!(
+            "map.insert(::std::string::String::from(\"{}\"), ::serde::Serialize::to_value({expr}));\n",
+            f.key()
+        );
+        if let Some(path) = &f.attrs.skip_serializing_if {
+            out.push_str(&format!("if !({path})({expr}) {{ {insert} }}\n"));
+        } else {
+            out.push_str(&insert);
+        }
+    }
+    out.push_str("::serde::Value::Object(map)");
+    out
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(into) = &item.attrs.into {
+        format!(
+            "let proxy: {into} = ::core::convert::Into::into(::core::clone::Clone::clone(self));\n\
+             ::serde::Serialize::to_value(&proxy)"
+        )
+    } else {
+        match &item.data {
+            Data::NamedStruct(fields) if item.attrs.transparent && fields.len() == 1 => {
+                format!("::serde::Serialize::to_value(&self.{})", fields[0].name)
+            }
+            Data::NamedStruct(fields) => ser_named_fields(fields, "self."),
+            Data::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+            Data::TupleStruct(n) => {
+                let items: Vec<String> =
+                    (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+                format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+            }
+            Data::Enum(variants) => {
+                let mut arms = String::new();
+                for v in variants {
+                    let vname = item.variant_key(v);
+                    let arm = match (&v.kind, &item.attrs.tag) {
+                        (VariantKind::Unit, None) => format!(
+                            "{name}::{} => ::serde::Value::String(::std::string::String::from(\"{vname}\")),\n",
+                            v.name
+                        ),
+                        (VariantKind::Unit, Some(tag)) => format!(
+                            "{name}::{} => {{\n\
+                             let mut map = ::serde::Map::new();\n\
+                             map.insert(::std::string::String::from(\"{tag}\"), ::serde::Value::String(::std::string::String::from(\"{vname}\")));\n\
+                             ::serde::Value::Object(map)\n}}\n",
+                            v.name
+                        ),
+                        (VariantKind::Newtype, None) => format!(
+                            "{name}::{}(inner) => {{\n\
+                             let mut map = ::serde::Map::new();\n\
+                             map.insert(::std::string::String::from(\"{vname}\"), ::serde::Serialize::to_value(inner));\n\
+                             ::serde::Value::Object(map)\n}}\n",
+                            v.name
+                        ),
+                        (VariantKind::Tuple(n), None) => {
+                            let binds: Vec<String> =
+                                (0..*n).map(|i| format!("f{i}")).collect();
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{}({}) => {{\n\
+                                 let mut map = ::serde::Map::new();\n\
+                                 map.insert(::std::string::String::from(\"{vname}\"), ::serde::Value::Array(::std::vec![{}]));\n\
+                                 ::serde::Value::Object(map)\n}}\n",
+                                v.name,
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        (VariantKind::Struct(fields), None) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let inner = ser_named_fields(fields, "");
+                            format!(
+                                "{name}::{} {{ {} }} => {{\n\
+                                 let mut outer = ::serde::Map::new();\n\
+                                 let inner = {{ {inner} }};\n\
+                                 outer.insert(::std::string::String::from(\"{vname}\"), inner);\n\
+                                 ::serde::Value::Object(outer)\n}}\n",
+                                v.name,
+                                binds.join(", ")
+                            )
+                        }
+                        (VariantKind::Struct(fields), Some(tag)) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let mut body = format!(
+                                "let mut map = ::serde::Map::new();\n\
+                                 map.insert(::std::string::String::from(\"{tag}\"), ::serde::Value::String(::std::string::String::from(\"{vname}\")));\n"
+                            );
+                            for f in fields {
+                                let insert = format!(
+                                    "map.insert(::std::string::String::from(\"{}\"), ::serde::Serialize::to_value({}));\n",
+                                    f.key(),
+                                    f.name
+                                );
+                                if let Some(path) = &f.attrs.skip_serializing_if {
+                                    body.push_str(&format!(
+                                        "if !({path})({}) {{ {insert} }}\n",
+                                        f.name
+                                    ));
+                                } else {
+                                    body.push_str(&insert);
+                                }
+                            }
+                            body.push_str("::serde::Value::Object(map)");
+                            format!(
+                                "{name}::{} {{ {} }} => {{\n{body}\n}}\n",
+                                v.name,
+                                binds.join(", ")
+                            )
+                        }
+                        (_, Some(_)) => panic!(
+                            "serde facade: internally tagged enums support unit/struct variants only"
+                        ),
+                    };
+                    arms.push_str(&arm);
+                }
+                format!("match self {{\n{arms}\n}}")
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(warnings, clippy::all, clippy::pedantic, clippy::nursery)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Codegen: Deserialize
+
+fn de_named_fields(fields: &[Field], container: &str, source: &str) -> String {
+    // Produces the `field: ...,` initializer list reading from `source`
+    // (an expression of type `&serde::Map`).
+    let mut out = String::new();
+    for f in fields {
+        let key = f.key();
+        let missing = if f.missing_ok() {
+            "::core::default::Default::default()".to_owned()
+        } else {
+            format!(
+                "return ::core::result::Result::Err(::serde::Error::msg(\
+                 \"{container}: missing field `{key}`\"))"
+            )
+        };
+        out.push_str(&format!(
+            "{}: match {source}.get(\"{key}\") {{\n\
+             ::core::option::Option::Some(v) => ::serde::Deserialize::from_value(v)?,\n\
+             ::core::option::Option::None => {missing},\n}},\n",
+            f.name
+        ));
+    }
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = if let Some(try_from) = &item.attrs.try_from {
+        format!(
+            "let proxy = <{try_from} as ::serde::Deserialize>::from_value(value)?;\n\
+             ::core::convert::TryFrom::try_from(proxy)\n\
+             .map_err(|e| ::serde::Error::msg(::std::format!(\"{{e}}\")))"
+        )
+    } else {
+        match &item.data {
+            Data::NamedStruct(fields) if item.attrs.transparent && fields.len() == 1 => {
+                format!(
+                    "::core::result::Result::Ok({name} {{ {}: ::serde::Deserialize::from_value(value)? }})",
+                    fields[0].name
+                )
+            }
+            Data::NamedStruct(fields) => {
+                let inits = de_named_fields(fields, name, "obj");
+                format!(
+                    "let obj = value.as_object().ok_or_else(|| ::serde::Error::msg(\
+                     ::std::format!(\"{name}: expected object, found {{}}\", value.kind())))?;\n\
+                     ::core::result::Result::Ok({name} {{\n{inits}\n}})"
+                )
+            }
+            Data::TupleStruct(1) => format!(
+                "::core::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))"
+            ),
+            Data::TupleStruct(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?"))
+                    .collect();
+                format!(
+                    "let arr = value.as_array().ok_or_else(|| ::serde::Error::msg(\"{name}: expected array\"))?;\n\
+                     if arr.len() != {n} {{\n\
+                     return ::core::result::Result::Err(::serde::Error::msg(\"{name}: wrong tuple length\"));\n}}\n\
+                     ::core::result::Result::Ok({name}({}))",
+                    items.join(", ")
+                )
+            }
+            Data::Enum(variants) => {
+                if let Some(tag) = &item.attrs.tag {
+                    let mut arms = String::new();
+                    for v in variants {
+                        let vname = item.variant_key(v);
+                        match &v.kind {
+                            VariantKind::Unit => arms.push_str(&format!(
+                                "\"{vname}\" => ::core::result::Result::Ok({name}::{}),\n",
+                                v.name
+                            )),
+                            VariantKind::Struct(fields) => {
+                                let inits = de_named_fields(fields, name, "obj");
+                                arms.push_str(&format!(
+                                    "\"{vname}\" => ::core::result::Result::Ok({name}::{} {{\n{inits}\n}}),\n",
+                                    v.name
+                                ));
+                            }
+                            _ => panic!(
+                                "serde facade: internally tagged enums support unit/struct variants only"
+                            ),
+                        }
+                    }
+                    format!(
+                        "let obj = value.as_object().ok_or_else(|| ::serde::Error::msg(\
+                         \"{name}: expected object\"))?;\n\
+                         let tag = obj.get(\"{tag}\").and_then(::serde::Value::as_str)\
+                         .ok_or_else(|| ::serde::Error::msg(\"{name}: missing `{tag}` tag\"))?;\n\
+                         match tag {{\n{arms}\
+                         other => ::core::result::Result::Err(::serde::Error::msg(\
+                         ::std::format!(\"{name}: unknown variant `{{other}}`\"))),\n}}"
+                    )
+                } else {
+                    let mut string_arms = String::new();
+                    let mut object_arms = String::new();
+                    for v in variants {
+                        let vname = item.variant_key(v);
+                        match &v.kind {
+                            VariantKind::Unit => string_arms.push_str(&format!(
+                                "\"{vname}\" => ::core::result::Result::Ok({name}::{}),\n",
+                                v.name
+                            )),
+                            VariantKind::Newtype => object_arms.push_str(&format!(
+                                "\"{vname}\" => ::core::result::Result::Ok({name}::{}(::serde::Deserialize::from_value(inner)?)),\n",
+                                v.name
+                            )),
+                            VariantKind::Tuple(n) => {
+                                let items: Vec<String> = (0..*n)
+                                    .map(|i| {
+                                        format!("::serde::Deserialize::from_value(&arr[{i}])?")
+                                    })
+                                    .collect();
+                                object_arms.push_str(&format!(
+                                    "\"{vname}\" => {{\n\
+                                     let arr = inner.as_array().ok_or_else(|| ::serde::Error::msg(\"{name}::{0}: expected array\"))?;\n\
+                                     if arr.len() != {n} {{\n\
+                                     return ::core::result::Result::Err(::serde::Error::msg(\"{name}::{0}: wrong tuple length\"));\n}}\n\
+                                     ::core::result::Result::Ok({name}::{0}({1}))\n}}\n",
+                                    v.name,
+                                    items.join(", ")
+                                ));
+                            }
+                            VariantKind::Struct(fields) => {
+                                let inits = de_named_fields(fields, name, "obj");
+                                object_arms.push_str(&format!(
+                                    "\"{vname}\" => {{\n\
+                                     let obj = inner.as_object().ok_or_else(|| ::serde::Error::msg(\"{name}::{0}: expected object\"))?;\n\
+                                     ::core::result::Result::Ok({name}::{0} {{\n{inits}\n}})\n}}\n",
+                                    v.name
+                                ));
+                            }
+                        }
+                    }
+                    format!(
+                        "match value {{\n\
+                         ::serde::Value::String(s) => match s.as_str() {{\n{string_arms}\
+                         other => ::core::result::Result::Err(::serde::Error::msg(\
+                         ::std::format!(\"{name}: unknown variant `{{other}}`\"))),\n}},\n\
+                         ::serde::Value::Object(map) if map.len() == 1 => {{\n\
+                         let (key, inner) = map.iter().next().expect(\"len == 1\");\n\
+                         match key.as_str() {{\n{object_arms}\
+                         other => ::core::result::Result::Err(::serde::Error::msg(\
+                         ::std::format!(\"{name}: unknown variant `{{other}}`\"))),\n}}\n}}\n\
+                         other => ::core::result::Result::Err(::serde::Error::msg(\
+                         ::std::format!(\"{name}: expected variant string or single-key object, found {{}}\", other.kind()))),\n}}"
+                    )
+                }
+            }
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(warnings, clippy::all, clippy::pedantic, clippy::nursery)]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(value: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}

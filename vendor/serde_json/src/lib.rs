@@ -1,0 +1,135 @@
+//! Offline facade for the `serde_json` crate: a JSON parser and
+//! printer over the in-tree `serde` facade's [`Value`] tree.
+
+mod parse;
+mod print;
+
+pub use serde::{Error, Map, Number, Value};
+
+use serde::{de::DeserializeOwned, Serialize};
+
+/// Parses a JSON document into any deserializable type.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: DeserializeOwned>(text: &str) -> Result<T, Error> {
+    let value = parse::parse(text)?;
+    T::from_value(&value)
+}
+
+/// Reconstructs a deserializable type from an already-parsed tree.
+///
+/// # Errors
+///
+/// Returns [`Error`] on a shape mismatch.
+pub fn from_value<T: DeserializeOwned>(value: Value) -> Result<T, Error> {
+    T::from_value(&value)
+}
+
+/// Builds the value tree for any serializable value.
+///
+/// # Errors
+///
+/// Infallible in the value-tree model; `Result` kept for API parity.
+pub fn to_value<T: Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Serializes to a compact JSON string.
+///
+/// # Errors
+///
+/// Infallible in the value-tree model; `Result` kept for API parity.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(print::compact(&value.to_value()))
+}
+
+/// Serializes to a pretty-printed (2-space indent) JSON string.
+///
+/// # Errors
+///
+/// Infallible in the value-tree model; `Result` kept for API parity.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(print::pretty(&value.to_value()))
+}
+
+/// Builds a [`Value`] from a JSON-like literal expression.
+///
+/// Supports `null`, booleans, numbers, strings, arrays, objects, and
+/// interpolated serializable expressions.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:tt),* $(,)? ]) => {
+        $crate::Value::Array(::std::vec![ $( $crate::json!($elem) ),* ])
+    };
+    ({ $($key:tt : $val:tt),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $( map.insert(::std::string::String::from($key), $crate::json!($val)); )*
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => {
+        $crate::to_value(&$other).expect("json! value is serializable")
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_scalars_and_nesting() {
+        let text = r#"{"a": [1, -2, 3.5, true, null, "x\n\"y\""], "b": {"c": 10}}"#;
+        let v: Value = from_str(text).unwrap();
+        assert_eq!(v["a"][0], json!(1));
+        assert_eq!(v["a"][1], json!(-2));
+        assert_eq!(v["a"][2], json!(3.5));
+        assert_eq!(v["a"][3], Value::Bool(true));
+        assert!(v["a"][4].is_null());
+        assert_eq!(v["a"][5].as_str(), Some("x\n\"y\""));
+        assert_eq!(v["b"]["c"].as_u64(), Some(10));
+        let reparsed: Value = from_str(&to_string(&v).unwrap()).unwrap();
+        assert_eq!(reparsed, v);
+        let reparsed: Value = from_str(&to_string_pretty(&v).unwrap()).unwrap();
+        assert_eq!(reparsed, v);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(from_str::<Value>("{not json").is_err());
+        assert!(from_str::<Value>(r#"{"a": }"#).is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("\"unterminated").is_err());
+        assert!(from_str::<Value>("01").is_err());
+        assert!(from_str::<Value>("{} trailing").is_err());
+        let err = from_str::<Value>("{\n  \"a\": frob\n}").unwrap_err();
+        assert_eq!(err.line(), 2);
+    }
+
+    #[test]
+    fn unicode_escapes_and_surrogate_pairs() {
+        let v: Value = from_str(r#""é😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("é😀"));
+        let round: Value = from_str(&to_string(&v).unwrap()).unwrap();
+        assert_eq!(round, v);
+    }
+
+    #[test]
+    fn json_macro_builds_trees() {
+        let v = json!({"a": [1, true, null], "b": "s"});
+        assert_eq!(v["a"][0].as_u64(), Some(1));
+        assert_eq!(v["b"].as_str(), Some("s"));
+        assert_eq!(json!(99).as_u64(), Some(99));
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for x in [0.1_f64, 1.0, -2.5, 1e-9, 123456.789, f64::MAX] {
+            let text = to_string(&x).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(back, x, "{text}");
+        }
+    }
+}
