@@ -97,11 +97,21 @@ fn bench_kernel(c: &mut Criterion) {
 
         let mut group = c.benchmark_group(format!("candidate_scoring/{label}"));
         group.sample_size(10);
+        // The memo-off single-thread engine: what every scoring round
+        // cost before chunked dispatch and bound memoization landed.
         group.bench_function("serial", |b| {
-            b.iter(|| kernel::scoring_round(&topo, &infra, &base, false, PREFIX));
+            b.iter(|| kernel::scoring_round(&topo, &infra, &base, false, false, 1, PREFIX));
         });
+        // The engine's current defaults: chunked dispatch plus the
+        // heuristic-bound memo cache (cold per call, but untouched
+        // hosts with equal availability share one resolution).
         group.bench_function("parallel", |b| {
-            b.iter(|| kernel::scoring_round(&topo, &infra, &base, true, PREFIX));
+            b.iter(|| kernel::scoring_round(&topo, &infra, &base, true, true, 0, PREFIX));
+        });
+        // Chunked dispatch with the memo cache disabled, isolating the
+        // dispatch overhead from the caching win.
+        group.bench_function("parallel_uncached", |b| {
+            b.iter(|| kernel::scoring_round(&topo, &infra, &base, true, false, 0, PREFIX));
         });
         group.finish();
     }
@@ -131,6 +141,9 @@ fn write_artifact(c: &Criterion) {
         let speedup = clone_ns / delta_ns;
         let scoring_serial = median_of(c, &format!("candidate_scoring/{label}/serial"));
         let scoring_parallel = median_of(c, &format!("candidate_scoring/{label}/parallel"));
+        let scoring_uncached =
+            median_of(c, &format!("candidate_scoring/{label}/parallel_uncached"));
+        let scoring_speedup = scoring_serial.as_secs_f64() / scoring_parallel.as_secs_f64();
         sections.push(format!(
             concat!(
                 "    \"{}\": {{\n",
@@ -140,7 +153,9 @@ fn write_artifact(c: &Criterion) {
                 "      \"clone_based_cycles_per_sec\": {:.0},\n",
                 "      \"speedup\": {:.2},\n",
                 "      \"scoring_serial_us\": {:.1},\n",
-                "      \"scoring_parallel_us\": {:.1}\n",
+                "      \"scoring_parallel_us\": {:.1},\n",
+                "      \"scoring_parallel_uncached_us\": {:.1},\n",
+                "      \"scoring_speedup\": {:.2}\n",
                 "    }}"
             ),
             label,
@@ -151,6 +166,8 @@ fn write_artifact(c: &Criterion) {
             speedup,
             scoring_serial.as_secs_f64() * 1e6,
             scoring_parallel.as_secs_f64() * 1e6,
+            scoring_uncached.as_secs_f64() * 1e6,
+            scoring_speedup,
         ));
         println!(
             "{label}: delta {delta_ns:.0} ns/cycle, clone {clone_ns:.0} ns/cycle, \

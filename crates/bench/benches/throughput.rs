@@ -1,0 +1,309 @@
+//! End-to-end placement-throughput benchmark: drives full EG / BA\* /
+//! DBA\* solves over a stream of generated multi-tier and mesh
+//! requests against one evolving data center, comparing the scoring
+//! engine with the heuristic-bound memo cache enabled (the default)
+//! against the memo-off baseline.
+//!
+//! Writes `BENCH_throughput.json` at the repository root with
+//! requests/sec, p50/p99 solve latency, and the bound-cache hit rate
+//! per algorithm and engine.
+//!
+//! `--smoke` runs a fast 64-host variant (used by `scripts/verify.sh`),
+//! writes the artifact under `target/`, re-parses it to prove it is
+//! well-formed JSON, and asserts the cached engine is no slower than
+//! the cold one.
+
+use std::time::{Duration, Instant};
+
+use ostro_core::{Algorithm, PlacementRequest, Scheduler};
+use ostro_datacenter::{CapacityState, Infrastructure};
+use ostro_model::ApplicationTopology;
+use ostro_sim::scenarios::sized_datacenter;
+use ostro_sim::workloads::{mesh, multi_tier};
+use ostro_sim::RequirementMix;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Scale knobs for one benchmark run.
+struct Scale {
+    racks: usize,
+    hosts_per_rack: usize,
+    /// Requests in the EG stream (the headline throughput number).
+    eg_requests: usize,
+    /// Requests in the BA\*/DBA\* streams (search is far heavier per
+    /// request, so the streams are shorter).
+    astar_requests: usize,
+    /// Expansion cap for BA\* (DBA\* is capped by its deadline too).
+    max_expansions: u64,
+    deadline: Duration,
+}
+
+const FULL: Scale = Scale {
+    racks: 64,
+    hosts_per_rack: 16,
+    eg_requests: 32,
+    astar_requests: 6,
+    max_expansions: 300,
+    deadline: Duration::from_millis(500),
+};
+
+const SMOKE: Scale = Scale {
+    racks: 4,
+    hosts_per_rack: 16,
+    eg_requests: 10,
+    astar_requests: 3,
+    max_expansions: 150,
+    deadline: Duration::from_millis(250),
+};
+
+/// One algorithm's stream measured under one engine configuration.
+struct StreamReport {
+    wall: Duration,
+    latencies: Vec<Duration>,
+    placed: usize,
+    rejected: usize,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+impl StreamReport {
+    fn requests_per_sec(&self) -> f64 {
+        self.latencies.len() as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    fn percentile_ms(&self, q: f64) -> f64 {
+        let mut sorted = self.latencies.clone();
+        sorted.sort();
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        sorted[idx].as_secs_f64() * 1e3
+    }
+
+    fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Generates the request stream: alternating multi-tier and mesh
+/// applications of 25–50 VMs, deterministic in `seed`.
+fn request_stream(n: usize, seed: u64) -> Vec<ApplicationTopology> {
+    let mix = RequirementMix::heterogeneous();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            if i % 2 == 0 {
+                let vms = [25, 50][i / 2 % 2];
+                multi_tier(vms, &mix, &mut rng).expect("valid multi-tier workload")
+            } else {
+                let groups = [5, 10][i / 2 % 2];
+                mesh(groups, &mix, &mut rng).expect("valid mesh workload")
+            }
+        })
+        .collect()
+}
+
+/// Solves (and commits) every request in order against a private clone
+/// of `base`, so both engine configurations see identical streams.
+fn run_stream(
+    infra: &Infrastructure,
+    base: &CapacityState,
+    requests: &[ApplicationTopology],
+    algorithm: Algorithm,
+    memoize: bool,
+    score_threads: usize,
+    max_expansions: u64,
+) -> StreamReport {
+    let scheduler = Scheduler::new(infra);
+    let mut state = base.clone();
+    let mut report = StreamReport {
+        wall: Duration::ZERO,
+        latencies: Vec::with_capacity(requests.len()),
+        placed: 0,
+        rejected: 0,
+        cache_hits: 0,
+        cache_misses: 0,
+    };
+    let request = PlacementRequest {
+        algorithm,
+        memoize_bounds: memoize,
+        score_threads,
+        max_expansions,
+        ..PlacementRequest::default()
+    };
+    let started = Instant::now();
+    for topo in requests {
+        let t0 = Instant::now();
+        match scheduler.place(topo, &state, &request) {
+            Ok(outcome) => {
+                report.latencies.push(t0.elapsed());
+                report.cache_hits += outcome.stats.bound_cache_hits;
+                report.cache_misses += outcome.stats.bound_cache_misses;
+                scheduler
+                    .commit(topo, &outcome.placement, &mut state)
+                    .expect("search only returns placements that fit");
+                report.placed += 1;
+            }
+            Err(_) => {
+                report.latencies.push(t0.elapsed());
+                report.rejected += 1;
+            }
+        }
+    }
+    report.wall = started.elapsed();
+    report
+}
+
+fn json_engine(report: &StreamReport) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "        \"requests_per_sec\": {:.2},\n",
+            "        \"p50_ms\": {:.2},\n",
+            "        \"p99_ms\": {:.2},\n",
+            "        \"cache_hit_rate\": {:.4},\n",
+            "        \"placed\": {},\n",
+            "        \"rejected\": {}\n",
+            "      }}"
+        ),
+        report.requests_per_sec(),
+        report.percentile_ms(0.50),
+        report.percentile_ms(0.99),
+        report.hit_rate(),
+        report.placed,
+        report.rejected,
+    )
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = argv.iter().any(|a| a == "--smoke");
+    let score_threads = argv
+        .iter()
+        .position(|a| a == "--score-threads")
+        .and_then(|i| argv.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0usize);
+    let scale = if smoke { SMOKE } else { FULL };
+    let hosts = scale.racks * scale.hosts_per_rack;
+
+    let mut rng = SmallRng::seed_from_u64(0xB00C);
+    let (infra, base) = sized_datacenter(scale.racks, scale.hosts_per_rack, false, &mut rng)
+        .expect("valid benchmark data center");
+
+    let algorithms: &[(&str, Algorithm, usize)] = &[
+        ("EG", Algorithm::Greedy, scale.eg_requests),
+        ("BA*", Algorithm::BoundedAStar, scale.astar_requests),
+        (
+            "DBA*",
+            Algorithm::DeadlineBoundedAStar { deadline: scale.deadline },
+            scale.astar_requests,
+        ),
+    ];
+
+    let mut sections = Vec::new();
+    let mut eg_speedup = 0.0;
+    for &(label, algorithm, n) in algorithms {
+        let requests = request_stream(n, 0x0057_7280);
+        let cold = run_stream(
+            &infra,
+            &base,
+            &requests,
+            algorithm,
+            false,
+            score_threads,
+            scale.max_expansions,
+        );
+        let cached = run_stream(
+            &infra,
+            &base,
+            &requests,
+            algorithm,
+            true,
+            score_threads,
+            scale.max_expansions,
+        );
+        let speedup = cached.requests_per_sec() / cold.requests_per_sec().max(1e-9);
+        if label == "EG" {
+            eg_speedup = speedup;
+        }
+        println!(
+            "{label}: cold {:.2} req/s (p50 {:.1} ms), cached {:.2} req/s (p50 {:.1} ms), \
+             speedup {speedup:.2}x, hit rate {:.1}%",
+            cold.requests_per_sec(),
+            cold.percentile_ms(0.50),
+            cached.requests_per_sec(),
+            cached.percentile_ms(0.50),
+            cached.hit_rate() * 100.0,
+        );
+        sections.push(format!(
+            concat!(
+                "    \"{}\": {{\n",
+                "      \"requests\": {},\n",
+                "      \"cold\": {},\n",
+                "      \"cached\": {},\n",
+                "      \"speedup\": {:.2}\n",
+                "    }}"
+            ),
+            label,
+            n,
+            json_engine(&cold),
+            json_engine(&cached),
+            speedup,
+        ));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"end-to-end placement throughput\",\n",
+            "  \"hosts\": {},\n",
+            "  \"smoke\": {},\n",
+            "  \"score_threads\": {},\n",
+            "  \"algorithms\": {{\n{}\n  }}\n",
+            "}}\n"
+        ),
+        hosts,
+        smoke,
+        score_threads,
+        sections.join(",\n"),
+    );
+    let path = if smoke {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/BENCH_throughput_smoke.json")
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_throughput.json")
+    };
+    std::fs::write(path, &json).expect("write throughput artifact");
+    println!("wrote {path}");
+
+    // Re-parse the artifact so a malformed write fails loudly, and pin
+    // the engine ordering: the memo cache must never lose to the cold
+    // baseline (smoke), and must deliver the advertised win at full
+    // scale.
+    let doc: serde_json::Value =
+        serde_json::from_str(&json).expect("throughput artifact must be well-formed JSON");
+    let eg = doc.get("algorithms").and_then(|a| a.get("EG")).expect("EG section present");
+    let cold_rps = eg
+        .get("cold")
+        .and_then(|e| e.get("requests_per_sec"))
+        .and_then(serde_json::Value::as_f64)
+        .expect("cold requests_per_sec present");
+    let cached_rps = eg
+        .get("cached")
+        .and_then(|e| e.get("requests_per_sec"))
+        .and_then(serde_json::Value::as_f64)
+        .expect("cached requests_per_sec present");
+    assert!(
+        cached_rps >= cold_rps,
+        "memoized EG engine slower than cold baseline: {cached_rps:.2} < {cold_rps:.2} req/s"
+    );
+    if !smoke {
+        assert!(
+            eg_speedup >= 1.5,
+            "EG throughput speedup {eg_speedup:.2}x below the 1.5x floor at {hosts} hosts"
+        );
+    }
+}

@@ -22,6 +22,8 @@ pub struct Args {
     pub theta_bw: f64,
     /// Objective weight θc.
     pub theta_c: f64,
+    /// Candidate-scoring participants (0 = available_parallelism).
+    pub score_threads: usize,
 }
 
 impl Default for Args {
@@ -35,6 +37,7 @@ impl Default for Args {
             seed: 42,
             theta_bw: 0.6,
             theta_c: 0.4,
+            score_threads: 0,
         }
     }
 }
@@ -70,6 +73,9 @@ impl Args {
                 "--seed" => out.seed = parse_num(&value("--seed")?)? as u64,
                 "--theta-bw" => out.theta_bw = parse_float(&value("--theta-bw")?)?,
                 "--theta-c" => out.theta_c = parse_float(&value("--theta-c")?)?,
+                "--score-threads" => {
+                    out.score_threads = parse_num(&value("--score-threads")?)?;
+                }
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -85,7 +91,7 @@ impl Args {
                 eprintln!("error: {msg}");
                 eprintln!(
                     "flags: --runs N --sizes a,b,c --racks N --hosts N \
-                     --deadline-ms N --seed N --theta-bw X --theta-c X"
+                     --deadline-ms N --seed N --theta-bw X --theta-c X --score-threads N"
                 );
                 std::process::exit(2);
             }
@@ -136,6 +142,8 @@ mod tests {
             "0.99",
             "--theta-c",
             "0.01",
+            "--score-threads",
+            "2",
         ])
         .unwrap();
         assert_eq!(a.runs, 5);
@@ -146,6 +154,7 @@ mod tests {
         assert_eq!(a.seed, 7);
         assert_eq!(a.theta_bw, 0.99);
         assert_eq!(a.theta_c, 0.01);
+        assert_eq!(a.score_threads, 2);
     }
 
     #[test]

@@ -33,6 +33,7 @@ fn main() {
                 algorithm: Algorithm::DeadlineBoundedAStar { deadline: Duration::from_secs(t) },
                 weights: ObjectiveWeights { bandwidth: args.theta_bw, hosts: args.theta_c },
                 seed,
+                score_threads: args.score_threads,
                 ..PlacementRequest::default()
             };
             match scheduler.place(&topo, &state, &request) {

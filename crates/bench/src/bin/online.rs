@@ -36,6 +36,7 @@ fn main() {
             algorithm: Algorithm::Greedy,
             weights,
             seed,
+            score_threads: args.score_threads,
             ..PlacementRequest::default()
         };
         let initial = match scheduler.place(&topo, &state, &initial_req) {
@@ -72,6 +73,7 @@ fn main() {
             algorithm: Algorithm::DeadlineBoundedAStar { deadline: Duration::from_millis(300) },
             weights,
             seed,
+            score_threads: args.score_threads,
             ..PlacementRequest::default()
         };
         let started = std::time::Instant::now();

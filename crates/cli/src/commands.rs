@@ -35,6 +35,8 @@ pub enum Command {
         weights: ObjectiveWeights,
         /// RNG seed.
         seed: u64,
+        /// Scoring participants (0 = available_parallelism).
+        score_threads: usize,
         /// Optional path to the pre-existing capacity state.
         state: Option<String>,
         /// Optional path to write the post-commit state to.
@@ -82,7 +84,7 @@ usage:
   ostro inspect  --infra <file> [--state <file>]
   ostro place    --infra <file> --template <file>
                  [--algorithm egc|egbw|eg|bastar|dbastar] [--deadline-ms N]
-                 [--theta-bw X] [--theta-c X] [--seed N]
+                 [--theta-bw X] [--theta-c X] [--seed N] [--score-threads N]
                  [--state <file>] [--commit <file>]
   ostro validate --infra <file> --template <file> --placement <file>
                  [--state <file>]
@@ -155,6 +157,11 @@ impl Command {
                         .map(|v| parse_num(&v, "seed"))
                         .transpose()?
                         .unwrap_or(0xB0DE),
+                    score_threads: flags
+                        .remove("score-threads")
+                        .map(|v| parse_num(&v, "score-threads"))
+                        .transpose()?
+                        .unwrap_or(0) as usize,
                     state: flags.remove("state"),
                     commit: flags.remove("commit"),
                 }
@@ -187,12 +194,22 @@ impl Command {
     pub fn execute(&self) -> Result<String, CliError> {
         match self {
             Command::Inspect { infra, state } => inspect(infra, state.as_deref()),
-            Command::Place { infra, template, algorithm, weights, seed, state, commit } => place(
+            Command::Place {
+                infra,
+                template,
+                algorithm,
+                weights,
+                seed,
+                score_threads,
+                state,
+                commit,
+            } => place(
                 infra,
                 template,
                 *algorithm,
                 *weights,
                 *seed,
+                *score_threads,
                 state.as_deref(),
                 commit.as_deref(),
             ),
@@ -283,6 +300,7 @@ fn place(
     algorithm: Algorithm,
     weights: ObjectiveWeights,
     seed: u64,
+    score_threads: usize,
     state_path: Option<&str>,
     commit_path: Option<&str>,
 ) -> Result<String, CliError> {
@@ -291,7 +309,8 @@ fn place(
     let mut state = load_state(&infra, state_path)?;
     let (topology, names) = extract_topology(&template)?;
     let scheduler = Scheduler::new(&infra);
-    let request = PlacementRequest { algorithm, weights, seed, ..PlacementRequest::default() };
+    let request =
+        PlacementRequest { algorithm, weights, seed, score_threads, ..PlacementRequest::default() };
     let outcome = scheduler.place(&topology, &state, &request)?;
     let annotated = annotate_template(&template, &outcome.placement, &infra, &names);
 
@@ -441,17 +460,18 @@ mod tests {
         let cmd = Command::parse(argv(
             "place --infra i.json --template t.json --algorithm dbastar \
              --deadline-ms 250 --theta-bw 0.99 --theta-c 0.01 --seed 7 \
-             --state s.json --commit out.json",
+             --score-threads 3 --state s.json --commit out.json",
         ))
         .unwrap();
         match cmd {
-            Command::Place { algorithm, weights, seed, state, commit, .. } => {
+            Command::Place { algorithm, weights, seed, score_threads, state, commit, .. } => {
                 assert_eq!(
                     algorithm,
                     Algorithm::DeadlineBoundedAStar { deadline: Duration::from_millis(250) }
                 );
                 assert_eq!(weights, ObjectiveWeights::BANDWIDTH_DOMINANT);
                 assert_eq!(seed, 7);
+                assert_eq!(score_threads, 3);
                 assert_eq!(state.as_deref(), Some("s.json"));
                 assert_eq!(commit.as_deref(), Some("out.json"));
             }

@@ -22,9 +22,16 @@ fn harness<'a>(
     infra: &'a Infrastructure,
     base: &'a CapacityState,
     parallel: bool,
+    memoize: bool,
+    score_threads: usize,
     prefix: usize,
 ) -> (Ctx<'a>, Path<'a>) {
-    let request = PlacementRequest { parallel, ..PlacementRequest::default() };
+    let request = PlacementRequest {
+        parallel,
+        memoize_bounds: memoize,
+        score_threads,
+        ..PlacementRequest::default()
+    };
     let ctx = Ctx::new(topo, infra, base, &request, vec![None; topo.node_count()])
         .expect("benchmark fixture must be valid");
     let mut path = Path::empty(&ctx);
@@ -56,7 +63,7 @@ pub fn expansion_cycles_delta(
     prefix: usize,
     cycles: u64,
 ) -> u64 {
-    let (ctx, mut path) = harness(topo, infra, base, false, prefix);
+    let (ctx, mut path) = harness(topo, infra, base, false, false, 1, prefix);
     let node = path.next_node(&ctx).expect("at least one unplaced node");
     let hosts: Vec<HostId> = infra.hosts().iter().map(|h| h.id()).collect();
     let mut admitted = 0;
@@ -82,7 +89,7 @@ pub fn expansion_cycles_clone(
     prefix: usize,
     cycles: u64,
 ) -> u64 {
-    let (ctx, path) = harness(topo, infra, base, false, prefix);
+    let (ctx, path) = harness(topo, infra, base, false, false, 1, prefix);
     let node = path.next_node(&ctx).expect("at least one unplaced node");
     let hosts: Vec<HostId> = infra.hosts().iter().map(|h| h.id()).collect();
     let mut admitted = 0;
@@ -99,15 +106,23 @@ pub fn expansion_cycles_clone(
 /// Scores every feasible candidate host for the next unplaced node
 /// once — the inner loop of EG and of BA*'s upper-bound refreshes.
 /// Returns the candidate count so the work cannot be optimized away.
+///
+/// `memoize` turns the heuristic-bound memo cache on (the engine's
+/// default) or off (the pre-memoization baseline); the cache starts
+/// cold on every call, so a single round only benefits from hosts
+/// sharing a group signature. `score_threads` follows the request
+/// semantics (0 = `available_parallelism`).
 #[must_use]
 pub fn scoring_round(
     topo: &ApplicationTopology,
     infra: &Infrastructure,
     base: &CapacityState,
     parallel: bool,
+    memoize: bool,
+    score_threads: usize,
     prefix: usize,
 ) -> usize {
-    let (ctx, path) = harness(topo, infra, base, parallel, prefix);
+    let (ctx, path) = harness(topo, infra, base, parallel, memoize, score_threads, prefix);
     let node = path.next_node(&ctx).expect("at least one unplaced node");
     let hosts = feasible_hosts(&ctx, &path, node);
     let mut stats = SearchStats::default();

@@ -1,7 +1,7 @@
 //! Candidate-host enumeration (`GetCandidates`, Alg. 1 line 5) and
 //! utility scoring (`GetUsage` + `GetHeuristic`, lines 7–9).
 
-use ostro_datacenter::HostId;
+use ostro_datacenter::{FxHashSet, HostId};
 use ostro_model::NodeId;
 
 use crate::heuristic::lower_bound_mbps;
@@ -140,9 +140,17 @@ fn symmetry_floor(ctx: &Ctx<'_>, path: &Path<'_>, node: NodeId) -> u32 {
 /// request allows and the candidate set is large (the paper's "EG
 /// computes the utility in parallel").
 ///
+/// With memoization on (the default), heuristic bounds are resolved
+/// first through the per-search cache — hosts sharing an overlay group
+/// signature resolve to one `lower_bound_mbps` call — and the
+/// remaining per-host work (probe + objective) is cheap enough that
+/// chunked dispatch only engages for large candidate sets.
+///
 /// The output order — and therefore every downstream decision — is
-/// identical at any thread count: chunk results are concatenated in
-/// chunk order, which reproduces the serial host order exactly.
+/// identical at any thread count and any cache state: chunk results
+/// are concatenated in chunk order (reproducing the serial host order
+/// exactly), and a cache hit returns the bit-exact bound a cold
+/// evaluation would.
 pub(crate) fn score_candidates(
     ctx: &Ctx<'_>,
     path: &Path<'_>,
@@ -150,23 +158,93 @@ pub(crate) fn score_candidates(
     hosts: &[HostId],
     stats: &mut SearchStats,
 ) -> Vec<ScoredCandidate> {
-    const PARALLEL_THRESHOLD: usize = 96;
     stats.heuristic_evals += hosts.len() as u64;
-    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-    if !ctx.parallel || hosts.len() < PARALLEL_THRESHOLD || threads < 2 {
-        return hosts.iter().filter_map(|&h| score_one(ctx, path, node, h)).collect();
+    let bounds = resolve_bounds(ctx, path, node, hosts, stats);
+    let bound_of = |i: usize| bounds.as_ref().map(|b| b[i]);
+    let threads = ctx.score_threads;
+    // Adaptive serial threshold: dispatch pays off only once every
+    // participant can claim a few chunks of real work, so the floor
+    // scales with the pool size instead of a fixed constant.
+    let serial_threshold = (32 * threads).max(96);
+    if !ctx.parallel || threads < 2 || hosts.len() < serial_threshold {
+        return hosts
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &h)| score_one(ctx, path, node, h, bound_of(i)))
+            .collect();
     }
-    let pool = ctx.pool.get_or_init(|| crate::pool::ScoringPool::new(threads.min(16)));
-    let chunk_size = hosts.len().div_ceil(pool.threads());
-    let chunks: Vec<&[HostId]> = hosts.chunks(chunk_size).collect();
+    let pool = ctx.pool.get_or_init(|| crate::pool::ScoringPool::new(threads));
+    // Contiguous chunks claimed off the pool's shared cursor; four per
+    // participant balances steal granularity against claim overhead.
+    let chunk_size = hosts.len().div_ceil(pool.threads() * 4);
+    let chunk_count = hosts.len().div_ceil(chunk_size);
     let results: Vec<std::sync::Mutex<Vec<ScoredCandidate>>> =
-        chunks.iter().map(|_| std::sync::Mutex::new(Vec::new())).collect();
-    pool.run(chunks.len(), &|i| {
-        let scored: Vec<ScoredCandidate> =
-            chunks[i].iter().filter_map(|&h| score_one(ctx, path, node, h)).collect();
-        *results[i].lock().unwrap() = scored;
+        (0..chunk_count).map(|_| std::sync::Mutex::new(Vec::new())).collect();
+    pool.run(chunk_count, &|ci| {
+        let offset = ci * chunk_size;
+        let chunk = &hosts[offset..hosts.len().min(offset + chunk_size)];
+        let scored: Vec<ScoredCandidate> = chunk
+            .iter()
+            .enumerate()
+            .filter_map(|(j, &h)| score_one(ctx, path, node, h, bound_of(offset + j)))
+            .collect();
+        *results[ci].lock().unwrap() = scored;
     });
     results.into_iter().flat_map(|slot| slot.into_inner().unwrap()).collect()
+}
+
+/// Resolves the heuristic lower bound for every candidate through the
+/// per-search memo cache, or returns `None` when memoization is off
+/// (bounds are then computed inline by [`score_one`], inside the
+/// parallel region).
+///
+/// Cache misses — one per *distinct* bound key, not per host — are
+/// computed through the pool when there are enough of them, each miss
+/// being a full §III-A2 evaluation and therefore coarse enough to
+/// claim individually.
+fn resolve_bounds(
+    ctx: &Ctx<'_>,
+    path: &Path<'_>,
+    node: NodeId,
+    hosts: &[HostId],
+    stats: &mut SearchStats,
+) -> Option<Vec<u64>> {
+    if !ctx.memoize || !ctx.use_estimate {
+        return None;
+    }
+    let keys: Vec<(u32, u64)> = hosts
+        .iter()
+        .map(|&h| Ctx::bound_key(node, path.signature, path.overlay.host_group_signature(h)))
+        .collect();
+    let mut cache = ctx.bound_cache.lock().unwrap();
+    let mut seen: FxHashSet<(u32, u64)> = FxHashSet::default();
+    // One representative host index per unresolved key.
+    let misses: Vec<(usize, (u32, u64))> = keys
+        .iter()
+        .enumerate()
+        .filter(|&(_, key)| !cache.contains_key(key) && seen.insert(*key))
+        .map(|(i, &key)| (i, key))
+        .collect();
+    const PARALLEL_MISS_THRESHOLD: usize = 24;
+    if ctx.parallel && ctx.score_threads >= 2 && misses.len() >= PARALLEL_MISS_THRESHOLD {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let pool = ctx.pool.get_or_init(|| crate::pool::ScoringPool::new(ctx.score_threads));
+        let computed: Vec<AtomicU64> = misses.iter().map(|_| AtomicU64::new(0)).collect();
+        pool.run(misses.len(), &|k| {
+            let (i, _) = misses[k];
+            computed[k].store(lower_bound_mbps(ctx, path, node, hosts[i]), Ordering::Relaxed);
+        });
+        for ((_, key), bound) in misses.iter().zip(&computed) {
+            cache.insert(*key, bound.load(Ordering::Relaxed));
+        }
+    } else {
+        for &(i, key) in &misses {
+            cache.insert(key, lower_bound_mbps(ctx, path, node, hosts[i]));
+        }
+    }
+    stats.bound_cache_misses += misses.len() as u64;
+    stats.bound_cache_hits += (hosts.len() - misses.len()) as u64;
+    Some(keys.iter().map(|key| cache[key]).collect())
 }
 
 fn score_one(
@@ -174,12 +252,17 @@ fn score_one(
     path: &Path<'_>,
     node: NodeId,
     host: HostId,
+    bound: Option<u64>,
 ) -> Option<ScoredCandidate> {
     let added_ubw = path.probe(ctx, node, host)?;
     let new_hosts = path.new_hosts() + usize::from(!path.overlay.is_active(host));
     let ubw_child = path.ubw_mbps + added_ubw;
     let u_star = ctx.objective(ubw_child, new_hosts);
-    let bound = if ctx.use_estimate { lower_bound_mbps(ctx, path, node, host) } else { 0 };
+    let bound = match bound {
+        Some(resolved) => resolved,
+        None if ctx.use_estimate => lower_bound_mbps(ctx, path, node, host),
+        None => 0,
+    };
     let u_total = ctx.objective(ubw_child + bound, new_hosts);
     Some(ScoredCandidate { host, added_ubw, u_star, u_total })
 }
@@ -367,5 +450,123 @@ mod tests {
         let a = score_candidates(&ctx_p, &path_p, node, &many, &mut s1);
         let b = score_candidates(&ctx_s, &path_s, node, &many, &mut s2);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn memoized_scoring_matches_cold_cache_scoring() {
+        let topo = topo_no_zone();
+        let infra = infra();
+        let base = CapacityState::new(&infra);
+        let mk = |memoize_bounds| PlacementRequest {
+            memoize_bounds,
+            zone_symmetry: false,
+            ..PlacementRequest::default()
+        };
+        let req_memo = mk(true);
+        let req_cold = mk(false);
+        let ctx_m = Ctx::new(&topo, &infra, &base, &req_memo, vec![None; 2]).unwrap();
+        let ctx_c = Ctx::new(&topo, &infra, &base, &req_cold, vec![None; 2]).unwrap();
+        let path_m = Path::empty(&ctx_m);
+        let path_c = Path::empty(&ctx_c);
+        let node = ctx_m.order[0];
+        let hosts = feasible_hosts(&ctx_m, &path_m, node);
+        let mut sm = SearchStats::default();
+        let mut sc = SearchStats::default();
+        let warm = score_candidates(&ctx_m, &path_m, node, &hosts, &mut sm);
+        let cold = score_candidates(&ctx_c, &path_c, node, &hosts, &mut sc);
+        assert_eq!(warm, cold);
+        // Every resolution is accounted as a hit or a miss with memo
+        // on; the cold run keeps both counters at zero.
+        assert_eq!(sm.bound_cache_hits + sm.bound_cache_misses, hosts.len() as u64);
+        assert!(sm.bound_cache_misses >= 1);
+        assert_eq!(sc.bound_cache_hits + sc.bound_cache_misses, 0);
+        // All eight hosts are untouched with identical base
+        // availability: one group, one heuristic evaluation.
+        assert_eq!(sm.bound_cache_misses, 1);
+        // A second round is fully cache-served and still identical.
+        let mut sm2 = SearchStats::default();
+        let again = score_candidates(&ctx_m, &path_m, node, &hosts, &mut sm2);
+        assert_eq!(again, warm);
+        assert_eq!(sm2.bound_cache_misses, 0);
+        assert_eq!(sm2.bound_cache_hits, hosts.len() as u64);
+    }
+
+    /// The satellite property test: over random small topologies, a
+    /// search that places, descends, rolls back via [`PlacedMark`]
+    /// undo, and re-scores must produce bounds identical to a
+    /// cold-cache run — i.e. rollback restores every cache key (the
+    /// path signature and the overlay group epochs) exactly.
+    ///
+    /// [`PlacedMark`]: crate::search::PlacedMark
+    #[test]
+    fn memo_survives_rollback_and_matches_cold_cache_on_random_topologies() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(0x05_7280);
+        for trial in 0u64..25 {
+            let mut b = TopologyBuilder::new(format!("t{trial}"));
+            let n = rng.gen_range(3usize..7);
+            let ids: Vec<_> = (0..n)
+                .map(|i| {
+                    b.vm(format!("v{i}"), rng.gen_range(1u32..4), 1_024 * rng.gen_range(1u64..4))
+                        .unwrap()
+                })
+                .collect();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if rng.gen_bool(0.4) {
+                        b.link(ids[i], ids[j], Bandwidth::from_mbps(rng.gen_range(10u64..200)))
+                            .unwrap();
+                    }
+                }
+            }
+            let topo = b.build().unwrap();
+            let infra = infra();
+            let base = CapacityState::new(&infra);
+            let mk = |memoize_bounds| PlacementRequest {
+                memoize_bounds,
+                zone_symmetry: false,
+                ..PlacementRequest::default()
+            };
+            let req_memo = mk(true);
+            let req_cold = mk(false);
+            let ctx_m = Ctx::new(&topo, &infra, &base, &req_memo, vec![None; n]).unwrap();
+            let ctx_c = Ctx::new(&topo, &infra, &base, &req_cold, vec![None; n]).unwrap();
+            let mut warm = Path::empty(&ctx_m);
+            let mut cold = Path::empty(&ctx_c);
+            while let Some(node) = warm.next_node(&ctx_m) {
+                let hosts = feasible_hosts(&ctx_m, &warm, node);
+                if hosts.is_empty() {
+                    break;
+                }
+                let mut stats = SearchStats::default();
+                let first = score_candidates(&ctx_m, &warm, node, &hosts, &mut stats);
+                // Detour: place on a random feasible host, score the
+                // *next* node down there (seeding cache entries at the
+                // deeper signature and bumped host epochs), roll back.
+                let detour_host = hosts[rng.gen_range(0usize..hosts.len())];
+                if let Some(mark) = warm.place_mut(&ctx_m, node, detour_host) {
+                    if let Some(next) = warm.next_node(&ctx_m) {
+                        let deeper = feasible_hosts(&ctx_m, &warm, next);
+                        let mut s = SearchStats::default();
+                        score_candidates(&ctx_m, &warm, next, &deeper, &mut s);
+                    }
+                    warm.undo(mark);
+                }
+                // Re-scoring after the rollback hits only valid cache
+                // entries: identical output, zero fresh evaluations.
+                let mut stats2 = SearchStats::default();
+                let rescored = score_candidates(&ctx_m, &warm, node, &hosts, &mut stats2);
+                assert_eq!(rescored, first, "trial {trial}: rollback changed scores");
+                assert_eq!(stats2.bound_cache_misses, 0, "trial {trial}: stale keys after undo");
+                // And the whole round agrees with a cold-cache engine.
+                let mut cold_stats = SearchStats::default();
+                let cold_scored = score_candidates(&ctx_c, &cold, node, &hosts, &mut cold_stats);
+                assert_eq!(cold_scored, first, "trial {trial}: memo diverged from cold cache");
+                let Some(best) = pick_best(&warm, &first) else { break };
+                warm.place_mut(&ctx_m, node, best.host).unwrap();
+                cold.place_mut(&ctx_c, node, best.host).unwrap();
+            }
+        }
     }
 }

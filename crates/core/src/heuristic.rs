@@ -263,6 +263,44 @@ mod tests {
         assert_eq!(lower_bound_mbps(&ctx, &path, first, HostId::from_index(0)), 0);
     }
 
+    /// The invariant the memo cache rests on: the bound never consults
+    /// host *identity* — only availabilities and minimum separation
+    /// costs — so two candidate hosts that are unused by the path and
+    /// expose the same available capacity yield bit-identical bounds.
+    /// (This is what lets one cache entry serve a whole host group.)
+    #[test]
+    fn equal_availability_unused_hosts_share_the_exact_bound() {
+        let mut b = TopologyBuilder::new("t");
+        let a = b.vm("a", 2, 2_048).unwrap();
+        let c = b.vm("c", 2, 2_048).unwrap();
+        let d = b.vm("d", 4, 4_096).unwrap();
+        b.link(a, c, Bandwidth::from_mbps(100)).unwrap();
+        b.link(c, d, Bandwidth::from_mbps(150)).unwrap();
+        b.diversity_zone("z", DiversityLevel::Rack, &[a, d]).unwrap();
+        let topo = b.build().unwrap();
+        let infra = infra();
+        let base = CapacityState::new(&infra);
+        let req = PlacementRequest::default();
+        let ctx = ctx_for(&topo, &infra, &base, &req);
+        let mut path = Path::empty(&ctx);
+        let first = ctx.order[0];
+        path.place_mut(&ctx, first, HostId::from_index(0)).unwrap();
+        let node = path.next_node(&ctx).unwrap();
+        // Every fresh host (1..8) is untouched with identical base
+        // availability: the candidate bound must not depend on which
+        // one we probe, across racks included.
+        let reference = lower_bound_mbps(&ctx, &path, node, HostId::from_index(1));
+        for i in 2..8 {
+            assert_eq!(
+                lower_bound_mbps(&ctx, &path, node, HostId::from_index(i)),
+                reference,
+                "host {i} diverged from the group bound"
+            );
+        }
+        // The used host has different availability and may differ; it
+        // gets its own epoch-keyed cache entry, so no assertion here.
+    }
+
     #[test]
     fn unlinked_heavy_nodes_go_to_imaginary_hosts_for_free() {
         let mut b = TopologyBuilder::new("t");

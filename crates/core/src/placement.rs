@@ -78,8 +78,17 @@ pub struct SearchStats {
     /// How many times the embedded greedy search ran to (re)establish
     /// the upper bound (Alg. 2, lines 3 and 17).
     pub eg_runs: u64,
-    /// Heuristic lower-bound evaluations.
+    /// Heuristic lower-bound resolutions requested (one per scored
+    /// candidate host, however the bound was obtained).
     pub heuristic_evals: u64,
+    /// Of those, resolutions served from the per-search memo cache
+    /// (including hosts sharing a group signature within one scoring
+    /// round). Absent in pre-memoization stats dumps.
+    #[serde(default)]
+    pub bound_cache_hits: u64,
+    /// Of those, resolutions that actually ran `lower_bound_mbps`.
+    #[serde(default)]
+    pub bound_cache_misses: u64,
     /// `true` if a deadline-bounded run hit its deadline and returned
     /// the best bound found so far.
     pub deadline_hit: bool,

@@ -3,119 +3,215 @@
 //! for every subsequent scoring call, instead of spawning a scoped
 //! thread per call.
 //!
-//! The pool executes *scoped* jobs: [`ScoringPool::run`] blocks until
-//! every task completes, so jobs may borrow request-local state (the
-//! search context and current path) even though worker threads are
-//! long-lived. Lifetime erasure is confined to `run`, which upholds
-//! the borrow by not returning while any task is in flight.
+//! Dispatch is *chunked and work-stealing*: [`ScoringPool::run`]
+//! publishes one batch descriptor holding a shared atomic cursor, and
+//! every participant — the worker threads **and the calling thread** —
+//! pulls task indices off that cursor until the batch is drained. The
+//! caller participating has two consequences: a pool sized for one
+//! thread spawns no workers at all (so "parallel" scoring degrades to
+//! the serial loop plus nothing), and a batch always makes progress
+//! even if the OS never schedules a worker.
+//!
+//! The pool executes *scoped* jobs: `run` blocks until every task
+//! completes, so jobs may borrow request-local state (the search
+//! context and current path) even though worker threads are long-lived.
+//! Lifetime erasure is confined to `run`, which upholds the borrow by
+//! not returning while any task is in flight.
+//!
+//! Panic safety: a panicking task is caught by its claimer, counted,
+//! and still reported as completed, so the batch drains and `run`'s
+//! wait condition terminates. `run` re-raises a single panic after the
+//! batch is fully drained; the pool itself stays usable — no worker
+//! dies, no lock is poisoned mid-update.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::mpsc::{channel, Sender};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-/// A task function shared by all workers for one `run` call, plus the
-/// index range bookkeeping. The raw pointer erases the caller's
-/// lifetime; `run` keeps the referent alive until all tasks finish.
-struct Job {
+/// One scoring batch: the erased task function plus the claim cursor
+/// and completion bookkeeping all participants share.
+struct Batch {
+    /// The task shared by all claimers of this batch. The raw pointer
+    /// erases the caller's lifetime; `run` keeps the referent alive
+    /// until the batch is drained, and claimers check the cursor
+    /// *before* dereferencing, so a stale batch handle never touches
+    /// the pointer after `run` returned.
     task: *const (dyn Fn(usize) + Sync),
-    index: usize,
-    progress: Arc<Progress>,
-}
-
-// SAFETY: the pointee is `Sync` (shared by many workers) and outlives
-// the job because `run` blocks until `Progress` reports completion.
-unsafe impl Send for Job {}
-
-#[derive(Default)]
-struct Progress {
-    state: Mutex<ProgressState>,
+    /// Next unclaimed task index.
+    cursor: AtomicUsize,
+    /// Total task count; claims at or beyond this fail.
+    tasks: usize,
+    /// Completion counter + panic count, guarded for the condvar.
+    done: Mutex<DoneState>,
+    /// Signalled when `done.completed` reaches `tasks`.
     all_done: Condvar,
 }
 
+// SAFETY: the pointee is `Sync` (shared by many claimers) and outlives
+// every dereference because `run` blocks until all `tasks` claims
+// completed and no claim succeeds afterwards.
+unsafe impl Send for Batch {}
+unsafe impl Sync for Batch {}
+
 #[derive(Default)]
-struct ProgressState {
+struct DoneState {
     completed: usize,
     panicked: usize,
 }
 
+impl Batch {
+    /// Claims and executes tasks until the cursor is exhausted.
+    /// Panicking tasks are caught, counted, and still marked complete.
+    fn drain(&self) {
+        loop {
+            let index = self.cursor.fetch_add(1, Ordering::Relaxed);
+            if index >= self.tasks {
+                return;
+            }
+            // SAFETY: the claim succeeded, so `run` is still blocked in
+            // its wait loop and the task borrow is alive.
+            let task = unsafe { &*self.task };
+            let outcome = catch_unwind(AssertUnwindSafe(|| task(index)));
+            let mut done = self.done.lock().unwrap();
+            done.completed += 1;
+            done.panicked += usize::from(outcome.is_err());
+            if done.completed == self.tasks {
+                self.all_done.notify_all();
+            }
+        }
+    }
+}
+
+/// The slot workers watch for new batches: a generation counter so a
+/// worker can tell "new batch" from "the batch I just drained".
+#[derive(Default)]
+struct BatchSlot {
+    generation: u64,
+    batch: Option<Arc<Batch>>,
+    shutdown: bool,
+}
+
+#[derive(Default)]
+struct Shared {
+    slot: Mutex<BatchSlot>,
+    work_ready: Condvar,
+}
+
 /// Long-lived worker threads for candidate scoring.
+///
+/// `new(threads)` sizes the pool for `threads` total participants:
+/// the calling thread claims work too, so only `threads - 1` workers
+/// are spawned (none for a single-threaded pool).
 pub(crate) struct ScoringPool {
-    sender: Mutex<Option<Sender<Job>>>,
+    shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl ScoringPool {
-    /// Spawns `threads` workers (at least one).
+    /// Builds a pool for `threads` total scoring participants
+    /// (at least one — the caller itself).
     pub(crate) fn new(threads: usize) -> Self {
-        let (sender, receiver) = channel::<Job>();
-        let receiver = Arc::new(Mutex::new(receiver));
-        let workers = (0..threads.max(1))
+        let shared = Arc::new(Shared::default());
+        let workers = (1..threads.max(1))
             .map(|i| {
-                let receiver = Arc::clone(&receiver);
+                let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("ostro-score-{i}"))
-                    .spawn(move || loop {
-                        let job = match receiver.lock().unwrap().recv() {
-                            Ok(job) => job,
-                            Err(_) => return, // pool dropped
-                        };
-                        // SAFETY: `run` keeps the task alive until the
-                        // completion count below reaches the task total.
-                        let task = unsafe { &*job.task };
-                        let outcome = catch_unwind(AssertUnwindSafe(|| task(job.index)));
-                        let mut state = job.progress.state.lock().unwrap();
-                        state.completed += 1;
-                        state.panicked += usize::from(outcome.is_err());
-                        job.progress.all_done.notify_all();
-                    })
+                    .spawn(move || worker_loop(&shared))
                     .expect("failed to spawn scoring worker")
             })
             .collect();
-        ScoringPool { sender: Mutex::new(Some(sender)), workers }
+        ScoringPool { shared, workers }
     }
 
-    /// Number of worker threads.
+    /// Total scoring participants: spawned workers plus the caller.
     pub(crate) fn threads(&self) -> usize {
-        self.workers.len()
+        self.workers.len() + 1
     }
 
-    /// Runs `task(0..tasks)` across the workers and blocks until every
-    /// invocation finished. `task` may borrow caller-local state.
+    /// Runs `task(0..tasks)` across the caller and the workers and
+    /// blocks until every invocation finished. `task` may borrow
+    /// caller-local state.
     ///
     /// # Panics
     ///
-    /// Re-raises (as a panic) if any task panicked.
+    /// Re-raises (as a single panic, after the batch fully drained) if
+    /// any task panicked. The pool remains usable afterwards.
     pub(crate) fn run(&self, tasks: usize, task: &(dyn Fn(usize) + Sync)) {
         if tasks == 0 {
             return;
         }
-        let progress = Arc::new(Progress::default());
-        // SAFETY: erase the lifetime for transport to the workers. The
-        // wait loop below does not return until all `tasks` invocations
-        // completed, so the borrow outlives every use.
-        let task: *const (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(task) };
-        {
-            let sender = self.sender.lock().unwrap();
-            let sender = sender.as_ref().expect("pool already shut down");
+        if self.workers.is_empty() {
+            // Single-participant pool: plain loop, zero dispatch cost.
+            // Panics propagate directly — nothing is left in flight.
             for index in 0..tasks {
-                sender
-                    .send(Job { task, index, progress: Arc::clone(&progress) })
-                    .expect("scoring workers exited early");
+                task(index);
             }
+            return;
         }
-        let mut state = progress.state.lock().unwrap();
-        while state.completed < tasks {
-            state = progress.all_done.wait(state).unwrap();
+        // SAFETY: erase the lifetime for transport to the workers. The
+        // wait loop below does not return until all `tasks` claims
+        // completed, so the borrow outlives every dereference.
+        let task: *const (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(task) };
+        let batch = Arc::new(Batch {
+            task,
+            cursor: AtomicUsize::new(0),
+            tasks,
+            done: Mutex::new(DoneState::default()),
+            all_done: Condvar::new(),
+        });
+        {
+            let mut slot = self.shared.slot.lock().unwrap();
+            slot.generation += 1;
+            slot.batch = Some(Arc::clone(&batch));
         }
-        assert!(state.panicked == 0, "candidate scoring task panicked");
+        self.shared.work_ready.notify_all();
+        // The caller works the batch too instead of blocking idle.
+        batch.drain();
+        let mut done = batch.done.lock().unwrap();
+        while done.completed < tasks {
+            done = batch.all_done.wait(done).unwrap();
+        }
+        let panicked = done.panicked;
+        drop(done);
+        // Retire the batch so no stale `task` pointer lingers in the
+        // slot after this borrow ends (drained handles held by workers
+        // can no longer claim, hence never dereference).
+        self.shared.slot.lock().unwrap().batch = None;
+        assert!(panicked == 0, "{panicked} candidate scoring task(s) panicked");
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut seen_generation = 0;
+    loop {
+        let batch = {
+            let mut slot = shared.slot.lock().unwrap();
+            loop {
+                if slot.shutdown {
+                    return;
+                }
+                if slot.generation != seen_generation {
+                    seen_generation = slot.generation;
+                    if let Some(batch) = slot.batch.clone() {
+                        break batch;
+                    }
+                }
+                slot = shared.work_ready.wait(slot).unwrap();
+            }
+        };
+        batch.drain();
     }
 }
 
 impl Drop for ScoringPool {
     fn drop(&mut self) {
-        // Closing the channel makes every worker's recv fail and exit.
-        *self.sender.lock().unwrap() = None;
+        {
+            let mut slot = self.shared.slot.lock().unwrap();
+            slot.shutdown = true;
+        }
+        self.shared.work_ready.notify_all();
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
@@ -167,5 +263,66 @@ mod tests {
     fn zero_tasks_is_a_no_op() {
         let pool = ScoringPool::new(2);
         pool.run(0, &|_| panic!("must not run"));
+    }
+
+    #[test]
+    fn single_participant_pool_spawns_no_workers() {
+        let pool = ScoringPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        assert!(pool.workers.is_empty());
+        let counter = AtomicUsize::new(0);
+        pool.run(32, &|_| {
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 32);
+    }
+
+    /// A panicking task must neither deadlock `run` nor poison the pool
+    /// for subsequent batches — the satellite contract of this PR.
+    #[test]
+    fn panicking_task_neither_deadlocks_nor_poisons_the_pool() {
+        let pool = ScoringPool::new(3);
+        let survivors = AtomicUsize::new(0);
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(48, &|i| {
+                if i % 7 == 0 {
+                    panic!("task {i} exploded");
+                }
+                survivors.fetch_add(1, Ordering::SeqCst);
+            });
+        }));
+        assert!(outcome.is_err(), "run must re-raise the panic");
+        // Every non-panicking task still ran: the batch fully drained.
+        assert_eq!(survivors.load(Ordering::SeqCst), 48 - 7);
+        // The pool is not poisoned: the next batch runs to completion.
+        let counter = AtomicUsize::new(0);
+        pool.run(16, &|_| {
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn panicking_task_on_single_participant_pool_propagates() {
+        let pool = ScoringPool::new(1);
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(4, &|i| assert!(i != 2, "boom"));
+        }));
+        assert!(outcome.is_err());
+        let counter = AtomicUsize::new(0);
+        pool.run(4, &|_| {
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn more_tasks_than_threads_drain_fully() {
+        let pool = ScoringPool::new(2);
+        let counter = AtomicUsize::new(0);
+        pool.run(1_000, &|_| {
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 1_000);
     }
 }

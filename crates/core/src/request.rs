@@ -75,6 +75,22 @@ pub struct PlacementRequest {
     /// adversarial instance is exponential; this turns a hang into a
     /// best-bound answer.
     pub max_expansions: u64,
+    /// Candidate-scoring participants (worker threads + the calling
+    /// thread) when [`parallel`](Self::parallel) is on. `0` (the
+    /// default) resolves to `std::thread::available_parallelism`.
+    #[serde(default)]
+    pub score_threads: usize,
+    /// Memoize heuristic lower bounds across expansions, keyed by
+    /// (node, placement signature, host-group signature); rollback
+    /// restores the keys, so entries stay valid across backtracking.
+    /// Disabling recomputes every bound from scratch (the throughput
+    /// benchmark's baseline).
+    #[serde(default = "default_memoize_bounds")]
+    pub memoize_bounds: bool,
+}
+
+fn default_memoize_bounds() -> bool {
+    true
 }
 
 impl Default for PlacementRequest {
@@ -87,6 +103,8 @@ impl Default for PlacementRequest {
             zone_symmetry: true,
             use_estimate: true,
             max_expansions: 0,
+            score_threads: 0,
+            memoize_bounds: true,
         }
     }
 }
@@ -109,6 +127,13 @@ impl PlacementRequest {
     #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the scoring participant count, builder-style (0 = auto).
+    #[must_use]
+    pub fn score_threads(mut self, threads: usize) -> Self {
+        self.score_threads = threads;
         self
     }
 }
@@ -138,5 +163,25 @@ mod tests {
         assert_eq!(r.weights, ObjectiveWeights::BANDWIDTH_DOMINANT);
         assert_eq!(r.seed, 7);
         assert!(r.parallel);
+        assert_eq!(r.score_threads, 0, "0 = resolve from available_parallelism");
+        assert!(r.memoize_bounds);
+    }
+
+    #[test]
+    fn requests_without_the_new_knobs_still_deserialize() {
+        // A request serialized before score_threads/memoize_bounds
+        // existed must round-trip onto the defaults.
+        let legacy = r#"{
+            "algorithm": "Greedy",
+            "weights": { "bandwidth": 0.6, "hosts": 0.4 },
+            "seed": 1,
+            "parallel": true,
+            "zone_symmetry": true,
+            "use_estimate": true,
+            "max_expansions": 0
+        }"#;
+        let r: PlacementRequest = serde_json::from_str(legacy).unwrap();
+        assert_eq!(r.score_threads, 0);
+        assert!(r.memoize_bounds);
     }
 }

@@ -340,6 +340,69 @@ mod tests {
         ));
     }
 
+    /// The PR's acceptance pin: parallel chunked dispatch plus the
+    /// heuristic memo cache picks placements bit-identical to the
+    /// serial cold-cache engine, across every search algorithm.
+    #[test]
+    fn parallel_cached_scoring_is_bit_identical_to_serial_cold_cache() {
+        // 128 hosts: enough feasible candidates that the parallel path
+        // crosses its adaptive serial threshold at 4 participants.
+        let inf = InfrastructureBuilder::flat(
+            "dc",
+            8,
+            16,
+            Resources::new(8, 16_384, 500),
+            Bandwidth::from_gbps(10),
+            Bandwidth::from_gbps(100),
+        )
+        .build()
+        .unwrap();
+        let mut b = TopologyBuilder::new("app");
+        let hub = b.vm("hub", 4, 4_096).unwrap();
+        let mut workers = Vec::new();
+        for i in 0..4 {
+            let w = b.vm(format!("w{i}"), 2, 2_048).unwrap();
+            b.link(hub, w, Bandwidth::from_mbps(100 + 50 * i)).unwrap();
+            workers.push(w);
+        }
+        let vol = b.volume("vol", 200).unwrap();
+        b.link(hub, vol, Bandwidth::from_mbps(400)).unwrap();
+        b.diversity_zone("z", DiversityLevel::Host, &workers[..2]).unwrap();
+        let topo = b.build().unwrap();
+        let state = CapacityState::new(&inf);
+        let scheduler = Scheduler::new(&inf);
+        for algorithm in [
+            Algorithm::Greedy,
+            Algorithm::BoundedAStar,
+            Algorithm::DeadlineBoundedAStar { deadline: Duration::from_secs(5) },
+        ] {
+            let fast = PlacementRequest {
+                algorithm,
+                parallel: true,
+                memoize_bounds: true,
+                score_threads: 4,
+                max_expansions: 2_000,
+                ..PlacementRequest::default()
+            };
+            let slow = PlacementRequest {
+                algorithm,
+                parallel: false,
+                memoize_bounds: false,
+                score_threads: 1,
+                ..fast.clone()
+            };
+            let a = scheduler.place(&topo, &state, &fast).unwrap();
+            let b = scheduler.place(&topo, &state, &slow).unwrap();
+            assert_eq!(a.placement, b.placement, "{algorithm:?}: placements diverged");
+            assert_eq!(a.objective.to_bits(), b.objective.to_bits(), "{algorithm:?}: objective");
+            assert_eq!(a.reserved_bandwidth, b.reserved_bandwidth, "{algorithm:?}: bandwidth");
+            assert_eq!(a.hosts_used, b.hosts_used, "{algorithm:?}: hosts");
+            assert_eq!(a.stats.heuristic_evals, b.stats.heuristic_evals, "{algorithm:?}: evals");
+            assert!(a.stats.bound_cache_hits > 0, "{algorithm:?}: cache never engaged");
+            assert_eq!(b.stats.bound_cache_hits + b.stats.bound_cache_misses, 0);
+        }
+    }
+
     #[test]
     fn bandwidth_dominant_weights_colocate_linked_nodes() {
         let inf = infra();

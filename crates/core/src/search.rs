@@ -105,6 +105,19 @@ pub(crate) struct Ctx<'a> {
     /// Mbps cost of separating two nodes the heuristic put on distinct
     /// hosts with no diversity constraint between them.
     pub min_split_cost: u64,
+    /// Resolved scoring participant count (request knob, or
+    /// `available_parallelism` when the request said 0).
+    pub score_threads: usize,
+    /// Whether heuristic bounds are memoized in [`Ctx::bound_cache`].
+    pub memoize: bool,
+    /// Per-search heuristic lower-bound memo: `(node, key)` → bound,
+    /// where `key` folds the path's placement signature together with
+    /// the candidate host's overlay group signature. Both components
+    /// are restored exactly on rollback (the signature by
+    /// [`Path::undo`], the group epoch by the overlay journal), so an
+    /// entry written before a backtrack is still valid after it —
+    /// every hit returns exactly what a cold evaluation would.
+    pub(crate) bound_cache: std::sync::Mutex<FxHashMap<(u32, u64), u64>>,
     /// Persistent scoring workers, created lazily on the first
     /// over-threshold candidate set and reused for the whole run.
     pub(crate) pool: std::sync::OnceLock<crate::pool::ScoringPool>,
@@ -164,8 +177,23 @@ impl<'a> Ctx<'a> {
             parallel: request.parallel,
             use_estimate: request.use_estimate,
             min_split_cost: sep_costs.min_cost(Some(DiversityLevel::Host)),
+            score_threads: resolve_score_threads(request.score_threads),
+            memoize: request.memoize_bounds && request.use_estimate,
+            bound_cache: std::sync::Mutex::new(FxHashMap::default()),
             pool: std::sync::OnceLock::new(),
         })
+    }
+
+    /// Cache key for `node`'s heuristic bound against a candidate host
+    /// whose overlay group signature is `host_sig`, on the placement
+    /// `path` currently encodes. Two candidate hosts with equal group
+    /// signatures share a key — and, because [`lower_bound_mbps`]
+    /// never consults host identity (only availabilities and minimum
+    /// separation costs), they share the exact bound.
+    ///
+    /// [`lower_bound_mbps`]: crate::heuristic::lower_bound_mbps
+    pub(crate) fn bound_key(node: NodeId, path_signature: u64, host_sig: u64) -> (u32, u64) {
+        (node.index() as u32, mix64(path_signature ^ mix64(host_sig)))
     }
 
     /// Normalized objective of a (possibly partial) usage.
@@ -509,11 +537,25 @@ impl<'a> Path<'a> {
 /// order-independent placement signature.
 pub(crate) fn pair_hash(node: NodeId, host: HostId) -> u64 {
     let x = ((node.index() as u64) << 32) | host.index() as u64;
-    // splitmix64 finalizer.
+    mix64(x)
+}
+
+/// splitmix64 finalizer: the repo's standard bit mixer.
+fn mix64(x: u64) -> u64 {
     let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// Resolves the request's `score_threads` knob: 0 means "ask the OS",
+/// capped so an accidental 256-core box does not spawn 255 scoring
+/// workers for candidate sets that rarely exceed a few thousand.
+fn resolve_score_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get()).min(16)
 }
 
 #[cfg(test)]

@@ -51,7 +51,7 @@ mod structure;
 
 pub use builder::InfrastructureBuilder;
 pub use error::{BuildError, CapacityError};
-pub use fx::{FxHashMap, FxHasher};
+pub use fx::{FxHashMap, FxHashSet, FxHasher};
 pub use ids::{HostId, PodId, RackId, SiteId};
 pub use overlay::{OverlayMark, OverlayState};
 pub use path::{LinkRef, Separation};

@@ -9,4 +9,7 @@ cargo test -q
 cargo test --workspace -q
 cargo fmt --check
 cargo clippy --all-targets -- -D warnings
+# Fast throughput smoke (64 hosts): asserts the artifact is well-formed
+# JSON and that memoized scoring is no slower than the cold baseline.
+cargo bench -p ostro-bench --bench throughput -- --smoke
 echo "verify: all checks passed"

@@ -7,7 +7,7 @@
 //! enums (unit, newtype, tuple, struct variants), with the container
 //! attributes `transparent`, `tag`, `rename_all`, `try_from`, `into`,
 //! the variant attribute `rename`, and the field attributes `rename`,
-//! `default`, `skip_serializing_if`.
+//! `default`, `default = "path"`, `skip_serializing_if`.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -37,6 +37,8 @@ struct SerdeAttrs {
     into: Option<String>,
     rename: Option<String>,
     default: bool,
+    /// Path given via `#[serde(default = "path")]`; implies `default`.
+    default_path: Option<String>,
     skip_serializing_if: Option<String>,
 }
 
@@ -193,7 +195,10 @@ fn parse_serde_args(stream: TokenStream, attrs: &mut SerdeAttrs) {
         }
         match (name.as_str(), value) {
             ("transparent", _) => attrs.transparent = true,
-            ("default", _) => attrs.default = true,
+            ("default", v) => {
+                attrs.default = true;
+                attrs.default_path = v;
+            }
             ("tag", Some(v)) => attrs.tag = Some(v),
             ("rename", Some(v)) => attrs.rename = Some(v),
             ("rename_all", Some(v)) => attrs.rename_all = Some(v),
@@ -509,7 +514,9 @@ fn de_named_fields(fields: &[Field], container: &str, source: &str) -> String {
     let mut out = String::new();
     for f in fields {
         let key = f.key();
-        let missing = if f.missing_ok() {
+        let missing = if let Some(path) = &f.attrs.default_path {
+            format!("{path}()")
+        } else if f.missing_ok() {
             "::core::default::Default::default()".to_owned()
         } else {
             format!(
