@@ -1,0 +1,194 @@
+//! Recovery benchmark: EG vs BA\* vs DBA\* churn under *identical*
+//! seeded fault plans — host crashes, transient launch failures, and
+//! stale-capacity races — measuring how each algorithm's placements
+//! hold up when the deployment pipeline has to retry, fall back, and
+//! evacuate.
+//!
+//! Writes `BENCH_recovery.json` at the repository root with, per
+//! algorithm, the wall time and the full churn report (acceptance
+//! rate, recovery success rate, mean ticks to recover, abandoned
+//! tenants, repositioning churn).
+//!
+//! Every algorithm is run **twice** with the same fault seed and the
+//! two reports are asserted bit-identical (after zeroing the one
+//! wall-clock field) — the determinism guarantee the fault plan makes.
+//! DBA\* gets a generous deadline with a finite expansion cap so its
+//! deterministic budget binds before the wall clock does.
+//!
+//! `--smoke` runs a fast 32-host variant (used by `scripts/verify.sh`)
+//! and writes the artifact under `target/`.
+
+use std::time::{Duration, Instant};
+
+use ostro_core::Algorithm;
+use ostro_sim::scenarios::sized_datacenter;
+use ostro_sim::{run_churn, ChurnConfig, ChurnReport, FaultConfig};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Scale knobs for one benchmark run.
+struct Scale {
+    racks: usize,
+    hosts_per_rack: usize,
+    arrivals: usize,
+    crashes: usize,
+    /// Deterministic expansion cap for the A\* searches.
+    max_expansions: u64,
+    /// DBA\* deadline — generous on purpose, so the expansion cap is
+    /// what stops the search (wall-clock never fires = reproducible).
+    deadline: Duration,
+}
+
+// Kept dense on purpose: a sparse cloud makes crashes land on empty
+// hosts and the recovery path never exercises.
+const FULL: Scale = Scale {
+    racks: 8,
+    hosts_per_rack: 8,
+    arrivals: 48,
+    crashes: 6,
+    max_expansions: 250,
+    deadline: Duration::from_secs(30),
+};
+
+const SMOKE: Scale = Scale {
+    racks: 4,
+    hosts_per_rack: 8,
+    arrivals: 12,
+    crashes: 2,
+    max_expansions: 120,
+    deadline: Duration::from_secs(10),
+};
+
+fn config(scale: &Scale) -> ChurnConfig {
+    ChurnConfig {
+        arrivals: scale.arrivals,
+        mean_lifetime: 6,
+        seed: 0xFA_17,
+        faults: Some(FaultConfig {
+            seed: 0x0BAD_CAFE,
+            host_crashes: scale.crashes,
+            launch_failure_prob: 0.08,
+            stale_race_prob: 0.2,
+            stale_race_fraction: 0.5,
+        }),
+        max_expansions: scale.max_expansions,
+        ..ChurnConfig::default()
+    }
+}
+
+/// Zeroes the one legitimately wall-clock-dependent report field.
+fn canonical(mut report: ChurnReport) -> ChurnReport {
+    report.mean_solver_secs = 0.0;
+    report
+}
+
+fn main() {
+    let smoke = std::env::args().skip(1).any(|a| a == "--smoke");
+    let scale = if smoke { SMOKE } else { FULL };
+    let hosts = scale.racks * scale.hosts_per_rack;
+
+    let mut rng = SmallRng::seed_from_u64(0xB00C);
+    let (infra, _) = sized_datacenter(scale.racks, scale.hosts_per_rack, false, &mut rng)
+        .expect("valid benchmark data center");
+
+    let algorithms: &[(&str, Algorithm)] = &[
+        ("EG", Algorithm::Greedy),
+        ("BA*", Algorithm::BoundedAStar),
+        ("DBA*", Algorithm::DeadlineBoundedAStar { deadline: scale.deadline }),
+    ];
+
+    let cfg = config(&scale);
+    let mut sections = Vec::new();
+    for &(label, algorithm) in algorithms {
+        let started = Instant::now();
+        let first = canonical(run_churn(&infra, algorithm, &cfg).expect("churn run completes"));
+        let wall = started.elapsed();
+        let second = canonical(run_churn(&infra, algorithm, &cfg).expect("churn run completes"));
+        assert_eq!(
+            first, second,
+            "{label}: two runs with the same fault seed diverged — \
+             the recovery report must be bit-identical"
+        );
+        assert_eq!(
+            first.faults.crashes_injected, scale.crashes,
+            "{label}: the fault plan must inject every scheduled crash"
+        );
+        println!(
+            "{label}: {:.2}s wall, acceptance {:.1}%, {} evacuated / {} abandoned \
+             (recovery success {:.1}%), {} repositioned, {} retries",
+            wall.as_secs_f64(),
+            first.acceptance_rate() * 100.0,
+            first.faults.tenants_evacuated,
+            first.faults.tenants_abandoned,
+            first.faults.recovery_success_rate() * 100.0,
+            first.faults.repositioned_nodes,
+            first.faults.launch_retries,
+        );
+        let report_json = serde_json::to_string(&first).expect("serializable report");
+        sections.push(format!(
+            concat!(
+                "    \"{}\": {{\n",
+                "      \"wall_secs\": {:.3},\n",
+                "      \"acceptance_rate\": {:.4},\n",
+                "      \"recovery_success_rate\": {:.4},\n",
+                "      \"mean_ticks_to_recover\": {:.3},\n",
+                "      \"report\": {}\n",
+                "    }}"
+            ),
+            label,
+            wall.as_secs_f64(),
+            first.acceptance_rate(),
+            first.faults.recovery_success_rate(),
+            first.faults.mean_ticks_to_recover(),
+            report_json,
+        ));
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"failure-aware churn recovery\",\n",
+            "  \"hosts\": {},\n",
+            "  \"smoke\": {},\n",
+            "  \"arrivals\": {},\n",
+            "  \"host_crashes\": {},\n",
+            "  \"launch_failure_prob\": 0.08,\n",
+            "  \"stale_race_prob\": 0.2,\n",
+            "  \"algorithms\": {{\n{}\n  }}\n",
+            "}}\n"
+        ),
+        hosts,
+        smoke,
+        scale.arrivals,
+        scale.crashes,
+        sections.join(",\n"),
+    );
+    let path = if smoke {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/BENCH_recovery_smoke.json")
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_recovery.json")
+    };
+    std::fs::write(path, &json).expect("write recovery artifact");
+    println!("wrote {path}");
+
+    // Re-parse the artifact so a malformed write fails loudly, and pin
+    // the core recovery invariants for every algorithm.
+    let doc: serde_json::Value =
+        serde_json::from_str(&json).expect("recovery artifact must be well-formed JSON");
+    let algos = doc.get("algorithms").expect("algorithms section present");
+    for &(label, _) in algorithms {
+        let entry = algos.get(label).unwrap_or_else(|| panic!("{label} section present"));
+        let success = entry
+            .get("recovery_success_rate")
+            .and_then(serde_json::Value::as_f64)
+            .expect("recovery_success_rate present");
+        assert!((0.0..=1.0).contains(&success), "{label}: success rate {success} out of range");
+        let crashes = entry
+            .get("report")
+            .and_then(|r| r.get("faults"))
+            .and_then(|f| f.get("crashes_injected"))
+            .and_then(serde_json::Value::as_f64)
+            .expect("crashes_injected present");
+        assert_eq!(crashes as usize, scale.crashes, "{label}: crash count mismatch");
+    }
+}

@@ -29,6 +29,7 @@ fn main() {
         mean_lifetime: 8,
         seed: args.seed,
         weights: ObjectiveWeights { bandwidth: args.theta_bw, hosts: args.theta_c },
+        ..ChurnConfig::default()
     };
     let algorithms = [
         Algorithm::GreedyCompute,

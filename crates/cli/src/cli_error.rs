@@ -27,6 +27,8 @@ pub enum CliError {
     Heat(ostro_heat::HeatError),
     /// Placement failed.
     Placement(ostro_core::PlacementError),
+    /// A churn simulation failed.
+    Sim(ostro_sim::SimError),
     /// A supplied capacity state does not match the infrastructure.
     StateMismatch,
 }
@@ -40,6 +42,7 @@ impl fmt::Display for CliError {
             Self::Build(e) => write!(f, "invalid infrastructure: {e}"),
             Self::Heat(e) => write!(f, "{e}"),
             Self::Placement(e) => write!(f, "placement failed: {e}"),
+            Self::Sim(e) => write!(f, "simulation failed: {e}"),
             Self::StateMismatch => {
                 write!(f, "the capacity state does not match the infrastructure")
             }
@@ -55,6 +58,7 @@ impl Error for CliError {
             Self::Build(e) => Some(e),
             Self::Heat(e) => Some(e),
             Self::Placement(e) => Some(e),
+            Self::Sim(e) => Some(e),
             _ => None,
         }
     }
@@ -75,6 +79,12 @@ impl From<ostro_heat::HeatError> for CliError {
 impl From<ostro_core::PlacementError> for CliError {
     fn from(e: ostro_core::PlacementError) -> Self {
         CliError::Placement(e)
+    }
+}
+
+impl From<ostro_sim::SimError> for CliError {
+    fn from(e: ostro_sim::SimError) -> Self {
+        CliError::Sim(e)
     }
 }
 

@@ -53,6 +53,28 @@ pub enum Command {
         /// Optional path to the capacity state.
         state: Option<String>,
     },
+    /// Run a churn simulation, optionally with fault injection.
+    Churn {
+        /// Path to the infrastructure spec.
+        infra: String,
+        /// The algorithm to run.
+        algorithm: Algorithm,
+        /// Objective weights.
+        weights: ObjectiveWeights,
+        /// Arrival events to simulate.
+        arrivals: usize,
+        /// Mean tenant lifetime in ticks.
+        lifetime: usize,
+        /// RNG seed (workload and fault plan).
+        seed: u64,
+        /// Host crashes to schedule (0 with the probabilities at 0
+        /// disables fault injection entirely).
+        crashes: usize,
+        /// Per-attempt transient launch-failure probability.
+        launch_failure_prob: f64,
+        /// Per-tick stale-capacity race probability.
+        stale_race_prob: f64,
+    },
     /// Print an example input file.
     Example {
         /// `infra` or `template`.
@@ -88,6 +110,11 @@ usage:
                  [--state <file>] [--commit <file>]
   ostro validate --infra <file> --template <file> --placement <file>
                  [--state <file>]
+  ostro churn    --infra <file>
+                 [--algorithm egc|egbw|eg|bastar|dbastar] [--deadline-ms N]
+                 [--theta-bw X] [--theta-c X] [--seed N]
+                 [--arrivals N] [--lifetime N] [--crashes N]
+                 [--launch-failure-prob X] [--stale-race-prob X]
   ostro example  infra|template";
 
 impl Command {
@@ -121,37 +148,13 @@ impl Command {
                 Command::Inspect { infra: take(&mut flags, "infra")?, state: flags.remove("state") }
             }
             "place" => {
-                let deadline = flags
-                    .remove("deadline-ms")
-                    .map(|v| parse_num(&v, "deadline-ms"))
-                    .transpose()?
-                    .map(Duration::from_millis)
-                    .unwrap_or(Duration::from_millis(500));
-                let algorithm = match flags.remove("algorithm").as_deref() {
-                    None | Some("eg") => Algorithm::Greedy,
-                    Some("egc") => Algorithm::GreedyCompute,
-                    Some("egbw") => Algorithm::GreedyBandwidth,
-                    Some("bastar") => Algorithm::BoundedAStar,
-                    Some("dbastar") => Algorithm::DeadlineBoundedAStar { deadline },
-                    Some(other) => {
-                        return Err(CliError::Usage(format!("unknown algorithm `{other}`")))
-                    }
-                };
-                let theta_bw = flags
-                    .remove("theta-bw")
-                    .map(|v| parse_float(&v, "theta-bw"))
-                    .transpose()?
-                    .unwrap_or(0.6);
-                let theta_c = flags
-                    .remove("theta-c")
-                    .map(|v| parse_float(&v, "theta-c"))
-                    .transpose()?
-                    .unwrap_or(1.0 - theta_bw);
+                let algorithm = algorithm_flags(&mut flags)?;
+                let weights = weight_flags(&mut flags)?;
                 Command::Place {
                     infra: take(&mut flags, "infra")?,
                     template: take(&mut flags, "template")?,
                     algorithm,
-                    weights: ObjectiveWeights::new(theta_bw, theta_c)?,
+                    weights,
                     seed: flags
                         .remove("seed")
                         .map(|v| parse_num(&v, "seed"))
@@ -172,6 +175,45 @@ impl Command {
                 placement: take(&mut flags, "placement")?,
                 state: flags.remove("state"),
             },
+            "churn" => {
+                let algorithm = algorithm_flags(&mut flags)?;
+                let weights = weight_flags(&mut flags)?;
+                Command::Churn {
+                    infra: take(&mut flags, "infra")?,
+                    algorithm,
+                    weights,
+                    arrivals: flags
+                        .remove("arrivals")
+                        .map(|v| parse_num(&v, "arrivals"))
+                        .transpose()?
+                        .unwrap_or(40) as usize,
+                    lifetime: flags
+                        .remove("lifetime")
+                        .map(|v| parse_num(&v, "lifetime"))
+                        .transpose()?
+                        .unwrap_or(8) as usize,
+                    seed: flags
+                        .remove("seed")
+                        .map(|v| parse_num(&v, "seed"))
+                        .transpose()?
+                        .unwrap_or(7),
+                    crashes: flags
+                        .remove("crashes")
+                        .map(|v| parse_num(&v, "crashes"))
+                        .transpose()?
+                        .unwrap_or(0) as usize,
+                    launch_failure_prob: flags
+                        .remove("launch-failure-prob")
+                        .map(|v| parse_float(&v, "launch-failure-prob"))
+                        .transpose()?
+                        .unwrap_or(0.0),
+                    stale_race_prob: flags
+                        .remove("stale-race-prob")
+                        .map(|v| parse_float(&v, "stale-race-prob"))
+                        .transpose()?
+                        .unwrap_or(0.0),
+                }
+            }
             "example" => Command::Example {
                 kind: positional
                     .first()
@@ -216,6 +258,27 @@ impl Command {
             Command::Validate { infra, template, placement, state } => {
                 validate(infra, template, placement, state.as_deref())
             }
+            Command::Churn {
+                infra,
+                algorithm,
+                weights,
+                arrivals,
+                lifetime,
+                seed,
+                crashes,
+                launch_failure_prob,
+                stale_race_prob,
+            } => churn(
+                infra,
+                *algorithm,
+                *weights,
+                *arrivals,
+                *lifetime,
+                *seed,
+                *crashes,
+                *launch_failure_prob,
+                *stale_race_prob,
+            ),
             Command::Example { kind } => example(kind),
         }
     }
@@ -228,6 +291,36 @@ impl Command {
 /// Any [`CliError`].
 pub fn run<I: IntoIterator<Item = String>>(args: I) -> Result<String, CliError> {
     Command::parse(args)?.execute()
+}
+
+/// Shared `--algorithm` / `--deadline-ms` handling for `place`/`churn`.
+fn algorithm_flags(flags: &mut BTreeMap<String, String>) -> Result<Algorithm, CliError> {
+    let deadline = flags
+        .remove("deadline-ms")
+        .map(|v| parse_num(&v, "deadline-ms"))
+        .transpose()?
+        .map(Duration::from_millis)
+        .unwrap_or(Duration::from_millis(500));
+    match flags.remove("algorithm").as_deref() {
+        None | Some("eg") => Ok(Algorithm::Greedy),
+        Some("egc") => Ok(Algorithm::GreedyCompute),
+        Some("egbw") => Ok(Algorithm::GreedyBandwidth),
+        Some("bastar") => Ok(Algorithm::BoundedAStar),
+        Some("dbastar") => Ok(Algorithm::DeadlineBoundedAStar { deadline }),
+        Some(other) => Err(CliError::Usage(format!("unknown algorithm `{other}`"))),
+    }
+}
+
+/// Shared `--theta-bw` / `--theta-c` handling for `place`/`churn`.
+fn weight_flags(flags: &mut BTreeMap<String, String>) -> Result<ObjectiveWeights, CliError> {
+    let theta_bw =
+        flags.remove("theta-bw").map(|v| parse_float(&v, "theta-bw")).transpose()?.unwrap_or(0.6);
+    let theta_c = flags
+        .remove("theta-c")
+        .map(|v| parse_float(&v, "theta-c"))
+        .transpose()?
+        .unwrap_or(1.0 - theta_bw);
+    Ok(ObjectiveWeights::new(theta_bw, theta_c)?)
 }
 
 fn parse_num(v: &str, flag: &str) -> Result<u64, CliError> {
@@ -371,6 +464,40 @@ fn validate(
         }
         Ok(out)
     }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn churn(
+    infra_path: &str,
+    algorithm: Algorithm,
+    weights: ObjectiveWeights,
+    arrivals: usize,
+    lifetime: usize,
+    seed: u64,
+    crashes: usize,
+    launch_failure_prob: f64,
+    stale_race_prob: f64,
+) -> Result<String, CliError> {
+    let infra = load_infra(infra_path)?;
+    let faults = (crashes > 0 || launch_failure_prob > 0.0 || stale_race_prob > 0.0).then(|| {
+        ostro_sim::FaultConfig {
+            seed,
+            host_crashes: crashes,
+            launch_failure_prob,
+            stale_race_prob,
+            ..ostro_sim::FaultConfig::default()
+        }
+    });
+    let config = ostro_sim::ChurnConfig {
+        arrivals,
+        mean_lifetime: lifetime.max(1),
+        seed,
+        weights,
+        faults,
+        ..ostro_sim::ChurnConfig::default()
+    };
+    let report = ostro_sim::run_churn(&infra, algorithm, &config)?;
+    Ok(serde_json::to_string_pretty(&report).expect("serializable") + "\n")
 }
 
 fn example(kind: &str) -> Result<String, CliError> {
@@ -552,6 +679,55 @@ mod tests {
         let reserved: u64 = d1.reserved_bandwidth_mbps + d2.reserved_bandwidth_mbps;
         let _ = reserved;
         assert!(summary.contains("reserved bandwidth"), "{summary}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_accepts_churn_invocation() {
+        let cmd = Command::parse(argv(
+            "churn --infra i.json --algorithm eg --arrivals 12 --lifetime 3 \
+             --seed 9 --crashes 2 --launch-failure-prob 0.1 --stale-race-prob 0.25",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Churn {
+                arrivals,
+                lifetime,
+                seed,
+                crashes,
+                launch_failure_prob,
+                stale_race_prob,
+                ..
+            } => {
+                assert_eq!(arrivals, 12);
+                assert_eq!(lifetime, 3);
+                assert_eq!(seed, 9);
+                assert_eq!(crashes, 2);
+                assert!((launch_failure_prob - 0.1).abs() < 1e-12);
+                assert!((stale_race_prob - 0.25).abs() < 1e-12);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(matches!(Command::parse(argv("churn --arrivals 5")), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn churn_subcommand_reports_faults_deterministically() {
+        let dir = tempdir("churn");
+        let (infra, _) = write_examples(&dir);
+        let cmdline = format!(
+            "churn --infra {infra} --arrivals 8 --lifetime 4 --seed 5 \
+             --crashes 2 --launch-failure-prob 0.05 --stale-race-prob 0.2"
+        );
+        let out = run(argv(&cmdline)).unwrap();
+        let mut a: ostro_sim::ChurnReport = serde_json::from_str(&out).unwrap();
+        assert_eq!(a.faults.crashes_injected, 2);
+        assert_eq!(a.accepted + a.rejected + a.faults.deploy_failures, 8);
+        let mut b: ostro_sim::ChurnReport =
+            serde_json::from_str(&run(argv(&cmdline)).unwrap()).unwrap();
+        a.mean_solver_secs = 0.0;
+        b.mean_solver_secs = 0.0;
+        assert_eq!(a, b, "same seed must yield an identical churn report");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -9,6 +9,9 @@
 //!                [--seed N] [--state state.json] [--commit new-state.json]
 //! ostro validate --infra infra.json --template app.json
 //!                --placement placement.json [--state state.json]
+//! ostro churn    --infra infra.json [--algorithm ...] [--arrivals N]
+//!                [--lifetime N] [--seed N] [--crashes N]
+//!                [--launch-failure-prob X] [--stale-race-prob X]
 //! ostro example  infra|template
 //! ```
 //!

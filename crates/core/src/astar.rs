@@ -127,7 +127,9 @@ pub(crate) fn run_astar<'a, P: SearchPolicy>(
     // Expand the root directly (it has no generating entry).
     let mut frontier: Vec<(u32, Path<'a>)> = vec![(u32::MAX, root)];
     while let Some((_, path)) = frontier.pop() {
-        let node = path.next_node(ctx).expect("incomplete path has a next node");
+        // Frontier paths are incomplete by construction — a complete
+        // path is recorded as an upper bound, never expanded.
+        let Some(node) = path.next_node(ctx) else { continue };
         let (hosts, symmetry_skipped) = feasible_hosts_counted(ctx, &path, node);
         stats.symmetry_skipped += symmetry_skipped;
         let scored = score_candidates(ctx, &path, node, &hosts, stats);

@@ -6,6 +6,10 @@
 //! Hidden from docs: this is not a public API and carries no stability
 //! promise.
 
+// Harness-only code: fixtures are constructed, not parsed, so a
+// violated expectation is a broken benchmark, not a runtime fault.
+#![allow(clippy::expect_used)]
+
 use ostro_datacenter::{CapacityState, HostId, Infrastructure};
 use ostro_model::ApplicationTopology;
 

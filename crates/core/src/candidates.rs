@@ -188,9 +188,12 @@ pub(crate) fn score_candidates(
             .enumerate()
             .filter_map(|(j, &h)| score_one(ctx, path, node, h, bound_of(offset + j)))
             .collect();
-        *results[ci].lock().unwrap() = scored;
+        *results[ci].lock().unwrap_or_else(std::sync::PoisonError::into_inner) = scored;
     });
-    results.into_iter().flat_map(|slot| slot.into_inner().unwrap()).collect()
+    results
+        .into_iter()
+        .flat_map(|slot| slot.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner))
+        .collect()
 }
 
 /// Resolves the heuristic lower bound for every candidate through the
@@ -216,7 +219,9 @@ fn resolve_bounds(
         .iter()
         .map(|&h| Ctx::bound_key(node, path.signature, path.overlay.host_group_signature(h)))
         .collect();
-    let mut cache = ctx.bound_cache.lock().unwrap();
+    // A poisoned cache only ever holds fully-inserted entries; keep
+    // using it rather than aborting the whole search.
+    let mut cache = ctx.bound_cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     let mut seen: FxHashSet<(u32, u64)> = FxHashSet::default();
     // One representative host index per unresolved key.
     let misses: Vec<(usize, (u32, u64))> = keys

@@ -37,6 +37,17 @@ pub enum PlacementError {
         /// Assignments in the placement.
         actual: usize,
     },
+    /// An online re-placement request whose prior-assignment vector
+    /// does not cover the topology (one slot per node).
+    PriorLengthMismatch {
+        /// Nodes in the topology.
+        expected: usize,
+        /// Slots in the prior assignment.
+        actual: usize,
+    },
+    /// The search returned a path that does not assign every node — an
+    /// internal invariant violation, surfaced instead of panicking.
+    IncompleteAssignment,
     /// A capacity operation failed while committing or releasing a
     /// placement.
     Capacity(CapacityError),
@@ -59,6 +70,12 @@ impl fmt::Display for PlacementError {
             }
             Self::SizeMismatch { expected, actual } => {
                 write!(f, "placement covers {actual} nodes but topology has {expected}")
+            }
+            Self::PriorLengthMismatch { expected, actual } => {
+                write!(f, "prior assignment has {actual} slots but topology has {expected} nodes")
+            }
+            Self::IncompleteAssignment => {
+                write!(f, "search returned a path that leaves nodes unassigned")
             }
             Self::Capacity(e) => write!(f, "capacity error: {e}"),
         }

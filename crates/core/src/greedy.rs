@@ -17,7 +17,14 @@ pub(crate) fn pinned_root<'a>(ctx: &Ctx<'a>) -> Result<Path<'a>, PlacementError>
     let mut path = Path::empty(ctx);
     for i in 0..ctx.pinned_prefix {
         let node = ctx.order[i];
-        let host = ctx.pinned[node.index()].expect("pinned prefix nodes have hosts");
+        // The order puts pinned nodes first, so a `None` here is an
+        // internal inconsistency; surface it rather than panic.
+        let Some(host) = ctx.pinned[node.index()] else {
+            return Err(PlacementError::Infeasible {
+                node,
+                name: ctx.topo.node(node).name().to_owned(),
+            });
+        };
         let feasible = feasible_hosts(ctx, &path, node);
         if !feasible.contains(&host) {
             return Err(PlacementError::Infeasible {

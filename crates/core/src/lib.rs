@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 //! The Ostro placement engine: holistic scheduling of whole application
 //! topologies onto hierarchical data centers.
 //!
@@ -61,6 +62,7 @@ mod baselines;
 pub mod bench_support;
 mod candidates;
 mod deadline;
+mod deploy;
 mod error;
 mod greedy;
 mod heuristic;
@@ -73,6 +75,10 @@ mod scheduler;
 mod search;
 mod validate;
 
+pub use deploy::{
+    Degradation, DeployError, DeployPolicy, DeploymentReport, EvacuationOutcome, FaultProbe,
+    LaunchVerdict, NoFaults, NodeFate,
+};
 pub use error::PlacementError;
 pub use objective::{Normalizers, ObjectiveWeights};
 pub use online::OnlineOutcome;

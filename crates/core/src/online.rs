@@ -43,12 +43,11 @@ impl<'a> Scheduler<'a> {
     ///
     /// # Errors
     ///
-    /// Any [`PlacementError`] from the underlying algorithm once even
-    /// the fully unpinned round fails.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `prior.len() != topology.node_count()`.
+    /// [`PlacementError::PriorLengthMismatch`] when `prior` does not
+    /// hold exactly one slot per topology node (a malformed online
+    /// request is a recoverable error, not a crash), or any
+    /// [`PlacementError`] from the underlying algorithm once even the
+    /// fully unpinned round fails.
     pub fn replace_online(
         &self,
         topology: &ApplicationTopology,
@@ -57,7 +56,12 @@ impl<'a> Scheduler<'a> {
         prior: &[Option<HostId>],
         max_rounds: u32,
     ) -> Result<OnlineOutcome, PlacementError> {
-        assert_eq!(prior.len(), topology.node_count(), "one prior slot per node");
+        if prior.len() != topology.node_count() {
+            return Err(PlacementError::PriorLengthMismatch {
+                expected: topology.node_count(),
+                actual: prior.len(),
+            });
+        }
         let mut pinned: Vec<Option<HostId>> = prior.to_vec();
         let mut rounds = 0u32;
         loop {
@@ -103,7 +107,7 @@ fn unpin_frontier(topology: &ApplicationTopology, pinned: &mut [Option<HostId>],
         }
     }
     while let Some(v) = queue.pop_front() {
-        let d = distance[v.index()].expect("queued nodes have distances");
+        let Some(d) = distance[v.index()] else { continue };
         if d >= hops {
             continue;
         }
@@ -250,6 +254,25 @@ mod tests {
         let prior = vec![None; 1];
         let err = scheduler.replace_online(&topo, &state, &request(), &prior, 3);
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn malformed_prior_is_a_typed_error_not_a_panic() {
+        let inf = infra();
+        let scheduler = Scheduler::new(&inf);
+        let state = CapacityState::new(&inf);
+        let mut b = TopologyBuilder::new("app");
+        b.vm("a", 1, 1_024).unwrap();
+        b.vm("b", 1, 1_024).unwrap();
+        let topo = b.build().unwrap();
+        // One slot short.
+        let err = scheduler.replace_online(&topo, &state, &request(), &[None], 2).unwrap_err();
+        assert_eq!(err, PlacementError::PriorLengthMismatch { expected: 2, actual: 1 });
+        // One slot too many.
+        let err = scheduler
+            .replace_online(&topo, &state, &request(), &[None, None, None], 2)
+            .unwrap_err();
+        assert_eq!(err, PlacementError::PriorLengthMismatch { expected: 2, actual: 3 });
     }
 
     #[test]

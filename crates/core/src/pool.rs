@@ -26,8 +26,15 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
+
+/// Locks ignoring poisoning: a panicked scoring task is already
+/// counted by [`Batch::drain`], and every structure guarded here stays
+/// consistent across a panic (counters and slots, no partial writes).
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// One scoring batch: the erased task function plus the claim cursor
 /// and completion bookkeeping all participants share.
@@ -73,7 +80,7 @@ impl Batch {
             // its wait loop and the task borrow is alive.
             let task = unsafe { &*self.task };
             let outcome = catch_unwind(AssertUnwindSafe(|| task(index)));
-            let mut done = self.done.lock().unwrap();
+            let mut done = lock_unpoisoned(&self.done);
             done.completed += 1;
             done.panicked += usize::from(outcome.is_err());
             if done.completed == self.tasks {
@@ -113,13 +120,16 @@ impl ScoringPool {
     /// (at least one — the caller itself).
     pub(crate) fn new(threads: usize) -> Self {
         let shared = Arc::new(Shared::default());
+        // A thread the OS refuses to spawn simply isn't a participant:
+        // the caller drains every batch itself, so the pool degrades
+        // to fewer workers instead of failing.
         let workers = (1..threads.max(1))
-            .map(|i| {
+            .filter_map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("ostro-score-{i}"))
                     .spawn(move || worker_loop(&shared))
-                    .expect("failed to spawn scoring worker")
+                    .ok()
             })
             .collect();
         ScoringPool { shared, workers }
@@ -162,23 +172,23 @@ impl ScoringPool {
             all_done: Condvar::new(),
         });
         {
-            let mut slot = self.shared.slot.lock().unwrap();
+            let mut slot = lock_unpoisoned(&self.shared.slot);
             slot.generation += 1;
             slot.batch = Some(Arc::clone(&batch));
         }
         self.shared.work_ready.notify_all();
         // The caller works the batch too instead of blocking idle.
         batch.drain();
-        let mut done = batch.done.lock().unwrap();
+        let mut done = lock_unpoisoned(&batch.done);
         while done.completed < tasks {
-            done = batch.all_done.wait(done).unwrap();
+            done = batch.all_done.wait(done).unwrap_or_else(PoisonError::into_inner);
         }
         let panicked = done.panicked;
         drop(done);
         // Retire the batch so no stale `task` pointer lingers in the
         // slot after this borrow ends (drained handles held by workers
         // can no longer claim, hence never dereference).
-        self.shared.slot.lock().unwrap().batch = None;
+        lock_unpoisoned(&self.shared.slot).batch = None;
         assert!(panicked == 0, "{panicked} candidate scoring task(s) panicked");
     }
 }
@@ -187,7 +197,7 @@ fn worker_loop(shared: &Shared) {
     let mut seen_generation = 0;
     loop {
         let batch = {
-            let mut slot = shared.slot.lock().unwrap();
+            let mut slot = lock_unpoisoned(&shared.slot);
             loop {
                 if slot.shutdown {
                     return;
@@ -198,7 +208,7 @@ fn worker_loop(shared: &Shared) {
                         break batch;
                     }
                 }
-                slot = shared.work_ready.wait(slot).unwrap();
+                slot = shared.work_ready.wait(slot).unwrap_or_else(PoisonError::into_inner);
             }
         };
         batch.drain();
@@ -208,7 +218,7 @@ fn worker_loop(shared: &Shared) {
 impl Drop for ScoringPool {
     fn drop(&mut self) {
         {
-            let mut slot = self.shared.slot.lock().unwrap();
+            let mut slot = lock_unpoisoned(&self.shared.slot);
             slot.shutdown = true;
         }
         self.shared.work_ready.notify_all();

@@ -127,14 +127,22 @@ impl<'a> Scheduler<'a> {
             }
         };
         drop(ctx);
-        Ok(Self::outcome(path, stats, started))
+        Self::outcome(path, stats, started)
     }
 
-    fn outcome(path: Path<'_>, stats: SearchStats, started: Instant) -> PlacementOutcome {
-        let assignments: Vec<HostId> =
-            path.assignment.iter().map(|h| h.expect("complete path assigns every node")).collect();
+    fn outcome(
+        path: Path<'_>,
+        stats: SearchStats,
+        started: Instant,
+    ) -> Result<PlacementOutcome, PlacementError> {
+        let assignments: Vec<HostId> = path
+            .assignment
+            .iter()
+            .copied()
+            .collect::<Option<_>>()
+            .ok_or(PlacementError::IncompleteAssignment)?;
         let placement = Placement::new(assignments);
-        PlacementOutcome {
+        Ok(PlacementOutcome {
             objective: path.u_star,
             reserved_bandwidth: Bandwidth::from_mbps(path.ubw_mbps),
             new_active_hosts: path.new_hosts(),
@@ -142,7 +150,7 @@ impl<'a> Scheduler<'a> {
             elapsed: started.elapsed(),
             stats,
             placement,
-        }
+        })
     }
 
     /// Applies a placement decision to live capacity state, reserving

@@ -107,17 +107,18 @@ impl AvailabilityProfile {
                     sample(rng, bucket.bandwidth_mbps.0, bucket.bandwidth_mbps.1)
                         .min(host.nic().as_mbps()),
                 );
+                // Cannot fail: the samples are clamped to capacity
+                // above. Checked in debug builds only — a fresh state
+                // with clamped preloads has no runtime failure path.
                 let used = Resources::new(cap.vcpus - avail_cores, cap.memory_mb - avail_mem, 0);
                 if !used.is_zero() {
-                    state
-                        .reserve_node(host_id, used)
-                        .expect("preload within capacity by construction");
+                    let reserved = state.reserve_node(host_id, used);
+                    debug_assert!(reserved.is_ok(), "preload within capacity by construction");
                 }
                 let used_bw = host.nic() - avail_bw;
                 if !used_bw.is_zero() {
-                    state
-                        .preload_link(LinkRef::HostNic(host_id), used_bw)
-                        .expect("preload within NIC capacity by construction");
+                    let preloaded = state.preload_link(LinkRef::HostNic(host_id), used_bw);
+                    debug_assert!(preloaded.is_ok(), "preload within NIC capacity by construction");
                 }
             }
         }

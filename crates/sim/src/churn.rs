@@ -7,14 +7,24 @@
 //! placements, and the metrics that matter to an operator — acceptance
 //! rate, active hosts, reserved bandwidth over time — can be compared
 //! across algorithms.
+//!
+//! With a [`FaultConfig`] attached, the run also exercises the
+//! failure-aware deployment pipeline: arrivals are committed through
+//! [`Scheduler::deploy`] under the plan's launch failures and
+//! stale-capacity races, and scheduled host crashes trigger quarantine
+//! plus tenant evacuation via [`Scheduler::evacuate`]. The
+//! [`FaultStats`] block of the report aggregates the recovery metrics.
 
-use ostro_core::{Algorithm, ObjectiveWeights, Placement, PlacementRequest, Scheduler};
-use ostro_datacenter::{CapacityState, Infrastructure};
-use ostro_model::{ApplicationTopology, Bandwidth};
+use ostro_core::{
+    Algorithm, DeployPolicy, NoFaults, ObjectiveWeights, PlacementRequest, Scheduler,
+};
+use ostro_datacenter::{CapacityState, HostId, Infrastructure};
+use ostro_model::{ApplicationTopology, Bandwidth, Resources};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use crate::faults::{FaultConfig, FaultPlan, PlanProbe};
 use crate::requirements::RequirementMix;
 use crate::runner::SimError;
 use crate::workloads::{mesh, multi_tier, qfs_topology};
@@ -30,6 +40,17 @@ pub struct ChurnConfig {
     pub seed: u64,
     /// Objective weights for every placement.
     pub weights: ObjectiveWeights,
+    /// Optional fault-injection plan; `None` runs a clean deployment.
+    #[serde(default)]
+    pub faults: Option<FaultConfig>,
+    /// Retry / backoff / degradation policy of the deployment executor.
+    #[serde(default)]
+    pub deploy: DeployPolicy,
+    /// Expansion cap forwarded to every placement request (0 =
+    /// unlimited). A finite cap makes DBA\* runs reproducible: the
+    /// deterministic expansion budget binds before the wall clock.
+    #[serde(default)]
+    pub max_expansions: u64,
 }
 
 impl Default for ChurnConfig {
@@ -39,6 +60,65 @@ impl Default for ChurnConfig {
             mean_lifetime: 10,
             seed: 7,
             weights: ObjectiveWeights::SIMULATION,
+            faults: None,
+            deploy: DeployPolicy::default(),
+            max_expansions: 0,
+        }
+    }
+}
+
+/// Fault-injection and recovery metrics of one churn run. All zeros
+/// when the run had no fault plan.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Host crashes injected by the plan.
+    pub crashes_injected: usize,
+    /// Stale-capacity races that actually grabbed capacity.
+    pub stale_races_injected: usize,
+    /// Transient launch failures absorbed by the executor's retries.
+    pub launch_retries: u64,
+    /// Simulated ticks spent in retry backoff across all deployments.
+    pub backoff_ticks: u64,
+    /// Fallback re-placements performed by the executor.
+    pub deploy_fallbacks: u64,
+    /// Arrivals the solver accepted but the executor could not commit.
+    pub deploy_failures: usize,
+    /// Best-effort nodes dropped under the degradation policy.
+    pub dropped_nodes: usize,
+    /// Tenants successfully evacuated off crashed hosts.
+    pub tenants_evacuated: usize,
+    /// Tenants abandoned because recovery found no feasible placement.
+    pub tenants_abandoned: usize,
+    /// Replicas lost to crashes (their reservations were released).
+    pub dead_replicas_released: usize,
+    /// Surviving nodes a recovery had to move to new hosts.
+    pub repositioned_nodes: usize,
+    /// Pin-relaxation rounds consumed by evacuations.
+    pub recovery_rounds: u64,
+    /// Simulated ticks spent re-deploying evacuated tenants.
+    pub recovery_ticks: u64,
+}
+
+impl FaultStats {
+    /// Fraction of crash-affected tenants that were recovered
+    /// (1.0 when no tenant was ever affected).
+    #[must_use]
+    pub fn recovery_success_rate(&self) -> f64 {
+        let affected = self.tenants_evacuated + self.tenants_abandoned;
+        if affected == 0 {
+            1.0
+        } else {
+            self.tenants_evacuated as f64 / affected as f64
+        }
+    }
+
+    /// Mean simulated ticks to re-deploy an evacuated tenant.
+    #[must_use]
+    pub fn mean_ticks_to_recover(&self) -> f64 {
+        if self.tenants_evacuated == 0 {
+            0.0
+        } else {
+            self.recovery_ticks as f64 / self.tenants_evacuated as f64
         }
     }
 }
@@ -46,7 +126,7 @@ impl Default for ChurnConfig {
 /// Aggregate metrics of one churn run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ChurnReport {
-    /// Arrivals that were successfully placed.
+    /// Arrivals that were successfully placed *and* deployed.
     pub accepted: usize,
     /// Arrivals rejected as infeasible (or search-exhausted).
     pub rejected: usize,
@@ -60,14 +140,17 @@ pub struct ChurnReport {
     pub peak_reserved_mbps: u64,
     /// Mean solver time per accepted placement, seconds.
     pub mean_solver_secs: f64,
+    /// Fault-injection and recovery metrics.
+    #[serde(default)]
+    pub faults: FaultStats,
 }
 
-/// The acceptance-rate convenience: accepted / arrivals.
 impl ChurnReport {
-    /// Fraction of arrivals that were placed.
+    /// Fraction of arrivals that ended up deployed; a solver acceptance
+    /// that later failed deployment counts against the rate.
     #[must_use]
     pub fn acceptance_rate(&self) -> f64 {
-        let total = self.accepted + self.rejected;
+        let total = self.accepted + self.rejected + self.faults.deploy_failures;
         if total == 0 {
             1.0
         } else {
@@ -78,7 +161,8 @@ impl ChurnReport {
 
 struct Tenant {
     topology: ApplicationTopology,
-    placement: Placement,
+    /// Node → host, `None` for dropped best-effort replicas.
+    assignment: Vec<Option<HostId>>,
     expires_at: usize,
 }
 
@@ -93,7 +177,7 @@ fn random_application<R: Rng + ?Sized>(
         RequirementMix::homogeneous()
     };
     let topology = match rng.gen_range(0..3u8) {
-        0 => multi_tier(*[25, 50, 75].get(rng.gen_range(0..3)).expect("static"), &mix, rng)?,
+        0 => multi_tier([25, 50, 75][rng.gen_range(0..3)], &mix, rng)?,
         1 => mesh(rng.gen_range(3..9), &mix, rng)?,
         _ => qfs_topology()?,
     };
@@ -120,24 +204,51 @@ fn random_application<R: Rng + ?Sized>(
     Ok(builder.build()?)
 }
 
+/// The capacity grabbed by a stale-capacity race: `fraction` of what
+/// the raced host currently has free.
+fn race_grab(avail: Resources, fraction: f64) -> Resources {
+    Resources::new(
+        (f64::from(avail.vcpus) * fraction) as u32,
+        (avail.memory_mb as f64 * fraction) as u64,
+        (avail.disk_gb as f64 * fraction) as u64,
+    )
+}
+
 /// Runs the churn simulation with one algorithm.
 ///
 /// Each tick, expired tenants depart (their resources are released),
-/// then one new application arrives and is placed if feasible.
+/// scheduled host crashes are injected and recovered from, then one new
+/// application arrives and is placed + deployed if feasible.
 ///
 /// # Errors
 ///
-/// Propagates only *setup* failures (workload generation); placement
-/// infeasibility is counted as a rejection, not an error.
+/// Propagates *setup* failures (workload generation) and
+/// [`SimError::Release`] on a capacity-accounting violation; placement
+/// infeasibility and deployment failures are counted in the report,
+/// not returned as errors.
 pub fn run_churn(
     infra: &Infrastructure,
     algorithm: Algorithm,
     config: &ChurnConfig,
 ) -> Result<ChurnReport, SimError> {
+    churn_run(infra, algorithm, config).map(|(report, _, _)| report)
+}
+
+/// The full churn loop, also yielding the final capacity state and the
+/// tenants still deployed — the hooks the leak-regression tests use.
+fn churn_run(
+    infra: &Infrastructure,
+    algorithm: Algorithm,
+    config: &ChurnConfig,
+) -> Result<(ChurnReport, CapacityState, Vec<Tenant>), SimError> {
     let mut rng = SmallRng::seed_from_u64(config.seed);
     let mut state = CapacityState::new(infra);
     let scheduler = Scheduler::new(infra);
     let mut tenants: Vec<Tenant> = Vec::new();
+    let plan = config
+        .faults
+        .as_ref()
+        .map(|fc| FaultPlan::generate(fc, infra.host_count(), config.arrivals));
 
     let mut accepted = 0usize;
     let mut rejected = 0usize;
@@ -146,42 +257,156 @@ pub fn run_churn(
     let mut reserved_sum = 0f64;
     let mut peak_reserved = Bandwidth::ZERO;
     let mut solver_secs = 0f64;
+    let mut stats = FaultStats::default();
 
     for tick in 0..config.arrivals {
+        let request = PlacementRequest {
+            algorithm,
+            weights: config.weights,
+            seed: config.seed ^ tick as u64,
+            max_expansions: config.max_expansions,
+            ..PlacementRequest::default()
+        };
+
         // Departures first.
         let mut staying = Vec::with_capacity(tenants.len());
         for tenant in tenants {
             if tenant.expires_at <= tick {
                 scheduler
-                    .release(&tenant.topology, &tenant.placement, &mut state)
-                    .expect("accepted tenants release cleanly");
+                    .release_partial(&tenant.topology, &tenant.assignment, &mut state)
+                    .map_err(|source| SimError::Release {
+                        tenant: tenant.topology.name().to_owned(),
+                        source,
+                    })?;
             } else {
                 staying.push(tenant);
             }
         }
         tenants = staying;
 
-        // One arrival.
+        // Scheduled host crashes: quarantine, then evacuate every
+        // tenant that had a replica on the dead host.
+        if let Some(plan) = &plan {
+            for host in plan.crashes_at(tick).collect::<Vec<_>>() {
+                stats.crashes_injected += 1;
+                state.quarantine_host(host);
+                let mut kept = Vec::with_capacity(tenants.len());
+                for mut tenant in tenants {
+                    if !tenant.assignment.contains(&Some(host)) {
+                        kept.push(tenant);
+                        continue;
+                    }
+                    match scheduler.evacuate(
+                        &tenant.topology,
+                        &tenant.assignment,
+                        &mut state,
+                        &request,
+                        host,
+                        config.deploy.unpin_rounds,
+                    ) {
+                        Ok(evac) => {
+                            stats.dead_replicas_released += evac.dead.len();
+                            stats.repositioned_nodes += evac.online.repositioned.len();
+                            stats.recovery_rounds += u64::from(evac.online.rounds);
+                            // Re-commit through the executor: recovery
+                            // deployments see launch faults too.
+                            let mut probe = PlanProbe::new(plan, tick);
+                            match scheduler.deploy(
+                                &tenant.topology,
+                                &evac.online.outcome.placement,
+                                &mut state,
+                                &request,
+                                &config.deploy,
+                                &[],
+                                &mut probe,
+                            ) {
+                                Ok(report) => {
+                                    stats.tenants_evacuated += 1;
+                                    stats.recovery_ticks += report.ticks;
+                                    stats.launch_retries += report.retries;
+                                    stats.deploy_fallbacks += u64::from(report.fallbacks);
+                                    stats.dropped_nodes += report.dropped;
+                                    tenant.assignment = report.assignment;
+                                    kept.push(tenant);
+                                }
+                                // The executor rolled back; the tenant
+                                // is already fully released.
+                                Err(_) => stats.tenants_abandoned += 1,
+                            }
+                        }
+                        // Even unpinned re-placement was infeasible;
+                        // `evacuate` released the tenant entirely.
+                        Err(_) => stats.tenants_abandoned += 1,
+                    }
+                }
+                tenants = kept;
+            }
+        }
+
+        // One arrival: decide, then deploy under injected faults.
         let topology = random_application(&mut rng, tick)?;
-        let request = PlacementRequest {
-            algorithm,
-            weights: config.weights,
-            seed: config.seed ^ tick as u64,
-            ..PlacementRequest::default()
-        };
         match scheduler.place(&topology, &state, &request) {
             Ok(outcome) => {
-                scheduler
-                    .commit(&topology, &outcome.placement, &mut state)
-                    .expect("placement was validated against this state");
                 solver_secs += outcome.elapsed.as_secs_f64();
-                accepted += 1;
-                let lifetime = rng.gen_range(1..=config.mean_lifetime * 2);
-                tenants.push(Tenant {
-                    topology,
-                    placement: outcome.placement,
-                    expires_at: tick + lifetime,
-                });
+                // A concurrent actor may grab capacity between the
+                // decision and our commit (and release it afterwards).
+                let mut phantom: Option<(HostId, Resources)> = None;
+                if let Some(plan) = &plan {
+                    if let Some(raced) = plan.stale_race(tick, infra.host_count()) {
+                        let grab = race_grab(state.available(raced), plan.stale_race_fraction());
+                        if grab != Resources::ZERO && state.reserve_node(raced, grab).is_ok() {
+                            stats.stale_races_injected += 1;
+                            phantom = Some((raced, grab));
+                        }
+                    }
+                }
+                let deployed = match &plan {
+                    Some(plan) => {
+                        let mut probe = PlanProbe::new(plan, tick);
+                        scheduler.deploy(
+                            &topology,
+                            &outcome.placement,
+                            &mut state,
+                            &request,
+                            &config.deploy,
+                            &[],
+                            &mut probe,
+                        )
+                    }
+                    None => scheduler.deploy(
+                        &topology,
+                        &outcome.placement,
+                        &mut state,
+                        &request,
+                        &config.deploy,
+                        &[],
+                        &mut NoFaults,
+                    ),
+                };
+                if let Some((host, grab)) = phantom {
+                    state.release_node(infra, host, grab).map_err(|source| SimError::Release {
+                        tenant: "stale-race phantom".into(),
+                        source: source.into(),
+                    })?;
+                }
+                match deployed {
+                    Ok(report) => {
+                        stats.launch_retries += report.retries;
+                        stats.backoff_ticks += report.ticks;
+                        stats.deploy_fallbacks += u64::from(report.fallbacks);
+                        stats.dropped_nodes += report.dropped;
+                        accepted += 1;
+                        let lifetime = rng.gen_range(1..=config.mean_lifetime * 2);
+                        tenants.push(Tenant {
+                            topology,
+                            assignment: report.assignment,
+                            expires_at: tick + lifetime,
+                        });
+                    }
+                    // Rolled back by the executor — the arrival is
+                    // refused at deployment time, not a crash.
+                    Err(_) => stats.deploy_failures += 1,
+                }
             }
             Err(_) => rejected += 1,
         }
@@ -195,7 +420,7 @@ pub fn run_churn(
     }
 
     let ticks = config.arrivals.max(1) as f64;
-    Ok(ChurnReport {
+    let report = ChurnReport {
         accepted,
         rejected,
         mean_active_hosts: active_sum / ticks,
@@ -203,7 +428,9 @@ pub fn run_churn(
         mean_reserved_mbps: reserved_sum / ticks,
         peak_reserved_mbps: peak_reserved.as_mbps(),
         mean_solver_secs: if accepted > 0 { solver_secs / accepted as f64 } else { 0.0 },
-    })
+        faults: stats,
+    };
+    Ok((report, state, tenants))
 }
 
 #[cfg(test)]
@@ -221,6 +448,19 @@ mod tests {
         ChurnConfig { arrivals, mean_lifetime: 5, ..ChurnConfig::default() }
     }
 
+    fn faulty_config(arrivals: usize) -> ChurnConfig {
+        ChurnConfig {
+            faults: Some(FaultConfig {
+                seed: 11,
+                host_crashes: 3,
+                launch_failure_prob: 0.05,
+                stale_race_prob: 0.2,
+                stale_race_fraction: 0.5,
+            }),
+            ..config(arrivals)
+        }
+    }
+
     #[test]
     fn churn_accepts_everything_on_a_roomy_cloud() {
         let infra = infra();
@@ -231,6 +471,7 @@ mod tests {
         assert!(report.peak_active_hosts > 0);
         assert!(report.mean_reserved_mbps >= 0.0);
         assert!(report.mean_solver_secs > 0.0);
+        assert_eq!(report.faults, FaultStats::default());
     }
 
     #[test]
@@ -278,5 +519,68 @@ mod tests {
         )
         .unwrap();
         assert_eq!(report.accepted + report.rejected, 6);
+    }
+
+    #[test]
+    fn faulty_churn_completes_and_recovers() {
+        let infra = infra();
+        let report = run_churn(&infra, Algorithm::Greedy, &faulty_config(30)).unwrap();
+        assert_eq!(report.faults.crashes_injected, 3);
+        assert!(report.accepted > 0);
+        assert!(report.faults.launch_retries > 0, "5% launch failures over 30 arrivals");
+        assert!(report.faults.recovery_success_rate() >= 0.0);
+        assert!(report.faults.recovery_success_rate() <= 1.0);
+        assert!(report.faults.mean_ticks_to_recover() >= 0.0);
+        // Every arrival is accounted for exactly once.
+        assert_eq!(
+            report.accepted + report.rejected + report.faults.deploy_failures,
+            30,
+            "faults must surface in the report, not vanish"
+        );
+    }
+
+    #[test]
+    fn faulty_churn_is_deterministic_per_seed() {
+        let infra = infra();
+        let cfg = faulty_config(20);
+        let mut a = run_churn(&infra, Algorithm::Greedy, &cfg).unwrap();
+        let mut b = run_churn(&infra, Algorithm::Greedy, &cfg).unwrap();
+        a.mean_solver_secs = 0.0;
+        b.mean_solver_secs = 0.0;
+        assert_eq!(a, b);
+    }
+
+    /// Capacity-leak regression: after a full churn run, releasing the
+    /// surviving tenants must restore the state to exactly fresh.
+    #[test]
+    fn clean_churn_run_leaks_no_capacity() {
+        let infra = infra();
+        let scheduler = Scheduler::new(&infra);
+        let (_, mut state, tenants) = churn_run(&infra, Algorithm::Greedy, &config(15)).unwrap();
+        for tenant in &tenants {
+            scheduler.release_partial(&tenant.topology, &tenant.assignment, &mut state).unwrap();
+        }
+        assert_eq!(state, CapacityState::new(&infra), "all reservations must be released");
+    }
+
+    /// Same invariant under fault injection: the only difference from a
+    /// fresh state must be the quarantined (crashed) hosts.
+    #[test]
+    fn faulty_churn_run_leaks_no_capacity() {
+        let infra = infra();
+        let scheduler = Scheduler::new(&infra);
+        let cfg = faulty_config(25);
+        let (report, mut state, tenants) = churn_run(&infra, Algorithm::Greedy, &cfg).unwrap();
+        for tenant in &tenants {
+            scheduler.release_partial(&tenant.topology, &tenant.assignment, &mut state).unwrap();
+        }
+        let mut expected = CapacityState::new(&infra);
+        let plan =
+            FaultPlan::generate(cfg.faults.as_ref().unwrap(), infra.host_count(), cfg.arrivals);
+        for &(_, host) in plan.crashes() {
+            expected.quarantine_host(host);
+        }
+        assert_eq!(report.faults.crashes_injected, plan.crashes().len());
+        assert_eq!(state, expected, "only the crash quarantines may remain");
     }
 }

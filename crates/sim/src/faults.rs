@@ -1,0 +1,294 @@
+//! Deterministic, seeded fault injection for churn simulations.
+//!
+//! A [`FaultPlan`] is generated once per run from a [`FaultConfig`] and
+//! pre-computes every fault the run will see:
+//!
+//! * **Host crashes** are scheduled up front — `(tick, host)` pairs
+//!   drawn from a seeded RNG — so two runs with the same seed kill the
+//!   same hosts at the same ticks.
+//! * **Transient launch failures** are drawn from a stateless
+//!   splitmix64 hash of `(seed, tick, node, host, attempt)`: the
+//!   verdict depends only on the coordinates of the attempt, never on
+//!   how many other random draws happened first, which keeps the plan
+//!   bit-deterministic even when deployment order changes.
+//! * **Stale-capacity races** — a concurrent actor grabbing capacity
+//!   between *decide* and *commit* — are likewise hash-drawn per tick,
+//!   naming the host whose free capacity shrinks under the deployment.
+//!
+//! [`PlanProbe`] adapts a plan to the executor's
+//! [`FaultProbe`](ostro_core::FaultProbe) interface for one tick.
+
+use ostro_core::{FaultProbe, LaunchVerdict};
+use ostro_datacenter::HostId;
+use ostro_model::NodeId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Knobs of a seeded fault-injection plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Seed for every fault stream (independent of the workload seed).
+    pub seed: u64,
+    /// Host crashes to schedule across the run (distinct hosts).
+    pub host_crashes: usize,
+    /// Probability that one launch attempt fails transiently.
+    pub launch_failure_prob: f64,
+    /// Per-tick probability that a stale-capacity race hits the
+    /// arrival's deployment.
+    pub stale_race_prob: f64,
+    /// Fraction of the raced host's free capacity the concurrent actor
+    /// grabs (clamped to `0.0..=1.0`).
+    pub stale_race_fraction: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            seed: 0xF_A0_17,
+            host_crashes: 2,
+            launch_failure_prob: 0.05,
+            stale_race_prob: 0.1,
+            stale_race_fraction: 0.5,
+        }
+    }
+}
+
+/// A fully materialized fault schedule for one churn run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    config: FaultConfig,
+    /// Crash schedule, sorted by tick: `(tick, host)`.
+    crashes: Vec<(usize, HostId)>,
+}
+
+impl FaultPlan {
+    /// Generates the plan for a run of `horizon` ticks over
+    /// `host_count` hosts. Crash ticks and victims are drawn from a
+    /// seeded RNG; each host crashes at most once, and at most
+    /// `horizon` crashes are scheduled.
+    #[must_use]
+    pub fn generate(config: &FaultConfig, host_count: usize, horizon: usize) -> Self {
+        let mut rng = SmallRng::seed_from_u64(config.seed ^ 0xC4A5_4E5C_4ED0_1E5A);
+        let wanted = config.host_crashes.min(host_count.saturating_sub(1)).min(horizon);
+        let mut victims: Vec<HostId> = Vec::with_capacity(wanted);
+        let mut crashes: Vec<(usize, HostId)> = Vec::with_capacity(wanted);
+        while crashes.len() < wanted {
+            let host = HostId::from_index(rng.gen_range(0..host_count as u32));
+            if victims.contains(&host) {
+                continue;
+            }
+            victims.push(host);
+            // Crash somewhere in the middle of the run so there are
+            // tenants to evacuate and ticks left to observe recovery.
+            let tick = rng.gen_range(1..horizon.max(2));
+            crashes.push((tick, host));
+        }
+        crashes.sort_unstable_by_key(|&(tick, host)| (tick, host.index()));
+        FaultPlan { config: config.clone(), crashes }
+    }
+
+    /// The configuration this plan was generated from.
+    #[must_use]
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// The full crash schedule, sorted by tick.
+    #[must_use]
+    pub fn crashes(&self) -> &[(usize, HostId)] {
+        &self.crashes
+    }
+
+    /// Hosts scheduled to crash at `tick`, in deterministic order.
+    pub fn crashes_at(&self, tick: usize) -> impl Iterator<Item = HostId> + '_ {
+        self.crashes.iter().filter(move |&&(t, _)| t == tick).map(|&(_, h)| h)
+    }
+
+    /// Whether launch attempt number `attempt` of `node` onto `host` at
+    /// `tick` fails transiently. Stateless: the verdict is a pure
+    /// function of the plan seed and the attempt coordinates.
+    #[must_use]
+    pub fn launch_fails(&self, tick: usize, node: NodeId, host: HostId, attempt: u32) -> bool {
+        let draw = hash_unit(&[
+            self.config.seed,
+            0x1A_0C_11,
+            tick as u64,
+            node.index() as u64,
+            host.index() as u64,
+            u64::from(attempt),
+        ]);
+        draw < self.config.launch_failure_prob
+    }
+
+    /// The host hit by a stale-capacity race at `tick`, if any.
+    #[must_use]
+    pub fn stale_race(&self, tick: usize, host_count: usize) -> Option<HostId> {
+        if host_count == 0 {
+            return None;
+        }
+        let draw = hash_unit(&[self.config.seed, 0x57A1E, tick as u64]);
+        if draw >= self.config.stale_race_prob {
+            return None;
+        }
+        let pick = hash(&[self.config.seed, 0x57A1E + 1, tick as u64]);
+        Some(HostId::from_index((pick % host_count as u64) as u32))
+    }
+
+    /// The clamped fraction of free capacity a race grabs.
+    #[must_use]
+    pub fn stale_race_fraction(&self) -> f64 {
+        self.config.stale_race_fraction.clamp(0.0, 1.0)
+    }
+}
+
+/// One tick's view of a [`FaultPlan`] as the deployment executor's
+/// fault probe.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanProbe<'a> {
+    plan: &'a FaultPlan,
+    tick: usize,
+}
+
+impl<'a> PlanProbe<'a> {
+    /// A probe injecting the plan's launch failures for `tick`.
+    #[must_use]
+    pub fn new(plan: &'a FaultPlan, tick: usize) -> Self {
+        PlanProbe { plan, tick }
+    }
+}
+
+impl FaultProbe for PlanProbe<'_> {
+    fn launch(&mut self, node: NodeId, host: HostId, attempt: u32) -> LaunchVerdict {
+        if self.plan.launch_fails(self.tick, node, host, attempt) {
+            LaunchVerdict::TransientFailure
+        } else {
+            LaunchVerdict::Launched
+        }
+    }
+}
+
+/// splitmix64 finalizer — the same mixer the vendored rand facade uses
+/// for seeding, applied here as a stateless hash.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Order-sensitive hash of a word sequence.
+fn hash(parts: &[u64]) -> u64 {
+    let mut h = 0x0DD0_5EED_F417_5EEDu64;
+    for &p in parts {
+        h = mix(h ^ p);
+    }
+    h
+}
+
+/// A hash mapped to the unit interval `[0, 1)` with 53-bit precision.
+fn hash_unit(parts: &[u64]) -> f64 {
+    (hash(parts) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(crashes: usize) -> FaultPlan {
+        let config = FaultConfig { host_crashes: crashes, ..FaultConfig::default() };
+        FaultPlan::generate(&config, 48, 30)
+    }
+
+    #[test]
+    fn same_seed_same_plan() {
+        assert_eq!(plan(5), plan(5));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan::generate(&FaultConfig::default(), 48, 30);
+        let b = FaultPlan::generate(&FaultConfig { seed: 99, ..FaultConfig::default() }, 48, 30);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn crash_schedule_is_distinct_and_in_range() {
+        let p = plan(10);
+        assert_eq!(p.crashes().len(), 10);
+        let mut hosts: Vec<_> = p.crashes().iter().map(|&(_, h)| h).collect();
+        hosts.sort_unstable_by_key(|h| h.index());
+        hosts.dedup();
+        assert_eq!(hosts.len(), 10, "each host crashes at most once");
+        assert!(p.crashes().iter().all(|&(t, h)| t < 30 && h.index() < 48));
+        let at: Vec<_> = p.crashes_at(p.crashes()[0].0).collect();
+        assert!(at.contains(&p.crashes()[0].1));
+    }
+
+    #[test]
+    fn crash_count_is_clamped_to_the_fleet() {
+        let config = FaultConfig { host_crashes: 100, ..FaultConfig::default() };
+        let p = FaultPlan::generate(&config, 4, 30);
+        assert_eq!(p.crashes().len(), 3, "always leaves at least one host alive");
+    }
+
+    #[test]
+    fn launch_failures_are_order_independent() {
+        let p = plan(0);
+        let node = NodeId::from_index(3);
+        let host = HostId::from_index(7);
+        let first = p.launch_fails(5, node, host, 0);
+        // Interleave unrelated draws; the original coordinates still
+        // produce the same verdict.
+        let _ = p.launch_fails(6, node, host, 0);
+        let _ = p.launch_fails(5, NodeId::from_index(4), host, 2);
+        assert_eq!(p.launch_fails(5, node, host, 0), first);
+    }
+
+    #[test]
+    fn launch_failure_rate_tracks_probability() {
+        let config = FaultConfig { launch_failure_prob: 0.2, ..FaultConfig::default() };
+        let p = FaultPlan::generate(&config, 48, 30);
+        let mut fails = 0u32;
+        let trials = 10_000;
+        for i in 0..trials {
+            if p.launch_fails(i as usize, NodeId::from_index(0), HostId::from_index(0), 0) {
+                fails += 1;
+            }
+        }
+        let rate = f64::from(fails) / f64::from(trials);
+        assert!((rate - 0.2).abs() < 0.02, "empirical rate {rate} too far from 0.2");
+    }
+
+    #[test]
+    fn zero_probability_never_fails_and_probe_agrees() {
+        let config = FaultConfig {
+            launch_failure_prob: 0.0,
+            stale_race_prob: 0.0,
+            ..FaultConfig::default()
+        };
+        let p = FaultPlan::generate(&config, 48, 30);
+        let mut probe = PlanProbe::new(&p, 3);
+        for attempt in 0..50 {
+            assert_eq!(
+                probe.launch(NodeId::from_index(1), HostId::from_index(2), attempt),
+                LaunchVerdict::Launched
+            );
+        }
+        assert_eq!(p.stale_race(3, 48), None);
+    }
+
+    #[test]
+    fn stale_races_are_deterministic_and_in_range() {
+        let config = FaultConfig { stale_race_prob: 1.0, ..FaultConfig::default() };
+        let p = FaultPlan::generate(&config, 48, 30);
+        for tick in 0..30 {
+            let a = p.stale_race(tick, 48);
+            let b = p.stale_race(tick, 48);
+            assert_eq!(a, b);
+            let host = a.expect("probability 1 always races");
+            assert!(host.index() < 48);
+        }
+        assert_eq!(p.stale_race(0, 0), None);
+    }
+}

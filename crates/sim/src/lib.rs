@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 //! Evaluation substrate for the Ostro reproduction: the workload
 //! generators, availability scenarios, and experiment runners behind
 //! every table and figure of the paper's §IV.
@@ -11,6 +12,9 @@
 //!   and the mesh-communication topology (Fig. 2).
 //! * [`scenarios`] — the testbed (16 hosts, one ToR) and the simulated
 //!   data center (2400 hosts, 150 racks).
+//! * [`faults`] — seeded fault-injection plans (host crashes, transient
+//!   launch failures, stale-capacity races) for the churn simulator's
+//!   failure-aware deployment pipeline.
 //! * [`runner`] — algorithm comparison harness with seeded averaging.
 //! * [`report`] — fixed-width text tables matching the paper's layout.
 //!
@@ -38,6 +42,7 @@
 
 pub mod availability;
 pub mod churn;
+pub mod faults;
 pub mod report;
 pub mod requirements;
 pub mod runner;
@@ -45,6 +50,7 @@ pub mod scenarios;
 pub mod workloads;
 
 pub use availability::AvailabilityProfile;
-pub use churn::{run_churn, ChurnConfig, ChurnReport};
+pub use churn::{run_churn, ChurnConfig, ChurnReport, FaultStats};
+pub use faults::{FaultConfig, FaultPlan, PlanProbe};
 pub use requirements::{RequirementClass, RequirementMix};
 pub use runner::{run_comparison, ComparisonRow, SimError};

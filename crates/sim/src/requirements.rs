@@ -23,6 +23,12 @@ pub struct RequirementMix {
     classes: Vec<RequirementClass>,
 }
 
+/// Stand-in when a (deserialized) mix is somehow empty: the paper's
+/// homogeneous VM, so generation degrades gracefully instead of
+/// panicking. Constructed mixes always have at least one class.
+const FALLBACK_CLASS: RequirementClass =
+    RequirementClass { fraction: 1.0, vcpus: 2, memory_mb: 2_048, bandwidth_mbps: 50 };
+
 impl RequirementMix {
     /// Table III: 40% network-intensive small VMs (1 vCPU / 1 GB /
     /// 100 Mbps), 20% balanced (2 / 2 GB / 50), 40% compute-intensive
@@ -80,7 +86,7 @@ impl RequirementMix {
             }
             roll -= class.fraction;
         }
-        *self.classes.last().expect("mix is non-empty")
+        self.classes.last().copied().unwrap_or(FALLBACK_CLASS)
     }
 
     /// Deterministically assigns classes to `n` VMs in the exact mix
@@ -96,7 +102,7 @@ impl RequirementMix {
             }
         }
         while out.len() < n {
-            out.push(*self.classes.last().expect("mix is non-empty"));
+            out.push(self.classes.last().copied().unwrap_or(FALLBACK_CLASS));
         }
         // Fisher–Yates shuffle for interleaving.
         for i in (1..out.len()).rev() {

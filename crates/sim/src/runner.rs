@@ -21,6 +21,14 @@ pub enum SimError {
     Model(ModelError),
     /// Placement failed.
     Placement(PlacementError),
+    /// Releasing a tenant's reservations failed — a capacity-accounting
+    /// invariant violation surfaced as a typed error instead of a panic.
+    Release {
+        /// The tenant whose release failed.
+        tenant: String,
+        /// The underlying capacity failure.
+        source: PlacementError,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -29,6 +37,9 @@ impl fmt::Display for SimError {
             Self::Build(e) => write!(f, "scenario build failed: {e}"),
             Self::Model(e) => write!(f, "workload generation failed: {e}"),
             Self::Placement(e) => write!(f, "placement failed: {e}"),
+            Self::Release { tenant, source } => {
+                write!(f, "release of tenant `{tenant}` failed: {source}")
+            }
         }
     }
 }
@@ -39,6 +50,7 @@ impl Error for SimError {
             Self::Build(e) => Some(e),
             Self::Model(e) => Some(e),
             Self::Placement(e) => Some(e),
+            Self::Release { source, .. } => Some(source),
         }
     }
 }
@@ -235,5 +247,8 @@ mod tests {
         assert!(e.source().is_some());
         let e: SimError = PlacementError::Exhausted.into();
         assert!(e.to_string().contains("placement failed"));
+        let e = SimError::Release { tenant: "tenant3".into(), source: PlacementError::Exhausted };
+        assert!(e.to_string().contains("tenant3"));
+        assert!(e.source().is_some());
     }
 }

@@ -52,11 +52,14 @@ pub fn qfs_testbed(non_uniform: bool) -> Result<(Infrastructure, CapacityState),
         ];
         for (i, &(avail_cores, avail_mem_gb, nic_used)) in plan.iter().enumerate() {
             let host = infra.hosts()[i].id();
+            // Cannot fail: every plan entry is within the 16-core /
+            // 32 GB / 10 Gbps host envelope. Checked in debug builds.
             let used = Resources::new(16 - avail_cores, (32 - avail_mem_gb) * 1024, 100);
-            state.reserve_node(host, used).expect("preload fits by construction");
-            state
-                .preload_link(LinkRef::HostNic(host), Bandwidth::from_mbps(nic_used))
-                .expect("preload fits by construction");
+            let reserved = state.reserve_node(host, used);
+            debug_assert!(reserved.is_ok(), "preload fits by construction");
+            let preloaded =
+                state.preload_link(LinkRef::HostNic(host), Bandwidth::from_mbps(nic_used));
+            debug_assert!(preloaded.is_ok(), "preload fits by construction");
         }
     }
     Ok((infra, state))

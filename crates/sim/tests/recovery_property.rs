@@ -1,0 +1,189 @@
+//! Property test for the crash → quarantine → evacuate → re-deploy
+//! cycle: across many randomized rounds, capacity accounting never
+//! leaks or double-releases, and a quarantined host never appears in
+//! any placement produced after its crash.
+
+use ostro_core::{
+    Algorithm, DeployPolicy, NoFaults, ObjectiveWeights, PlacementRequest, Scheduler,
+};
+use ostro_datacenter::{CapacityState, HostId, Infrastructure};
+use ostro_model::ApplicationTopology;
+use ostro_sim::requirements::RequirementMix;
+use ostro_sim::scenarios::sized_datacenter;
+use ostro_sim::workloads::{mesh, multi_tier};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+struct Tenant {
+    topology: ApplicationTopology,
+    assignment: Vec<Option<HostId>>,
+}
+
+fn request(seed: u64) -> PlacementRequest {
+    PlacementRequest {
+        algorithm: Algorithm::Greedy,
+        weights: ObjectiveWeights::SIMULATION,
+        seed,
+        ..PlacementRequest::default()
+    }
+}
+
+/// Releasing every tenant from a scratch copy must restore exactly
+/// `baseline` (fresh + the quarantines applied so far): any surplus is
+/// a leak, any deficit a double-release — and either fails loudly here.
+fn assert_books_balance(
+    scheduler: &Scheduler<'_>,
+    state: &CapacityState,
+    tenants: &[Tenant],
+    baseline: &CapacityState,
+    round: usize,
+) {
+    let mut scratch = state.clone();
+    for tenant in tenants {
+        scheduler
+            .release_partial(&tenant.topology, &tenant.assignment, &mut scratch)
+            .unwrap_or_else(|e| panic!("round {round}: release failed (double-release?): {e}"));
+    }
+    assert_eq!(&scratch, baseline, "round {round}: leaked reservations");
+}
+
+#[test]
+fn random_crash_evacuate_replace_cycles_never_leak() {
+    let mut rng = SmallRng::seed_from_u64(0xDEAD_4057);
+    let (infra, _): (Infrastructure, _) = sized_datacenter(8, 6, false, &mut rng).unwrap();
+    let scheduler = Scheduler::new(&infra);
+    let mut state = CapacityState::new(&infra);
+    // `baseline` tracks fresh + quarantines; equality against it after
+    // releasing everything is the no-leak/no-double-release invariant.
+    let mut baseline = CapacityState::new(&infra);
+    let mix = RequirementMix::homogeneous();
+    let mut tenants: Vec<Tenant> = Vec::new();
+    let mut crashed: Vec<HostId> = Vec::new();
+    let policy = DeployPolicy::default();
+
+    for round in 0..12 {
+        // Admit a couple of tenants (while hosts remain).
+        for arrival in 0..2 {
+            let seed = round as u64 * 97 + arrival;
+            let topology = if rng.gen_bool(0.5) {
+                multi_tier(25, &mix, &mut rng).unwrap()
+            } else {
+                mesh(rng.gen_range(3..7), &mix, &mut rng).unwrap()
+            };
+            let req = request(seed);
+            if let Ok(outcome) = scheduler.place(&topology, &state, &req) {
+                let report = scheduler
+                    .deploy(
+                        &topology,
+                        &outcome.placement,
+                        &mut state,
+                        &req,
+                        &policy,
+                        &[],
+                        &mut NoFaults,
+                    )
+                    .unwrap();
+                tenants.push(Tenant { topology, assignment: report.assignment });
+            }
+        }
+
+        // Crash one host that is still alive.
+        let alive: Vec<HostId> =
+            infra.hosts().iter().map(|h| h.id()).filter(|h| !crashed.contains(h)).collect();
+        if alive.len() <= 1 {
+            break;
+        }
+        let victim = alive[rng.gen_range(0..alive.len())];
+        crashed.push(victim);
+        state.quarantine_host(victim);
+        baseline.quarantine_host(victim);
+
+        // Evacuate + re-deploy every affected tenant.
+        let mut kept = Vec::with_capacity(tenants.len());
+        for mut tenant in tenants {
+            if !tenant.assignment.contains(&Some(victim)) {
+                kept.push(tenant);
+                continue;
+            }
+            let req = request(round as u64);
+            match scheduler.evacuate(
+                &tenant.topology,
+                &tenant.assignment,
+                &mut state,
+                &req,
+                victim,
+                4,
+            ) {
+                Ok(evac) => {
+                    let report = scheduler
+                        .deploy(
+                            &tenant.topology,
+                            &evac.online.outcome.placement,
+                            &mut state,
+                            &req,
+                            &policy,
+                            &[],
+                            &mut NoFaults,
+                        )
+                        .unwrap_or_else(|e| panic!("round {round}: re-deploy failed: {e}"));
+                    tenant.assignment = report.assignment;
+                    kept.push(tenant);
+                }
+                Err(_) => {} // abandoned: evacuate released it fully
+            }
+        }
+        tenants = kept;
+
+        // Invariant 1: no placement ever touches a crashed host.
+        for tenant in &tenants {
+            for host in tenant.assignment.iter().flatten() {
+                assert!(
+                    !crashed.contains(host),
+                    "round {round}: node still assigned to crashed host {host}"
+                );
+            }
+        }
+        // Invariant 2: quarantined hosts expose zero capacity to any
+        // future candidate generation.
+        for &host in &crashed {
+            assert_eq!(state.available(host), ostro_model::Resources::ZERO);
+            assert_eq!(state.nic_available(host), ostro_model::Bandwidth::ZERO);
+        }
+        // Invariant 3: the books balance exactly.
+        assert_books_balance(&scheduler, &state, &tenants, &baseline, round);
+    }
+
+    assert!(!crashed.is_empty(), "the property run must exercise at least one crash");
+}
+
+/// A fresh placement computed *after* a quarantine never selects the
+/// quarantined host, even when that host was the emptiest candidate.
+#[test]
+fn quarantined_host_is_excluded_from_candidate_generation() {
+    let mut rng = SmallRng::seed_from_u64(3);
+    let (infra, _) = sized_datacenter(2, 4, false, &mut rng).unwrap();
+    let scheduler = Scheduler::new(&infra);
+    let mut state = CapacityState::new(&infra);
+    let mix = RequirementMix::homogeneous();
+
+    for round in 0..infra.host_count() - 1 {
+        let victim = infra
+            .hosts()
+            .iter()
+            .map(|h| h.id())
+            .find(|&h| state.available(h) != ostro_model::Resources::ZERO)
+            .expect("a live host remains");
+        state.quarantine_host(victim);
+        let topology = mesh(3, &mix, &mut rng).unwrap();
+        let req = request(round as u64);
+        match scheduler.place(&topology, &state, &req) {
+            Ok(outcome) => {
+                assert!(
+                    outcome.placement.assignments().iter().all(|&h| h != victim),
+                    "round {round}: placement used quarantined host {victim}"
+                );
+            }
+            Err(_) => break, // fleet too depleted — acceptable endgame
+        }
+    }
+}

@@ -12,4 +12,24 @@ cargo clippy --all-targets -- -D warnings
 # Fast throughput smoke (64 hosts): asserts the artifact is well-formed
 # JSON and that memoized scoring is no slower than the cold baseline.
 cargo bench -p ostro-bench --bench throughput -- --smoke
+# Recovery smoke (32 hosts, seeded host crashes + launch failures):
+# asserts internally that two same-seed runs yield bit-identical
+# recovery reports for every algorithm.
+cargo bench -p ostro-bench --bench recovery -- --smoke
+# Seeded fault-injection churn through the CLI: crashes, transient
+# launch failures, and stale-capacity races must complete without
+# panics, and two identically-seeded runs must agree exactly
+# (mean_solver_secs is wall clock, so it is stripped first).
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+cargo run -q --release -p ostro-cli -- example infra > "$tmp/infra.json"
+churn_smoke() {
+  cargo run -q --release -p ostro-cli -- churn --infra "$tmp/infra.json" \
+    --arrivals 8 --lifetime 4 --seed 7 --crashes 2 \
+    --launch-failure-prob 0.05 --stale-race-prob 0.2
+}
+churn_smoke > "$tmp/churn1.json"
+churn_smoke > "$tmp/churn2.json"
+diff <(grep -v mean_solver_secs "$tmp/churn1.json") \
+     <(grep -v mean_solver_secs "$tmp/churn2.json")
 echo "verify: all checks passed"
