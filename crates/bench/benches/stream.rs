@@ -1,0 +1,360 @@
+//! Sustained online-service benchmark: one 1,024-host data center
+//! serving a long arrival/departure stream, comparing a **warm**
+//! [`SchedulerSession`] (cross-request bound cache, dirty-host
+//! invalidation, persistent scoring pool) against a **cold**
+//! per-request scheduler driven over an identically evolving state.
+//!
+//! Every event's decision is asserted bit-identical between the two
+//! engines — the speedup is pure reuse, not a different search.
+//!
+//! Writes `BENCH_stream.json` at the repository root with sustained
+//! requests/sec and p50/p99 solve latency for both engines.
+//!
+//! `--smoke` runs a fast 64-host variant (used by `scripts/verify.sh`),
+//! writes the artifact under `target/`, re-parses it to prove it is
+//! well-formed JSON, and asserts the warm engine is no slower than the
+//! cold one. The full run asserts the headline ≥3x sustained-req/s
+//! speedup.
+
+use std::time::{Duration, Instant};
+
+use ostro_core::{Algorithm, PlacementRequest, Scheduler, SchedulerSession};
+use ostro_datacenter::{CapacityState, Infrastructure};
+use ostro_model::ApplicationTopology;
+use ostro_sim::scenarios::sized_datacenter;
+use ostro_sim::workloads::{mesh, multi_tier};
+use ostro_sim::RequirementMix;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Scale knobs for one benchmark run.
+struct Scale {
+    racks: usize,
+    hosts_per_rack: usize,
+    /// Arrival/departure cycles: each cycle deploys `batch` tenants,
+    /// then departs them newest-first. Successive cycles replay the
+    /// same template stack — the recurring workload an online service
+    /// actually sees, and the pattern the session's value-keyed cache
+    /// turns into pure reuse.
+    cycles: usize,
+    /// Tenants deployed per cycle.
+    batch: usize,
+}
+
+const FULL: Scale = Scale { racks: 64, hosts_per_rack: 16, cycles: 10, batch: 8 };
+const SMOKE: Scale = Scale { racks: 4, hosts_per_rack: 16, cycles: 3, batch: 4 };
+
+impl Scale {
+    /// Placement solves in the stream (departures are bookkeeping).
+    const fn events(&self) -> usize {
+        self.cycles * self.batch
+    }
+}
+
+/// One engine's measurements over the stream.
+struct StreamReport {
+    wall: Duration,
+    latencies: Vec<Duration>,
+    placed: usize,
+    rejected: usize,
+    session_hits: u64,
+    session_misses: u64,
+    dirty_hosts: u64,
+}
+
+impl StreamReport {
+    fn requests_per_sec(&self) -> f64 {
+        self.latencies.len() as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
+    fn percentile_ms(&self, q: f64) -> f64 {
+        let mut sorted = self.latencies.clone();
+        sorted.sort();
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        sorted[idx].as_secs_f64() * 1e3
+    }
+
+    fn warm_hit_rate(&self) -> f64 {
+        let total = self.session_hits + self.session_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.session_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Builds the fixed set of application shapes the stream cycles
+/// through. The same [`ApplicationTopology`] values are reused for
+/// every recurrence, the way a service sees the same stack templates
+/// again and again — which is exactly what the session's value-keyed
+/// cache exploits.
+fn shape_set(seed: u64) -> Vec<ApplicationTopology> {
+    let mix = RequirementMix::homogeneous();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    vec![
+        multi_tier(25, &mix, &mut rng).expect("valid multi-tier workload"),
+        mesh(5, &mix, &mut rng).expect("valid mesh workload"),
+        multi_tier(50, &mix, &mut rng).expect("valid multi-tier workload"),
+    ]
+}
+
+/// The warm engine: one session serves every cycle. Arrivals within a
+/// cycle deploy shape `k % shapes`; at the cycle's end all tenants
+/// depart newest-first, returning the data center to its base tenancy.
+/// From the second cycle on, every bound the search needs was already
+/// computed by the first — the solves are pure cache traversal.
+fn run_warm(
+    infra: &Infrastructure,
+    base: &CapacityState,
+    shapes: &[ApplicationTopology],
+    request: &PlacementRequest,
+    scale: &Scale,
+) -> (StreamReport, Vec<StreamEvent>, CapacityState) {
+    let mut session = SchedulerSession::with_state(infra, base.clone());
+    let mut report = empty_report(scale.events());
+    let mut events = Vec::with_capacity(scale.events());
+    let started = Instant::now();
+    for _cycle in 0..scale.cycles {
+        let mut live: Vec<(usize, ostro_core::Placement)> = Vec::new();
+        for k in 0..scale.batch {
+            let shape = k % shapes.len();
+            let t0 = Instant::now();
+            let outcome = session.place(&shapes[shape], request);
+            report.latencies.push(t0.elapsed());
+            match outcome {
+                Ok(outcome) => {
+                    report.session_hits += outcome.stats.session_cache_hits;
+                    report.session_misses += outcome.stats.session_cache_misses;
+                    report.dirty_hosts += outcome.stats.session_dirty_hosts;
+                    session.commit(&shapes[shape], &outcome.placement).expect("commit decision");
+                    events.push(StreamEvent {
+                        placement: Some(outcome.placement.clone()),
+                        objective_bits: outcome.objective.to_bits(),
+                    });
+                    live.push((shape, outcome.placement));
+                    report.placed += 1;
+                }
+                Err(_) => {
+                    events.push(StreamEvent { placement: None, objective_bits: 0 });
+                    report.rejected += 1;
+                }
+            }
+        }
+        while let Some((shape, placement)) = live.pop() {
+            session.release(&shapes[shape], &placement).expect("release live tenant");
+        }
+    }
+    report.wall = started.elapsed();
+    (report, events, session.into_state())
+}
+
+/// The same schedule served cold: a fresh solve against the evolving
+/// state with no cross-request reuse, asserting each decision matches
+/// the warm run's bit-for-bit.
+fn run_cold(
+    infra: &Infrastructure,
+    base: &CapacityState,
+    shapes: &[ApplicationTopology],
+    request: &PlacementRequest,
+    scale: &Scale,
+    warm_events: &[StreamEvent],
+) -> (StreamReport, CapacityState) {
+    let scheduler = Scheduler::new(infra);
+    let mut state = base.clone();
+    let mut report = empty_report(scale.events());
+    let mut i = 0usize;
+    let started = Instant::now();
+    for _cycle in 0..scale.cycles {
+        let mut live: Vec<(usize, ostro_core::Placement)> = Vec::new();
+        for k in 0..scale.batch {
+            let shape = k % shapes.len();
+            let t0 = Instant::now();
+            let outcome = scheduler.place(&shapes[shape], &state, request);
+            report.latencies.push(t0.elapsed());
+            match outcome {
+                Ok(outcome) => {
+                    let warm = &warm_events[i];
+                    assert_eq!(
+                        warm.placement.as_ref(),
+                        Some(&outcome.placement),
+                        "event {i}: warm session diverged from cold scheduler"
+                    );
+                    assert_eq!(
+                        warm.objective_bits,
+                        outcome.objective.to_bits(),
+                        "event {i}: objective bits diverged"
+                    );
+                    scheduler
+                        .commit(&shapes[shape], &outcome.placement, &mut state)
+                        .expect("commit");
+                    live.push((shape, outcome.placement));
+                    report.placed += 1;
+                }
+                Err(_) => {
+                    assert!(warm_events[i].placement.is_none(), "event {i}: feasibility diverged");
+                    report.rejected += 1;
+                }
+            }
+            i += 1;
+        }
+        while let Some((shape, placement)) = live.pop() {
+            scheduler.release(&shapes[shape], &placement, &mut state).expect("release tenant");
+        }
+    }
+    report.wall = started.elapsed();
+    (report, state)
+}
+
+/// What each warm event decided, for the cold run's identity check.
+struct StreamEvent {
+    placement: Option<ostro_core::Placement>,
+    objective_bits: u64,
+}
+
+fn empty_report(events: usize) -> StreamReport {
+    StreamReport {
+        wall: Duration::ZERO,
+        latencies: Vec::with_capacity(events),
+        placed: 0,
+        rejected: 0,
+        session_hits: 0,
+        session_misses: 0,
+        dirty_hosts: 0,
+    }
+}
+
+fn json_engine(report: &StreamReport) -> String {
+    format!(
+        concat!(
+            "{{\n",
+            "      \"requests_per_sec\": {:.2},\n",
+            "      \"p50_ms\": {:.2},\n",
+            "      \"p99_ms\": {:.2},\n",
+            "      \"placed\": {},\n",
+            "      \"rejected\": {},\n",
+            "      \"session_hit_rate\": {:.4},\n",
+            "      \"dirty_hosts\": {}\n",
+            "    }}"
+        ),
+        report.requests_per_sec(),
+        report.percentile_ms(0.50),
+        report.percentile_ms(0.99),
+        report.placed,
+        report.rejected,
+        report.warm_hit_rate(),
+        report.dirty_hosts,
+    )
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = argv.iter().any(|a| a == "--smoke");
+    let score_threads = argv
+        .iter()
+        .position(|a| a == "--score-threads")
+        .and_then(|i| argv.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0usize);
+    let chunk_bytes = argv
+        .iter()
+        .position(|a| a == "--chunk-bytes")
+        .and_then(|i| argv.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0usize);
+    let scale = if smoke { SMOKE } else { FULL };
+    let hosts = scale.racks * scale.hosts_per_rack;
+
+    // Table IV non-uniform availability: most hosts carry a distinct
+    // residual-capacity triple, so a per-request engine cannot pool
+    // bounds across hosts by group signature and must recompute them
+    // request after request — the regime a long-running service lives
+    // in, and the one the session cache is built for.
+    let mut rng = SmallRng::seed_from_u64(0x57AE);
+    let (infra, base) = sized_datacenter(scale.racks, scale.hosts_per_rack, true, &mut rng)
+        .expect("valid benchmark data center");
+    let shapes = shape_set(0x57AE_A44);
+    let request = PlacementRequest {
+        algorithm: Algorithm::Greedy,
+        score_threads,
+        chunk_bytes,
+        ..PlacementRequest::default()
+    };
+
+    let (warm, events, warm_state) = run_warm(&infra, &base, &shapes, &request, &scale);
+    let (cold, cold_state) = run_cold(&infra, &base, &shapes, &request, &scale, &events);
+    assert_eq!(warm_state, cold_state, "final states diverged between engines");
+    let speedup = warm.requests_per_sec() / cold.requests_per_sec().max(1e-9);
+
+    println!(
+        "stream @ {hosts} hosts: cold {:.2} req/s (p50 {:.1} ms, p99 {:.1} ms), \
+         warm {:.2} req/s (p50 {:.1} ms, p99 {:.1} ms), speedup {speedup:.2}x, \
+         warm hit rate {:.1}%, {} dirty-host refreshes",
+        cold.requests_per_sec(),
+        cold.percentile_ms(0.50),
+        cold.percentile_ms(0.99),
+        warm.requests_per_sec(),
+        warm.percentile_ms(0.50),
+        warm.percentile_ms(0.99),
+        warm.warm_hit_rate() * 100.0,
+        warm.dirty_hosts,
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"sustained online placement stream\",\n",
+            "  \"hosts\": {},\n",
+            "  \"smoke\": {},\n",
+            "  \"score_threads\": {},\n",
+            "  \"events\": {},\n",
+            "  \"cycles\": {},\n",
+            "  \"batch\": {},\n",
+            "  \"engines\": {{\n",
+            "    \"cold\": {},\n",
+            "    \"warm\": {}\n",
+            "  }},\n",
+            "  \"speedup\": {:.2}\n",
+            "}}\n"
+        ),
+        hosts,
+        smoke,
+        score_threads,
+        scale.events(),
+        scale.cycles,
+        scale.batch,
+        json_engine(&cold),
+        json_engine(&warm),
+        speedup,
+    );
+    let path = if smoke {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/BENCH_stream_smoke.json")
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_stream.json")
+    };
+    std::fs::write(path, &json).expect("write stream artifact");
+    println!("wrote {path}");
+
+    // Re-parse the artifact so a malformed write fails loudly, and pin
+    // the engine ordering.
+    let doc: serde_json::Value =
+        serde_json::from_str(&json).expect("stream artifact must be well-formed JSON");
+    let parsed_speedup =
+        doc.get("speedup").and_then(serde_json::Value::as_f64).expect("speedup present");
+    assert!(
+        warm.warm_hit_rate() > 0.5,
+        "warm hit rate {:.2} too low — the session is not reusing bounds",
+        warm.warm_hit_rate()
+    );
+    if smoke {
+        assert!(
+            parsed_speedup >= 1.0,
+            "warm session slower than cold scheduler: {parsed_speedup:.2}x"
+        );
+    } else {
+        assert!(
+            parsed_speedup >= 3.0,
+            "warm-vs-cold speedup {parsed_speedup:.2}x below the 3x headline at {hosts} hosts"
+        );
+    }
+}

@@ -24,6 +24,9 @@ pub struct Args {
     pub theta_c: f64,
     /// Candidate-scoring participants (0 = available_parallelism).
     pub score_threads: usize,
+    /// Per-chunk cache budget in bytes for parallel scoring (0 = the
+    /// engine's L2-sized default). Purely a locality lever.
+    pub chunk_bytes: usize,
 }
 
 impl Default for Args {
@@ -38,6 +41,7 @@ impl Default for Args {
             theta_bw: 0.6,
             theta_c: 0.4,
             score_threads: 0,
+            chunk_bytes: 0,
         }
     }
 }
@@ -76,6 +80,9 @@ impl Args {
                 "--score-threads" => {
                     out.score_threads = parse_num(&value("--score-threads")?)?;
                 }
+                "--chunk-bytes" => {
+                    out.chunk_bytes = parse_num(&value("--chunk-bytes")?)?;
+                }
                 other => return Err(format!("unknown flag `{other}`")),
             }
         }
@@ -91,7 +98,8 @@ impl Args {
                 eprintln!("error: {msg}");
                 eprintln!(
                     "flags: --runs N --sizes a,b,c --racks N --hosts N \
-                     --deadline-ms N --seed N --theta-bw X --theta-c X --score-threads N"
+                     --deadline-ms N --seed N --theta-bw X --theta-c X \
+                     --score-threads N --chunk-bytes N"
                 );
                 std::process::exit(2);
             }
@@ -144,6 +152,8 @@ mod tests {
             "0.01",
             "--score-threads",
             "2",
+            "--chunk-bytes",
+            "131072",
         ])
         .unwrap();
         assert_eq!(a.runs, 5);
@@ -155,6 +165,7 @@ mod tests {
         assert_eq!(a.theta_bw, 0.99);
         assert_eq!(a.theta_c, 0.01);
         assert_eq!(a.score_threads, 2);
+        assert_eq!(a.chunk_bytes, 131_072);
     }
 
     #[test]

@@ -6,6 +6,7 @@ use std::time::Duration;
 
 use ostro_core::{
     verify_placement, Algorithm, ObjectiveWeights, Placement, PlacementRequest, Scheduler,
+    SchedulerSession, SearchStats,
 };
 use ostro_datacenter::{CapacityState, HostId, InfraSpec, Infrastructure};
 use ostro_heat::{annotate_template, extract_topology, HeatTemplate};
@@ -37,6 +38,14 @@ pub enum Command {
         seed: u64,
         /// Scoring participants (0 = available_parallelism).
         score_threads: usize,
+        /// Per-chunk cache budget in bytes (0 = default).
+        chunk_bytes: usize,
+        /// Solve through a [`SchedulerSession`] instead of a cold
+        /// per-request scheduler. Bit-identical results; exercises the
+        /// online-service path and enables the session stats counters.
+        session: bool,
+        /// Include the search-effort counters in the output document.
+        stats: bool,
         /// Optional path to the pre-existing capacity state.
         state: Option<String>,
         /// Optional path to write the post-commit state to.
@@ -97,6 +106,9 @@ pub struct PlacementDocument {
     pub objective: f64,
     /// Solver wall-clock seconds.
     pub elapsed_secs: f64,
+    /// Search-effort counters, present when `--stats` was passed.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub stats: Option<SearchStats>,
     /// The template with scheduler hints stamped in.
     pub annotated_template: HeatTemplate,
 }
@@ -107,6 +119,7 @@ usage:
   ostro place    --infra <file> --template <file>
                  [--algorithm egc|egbw|eg|bastar|dbastar] [--deadline-ms N]
                  [--theta-bw X] [--theta-c X] [--seed N] [--score-threads N]
+                 [--chunk-bytes N] [--session] [--stats]
                  [--state <file>] [--commit <file>]
   ostro validate --infra <file> --template <file> --placement <file>
                  [--state <file>]
@@ -130,6 +143,11 @@ impl Command {
         let mut positional = Vec::new();
         while let Some(arg) = iter.next() {
             if let Some(name) = arg.strip_prefix("--") {
+                // Boolean switches take no value.
+                if matches!(name, "session" | "stats") {
+                    flags.insert(name.to_owned(), "true".to_owned());
+                    continue;
+                }
                 let value = iter
                     .next()
                     .ok_or_else(|| CliError::Usage(format!("flag --{name} needs a value")))?;
@@ -165,6 +183,13 @@ impl Command {
                         .map(|v| parse_num(&v, "score-threads"))
                         .transpose()?
                         .unwrap_or(0) as usize,
+                    chunk_bytes: flags
+                        .remove("chunk-bytes")
+                        .map(|v| parse_num(&v, "chunk-bytes"))
+                        .transpose()?
+                        .unwrap_or(0) as usize,
+                    session: flags.remove("session").is_some(),
+                    stats: flags.remove("stats").is_some(),
                     state: flags.remove("state"),
                     commit: flags.remove("commit"),
                 }
@@ -243,18 +268,24 @@ impl Command {
                 weights,
                 seed,
                 score_threads,
+                chunk_bytes,
+                session,
+                stats,
                 state,
                 commit,
-            } => place(
+            } => place(&PlaceArgs {
                 infra,
                 template,
-                *algorithm,
-                *weights,
-                *seed,
-                *score_threads,
-                state.as_deref(),
-                commit.as_deref(),
-            ),
+                algorithm: *algorithm,
+                weights: *weights,
+                seed: *seed,
+                score_threads: *score_threads,
+                chunk_bytes: *chunk_bytes,
+                session: *session,
+                stats: *stats,
+                state: state.as_deref(),
+                commit: commit.as_deref(),
+            }),
             Command::Validate { infra, template, placement, state } => {
                 validate(infra, template, placement, state.as_deref())
             }
@@ -386,29 +417,56 @@ fn inspect(infra_path: &str, state_path: Option<&str>) -> Result<String, CliErro
     Ok(out)
 }
 
-#[allow(clippy::too_many_arguments)]
-fn place(
-    infra_path: &str,
-    template_path: &str,
+/// Everything `place` needs, bundled so the executor stays readable.
+struct PlaceArgs<'a> {
+    infra: &'a str,
+    template: &'a str,
     algorithm: Algorithm,
     weights: ObjectiveWeights,
     seed: u64,
     score_threads: usize,
-    state_path: Option<&str>,
-    commit_path: Option<&str>,
-) -> Result<String, CliError> {
-    let infra = load_infra(infra_path)?;
-    let template: HeatTemplate = read_json(template_path)?;
-    let mut state = load_state(&infra, state_path)?;
+    chunk_bytes: usize,
+    session: bool,
+    stats: bool,
+    state: Option<&'a str>,
+    commit: Option<&'a str>,
+}
+
+fn place(args: &PlaceArgs) -> Result<String, CliError> {
+    let infra = load_infra(args.infra)?;
+    let template: HeatTemplate = read_json(args.template)?;
+    let mut state = load_state(&infra, args.state)?;
     let (topology, names) = extract_topology(&template)?;
-    let scheduler = Scheduler::new(&infra);
-    let request =
-        PlacementRequest { algorithm, weights, seed, score_threads, ..PlacementRequest::default() };
-    let outcome = scheduler.place(&topology, &state, &request)?;
+    let request = PlacementRequest {
+        algorithm: args.algorithm,
+        weights: args.weights,
+        seed: args.seed,
+        score_threads: args.score_threads,
+        chunk_bytes: args.chunk_bytes,
+        ..PlacementRequest::default()
+    };
+    // The session path produces bit-identical decisions; it exists so
+    // the counters (and a long-running service built on this code
+    // path) can be exercised from the command line.
+    let outcome = if args.session {
+        let mut session = SchedulerSession::with_state(&infra, state);
+        let outcome = session.place(&topology, &request)?;
+        if args.commit.is_some() {
+            session.commit(&topology, &outcome.placement)?;
+        }
+        state = session.into_state();
+        outcome
+    } else {
+        let scheduler = Scheduler::new(&infra);
+        let outcome = scheduler.place(&topology, &state, &request)?;
+        if args.commit.is_some() {
+            scheduler.commit(&topology, &outcome.placement, &mut state)?;
+        }
+        outcome
+    };
     let annotated = annotate_template(&template, &outcome.placement, &infra, &names);
 
-    if let Some(commit_path) = commit_path {
-        scheduler.commit(&topology, &outcome.placement, &mut state)?;
+    if let Some(commit_path) = args.commit {
         write_json(commit_path, &state)?;
     }
 
@@ -424,6 +482,7 @@ fn place(
         hosts_used: outcome.hosts_used,
         objective: outcome.objective,
         elapsed_secs: outcome.elapsed.as_secs_f64(),
+        stats: args.stats.then_some(outcome.stats),
         annotated_template: annotated,
     };
     Ok(serde_json::to_string_pretty(&document).expect("serializable") + "\n")
@@ -587,11 +646,23 @@ mod tests {
         let cmd = Command::parse(argv(
             "place --infra i.json --template t.json --algorithm dbastar \
              --deadline-ms 250 --theta-bw 0.99 --theta-c 0.01 --seed 7 \
-             --score-threads 3 --state s.json --commit out.json",
+             --score-threads 3 --chunk-bytes 65536 --session --stats \
+             --state s.json --commit out.json",
         ))
         .unwrap();
         match cmd {
-            Command::Place { algorithm, weights, seed, score_threads, state, commit, .. } => {
+            Command::Place {
+                algorithm,
+                weights,
+                seed,
+                score_threads,
+                chunk_bytes,
+                session,
+                stats,
+                state,
+                commit,
+                ..
+            } => {
                 assert_eq!(
                     algorithm,
                     Algorithm::DeadlineBoundedAStar { deadline: Duration::from_millis(250) }
@@ -599,8 +670,20 @@ mod tests {
                 assert_eq!(weights, ObjectiveWeights::BANDWIDTH_DOMINANT);
                 assert_eq!(seed, 7);
                 assert_eq!(score_threads, 3);
+                assert_eq!(chunk_bytes, 65_536);
+                assert!(session, "--session is a boolean switch");
+                assert!(stats, "--stats is a boolean switch");
                 assert_eq!(state.as_deref(), Some("s.json"));
                 assert_eq!(commit.as_deref(), Some("out.json"));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // Without the switches both default off.
+        match Command::parse(argv("place --infra i --template t")).unwrap() {
+            Command::Place { session, stats, chunk_bytes, .. } => {
+                assert!(!session);
+                assert!(!stats);
+                assert_eq!(chunk_bytes, 0);
             }
             other => panic!("wrong command {other:?}"),
         }
@@ -679,6 +762,45 @@ mod tests {
         let reserved: u64 = d1.reserved_bandwidth_mbps + d2.reserved_bandwidth_mbps;
         let _ = reserved;
         assert!(summary.contains("reserved bandwidth"), "{summary}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn session_place_matches_cold_place_and_reports_stats() {
+        let dir = tempdir("session");
+        let (infra, template) = write_examples(&dir);
+        let cold = run(argv(&format!("place --infra {infra} --template {template}"))).unwrap();
+        let warm =
+            run(argv(&format!("place --infra {infra} --template {template} --session --stats")))
+                .unwrap();
+        let cold: PlacementDocument = serde_json::from_str(&cold).unwrap();
+        let warm: PlacementDocument = serde_json::from_str(&warm).unwrap();
+        assert_eq!(cold.assignments, warm.assignments, "session must not change decisions");
+        assert_eq!(cold.objective.to_bits(), warm.objective.to_bits());
+        assert!(cold.stats.is_none(), "stats only appear with --stats");
+        let stats = warm.stats.expect("--stats populates the counters");
+        assert!(stats.heuristic_evals > 0);
+        assert_eq!(stats.session_dirty_hosts, 0, "fresh session has nothing journaled");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn session_place_commit_round_trips_state() {
+        let dir = tempdir("session-commit");
+        let (infra, template) = write_examples(&dir);
+        let cold_state = dir.join("cold.json").to_str().unwrap().to_owned();
+        let warm_state = dir.join("warm.json").to_str().unwrap().to_owned();
+        run(argv(&format!("place --infra {infra} --template {template} --commit {cold_state}")))
+            .unwrap();
+        run(argv(&format!(
+            "place --infra {infra} --template {template} --session --commit {warm_state}"
+        )))
+        .unwrap();
+        let cold: CapacityState =
+            serde_json::from_str(&std::fs::read_to_string(&cold_state).unwrap()).unwrap();
+        let warm: CapacityState =
+            serde_json::from_str(&std::fs::read_to_string(&warm_state).unwrap()).unwrap();
+        assert_eq!(cold, warm, "committed states must be identical");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,12 +1,13 @@
 //! Candidate-host enumeration (`GetCandidates`, Alg. 1 line 5) and
 //! utility scoring (`GetUsage` + `GetHeuristic`, lines 7–9).
 
-use ostro_datacenter::{FxHashSet, HostId};
+use ostro_datacenter::{FxHashMap, FxHashSet, HostId};
 use ostro_model::NodeId;
 
 use crate::heuristic::lower_bound_mbps;
 use crate::placement::SearchStats;
-use crate::search::{Ctx, Path, NO_GROUP};
+use crate::pool::lock_unpoisoned;
+use crate::search::{mix64, Ctx, Path, NO_GROUP};
 
 /// A candidate host together with the utilities the objective needs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -34,11 +35,19 @@ pub(crate) fn feasible_hosts_counted(
     path: &Path<'_>,
     node: NodeId,
 ) -> (Vec<HostId>, u64) {
+    let req = ctx.topo.node(node).requirements();
     if let Some(pinned) = ctx.pinned[node.index()] {
-        let hosts = if admits(ctx, path, node, pinned) { vec![pinned] } else { Vec::new() };
+        let hosts = if admits(ctx, path, node, req, pinned) { vec![pinned] } else { Vec::new() };
         return (hosts, 0);
     }
     let min_host = symmetry_floor(ctx, path, node);
+    // Session mode: the per-host summaries are a dense array mirroring
+    // the base state, so a host that cannot fit `req` even when fully
+    // untouched is rejected from a cache-friendly linear scan before
+    // the overlay's hash probes run. The screen is a necessary
+    // condition only (overlay availability never exceeds base), so it
+    // drops no host `admits` would keep.
+    let summaries = ctx.session.map(|shared| shared.summaries.as_slice());
     let mut skipped = 0;
     let hosts = ctx
         .infra
@@ -46,7 +55,12 @@ pub(crate) fn feasible_hosts_counted(
         .iter()
         .map(|h| h.id())
         .filter(|&h| {
-            if !admits(ctx, path, node, h) {
+            if let Some(sums) = summaries {
+                if !req.fits_within(&sums[h.index()].free) {
+                    return false;
+                }
+            }
+            if !admits(ctx, path, node, req, h) {
                 return false;
             }
             if (h.index() as u32) < min_host {
@@ -60,9 +74,14 @@ pub(crate) fn feasible_hosts_counted(
 }
 
 /// Capacity, NIC-headroom, and diversity screen for one (node, host)
-/// pair.
-fn admits(ctx: &Ctx<'_>, path: &Path<'_>, node: NodeId, host: HostId) -> bool {
-    let req = ctx.topo.node(node).requirements();
+/// pair. `req` is `node`'s requirements, hoisted by the caller.
+fn admits(
+    ctx: &Ctx<'_>,
+    path: &Path<'_>,
+    node: NodeId,
+    req: ostro_model::Resources,
+    host: HostId,
+) -> bool {
     if !req.fits_within(&path.overlay.available(host)) {
         return false;
     }
@@ -173,27 +192,25 @@ pub(crate) fn score_candidates(
             .filter_map(|(i, &h)| score_one(ctx, path, node, h, bound_of(i)))
             .collect();
     }
-    let pool = ctx.pool.get_or_init(|| crate::pool::ScoringPool::new(threads));
-    // Contiguous chunks claimed off the pool's shared cursor; four per
-    // participant balances steal granularity against claim overhead.
-    let chunk_size = hosts.len().div_ceil(pool.threads() * 4);
+    let pool = ctx.scoring_pool();
+    // Contiguous chunks claimed off the pool's shared cursor: four per
+    // participant balances steal granularity against claim overhead,
+    // capped so one chunk's working set stays within the configured
+    // cache budget (`chunk_bytes`). Chunk geometry never changes the
+    // output — results are concatenated in chunk order.
+    let flat = hosts.len().div_ceil(pool.threads() * 4);
+    let chunk_size = flat.min(ctx.chunk_cap).max(1);
     let chunk_count = hosts.len().div_ceil(chunk_size);
-    let results: Vec<std::sync::Mutex<Vec<ScoredCandidate>>> =
-        (0..chunk_count).map(|_| std::sync::Mutex::new(Vec::new())).collect();
-    pool.run(chunk_count, &|ci| {
+    pool.run_scored(chunk_count, &|ci, buf| {
         let offset = ci * chunk_size;
         let chunk = &hosts[offset..hosts.len().min(offset + chunk_size)];
-        let scored: Vec<ScoredCandidate> = chunk
-            .iter()
-            .enumerate()
-            .filter_map(|(j, &h)| score_one(ctx, path, node, h, bound_of(offset + j)))
-            .collect();
-        *results[ci].lock().unwrap_or_else(std::sync::PoisonError::into_inner) = scored;
-    });
-    results
-        .into_iter()
-        .flat_map(|slot| slot.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner))
-        .collect()
+        buf.extend(
+            chunk
+                .iter()
+                .enumerate()
+                .filter_map(|(j, &h)| score_one(ctx, path, node, h, bound_of(offset + j))),
+        );
+    })
 }
 
 /// Resolves the heuristic lower bound for every candidate through the
@@ -215,6 +232,9 @@ fn resolve_bounds(
     if !ctx.memoize || !ctx.use_estimate {
         return None;
     }
+    if let Some(shared) = ctx.session {
+        return Some(resolve_bounds_session(ctx, shared, path, node, hosts, stats));
+    }
     let keys: Vec<(u32, u64)> = hosts
         .iter()
         .map(|&h| Ctx::bound_key(node, path.signature, path.overlay.host_group_signature(h)))
@@ -233,7 +253,7 @@ fn resolve_bounds(
     const PARALLEL_MISS_THRESHOLD: usize = 24;
     if ctx.parallel && ctx.score_threads >= 2 && misses.len() >= PARALLEL_MISS_THRESHOLD {
         use std::sync::atomic::{AtomicU64, Ordering};
-        let pool = ctx.pool.get_or_init(|| crate::pool::ScoringPool::new(ctx.score_threads));
+        let pool = ctx.scoring_pool();
         let computed: Vec<AtomicU64> = misses.iter().map(|_| AtomicU64::new(0)).collect();
         pool.run(misses.len(), &|k| {
             let (i, _) = misses[k];
@@ -250,6 +270,128 @@ fn resolve_bounds(
     stats.bound_cache_misses += misses.len() as u64;
     stats.bound_cache_hits += (hosts.len() - misses.len()) as u64;
     Some(keys.iter().map(|key| cache[key]).collect())
+}
+
+/// Salt distinguishing "the candidate is slot `i` of the placement"
+/// from "the candidate is an unused host with availability signature
+/// `x`" in a session cache key.
+const SLOT_SALT: u64 = 0xC01D_CAFE_F00D_5EED;
+
+/// Session-mode bound resolution: the same values [`resolve_bounds`]
+/// produces, under keys that survive across requests.
+///
+/// The per-request cache keys placements by `path.signature` and hosts
+/// by overlay epoch — both meaningless outside one search. The session
+/// key re-expresses the *same inputs* purely by value, which is exactly
+/// the set [`lower_bound_mbps`] reads (see [`session_prefix`]): a
+/// stream of structurally identical tenants therefore resolves each
+/// bound once, ever, instead of once per request. Warm hits are
+/// bit-exact by construction — equal key ⇒ equal inputs ⇒ the same
+/// deterministic computation.
+fn resolve_bounds_session(
+    ctx: &Ctx<'_>,
+    shared: &crate::session::SessionShared,
+    path: &Path<'_>,
+    node: NodeId,
+    hosts: &[HostId],
+    stats: &mut SearchStats,
+) -> Vec<u64> {
+    let (prefix, slots) = session_prefix(ctx, path);
+    let node_idx = node.index() as u32;
+    let keys: Vec<(u32, u64)> = hosts
+        .iter()
+        .map(|&h| {
+            // A candidate already hosting part of this placement is
+            // identified by its slot position (its availability is in
+            // the prefix); an untouched candidate purely by value, so
+            // every host of an availability group shares one entry.
+            let cand = match slots.iter().position(|&s| s == h) {
+                Some(slot) => mix64(SLOT_SALT ^ (slot as u64 + 1)),
+                None => shared.summaries[h.index()].avail_sig,
+            };
+            (node_idx, mix64(prefix ^ cand))
+        })
+        .collect();
+    let mut cache = lock_unpoisoned(&shared.cache);
+    let mut resolved: FxHashMap<(u32, u64), u64> = FxHashMap::default();
+    let mut seen: FxHashSet<(u32, u64)> = FxHashSet::default();
+    let mut warm_hits = 0u64;
+    // One representative host index per unresolved key.
+    let mut misses: Vec<(usize, (u32, u64))> = Vec::new();
+    for (i, &key) in keys.iter().enumerate() {
+        match cache.get(key) {
+            Some((bound, warm)) => {
+                // Promotion keeps the writing generation, so every
+                // occurrence of a cross-request key counts warm.
+                warm_hits += u64::from(warm);
+                resolved.insert(key, bound);
+            }
+            None => {
+                if seen.insert(key) {
+                    misses.push((i, key));
+                }
+            }
+        }
+    }
+    const PARALLEL_MISS_THRESHOLD: usize = 24;
+    if ctx.parallel && ctx.score_threads >= 2 && misses.len() >= PARALLEL_MISS_THRESHOLD {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let pool = ctx.scoring_pool();
+        let computed: Vec<AtomicU64> = misses.iter().map(|_| AtomicU64::new(0)).collect();
+        pool.run(misses.len(), &|k| {
+            let (i, _) = misses[k];
+            computed[k].store(lower_bound_mbps(ctx, path, node, hosts[i]), Ordering::Relaxed);
+        });
+        for (&(_, key), bound) in misses.iter().zip(&computed) {
+            let bound = bound.load(Ordering::Relaxed);
+            cache.insert(key, bound);
+            resolved.insert(key, bound);
+        }
+    } else {
+        for &(i, key) in &misses {
+            let bound = lower_bound_mbps(ctx, path, node, hosts[i]);
+            cache.insert(key, bound);
+            resolved.insert(key, bound);
+        }
+    }
+    // Per-call accounting matches the per-request cache (hits + misses
+    // = hosts scored); warm hits additionally count as session hits.
+    stats.bound_cache_misses += misses.len() as u64;
+    stats.bound_cache_hits += (hosts.len() - misses.len()) as u64;
+    stats.session_cache_misses += misses.len() as u64;
+    stats.session_cache_hits += warm_hits;
+    keys.iter().map(|key| resolved[key]).collect()
+}
+
+/// Value signature of everything [`lower_bound_mbps`] observes about
+/// `path`, plus the topology structure: the node → used-host-slot
+/// partition **in id order** (the heuristic seeds slots by scanning
+/// nodes in id order and breaks affinity ties toward lower slots, so
+/// slot order is significant) followed by each slot's exact remaining
+/// availability, in first-occurrence order. Returns the fold and the
+/// slot table for keying candidates.
+fn session_prefix(ctx: &Ctx<'_>, path: &Path<'_>) -> (u64, Vec<HostId>) {
+    let mut slots: Vec<HostId> = Vec::with_capacity(path.placed);
+    let mut h = ctx.topo_sig;
+    for (i, assigned) in path.assignment.iter().enumerate() {
+        if let Some(host) = *assigned {
+            let slot = match slots.iter().position(|&s| s == host) {
+                Some(slot) => slot,
+                None => {
+                    slots.push(host);
+                    slots.len() - 1
+                }
+            };
+            h = mix64(h ^ (((i as u64) << 32) | (slot as u64 + 1)));
+        }
+    }
+    for &host in &slots {
+        let avail = path.overlay.available(host);
+        h = mix64(h ^ u64::from(avail.vcpus));
+        h = mix64(h ^ avail.memory_mb);
+        h = mix64(h ^ avail.disk_gb);
+    }
+    (h, slots)
 }
 
 fn score_one(

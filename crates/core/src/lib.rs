@@ -73,6 +73,7 @@ mod pool;
 mod request;
 mod scheduler;
 mod search;
+mod session;
 mod validate;
 
 pub use deploy::{
@@ -85,4 +86,5 @@ pub use online::OnlineOutcome;
 pub use placement::{Placement, PlacementOutcome, SearchStats};
 pub use request::{Algorithm, PlacementRequest};
 pub use scheduler::Scheduler;
+pub use session::SchedulerSession;
 pub use validate::{reserved_bandwidth, verify_placement, Violation};

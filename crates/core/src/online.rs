@@ -56,39 +56,59 @@ impl<'a> Scheduler<'a> {
         prior: &[Option<HostId>],
         max_rounds: u32,
     ) -> Result<OnlineOutcome, PlacementError> {
-        if prior.len() != topology.node_count() {
-            return Err(PlacementError::PriorLengthMismatch {
-                expected: topology.node_count(),
-                actual: prior.len(),
-            });
-        }
-        let mut pinned: Vec<Option<HostId>> = prior.to_vec();
-        let mut rounds = 0u32;
-        loop {
-            match self.place_pinned(topology, state, request, &pinned) {
-                Ok(outcome) => {
-                    let repositioned = topology
-                        .nodes()
-                        .iter()
-                        .filter_map(|n| {
-                            let old = prior[n.id().index()]?;
-                            (outcome.placement.host_of(n.id()) != old).then(|| n.id())
-                        })
-                        .collect();
-                    return Ok(OnlineOutcome { outcome, repositioned, rounds });
+        replace_rounds(topology, prior, max_rounds, |pins| {
+            self.place_pinned(topology, state, request, pins)
+        })
+    }
+}
+
+/// The pin-relaxation loop behind [`Scheduler::replace_online`], with
+/// the per-round solve abstracted so warm session re-placements
+/// ([`SchedulerSession::replace_online`]) run the exact same rounds.
+///
+/// [`SchedulerSession::replace_online`]:
+///     crate::session::SchedulerSession::replace_online
+pub(crate) fn replace_rounds<F>(
+    topology: &ApplicationTopology,
+    prior: &[Option<HostId>],
+    max_rounds: u32,
+    mut place: F,
+) -> Result<OnlineOutcome, PlacementError>
+where
+    F: FnMut(&[Option<HostId>]) -> Result<PlacementOutcome, PlacementError>,
+{
+    if prior.len() != topology.node_count() {
+        return Err(PlacementError::PriorLengthMismatch {
+            expected: topology.node_count(),
+            actual: prior.len(),
+        });
+    }
+    let mut pinned: Vec<Option<HostId>> = prior.to_vec();
+    let mut rounds = 0u32;
+    loop {
+        match place(&pinned) {
+            Ok(outcome) => {
+                let repositioned = topology
+                    .nodes()
+                    .iter()
+                    .filter_map(|n| {
+                        let old = prior[n.id().index()]?;
+                        (outcome.placement.host_of(n.id()) != old).then(|| n.id())
+                    })
+                    .collect();
+                return Ok(OnlineOutcome { outcome, repositioned, rounds });
+            }
+            Err(err) => {
+                let still_pinned = pinned.iter().filter(|p| p.is_some()).count();
+                if still_pinned == 0 || rounds >= max_rounds {
+                    return Err(err);
                 }
-                Err(err) => {
-                    let still_pinned = pinned.iter().filter(|p| p.is_some()).count();
-                    if still_pinned == 0 || rounds >= max_rounds {
-                        return Err(err);
-                    }
-                    rounds += 1;
-                    if rounds >= max_rounds {
-                        // Final attempt: free everything.
-                        pinned.iter_mut().for_each(|p| *p = None);
-                    } else {
-                        unpin_frontier(topology, &mut pinned, rounds);
-                    }
+                rounds += 1;
+                if rounds >= max_rounds {
+                    // Final attempt: free everything.
+                    pinned.iter_mut().for_each(|p| *p = None);
+                } else {
+                    unpin_frontier(topology, &mut pinned, rounds);
                 }
             }
         }

@@ -89,6 +89,26 @@ pub struct SearchStats {
     /// Of those, resolutions that actually ran `lower_bound_mbps`.
     #[serde(default)]
     pub bound_cache_misses: u64,
+    /// Session-mode only: resolutions served by a cache entry written
+    /// by an *earlier* request of the same
+    /// [`SchedulerSession`](crate::session::SchedulerSession) — the
+    /// cross-request reuse the session exists for.
+    #[serde(default)]
+    pub session_cache_hits: u64,
+    /// Session-mode only: distinct bound keys this request had to
+    /// compute fresh (in-request duplicates of a fresh key count as
+    /// `bound_cache_hits`, as in per-request mode).
+    #[serde(default)]
+    pub session_cache_misses: u64,
+    /// Session-mode only: cache entries discarded by generation
+    /// rotation while serving this request.
+    #[serde(default)]
+    pub session_cache_evictions: u64,
+    /// Session-mode only: hosts re-resolved from the dirty-host
+    /// journal before this request solved (hosts touched by commits,
+    /// releases, deploys, or evacuations since the previous request).
+    #[serde(default)]
+    pub session_dirty_hosts: u64,
     /// `true` if a deadline-bounded run hit its deadline and returned
     /// the best bound found so far.
     pub deadline_hit: bool,

@@ -29,10 +29,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 
+use crate::candidates::ScoredCandidate;
+
 /// Locks ignoring poisoning: a panicked scoring task is already
 /// counted by [`Batch::drain`], and every structure guarded here stays
 /// consistent across a panic (counters and slots, no partial writes).
-fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -113,6 +115,17 @@ struct Shared {
 pub(crate) struct ScoringPool {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
+    /// Per-chunk scratch buffers for [`run_scored`](Self::run_scored),
+    /// kept (with their capacity) across calls — and, when the pool
+    /// belongs to a session, across requests — so steady-state scoring
+    /// allocates nothing.
+    scratch: Mutex<Arc<Vec<Mutex<Vec<ScoredCandidate>>>>>,
+}
+
+impl std::fmt::Debug for ScoringPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScoringPool").field("threads", &self.threads()).finish()
+    }
 }
 
 impl ScoringPool {
@@ -132,7 +145,7 @@ impl ScoringPool {
                     .ok()
             })
             .collect();
-        ScoringPool { shared, workers }
+        ScoringPool { shared, workers, scratch: Mutex::new(Arc::new(Vec::new())) }
     }
 
     /// Total scoring participants: spawned workers plus the caller.
@@ -190,6 +203,50 @@ impl ScoringPool {
         // can no longer claim, hence never dereference).
         lock_unpoisoned(&self.shared.slot).batch = None;
         assert!(panicked == 0, "{panicked} candidate scoring task(s) panicked");
+    }
+
+    /// Chunked candidate scoring with pooled scratch: `fill(chunk, buf)`
+    /// writes chunk `chunk`'s candidates into a cleared, capacity-warm
+    /// buffer; the results come back concatenated **in chunk order**,
+    /// so the output is identical no matter how many chunks or threads
+    /// participated.
+    ///
+    /// # Panics
+    ///
+    /// As [`run`](Self::run), if any `fill` panics.
+    pub(crate) fn run_scored(
+        &self,
+        chunks: usize,
+        fill: &(dyn Fn(usize, &mut Vec<ScoredCandidate>) + Sync),
+    ) -> Vec<ScoredCandidate> {
+        if chunks == 0 {
+            return Vec::new();
+        }
+        let buffers = {
+            let mut guard = lock_unpoisoned(&self.scratch);
+            if guard.len() < chunks {
+                if let Some(vec) = Arc::get_mut(&mut guard) {
+                    // Grow in place, keeping the already-warm buffers.
+                    vec.resize_with(chunks, || Mutex::new(Vec::new()));
+                } else {
+                    // Another call still holds the buffers (defensive —
+                    // a pool serves one search at a time); start fresh.
+                    *guard = Arc::new((0..chunks).map(|_| Mutex::new(Vec::new())).collect());
+                }
+            }
+            Arc::clone(&guard)
+        };
+        self.run(chunks, &|chunk| {
+            let mut buf = lock_unpoisoned(&buffers[chunk]);
+            buf.clear();
+            fill(chunk, &mut buf);
+        });
+        let total = buffers.iter().take(chunks).map(|b| lock_unpoisoned(b).len()).sum();
+        let mut out = Vec::with_capacity(total);
+        for buf in buffers.iter().take(chunks) {
+            out.extend_from_slice(&lock_unpoisoned(buf));
+        }
+        out
     }
 }
 

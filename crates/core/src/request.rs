@@ -87,6 +87,12 @@ pub struct PlacementRequest {
     /// benchmark's baseline).
     #[serde(default = "default_memoize_bounds")]
     pub memoize_bounds: bool,
+    /// Cache budget, in bytes, for one parallel-scoring chunk's working
+    /// set; chunk length is capped to fit it. `0` (the default) uses a
+    /// conservative L2-sized budget. Purely a locality lever — chunk
+    /// geometry never changes results.
+    #[serde(default)]
+    pub chunk_bytes: usize,
 }
 
 fn default_memoize_bounds() -> bool {
@@ -105,6 +111,7 @@ impl Default for PlacementRequest {
             max_expansions: 0,
             score_threads: 0,
             memoize_bounds: true,
+            chunk_bytes: 0,
         }
     }
 }
@@ -134,6 +141,13 @@ impl PlacementRequest {
     #[must_use]
     pub fn score_threads(mut self, threads: usize) -> Self {
         self.score_threads = threads;
+        self
+    }
+
+    /// Sets the per-chunk cache budget, builder-style (0 = default).
+    #[must_use]
+    pub fn chunk_bytes(mut self, bytes: usize) -> Self {
+        self.chunk_bytes = bytes;
         self
     }
 }
@@ -183,5 +197,6 @@ mod tests {
         let r: PlacementRequest = serde_json::from_str(legacy).unwrap();
         assert_eq!(r.score_threads, 0);
         assert!(r.memoize_bounds);
+        assert_eq!(r.chunk_bytes, 0, "0 = default cache budget");
     }
 }

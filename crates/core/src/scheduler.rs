@@ -104,9 +104,26 @@ impl<'a> Scheduler<'a> {
         request: &PlacementRequest,
         pinned: &[Option<HostId>],
     ) -> Result<PlacementOutcome, PlacementError> {
+        self.place_pinned_with(topology, state, request, pinned, None)
+    }
+
+    /// [`place_pinned`](Self::place_pinned) with optional session
+    /// state attached: the search then resolves heuristic bounds
+    /// through the session's cross-request cache and screens
+    /// candidates against its host summaries. `state` must be the
+    /// session's own state — the summaries describe it.
+    pub(crate) fn place_pinned_with(
+        &self,
+        topology: &ApplicationTopology,
+        state: &CapacityState,
+        request: &PlacementRequest,
+        pinned: &[Option<HostId>],
+        session: Option<&crate::session::SessionShared>,
+    ) -> Result<PlacementOutcome, PlacementError> {
         assert_eq!(pinned.len(), topology.node_count(), "one pin slot per node");
         let started = Instant::now();
-        let ctx = Ctx::new(topology, self.infra, state, request, pinned.to_vec())?;
+        let ctx =
+            Ctx::with_session(topology, self.infra, state, request, pinned.to_vec(), session)?;
         let mut stats = SearchStats::default();
         let path = match request.algorithm {
             Algorithm::GreedyCompute => {

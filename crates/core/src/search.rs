@@ -120,7 +120,18 @@ pub(crate) struct Ctx<'a> {
     pub(crate) bound_cache: std::sync::Mutex<FxHashMap<(u32, u64), u64>>,
     /// Persistent scoring workers, created lazily on the first
     /// over-threshold candidate set and reused for the whole run.
+    /// Unused when a session provides its own longer-lived pool.
     pub(crate) pool: std::sync::OnceLock<crate::pool::ScoringPool>,
+    /// Cross-request session state, when this request is served by a
+    /// [`SchedulerSession`](crate::session::SchedulerSession).
+    pub(crate) session: Option<&'a crate::session::SessionShared>,
+    /// Structure signature of `topo` (see
+    /// [`topology_signature`](crate::session::topology_signature));
+    /// only computed — and only meaningful — when `session` is set.
+    pub(crate) topo_sig: u64,
+    /// Cache-aware ceiling on scoring chunk length, resolved from the
+    /// request's `chunk_bytes` budget.
+    pub(crate) chunk_cap: usize,
 }
 
 impl<'a> Ctx<'a> {
@@ -130,6 +141,17 @@ impl<'a> Ctx<'a> {
         base: &'a CapacityState,
         request: &PlacementRequest,
         pinned: Vec<Option<HostId>>,
+    ) -> Result<Self, PlacementError> {
+        Self::with_session(topo, infra, base, request, pinned, None)
+    }
+
+    pub(crate) fn with_session(
+        topo: &'a ApplicationTopology,
+        infra: &'a Infrastructure,
+        base: &'a CapacityState,
+        request: &PlacementRequest,
+        pinned: Vec<Option<HostId>>,
+        session: Option<&'a crate::session::SessionShared>,
     ) -> Result<Self, PlacementError> {
         request.weights.validate()?;
         debug_assert_eq!(pinned.len(), topo.node_count());
@@ -181,7 +203,23 @@ impl<'a> Ctx<'a> {
             memoize: request.memoize_bounds && request.use_estimate,
             bound_cache: std::sync::Mutex::new(FxHashMap::default()),
             pool: std::sync::OnceLock::new(),
+            topo_sig: if session.is_some() { crate::session::topology_signature(topo) } else { 0 },
+            session,
+            chunk_cap: resolve_chunk_cap(request.chunk_bytes),
         })
+    }
+
+    /// The scoring pool serving this request: the session's persistent
+    /// pool when one is attached (workers and scratch survive across
+    /// requests), else this context's per-request pool. Thread count
+    /// only affects how the work is split, never its result, so a
+    /// session pool sized by its first request stays correct for all.
+    pub(crate) fn scoring_pool(&self) -> &crate::pool::ScoringPool {
+        let cell = match self.session {
+            Some(shared) => &shared.pool,
+            None => &self.pool,
+        };
+        cell.get_or_init(|| crate::pool::ScoringPool::new(self.score_threads))
     }
 
     /// Cache key for `node`'s heuristic bound against a candidate host
@@ -541,7 +579,7 @@ pub(crate) fn pair_hash(node: NodeId, host: HostId) -> u64 {
 }
 
 /// splitmix64 finalizer: the repo's standard bit mixer.
-fn mix64(x: u64) -> u64 {
+pub(crate) fn mix64(x: u64) -> u64 {
     let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -556,6 +594,25 @@ fn resolve_score_threads(requested: usize) -> usize {
         return requested;
     }
     std::thread::available_parallelism().map_or(1, |n| n.get()).min(16)
+}
+
+/// Approximate bytes one candidate's scoring touches: the
+/// `ScoredCandidate` written, the host's availability row, NIC/link
+/// headroom, and the hash-map probes the bound lookup makes. Used only
+/// to size chunks, so it needs to be the right magnitude, not exact.
+const BYTES_PER_CANDIDATE: usize = 192;
+
+/// Default per-chunk cache budget: a conservative slice of a typical
+/// per-core L2 (256 KiB keeps a chunk resident even on older parts).
+const DEFAULT_CHUNK_BYTES: usize = 256 * 1024;
+
+/// Resolves the request's `chunk_bytes` knob (0 = default budget) into
+/// a ceiling on candidates per scoring chunk. Chunking never changes
+/// results — chunks are concatenated in host order — so this is purely
+/// a locality lever.
+fn resolve_chunk_cap(chunk_bytes: usize) -> usize {
+    let budget = if chunk_bytes == 0 { DEFAULT_CHUNK_BYTES } else { chunk_bytes };
+    (budget / BYTES_PER_CANDIDATE).max(8)
 }
 
 #[cfg(test)]

@@ -1,0 +1,1034 @@
+//! The long-lived placement service: a [`SchedulerSession`] owns one
+//! evolving [`CapacityState`] plus every piece of cross-request state a
+//! streaming scheduler can reuse — the bound-memo cache, per-host
+//! availability summaries, and the scoring worker pool — so a request
+//! arriving after a thousand others starts warm instead of rebuilding
+//! all of it from zero.
+//!
+//! # Invalidation protocol
+//!
+//! Every mutation of the session's state (`commit`, `release`,
+//! `release_partial`, `deploy`, `evacuate`, `quarantine_host`, raw
+//! node reservations) records the touched hosts in a *dirty-host
+//! journal*. The next placement drains the journal: each dirty host
+//! gets its [`HostSummary`] recomputed from the live state and its
+//! epoch bumped; untouched hosts keep their summaries and signatures
+//! byte-for-byte, so cache entries keyed on them stay hot.
+//!
+//! # Why value keys make warm hits *exact*
+//!
+//! The session cache is keyed purely by **values**, never identities:
+//! the topology's structure signature, the partial placement expressed
+//! as a node→slot partition with each slot's exact remaining
+//! availability, and the candidate's availability signature.
+//! [`lower_bound_mbps`] consults exactly those inputs — it never reads
+//! a host id into the bound — so two resolutions with equal keys are
+//! the *same computation* and a warm hit returns the bit-exact value a
+//! cold evaluation would produce. This is what lets the cache survive
+//! across requests, tenants, and even differently-named topologies of
+//! the same shape, while the `commit`/`release` journal keeps the
+//! summaries the keys are built from truthful.
+//!
+//! [`lower_bound_mbps`]: crate::heuristic::lower_bound_mbps
+
+use std::sync::{Mutex, OnceLock};
+
+use ostro_datacenter::{CapacityError, CapacityState, FxHashMap, HostId, Infrastructure};
+use ostro_model::{ApplicationTopology, NodeId, Resources};
+
+use crate::deploy::{DeployError, DeployPolicy, DeploymentReport, EvacuationOutcome, FaultProbe};
+use crate::error::PlacementError;
+use crate::online::{replace_rounds, OnlineOutcome};
+use crate::placement::{Placement, PlacementOutcome};
+use crate::pool::{lock_unpoisoned, ScoringPool};
+use crate::request::PlacementRequest;
+use crate::scheduler::Scheduler;
+use crate::search::mix64;
+
+/// Entries kept per generation of the session cache; at ~24 bytes per
+/// entry the two live generations stay comfortably inside a few
+/// megabytes while covering far more keys than one request produces.
+const SESSION_CACHE_CAP: usize = 1 << 18;
+
+/// Per-host availability digest maintained incrementally from the
+/// dirty-host journal (the "incremental candidate maintenance" half of
+/// the session): always equal to what a full rescan of the live state
+/// would produce, verified by the invalidation property test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct HostSummary {
+    /// Remaining host-local capacity — exactly `state.available(host)`.
+    pub free: Resources,
+    /// Remaining NIC uplink headroom in Mbps.
+    pub nic_mbps: u64,
+    /// Availability-group signature of an overlay-untouched host,
+    /// matching [`OverlayState::host_group_signature`]'s epoch-0 chain
+    /// bit-for-bit so session keys agree with per-request keys.
+    ///
+    /// [`OverlayState::host_group_signature`]:
+    ///     ostro_datacenter::OverlayState::host_group_signature
+    pub avail_sig: u64,
+}
+
+/// The epoch-0 group signature chain of
+/// `OverlayState::host_group_signature`, reproduced over a summary's
+/// availability.
+pub(crate) fn avail_signature(avail: Resources) -> u64 {
+    let a = mix64(u64::from(avail.vcpus));
+    let b = mix64(a ^ avail.memory_mb);
+    mix64(b ^ avail.disk_gb)
+}
+
+/// One memoized heuristic bound, tagged with the request generation
+/// that wrote it so hits can be classified warm (cross-request) vs
+/// in-request.
+#[derive(Debug, Clone, Copy)]
+struct SessionEntry {
+    bound: u64,
+    gen: u32,
+}
+
+/// The cross-request bound cache: two generations with second-chance
+/// promotion. Inserts land in the current generation; when it fills,
+/// the previous generation is discarded (those are the evictions) and
+/// the current one takes its place. A hit in the previous generation
+/// promotes the entry, so anything the workload still touches survives
+/// rotation indefinitely — a deterministic approximation of LRU with
+/// no per-entry bookkeeping.
+#[derive(Debug, Default)]
+pub(crate) struct SessionCache {
+    cur: FxHashMap<(u32, u64), SessionEntry>,
+    prev: FxHashMap<(u32, u64), SessionEntry>,
+    /// Monotonic request counter; entries written by generations below
+    /// the current one are warm.
+    gen: u32,
+    /// Cumulative entries discarded by rotation.
+    evictions: u64,
+}
+
+impl SessionCache {
+    /// Marks the start of a new request; everything cached so far
+    /// becomes "warm" for hit accounting.
+    pub(crate) fn begin_request(&mut self) {
+        self.gen = self.gen.wrapping_add(1);
+    }
+
+    /// Total entries discarded by rotation so far.
+    pub(crate) fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Looks `key` up in both generations, promoting a previous-
+    /// generation hit. Returns the bound and `true` if the entry was
+    /// written by an earlier request (a warm, cross-request hit).
+    pub(crate) fn get(&mut self, key: (u32, u64)) -> Option<(u64, bool)> {
+        if let Some(e) = self.cur.get(&key) {
+            return Some((e.bound, e.gen != self.gen));
+        }
+        if let Some(e) = self.prev.remove(&key) {
+            self.cur.insert(key, e);
+            return Some((e.bound, e.gen != self.gen));
+        }
+        None
+    }
+
+    /// Inserts a freshly computed bound, rotating generations when the
+    /// current one is full.
+    pub(crate) fn insert(&mut self, key: (u32, u64), bound: u64) {
+        if self.cur.len() >= SESSION_CACHE_CAP {
+            self.evictions += self.prev.len() as u64;
+            self.prev = std::mem::take(&mut self.cur);
+        }
+        self.cur.insert(key, SessionEntry { bound, gen: self.gen });
+    }
+}
+
+/// The shared, read-mostly half of a session, handed to the search
+/// context of every request the session serves.
+#[derive(Debug)]
+pub(crate) struct SessionShared {
+    /// One summary per host, kept exactly in sync with the session's
+    /// state through the dirty-host journal.
+    pub(crate) summaries: Vec<HostSummary>,
+    /// Per-host refresh epochs: how many times each host's summary was
+    /// re-resolved from the journal. Diagnostics and tests only — the
+    /// cache keys are value-based and never read these.
+    pub(crate) epochs: Vec<u64>,
+    /// The cross-request bound cache.
+    pub(crate) cache: Mutex<SessionCache>,
+    /// The persistent scoring pool, created lazily on the first request
+    /// large enough to engage it and reused (workers, scratch buffers
+    /// and all) for the rest of the session's life.
+    pub(crate) pool: OnceLock<ScoringPool>,
+}
+
+impl SessionShared {
+    fn new(infra: &Infrastructure, state: &CapacityState) -> Self {
+        let summaries = infra
+            .hosts()
+            .iter()
+            .map(|h| {
+                let free = state.available(h.id());
+                HostSummary {
+                    free,
+                    nic_mbps: state.nic_available(h.id()).as_mbps(),
+                    avail_sig: avail_signature(free),
+                }
+            })
+            .collect::<Vec<_>>();
+        SessionShared {
+            epochs: vec![0; summaries.len()],
+            summaries,
+            cache: Mutex::new(SessionCache::default()),
+            pool: OnceLock::new(),
+        }
+    }
+}
+
+/// Structure-only signature of a topology: node requirements, links,
+/// and diversity zones, in deterministic order — everything the
+/// heuristic bound can observe, and nothing it cannot (names are
+/// deliberately excluded so recurring tenant shapes share cache
+/// entries no matter what they are called).
+pub(crate) fn topology_signature(topology: &ApplicationTopology) -> u64 {
+    let mut h = mix64(topology.node_count() as u64);
+    for node in topology.nodes() {
+        let req = node.requirements();
+        h = mix64(h ^ u64::from(req.vcpus));
+        h = mix64(h ^ req.memory_mb);
+        h = mix64(h ^ req.disk_gb);
+    }
+    for link in topology.links() {
+        let (a, b) = link.endpoints();
+        h = mix64(h ^ (((a.index() as u64) << 32) | b.index() as u64));
+        h = mix64(h ^ link.bandwidth().as_mbps());
+    }
+    for zone in topology.zones() {
+        h = mix64(h ^ (zone.level() as u64 + 1));
+        for &member in zone.members() {
+            h = mix64(h ^ (member.index() as u64 + 1));
+        }
+    }
+    h
+}
+
+/// A long-lived scheduling session: one [`Scheduler`] bound to one
+/// owned, evolving [`CapacityState`], carrying warm cross-request
+/// caches between placements.
+///
+/// All mutations of the capacity state must go through the session
+/// (which is why it owns the state outright): each one journals the
+/// hosts it touched, and the next placement re-resolves exactly those
+/// — nothing else — before solving warm.
+///
+/// Placements are **bit-identical** to a cold per-request
+/// [`Scheduler::place`] against an equal state: the warm caches are
+/// value-keyed (see the module docs), so reuse changes the work done,
+/// never the answer.
+///
+/// ```
+/// use ostro_core::{PlacementRequest, SchedulerSession};
+/// use ostro_datacenter::InfrastructureBuilder;
+/// use ostro_model::{Bandwidth, Resources, TopologyBuilder};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let infra = InfrastructureBuilder::flat(
+///     "dc", 2, 4,
+///     Resources::new(16, 32_768, 1_000),
+///     Bandwidth::from_gbps(10),
+///     Bandwidth::from_gbps(100),
+/// ).build()?;
+/// let mut b = TopologyBuilder::new("app");
+/// let web = b.vm("web", 2, 2_048)?;
+/// let db = b.vm("db", 4, 8_192)?;
+/// b.link(web, db, Bandwidth::from_mbps(100))?;
+/// let topology = b.build()?;
+///
+/// let mut session = SchedulerSession::new(&infra);
+/// let outcome = session.place(&topology, &PlacementRequest::default())?;
+/// session.commit(&topology, &outcome.placement)?;
+/// assert_eq!(session.state().active_host_count(), outcome.hosts_used);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SchedulerSession<'a> {
+    scheduler: Scheduler<'a>,
+    state: CapacityState,
+    shared: SessionShared,
+    /// Hosts touched since the last refresh, each listed once.
+    dirty: Vec<HostId>,
+    dirty_flags: Vec<bool>,
+}
+
+impl<'a> SchedulerSession<'a> {
+    /// A session over a fully idle data center.
+    #[must_use]
+    pub fn new(infra: &'a Infrastructure) -> Self {
+        Self::with_state(infra, CapacityState::new(infra))
+    }
+
+    /// A session resuming from an existing capacity state (e.g. a
+    /// restarted service reloading its checkpoint).
+    #[must_use]
+    pub fn with_state(infra: &'a Infrastructure, state: CapacityState) -> Self {
+        let shared = SessionShared::new(infra, &state);
+        SchedulerSession {
+            scheduler: Scheduler::new(infra),
+            dirty: Vec::new(),
+            dirty_flags: vec![false; infra.host_count()],
+            state,
+            shared,
+        }
+    }
+
+    /// The underlying stateless scheduler.
+    #[must_use]
+    pub fn scheduler(&self) -> Scheduler<'a> {
+        self.scheduler
+    }
+
+    /// The infrastructure this session schedules onto.
+    #[must_use]
+    pub fn infrastructure(&self) -> &'a Infrastructure {
+        self.scheduler.infrastructure()
+    }
+
+    /// Read access to the live capacity state. All mutation goes
+    /// through the session so the dirty-host journal stays complete.
+    #[must_use]
+    pub fn state(&self) -> &CapacityState {
+        &self.state
+    }
+
+    /// Consumes the session, returning the final capacity state.
+    #[must_use]
+    pub fn into_state(self) -> CapacityState {
+        self.state
+    }
+
+    /// How many times `host`'s summary was re-resolved from the dirty
+    /// journal — its availability epoch. Untouched hosts stay at 0.
+    #[must_use]
+    pub fn host_epoch(&self, host: HostId) -> u64 {
+        self.shared.epochs[host.index()]
+    }
+
+    /// Hosts currently journaled dirty (touched since the last
+    /// placement), each exactly once, in touch order.
+    #[must_use]
+    pub fn pending_dirty_hosts(&self) -> &[HostId] {
+        &self.dirty
+    }
+
+    fn touch(&mut self, host: HostId) {
+        if !self.dirty_flags[host.index()] {
+            self.dirty_flags[host.index()] = true;
+            self.dirty.push(host);
+        }
+    }
+
+    /// Drains the dirty-host journal into the summaries: exactly the
+    /// journaled hosts are re-resolved from the live state; everything
+    /// else keeps its summary (and therefore its cache keys) untouched.
+    fn refresh(&mut self) -> u64 {
+        let drained = self.dirty.len() as u64;
+        for host in self.dirty.drain(..) {
+            let free = self.state.available(host);
+            self.shared.summaries[host.index()] = HostSummary {
+                free,
+                nic_mbps: self.state.nic_available(host).as_mbps(),
+                avail_sig: avail_signature(free),
+            };
+            self.shared.epochs[host.index()] += 1;
+            self.dirty_flags[host.index()] = false;
+        }
+        drained
+    }
+
+    /// Computes a placement against the session's live state, warm.
+    ///
+    /// The state is *not* modified — call [`commit`](Self::commit) to
+    /// apply the decision (which is what keeps the journal truthful).
+    ///
+    /// # Errors
+    ///
+    /// As [`Scheduler::place`].
+    pub fn place(
+        &mut self,
+        topology: &ApplicationTopology,
+        request: &PlacementRequest,
+    ) -> Result<PlacementOutcome, PlacementError> {
+        self.place_pinned(topology, request, &vec![None; topology.node_count()])
+    }
+
+    /// Like [`place`](Self::place) with some nodes pinned (the online
+    /// re-placement path).
+    ///
+    /// # Errors
+    ///
+    /// As [`Scheduler::place_pinned`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pinned.len() != topology.node_count()`.
+    pub fn place_pinned(
+        &mut self,
+        topology: &ApplicationTopology,
+        request: &PlacementRequest,
+        pinned: &[Option<HostId>],
+    ) -> Result<PlacementOutcome, PlacementError> {
+        let dirty = self.refresh();
+        let evictions_before = {
+            let mut cache = lock_unpoisoned(&self.shared.cache);
+            cache.begin_request();
+            cache.evictions()
+        };
+        let result = self.scheduler.place_pinned_with(
+            topology,
+            &self.state,
+            request,
+            pinned,
+            Some(&self.shared),
+        );
+        let evictions_after = lock_unpoisoned(&self.shared.cache).evictions();
+        let mut outcome = result?;
+        outcome.stats.session_dirty_hosts = dirty;
+        outcome.stats.session_cache_evictions = evictions_after - evictions_before;
+        Ok(outcome)
+    }
+
+    /// Online re-placement with warm rounds: the same pin-relaxation
+    /// loop as [`Scheduler::replace_online`], with every round's solve
+    /// served by the session caches.
+    ///
+    /// # Errors
+    ///
+    /// As [`Scheduler::replace_online`].
+    pub fn replace_online(
+        &mut self,
+        topology: &ApplicationTopology,
+        request: &PlacementRequest,
+        prior: &[Option<HostId>],
+        max_rounds: u32,
+    ) -> Result<OnlineOutcome, PlacementError> {
+        replace_rounds(topology, prior, max_rounds, |pins| {
+            self.place_pinned(topology, request, pins)
+        })
+    }
+
+    /// Applies a placement decision to the session state, journaling
+    /// its hosts dirty.
+    ///
+    /// # Errors
+    ///
+    /// As [`Scheduler::commit`]; on error nothing is journaled (the
+    /// state is untouched).
+    pub fn commit(
+        &mut self,
+        topology: &ApplicationTopology,
+        placement: &Placement,
+    ) -> Result<(), PlacementError> {
+        self.scheduler.commit(topology, placement, &mut self.state)?;
+        for i in 0..placement.assignments().len() {
+            self.touch(placement.assignments()[i]);
+        }
+        Ok(())
+    }
+
+    /// Releases a committed placement, journaling its hosts dirty.
+    ///
+    /// # Errors
+    ///
+    /// As [`Scheduler::release`]; on error nothing is journaled.
+    pub fn release(
+        &mut self,
+        topology: &ApplicationTopology,
+        placement: &Placement,
+    ) -> Result<(), PlacementError> {
+        self.scheduler.release(topology, placement, &mut self.state)?;
+        for i in 0..placement.assignments().len() {
+            self.touch(placement.assignments()[i]);
+        }
+        Ok(())
+    }
+
+    /// Releases the committed subset of a partial assignment,
+    /// journaling its hosts dirty.
+    ///
+    /// # Errors
+    ///
+    /// As [`Scheduler::release_partial`]; on error nothing is
+    /// journaled.
+    pub fn release_partial(
+        &mut self,
+        topology: &ApplicationTopology,
+        assignment: &[Option<HostId>],
+    ) -> Result<(), PlacementError> {
+        self.scheduler.release_partial(topology, assignment, &mut self.state)?;
+        for host in assignment.iter().copied().flatten() {
+            self.touch(host);
+        }
+        Ok(())
+    }
+
+    /// Deploys a decision through the fault-aware pipeline against the
+    /// session state (see [`Scheduler::deploy`]).
+    ///
+    /// The decided hosts and every host the report actually committed
+    /// are journaled. The pipeline's internal fallback re-plans run
+    /// against a *scratch* state whose availability the session
+    /// summaries do not describe, so they deliberately solve cold —
+    /// only the session's own requests are served warm.
+    ///
+    /// # Errors
+    ///
+    /// As [`Scheduler::deploy`] (on error the state was rolled back;
+    /// the conservative journaling of the decided hosts is harmless —
+    /// their summaries re-resolve to unchanged values).
+    #[allow(clippy::too_many_arguments)]
+    pub fn deploy(
+        &mut self,
+        topology: &ApplicationTopology,
+        decided: &Placement,
+        request: &PlacementRequest,
+        policy: &DeployPolicy,
+        best_effort: &[bool],
+        probe: &mut dyn FaultProbe,
+    ) -> Result<DeploymentReport, DeployError> {
+        let result = self.scheduler.deploy(
+            topology,
+            decided,
+            &mut self.state,
+            request,
+            policy,
+            best_effort,
+            probe,
+        );
+        for i in 0..decided.assignments().len() {
+            self.touch(decided.assignments()[i]);
+        }
+        if let Ok(report) = &result {
+            let hosts: Vec<HostId> = report.assignment.iter().flatten().copied().collect();
+            for host in hosts {
+                self.touch(host);
+            }
+        }
+        result
+    }
+
+    /// Evacuates one tenant off a crashed host, with the recovery
+    /// re-placement solved **warm**: the same release → re-quarantine →
+    /// pinned re-place sequence as [`Scheduler::evacuate`], expressed
+    /// through the session's journaled operations.
+    ///
+    /// # Errors
+    ///
+    /// As [`Scheduler::evacuate`].
+    pub fn evacuate(
+        &mut self,
+        topology: &ApplicationTopology,
+        assignment: &[Option<HostId>],
+        request: &PlacementRequest,
+        failed: HostId,
+        max_rounds: u32,
+    ) -> Result<EvacuationOutcome, PlacementError> {
+        self.release_partial(topology, assignment)?;
+        // The release restored the dead replicas' capacity on the
+        // crashed host; freeze it again so nothing lands there.
+        self.quarantine_host(failed);
+        let dead: Vec<NodeId> = topology
+            .nodes()
+            .iter()
+            .filter(|nd| assignment[nd.id().index()] == Some(failed))
+            .map(|nd| nd.id())
+            .collect();
+        let prior: Vec<Option<HostId>> =
+            assignment.iter().map(|h| h.filter(|&x| x != failed)).collect();
+        let online = self.replace_online(topology, request, &prior, max_rounds)?;
+        Ok(EvacuationOutcome { online, dead })
+    }
+
+    /// Freezes a host out of all future placements (crash handling),
+    /// journaling it dirty.
+    pub fn quarantine_host(&mut self, host: HostId) {
+        self.state.quarantine_host(host);
+        self.touch(host);
+    }
+
+    /// Raw node reservation against the session state (stale-capacity
+    /// race injection and other out-of-band grabs), journaled.
+    ///
+    /// # Errors
+    ///
+    /// As [`CapacityState::reserve_node`]; nothing is journaled on
+    /// error.
+    pub fn reserve_node(&mut self, host: HostId, req: Resources) -> Result<(), CapacityError> {
+        self.state.reserve_node(host, req)?;
+        self.touch(host);
+        Ok(())
+    }
+
+    /// Raw node release against the session state, journaled.
+    ///
+    /// # Errors
+    ///
+    /// As [`CapacityState::release_node`]; nothing is journaled on
+    /// error.
+    pub fn release_node(&mut self, host: HostId, req: Resources) -> Result<(), CapacityError> {
+        self.state.release_node(self.scheduler.infrastructure(), host, req)?;
+        self.touch(host);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+    use std::time::Duration;
+
+    use super::*;
+    use crate::request::Algorithm;
+    use ostro_datacenter::InfrastructureBuilder;
+    use ostro_model::{Bandwidth, DiversityLevel, TopologyBuilder};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn infra_flat(racks: usize, hosts: usize) -> Infrastructure {
+        InfrastructureBuilder::flat(
+            "dc",
+            racks,
+            hosts,
+            Resources::new(16, 32_768, 1_000),
+            Bandwidth::from_gbps(10),
+            Bandwidth::from_gbps(100),
+        )
+        .build()
+        .unwrap()
+    }
+
+    fn hub_app(name: &str) -> ApplicationTopology {
+        let mut b = TopologyBuilder::new(name);
+        let hub = b.vm("hub", 4, 8_192).unwrap();
+        let mut workers = Vec::new();
+        for i in 0..3 {
+            let w = b.vm(format!("w{i}"), 2, 2_048).unwrap();
+            b.link(hub, w, Bandwidth::from_mbps(100 + 50 * i as u64)).unwrap();
+            workers.push(w);
+        }
+        let vol = b.volume("vol", 200).unwrap();
+        b.link(hub, vol, Bandwidth::from_mbps(150)).unwrap();
+        b.diversity_zone("z", DiversityLevel::Host, &workers).unwrap();
+        b.build().unwrap()
+    }
+
+    fn chain_app(name: &str) -> ApplicationTopology {
+        let mut b = TopologyBuilder::new(name);
+        let ids: Vec<_> = (0..4).map(|i| b.vm(format!("c{i}"), 2, 4_096).unwrap()).collect();
+        for w in ids.windows(2) {
+            b.link(w[0], w[1], Bandwidth::from_mbps(120)).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn assert_outcomes_identical(warm: &PlacementOutcome, cold: &PlacementOutcome, what: &str) {
+        assert_eq!(warm.placement, cold.placement, "{what}: placement");
+        assert_eq!(warm.objective.to_bits(), cold.objective.to_bits(), "{what}: objective bits");
+        assert_eq!(warm.reserved_bandwidth, cold.reserved_bandwidth, "{what}: bandwidth");
+        assert_eq!(warm.new_active_hosts, cold.new_active_hosts, "{what}: new hosts");
+        assert_eq!(warm.hosts_used, cold.hosts_used, "{what}: hosts used");
+        assert_eq!(warm.stats.expanded, cold.stats.expanded, "{what}: expanded");
+        assert_eq!(
+            warm.stats.heuristic_evals, cold.stats.heuristic_evals,
+            "{what}: heuristic evals"
+        );
+    }
+
+    /// The tentpole bit-identity contract: a warm session serving an
+    /// arrive / depart / re-place / evacuate stream produces byte-
+    /// identical results to a cold per-request scheduler driven over an
+    /// identically evolving state — across EG, BA*, and DBA*.
+    #[test]
+    fn warm_session_stream_is_bit_identical_to_cold_scheduler() {
+        let infra = infra_flat(4, 8);
+        let algorithms = [
+            Algorithm::Greedy,
+            Algorithm::BoundedAStar,
+            Algorithm::DeadlineBoundedAStar { deadline: Duration::from_secs(5) },
+        ];
+        for algorithm in algorithms {
+            let request = PlacementRequest {
+                algorithm,
+                max_expansions: 2_000,
+                ..PlacementRequest::default()
+            };
+            let tag = request.algorithm.abbreviation();
+            let scheduler = Scheduler::new(&infra);
+            let mut session = SchedulerSession::new(&infra);
+            let mut cold = CapacityState::new(&infra);
+
+            let app_a = hub_app("a");
+            let app_b = chain_app("b");
+            let app_c = hub_app("c"); // same shape as `a`, different name
+
+            // Arrive A.
+            let warm_a = session.place(&app_a, &request).unwrap();
+            let cold_a = scheduler.place(&app_a, &cold, &request).unwrap();
+            assert_outcomes_identical(&warm_a, &cold_a, &format!("{tag} place a"));
+            session.commit(&app_a, &warm_a.placement).unwrap();
+            scheduler.commit(&app_a, &cold_a.placement, &mut cold).unwrap();
+            assert_eq!(session.state(), &cold, "{tag}: state after a");
+
+            // Arrive B.
+            let warm_b = session.place(&app_b, &request).unwrap();
+            let cold_b = scheduler.place(&app_b, &cold, &request).unwrap();
+            assert_outcomes_identical(&warm_b, &cold_b, &format!("{tag} place b"));
+            session.commit(&app_b, &warm_b.placement).unwrap();
+            scheduler.commit(&app_b, &cold_b.placement, &mut cold).unwrap();
+
+            // Arrive C — structurally identical to A, so the session
+            // serves part of its bounds from A's entries, warm.
+            let warm_c = session.place(&app_c, &request).unwrap();
+            let cold_c = scheduler.place(&app_c, &cold, &request).unwrap();
+            assert_outcomes_identical(&warm_c, &cold_c, &format!("{tag} place c"));
+            assert!(
+                warm_c.stats.session_cache_hits > 0,
+                "{tag}: repeated shape must hit the session cache"
+            );
+            assert_eq!(cold_c.stats.session_cache_hits, 0, "{tag}: cold has no session");
+            session.commit(&app_c, &warm_c.placement).unwrap();
+            scheduler.commit(&app_c, &cold_c.placement, &mut cold).unwrap();
+
+            // Depart A.
+            session.release(&app_a, &warm_a.placement).unwrap();
+            scheduler.release(&app_a, &cold_a.placement, &mut cold).unwrap();
+            assert_eq!(session.state(), &cold, "{tag}: state after releasing a");
+
+            // Re-place B online (depart + pinned re-place).
+            session.release(&app_b, &warm_b.placement).unwrap();
+            scheduler.release(&app_b, &cold_b.placement, &mut cold).unwrap();
+            let prior: Vec<Option<HostId>> =
+                warm_b.placement.assignments().iter().copied().map(Some).collect();
+            let warm_rb = session.replace_online(&app_b, &request, &prior, 4).unwrap();
+            let cold_rb = scheduler.replace_online(&app_b, &cold, &request, &prior, 4).unwrap();
+            assert_outcomes_identical(
+                &warm_rb.outcome,
+                &cold_rb.outcome,
+                &format!("{tag} replace b"),
+            );
+            assert_eq!(warm_rb.rounds, cold_rb.rounds, "{tag}: rounds");
+            assert_eq!(warm_rb.repositioned, cold_rb.repositioned, "{tag}: repositioned");
+            session.commit(&app_b, &warm_rb.outcome.placement).unwrap();
+            scheduler.commit(&app_b, &cold_rb.outcome.placement, &mut cold).unwrap();
+
+            // Evacuate C off its first host.
+            let assignment: Vec<Option<HostId>> =
+                warm_c.placement.assignments().iter().copied().map(Some).collect();
+            let failed = warm_c.placement.assignments()[0];
+            let warm_ev = session.evacuate(&app_c, &assignment, &request, failed, 4).unwrap();
+            let cold_ev =
+                scheduler.evacuate(&app_c, &assignment, &mut cold, &request, failed, 4).unwrap();
+            assert_outcomes_identical(
+                &warm_ev.online.outcome,
+                &cold_ev.online.outcome,
+                &format!("{tag} evacuate c"),
+            );
+            assert_eq!(warm_ev.dead, cold_ev.dead, "{tag}: dead nodes");
+            session.commit(&app_c, &warm_ev.online.outcome.placement).unwrap();
+            scheduler.commit(&app_c, &cold_ev.online.outcome.placement, &mut cold).unwrap();
+            assert_eq!(session.state(), &cold, "{tag}: final state");
+        }
+    }
+
+    /// Replaying an identical request against an identical state must
+    /// be served entirely from the session cache: the search trajectory
+    /// is bit-identical, so every bound key recurs.
+    #[test]
+    fn identical_replay_is_fully_warm() {
+        let infra = infra_flat(4, 8);
+        let app = hub_app("app");
+        for algorithm in [Algorithm::Greedy, Algorithm::BoundedAStar] {
+            let request = PlacementRequest {
+                algorithm,
+                max_expansions: 2_000,
+                ..PlacementRequest::default()
+            };
+            let mut session = SchedulerSession::new(&infra);
+            let first = session.place(&app, &request).unwrap();
+            assert!(first.stats.session_cache_misses > 0, "first request computes fresh");
+            // Round-trip the state: commit then release restores every
+            // availability value, so all keys match again.
+            session.commit(&app, &first.placement).unwrap();
+            session.release(&app, &first.placement).unwrap();
+            let replay = session.place(&app, &request).unwrap();
+            assert_eq!(replay.placement, first.placement);
+            assert_eq!(replay.objective.to_bits(), first.objective.to_bits());
+            assert_eq!(
+                replay.stats.session_cache_misses,
+                0,
+                "{}: replay recomputed bounds it should have cached",
+                request.algorithm.abbreviation()
+            );
+            assert!(replay.stats.session_cache_hits > 0);
+            assert_eq!(
+                replay.stats.session_dirty_hosts as usize,
+                first.placement.distinct_hosts(),
+                "commit+release journaled exactly the placement's hosts"
+            );
+        }
+    }
+
+    #[test]
+    fn topology_signature_ignores_names_but_not_structure() {
+        let a = hub_app("alpha");
+        let b = hub_app("totally-different-name");
+        assert_eq!(topology_signature(&a), topology_signature(&b));
+        let c = chain_app("alpha");
+        assert_ne!(topology_signature(&a), topology_signature(&c));
+        // Same nodes, different bandwidth: structure changed.
+        let mut t1 = TopologyBuilder::new("x");
+        let u = t1.vm("u", 1, 1_024).unwrap();
+        let v = t1.vm("v", 1, 1_024).unwrap();
+        t1.link(u, v, Bandwidth::from_mbps(100)).unwrap();
+        let mut t2 = TopologyBuilder::new("x");
+        let u2 = t2.vm("u", 1, 1_024).unwrap();
+        let v2 = t2.vm("v", 1, 1_024).unwrap();
+        t2.link(u2, v2, Bandwidth::from_mbps(200)).unwrap();
+        assert_ne!(
+            topology_signature(&t1.build().unwrap()),
+            topology_signature(&t2.build().unwrap())
+        );
+    }
+
+    #[test]
+    fn session_cache_rotates_generations_and_counts_evictions() {
+        let mut cache = SessionCache::default();
+        cache.begin_request();
+        cache.insert((1, 10), 100);
+        cache.insert((2, 20), 200);
+        assert_eq!(cache.get((1, 10)), Some((100, false)), "same-generation hit is not warm");
+        cache.begin_request();
+        assert_eq!(cache.get((1, 10)), Some((100, true)), "earlier-generation hit is warm");
+        // Fill past the cap: the current generation rotates to prev,
+        // and the old prev (empty here) is discarded without loss.
+        for i in 0..(SESSION_CACHE_CAP as u64) {
+            cache.insert((3, i), i);
+        }
+        assert_eq!(cache.evictions(), 0, "first rotation discards an empty prev");
+        // `(1, 10)` rotated into prev; a hit promotes it back.
+        assert_eq!(cache.get((1, 10)), Some((100, true)));
+        // Overflow again: now a non-empty prev is discarded.
+        for i in 0..=(SESSION_CACHE_CAP as u64) {
+            cache.insert((4, i), i);
+        }
+        assert!(cache.evictions() > 0);
+        assert_eq!(cache.get((1, 10)), Some((100, true)), "promoted entry survived");
+    }
+
+    /// The satellite property test: a random commit/release/evacuate/
+    /// reserve stream must (1) journal exactly the touched hosts,
+    /// (2) bump epochs exactly once per refresh of a touched host,
+    /// (3) keep every non-journaled summary byte-identical to a full
+    /// rescan, and (4) stay bit-identical to a cold shadow scheduler —
+    /// the stale-entry detector: any under-invalidation shows up as a
+    /// diverging placement or a stale summary.
+    #[test]
+    fn journal_invalidates_exactly_the_touched_hosts() {
+        let mut rng = SmallRng::seed_from_u64(0x5E55_104B);
+        let infra = InfrastructureBuilder::flat(
+            "dc",
+            4,
+            4,
+            Resources::new(8, 16_384, 500),
+            Bandwidth::from_gbps(10),
+            Bandwidth::from_gbps(100),
+        )
+        .build()
+        .unwrap();
+        let scheduler = Scheduler::new(&infra);
+        let request = PlacementRequest::default();
+
+        for trial in 0u64..5 {
+            let mut session = SchedulerSession::new(&infra);
+            let mut shadow = CapacityState::new(&infra);
+            let mut live: Vec<(ApplicationTopology, Placement)> = Vec::new();
+            // Mirror bookkeeping: hosts journaled but not yet refreshed,
+            // and the refresh count we expect per host.
+            let mut pending: HashSet<usize> = HashSet::new();
+            let mut expected_epochs = vec![0u64; infra.host_count()];
+            let mut apply_refresh = |pending: &mut HashSet<usize>, epochs: &mut Vec<u64>| {
+                for &h in pending.iter() {
+                    epochs[h] += 1;
+                }
+                pending.clear();
+            };
+
+            for event in 0u64..12 {
+                let what = format!("trial {trial} event {event}");
+                match rng.gen_range(0u32..10) {
+                    // Arrive (also the warm-replay probe).
+                    0..=4 => {
+                        let mut b = TopologyBuilder::new(format!("t{trial}e{event}"));
+                        let n = rng.gen_range(2usize..5);
+                        let ids: Vec<_> = (0..n)
+                            .map(|i| {
+                                b.vm(
+                                    format!("v{i}"),
+                                    rng.gen_range(1u32..4),
+                                    1_024 * rng.gen_range(1u64..4),
+                                )
+                                .unwrap()
+                            })
+                            .collect();
+                        for i in 0..n {
+                            for j in (i + 1)..n {
+                                if rng.gen_bool(0.5) {
+                                    b.link(
+                                        ids[i],
+                                        ids[j],
+                                        Bandwidth::from_mbps(rng.gen_range(10u64..150)),
+                                    )
+                                    .unwrap();
+                                }
+                            }
+                        }
+                        let topo = b.build().unwrap();
+                        apply_refresh(&mut pending, &mut expected_epochs);
+                        let warm = session.place(&topo, &request);
+                        let cold = scheduler.place(&topo, &shadow, &request);
+                        match (warm, cold) {
+                            (Ok(w), Ok(c)) => {
+                                assert_outcomes_identical(&w, &c, &what);
+                                session.commit(&topo, &w.placement).unwrap();
+                                scheduler.commit(&topo, &c.placement, &mut shadow).unwrap();
+                                for &h in w.placement.assignments() {
+                                    pending.insert(h.index());
+                                }
+                                if rng.gen_bool(0.3) {
+                                    // Warm-replay probe: two identical
+                                    // placements back to back — the
+                                    // second must be fully cache-served.
+                                    apply_refresh(&mut pending, &mut expected_epochs);
+                                    let r1 = session.place(&topo, &request);
+                                    let r2 = session.place(&topo, &request);
+                                    if let (Ok(r1), Ok(r2)) = (r1, r2) {
+                                        assert_eq!(r1.placement, r2.placement, "{what}: replay");
+                                        assert_eq!(
+                                            r2.stats.session_cache_misses, 0,
+                                            "{what}: identical replay missed the cache"
+                                        );
+                                    }
+                                }
+                                live.push((topo, w.placement));
+                            }
+                            (Err(we), Err(ce)) => assert_eq!(we, ce, "{what}: errors differ"),
+                            (w, c) => {
+                                panic!("{what}: warm {w:?} vs cold {c:?} feasibility diverged")
+                            }
+                        }
+                    }
+                    // Depart.
+                    5..=6 if !live.is_empty() => {
+                        let idx = rng.gen_range(0..live.len());
+                        let (topo, placement) = live.swap_remove(idx);
+                        session.release(&topo, &placement).unwrap();
+                        scheduler.release(&topo, &placement, &mut shadow).unwrap();
+                        for &h in placement.assignments() {
+                            pending.insert(h.index());
+                        }
+                    }
+                    // Evacuate a live tenant's first host.
+                    7 if !live.is_empty() => {
+                        let idx = rng.gen_range(0..live.len());
+                        let (topo, placement) = live.swap_remove(idx);
+                        let assignment: Vec<Option<HostId>> =
+                            placement.assignments().iter().copied().map(Some).collect();
+                        let failed = placement.assignments()[0];
+                        for &h in placement.assignments() {
+                            pending.insert(h.index());
+                        }
+                        pending.insert(failed.index());
+                        let warm = session.evacuate(&topo, &assignment, &request, failed, 4);
+                        let cold = scheduler.evacuate(
+                            &topo,
+                            &assignment,
+                            &mut shadow,
+                            &request,
+                            failed,
+                            4,
+                        );
+                        // The first re-place round drains the journal.
+                        apply_refresh(&mut pending, &mut expected_epochs);
+                        match (warm, cold) {
+                            (Ok(w), Ok(c)) => {
+                                assert_outcomes_identical(
+                                    &w.online.outcome,
+                                    &c.online.outcome,
+                                    &what,
+                                );
+                                assert_eq!(w.dead, c.dead, "{what}: dead");
+                                let placement = w.online.outcome.placement;
+                                session.commit(&topo, &placement).unwrap();
+                                scheduler.commit(&topo, &placement, &mut shadow).unwrap();
+                                for &h in placement.assignments() {
+                                    pending.insert(h.index());
+                                }
+                                live.push((topo, placement));
+                            }
+                            (Err(we), Err(ce)) => assert_eq!(we, ce, "{what}: errors differ"),
+                            (w, c) => {
+                                panic!("{what}: warm {w:?} vs cold {c:?} evacuation diverged")
+                            }
+                        }
+                    }
+                    // Out-of-band reservation (stale-capacity race).
+                    _ => {
+                        let host = HostId::from_index(rng.gen_range(0..infra.host_count()) as u32);
+                        let req = Resources::new(1, 256, 0);
+                        let warm = session.reserve_node(host, req);
+                        let cold = shadow.reserve_node(host, req);
+                        assert_eq!(warm.is_ok(), cold.is_ok(), "{what}: reserve diverged");
+                        if warm.is_ok() {
+                            pending.insert(host.index());
+                        }
+                    }
+                }
+
+                // (1) The journal holds exactly the touched hosts.
+                let journaled: HashSet<usize> =
+                    session.pending_dirty_hosts().iter().map(|h| h.index()).collect();
+                assert_eq!(journaled, pending, "{what}: journal mismatch");
+                // (2) Epochs advanced exactly once per refreshed touch.
+                for h in 0..infra.host_count() {
+                    assert_eq!(
+                        session.host_epoch(HostId::from_index(h as u32)),
+                        expected_epochs[h],
+                        "{what}: epoch of host {h}"
+                    );
+                }
+                // (3) Every non-journaled summary equals a full rescan;
+                // journaled hosts are allowed to lag until refresh.
+                for h in 0..infra.host_count() {
+                    if pending.contains(&h) {
+                        continue;
+                    }
+                    let id = HostId::from_index(h as u32);
+                    let free = session.state.available(id);
+                    let summary = session.shared.summaries[h];
+                    assert_eq!(summary.free, free, "{what}: stale free summary, host {h}");
+                    assert_eq!(
+                        summary.nic_mbps,
+                        session.state.nic_available(id).as_mbps(),
+                        "{what}: stale nic summary, host {h}"
+                    );
+                    assert_eq!(
+                        summary.avail_sig,
+                        avail_signature(free),
+                        "{what}: stale availability signature, host {h}"
+                    );
+                }
+                // (4) The session state never drifts from the shadow.
+                assert_eq!(session.state(), &shadow, "{what}: state drift");
+            }
+        }
+    }
+}

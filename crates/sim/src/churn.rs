@@ -16,7 +16,7 @@
 //! [`FaultStats`] block of the report aggregates the recovery metrics.
 
 use ostro_core::{
-    Algorithm, DeployPolicy, NoFaults, ObjectiveWeights, PlacementRequest, Scheduler,
+    Algorithm, DeployPolicy, NoFaults, ObjectiveWeights, PlacementRequest, SchedulerSession,
 };
 use ostro_datacenter::{CapacityState, HostId, Infrastructure};
 use ostro_model::{ApplicationTopology, Bandwidth, Resources};
@@ -236,14 +236,20 @@ pub fn run_churn(
 
 /// The full churn loop, also yielding the final capacity state and the
 /// tenants still deployed — the hooks the leak-regression tests use.
+///
+/// The whole stream is served by one [`SchedulerSession`], so every
+/// placement after the first starts warm: bounds cached by earlier
+/// arrivals are reused, and departures/crashes invalidate only the
+/// hosts they touched. The session is bit-identical to a cold
+/// per-request scheduler, so the reports (and the determinism tests)
+/// are unchanged by the reuse.
 fn churn_run(
     infra: &Infrastructure,
     algorithm: Algorithm,
     config: &ChurnConfig,
 ) -> Result<(ChurnReport, CapacityState, Vec<Tenant>), SimError> {
     let mut rng = SmallRng::seed_from_u64(config.seed);
-    let mut state = CapacityState::new(infra);
-    let scheduler = Scheduler::new(infra);
+    let mut session = SchedulerSession::new(infra);
     let mut tenants: Vec<Tenant> = Vec::new();
     let plan = config
         .faults
@@ -272,12 +278,12 @@ fn churn_run(
         let mut staying = Vec::with_capacity(tenants.len());
         for tenant in tenants {
             if tenant.expires_at <= tick {
-                scheduler
-                    .release_partial(&tenant.topology, &tenant.assignment, &mut state)
-                    .map_err(|source| SimError::Release {
+                session.release_partial(&tenant.topology, &tenant.assignment).map_err(
+                    |source| SimError::Release {
                         tenant: tenant.topology.name().to_owned(),
                         source,
-                    })?;
+                    },
+                )?;
             } else {
                 staying.push(tenant);
             }
@@ -289,17 +295,16 @@ fn churn_run(
         if let Some(plan) = &plan {
             for host in plan.crashes_at(tick).collect::<Vec<_>>() {
                 stats.crashes_injected += 1;
-                state.quarantine_host(host);
+                session.quarantine_host(host);
                 let mut kept = Vec::with_capacity(tenants.len());
                 for mut tenant in tenants {
                     if !tenant.assignment.contains(&Some(host)) {
                         kept.push(tenant);
                         continue;
                     }
-                    match scheduler.evacuate(
+                    match session.evacuate(
                         &tenant.topology,
                         &tenant.assignment,
-                        &mut state,
                         &request,
                         host,
                         config.deploy.unpin_rounds,
@@ -311,10 +316,9 @@ fn churn_run(
                             // Re-commit through the executor: recovery
                             // deployments see launch faults too.
                             let mut probe = PlanProbe::new(plan, tick);
-                            match scheduler.deploy(
+                            match session.deploy(
                                 &tenant.topology,
                                 &evac.online.outcome.placement,
-                                &mut state,
                                 &request,
                                 &config.deploy,
                                 &[],
@@ -345,7 +349,7 @@ fn churn_run(
 
         // One arrival: decide, then deploy under injected faults.
         let topology = random_application(&mut rng, tick)?;
-        match scheduler.place(&topology, &state, &request) {
+        match session.place(&topology, &request) {
             Ok(outcome) => {
                 solver_secs += outcome.elapsed.as_secs_f64();
                 // A concurrent actor may grab capacity between the
@@ -353,8 +357,9 @@ fn churn_run(
                 let mut phantom: Option<(HostId, Resources)> = None;
                 if let Some(plan) = &plan {
                     if let Some(raced) = plan.stale_race(tick, infra.host_count()) {
-                        let grab = race_grab(state.available(raced), plan.stale_race_fraction());
-                        if grab != Resources::ZERO && state.reserve_node(raced, grab).is_ok() {
+                        let grab =
+                            race_grab(session.state().available(raced), plan.stale_race_fraction());
+                        if grab != Resources::ZERO && session.reserve_node(raced, grab).is_ok() {
                             stats.stale_races_injected += 1;
                             phantom = Some((raced, grab));
                         }
@@ -363,20 +368,18 @@ fn churn_run(
                 let deployed = match &plan {
                     Some(plan) => {
                         let mut probe = PlanProbe::new(plan, tick);
-                        scheduler.deploy(
+                        session.deploy(
                             &topology,
                             &outcome.placement,
-                            &mut state,
                             &request,
                             &config.deploy,
                             &[],
                             &mut probe,
                         )
                     }
-                    None => scheduler.deploy(
+                    None => session.deploy(
                         &topology,
                         &outcome.placement,
-                        &mut state,
                         &request,
                         &config.deploy,
                         &[],
@@ -384,7 +387,7 @@ fn churn_run(
                     ),
                 };
                 if let Some((host, grab)) = phantom {
-                    state.release_node(infra, host, grab).map_err(|source| SimError::Release {
+                    session.release_node(host, grab).map_err(|source| SimError::Release {
                         tenant: "stale-race phantom".into(),
                         source: source.into(),
                     })?;
@@ -411,8 +414,8 @@ fn churn_run(
             Err(_) => rejected += 1,
         }
 
-        let active = state.active_host_count();
-        let reserved = state.total_reserved_bandwidth(infra);
+        let active = session.state().active_host_count();
+        let reserved = session.state().total_reserved_bandwidth(infra);
         active_sum += active as f64;
         peak_active = peak_active.max(active);
         reserved_sum += reserved.as_mbps() as f64;
@@ -430,13 +433,14 @@ fn churn_run(
         mean_solver_secs: if accepted > 0 { solver_secs / accepted as f64 } else { 0.0 },
         faults: stats,
     };
-    Ok((report, state, tenants))
+    Ok((report, session.into_state(), tenants))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::scenarios::sized_datacenter;
+    use ostro_core::Scheduler;
     use std::time::Duration;
 
     fn infra() -> Infrastructure {

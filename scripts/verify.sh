@@ -12,6 +12,10 @@ cargo clippy --all-targets -- -D warnings
 # Fast throughput smoke (64 hosts): asserts the artifact is well-formed
 # JSON and that memoized scoring is no slower than the cold baseline.
 cargo bench -p ostro-bench --bench throughput -- --smoke
+# Stream smoke (64 hosts): warm SchedulerSession vs cold per-request
+# scheduler over a sustained arrival/departure stream; asserts every
+# event's decision bit-identical and the warm engine no slower.
+cargo bench -p ostro-bench --bench stream -- --smoke
 # Recovery smoke (32 hosts, seeded host crashes + launch failures):
 # asserts internally that two same-seed runs yield bit-identical
 # recovery reports for every algorithm.
@@ -32,4 +36,16 @@ churn_smoke > "$tmp/churn1.json"
 churn_smoke > "$tmp/churn2.json"
 diff <(grep -v mean_solver_secs "$tmp/churn1.json") \
      <(grep -v mean_solver_secs "$tmp/churn2.json")
+# Session determinism through the CLI: two same-seed `place --session`
+# runs must produce identical documents (elapsed_secs is wall clock,
+# so it is stripped first).
+cargo run -q --release -p ostro-cli -- example template > "$tmp/app.json"
+session_place() {
+  cargo run -q --release -p ostro-cli -- place --infra "$tmp/infra.json" \
+    --template "$tmp/app.json" --session --stats --seed 7
+}
+session_place > "$tmp/place1.json"
+session_place > "$tmp/place2.json"
+diff <(grep -v elapsed_secs "$tmp/place1.json") \
+     <(grep -v elapsed_secs "$tmp/place2.json")
 echo "verify: all checks passed"
