@@ -70,6 +70,7 @@ fn config(scale: &Scale) -> ChurnConfig {
             launch_failure_prob: 0.08,
             stale_race_prob: 0.2,
             stale_race_fraction: 0.5,
+            ..FaultConfig::default()
         }),
         max_expansions: scale.max_expansions,
         ..ChurnConfig::default()

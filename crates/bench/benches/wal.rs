@@ -1,0 +1,198 @@
+//! Write-ahead-journal benchmark: crash-recovery latency as a function
+//! of journal length, with and without snapshot compaction.
+//!
+//! For each journal length a seeded mutation stream (node reservations
+//! and releases) is journaled twice — once with snapshots disabled, so
+//! recovery replays every record, and once with the default snapshot
+//! cadence, so recovery loads the snapshot and replays only the tail.
+//! Each recovery's books are asserted bit-identical to the live
+//! session's, so the numbers are only reported for *correct* replays.
+//!
+//! Writes `BENCH_wal.json` at the repository root with, per length,
+//! journal size on disk, records replayed, and replay wall time for
+//! both variants.
+//!
+//! `--smoke` runs a fast variant (used by `scripts/verify.sh`) and
+//! writes the artifact under `target/`.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use ostro_core::{recover, SchedulerSession, SyncPolicy, Wal, WalOptions};
+use ostro_datacenter::{HostId, Infrastructure, InfrastructureBuilder};
+use ostro_model::{Bandwidth, Resources};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Scale knobs for one benchmark run.
+struct Scale {
+    racks: usize,
+    hosts_per_rack: usize,
+    /// Journal lengths (records) to measure.
+    lengths: &'static [u64],
+    /// Snapshot cadence of the compacting variant.
+    snapshot_every: u64,
+}
+
+const FULL: Scale =
+    Scale { racks: 12, hosts_per_rack: 8, lengths: &[1_000, 10_000, 50_000], snapshot_every: 256 };
+
+const SMOKE: Scale =
+    Scale { racks: 4, hosts_per_rack: 8, lengths: &[200, 1_000], snapshot_every: 64 };
+
+fn bench_infra(scale: &Scale) -> Infrastructure {
+    InfrastructureBuilder::flat(
+        "bench",
+        scale.racks,
+        scale.hosts_per_rack,
+        Resources::new(64, 262_144, 8_000),
+        Bandwidth::from_gbps(10),
+        Bandwidth::from_gbps(100),
+    )
+    .build()
+    .expect("valid benchmark data center")
+}
+
+/// Journals `records` seeded reserve/release mutations through a live
+/// session, returning the session for ground-truth comparison.
+fn journal_stream<'a>(
+    infra: &'a Infrastructure,
+    dir: &PathBuf,
+    records: u64,
+    snapshot_every: u64,
+) -> SchedulerSession<'a> {
+    Wal::reset(dir).expect("reset journal dir");
+    let options = WalOptions { snapshot_every, sync: SyncPolicy::OnSnapshot };
+    let (wal, _) = Wal::open(dir, infra, options).expect("open journal");
+    let mut session = SchedulerSession::new(infra);
+    session.attach_wal(wal);
+
+    let mut rng = SmallRng::seed_from_u64(0x0A11_0C8E ^ records);
+    let mut held: Vec<(HostId, Resources)> = Vec::new();
+    for _ in 0..records {
+        if !held.is_empty() && rng.gen_bool(0.4) {
+            let (host, res) = held.swap_remove(rng.gen_range(0..held.len()));
+            session.release_node(host, res).expect("release journaled reservation");
+        } else {
+            let host = HostId::from_index(rng.gen_range(0..infra.host_count() as u32));
+            let res = Resources::new(0, u64::from(rng.gen_range(1..16u32)), 0);
+            session.reserve_node(host, res).expect("tiny reservation always fits");
+            held.push((host, res));
+        }
+    }
+    assert!(session.wal_error().is_none(), "journaling must not fail");
+    session
+}
+
+/// One measured recovery: replay wall time, records replayed, and a
+/// bit-identity check against the live books.
+fn measure(infra: &Infrastructure, dir: &PathBuf, live: &SchedulerSession) -> (f64, u64, bool) {
+    let started = Instant::now();
+    let recovery = recover(dir, infra).expect("recovery succeeds");
+    let secs = started.elapsed().as_secs_f64();
+    assert_eq!(
+        &recovery.state,
+        live.state(),
+        "recovered books must be bit-identical to the live session"
+    );
+    (secs, recovery.records_replayed, recovery.snapshot_seq.is_some())
+}
+
+fn main() {
+    let smoke = std::env::args().skip(1).any(|a| a == "--smoke");
+    let scale = if smoke { SMOKE } else { FULL };
+    let infra = bench_infra(&scale);
+    let base = std::env::temp_dir().join(format!("ostro-wal-bench-{}", std::process::id()));
+
+    let mut sections = Vec::new();
+    for &records in scale.lengths {
+        // Variant 1: no snapshots — recovery replays the whole journal.
+        let dir = base.join(format!("plain-{records}"));
+        let live = journal_stream(&infra, &dir, records, 0);
+        let wal_bytes = std::fs::metadata(dir.join("wal.log")).expect("journal exists").len();
+        let (plain_secs, plain_replayed, had_snapshot) = measure(&infra, &dir, &live);
+        assert!(!had_snapshot, "snapshots were disabled");
+        assert_eq!(plain_replayed, records, "every record replays without snapshots");
+        drop(live);
+
+        // Variant 2: snapshot compaction — recovery loads the snapshot
+        // and replays only the records since.
+        let dir = base.join(format!("snap-{records}"));
+        let live = journal_stream(&infra, &dir, records, scale.snapshot_every);
+        let snap_bytes = std::fs::metadata(dir.join("wal.log")).expect("journal exists").len();
+        let (snap_secs, snap_replayed, had_snapshot) = measure(&infra, &dir, &live);
+        assert!(had_snapshot, "the cadence must have produced a snapshot");
+        assert!(
+            snap_replayed < records,
+            "compaction must leave fewer than {records} records to replay"
+        );
+        drop(live);
+
+        println!(
+            "{records} records: full replay {:.1}ms ({} records, {} B); \
+             snapshot replay {:.1}ms ({} records, {} B journal)",
+            plain_secs * 1e3,
+            plain_replayed,
+            wal_bytes,
+            snap_secs * 1e3,
+            snap_replayed,
+            snap_bytes,
+        );
+        sections.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"records\": {},\n",
+                "      \"no_snapshot\": {{\"replay_secs\": {:.6}, \"records_replayed\": {}, ",
+                "\"wal_bytes\": {}}},\n",
+                "      \"with_snapshot\": {{\"replay_secs\": {:.6}, \"records_replayed\": {}, ",
+                "\"wal_bytes\": {}}}\n",
+                "    }}"
+            ),
+            records, plain_secs, plain_replayed, wal_bytes, snap_secs, snap_replayed, snap_bytes,
+        ));
+    }
+    std::fs::remove_dir_all(&base).ok();
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"write-ahead-journal replay latency\",\n",
+            "  \"hosts\": {},\n",
+            "  \"smoke\": {},\n",
+            "  \"snapshot_every\": {},\n",
+            "  \"lengths\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        scale.racks * scale.hosts_per_rack,
+        smoke,
+        scale.snapshot_every,
+        sections.join(",\n"),
+    );
+    let path = if smoke {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/BENCH_wal_smoke.json")
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_wal.json")
+    };
+    std::fs::write(path, &json).expect("write wal artifact");
+    println!("wrote {path}");
+
+    // Re-parse the artifact so a malformed write fails loudly, and pin
+    // the headline claim: snapshot recovery replays fewer records.
+    let doc: serde_json::Value =
+        serde_json::from_str(&json).expect("wal artifact must be well-formed JSON");
+    let lengths = doc.get("lengths").and_then(serde_json::Value::as_array).expect("lengths array");
+    assert_eq!(lengths.len(), scale.lengths.len());
+    for entry in lengths {
+        let full = entry
+            .get("no_snapshot")
+            .and_then(|v| v.get("records_replayed"))
+            .and_then(serde_json::Value::as_f64)
+            .expect("no_snapshot records");
+        let snap = entry
+            .get("with_snapshot")
+            .and_then(|v| v.get("records_replayed"))
+            .and_then(serde_json::Value::as_f64)
+            .expect("with_snapshot records");
+        assert!(snap < full, "snapshot replay ({snap}) must beat full replay ({full})");
+    }
+}

@@ -29,8 +29,17 @@ pub enum CliError {
     Placement(ostro_core::PlacementError),
     /// A churn simulation failed.
     Sim(ostro_sim::SimError),
+    /// The scheduler journal could not be written, read, or replayed.
+    Wal(ostro_core::WalError),
     /// A supplied capacity state does not match the infrastructure.
-    StateMismatch,
+    StateMismatch {
+        /// The state file.
+        path: String,
+        /// Hosts the infrastructure defines.
+        expected: usize,
+        /// Hosts the state file tracks.
+        found: usize,
+    },
 }
 
 impl fmt::Display for CliError {
@@ -43,8 +52,13 @@ impl fmt::Display for CliError {
             Self::Heat(e) => write!(f, "{e}"),
             Self::Placement(e) => write!(f, "placement failed: {e}"),
             Self::Sim(e) => write!(f, "simulation failed: {e}"),
-            Self::StateMismatch => {
-                write!(f, "the capacity state does not match the infrastructure")
+            Self::Wal(e) => write!(f, "scheduler journal failed: {e}"),
+            Self::StateMismatch { path, expected, found } => {
+                write!(
+                    f,
+                    "capacity state `{path}` tracks {found} hosts but the \
+                     infrastructure has {expected}"
+                )
             }
         }
     }
@@ -59,6 +73,7 @@ impl Error for CliError {
             Self::Heat(e) => Some(e),
             Self::Placement(e) => Some(e),
             Self::Sim(e) => Some(e),
+            Self::Wal(e) => Some(e),
             _ => None,
         }
     }
@@ -88,6 +103,12 @@ impl From<ostro_sim::SimError> for CliError {
     }
 }
 
+impl From<ostro_core::WalError> for CliError {
+    fn from(e: ostro_core::WalError) -> Self {
+        CliError::Wal(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,5 +120,9 @@ mod tests {
         let e: CliError = ostro_datacenter::BuildError::NoHosts.into();
         assert!(e.to_string().contains("invalid infrastructure"));
         assert!(e.source().is_some());
+        let e = CliError::StateMismatch { path: "s.json".into(), expected: 32, found: 8 };
+        assert!(e.to_string().contains("s.json"));
+        assert!(e.to_string().contains("32"));
+        assert!(e.to_string().contains('8'));
     }
 }

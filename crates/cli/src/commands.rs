@@ -6,7 +6,7 @@ use std::time::Duration;
 
 use ostro_core::{
     verify_placement, Algorithm, ObjectiveWeights, Placement, PlacementRequest, Scheduler,
-    SchedulerSession, SearchStats,
+    SchedulerSession, SearchStats, Wal, WalOptions,
 };
 use ostro_datacenter::{CapacityState, HostId, InfraSpec, Infrastructure};
 use ostro_heat::{annotate_template, extract_topology, HeatTemplate};
@@ -50,6 +50,10 @@ pub enum Command {
         state: Option<String>,
         /// Optional path to write the post-commit state to.
         commit: Option<String>,
+        /// Optional write-ahead-journal directory (implies the session
+        /// path): mutations are journaled, and a non-empty journal's
+        /// recovered books take the place of `--state`.
+        wal_dir: Option<String>,
     },
     /// Re-check a placement document against all constraints.
     Validate {
@@ -83,6 +87,23 @@ pub enum Command {
         launch_failure_prob: f64,
         /// Per-tick stale-capacity race probability.
         stale_race_prob: f64,
+        /// Probability that a stale race leaks its grab (orphan drift).
+        race_leak_prob: f64,
+        /// Anti-entropy sweep cadence in ticks (0 = never).
+        reconcile_every: usize,
+        /// Optional journal directory for crash-recovery drills.
+        wal_dir: Option<String>,
+        /// Ticks at which to kill + recover the scheduler.
+        crash_at: Vec<usize>,
+    },
+    /// Reconstruct scheduler state from a write-ahead journal.
+    Recover {
+        /// Path to the infrastructure spec.
+        infra: String,
+        /// The journal directory (`wal.log` + `snapshot.json`).
+        wal_dir: String,
+        /// Optional path to write the recovered capacity state to.
+        state_out: Option<String>,
     },
     /// Print an example input file.
     Example {
@@ -120,7 +141,7 @@ usage:
                  [--algorithm egc|egbw|eg|bastar|dbastar] [--deadline-ms N]
                  [--theta-bw X] [--theta-c X] [--seed N] [--score-threads N]
                  [--chunk-bytes N] [--session] [--stats]
-                 [--state <file>] [--commit <file>]
+                 [--state <file>] [--commit <file>] [--wal-dir <dir>]
   ostro validate --infra <file> --template <file> --placement <file>
                  [--state <file>]
   ostro churn    --infra <file>
@@ -128,6 +149,9 @@ usage:
                  [--theta-bw X] [--theta-c X] [--seed N]
                  [--arrivals N] [--lifetime N] [--crashes N]
                  [--launch-failure-prob X] [--stale-race-prob X]
+                 [--race-leak-prob X] [--reconcile-every N]
+                 [--wal-dir <dir>] [--crash-at T1,T2,...]
+  ostro recover  --infra <file> --wal-dir <dir> [--state-out <file>]
   ostro example  infra|template";
 
 impl Command {
@@ -192,6 +216,7 @@ impl Command {
                     stats: flags.remove("stats").is_some(),
                     state: flags.remove("state"),
                     commit: flags.remove("commit"),
+                    wal_dir: flags.remove("wal-dir"),
                 }
             }
             "validate" => Command::Validate {
@@ -237,8 +262,29 @@ impl Command {
                         .map(|v| parse_float(&v, "stale-race-prob"))
                         .transpose()?
                         .unwrap_or(0.0),
+                    race_leak_prob: flags
+                        .remove("race-leak-prob")
+                        .map(|v| parse_float(&v, "race-leak-prob"))
+                        .transpose()?
+                        .unwrap_or(0.0),
+                    reconcile_every: flags
+                        .remove("reconcile-every")
+                        .map(|v| parse_num(&v, "reconcile-every"))
+                        .transpose()?
+                        .unwrap_or(0) as usize,
+                    wal_dir: flags.remove("wal-dir"),
+                    crash_at: flags
+                        .remove("crash-at")
+                        .map(|v| parse_tick_list(&v, "crash-at"))
+                        .transpose()?
+                        .unwrap_or_default(),
                 }
             }
+            "recover" => Command::Recover {
+                infra: take(&mut flags, "infra")?,
+                wal_dir: take(&mut flags, "wal-dir")?,
+                state_out: flags.remove("state-out"),
+            },
             "example" => Command::Example {
                 kind: positional
                     .first()
@@ -273,6 +319,7 @@ impl Command {
                 stats,
                 state,
                 commit,
+                wal_dir,
             } => place(&PlaceArgs {
                 infra,
                 template,
@@ -285,6 +332,7 @@ impl Command {
                 stats: *stats,
                 state: state.as_deref(),
                 commit: commit.as_deref(),
+                wal_dir: wal_dir.as_deref(),
             }),
             Command::Validate { infra, template, placement, state } => {
                 validate(infra, template, placement, state.as_deref())
@@ -299,17 +347,28 @@ impl Command {
                 crashes,
                 launch_failure_prob,
                 stale_race_prob,
-            } => churn(
+                race_leak_prob,
+                reconcile_every,
+                wal_dir,
+                crash_at,
+            } => churn(&ChurnArgs {
                 infra,
-                *algorithm,
-                *weights,
-                *arrivals,
-                *lifetime,
-                *seed,
-                *crashes,
-                *launch_failure_prob,
-                *stale_race_prob,
-            ),
+                algorithm: *algorithm,
+                weights: *weights,
+                arrivals: *arrivals,
+                lifetime: *lifetime,
+                seed: *seed,
+                crashes: *crashes,
+                launch_failure_prob: *launch_failure_prob,
+                stale_race_prob: *stale_race_prob,
+                race_leak_prob: *race_leak_prob,
+                reconcile_every: *reconcile_every,
+                wal_dir: wal_dir.as_deref(),
+                crash_at,
+            }),
+            Command::Recover { infra, wal_dir, state_out } => {
+                recover(infra, wal_dir, state_out.as_deref())
+            }
             Command::Example { kind } => example(kind),
         }
     }
@@ -362,6 +421,14 @@ fn parse_float(v: &str, flag: &str) -> Result<f64, CliError> {
     v.parse().map_err(|_| CliError::Usage(format!("--{flag}: `{v}` is not a number")))
 }
 
+/// Parses a comma-separated tick list, e.g. `--crash-at 5,13,20`.
+fn parse_tick_list(v: &str, flag: &str) -> Result<Vec<usize>, CliError> {
+    v.split(',')
+        .filter(|part| !part.is_empty())
+        .map(|part| parse_num(part.trim(), flag).map(|n| n as usize))
+        .collect()
+}
+
 fn read_json<T: serde::de::DeserializeOwned>(path: &str) -> Result<T, CliError> {
     let text = std::fs::read_to_string(path)
         .map_err(|source| CliError::Io { path: path.to_owned(), source })?;
@@ -383,13 +450,14 @@ fn load_state(infra: &Infrastructure, path: Option<&str>) -> Result<CapacityStat
         None => Ok(CapacityState::new(infra)),
         Some(path) => {
             let state: CapacityState = read_json(path)?;
-            // Cheap sanity check: host counts must line up.
-            if std::panic::catch_unwind(|| {
-                state.available(HostId::from_index(infra.host_count() as u32 - 1))
-            })
-            .is_err()
-            {
-                return Err(CliError::StateMismatch);
+            // A state file for a different fleet would index out of
+            // bounds (or silently mis-account); refuse it up front.
+            if state.host_count() != infra.host_count() {
+                return Err(CliError::StateMismatch {
+                    path: path.to_owned(),
+                    expected: infra.host_count(),
+                    found: state.host_count(),
+                });
             }
             Ok(state)
         }
@@ -430,6 +498,7 @@ struct PlaceArgs<'a> {
     stats: bool,
     state: Option<&'a str>,
     commit: Option<&'a str>,
+    wal_dir: Option<&'a str>,
 }
 
 fn place(args: &PlaceArgs) -> Result<String, CliError> {
@@ -447,12 +516,31 @@ fn place(args: &PlaceArgs) -> Result<String, CliError> {
     };
     // The session path produces bit-identical decisions; it exists so
     // the counters (and a long-running service built on this code
-    // path) can be exercised from the command line.
-    let outcome = if args.session {
-        let mut session = SchedulerSession::with_state(&infra, state);
+    // path) can be exercised from the command line. `--wal-dir`
+    // implies it: the journal protocol is a session concern.
+    let outcome = if args.session || args.wal_dir.is_some() {
+        let mut session = match args.wal_dir {
+            Some(dir) => {
+                let (wal, recovery) =
+                    Wal::open(std::path::Path::new(dir), &infra, WalOptions::default())?;
+                // A non-empty journal is the durable continuation of an
+                // earlier run; its books supersede any `--state` file.
+                let mut session = if recovery.seq > 0 {
+                    SchedulerSession::with_recovery(&infra, &recovery)
+                } else {
+                    SchedulerSession::with_state(&infra, state)
+                };
+                session.attach_wal(wal);
+                session
+            }
+            None => SchedulerSession::with_state(&infra, state),
+        };
         let outcome = session.place(&topology, &request)?;
         if args.commit.is_some() {
             session.commit(&topology, &outcome.placement)?;
+        }
+        if let Some(e) = session.take_wal_error() {
+            return Err(e.into());
         }
         state = session.into_state();
         outcome
@@ -525,9 +613,9 @@ fn validate(
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn churn(
-    infra_path: &str,
+/// Everything `churn` needs, bundled so the executor stays readable.
+struct ChurnArgs<'a> {
+    infra: &'a str,
     algorithm: Algorithm,
     weights: ObjectiveWeights,
     arrivals: usize,
@@ -536,27 +624,81 @@ fn churn(
     crashes: usize,
     launch_failure_prob: f64,
     stale_race_prob: f64,
-) -> Result<String, CliError> {
-    let infra = load_infra(infra_path)?;
-    let faults = (crashes > 0 || launch_failure_prob > 0.0 || stale_race_prob > 0.0).then(|| {
-        ostro_sim::FaultConfig {
-            seed,
-            host_crashes: crashes,
-            launch_failure_prob,
-            stale_race_prob,
-            ..ostro_sim::FaultConfig::default()
-        }
+    race_leak_prob: f64,
+    reconcile_every: usize,
+    wal_dir: Option<&'a str>,
+    crash_at: &'a [usize],
+}
+
+fn churn(args: &ChurnArgs) -> Result<String, CliError> {
+    let infra = load_infra(args.infra)?;
+    let inject = args.crashes > 0
+        || args.launch_failure_prob > 0.0
+        || args.stale_race_prob > 0.0
+        || args.race_leak_prob > 0.0;
+    let faults = inject.then(|| ostro_sim::FaultConfig {
+        seed: args.seed,
+        host_crashes: args.crashes,
+        launch_failure_prob: args.launch_failure_prob,
+        stale_race_prob: args.stale_race_prob,
+        race_leak_prob: args.race_leak_prob,
+        ..ostro_sim::FaultConfig::default()
+    });
+    let recovery = args.wal_dir.map(|dir| ostro_sim::RecoveryConfig {
+        wal_dir: dir.to_owned(),
+        crash_ticks: args.crash_at.to_vec(),
+        snapshot_every: 64,
     });
     let config = ostro_sim::ChurnConfig {
-        arrivals,
-        mean_lifetime: lifetime.max(1),
-        seed,
-        weights,
+        arrivals: args.arrivals,
+        mean_lifetime: args.lifetime.max(1),
+        seed: args.seed,
+        weights: args.weights,
         faults,
+        recovery,
+        reconcile_every: args.reconcile_every,
         ..ostro_sim::ChurnConfig::default()
     };
-    let report = ostro_sim::run_churn(&infra, algorithm, &config)?;
+    let report = ostro_sim::run_churn(&infra, args.algorithm, &config)?;
     Ok(serde_json::to_string_pretty(&report).expect("serializable") + "\n")
+}
+
+/// The JSON document `recover` emits.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct RecoveryDocument {
+    /// Last mutation sequence number made durable.
+    pub seq: u64,
+    /// Sequence the snapshot covers, if one was taken.
+    pub snapshot_seq: Option<u64>,
+    /// Journal records replayed on top of the snapshot.
+    pub records_replayed: u64,
+    /// Whether a torn tail was truncated during recovery.
+    pub truncated_tail: bool,
+    /// Names of quarantined hosts carried over.
+    pub quarantined: Vec<String>,
+    /// Active hosts in the recovered books.
+    pub active_hosts: usize,
+}
+
+fn recover(infra_path: &str, wal_dir: &str, state_out: Option<&str>) -> Result<String, CliError> {
+    let infra = load_infra(infra_path)?;
+    let recovery = ostro_core::recover(std::path::Path::new(wal_dir), &infra)?;
+    if let Some(path) = state_out {
+        write_json(path, &recovery.state)?;
+    }
+    let document = RecoveryDocument {
+        seq: recovery.seq,
+        snapshot_seq: recovery.snapshot_seq,
+        records_replayed: recovery.records_replayed,
+        truncated_tail: recovery.truncated_tail,
+        quarantined: recovery
+            .quarantined
+            .iter()
+            .map(|&h| infra.host(h).name().to_owned())
+            .collect(),
+        active_hosts: recovery.state.active_host_count(),
+    };
+    Ok(serde_json::to_string_pretty(&document).expect("serializable") + "\n")
 }
 
 fn example(kind: &str) -> Result<String, CliError> {
@@ -850,6 +992,150 @@ mod tests {
         a.mean_solver_secs = 0.0;
         b.mean_solver_secs = 0.0;
         assert_eq!(a, b, "same seed must yield an identical churn report");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_accepts_recovery_flags() {
+        let cmd = Command::parse(argv(
+            "churn --infra i.json --arrivals 10 --wal-dir /tmp/w \
+             --crash-at 3,7 --reconcile-every 4 --race-leak-prob 0.5",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Churn { wal_dir, crash_at, reconcile_every, race_leak_prob, .. } => {
+                assert_eq!(wal_dir.as_deref(), Some("/tmp/w"));
+                assert_eq!(crash_at, vec![3, 7]);
+                assert_eq!(reconcile_every, 4);
+                assert!((race_leak_prob - 0.5).abs() < 1e-12);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        match Command::parse(argv("recover --infra i.json --wal-dir /tmp/w --state-out s.json"))
+            .unwrap()
+        {
+            Command::Recover { infra, wal_dir, state_out } => {
+                assert_eq!(infra, "i.json");
+                assert_eq!(wal_dir, "/tmp/w");
+                assert_eq!(state_out.as_deref(), Some("s.json"));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(matches!(
+            Command::parse(argv("churn --infra i --crash-at 3,x")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(Command::parse(argv("recover --infra i")), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn mismatched_state_file_is_a_typed_error() {
+        let dir = tempdir("mismatch");
+        let (infra, template) = write_examples(&dir);
+        // A state for a 4-host fleet against the 32-host example infra.
+        let tiny = ostro_datacenter::InfrastructureBuilder::flat(
+            "dc",
+            1,
+            4,
+            ostro_model::Resources::new(8, 16_384, 500),
+            ostro_model::Bandwidth::from_gbps(10),
+            ostro_model::Bandwidth::from_gbps(100),
+        )
+        .build()
+        .unwrap();
+        let state_path = dir.join("tiny.json").to_str().unwrap().to_owned();
+        std::fs::write(&state_path, serde_json::to_string(&CapacityState::new(&tiny)).unwrap())
+            .unwrap();
+        let err =
+            run(argv(&format!("place --infra {infra} --template {template} --state {state_path}")))
+                .unwrap_err();
+        match err {
+            CliError::StateMismatch { path, expected, found } => {
+                assert_eq!(path, state_path);
+                assert_eq!(expected, 32);
+                assert_eq!(found, 4);
+            }
+            other => panic!("wrong error {other:?}"),
+        }
+        // A partial (truncated) state file surfaces as a parse error,
+        // not a panic.
+        let torn = dir.join("torn.json").to_str().unwrap().to_owned();
+        let full = serde_json::to_string(&CapacityState::new(&tiny)).unwrap();
+        std::fs::write(&torn, &full[..full.len() / 2]).unwrap();
+        let err = run(argv(&format!("place --infra {infra} --template {template} --state {torn}")))
+            .unwrap_err();
+        assert!(matches!(err, CliError::Parse { .. }), "{err:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wal_place_journal_survives_and_recovers() {
+        let dir = tempdir("wal-place");
+        let (infra, template) = write_examples(&dir);
+        let wal = dir.join("wal");
+        let wal_str = wal.to_str().unwrap().to_owned();
+        let commit1 = dir.join("s1.json").to_str().unwrap().to_owned();
+        let commit2 = dir.join("s2.json").to_str().unwrap().to_owned();
+
+        // Two journaled commits; the second resumes from the journal.
+        run(argv(&format!(
+            "place --infra {infra} --template {template} --wal-dir {wal_str} --commit {commit1}"
+        )))
+        .unwrap();
+        run(argv(&format!(
+            "place --infra {infra} --template {template} --wal-dir {wal_str} --commit {commit2}"
+        )))
+        .unwrap();
+
+        // The recovered books equal the second committed state.
+        let out_path = dir.join("recovered.json").to_str().unwrap().to_owned();
+        let doc = run(argv(&format!(
+            "recover --infra {infra} --wal-dir {wal_str} --state-out {out_path}"
+        )))
+        .unwrap();
+        let doc: RecoveryDocument = serde_json::from_str(&doc).unwrap();
+        assert_eq!(doc.records_replayed, 2, "two commit records");
+        assert!(!doc.truncated_tail);
+        assert!(doc.active_hosts > 0);
+        let committed: CapacityState =
+            serde_json::from_str(&std::fs::read_to_string(&commit2).unwrap()).unwrap();
+        let recovered: CapacityState =
+            serde_json::from_str(&std::fs::read_to_string(&out_path).unwrap()).unwrap();
+        assert_eq!(recovered, committed, "journal replay must equal the committed state");
+
+        // Corrupt-tail regression: chop bytes off the journal's last
+        // record; recovery reports the truncation and still lands on
+        // the first commit's books instead of failing.
+        let log = wal.join("wal.log");
+        let bytes = std::fs::read(&log).unwrap();
+        std::fs::write(&log, &bytes[..bytes.len() - 3]).unwrap();
+        let doc = run(argv(&format!("recover --infra {infra} --wal-dir {wal_str}"))).unwrap();
+        let doc: RecoveryDocument = serde_json::from_str(&doc).unwrap();
+        assert!(doc.truncated_tail, "torn tail must be reported");
+        assert_eq!(doc.records_replayed, 1, "only the intact record survives");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn churn_crash_drills_match_the_uncrashed_run() {
+        let dir = tempdir("churn-wal");
+        let (infra, _) = write_examples(&dir);
+        let wal = dir.join("wal").to_str().unwrap().to_owned();
+        let base = format!(
+            "churn --infra {infra} --arrivals 8 --lifetime 4 --seed 5 \
+             --crashes 1 --launch-failure-prob 0.05 --stale-race-prob 0.3 \
+             --race-leak-prob 0.5 --reconcile-every 2"
+        );
+        let crashed = run(argv(&format!("{base} --wal-dir {wal} --crash-at 3,6"))).unwrap();
+        let clean = run(argv(&base)).unwrap();
+        let mut a: ostro_sim::ChurnReport = serde_json::from_str(&crashed).unwrap();
+        let mut b: ostro_sim::ChurnReport = serde_json::from_str(&clean).unwrap();
+        assert_eq!(a.faults.scheduler_restarts, 2);
+        a.mean_solver_secs = 0.0;
+        a.faults.scheduler_restarts = 0;
+        a.faults.wal_records_replayed = 0;
+        b.mean_solver_secs = 0.0;
+        assert_eq!(a, b, "crash drills must not change any decision");
         std::fs::remove_dir_all(&dir).ok();
     }
 

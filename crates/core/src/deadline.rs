@@ -19,8 +19,52 @@ use crate::error::PlacementError;
 use crate::placement::SearchStats;
 use crate::search::{Ctx, Path};
 
+/// The clock a [`DeadlinePolicy`] reads. Wall time by default; the
+/// virtual variant is a deterministic tick clock (the same simulated-
+/// tick idea as the deploy retry loop's backoff ticks): every poll
+/// advances time by one fixed step, so every deadline decision — stop,
+/// prune-rate growth, refresh budgeting — depends only on the search
+/// trajectory, never on the machine. That is what lets crash-replay
+/// bit-identity tests cover DBA\*.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum DeadlineClock {
+    /// Real wall-clock time since the search started (the default).
+    Wall(Instant),
+    /// Deterministic virtual time: each `elapsed()` poll costs one
+    /// `step`.
+    Tick {
+        /// Virtual cost of one poll.
+        step: Duration,
+        /// Virtual time accumulated so far.
+        elapsed: Duration,
+    },
+}
+
+impl DeadlineClock {
+    fn elapsed(&mut self) -> Duration {
+        match self {
+            DeadlineClock::Wall(start) => start.elapsed(),
+            DeadlineClock::Tick { step, elapsed } => {
+                *elapsed += *step;
+                *elapsed
+            }
+        }
+    }
+
+    fn is_virtual(&self) -> bool {
+        matches!(self, DeadlineClock::Tick { .. })
+    }
+
+    fn step(&self) -> Duration {
+        match self {
+            DeadlineClock::Wall(_) => Duration::ZERO,
+            DeadlineClock::Tick { step, .. } => *step,
+        }
+    }
+}
+
 pub(crate) struct DeadlinePolicy {
-    start: Instant,
+    clock: DeadlineClock,
     deadline: Duration,
     rng: SmallRng,
     /// Upper bound of the pruning range (the paper's `r`).
@@ -43,9 +87,14 @@ pub(crate) struct DeadlinePolicy {
 }
 
 impl DeadlinePolicy {
-    pub(crate) fn new(deadline: Duration, seed: u64, total_nodes: usize) -> Self {
+    pub(crate) fn with_clock(
+        deadline: Duration,
+        seed: u64,
+        total_nodes: usize,
+        clock: DeadlineClock,
+    ) -> Self {
         DeadlinePolicy {
-            start: Instant::now(),
+            clock,
             deadline,
             rng: SmallRng::seed_from_u64(seed),
             r: 0.0,
@@ -109,7 +158,10 @@ impl SearchPolicy for DeadlinePolicy {
     }
 
     fn note_initial_eg(&mut self, elapsed: Duration) {
-        self.initial_eg = elapsed;
+        // Under the virtual clock, wall measurements would reintroduce
+        // nondeterminism; charge a fixed six ticks instead (so the
+        // default per-refresh estimate below is exactly one tick).
+        self.initial_eg = if self.clock.is_virtual() { self.clock.step() * 6 } else { elapsed };
     }
 
     /// Deadline-aware refresh rule: greedily complete promising popped
@@ -121,7 +173,7 @@ impl SearchPolicy for DeadlinePolicy {
     /// to refreshes; the rest drives the A\* frontier that supplies
     /// the prefixes.
     fn should_refresh(&mut self, placed: usize, _u_total: f64, _umax: f64) -> bool {
-        let elapsed = self.start.elapsed();
+        let elapsed = self.clock.elapsed();
         if elapsed >= self.deadline {
             return false;
         }
@@ -144,6 +196,9 @@ impl SearchPolicy for DeadlinePolicy {
     }
 
     fn note_refresh(&mut self, elapsed: Duration) {
+        // Virtual clock: every refresh costs exactly one tick, keeping
+        // the budget arithmetic machine-independent.
+        let elapsed = if self.clock.is_virtual() { self.clock.step() } else { elapsed };
         self.refresh_spent += elapsed;
         // Scale the observation back up to a full-depth run.
         let frac =
@@ -154,7 +209,7 @@ impl SearchPolicy for DeadlinePolicy {
     }
 
     fn should_stop(&mut self, stats: &SearchStats) -> bool {
-        let elapsed = self.start.elapsed();
+        let elapsed = self.clock.elapsed();
         if elapsed >= self.deadline {
             return true;
         }
@@ -178,17 +233,31 @@ impl SearchPolicy for DeadlinePolicy {
 ///
 /// When the deadline fires mid-search, the best EG-completed upper
 /// bound found so far is returned and `stats.deadline_hit` is set.
+///
+/// `virtual_tick_us` > 0 replaces the wall clock with a deterministic
+/// tick clock (each poll costs that many virtual microseconds), making
+/// every deadline decision a pure function of the request — see
+/// [`PlacementRequest::virtual_tick_us`](crate::PlacementRequest::virtual_tick_us).
 pub(crate) fn run_dbastar<'a>(
     ctx: &Ctx<'a>,
     stats: &mut SearchStats,
     deadline: Duration,
     seed: u64,
     max_expansions: u64,
+    virtual_tick_us: u64,
 ) -> Result<Path<'a>, PlacementError> {
     if deadline.is_zero() {
         return Err(PlacementError::ZeroDeadline);
     }
-    let mut policy = DeadlinePolicy::new(deadline, seed, ctx.topo.node_count());
+    let clock = if virtual_tick_us > 0 {
+        DeadlineClock::Tick {
+            step: Duration::from_micros(virtual_tick_us),
+            elapsed: Duration::ZERO,
+        }
+    } else {
+        DeadlineClock::Wall(Instant::now())
+    };
+    let mut policy = DeadlinePolicy::with_clock(deadline, seed, ctx.topo.node_count(), clock);
     run_astar(ctx, stats, max_expansions, &mut policy)
 }
 
@@ -239,7 +308,7 @@ mod tests {
         };
         let ctx = Ctx::new(&topo, &inf, &base, &req, vec![None; topo.node_count()]).unwrap();
         let mut stats = SearchStats::default();
-        let path = run_dbastar(&ctx, &mut stats, Duration::from_secs(10), 42, 0).unwrap();
+        let path = run_dbastar(&ctx, &mut stats, Duration::from_secs(10), 42, 0, 0).unwrap();
         assert!(path.is_complete(&ctx));
     }
 
@@ -252,7 +321,7 @@ mod tests {
         let ctx = Ctx::new(&topo, &inf, &base, &req, vec![None; topo.node_count()]).unwrap();
         let mut stats = SearchStats::default();
         let started = Instant::now();
-        let path = run_dbastar(&ctx, &mut stats, Duration::from_millis(30), 42, 0).unwrap();
+        let path = run_dbastar(&ctx, &mut stats, Duration::from_millis(30), 42, 0, 0).unwrap();
         // Budget plus slack for one in-flight expansion.
         assert!(started.elapsed() < Duration::from_secs(5));
         assert!(path.is_complete(&ctx));
@@ -265,7 +334,8 @@ mod tests {
         let base = CapacityState::new(&inf);
         let req = PlacementRequest::default();
         let ctx = Ctx::new(&topo, &inf, &base, &req, vec![None; topo.node_count()]).unwrap();
-        let err = run_dbastar(&ctx, &mut SearchStats::default(), Duration::ZERO, 1, 0).unwrap_err();
+        let err =
+            run_dbastar(&ctx, &mut SearchStats::default(), Duration::ZERO, 1, 0, 0).unwrap_err();
         assert_eq!(err, PlacementError::ZeroDeadline);
     }
 
@@ -276,16 +346,46 @@ mod tests {
         let base = CapacityState::new(&inf);
         let req = PlacementRequest { parallel: false, ..PlacementRequest::default() };
         let ctx = Ctx::new(&topo, &inf, &base, &req, vec![None; topo.node_count()]).unwrap();
-        let a =
-            run_dbastar(&ctx, &mut SearchStats::default(), Duration::from_secs(5), 7, 0).unwrap();
-        let b =
-            run_dbastar(&ctx, &mut SearchStats::default(), Duration::from_secs(5), 7, 0).unwrap();
+        let a = run_dbastar(&ctx, &mut SearchStats::default(), Duration::from_secs(5), 7, 0, 0)
+            .unwrap();
+        let b = run_dbastar(&ctx, &mut SearchStats::default(), Duration::from_secs(5), 7, 0, 0)
+            .unwrap();
         assert_eq!(a.assignment, b.assignment);
+    }
+
+    /// The virtual-clock satellite: with a non-zero tick, the deadline
+    /// machinery stops consulting the machine entirely, so two runs
+    /// repeat every statistic bit-for-bit — including where the
+    /// deadline fired — which wall-clock DBA\* cannot promise.
+    #[test]
+    fn virtual_clock_makes_deadline_decisions_deterministic() {
+        let topo = chain(8);
+        let inf = infra();
+        let base = CapacityState::new(&inf);
+        let req = PlacementRequest { parallel: false, ..PlacementRequest::default() };
+        let ctx = Ctx::new(&topo, &inf, &base, &req, vec![None; topo.node_count()]).unwrap();
+        // 1 ms of virtual time at 50 µs per poll: the budget expires
+        // after a fixed number of polls regardless of machine speed.
+        let run = || {
+            let mut stats = SearchStats::default();
+            let path = run_dbastar(&ctx, &mut stats, Duration::from_millis(1), 42, 0, 50).unwrap();
+            (path.assignment.clone(), stats)
+        };
+        let (a1, s1) = run();
+        let (a2, s2) = run();
+        assert_eq!(a1, a2, "assignments must repeat");
+        assert_eq!(s1, s2, "every stat, deadline behavior included, must repeat exactly");
+        assert!(s1.expanded > 0);
     }
 
     #[test]
     fn keep_probability_shape() {
-        let mut p = DeadlinePolicy::new(Duration::from_secs(1), 1, 10);
+        let mut p = DeadlinePolicy::with_clock(
+            Duration::from_secs(1),
+            1,
+            10,
+            DeadlineClock::Wall(Instant::now()),
+        );
         // r = 0: everything survives.
         assert_eq!(p.keep_probability(0.1), 1.0);
         p.r = 0.8;
@@ -296,7 +396,12 @@ mod tests {
 
     #[test]
     fn pruning_increases_with_r() {
-        let mut p = DeadlinePolicy::new(Duration::from_secs(1), 99, 100);
+        let mut p = DeadlinePolicy::with_clock(
+            Duration::from_secs(1),
+            99,
+            100,
+            DeadlineClock::Wall(Instant::now()),
+        );
         p.r = 0.0;
         assert!((0..100).filter(|_| p.should_prune(10)).count() == 0);
         p.r = 5.0;

@@ -70,11 +70,13 @@ mod objective;
 mod online;
 mod placement;
 mod pool;
+mod reconcile;
 mod request;
 mod scheduler;
 mod search;
 mod session;
 mod validate;
+pub mod wal;
 
 pub use deploy::{
     Degradation, DeployError, DeployPolicy, DeploymentReport, EvacuationOutcome, FaultProbe,
@@ -84,7 +86,9 @@ pub use error::PlacementError;
 pub use objective::{Normalizers, ObjectiveWeights};
 pub use online::OnlineOutcome;
 pub use placement::{Placement, PlacementOutcome, SearchStats};
+pub use reconcile::{Divergence, DivergenceKind, HostTruth, ReconcileReport};
 pub use request::{Algorithm, PlacementRequest};
 pub use scheduler::Scheduler;
 pub use session::SchedulerSession;
 pub use validate::{reserved_bandwidth, verify_placement, Violation};
+pub use wal::{recover, Recovery, SyncPolicy, Wal, WalError, WalOptions};

@@ -109,6 +109,16 @@ pub struct SearchStats {
     /// releases, deploys, or evacuations since the previous request).
     #[serde(default)]
     pub session_dirty_hosts: u64,
+    /// Session-mode only: cumulative orphaned reservations repaired by
+    /// anti-entropy sweeps over the session's lifetime so far.
+    #[serde(default)]
+    pub reconcile_orphaned: u64,
+    /// Session-mode only: cumulative leaked releases repaired.
+    #[serde(default)]
+    pub reconcile_leaked: u64,
+    /// Session-mode only: cumulative stale-race ghosts repaired.
+    #[serde(default)]
+    pub reconcile_ghosts: u64,
     /// `true` if a deadline-bounded run hit its deadline and returned
     /// the best bound found so far.
     pub deadline_hit: bool,

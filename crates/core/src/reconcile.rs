@@ -1,0 +1,123 @@
+//! Anti-entropy reconciliation: the types for comparing a session's
+//! capacity books against the cloud layer's ground truth (the
+//! simulated Nova/Cinder inventory in `ostro-heat`), classifying
+//! divergences, and reporting the repairs.
+//!
+//! The sweep itself is
+//! [`SchedulerSession::reconcile`](crate::SchedulerSession::reconcile):
+//! for every host it compares the session's *used* footprint
+//! (capacity − available) and instance count against a [`HostTruth`],
+//! repairs any divergence by forcing the books to the truth, and
+//! journals the correction so a recovered session stays repaired.
+//!
+//! # Divergence taxonomy
+//!
+//! | Kind | Signature | Typical cause |
+//! |------|-----------|---------------|
+//! | [`OrphanedReservation`] | session count > truth count | scheduler reserved, cloud never launched (or a raced grab leaked) |
+//! | [`LeakedRelease`] | session count < truth count | cloud kept an instance the scheduler released |
+//! | [`StaleRaceGhost`] | counts equal, footprints differ | stale-capacity race sized an instance from an outdated view |
+//!
+//! [`OrphanedReservation`]: DivergenceKind::OrphanedReservation
+//! [`LeakedRelease`]: DivergenceKind::LeakedRelease
+//! [`StaleRaceGhost`]: DivergenceKind::StaleRaceGhost
+
+use ostro_datacenter::HostId;
+use ostro_model::Resources;
+use serde::{Deserialize, Serialize};
+
+/// The cloud layer's ground truth for one host: what is *actually*
+/// running there, per the Nova/Cinder inventory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostTruth {
+    /// The host.
+    pub host: HostId,
+    /// Aggregate footprint of every instance and volume on the host.
+    pub used: Resources,
+    /// How many instances (placement nodes) live there.
+    pub instances: u32,
+}
+
+/// How a session's view of one host disagreed with the ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DivergenceKind {
+    /// The session books more instances than the cloud is running: a
+    /// reservation whose instance no longer (or never) existed.
+    OrphanedReservation,
+    /// The cloud runs more instances than the session books: a
+    /// release the cloud never carried out.
+    LeakedRelease,
+    /// Instance counts agree but the footprints differ: a
+    /// stale-capacity race left the session with a wrongly sized view.
+    StaleRaceGhost,
+}
+
+/// One classified, repaired divergence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Divergence {
+    /// The divergent host.
+    pub host: HostId,
+    /// The classification.
+    pub kind: DivergenceKind,
+    /// What the session believed was used before the repair.
+    pub session_used: Resources,
+    /// What the ground truth says is used (the repaired value).
+    pub truth_used: Resources,
+    /// Instances the session booked before the repair.
+    pub session_count: u32,
+    /// Instances the ground truth reports (the repaired value).
+    pub truth_count: u32,
+}
+
+/// The outcome of one anti-entropy sweep.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReconcileReport {
+    /// Hosts compared against the truth.
+    pub scanned: usize,
+    /// Quarantined hosts skipped (their books are deliberately frozen
+    /// at zero availability and carry no instances to reconcile).
+    pub skipped_quarantined: usize,
+    /// Every divergence found, in host order of the truth slice. All
+    /// of them were repaired.
+    pub divergences: Vec<Divergence>,
+}
+
+impl ReconcileReport {
+    /// Divergences repaired (every one found is repaired).
+    #[must_use]
+    pub fn repaired(&self) -> usize {
+        self.divergences.len()
+    }
+
+    /// Orphaned reservations found.
+    #[must_use]
+    pub fn orphaned(&self) -> usize {
+        self.count(DivergenceKind::OrphanedReservation)
+    }
+
+    /// Leaked releases found.
+    #[must_use]
+    pub fn leaked(&self) -> usize {
+        self.count(DivergenceKind::LeakedRelease)
+    }
+
+    /// Stale-race ghosts found.
+    #[must_use]
+    pub fn ghosts(&self) -> usize {
+        self.count(DivergenceKind::StaleRaceGhost)
+    }
+
+    fn count(&self, kind: DivergenceKind) -> usize {
+        self.divergences.iter().filter(|d| d.kind == kind).count()
+    }
+}
+
+/// Cumulative per-session reconciliation tallies, copied into
+/// [`SearchStats`](crate::SearchStats) by every placement so the CLI's
+/// `--stats` output surfaces them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct ReconcileTotals {
+    pub(crate) orphaned: u64,
+    pub(crate) leaked: u64,
+    pub(crate) ghosts: u64,
+}

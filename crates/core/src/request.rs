@@ -93,6 +93,15 @@ pub struct PlacementRequest {
     /// geometry never changes results.
     #[serde(default)]
     pub chunk_bytes: usize,
+    /// Virtual microseconds charged per deadline-clock poll in DBA\*.
+    /// `0` (the default) reads the wall clock. Non-zero replaces it
+    /// with a deterministic tick clock — the same simulated-tick idea
+    /// as the deploy retry loop — so every deadline decision (stop,
+    /// prune-rate growth, refresh budgeting) becomes a pure function
+    /// of the request. Crash-replay bit-identity tests use this to
+    /// cover DBA\*; production keeps the wall clock.
+    #[serde(default)]
+    pub virtual_tick_us: u64,
 }
 
 fn default_memoize_bounds() -> bool {
@@ -112,6 +121,7 @@ impl Default for PlacementRequest {
             score_threads: 0,
             memoize_bounds: true,
             chunk_bytes: 0,
+            virtual_tick_us: 0,
         }
     }
 }
@@ -148,6 +158,14 @@ impl PlacementRequest {
     #[must_use]
     pub fn chunk_bytes(mut self, bytes: usize) -> Self {
         self.chunk_bytes = bytes;
+        self
+    }
+
+    /// Sets the virtual deadline-clock tick, builder-style (0 = wall
+    /// clock).
+    #[must_use]
+    pub fn virtual_tick_us(mut self, us: u64) -> Self {
+        self.virtual_tick_us = us;
         self
     }
 }

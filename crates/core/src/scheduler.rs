@@ -139,9 +139,14 @@ impl<'a> Scheduler<'a> {
                 run_eg(&ctx, &root, &mut stats)?
             }
             Algorithm::BoundedAStar => run_bastar(&ctx, &mut stats, request.max_expansions)?,
-            Algorithm::DeadlineBoundedAStar { deadline } => {
-                run_dbastar(&ctx, &mut stats, deadline, request.seed, request.max_expansions)?
-            }
+            Algorithm::DeadlineBoundedAStar { deadline } => run_dbastar(
+                &ctx,
+                &mut stats,
+                deadline,
+                request.seed,
+                request.max_expansions,
+                request.virtual_tick_us,
+            )?,
         };
         drop(ctx);
         Self::outcome(path, stats, started)

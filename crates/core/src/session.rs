@@ -41,9 +41,11 @@ use crate::error::PlacementError;
 use crate::online::{replace_rounds, OnlineOutcome};
 use crate::placement::{Placement, PlacementOutcome};
 use crate::pool::{lock_unpoisoned, ScoringPool};
+use crate::reconcile::{Divergence, DivergenceKind, HostTruth, ReconcileReport, ReconcileTotals};
 use crate::request::PlacementRequest;
 use crate::scheduler::Scheduler;
 use crate::search::mix64;
+use crate::wal::{self, Effect, Recovery, Wal, WalError, WalOp};
 
 /// Entries kept per generation of the session cache; at ~24 bytes per
 /// entry the two live generations stay comfortably inside a few
@@ -258,6 +260,23 @@ pub struct SchedulerSession<'a> {
     /// Hosts touched since the last refresh, each listed once.
     dirty: Vec<HostId>,
     dirty_flags: Vec<bool>,
+    /// Hosts frozen out by [`quarantine_host`](Self::quarantine_host),
+    /// tracked so snapshots and reconciliation sweeps know which books
+    /// are deliberately zeroed rather than divergent.
+    quarantined: Vec<bool>,
+    /// The write-ahead journal, when durability is on. Every mutation
+    /// wrapper appends its effects *after* the in-memory state applied
+    /// them (the state is authoritative; the journal trails it by at
+    /// most the current record).
+    wal: Option<Wal>,
+    /// The first journaling failure, if any. Journaling is fail-stop:
+    /// after an error the session keeps serving placements but stops
+    /// appending, and the error is surfaced via
+    /// [`wal_error`](Self::wal_error).
+    wal_error: Option<WalError>,
+    /// Cumulative anti-entropy tallies, copied into every outcome's
+    /// [`SearchStats`](crate::SearchStats).
+    recon: ReconcileTotals,
 }
 
 impl<'a> SchedulerSession<'a> {
@@ -276,9 +295,111 @@ impl<'a> SchedulerSession<'a> {
             scheduler: Scheduler::new(infra),
             dirty: Vec::new(),
             dirty_flags: vec![false; infra.host_count()],
+            quarantined: vec![false; infra.host_count()],
+            wal: None,
+            wal_error: None,
+            recon: ReconcileTotals::default(),
             state,
             shared,
         }
+    }
+
+    /// A session resuming from a [`Recovery`] — the books *and* the
+    /// quarantine set a crashed session had made durable. Attach the
+    /// recovered journal with [`attach_wal`](Self::attach_wal) to keep
+    /// the resumed session durable too.
+    #[must_use]
+    pub fn with_recovery(infra: &'a Infrastructure, recovery: &Recovery) -> Self {
+        let mut session = Self::with_state(infra, recovery.state.clone());
+        for &host in &recovery.quarantined {
+            session.quarantined[host.index()] = true;
+        }
+        session
+    }
+
+    /// Makes every subsequent mutation durable through `wal`.
+    pub fn attach_wal(&mut self, wal: Wal) {
+        self.wal = Some(wal);
+    }
+
+    /// Detaches and returns the journal, if one was attached.
+    pub fn detach_wal(&mut self) -> Option<Wal> {
+        self.wal.take()
+    }
+
+    /// The first journaling failure, if any. Journaling is fail-stop:
+    /// the session keeps scheduling after a disk error but appends
+    /// nothing further, and callers that need durability guarantees
+    /// should check this (the CLI and simulator do).
+    #[must_use]
+    pub fn wal_error(&self) -> Option<&WalError> {
+        self.wal_error.as_ref()
+    }
+
+    /// Takes ownership of the first journaling failure, if any, so the
+    /// caller can surface it as a typed error.
+    pub fn take_wal_error(&mut self) -> Option<WalError> {
+        self.wal_error.take()
+    }
+
+    /// Forces a snapshot + journal compaction now, regardless of the
+    /// automatic cadence. A no-op without an attached journal.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError`] if the snapshot could not be made durable.
+    pub fn checkpoint(&mut self) -> Result<(), WalError> {
+        let quarantined = self.quarantined_hosts();
+        match self.wal.as_mut() {
+            Some(w) => w.snapshot(&self.state, &quarantined),
+            None => Ok(()),
+        }
+    }
+
+    /// Hosts currently quarantined, ascending.
+    #[must_use]
+    pub fn quarantined_hosts(&self) -> Vec<HostId> {
+        self.quarantined
+            .iter()
+            .enumerate()
+            .filter(|&(_, &q)| q)
+            .map(|(i, _)| HostId::from_index(i as u32))
+            .collect()
+    }
+
+    /// Whether `host` has been quarantined in this session.
+    #[must_use]
+    pub fn is_quarantined(&self, host: HostId) -> bool {
+        self.quarantined[host.index()]
+    }
+
+    /// Appends one record, snapshotting afterwards if the cadence is
+    /// due. Fail-stop on error (see [`wal_error`](Self::wal_error)).
+    fn journal(&mut self, op: WalOp, effects: &[Effect]) {
+        if self.wal_error.is_some() {
+            return;
+        }
+        let Some(w) = self.wal.as_mut() else { return };
+        let mut result = w.append(op, effects).map(|_| ());
+        if result.is_ok() && w.should_snapshot() {
+            let quarantined: Vec<HostId> = self
+                .quarantined
+                .iter()
+                .enumerate()
+                .filter(|&(_, &q)| q)
+                .map(|(i, _)| HostId::from_index(i as u32))
+                .collect();
+            result = w.snapshot(&self.state, &quarantined);
+        }
+        if let Err(e) = result {
+            self.wal_error = Some(e);
+        }
+    }
+
+    /// Whether journaling is currently live (attached and unpoisoned)
+    /// — used to skip building effect vectors nobody will consume.
+    fn journaling(&self) -> bool {
+        self.wal.is_some() && self.wal_error.is_none()
     }
 
     /// The underlying stateless scheduler.
@@ -394,6 +515,9 @@ impl<'a> SchedulerSession<'a> {
         let mut outcome = result?;
         outcome.stats.session_dirty_hosts = dirty;
         outcome.stats.session_cache_evictions = evictions_after - evictions_before;
+        outcome.stats.reconcile_orphaned = self.recon.orphaned;
+        outcome.stats.reconcile_leaked = self.recon.leaked;
+        outcome.stats.reconcile_ghosts = self.recon.ghosts;
         Ok(outcome)
     }
 
@@ -432,6 +556,10 @@ impl<'a> SchedulerSession<'a> {
         for i in 0..placement.assignments().len() {
             self.touch(placement.assignments()[i]);
         }
+        if self.journaling() {
+            let effects = wal::commit_effects(topology, placement);
+            self.journal(WalOp::Commit, &effects);
+        }
         Ok(())
     }
 
@@ -448,6 +576,10 @@ impl<'a> SchedulerSession<'a> {
         self.scheduler.release(topology, placement, &mut self.state)?;
         for i in 0..placement.assignments().len() {
             self.touch(placement.assignments()[i]);
+        }
+        if self.journaling() {
+            let effects = wal::release_effects(topology, placement);
+            self.journal(WalOp::Release, &effects);
         }
         Ok(())
     }
@@ -467,6 +599,10 @@ impl<'a> SchedulerSession<'a> {
         self.scheduler.release_partial(topology, assignment, &mut self.state)?;
         for host in assignment.iter().copied().flatten() {
             self.touch(host);
+        }
+        if self.journaling() {
+            let effects = wal::release_partial_effects(topology, assignment);
+            self.journal(WalOp::ReleasePartial, &effects);
         }
         Ok(())
     }
@@ -512,6 +648,12 @@ impl<'a> SchedulerSession<'a> {
             for host in hosts {
                 self.touch(host);
             }
+            if self.journaling() {
+                // The pipeline rolled every failed path back, so the
+                // report's final assignment *is* the net reservation.
+                let effects = wal::deploy_effects(topology, &report.assignment);
+                self.journal(WalOp::Deploy, &effects);
+            }
         }
         result
     }
@@ -552,7 +694,9 @@ impl<'a> SchedulerSession<'a> {
     /// journaling it dirty.
     pub fn quarantine_host(&mut self, host: HostId) {
         self.state.quarantine_host(host);
+        self.quarantined[host.index()] = true;
         self.touch(host);
+        self.journal(WalOp::Quarantine, &[Effect::Quarantine { host }]);
     }
 
     /// Raw node reservation against the session state (stale-capacity
@@ -565,6 +709,7 @@ impl<'a> SchedulerSession<'a> {
     pub fn reserve_node(&mut self, host: HostId, req: Resources) -> Result<(), CapacityError> {
         self.state.reserve_node(host, req)?;
         self.touch(host);
+        self.journal(WalOp::ReserveNode, &[Effect::ReserveNode { host, resources: req }]);
         Ok(())
     }
 
@@ -577,7 +722,69 @@ impl<'a> SchedulerSession<'a> {
     pub fn release_node(&mut self, host: HostId, req: Resources) -> Result<(), CapacityError> {
         self.state.release_node(self.scheduler.infrastructure(), host, req)?;
         self.touch(host);
+        self.journal(WalOp::ReleaseNode, &[Effect::ReleaseNode { host, resources: req }]);
         Ok(())
+    }
+
+    /// Anti-entropy sweep: compares the session's per-host books
+    /// against the cloud layer's ground `truth`, classifies every
+    /// divergence (see [`DivergenceKind`]), repairs it by forcing the
+    /// books to the truth, journals the corrections, and returns the
+    /// report. Quarantined hosts are skipped — their books are
+    /// deliberately frozen.
+    ///
+    /// Repaired hosts are journaled dirty, so the next placement
+    /// re-resolves exactly the corrected summaries.
+    ///
+    /// # Errors
+    ///
+    /// A wrapped [`CapacityError`] if a truth entry claims more usage
+    /// than the host's total capacity; prior repairs in the same sweep
+    /// are kept (each host's repair is atomic, the sweep is not).
+    pub fn reconcile(&mut self, truth: &[HostTruth]) -> Result<ReconcileReport, PlacementError> {
+        let infra = self.scheduler.infrastructure();
+        let mut report = ReconcileReport::default();
+        let mut effects = Vec::new();
+        for t in truth {
+            report.scanned += 1;
+            if self.quarantined[t.host.index()] {
+                report.skipped_quarantined += 1;
+                continue;
+            }
+            let capacity = infra.host(t.host).capacity();
+            let session_used = capacity.saturating_sub(self.state.available(t.host));
+            let session_count = self.state.node_count(t.host);
+            if session_used == t.used && session_count == t.instances {
+                continue;
+            }
+            let kind = if session_count > t.instances {
+                DivergenceKind::OrphanedReservation
+            } else if session_count < t.instances {
+                DivergenceKind::LeakedRelease
+            } else {
+                DivergenceKind::StaleRaceGhost
+            };
+            self.state.resync_host(infra, t.host, t.used, t.instances)?;
+            self.touch(t.host);
+            effects.push(Effect::Resync { host: t.host, used: t.used, instances: t.instances });
+            match kind {
+                DivergenceKind::OrphanedReservation => self.recon.orphaned += 1,
+                DivergenceKind::LeakedRelease => self.recon.leaked += 1,
+                DivergenceKind::StaleRaceGhost => self.recon.ghosts += 1,
+            }
+            report.divergences.push(Divergence {
+                host: t.host,
+                kind,
+                session_used,
+                truth_used: t.used,
+                session_count,
+                truth_count: t.instances,
+            });
+        }
+        if !effects.is_empty() {
+            self.journal(WalOp::Reconcile, &effects);
+        }
+        Ok(report)
     }
 }
 
@@ -855,7 +1062,7 @@ mod tests {
             // and the refresh count we expect per host.
             let mut pending: HashSet<usize> = HashSet::new();
             let mut expected_epochs = vec![0u64; infra.host_count()];
-            let mut apply_refresh = |pending: &mut HashSet<usize>, epochs: &mut Vec<u64>| {
+            let apply_refresh = |pending: &mut HashSet<usize>, epochs: &mut Vec<u64>| {
                 for &h in pending.iter() {
                     epochs[h] += 1;
                 }
@@ -1030,5 +1237,137 @@ mod tests {
                 assert_eq!(session.state(), &shadow, "{what}: state drift");
             }
         }
+    }
+
+    fn wal_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ostro-session-wal-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// The tentpole durability contract at the session level: a full
+    /// mutation stream (commit, release, raw grabs, evacuation with
+    /// its quarantine) journaled through a WAL — with snapshots firing
+    /// mid-stream — recovers to bit-identical books, and a session
+    /// resumed from the recovery makes bit-identical decisions.
+    #[test]
+    fn session_wal_recovery_is_bit_identical() {
+        use crate::wal::{recover, Wal, WalOptions};
+
+        let infra = infra_flat(4, 8);
+        let request = PlacementRequest::default();
+        let dir = wal_dir("roundtrip");
+        let (walh, fresh) =
+            Wal::open(&dir, &infra, WalOptions { snapshot_every: 3, ..WalOptions::default() })
+                .unwrap();
+        assert_eq!(fresh.seq, 0);
+        let mut session = SchedulerSession::new(&infra);
+        session.attach_wal(walh);
+
+        let app_a = hub_app("a");
+        let app_b = chain_app("b");
+        let out_a = session.place(&app_a, &request).unwrap();
+        session.commit(&app_a, &out_a.placement).unwrap();
+        let out_b = session.place(&app_b, &request).unwrap();
+        session.commit(&app_b, &out_b.placement).unwrap();
+        session.release(&app_a, &out_a.placement).unwrap();
+        session.reserve_node(HostId::from_index(5), Resources::new(1, 512, 0)).unwrap();
+        session.release_node(HostId::from_index(5), Resources::new(1, 512, 0)).unwrap();
+        let assignment: Vec<Option<HostId>> =
+            out_b.placement.assignments().iter().copied().map(Some).collect();
+        let failed = out_b.placement.assignments()[0];
+        let ev = session.evacuate(&app_b, &assignment, &request, failed, 4).unwrap();
+        session.commit(&app_b, &ev.online.outcome.placement).unwrap();
+        assert!(session.wal_error().is_none(), "journaling must not have failed");
+        let wal_back = session.detach_wal().unwrap();
+        assert!(wal_back.snapshots_taken() > 0, "the cadence must have compacted mid-stream");
+        drop(wal_back);
+
+        let recovery = recover(&dir, &infra).unwrap();
+        assert_eq!(&recovery.state, session.state(), "recovered books diverge");
+        assert_eq!(recovery.quarantined, session.quarantined_hosts());
+        assert_eq!(recovery.quarantined, vec![failed]);
+        assert!(!recovery.truncated_tail);
+
+        // A resumed session decides bit-identically to the survivor.
+        let mut resumed = SchedulerSession::with_recovery(&infra, &recovery);
+        assert!(resumed.is_quarantined(failed));
+        let app_c = hub_app("c");
+        let survivor = session.place(&app_c, &request).unwrap();
+        let after_crash = resumed.place(&app_c, &request).unwrap();
+        assert_outcomes_identical(&after_crash, &survivor, "post-recovery placement");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The anti-entropy sweep classifies all three divergence kinds,
+    /// repairs every one to the ground truth, journals the repairs,
+    /// and a second sweep finds nothing.
+    #[test]
+    fn reconcile_classifies_and_repairs_every_divergence() {
+        use crate::reconcile::HostTruth;
+        use crate::wal::{recover, Wal, WalOptions};
+
+        let infra = infra_flat(2, 4);
+        let dir = wal_dir("reconcile");
+        let (walh, _) = Wal::open(&dir, &infra, WalOptions::default()).unwrap();
+        let mut session = SchedulerSession::new(&infra);
+        session.attach_wal(walh);
+        let unit = Resources::new(2, 2_048, 50);
+
+        // Host 0: two booked instances, truth has one → orphaned.
+        session.reserve_node(HostId::from_index(0), unit).unwrap();
+        session.reserve_node(HostId::from_index(0), unit).unwrap();
+        // Host 1: one booked, truth has two → leaked release.
+        session.reserve_node(HostId::from_index(1), unit).unwrap();
+        // Host 2: counts agree, footprint doesn't → stale-race ghost.
+        session.reserve_node(HostId::from_index(2), unit).unwrap();
+        // Host 3: quarantined — skipped even if truth disagrees.
+        session.quarantine_host(HostId::from_index(3));
+
+        let truth = vec![
+            HostTruth { host: HostId::from_index(0), used: unit, instances: 1 },
+            HostTruth { host: HostId::from_index(1), used: unit + unit, instances: 2 },
+            HostTruth {
+                host: HostId::from_index(2),
+                used: Resources::new(4, 4_096, 100),
+                instances: 1,
+            },
+            HostTruth { host: HostId::from_index(3), used: Resources::ZERO, instances: 0 },
+            HostTruth { host: HostId::from_index(4), used: Resources::ZERO, instances: 0 },
+        ];
+        let report = session.reconcile(&truth).unwrap();
+        assert_eq!(report.scanned, 5);
+        assert_eq!(report.skipped_quarantined, 1);
+        assert_eq!(report.repaired(), 3);
+        assert_eq!(report.orphaned(), 1);
+        assert_eq!(report.leaked(), 1);
+        assert_eq!(report.ghosts(), 1);
+        assert_eq!(report.divergences[0].kind, DivergenceKind::OrphanedReservation);
+        assert_eq!(report.divergences[1].kind, DivergenceKind::LeakedRelease);
+        assert_eq!(report.divergences[2].kind, DivergenceKind::StaleRaceGhost);
+
+        // Books now match the truth exactly.
+        for t in &truth[..3] {
+            let capacity = infra.host(t.host).capacity();
+            assert_eq!(session.state().available(t.host), capacity - t.used, "host {t:?}");
+            assert_eq!(session.state().node_count(t.host), t.instances, "host {t:?}");
+        }
+        let clean = session.reconcile(&truth).unwrap();
+        assert!(clean.divergences.is_empty(), "repairs must converge in one sweep");
+
+        // Cumulative counters surface through SearchStats.
+        let out = session.place(&hub_app("probe"), &PlacementRequest::default()).unwrap();
+        assert_eq!(out.stats.reconcile_orphaned, 1);
+        assert_eq!(out.stats.reconcile_leaked, 1);
+        assert_eq!(out.stats.reconcile_ghosts, 1);
+
+        // The corrections were journaled: a recovered session holds
+        // the repaired books, not the divergent ones.
+        assert!(session.wal_error().is_none());
+        drop(session.detach_wal());
+        let recovery = recover(&dir, &infra).unwrap();
+        assert_eq!(&recovery.state, session.state(), "journaled repairs must replay");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

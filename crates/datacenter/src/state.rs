@@ -128,6 +128,14 @@ impl CapacityState {
         self.node_count.iter().filter(|&&c| c > 0).count()
     }
 
+    /// Number of hosts this state tracks — used to validate that a
+    /// deserialized state actually matches an infrastructure before any
+    /// indexed access can go wrong.
+    #[must_use]
+    pub fn host_count(&self) -> usize {
+        self.host_avail.len()
+    }
+
     /// Reserves host-local resources for one node and marks the host
     /// active.
     ///
@@ -268,6 +276,34 @@ impl CapacityState {
     pub fn quarantine_host(&mut self, host: HostId) {
         self.host_avail[host.index()] = Resources::ZERO;
         self.nic_avail[host.index()] = Bandwidth::ZERO;
+    }
+
+    /// Forces one host's local books to an externally observed truth:
+    /// `used` resources reserved and `count` nodes resident. The
+    /// anti-entropy sweep uses this to repair a host whose session view
+    /// drifted from the Nova ground truth; NIC and fabric bandwidth are
+    /// left untouched (link truth is reconciled separately, if at all).
+    ///
+    /// # Errors
+    ///
+    /// [`CapacityError::InsufficientHost`] if `used` exceeds the host's
+    /// total capacity; the state is unchanged on error.
+    pub fn resync_host(
+        &mut self,
+        infra: &Infrastructure,
+        host: HostId,
+        used: Resources,
+        count: u32,
+    ) -> Result<(), CapacityError> {
+        let total = infra.host(host).capacity();
+        let avail = total.checked_sub(used).ok_or(CapacityError::InsufficientHost {
+            host,
+            needed: used,
+            available: total,
+        })?;
+        self.host_avail[host.index()] = avail;
+        self.node_count[host.index()] = count;
+        Ok(())
     }
 
     /// Marks pre-existing bandwidth usage on a single link, for
@@ -472,6 +508,23 @@ mod tests {
         // The resident node is still accounted.
         assert_eq!(state.node_count(h(0)), 1);
         assert!(state.is_active(h(0)));
+    }
+
+    #[test]
+    fn resync_host_forces_books_to_truth() {
+        let (infra, mut state) = setup();
+        assert_eq!(state.host_count(), infra.host_count());
+        state.reserve_node(h(0), Resources::new(4, 8_192, 100)).unwrap();
+        // Ground truth says only half of that is real.
+        let truth = Resources::new(2, 4_096, 50);
+        state.resync_host(&infra, h(0), truth, 1).unwrap();
+        assert_eq!(state.available(h(0)), Resources::new(6, 12_288, 450));
+        assert_eq!(state.node_count(h(0)), 1);
+        // Truth exceeding capacity is rejected without mutating.
+        let before = state.clone();
+        let err = state.resync_host(&infra, h(0), Resources::new(99, 1, 1), 1).unwrap_err();
+        assert!(matches!(err, CapacityError::InsufficientHost { host, .. } if host == h(0)));
+        assert_eq!(state, before);
     }
 
     #[test]

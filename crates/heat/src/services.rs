@@ -8,7 +8,7 @@
 
 use std::collections::BTreeMap;
 
-use ostro_core::{Placement, PlacementOutcome, PlacementRequest, Scheduler};
+use ostro_core::{HostTruth, Placement, PlacementOutcome, PlacementRequest, Scheduler};
 use ostro_datacenter::{CapacityState, HostId, Infrastructure};
 use ostro_model::{ApplicationTopology, Bandwidth, Resources};
 
@@ -452,6 +452,35 @@ impl<'a> CloudController<'a> {
     pub fn reserved_bandwidth(&self) -> Bandwidth {
         self.state.total_reserved_bandwidth(self.infra)
     }
+
+    /// The control plane's per-host ground truth, aggregated from what
+    /// Nova is actually running and Cinder actually storing: one entry
+    /// per host (idle hosts included, so a scheduler holding a phantom
+    /// reservation on an empty host is still caught), each counting
+    /// the records landed there and summing their footprints. This is
+    /// the authoritative side of the scheduler's anti-entropy sweep
+    /// ([`ostro_core::SchedulerSession::reconcile`]).
+    #[must_use]
+    pub fn host_truth(&self) -> Vec<HostTruth> {
+        let n = self.infra.host_count();
+        let mut used = vec![Resources::ZERO; n];
+        let mut instances = vec![0u32; n];
+        for inst in self.nova.instances() {
+            used[inst.host.index()] += inst.resources;
+            instances[inst.host.index()] += 1;
+        }
+        for vol in self.cinder.volumes() {
+            used[vol.host.index()] += Resources::storage(vol.size_gb);
+            instances[vol.host.index()] += 1;
+        }
+        (0..n)
+            .map(|i| HostTruth {
+                host: HostId::from_index(i as u32),
+                used: used[i],
+                instances: instances[i],
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -672,6 +701,52 @@ mod tests {
         let err =
             cloud.update_stack(StackId(99), template(1), &PlacementRequest::default()).unwrap_err();
         assert!(matches!(err, HeatError::UnknownStack(99)));
+    }
+
+    #[test]
+    fn reconcile_repairs_a_drifted_session_against_nova_truth() {
+        use ostro_core::{DivergenceKind, SchedulerSession};
+
+        let infra = infra();
+        let mut cloud = CloudController::new(&infra);
+        cloud.create_stack("a", template(3), &PlacementRequest::default()).unwrap();
+        cloud.create_stack("b", template(2), &PlacementRequest::default()).unwrap();
+
+        // A scheduler that started in sync with the control plane…
+        let mut session = SchedulerSession::with_state(&infra, cloud.state().clone());
+        let truth = cloud.host_truth();
+
+        // …then drifted three ways. Orphaned reservation: a phantom
+        // grab on a host Nova knows to be empty.
+        let idle = truth.iter().find(|t| t.instances == 0).unwrap().host;
+        session.reserve_node(idle, Resources::compute(2, 1_024)).unwrap();
+
+        // Leaked release: the session dropped a booking for an
+        // instance Nova is still running.
+        let leaked = cloud.nova().instances()[0].clone();
+        session.release_node(leaked.host, leaked.resources).unwrap();
+
+        // Stale-race ghost: right record count, wrong footprint.
+        let ghost =
+            cloud.nova().instances().iter().find(|i| i.host != leaked.host).unwrap().clone();
+        session.release_node(ghost.host, ghost.resources).unwrap();
+        session.reserve_node(ghost.host, Resources::compute(1, 512)).unwrap();
+
+        let report = session.reconcile(&cloud.host_truth()).unwrap();
+        assert_eq!(report.repaired(), 3);
+        assert_eq!(report.orphaned(), 1);
+        assert_eq!(report.leaked(), 1);
+        assert_eq!(report.ghosts(), 1);
+        let kind_of = |host| report.divergences.iter().find(|d| d.host == host).map(|d| d.kind);
+        assert_eq!(kind_of(idle), Some(DivergenceKind::OrphanedReservation));
+        assert_eq!(kind_of(leaked.host), Some(DivergenceKind::LeakedRelease));
+        assert_eq!(kind_of(ghost.host), Some(DivergenceKind::StaleRaceGhost));
+
+        // The sweep forced the session's books back onto the control
+        // plane's ground truth, and a second sweep finds nothing.
+        assert_eq!(*session.state(), *cloud.state());
+        let clean = session.reconcile(&cloud.host_truth()).unwrap();
+        assert!(clean.divergences.is_empty());
     }
 
     #[test]

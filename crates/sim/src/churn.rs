@@ -15,8 +15,11 @@
 //! plus tenant evacuation via [`Scheduler::evacuate`]. The
 //! [`FaultStats`] block of the report aggregates the recovery metrics.
 
+use std::path::Path;
+
 use ostro_core::{
-    Algorithm, DeployPolicy, NoFaults, ObjectiveWeights, PlacementRequest, SchedulerSession,
+    Algorithm, DeployPolicy, HostTruth, NoFaults, ObjectiveWeights, PlacementRequest,
+    SchedulerSession, SyncPolicy, Wal, WalOptions,
 };
 use ostro_datacenter::{CapacityState, HostId, Infrastructure};
 use ostro_model::{ApplicationTopology, Bandwidth, Resources};
@@ -51,6 +54,49 @@ pub struct ChurnConfig {
     /// deterministic expansion budget binds before the wall clock.
     #[serde(default)]
     pub max_expansions: u64,
+    /// Virtual deadline-clock tick, in microseconds, forwarded to every
+    /// placement request (0 = wall clock). Combined with a finite
+    /// `max_expansions` this makes DBA\* churn runs fully
+    /// deterministic — a prerequisite for the crash-recovery
+    /// bit-identity drills.
+    #[serde(default)]
+    pub virtual_tick_us: u64,
+    /// Optional crash-recovery drill: journal every mutation to a
+    /// write-ahead log and kill/restart the scheduler at scheduled
+    /// ticks, verifying the recovered books against the live ones.
+    #[serde(default)]
+    pub recovery: Option<RecoveryConfig>,
+    /// Run an anti-entropy sweep every this many ticks (0 = never),
+    /// reconciling the session's books against the deployed-tenant
+    /// ledger and repairing any drift (e.g. leaked race grabs).
+    #[serde(default)]
+    pub reconcile_every: usize,
+}
+
+/// Crash-recovery drill configuration for a churn run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryConfig {
+    /// Directory holding the journal (`wal.log`) and its snapshot;
+    /// wiped at run start.
+    pub wal_dir: String,
+    /// Ticks at whose start the scheduler is killed cold and rebuilt
+    /// from snapshot + journal replay.
+    #[serde(default)]
+    pub crash_ticks: Vec<usize>,
+    /// Journal records between automatic snapshot compactions
+    /// (0 = never snapshot).
+    #[serde(default = "default_snapshot_every")]
+    pub snapshot_every: u64,
+}
+
+fn default_snapshot_every() -> u64 {
+    256
+}
+
+impl RecoveryConfig {
+    fn wal_options(&self) -> WalOptions {
+        WalOptions { snapshot_every: self.snapshot_every, sync: SyncPolicy::OnSnapshot }
+    }
 }
 
 impl Default for ChurnConfig {
@@ -63,6 +109,9 @@ impl Default for ChurnConfig {
             faults: None,
             deploy: DeployPolicy::default(),
             max_expansions: 0,
+            virtual_tick_us: 0,
+            recovery: None,
+            reconcile_every: 0,
         }
     }
 }
@@ -97,6 +146,25 @@ pub struct FaultStats {
     pub recovery_rounds: u64,
     /// Simulated ticks spent re-deploying evacuated tenants.
     pub recovery_ticks: u64,
+    /// Stale races whose phantom grab was never released (the actor
+    /// died holding it), drifting the books until a sweep reclaims it.
+    #[serde(default)]
+    pub stale_races_leaked: usize,
+    /// Scheduler kill/restart drills performed.
+    #[serde(default)]
+    pub scheduler_restarts: usize,
+    /// Journal records replayed across all restart drills.
+    #[serde(default)]
+    pub wal_records_replayed: u64,
+    /// Orphaned reservations repaired by anti-entropy sweeps.
+    #[serde(default)]
+    pub reconcile_orphaned: u64,
+    /// Leaked releases repaired by anti-entropy sweeps.
+    #[serde(default)]
+    pub reconcile_leaked: u64,
+    /// Stale-race ghosts repaired by anti-entropy sweeps.
+    #[serde(default)]
+    pub reconcile_ghosts: u64,
 }
 
 impl FaultStats {
@@ -214,6 +282,30 @@ fn race_grab(avail: Resources, fraction: f64) -> Resources {
     )
 }
 
+/// Per-host ground truth of everything actually deployed: every live
+/// tenant replica summed onto its host — the simulator's stand-in for
+/// asking Nova/Cinder what is really running.
+fn deployed_truth(infra: &Infrastructure, tenants: &[Tenant]) -> Vec<HostTruth> {
+    let n = infra.host_count();
+    let mut used = vec![Resources::ZERO; n];
+    let mut instances = vec![0u32; n];
+    for tenant in tenants {
+        for (node, slot) in tenant.topology.nodes().iter().zip(&tenant.assignment) {
+            if let Some(host) = slot {
+                used[host.index()] += node.requirements();
+                instances[host.index()] += 1;
+            }
+        }
+    }
+    (0..n)
+        .map(|i| HostTruth {
+            host: HostId::from_index(i as u32),
+            used: used[i],
+            instances: instances[i],
+        })
+        .collect()
+}
+
 /// Runs the churn simulation with one algorithm.
 ///
 /// Each tick, expired tenants depart (their resources are released),
@@ -250,6 +342,12 @@ fn churn_run(
 ) -> Result<(ChurnReport, CapacityState, Vec<Tenant>), SimError> {
     let mut rng = SmallRng::seed_from_u64(config.seed);
     let mut session = SchedulerSession::new(infra);
+    if let Some(rec) = &config.recovery {
+        let dir = Path::new(&rec.wal_dir);
+        Wal::reset(dir)?;
+        let (wal, _) = Wal::open(dir, infra, rec.wal_options())?;
+        session.attach_wal(wal);
+    }
     let mut tenants: Vec<Tenant> = Vec::new();
     let plan = config
         .faults
@@ -271,8 +369,32 @@ fn churn_run(
             weights: config.weights,
             seed: config.seed ^ tick as u64,
             max_expansions: config.max_expansions,
+            virtual_tick_us: config.virtual_tick_us,
             ..PlacementRequest::default()
         };
+
+        // Crash drill: kill the scheduler cold (in-memory books and
+        // journal handle alike), reconstruct it from snapshot + journal
+        // replay, and verify the recovered books are bit-identical to
+        // what the live scheduler held at the kill point.
+        if let Some(rec) = &config.recovery {
+            if rec.crash_ticks.contains(&tick) {
+                if let Some(e) = session.take_wal_error() {
+                    return Err(SimError::Wal(e));
+                }
+                let live_state = session.state().clone();
+                let live_quarantine = session.quarantined_hosts();
+                drop(session.detach_wal());
+                let (wal, recovery) = Wal::open(Path::new(&rec.wal_dir), infra, rec.wal_options())?;
+                if recovery.state != live_state || recovery.quarantined != live_quarantine {
+                    return Err(SimError::RecoveryDiverged { tick });
+                }
+                stats.scheduler_restarts += 1;
+                stats.wal_records_replayed += recovery.records_replayed;
+                session = SchedulerSession::with_recovery(infra, &recovery);
+                session.attach_wal(wal);
+            }
+        }
 
         // Departures first.
         let mut staying = Vec::with_capacity(tenants.len());
@@ -387,10 +509,18 @@ fn churn_run(
                     ),
                 };
                 if let Some((host, grab)) = phantom {
-                    session.release_node(host, grab).map_err(|source| SimError::Release {
-                        tenant: "stale-race phantom".into(),
-                        source: source.into(),
-                    })?;
+                    if plan.as_ref().is_some_and(|p| p.race_leaks(tick)) {
+                        // The concurrent actor died holding its grab:
+                        // nothing will ever release it, so the books
+                        // drift until an anti-entropy sweep reclaims
+                        // the orphan.
+                        stats.stale_races_leaked += 1;
+                    } else {
+                        session.release_node(host, grab).map_err(|source| SimError::Release {
+                            tenant: "stale-race phantom".into(),
+                            source: source.into(),
+                        })?;
+                    }
                 }
                 match deployed {
                     Ok(report) => {
@@ -414,6 +544,16 @@ fn churn_run(
             Err(_) => rejected += 1,
         }
 
+        // Anti-entropy sweep: reconcile the session's books against
+        // the deployed-tenant ledger and repair any drift.
+        if config.reconcile_every > 0 && (tick + 1) % config.reconcile_every == 0 {
+            let truth = deployed_truth(infra, &tenants);
+            let sweep = session.reconcile(&truth)?;
+            stats.reconcile_orphaned += sweep.orphaned() as u64;
+            stats.reconcile_leaked += sweep.leaked() as u64;
+            stats.reconcile_ghosts += sweep.ghosts() as u64;
+        }
+
         let active = session.state().active_host_count();
         let reserved = session.state().total_reserved_bandwidth(infra);
         active_sum += active as f64;
@@ -422,6 +562,9 @@ fn churn_run(
         peak_reserved = peak_reserved.max(reserved);
     }
 
+    if let Some(e) = session.take_wal_error() {
+        return Err(SimError::Wal(e));
+    }
     let ticks = config.arrivals.max(1) as f64;
     let report = ChurnReport {
         accepted,
@@ -460,6 +603,7 @@ mod tests {
                 launch_failure_prob: 0.05,
                 stale_race_prob: 0.2,
                 stale_race_fraction: 0.5,
+                ..FaultConfig::default()
             }),
             ..config(arrivals)
         }
@@ -552,6 +696,104 @@ mod tests {
         a.mean_solver_secs = 0.0;
         b.mean_solver_secs = 0.0;
         assert_eq!(a, b);
+    }
+
+    fn wal_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ostro-churn-wal-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn with_recovery(
+        mut cfg: ChurnConfig,
+        dir: &std::path::Path,
+        crash_ticks: Vec<usize>,
+    ) -> ChurnConfig {
+        cfg.recovery = Some(RecoveryConfig {
+            wal_dir: dir.to_string_lossy().into_owned(),
+            crash_ticks,
+            snapshot_every: 6,
+        });
+        cfg
+    }
+
+    /// Strips the fields that legitimately differ between a crashed and
+    /// an uncrashed run: wall-clock solver time and the drill counters.
+    fn canonical(mut report: ChurnReport) -> ChurnReport {
+        report.mean_solver_secs = 0.0;
+        report.faults.scheduler_restarts = 0;
+        report.faults.wal_records_replayed = 0;
+        report
+    }
+
+    /// The tentpole acceptance: kill the scheduler mid-churn at seeded
+    /// ticks, rebuild it from snapshot + journal replay, and the whole
+    /// run — every subsequent placement decision, every fault metric —
+    /// is bit-identical to a run that never crashed.
+    #[test]
+    fn crash_recovery_churn_matches_the_uncrashed_run() {
+        let infra = infra();
+        let dir = wal_dir("identical");
+        let cfg = with_recovery(faulty_config(24), &dir, vec![5, 13, 20]);
+        let crashed = run_churn(&infra, Algorithm::Greedy, &cfg).unwrap();
+        assert_eq!(crashed.faults.scheduler_restarts, 3);
+        assert!(crashed.faults.wal_records_replayed > 0, "some records replayed across drills");
+
+        let clean =
+            run_churn(&infra, Algorithm::Greedy, &ChurnConfig { recovery: None, ..cfg.clone() })
+                .unwrap();
+        assert_eq!(canonical(crashed), canonical(clean));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Same drill under DBA*: the virtual deadline clock plus a finite
+    /// expansion cap make even the deadline-bounded search replayable.
+    #[test]
+    fn dbastar_crash_recovery_is_deterministic_with_virtual_clock() {
+        let infra = infra();
+        let dir = wal_dir("dbastar");
+        let mut cfg = config(8);
+        cfg.virtual_tick_us = 40;
+        cfg.max_expansions = 300;
+        let cfg = with_recovery(cfg, &dir, vec![3, 6]);
+        let algorithm = Algorithm::DeadlineBoundedAStar { deadline: Duration::from_millis(5) };
+        let crashed = run_churn(&infra, algorithm, &cfg).unwrap();
+        assert_eq!(crashed.faults.scheduler_restarts, 2);
+
+        let clean =
+            run_churn(&infra, algorithm, &ChurnConfig { recovery: None, ..cfg.clone() }).unwrap();
+        assert_eq!(canonical(crashed), canonical(clean));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Leaked race grabs drift the books; the per-tick anti-entropy
+    /// sweep reclaims every orphan, so after releasing the surviving
+    /// tenants the cloud is exactly fresh again.
+    #[test]
+    fn reconcile_sweep_repairs_leaked_race_drift() {
+        let infra = infra();
+        let mut cfg = config(16);
+        cfg.faults = Some(FaultConfig {
+            host_crashes: 0,
+            launch_failure_prob: 0.0,
+            stale_race_prob: 1.0,
+            stale_race_fraction: 0.3,
+            race_leak_prob: 1.0,
+            ..FaultConfig::default()
+        });
+        cfg.reconcile_every = 1;
+        let scheduler = Scheduler::new(&infra);
+        let (report, mut state, tenants) = churn_run(&infra, Algorithm::Greedy, &cfg).unwrap();
+        assert!(report.faults.stale_races_leaked > 0, "every race leaks under prob 1.0");
+        assert!(
+            report.faults.reconcile_orphaned >= report.faults.stale_races_leaked as u64,
+            "each leak surfaces as (at least) one orphaned reservation"
+        );
+        for tenant in &tenants {
+            scheduler.release_partial(&tenant.topology, &tenant.assignment, &mut state).unwrap();
+        }
+        assert_eq!(state, CapacityState::new(&infra), "sweeps reclaimed every leaked grab");
     }
 
     /// Capacity-leak regression: after a full churn run, releasing the

@@ -40,6 +40,11 @@ pub struct FaultConfig {
     /// Fraction of the raced host's free capacity the concurrent actor
     /// grabs (clamped to `0.0..=1.0`).
     pub stale_race_fraction: f64,
+    /// Probability that a stale race *leaks*: the concurrent actor dies
+    /// holding its grab, so nothing ever releases it and the session's
+    /// books drift until an anti-entropy sweep reclaims the orphan.
+    #[serde(default)]
+    pub race_leak_prob: f64,
 }
 
 impl Default for FaultConfig {
@@ -50,6 +55,7 @@ impl Default for FaultConfig {
             launch_failure_prob: 0.05,
             stale_race_prob: 0.1,
             stale_race_fraction: 0.5,
+            race_leak_prob: 0.0,
         }
     }
 }
@@ -139,6 +145,15 @@ impl FaultPlan {
     #[must_use]
     pub fn stale_race_fraction(&self) -> f64 {
         self.config.stale_race_fraction.clamp(0.0, 1.0)
+    }
+
+    /// Whether the stale race at `tick` leaks its grab (the actor dies
+    /// before releasing). Hash-drawn like the race itself, so the
+    /// verdict is a pure function of the plan seed and the tick.
+    #[must_use]
+    pub fn race_leaks(&self, tick: usize) -> bool {
+        let draw = hash_unit(&[self.config.seed, 0x1EA4_0CB5, tick as u64]);
+        draw < self.config.race_leak_prob
     }
 }
 
@@ -276,6 +291,20 @@ mod tests {
             );
         }
         assert_eq!(p.stale_race(3, 48), None);
+    }
+
+    #[test]
+    fn race_leaks_are_deterministic_and_gated_on_probability() {
+        let never = FaultPlan::generate(&FaultConfig::default(), 48, 30);
+        assert!((0..30).all(|t| !never.race_leaks(t)), "default never leaks");
+        let config = FaultConfig { race_leak_prob: 1.0, ..FaultConfig::default() };
+        let always = FaultPlan::generate(&config, 48, 30);
+        assert!((0..30).all(|t| always.race_leaks(t)));
+        let config = FaultConfig { race_leak_prob: 0.5, ..FaultConfig::default() };
+        let p = FaultPlan::generate(&config, 48, 30);
+        for tick in 0..30 {
+            assert_eq!(p.race_leaks(tick), p.race_leaks(tick));
+        }
     }
 
     #[test]

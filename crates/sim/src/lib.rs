@@ -50,7 +50,7 @@ pub mod scenarios;
 pub mod workloads;
 
 pub use availability::AvailabilityProfile;
-pub use churn::{run_churn, ChurnConfig, ChurnReport, FaultStats};
+pub use churn::{run_churn, ChurnConfig, ChurnReport, FaultStats, RecoveryConfig};
 pub use faults::{FaultConfig, FaultPlan, PlanProbe};
 pub use requirements::{RequirementClass, RequirementMix};
 pub use runner::{run_comparison, ComparisonRow, SimError};

@@ -7,6 +7,7 @@ use std::time::Duration;
 
 use ostro_core::{
     Algorithm, ObjectiveWeights, PlacementError, PlacementOutcome, PlacementRequest, Scheduler,
+    WalError,
 };
 use ostro_datacenter::{BuildError, CapacityState, Infrastructure};
 use ostro_model::{ApplicationTopology, ModelError};
@@ -29,6 +30,15 @@ pub enum SimError {
         /// The underlying capacity failure.
         source: PlacementError,
     },
+    /// Journaling or crash recovery failed.
+    Wal(WalError),
+    /// A crash-restart drill reconstructed different books than the
+    /// live scheduler held at the kill point — the write-ahead-journal
+    /// contract is broken.
+    RecoveryDiverged {
+        /// The tick whose restart diverged.
+        tick: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -39,6 +49,10 @@ impl fmt::Display for SimError {
             Self::Placement(e) => write!(f, "placement failed: {e}"),
             Self::Release { tenant, source } => {
                 write!(f, "release of tenant `{tenant}` failed: {source}")
+            }
+            Self::Wal(e) => write!(f, "scheduler journal failed: {e}"),
+            Self::RecoveryDiverged { tick } => {
+                write!(f, "crash recovery at tick {tick} diverged from the live books")
             }
         }
     }
@@ -51,6 +65,8 @@ impl Error for SimError {
             Self::Model(e) => Some(e),
             Self::Placement(e) => Some(e),
             Self::Release { source, .. } => Some(source),
+            Self::Wal(e) => Some(e),
+            Self::RecoveryDiverged { .. } => None,
         }
     }
 }
@@ -68,6 +84,11 @@ impl From<ModelError> for SimError {
 impl From<PlacementError> for SimError {
     fn from(e: PlacementError) -> Self {
         SimError::Placement(e)
+    }
+}
+impl From<WalError> for SimError {
+    fn from(e: WalError) -> Self {
+        SimError::Wal(e)
     }
 }
 
@@ -250,5 +271,8 @@ mod tests {
         let e = SimError::Release { tenant: "tenant3".into(), source: PlacementError::Exhausted };
         assert!(e.to_string().contains("tenant3"));
         assert!(e.source().is_some());
+        let e = SimError::RecoveryDiverged { tick: 4 };
+        assert!(e.to_string().contains("tick 4"));
+        assert!(e.source().is_none());
     }
 }

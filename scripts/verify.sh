@@ -20,6 +20,10 @@ cargo bench -p ostro-bench --bench stream -- --smoke
 # asserts internally that two same-seed runs yield bit-identical
 # recovery reports for every algorithm.
 cargo bench -p ostro-bench --bench recovery -- --smoke
+# Journal smoke: replays every recovered state against the live books
+# (bit-identity asserted internally) and pins that snapshot compaction
+# replays fewer records than a full journal scan.
+cargo bench -p ostro-bench --bench wal -- --smoke
 # Seeded fault-injection churn through the CLI: crashes, transient
 # launch failures, and stale-capacity races must complete without
 # panics, and two identically-seeded runs must agree exactly
@@ -48,4 +52,26 @@ session_place > "$tmp/place1.json"
 session_place > "$tmp/place2.json"
 diff <(grep -v elapsed_secs "$tmp/place1.json") \
      <(grep -v elapsed_secs "$tmp/place2.json")
+# Crash-drill determinism through the CLI: churn with a write-ahead
+# journal and scheduled mid-run scheduler crashes must match a run
+# that never crashed (restart bookkeeping and wall clock stripped).
+crash_churn() {
+  cargo run -q --release -p ostro-cli -- churn --infra "$tmp/infra.json" \
+    --arrivals 8 --lifetime 4 --seed 7 --crashes 2 \
+    --launch-failure-prob 0.05 --stale-race-prob 0.2 "$@"
+}
+crash_churn --wal-dir "$tmp/wal-churn" --crash-at 3,6 > "$tmp/crash.json"
+strip_restart_fields() {
+  grep -v -e mean_solver_secs -e scheduler_restarts -e wal_records_replayed "$1"
+}
+diff <(strip_restart_fields "$tmp/crash.json") \
+     <(strip_restart_fields "$tmp/churn1.json")
+# Recovery through the CLI: a journaled placement must be rebuildable
+# from its write-ahead log alone.
+cargo run -q --release -p ostro-cli -- place --infra "$tmp/infra.json" \
+  --template "$tmp/app.json" --commit "$tmp/committed.json" \
+  --wal-dir "$tmp/wal-place" > /dev/null
+cargo run -q --release -p ostro-cli -- recover --infra "$tmp/infra.json" \
+  --wal-dir "$tmp/wal-place" > "$tmp/recover.json"
+grep -q '"records_replayed"' "$tmp/recover.json"
 echo "verify: all checks passed"
