@@ -740,11 +740,12 @@ impl<'a> SchedulerSession<'a> {
     ///
     /// A wrapped [`CapacityError`] if a truth entry claims more usage
     /// than the host's total capacity; prior repairs in the same sweep
-    /// are kept (each host's repair is atomic, the sweep is not).
+    /// are kept *and already journaled* — each host's repair is
+    /// applied and journaled as a unit before the sweep moves on, so
+    /// an error partway never leaves the books ahead of the journal.
     pub fn reconcile(&mut self, truth: &[HostTruth]) -> Result<ReconcileReport, PlacementError> {
         let infra = self.scheduler.infrastructure();
         let mut report = ReconcileReport::default();
-        let mut effects = Vec::new();
         for t in truth {
             report.scanned += 1;
             if self.quarantined[t.host.index()] {
@@ -766,7 +767,10 @@ impl<'a> SchedulerSession<'a> {
             };
             self.state.resync_host(infra, t.host, t.used, t.instances)?;
             self.touch(t.host);
-            effects.push(Effect::Resync { host: t.host, used: t.used, instances: t.instances });
+            self.journal(
+                WalOp::Reconcile,
+                &[Effect::Resync { host: t.host, used: t.used, instances: t.instances }],
+            );
             match kind {
                 DivergenceKind::OrphanedReservation => self.recon.orphaned += 1,
                 DivergenceKind::LeakedRelease => self.recon.leaked += 1,
@@ -780,9 +784,6 @@ impl<'a> SchedulerSession<'a> {
                 session_count,
                 truth_count: t.instances,
             });
-        }
-        if !effects.is_empty() {
-            self.journal(WalOp::Reconcile, &effects);
         }
         Ok(report)
     }
@@ -1368,6 +1369,46 @@ mod tests {
         drop(session.detach_wal());
         let recovery = recover(&dir, &infra).unwrap();
         assert_eq!(&recovery.state, session.state(), "journaled repairs must replay");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A sweep that errors partway keeps its earlier repairs — and
+    /// those repairs must already be in the journal, or a recovery
+    /// would silently rebuild the pre-repair books.
+    #[test]
+    fn reconcile_error_partway_keeps_journal_and_books_in_step() {
+        use crate::reconcile::HostTruth;
+        use crate::wal::{recover, Wal, WalOptions};
+
+        let infra = infra_flat(2, 4);
+        let dir = wal_dir("reconcile-err");
+        let (walh, _) = Wal::open(&dir, &infra, WalOptions::default()).unwrap();
+        let mut session = SchedulerSession::new(&infra);
+        session.attach_wal(walh);
+        let unit = Resources::new(2, 2_048, 50);
+        session.reserve_node(HostId::from_index(0), unit).unwrap();
+
+        let truth = vec![
+            // A repairable divergence, swept first.
+            HostTruth { host: HostId::from_index(0), used: unit + unit, instances: 2 },
+            // An impossible truth: used exceeds the host's capacity.
+            HostTruth {
+                host: HostId::from_index(1),
+                used: Resources::new(64, 1 << 20, 10_000),
+                instances: 1,
+            },
+        ];
+        assert!(session.reconcile(&truth).is_err(), "oversized truth must fail the sweep");
+        assert_eq!(
+            session.state().node_count(HostId::from_index(0)),
+            2,
+            "the repair preceding the failure is kept"
+        );
+        assert!(session.wal_error().is_none());
+        drop(session.detach_wal());
+        let recovery = recover(&dir, &infra).unwrap();
+        assert_eq!(&recovery.state, session.state(), "kept repairs must be journaled too");
+        assert_eq!(recovery.state.node_count(HostId::from_index(0)), 2);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

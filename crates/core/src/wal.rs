@@ -38,10 +38,21 @@
 //! Every [`WalOptions::snapshot_every`] appends (or on an explicit
 //! [`SchedulerSession::checkpoint`](crate::SchedulerSession::checkpoint)),
 //! the full `CapacityState` plus the quarantine set is serialized to
-//! `snapshot.json` (written to a temp file, fsynced, then renamed),
-//! after which the journal is truncated to a fresh header whose
-//! `base_seq` is the snapshot's sequence number. Replay time is
-//! therefore bounded by the snapshot cadence, not the session's age.
+//! `snapshot.json` (written to a temp file, fsynced, then renamed,
+//! with the directory fsynced so the rename is durable), after which
+//! the journal is truncated to a fresh header whose `base_seq` is the
+//! snapshot's sequence number. Replay time is therefore bounded by the
+//! snapshot cadence, not the session's age.
+//!
+//! A crash *between* the rename and the truncation leaves a snapshot
+//! at sequence `N` over a journal still based at `M < N`. Recovery
+//! tolerates that window: journal records at or below the snapshot's
+//! sequence are validated for contiguity and decodability but not
+//! re-applied (they are already folded into the snapshot), and
+//! [`Wal::open`] completes the interrupted compaction by re-truncating
+//! the journal behind the snapshot. Only a journal based *ahead* of
+//! the snapshot — history the snapshot never covered is gone — is a
+//! hard [`WalError::Corrupt`].
 //!
 //! # Fsync policy
 //!
@@ -194,6 +205,14 @@ impl std::error::Error for WalError {
 
 fn io_err(path: &Path, source: io::Error) -> WalError {
     WalError::Io { path: path.to_path_buf(), source }
+}
+
+/// Fsyncs a directory so renames and file creations inside it are
+/// durable — without this a machine crash can surface the journal
+/// truncation while the snapshot rename it depends on is lost.
+fn sync_dir(dir: &Path) -> Result<(), WalError> {
+    let handle = File::open(dir).map_err(|e| io_err(dir, e))?;
+    handle.sync_all().map_err(|e| io_err(dir, e))
 }
 
 // ---------------------------------------------------------------------------
@@ -599,6 +618,10 @@ pub struct Recovery {
     pub snapshot_seq: Option<u64>,
     /// Journal records replayed on top of the snapshot (or scratch).
     pub records_replayed: u64,
+    /// Journal records skipped because the snapshot already covered
+    /// them — non-zero only when a crash interrupted a compaction
+    /// between the snapshot rename and the journal truncation.
+    pub records_skipped: u64,
     /// Whether a torn tail was detected (and, via [`Wal::open`],
     /// truncated at the last good record).
     pub truncated_tail: bool,
@@ -608,6 +631,10 @@ struct TailScan {
     /// Byte length of the journal's valid prefix (0 when the file is
     /// missing, empty, or its header itself is torn).
     good_len: u64,
+    /// The journal's `base_seq` is older than the snapshot's sequence:
+    /// a compaction was interrupted between the snapshot rename and
+    /// the journal truncation. [`Wal::open`] finishes the job.
+    stale_prefix: bool,
 }
 
 /// Reconstructs scheduler state from `dir` without touching the files
@@ -681,9 +708,10 @@ fn recover_impl(dir: &Path, infra: &Infrastructure) -> Result<(Recovery, TailSca
                 seq,
                 snapshot_seq,
                 records_replayed: 0,
+                records_skipped: 0,
                 truncated_tail: false,
             };
-            return Ok((recovery, TailScan { good_len: 0 }));
+            return Ok((recovery, TailScan { good_len: 0, stale_prefix: false }));
         }
         Err(e) => return Err(io_err(&wal_path, e)),
     };
@@ -698,9 +726,10 @@ fn recover_impl(dir: &Path, infra: &Infrastructure) -> Result<(Recovery, TailSca
             seq,
             snapshot_seq,
             records_replayed: 0,
+            records_skipped: 0,
             truncated_tail: !bytes.is_empty(),
         };
-        return Ok((recovery, TailScan { good_len: 0 }));
+        return Ok((recovery, TailScan { good_len: 0, stale_prefix: false }));
     }
 
     if &bytes[..8] != MAGIC {
@@ -725,18 +754,29 @@ fn recover_impl(dir: &Path, infra: &Infrastructure) -> Result<(Recovery, TailSca
     let base_seq = u64::from_le_bytes([
         bytes[16], bytes[17], bytes[18], bytes[19], bytes[20], bytes[21], bytes[22], bytes[23],
     ]);
-    if base_seq != seq {
+    if base_seq > seq {
+        // The journal continues from a sequence the snapshot never
+        // reached: history between them is gone. (The snapshot rename
+        // is made durable with a directory fsync *before* the journal
+        // is truncated, so this cannot be an interrupted compaction.)
         return Err(WalError::Corrupt {
             path: wal_path,
             offset: 16,
-            reason: format!("journal base sequence {base_seq} does not match snapshot ({seq})"),
+            reason: format!("journal base sequence {base_seq} is ahead of snapshot ({seq})"),
         });
     }
+    // base_seq < seq is the compaction crash window: the snapshot was
+    // renamed into place but the journal was not yet truncated behind
+    // it. Records at or below the snapshot's sequence are already
+    // folded in and replay skips them.
+    let stale_prefix = base_seq < seq;
 
     // 3. Replay records until the end or the first torn byte.
     let mut pos = HEADER_LEN;
     let mut good_len = HEADER_LEN as u64;
+    let mut journal_seq = base_seq;
     let mut records_replayed = 0u64;
+    let mut records_skipped = 0u64;
     let mut torn = false;
     while pos < bytes.len() {
         let Some(frame) = bytes.get(pos..pos + 8) else {
@@ -763,13 +803,19 @@ fn recover_impl(dir: &Path, infra: &Infrastructure) -> Result<(Recovery, TailSca
             payload,
             &wal_path,
             pos as u64,
+            journal_seq,
             seq,
             infra,
             &mut state,
             &mut quarantined,
         )?;
-        seq = record_seq;
-        records_replayed += 1;
+        journal_seq = record_seq;
+        if record_seq > seq {
+            seq = record_seq;
+            records_replayed += 1;
+        } else {
+            records_skipped += 1;
+        }
         pos += 8 + len as usize;
         good_len = pos as u64;
     }
@@ -780,18 +826,24 @@ fn recover_impl(dir: &Path, infra: &Infrastructure) -> Result<(Recovery, TailSca
         seq,
         snapshot_seq,
         records_replayed,
+        records_skipped,
         truncated_tail: torn,
     };
-    Ok((recovery, TailScan { good_len }))
+    Ok((recovery, TailScan { good_len, stale_prefix }))
 }
 
 /// Decodes and applies one checksummed payload, returning its sequence
-/// number (which must be `prev_seq + 1`).
+/// number (which must be `prev_seq + 1`). Records at or below
+/// `applied_seq` — a stale prefix left by an interrupted compaction —
+/// are fully validated but their effects are not re-applied: the
+/// snapshot already holds them.
+#[allow(clippy::too_many_arguments)]
 fn apply_payload(
     payload: &[u8],
     wal_path: &Path,
     offset: u64,
     prev_seq: u64,
+    applied_seq: u64,
     infra: &Infrastructure,
     state: &mut CapacityState,
     quarantined: &mut [bool],
@@ -812,7 +864,9 @@ fn apply_payload(
     for _ in 0..count {
         let effect = decode_effect(&mut cur, infra.host_count())
             .ok_or_else(|| corrupt("undecodable effect"))?;
-        apply_effect(state, quarantined, infra, effect, record_seq)?;
+        if record_seq > applied_seq {
+            apply_effect(state, quarantined, infra, effect, record_seq)?;
+        }
     }
     if !cur.done() {
         return Err(corrupt("trailing bytes in payload"));
@@ -908,12 +962,13 @@ impl Wal {
             file.write_all(&encode_header(infra.host_count(), recovery.seq))
                 .map_err(|e| io_err(&path, e))?;
             file.sync_data().map_err(|e| io_err(&path, e))?;
+            sync_dir(dir)?;
         } else if scan.good_len < actual_len {
             file.set_len(scan.good_len).map_err(|e| io_err(&path, e))?;
             file.sync_data().map_err(|e| io_err(&path, e))?;
         }
         file.seek(SeekFrom::End(0)).map_err(|e| io_err(&path, e))?;
-        let wal = Wal {
+        let mut wal = Wal {
             path,
             dir: dir.to_path_buf(),
             writer: io::BufWriter::new(file),
@@ -924,6 +979,16 @@ impl Wal {
             snapshots_taken: 0,
             options,
         };
+        if scan.stale_prefix {
+            // A previous compaction crashed between the snapshot rename
+            // and the journal truncation. The recovered state *is* the
+            // snapshot plus any post-snapshot tail, so re-snapshotting
+            // it finishes the job: snapshot.json is rewritten at
+            // `recovery.seq` and the stale journal prefix is truncated
+            // behind it.
+            wal.snapshot(&recovery.state, &recovery.quarantined)?;
+            wal.snapshots_taken = 0;
+        }
         Ok((wal, recovery))
     }
 
@@ -971,9 +1036,12 @@ impl Wal {
     }
 
     /// Snapshots `state` + `quarantined` and compacts the journal
-    /// behind it: the snapshot is written to a temp file, fsynced and
-    /// renamed into place, then the journal is truncated to a fresh
-    /// header based at the snapshot's sequence number.
+    /// behind it: the snapshot is written to a temp file, fsynced,
+    /// renamed into place and made durable with a directory fsync,
+    /// then the journal is truncated to a fresh header based at the
+    /// snapshot's sequence number. A crash anywhere in that sequence
+    /// recovers cleanly (see the module docs on the compaction crash
+    /// window).
     ///
     /// # Errors
     ///
@@ -1015,6 +1083,11 @@ impl Wal {
             tmp.sync_data().map_err(|e| io_err(&tmp_path, e))?;
         }
         fs::rename(&tmp_path, &snap_path).map_err(|e| io_err(&snap_path, e))?;
+        // Make the rename durable *before* touching the journal: the
+        // truncation must never reach disk ahead of the snapshot it
+        // depends on. (A crash after the rename but before the
+        // truncation is tolerated by recovery — see the module docs.)
+        sync_dir(&self.dir)?;
 
         // Compact: everything up to `seq` now lives in the snapshot.
         let file = self.writer.get_mut();
@@ -1023,6 +1096,7 @@ impl Wal {
         file.write_all(&encode_header(self.host_count, self.seq))
             .map_err(|e| io_err(&self.path, e))?;
         file.sync_data().map_err(|e| io_err(&self.path, e))?;
+        sync_dir(&self.dir)?;
         self.snapshot_seq = Some(self.seq);
         self.since_snapshot = 0;
         self.snapshots_taken += 1;
@@ -1270,6 +1344,137 @@ mod tests {
         assert_eq!(recovery.seq, 10);
         assert_eq!(recovery.snapshot_seq, Some(8));
         assert_eq!(recovery.records_replayed, 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// The compaction crash window: a kill between the snapshot rename
+    /// and the journal truncation leaves `snapshot.seq` ahead of the
+    /// journal's `base_seq`. Recovery must skip the already-folded
+    /// prefix instead of refusing the whole directory, and `Wal::open`
+    /// must finish the interrupted compaction.
+    #[test]
+    fn crash_between_snapshot_rename_and_truncation_recovers() {
+        let infra = infra(4);
+        let dir = temp_dir("snapcrash");
+        let res = Resources::new(1, 512, 5);
+        let mut live = CapacityState::new(&infra);
+        let mut q = vec![false; infra.host_count()];
+        {
+            let (mut wal, _) =
+                Wal::open(&dir, &infra, WalOptions { snapshot_every: 0, ..WalOptions::default() })
+                    .unwrap();
+            for i in 0..6u32 {
+                let host = h(i % infra.host_count() as u32);
+                let effect = Effect::ReserveNode { host, resources: res };
+                let seq = wal.append(WalOp::ReserveNode, &[effect]).unwrap();
+                apply_effect(&mut live, &mut q, &infra, effect, seq).unwrap();
+            }
+        }
+        // Simulate the crash: capture the pre-compaction journal, take
+        // the snapshot (which truncates the journal), then put the
+        // stale journal back as if the truncation never reached disk.
+        let pre_compaction = fs::read(dir.join(WAL_FILE)).unwrap();
+        {
+            let (mut wal, _) = Wal::open(&dir, &infra, WalOptions::default()).unwrap();
+            wal.snapshot(&live, &collect_quarantined(&q)).unwrap();
+        }
+        fs::write(dir.join(WAL_FILE), &pre_compaction).unwrap();
+
+        let recovery = recover(&dir, &infra).unwrap();
+        assert_eq!(recovery.state, live, "stale prefix must not double-apply");
+        assert_eq!(recovery.seq, 6);
+        assert_eq!(recovery.snapshot_seq, Some(6));
+        assert_eq!(recovery.records_replayed, 0);
+        assert_eq!(recovery.records_skipped, 6);
+        assert!(!recovery.truncated_tail);
+
+        // Reopening completes the compaction and stays appendable.
+        let (mut wal, reopened) = Wal::open(&dir, &infra, WalOptions::default()).unwrap();
+        assert_eq!(reopened.records_skipped, 6);
+        assert_eq!(wal.seq(), 6);
+        let effect = Effect::ReserveNode { host: h(0), resources: res };
+        let seq = wal.append(WalOp::ReserveNode, &[effect]).unwrap();
+        assert_eq!(seq, 7);
+        apply_effect(&mut live, &mut q, &infra, effect, seq).unwrap();
+        drop(wal);
+        let healed = recover(&dir, &infra).unwrap();
+        assert_eq!(healed.state, live);
+        assert_eq!(healed.seq, 7);
+        assert_eq!(healed.records_skipped, 0, "open must truncate the stale prefix");
+        assert_eq!(healed.records_replayed, 1);
+        assert_eq!(healed.snapshot_seq, Some(6));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// A torn tail *behind* the stale prefix (the crash that
+    /// interrupted compaction also tore the last pre-snapshot record)
+    /// still recovers: the snapshot covers everything the tail lost.
+    #[test]
+    fn stale_prefix_with_torn_tail_recovers_to_snapshot() {
+        let infra = infra(2);
+        let dir = temp_dir("snapcrash-torn");
+        let res = Resources::new(1, 512, 5);
+        let mut live = CapacityState::new(&infra);
+        let mut q = vec![false; infra.host_count()];
+        {
+            let (mut wal, _) =
+                Wal::open(&dir, &infra, WalOptions { snapshot_every: 0, ..WalOptions::default() })
+                    .unwrap();
+            for i in 0..4u32 {
+                let effect = Effect::ReserveNode { host: h(i), resources: res };
+                let seq = wal.append(WalOp::ReserveNode, &[effect]).unwrap();
+                apply_effect(&mut live, &mut q, &infra, effect, seq).unwrap();
+            }
+        }
+        let mut pre_compaction = fs::read(dir.join(WAL_FILE)).unwrap();
+        pre_compaction.truncate(pre_compaction.len() - 3);
+        {
+            let (mut wal, _) = Wal::open(&dir, &infra, WalOptions::default()).unwrap();
+            wal.snapshot(&live, &collect_quarantined(&q)).unwrap();
+        }
+        fs::write(dir.join(WAL_FILE), &pre_compaction).unwrap();
+
+        let recovery = recover(&dir, &infra).unwrap();
+        assert_eq!(recovery.state, live, "snapshot must cover the torn prefix");
+        assert_eq!(recovery.seq, 4);
+        assert_eq!(recovery.records_skipped, 3);
+        assert!(recovery.truncated_tail);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// The converse window is unrecoverable by construction — a journal
+    /// based *ahead* of the durable snapshot means history is gone —
+    /// and must surface as a typed corruption, not a silent reset.
+    #[test]
+    fn journal_ahead_of_snapshot_is_a_hard_error() {
+        let infra = infra(2);
+        let dir = temp_dir("ahead");
+        let res = Resources::new(1, 512, 5);
+        {
+            let (mut wal, _) = Wal::open(&dir, &infra, WalOptions::default()).unwrap();
+            for i in 0..3u32 {
+                wal.append(
+                    WalOp::ReserveNode,
+                    &[Effect::ReserveNode { host: h(i), resources: res }],
+                )
+                .unwrap();
+            }
+            let mut live = CapacityState::new(&infra);
+            let mut q = vec![false; infra.host_count()];
+            for i in 0..3u32 {
+                apply_effect(
+                    &mut live,
+                    &mut q,
+                    &infra,
+                    Effect::ReserveNode { host: h(i), resources: res },
+                    u64::from(i) + 1,
+                )
+                .unwrap();
+            }
+            wal.snapshot(&live, &[]).unwrap();
+        }
+        fs::remove_file(dir.join(SNAPSHOT_FILE)).unwrap();
+        assert!(matches!(recover(&dir, &infra), Err(WalError::Corrupt { .. })));
         let _ = fs::remove_dir_all(&dir);
     }
 
