@@ -273,7 +273,7 @@ fn main() {
     let mut rng = SmallRng::seed_from_u64(0x57AE);
     let (infra, base) = sized_datacenter(scale.racks, scale.hosts_per_rack, true, &mut rng)
         .expect("valid benchmark data center");
-    let shapes = shape_set(0x57AE_A44);
+    let shapes = shape_set(0x057A_EA44);
     let request = PlacementRequest {
         algorithm: Algorithm::Greedy,
         score_threads,

@@ -15,7 +15,7 @@
 //! `--smoke` runs a fast variant (used by `scripts/verify.sh`) and
 //! writes the artifact under `target/`.
 
-use std::path::PathBuf;
+use std::path::Path;
 use std::time::Instant;
 
 use ostro_core::{recover, SchedulerSession, SyncPolicy, Wal, WalOptions};
@@ -57,7 +57,7 @@ fn bench_infra(scale: &Scale) -> Infrastructure {
 /// session, returning the session for ground-truth comparison.
 fn journal_stream<'a>(
     infra: &'a Infrastructure,
-    dir: &PathBuf,
+    dir: &Path,
     records: u64,
     snapshot_every: u64,
 ) -> SchedulerSession<'a> {
@@ -86,7 +86,7 @@ fn journal_stream<'a>(
 
 /// One measured recovery: replay wall time, records replayed, and a
 /// bit-identity check against the live books.
-fn measure(infra: &Infrastructure, dir: &PathBuf, live: &SchedulerSession) -> (f64, u64, bool) {
+fn measure(infra: &Infrastructure, dir: &Path, live: &SchedulerSession) -> (f64, u64, bool) {
     let started = Instant::now();
     let recovery = recover(dir, infra).expect("recovery succeeds");
     let secs = started.elapsed().as_secs_f64();

@@ -14,7 +14,7 @@ use std::collections::{BinaryHeap, HashSet};
 use ostro_datacenter::HostId;
 use ostro_model::NodeId;
 
-use crate::candidates::{feasible_hosts_counted, score_candidates};
+use crate::candidates::{feasible_hosts_into, score_candidates_into, CandidateScratch};
 use crate::error::PlacementError;
 use crate::greedy::{pinned_root, run_eg, run_eg_capped};
 
@@ -116,7 +116,11 @@ pub(crate) fn run_astar<'a, P: SearchPolicy>(
     let mut u_upper = upper.as_ref().map_or(f64::INFINITY, |p| p.u_star);
     stats.heuristic_evals += scratch.heuristic_evals;
 
+    // Expanded paths live in a flat arena (light open-queue entries
+    // reference their parent by index); candidate masks, host lists,
+    // and scored buffers are reused across every expansion.
     let mut arena: Vec<Path<'a>> = Vec::new();
+    let mut cand_scratch = CandidateScratch::default();
     let mut open: BinaryHeap<OpenEntry> = BinaryHeap::new();
     let mut closed: HashSet<(u32, u64)> = HashSet::new();
     let mut umax = 0.0f64;
@@ -130,16 +134,16 @@ pub(crate) fn run_astar<'a, P: SearchPolicy>(
         // Frontier paths are incomplete by construction — a complete
         // path is recorded as an upper bound, never expanded.
         let Some(node) = path.next_node(ctx) else { continue };
-        let (hosts, symmetry_skipped) = feasible_hosts_counted(ctx, &path, node);
-        stats.symmetry_skipped += symmetry_skipped;
-        let scored = score_candidates(ctx, &path, node, &hosts, stats);
+        stats.symmetry_skipped += feasible_hosts_into(ctx, &path, node, &mut cand_scratch, stats);
+        let (hosts, scored) = cand_scratch.hosts_and_scored();
+        score_candidates_into(ctx, &path, node, hosts, stats, scored);
         stats.expanded += 1;
         stats.generated += scored.len() as u64;
         let parent_idx = arena.len() as u32;
         let parent_sig = path.signature;
         let parent_placed = path.placed as u32;
         arena.push(path);
-        for cand in scored {
+        for cand in scored.iter().copied() {
             if cand.u_total >= u_upper {
                 stats.pruned_by_bound += 1;
                 continue;

@@ -10,7 +10,7 @@
 use ostro_datacenter::HostId;
 use ostro_model::NodeId;
 
-use crate::candidates::feasible_hosts;
+use crate::candidates::{feasible_hosts_into, CandidateScratch};
 use crate::error::PlacementError;
 use crate::placement::SearchStats;
 use crate::search::{Ctx, Path};
@@ -58,10 +58,12 @@ where
     K: Fn(&Ctx<'a>, &Path<'a>, NodeId, HostId) -> (u64, u64, u64, u64),
 {
     let mut path = start.clone();
+    let mut scratch = CandidateScratch::default();
     while let Some(node) = path.next_node(ctx) {
         let infeasible =
             || PlacementError::Infeasible { node, name: ctx.topo.node(node).name().to_owned() };
-        let mut hosts = feasible_hosts(ctx, &path, node);
+        feasible_hosts_into(ctx, &path, node, &mut scratch, stats);
+        let hosts = &mut scratch.hosts;
         stats.expanded += 1;
         stats.generated += hosts.len() as u64;
         if hosts.is_empty() {
@@ -69,7 +71,7 @@ where
         }
         hosts.sort_by_key(|&h| (key(ctx, &path, node, h), h));
         let mut placed = None;
-        for &host in &hosts {
+        for &host in hosts.iter() {
             if path.probe(ctx, node, host).is_none() {
                 continue;
             }

@@ -13,7 +13,7 @@
 use ostro_datacenter::{CapacityState, HostId, Infrastructure};
 use ostro_model::ApplicationTopology;
 
-use crate::candidates::{feasible_hosts, score_candidates};
+use crate::candidates::{feasible_hosts_into, score_candidates_into, CandidateScratch};
 use crate::placement::SearchStats;
 use crate::request::PlacementRequest;
 use crate::search::{Ctx, Path};
@@ -128,7 +128,10 @@ pub fn scoring_round(
 ) -> usize {
     let (ctx, path) = harness(topo, infra, base, parallel, memoize, score_threads, prefix);
     let node = path.next_node(&ctx).expect("at least one unplaced node");
-    let hosts = feasible_hosts(&ctx, &path, node);
+    let mut scratch = CandidateScratch::default();
     let mut stats = SearchStats::default();
-    score_candidates(&ctx, &path, node, &hosts, &mut stats).len()
+    feasible_hosts_into(&ctx, &path, node, &mut scratch, &mut stats);
+    let (hosts, scored) = scratch.hosts_and_scored();
+    score_candidates_into(&ctx, &path, node, hosts, &mut stats, scored);
+    scored.len()
 }

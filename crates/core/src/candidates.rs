@@ -1,8 +1,17 @@
 //! Candidate-host enumeration (`GetCandidates`, Alg. 1 line 5) and
 //! utility scoring (`GetUsage` + `GetHeuristic`, lines 7–9).
+//!
+//! Enumeration runs as a structure-of-arrays sweep: the per-request
+//! [`CapacityTable`] is synced to the path's overlay, then branch-free
+//! column compares build a per-host candidate bitmask (vectorized by
+//! the compiler, or by explicit intrinsics under the `simd` feature).
+//! Only the handful of hosts whose NIC admission depends on per-path
+//! hash state (promised bandwidth, co-located neighbors) fall back to
+//! the exact scalar screen — the sweep's decisions are bit-identical
+//! to filtering every host through [`admits`].
 
-use ostro_datacenter::{FxHashMap, FxHashSet, HostId};
-use ostro_model::NodeId;
+use ostro_datacenter::{CapacityTable, FxHashMap, FxHashSet, HostId};
+use ostro_model::{DiversityLevel, NodeId, Proximity};
 
 use crate::heuristic::lower_bound_mbps;
 use crate::placement::SearchStats;
@@ -21,56 +30,298 @@ pub(crate) struct ScoredCandidate {
     pub u_total: f64,
 }
 
+/// Reusable buffers for candidate enumeration and scoring, owned by the
+/// caller so the per-expansion hot loop allocates nothing.
+#[derive(Debug, Default)]
+pub(crate) struct CandidateScratch {
+    /// Feasible hosts of the latest sweep, ascending.
+    pub hosts: Vec<HostId>,
+    /// One byte per host: 1 while the host survives every dense screen.
+    mask: Vec<u8>,
+    /// Hosts whose NIC admission needs the exact scalar screen.
+    special: Vec<HostId>,
+    /// Scored candidates of the latest scoring round.
+    pub scored: Vec<ScoredCandidate>,
+}
+
+impl CandidateScratch {
+    /// Split borrow: the current host list (shared) alongside the
+    /// scored buffer (mutable), for passing both to
+    /// [`score_candidates_into`].
+    pub fn hosts_and_scored(&mut self) -> (&[HostId], &mut Vec<ScoredCandidate>) {
+        (&self.hosts, &mut self.scored)
+    }
+}
+
 /// All hosts passing the capacity, diversity, and symmetry screens for
 /// placing `node` next on `path` (per-edge bandwidth feasibility is
 /// checked during scoring, and definitively at materialization).
+/// Convenience wrapper over [`feasible_hosts_into`] for tests and
+/// one-shot callers; hot loops hold a [`CandidateScratch`] instead.
+#[cfg(test)]
 pub(crate) fn feasible_hosts(ctx: &Ctx<'_>, path: &Path<'_>, node: NodeId) -> Vec<HostId> {
-    feasible_hosts_counted(ctx, path, node).0
+    let mut scratch = CandidateScratch::default();
+    let mut stats = SearchStats::default();
+    feasible_hosts_into(ctx, path, node, &mut scratch, &mut stats);
+    scratch.hosts
 }
 
-/// Like [`feasible_hosts`] but also reports how many otherwise-valid
-/// hosts the §III-B3 symmetry floor excluded.
-pub(crate) fn feasible_hosts_counted(
+/// Fills `scratch.hosts` with every feasible host for placing `node`
+/// next on `path` and returns how many otherwise-valid hosts the
+/// §III-B3 symmetry floor excluded.
+///
+/// The capacity + NIC screen runs as a branch-free sweep over the
+/// synced [`CapacityTable`] columns; the conservative NIC predicate
+/// (total incident bandwidth, zero promised) is exact for every host
+/// without path-local NIC state, and the few hosts with such state
+/// (promised-bandwidth entries, placed neighbors' hosts) are re-screened
+/// through the exact [`admits`] — so the result is bit-identical to the
+/// all-scalar path. In session mode the old summary prescreen is
+/// subsumed: the table's base columns mirror the summaries exactly.
+pub(crate) fn feasible_hosts_into(
     ctx: &Ctx<'_>,
     path: &Path<'_>,
     node: NodeId,
-) -> (Vec<HostId>, u64) {
+    scratch: &mut CandidateScratch,
+    stats: &mut SearchStats,
+) -> u64 {
+    scratch.hosts.clear();
     let req = ctx.topo.node(node).requirements();
     if let Some(pinned) = ctx.pinned[node.index()] {
-        let hosts = if admits(ctx, path, node, req, pinned) { vec![pinned] } else { Vec::new() };
-        return (hosts, 0);
+        stats.candidates_scanned += 1;
+        if admits(ctx, path, node, req, pinned) {
+            scratch.hosts.push(pinned);
+        }
+        return 0;
     }
-    let min_host = symmetry_floor(ctx, path, node);
-    // Session mode: the per-host summaries are a dense array mirroring
-    // the base state, so a host that cannot fit `req` even when fully
-    // untouched is rejected from a cache-friendly linear scan before
-    // the overlay's hash probes run. The screen is a necessary
-    // condition only (overlay availability never exceeds base), so it
-    // drops no host `admits` would keep.
-    let summaries = ctx.session.map(|shared| shared.summaries.as_slice());
-    let mut skipped = 0;
-    let hosts = ctx
-        .infra
-        .hosts()
-        .iter()
-        .map(|h| h.id())
-        .filter(|&h| {
-            if let Some(sums) = summaries {
-                if !req.fits_within(&sums[h.index()].free) {
-                    return false;
+    let n = ctx.infra.host_count();
+    stats.candidates_scanned += n as u64;
+    let mask = &mut scratch.mask;
+    mask.clear();
+    mask.resize(n, 0);
+    {
+        let mut table = lock_unpoisoned(&ctx.table);
+        table.sync(&path.overlay);
+        // Conservative NIC demand: every incident edge off-host, no
+        // promises (exact for hosts outside the special set below).
+        let total_bw: u64 = ctx.topo.neighbors(node).iter().map(|&(_, bw)| bw.as_mbps()).sum();
+        capacity_mask(mask, &table, req, total_bw);
+        stats.candidates_pruned_simd += mask.iter().filter(|&&m| m == 0).count() as u64;
+        // Latency bounds and diversity zones as dense column compares.
+        for &(neighbor, proximity) in ctx.topo.proximity_bounds(node) {
+            if let Some(neighbor_host) = path.assignment[neighbor.index()] {
+                apply_within_mask(mask, &table, neighbor_host, proximity);
+            }
+        }
+        for &zone_id in ctx.topo.zones_of(node) {
+            let zone = ctx.topo.zone(zone_id);
+            for &member in zone.members() {
+                if member == node {
+                    continue;
+                }
+                if let Some(member_host) = path.assignment[member.index()] {
+                    apply_diversity_mask(mask, &table, member_host, zone.level());
                 }
             }
-            if !admits(ctx, path, node, req, h) {
-                return false;
+        }
+    }
+    // Exact fix-ups: hosts carrying promised NIC bandwidth or a placed
+    // neighbor of `node` — the only hosts where the dense NIC predicate
+    // can differ (in either direction) from the exact screen.
+    scratch.special.clear();
+    for &host in path.promised_nic.keys() {
+        if !scratch.special.contains(&host) {
+            scratch.special.push(host);
+        }
+    }
+    for &(neighbor, _) in ctx.topo.neighbors(node) {
+        if let Some(host) = path.assignment[neighbor.index()] {
+            if !scratch.special.contains(&host) {
+                scratch.special.push(host);
             }
-            if (h.index() as u32) < min_host {
+        }
+    }
+    for &host in &scratch.special {
+        scratch.mask[host.index()] = u8::from(admits(ctx, path, node, req, host));
+    }
+    // Symmetry floor last, counting hosts it alone excluded.
+    let min_host = symmetry_floor(ctx, path, node);
+    let mut skipped = 0;
+    for (i, &m) in scratch.mask.iter().enumerate() {
+        if m != 0 {
+            if (i as u32) < min_host {
                 skipped += 1;
-                return false;
+            } else {
+                scratch.hosts.push(HostId::from_index(i as u32));
             }
-            true
-        })
-        .collect();
-    (hosts, skipped)
+        }
+    }
+    skipped
+}
+
+/// Branch-free capacity + conservative-NIC sweep: `mask[i] = 1` iff
+/// `req` fits host `i`'s effective availability and `nic_demand` fits
+/// its NIC headroom. Scalar form; the compiler autovectorizes it.
+fn capacity_mask_scalar(
+    mask: &mut [u8],
+    vcpus: &[u32],
+    memory: &[u64],
+    disk: &[u64],
+    nic: &[u64],
+    req: ostro_model::Resources,
+    nic_demand: u64,
+) {
+    for (i, m) in mask.iter_mut().enumerate() {
+        *m = u8::from(req.vcpus <= vcpus[i])
+            & u8::from(req.memory_mb <= memory[i])
+            & u8::from(req.disk_gb <= disk[i])
+            & u8::from(nic_demand <= nic[i]);
+    }
+}
+
+#[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+fn capacity_mask(mask: &mut [u8], table: &CapacityTable, req: ostro_model::Resources, nic: u64) {
+    capacity_mask_scalar(
+        mask,
+        table.vcpus(),
+        table.memory_mb(),
+        table.disk_gb(),
+        table.nic_mbps(),
+        req,
+        nic,
+    );
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+fn capacity_mask(mask: &mut [u8], table: &CapacityTable, req: ostro_model::Resources, nic: u64) {
+    if std::arch::is_x86_feature_detected!("sse4.2") {
+        // SAFETY: gated on runtime SSE4.2 support; all slices share the
+        // table's host count, matching `mask`'s length.
+        unsafe {
+            capacity_mask_sse42(
+                mask,
+                table.vcpus(),
+                table.memory_mb(),
+                table.disk_gb(),
+                table.nic_mbps(),
+                req,
+                nic,
+            );
+        }
+    } else {
+        capacity_mask_scalar(
+            mask,
+            table.vcpus(),
+            table.memory_mb(),
+            table.disk_gb(),
+            table.nic_mbps(),
+            req,
+            nic,
+        );
+    }
+}
+
+/// SSE4.2 sweep: two hosts per iteration. Unsigned 64-bit `<=` has no
+/// direct intrinsic, so both sides are sign-flipped and compared with
+/// the signed `cmpgt` (`a <= b  ⇔  !(flip(a) > flip(b))`).
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[target_feature(enable = "sse4.2")]
+unsafe fn capacity_mask_sse42(
+    mask: &mut [u8],
+    vcpus: &[u32],
+    memory: &[u64],
+    disk: &[u64],
+    nic: &[u64],
+    req: ostro_model::Resources,
+    nic_demand: u64,
+) {
+    use std::arch::x86_64::{
+        __m128i, _mm_castsi128_pd, _mm_cmpgt_epi64, _mm_loadu_si128, _mm_movemask_pd, _mm_or_si128,
+        _mm_set1_epi64x, _mm_xor_si128,
+    };
+    const FLIP: i64 = i64::MIN;
+    let n = mask.len();
+    let flip = _mm_set1_epi64x(FLIP);
+    let req_m = _mm_set1_epi64x(req.memory_mb as i64 ^ FLIP);
+    let req_d = _mm_set1_epi64x(req.disk_gb as i64 ^ FLIP);
+    let req_n = _mm_set1_epi64x(nic_demand as i64 ^ FLIP);
+    let pairs = n / 2 * 2;
+    for i in (0..pairs).step_by(2) {
+        let m = _mm_xor_si128(_mm_loadu_si128(memory.as_ptr().add(i).cast::<__m128i>()), flip);
+        let d = _mm_xor_si128(_mm_loadu_si128(disk.as_ptr().add(i).cast::<__m128i>()), flip);
+        let c = _mm_xor_si128(_mm_loadu_si128(nic.as_ptr().add(i).cast::<__m128i>()), flip);
+        let reject = _mm_or_si128(
+            _mm_or_si128(_mm_cmpgt_epi64(req_m, m), _mm_cmpgt_epi64(req_d, d)),
+            _mm_cmpgt_epi64(req_n, c),
+        );
+        let bits = _mm_movemask_pd(_mm_castsi128_pd(reject));
+        mask[i] = u8::from(bits & 1 == 0) & u8::from(req.vcpus <= vcpus[i]);
+        mask[i + 1] = u8::from(bits & 2 == 0) & u8::from(req.vcpus <= vcpus[i + 1]);
+    }
+    for i in pairs..n {
+        mask[i] = u8::from(req.vcpus <= vcpus[i])
+            & u8::from(req.memory_mb <= memory[i])
+            & u8::from(req.disk_gb <= disk[i])
+            & u8::from(nic_demand <= nic[i]);
+    }
+}
+
+/// Clears mask bits for hosts outside `neighbor_host`'s `proximity`
+/// unit, replicating [`Infrastructure::within`] semantics densely
+/// (`a == b` always passes; `Host` admits only the neighbor's host).
+///
+/// [`Infrastructure::within`]: ostro_datacenter::Infrastructure::within
+fn apply_within_mask(
+    mask: &mut [u8],
+    table: &CapacityTable,
+    neighbor_host: HostId,
+    proximity: Proximity,
+) {
+    let ni = neighbor_host.index();
+    let column = match proximity {
+        Proximity::Host => {
+            for (i, m) in mask.iter_mut().enumerate() {
+                *m &= u8::from(i == ni);
+            }
+            return;
+        }
+        Proximity::Rack => table.racks(),
+        Proximity::Pod => table.pods(),
+        Proximity::DataCenter => table.sites(),
+    };
+    let unit = column[ni];
+    for (m, &c) in mask.iter_mut().zip(column) {
+        *m &= u8::from(c == unit);
+    }
+}
+
+/// Clears mask bits for hosts violating a diversity zone against a
+/// placed member on `member_host`, replicating
+/// [`Infrastructure::satisfies_diversity`] densely (`a == b` always
+/// fails; `Host` level excludes only the member's host).
+///
+/// [`Infrastructure::satisfies_diversity`]:
+///     ostro_datacenter::Infrastructure::satisfies_diversity
+fn apply_diversity_mask(
+    mask: &mut [u8],
+    table: &CapacityTable,
+    member_host: HostId,
+    level: DiversityLevel,
+) {
+    let mi = member_host.index();
+    let column = match level {
+        DiversityLevel::Host => {
+            mask[mi] = 0;
+            return;
+        }
+        DiversityLevel::Rack => table.racks(),
+        DiversityLevel::Pod => table.pods(),
+        DiversityLevel::DataCenter => table.sites(),
+    };
+    let unit = column[mi];
+    for (m, &c) in mask.iter_mut().zip(column) {
+        *m &= u8::from(c != unit);
+    }
 }
 
 /// Capacity, NIC-headroom, and diversity screen for one (node, host)
@@ -170,6 +421,7 @@ fn symmetry_floor(ctx: &Ctx<'_>, path: &Path<'_>, node: NodeId) -> u32 {
 /// are concatenated in chunk order (reproducing the serial host order
 /// exactly), and a cache hit returns the bit-exact bound a cold
 /// evaluation would.
+#[cfg(test)]
 pub(crate) fn score_candidates(
     ctx: &Ctx<'_>,
     path: &Path<'_>,
@@ -177,20 +429,47 @@ pub(crate) fn score_candidates(
     hosts: &[HostId],
     stats: &mut SearchStats,
 ) -> Vec<ScoredCandidate> {
+    let mut out = Vec::new();
+    score_candidates_into(ctx, path, node, hosts, stats, &mut out);
+    out
+}
+
+/// Like [`score_candidates`], filling a caller-owned buffer so hot
+/// loops reuse one allocation across expansions. The buffer is cleared
+/// first; output order is unchanged.
+pub(crate) fn score_candidates_into(
+    ctx: &Ctx<'_>,
+    path: &Path<'_>,
+    node: NodeId,
+    hosts: &[HostId],
+    stats: &mut SearchStats,
+    out: &mut Vec<ScoredCandidate>,
+) {
+    out.clear();
     stats.heuristic_evals += hosts.len() as u64;
     let bounds = resolve_bounds(ctx, path, node, hosts, stats);
     let bound_of = |i: usize| bounds.as_ref().map(|b| b[i]);
+    // `new_hosts` is identical for every candidate (the candidate's own
+    // activation is added per host below), so the O(placed) walk runs
+    // once per round instead of once per host.
+    let path_new_hosts = path.new_hosts();
+    // The table lock is held for the rest of the round (workers read it
+    // through the guard's shared reborrow; only this thread ever locks),
+    // so every per-candidate probe reads synced columns directly.
+    let mut table_guard = lock_unpoisoned(&ctx.table);
+    table_guard.sync(&path.overlay);
+    let table: &CapacityTable = &table_guard;
+    let probe = ProbeCtx::new(ctx, path, node, table);
     let threads = ctx.score_threads;
     // Adaptive serial threshold: dispatch pays off only once every
     // participant can claim a few chunks of real work, so the floor
     // scales with the pool size instead of a fixed constant.
     let serial_threshold = (32 * threads).max(96);
     if !ctx.parallel || threads < 2 || hosts.len() < serial_threshold {
-        return hosts
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &h)| score_one(ctx, path, node, h, bound_of(i)))
-            .collect();
+        out.extend(hosts.iter().enumerate().filter_map(|(i, &h)| {
+            score_one(ctx, path, node, h, path_new_hosts, bound_of(i), &probe)
+        }));
+        return;
     }
     let pool = ctx.scoring_pool();
     // Contiguous chunks claimed off the pool's shared cursor: four per
@@ -201,16 +480,13 @@ pub(crate) fn score_candidates(
     let flat = hosts.len().div_ceil(pool.threads() * 4);
     let chunk_size = flat.min(ctx.chunk_cap).max(1);
     let chunk_count = hosts.len().div_ceil(chunk_size);
-    pool.run_scored(chunk_count, &|ci, buf| {
+    out.extend(pool.run_scored(chunk_count, &|ci, buf| {
         let offset = ci * chunk_size;
         let chunk = &hosts[offset..hosts.len().min(offset + chunk_size)];
-        buf.extend(
-            chunk
-                .iter()
-                .enumerate()
-                .filter_map(|(j, &h)| score_one(ctx, path, node, h, bound_of(offset + j))),
-        );
-    })
+        buf.extend(chunk.iter().enumerate().filter_map(|(j, &h)| {
+            score_one(ctx, path, node, h, path_new_hosts, bound_of(offset + j), &probe)
+        }));
+    }));
 }
 
 /// Resolves the heuristic lower bound for every candidate through the
@@ -235,10 +511,14 @@ fn resolve_bounds(
     if let Some(shared) = ctx.session {
         return Some(resolve_bounds_session(ctx, shared, path, node, hosts, stats));
     }
-    let keys: Vec<(u32, u64)> = hosts
-        .iter()
-        .map(|&h| Ctx::bound_key(node, path.signature, path.overlay.host_group_signature(h)))
-        .collect();
+    // Group signatures come from the synced table's contiguous column —
+    // the same values `overlay.host_group_signature` computes, without
+    // a hash probe (and a fresh-host chain) per host.
+    let keys: Vec<(u32, u64)> = {
+        let mut table = lock_unpoisoned(&ctx.table);
+        table.sync(&path.overlay);
+        hosts.iter().map(|&h| Ctx::bound_key(node, path.signature, table.group_sig(h))).collect()
+    };
     // A poisoned cache only ever holds fully-inserted entries; keep
     // using it rather than aborting the whole search.
     let mut cache = ctx.bound_cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
@@ -394,15 +674,155 @@ fn session_prefix(ctx: &Ctx<'_>, path: &Path<'_>) -> (u64, Vec<HostId>) {
     (h, slots)
 }
 
+/// The dense per-round flow screen: everything [`Path::probe`] reads,
+/// gathered once per scoring round so per-candidate bandwidth admission
+/// is pure array indexing — no hash probes, no route materialization.
+/// Decisions and added-bandwidth sums are bit-identical to calling
+/// `probe` per host (same links, same headroom, same hop weights).
+struct ProbeCtx<'t> {
+    /// The synced capacity table the candidates' columns come from.
+    table: &'t CapacityTable,
+    /// One entry per placed neighbor of the node being scored.
+    neighbors: Vec<NeighborFlow>,
+    /// Remaining ToR-uplink headroom per rack, overlay-synced (Mbps).
+    tor: Vec<u64>,
+    /// Remaining pod-uplink headroom per pod (unused entries for
+    /// transparent pods, which carry no capacity).
+    pod: Vec<u64>,
+    /// Remaining site-uplink headroom per site.
+    site: Vec<u64>,
+    /// Whether each pod's uplink is real (capacity-bearing).
+    pod_real: Vec<bool>,
+}
+
+/// One placed neighbor's flow, with its fixed (neighbor-side) route
+/// quantities resolved up front.
+struct NeighborFlow {
+    host: HostId,
+    rack: u32,
+    pod: u32,
+    site: u32,
+    pod_real: bool,
+    /// The edge's demand in Mbps.
+    bw: u64,
+    /// Headroom of the neighbor-side links a route may cross.
+    nic: u64,
+    tor: u64,
+    pod_hr: u64,
+    site_hr: u64,
+}
+
+impl<'t> ProbeCtx<'t> {
+    fn new(ctx: &Ctx<'_>, path: &Path<'_>, node: NodeId, table: &'t CapacityTable) -> Self {
+        use ostro_datacenter::LinkRef;
+        let tor: Vec<u64> = ctx
+            .infra
+            .racks()
+            .iter()
+            .map(|r| path.overlay.link_available(LinkRef::TorUplink(r.id())).as_mbps())
+            .collect();
+        let pod: Vec<u64> = ctx
+            .infra
+            .pods()
+            .iter()
+            .map(|p| path.overlay.link_available(LinkRef::PodUplink(p.id())).as_mbps())
+            .collect();
+        let site: Vec<u64> = ctx
+            .infra
+            .sites()
+            .iter()
+            .map(|s| path.overlay.link_available(LinkRef::SiteUplink(s.id())).as_mbps())
+            .collect();
+        let pod_real: Vec<bool> = ctx.infra.pods().iter().map(|p| !p.is_transparent()).collect();
+        let neighbors = ctx
+            .topo
+            .neighbors(node)
+            .iter()
+            .filter_map(|&(neighbor, bw)| {
+                let host = path.assignment[neighbor.index()]?;
+                let hi = host.index();
+                let (r, p, s) = (table.racks()[hi], table.pods()[hi], table.sites()[hi]);
+                Some(NeighborFlow {
+                    host,
+                    rack: r,
+                    pod: p,
+                    site: s,
+                    pod_real: pod_real[p as usize],
+                    bw: bw.as_mbps(),
+                    nic: table.nic_mbps()[hi],
+                    tor: tor[r as usize],
+                    pod_hr: pod[p as usize],
+                    site_hr: site[s as usize],
+                })
+            })
+            .collect();
+        ProbeCtx { table, neighbors, tor, pod, site, pod_real }
+    }
+
+    /// Bit-identical replacement for [`Path::probe`]: `None` when any
+    /// edge's flow (or the summed off-host NIC demand) does not fit,
+    /// otherwise the hop-weighted Mbps placing the node here adds.
+    fn admit(&self, host: HostId) -> Option<u64> {
+        let hi = host.index();
+        let (rack, pod, site) =
+            (self.table.racks()[hi], self.table.pods()[hi], self.table.sites()[hi]);
+        let nic = self.table.nic_mbps()[hi];
+        let mut added = 0u64;
+        let mut nic_demand = 0u64;
+        for nb in &self.neighbors {
+            if nb.host == host {
+                // Co-located: zero hops, no links crossed.
+                continue;
+            }
+            // Walk the same levels `route_pair` would, folding each
+            // crossed link's headroom into the min and counting hops
+            // exactly as `hop_cost` does.
+            let mut headroom = nic.min(nb.nic);
+            let mut hops = 2;
+            if rack != nb.rack {
+                headroom = headroom.min(self.tor[rack as usize]).min(nb.tor);
+                hops = 4;
+                if pod != nb.pod {
+                    if self.pod_real[pod as usize] {
+                        headroom = headroom.min(self.pod[pod as usize]);
+                        hops += 1;
+                    }
+                    if nb.pod_real {
+                        headroom = headroom.min(nb.pod_hr);
+                        hops += 1;
+                    }
+                }
+                if site != nb.site {
+                    headroom = headroom.min(self.site[site as usize]).min(nb.site_hr);
+                    hops += 2;
+                }
+            }
+            if nb.bw > headroom {
+                return None;
+            }
+            nic_demand += nb.bw;
+            added += nb.bw * hops;
+        }
+        // Every off-host flow shares the candidate's NIC; the per-edge
+        // checks above cannot see their sum.
+        if nic_demand > nic {
+            return None;
+        }
+        Some(added)
+    }
+}
+
 fn score_one(
     ctx: &Ctx<'_>,
     path: &Path<'_>,
     node: NodeId,
     host: HostId,
+    path_new_hosts: usize,
     bound: Option<u64>,
+    probe: &ProbeCtx<'_>,
 ) -> Option<ScoredCandidate> {
-    let added_ubw = path.probe(ctx, node, host)?;
-    let new_hosts = path.new_hosts() + usize::from(!path.overlay.is_active(host));
+    let added_ubw = probe.admit(host)?;
+    let new_hosts = path_new_hosts + usize::from(probe.table.active()[host.index()] == 0);
     let ubw_child = path.ubw_mbps + added_ubw;
     let u_star = ctx.objective(ubw_child, new_hosts);
     let bound = match bound {
@@ -713,6 +1133,153 @@ mod tests {
                 let Some(best) = pick_best(&warm, &first) else { break };
                 warm.place_mut(&ctx_m, node, best.host).unwrap();
                 cold.place_mut(&ctx_c, node, best.host).unwrap();
+            }
+        }
+    }
+
+    /// Scalar reference for the SoA sweep: the pre-vectorization
+    /// per-host loop — every host through the exact [`admits`] screen,
+    /// then the symmetry floor, counting floor-only exclusions.
+    fn reference_feasible(ctx: &Ctx<'_>, path: &Path<'_>, node: NodeId) -> (Vec<HostId>, u64) {
+        let req = ctx.topo.node(node).requirements();
+        if let Some(pinned) = ctx.pinned[node.index()] {
+            let hosts =
+                if admits(ctx, path, node, req, pinned) { vec![pinned] } else { Vec::new() };
+            return (hosts, 0);
+        }
+        let min_host = symmetry_floor(ctx, path, node);
+        let mut skipped = 0;
+        let hosts = ctx
+            .infra
+            .hosts()
+            .iter()
+            .map(|h| h.id())
+            .filter(|&h| {
+                if !admits(ctx, path, node, req, h) {
+                    return false;
+                }
+                if (h.index() as u32) < min_host {
+                    skipped += 1;
+                    return false;
+                }
+                true
+            })
+            .collect();
+        (hosts, skipped)
+    }
+
+    /// The tentpole's bit-identity property: over random topologies
+    /// with zones, latency bounds, and tight NICs, the mask sweep must
+    /// enumerate exactly the hosts (and the exact symmetry-skip count)
+    /// the all-scalar screen does, at every point of a random
+    /// place/undo churn walk — and the shadowing capacity table's
+    /// group-signature column must stay bit-identical to the overlay's
+    /// hash-path signatures across those rollbacks.
+    #[test]
+    fn soa_sweep_matches_scalar_reference_under_churn() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(0x50A5_CAB1);
+        // Tight NICs (600 Mbps against links up to 400) so the
+        // conservative dense NIC predicate actually diverges from the
+        // exact screen on promised/co-located hosts, forcing the
+        // special-host fix-up path to earn its keep.
+        let infra = InfrastructureBuilder::flat(
+            "dc",
+            3,
+            4,
+            Resources::new(8, 16_384, 500),
+            Bandwidth::from_mbps(600),
+            Bandwidth::from_gbps(100),
+        )
+        .build()
+        .unwrap();
+        for trial in 0u64..20 {
+            let mut b = TopologyBuilder::new(format!("t{trial}"));
+            let n = rng.gen_range(3usize..8);
+            let ids: Vec<_> = (0..n)
+                .map(|i| {
+                    b.vm(format!("v{i}"), rng.gen_range(1u32..4), 1_024 * rng.gen_range(1u64..4))
+                        .unwrap()
+                })
+                .collect();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if rng.gen_bool(0.4) {
+                        let bw = Bandwidth::from_mbps(rng.gen_range(10u64..400));
+                        if rng.gen_bool(0.2) {
+                            let prox = match rng.gen_range(0u8..3) {
+                                0 => ostro_model::Proximity::Rack,
+                                1 => ostro_model::Proximity::Pod,
+                                _ => ostro_model::Proximity::DataCenter,
+                            };
+                            b.link_within(ids[i], ids[j], bw, prox).unwrap();
+                        } else {
+                            b.link(ids[i], ids[j], bw).unwrap();
+                        }
+                    }
+                }
+            }
+            if rng.gen_bool(0.7) {
+                let level = match rng.gen_range(0u8..3) {
+                    0 => DiversityLevel::Host,
+                    1 => DiversityLevel::Rack,
+                    _ => DiversityLevel::Pod,
+                };
+                let members: Vec<_> =
+                    ids.iter().copied().filter(|_| rng.gen_bool(0.6)).take(3).collect();
+                if members.len() >= 2 {
+                    b.diversity_zone("z", level, &members).unwrap();
+                }
+            }
+            let topo = b.build().unwrap();
+            let base = CapacityState::new(&infra);
+            let req = PlacementRequest { parallel: false, ..PlacementRequest::default() };
+            let ctx = Ctx::new(&topo, &infra, &base, &req, vec![None; n]).unwrap();
+            let mut path = Path::empty(&ctx);
+            let mut marks = Vec::new();
+            let mut scratch = CandidateScratch::default();
+            for step in 0..40 {
+                if let Some(node) = path.next_node(&ctx) {
+                    let mut stats = SearchStats::default();
+                    let skipped = feasible_hosts_into(&ctx, &path, node, &mut scratch, &mut stats);
+                    let (ref_hosts, ref_skipped) = reference_feasible(&ctx, &path, node);
+                    assert_eq!(
+                        scratch.hosts, ref_hosts,
+                        "trial {trial} step {step}: sweep diverged from scalar reference"
+                    );
+                    assert_eq!(
+                        skipped, ref_skipped,
+                        "trial {trial} step {step}: symmetry-skip count diverged"
+                    );
+                    assert_eq!(stats.candidates_scanned, infra.host_count() as u64);
+                    {
+                        let mut table = lock_unpoisoned(&ctx.table);
+                        table.sync(&path.overlay);
+                        for h in infra.hosts() {
+                            assert_eq!(
+                                table.group_sig(h.id()),
+                                path.overlay.host_group_signature(h.id()),
+                                "trial {trial} step {step}: group signature column stale"
+                            );
+                        }
+                    }
+                    if !ref_hosts.is_empty() && rng.gen_bool(0.7) {
+                        let host = ref_hosts[rng.gen_range(0usize..ref_hosts.len())];
+                        if let Some(mark) = path.place_mut(&ctx, node, host) {
+                            marks.push(mark);
+                            continue;
+                        }
+                    }
+                    match marks.pop() {
+                        Some(mark) => path.undo(mark),
+                        None => continue,
+                    }
+                } else if let Some(mark) = marks.pop() {
+                    path.undo(mark);
+                } else {
+                    break;
+                }
             }
         }
     }

@@ -6,7 +6,7 @@
 
 use ostro_datacenter::HostId;
 
-use crate::candidates::{feasible_hosts, pick_best, score_candidates};
+use crate::candidates::{feasible_hosts_into, pick_best, score_candidates_into, CandidateScratch};
 use crate::error::PlacementError;
 use crate::placement::SearchStats;
 use crate::search::{Ctx, Path};
@@ -15,6 +15,8 @@ use crate::search::{Ctx, Path};
 /// nodes are pinned).
 pub(crate) fn pinned_root<'a>(ctx: &Ctx<'a>) -> Result<Path<'a>, PlacementError> {
     let mut path = Path::empty(ctx);
+    let mut scratch = CandidateScratch::default();
+    let mut stats = SearchStats::default();
     for i in 0..ctx.pinned_prefix {
         let node = ctx.order[i];
         // The order puts pinned nodes first, so a `None` here is an
@@ -25,8 +27,8 @@ pub(crate) fn pinned_root<'a>(ctx: &Ctx<'a>) -> Result<Path<'a>, PlacementError>
                 name: ctx.topo.node(node).name().to_owned(),
             });
         };
-        let feasible = feasible_hosts(ctx, &path, node);
-        if !feasible.contains(&host) {
+        feasible_hosts_into(ctx, &path, node, &mut scratch, &mut stats);
+        if !scratch.hosts.contains(&host) {
             return Err(PlacementError::Infeasible {
                 node,
                 name: ctx.topo.node(node).name().to_owned(),
@@ -67,12 +69,16 @@ pub(crate) fn run_eg_capped<'a>(
     cap: usize,
 ) -> Result<Path<'a>, PlacementError> {
     let mut path = start.fork();
+    // One scratch for the whole run: candidate masks, host lists, and
+    // scored buffers are reused across every node step.
+    let mut scratch = CandidateScratch::default();
     while let Some(node) = path.next_node(ctx) {
         let infeasible =
             || PlacementError::Infeasible { node, name: ctx.topo.node(node).name().to_owned() };
-        let mut hosts = feasible_hosts(ctx, &path, node);
-        if cap > 0 && hosts.len() > cap {
-            let mut cheap: Vec<(u64, bool, HostId)> = hosts
+        feasible_hosts_into(ctx, &path, node, &mut scratch, stats);
+        if cap > 0 && scratch.hosts.len() > cap {
+            let mut cheap: Vec<(u64, bool, HostId)> = scratch
+                .hosts
                 .iter()
                 .filter_map(|&h| {
                     let added = path.probe(ctx, node, h)?;
@@ -80,9 +86,11 @@ pub(crate) fn run_eg_capped<'a>(
                 })
                 .collect();
             cheap.sort_unstable();
-            hosts = cheap.into_iter().take(cap).map(|(_, _, h)| h).collect();
+            scratch.hosts.clear();
+            scratch.hosts.extend(cheap.into_iter().take(cap).map(|(_, _, h)| h));
         }
-        let mut scored = score_candidates(ctx, &path, node, &hosts, stats);
+        let (hosts, scored) = scratch.hosts_and_scored();
+        score_candidates_into(ctx, &path, node, hosts, stats, scored);
         stats.expanded += 1;
         stats.generated += scored.len() as u64;
         if scored.is_empty() {
@@ -101,7 +109,7 @@ pub(crate) fn run_eg_capped<'a>(
                 })
                 .then_with(|| a.host.cmp(&b.host))
         });
-        debug_assert_eq!(scored.first().copied(), pick_best(&path, &scored));
+        debug_assert_eq!(scored.first().copied(), pick_best(&path, scored));
         // place_mut self-reverts on failure, so the path stays valid
         // for the next candidate — no clone per attempt.
         let placed = scored.iter().any(|cand| path.place_mut(ctx, node, cand.host).is_some());

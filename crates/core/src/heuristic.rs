@@ -16,6 +16,8 @@
 //! * a split edge costs its bandwidth times the *cheapest* hop cost
 //!   compatible with the diversity constraints between its endpoints.
 
+use std::cell::RefCell;
+
 use ostro_datacenter::HostId;
 use ostro_model::{NodeId, Resources};
 
@@ -25,76 +27,129 @@ use crate::search::{Ctx, Path};
 type SlotIdx = u32;
 const UNASSIGNED: SlotIdx = SlotIdx::MAX;
 
-struct Slots {
-    /// Remaining capacity per slot.
+/// Reusable per-thread buffers for one bound evaluation. The function
+/// runs ~10⁵ times per solve on pool workers and the caller alike, so
+/// its working set lives in thread-local (and, with pinned workers,
+/// NUMA-local by first touch) memory instead of six fresh allocations
+/// per call.
+#[derive(Default)]
+struct Scratch {
+    /// Remaining capacity per slot (real slots first, imaginary after).
     avail: Vec<Resources>,
-    /// Real host behind the slot, if any.
-    real: Vec<Option<HostId>>,
     /// Which slot each node sits on (placed, hypothetical, or approximated).
     of_node: Vec<SlotIdx>,
+    /// Dense host-index → slot map (`UNASSIGNED` = no slot), replacing
+    /// the former O(placed) association-list scan per lookup — the
+    /// single hottest line of the scoring kernel at 1k hosts.
+    slot_of_host: Vec<SlotIdx>,
+    /// Host indices holding a `slot_of_host` entry, for O(slots) reset.
+    slot_hosts: Vec<u32>,
+    /// Per-slot linked bandwidth of the node being approximated.
+    affinity: Vec<u64>,
+    /// Slots with a nonzero `affinity` entry this pass.
+    touched: Vec<SlotIdx>,
 }
 
-impl Slots {
-    fn push(&mut self, avail: Resources, real: Option<HostId>) -> SlotIdx {
-        let idx = self.avail.len() as SlotIdx;
-        self.avail.push(avail);
-        self.real.push(real);
-        idx
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
+}
+
+/// Interns `h` as a real slot, seeding it with the overlay's remaining
+/// availability on first sight.
+fn slot_for(
+    avail: &mut Vec<Resources>,
+    slot_of_host: &mut [SlotIdx],
+    slot_hosts: &mut Vec<u32>,
+    path: &Path<'_>,
+    h: HostId,
+) -> SlotIdx {
+    let hi = h.index();
+    let existing = slot_of_host[hi];
+    if existing != UNASSIGNED {
+        return existing;
     }
+    let s = avail.len() as SlotIdx;
+    avail.push(path.overlay.available(h));
+    slot_of_host[hi] = s;
+    slot_hosts.push(hi as u32);
+    s
 }
 
 /// Estimates the hop-weighted Mbps still to be reserved after `path`
 /// hypothetically places `node` on `host` (`GetHeuristic(vi, hj, ...)`).
 pub(crate) fn lower_bound_mbps(ctx: &Ctx<'_>, path: &Path<'_>, node: NodeId, host: HostId) -> u64 {
+    SCRATCH.with(|cell| {
+        let scratch = &mut *cell.borrow_mut();
+        lower_bound_mbps_with(ctx, path, node, host, scratch)
+    })
+}
+
+fn lower_bound_mbps_with(
+    ctx: &Ctx<'_>,
+    path: &Path<'_>,
+    node: NodeId,
+    host: HostId,
+    scratch: &mut Scratch,
+) -> u64 {
     let n = ctx.topo.node_count();
-    let mut slots = Slots {
-        avail: Vec::with_capacity(16),
-        real: Vec::with_capacity(16),
-        of_node: vec![UNASSIGNED; n],
-    };
+    scratch.avail.clear();
+    scratch.of_node.clear();
+    scratch.of_node.resize(n, UNASSIGNED);
+    if scratch.slot_of_host.len() < ctx.infra.host_count() {
+        scratch.slot_of_host.resize(ctx.infra.host_count(), UNASSIGNED);
+    }
+    // Reset the previous call's host→slot entries (panic between calls
+    // would leave them stale, so reset on entry, not exit).
+    for &hi in &scratch.slot_hosts {
+        scratch.slot_of_host[hi as usize] = UNASSIGNED;
+    }
+    scratch.slot_hosts.clear();
 
     // Seed real slots with the hosts this application already uses,
     // including the hypothetical host for `node`.
-    let mut slot_of_host: Vec<(HostId, SlotIdx)> = Vec::with_capacity(path.placed + 1);
-    let mut slot_for = |slots: &mut Slots, h: HostId, path: &Path<'_>| -> SlotIdx {
-        if let Some(&(_, s)) = slot_of_host.iter().find(|&&(hh, _)| hh == h) {
-            return s;
-        }
-        let s = slots.push(path.overlay.available(h), Some(h));
-        slot_of_host.push((h, s));
-        s
-    };
     for placed in ctx.topo.nodes() {
         if let Some(h) = path.assignment[placed.id().index()] {
-            let s = slot_for(&mut slots, h, path);
-            slots.of_node[placed.id().index()] = s;
+            let s = slot_for(
+                &mut scratch.avail,
+                &mut scratch.slot_of_host,
+                &mut scratch.slot_hosts,
+                path,
+                h,
+            );
+            scratch.of_node[placed.id().index()] = s;
         }
     }
-    let s = slot_for(&mut slots, host, path);
+    let s = slot_for(
+        &mut scratch.avail,
+        &mut scratch.slot_of_host,
+        &mut scratch.slot_hosts,
+        path,
+        host,
+    );
     let req = ctx.topo.node(node).requirements();
-    slots.avail[s as usize] = slots.avail[s as usize].saturating_sub(req);
-    slots.of_node[node.index()] = s;
+    scratch.avail[s as usize] = scratch.avail[s as usize].saturating_sub(req);
+    scratch.of_node[node.index()] = s;
 
     // Approximately place the remaining nodes, heaviest bandwidth
     // first, co-locating each with the slot it is most linked to.
-    let mut affinity: Vec<u64> = Vec::new();
-    let mut touched: Vec<SlotIdx> = Vec::with_capacity(8);
+    // `affinity` is all-zero between passes (each pass resets exactly
+    // the entries it touched), so reuse across calls needs no clear.
     for &v in &ctx.bw_order {
-        if slots.of_node[v.index()] != UNASSIGNED {
+        if scratch.of_node[v.index()] != UNASSIGNED {
             continue;
         }
-        affinity.resize(slots.avail.len(), 0);
-        touched.clear();
+        scratch.affinity.resize(scratch.avail.len(), 0);
+        scratch.touched.clear();
         let mut assigned_bw = 0u64;
         let mut total_bw = 0u64;
         for &(neighbor, bw) in ctx.topo.neighbors(v) {
             total_bw += bw.as_mbps();
-            let s = slots.of_node[neighbor.index()];
+            let s = scratch.of_node[neighbor.index()];
             if s != UNASSIGNED {
-                if affinity[s as usize] == 0 {
-                    touched.push(s);
+                if scratch.affinity[s as usize] == 0 {
+                    scratch.touched.push(s);
                 }
-                affinity[s as usize] += bw.as_mbps();
+                scratch.affinity[s as usize] += bw.as_mbps();
                 assigned_bw += bw.as_mbps();
             }
         }
@@ -102,25 +157,25 @@ pub(crate) fn lower_bound_mbps(ctx: &Ctx<'_>, path: &Path<'_>, node: NodeId, hos
         // (same-host placement violates every level).
         let vreq = ctx.topo.node(v).requirements();
         let mut best: Option<(u64, SlotIdx)> = None;
-        'slot: for &s in &touched {
+        'slot: for &s in &scratch.touched {
             for &zone_id in ctx.topo.zones_of(v) {
                 for &member in ctx.topo.zone(zone_id).members() {
-                    if member != v && slots.of_node[member.index()] == s {
+                    if member != v && scratch.of_node[member.index()] == s {
                         continue 'slot;
                     }
                 }
             }
-            if !vreq.fits_within(&slots.avail[s as usize]) {
+            if !vreq.fits_within(&scratch.avail[s as usize]) {
                 continue;
             }
-            let score = affinity[s as usize];
+            let score = scratch.affinity[s as usize];
             if best.is_none_or(|(b, bs)| score > b || (score == b && s < bs)) {
                 best = Some((score, s));
             }
         }
         // Reset the touched affinity entries for the next node.
-        for &s in &touched {
-            affinity[s as usize] = 0;
+        for &s in &scratch.touched {
+            scratch.affinity[s as usize] = 0;
         }
         let remaining_bw = total_bw - assigned_bw;
         let dest = match best {
@@ -129,28 +184,32 @@ pub(crate) fn lower_bound_mbps(ctx: &Ctx<'_>, path: &Path<'_>, node: NodeId, hos
             Some((score, s)) if remaining_bw <= score => s,
             // Conditions (1)–(3): no capacity, all zones violated, or
             // no link to any used host.
-            _ => slots.push(ctx.max_capacity, None),
+            _ => {
+                let s = scratch.avail.len() as SlotIdx;
+                scratch.avail.push(ctx.max_capacity);
+                s
+            }
         };
-        slots.avail[dest as usize] = slots.avail[dest as usize].saturating_sub(vreq);
-        slots.of_node[v.index()] = dest;
+        scratch.avail[dest as usize] = scratch.avail[dest as usize].saturating_sub(vreq);
+        scratch.of_node[v.index()] = dest;
     }
 
-    // Cost every edge not already paid for by the placed prefix.
+    // Cost every edge not already paid for by the placed prefix. The
+    // per-link minimum split cost is precomputed in `ctx.link_costs`
+    // (aligned with `topo.links()`).
     let mut bound = 0u64;
-    for link in ctx.topo.links() {
+    for (link, &hop) in ctx.topo.links().iter().zip(&ctx.link_costs) {
         let (a, b) = link.endpoints();
         let a_placed = path.assignment[a.index()].is_some() || a == node;
         let b_placed = path.assignment[b.index()].is_some() || b == node;
         if a_placed && b_placed {
             continue; // accounted in u* (or in the probe's added cost)
         }
-        let sa = slots.of_node[a.index()];
-        let sb = slots.of_node[b.index()];
+        let sa = scratch.of_node[a.index()];
+        let sb = scratch.of_node[b.index()];
         if sa == sb {
             continue;
         }
-        let sep = ctx.topo.required_separation(a, b);
-        let hop = ctx.sep_costs.min_cost(sep).max(ctx.min_split_cost);
         bound += link.bandwidth().as_mbps() * hop;
     }
     bound

@@ -81,6 +81,17 @@ pub struct SearchStats {
     /// Heuristic lower-bound resolutions requested (one per scored
     /// candidate host, however the bound was obtained).
     pub heuristic_evals: u64,
+    /// Hosts examined by the candidate sweep, across every expansion
+    /// (the denominator for the vectorized-filtering counters below).
+    /// Absent in pre-SoA stats dumps.
+    #[serde(default)]
+    pub candidates_scanned: u64,
+    /// Of those, hosts rejected by the branch-free capacity/NIC column
+    /// sweep (the SIMD kernel when the `simd` feature is on, its scalar
+    /// autovectorized fallback otherwise) before any per-host hash
+    /// probing ran.
+    #[serde(default)]
+    pub candidates_pruned_simd: u64,
     /// Of those, resolutions served from the per-search memo cache
     /// (including hosts sharing a group signature within one scoring
     /// round). Absent in pre-memoization stats dumps.

@@ -2,7 +2,7 @@
 //! placement paths the algorithms branch over.
 
 use ostro_datacenter::{
-    CapacityState, FxHashMap, HostId, Infrastructure, OverlayMark, OverlayState,
+    CapacityState, CapacityTable, FxHashMap, HostId, Infrastructure, OverlayMark, OverlayState,
 };
 use ostro_model::{ApplicationTopology, DiversityLevel, NodeId, Resources};
 
@@ -92,8 +92,6 @@ pub(crate) struct Ctx<'a> {
     pub pinned: Vec<Option<HostId>>,
     /// Imaginary-host capacity: the max real host capacity (§III-A2).
     pub max_capacity: Resources,
-    /// Minimum hop costs per diversity level.
-    pub sep_costs: SeparationCosts,
     /// Symmetry group per node (`NO_GROUP` if none).
     pub sym_group: Vec<u32>,
     /// Remaining nodes pre-sorted by descending incident bandwidth,
@@ -102,9 +100,6 @@ pub(crate) struct Ctx<'a> {
     pub parallel: bool,
     /// Whether candidate scoring includes the heuristic lower bound.
     pub use_estimate: bool,
-    /// Mbps cost of separating two nodes the heuristic put on distinct
-    /// hosts with no diversity constraint between them.
-    pub min_split_cost: u64,
     /// Resolved scoring participant count (request knob, or
     /// `available_parallelism` when the request said 0).
     pub score_threads: usize,
@@ -132,6 +127,17 @@ pub(crate) struct Ctx<'a> {
     /// Cache-aware ceiling on scoring chunk length, resolved from the
     /// request's `chunk_bytes` budget.
     pub(crate) chunk_cap: usize,
+    /// Structure-of-arrays capacity columns, lazily synced to whichever
+    /// overlay the candidate sweep is currently screening. One table per
+    /// request: candidate enumeration is serial, so the lock is always
+    /// uncontended; it exists only to keep `Ctx: Sync` for the pool.
+    pub(crate) table: std::sync::Mutex<CapacityTable>,
+    /// Per-topology-link minimum split cost (hop cost of the cheapest
+    /// separation compatible with the endpoints' diversity constraints,
+    /// floored at the plain host-split cost), aligned with
+    /// `topo.links()`. Precomputed so the heuristic's edge-costing loop
+    /// reads a flat column instead of re-deriving hop costs per call.
+    pub(crate) link_costs: Vec<u64>,
 }
 
 impl<'a> Ctx<'a> {
@@ -183,6 +189,22 @@ impl<'a> Ctx<'a> {
         };
 
         let sep_costs = SeparationCosts::compute(infra);
+        let min_split_cost = sep_costs.min_cost(Some(DiversityLevel::Host));
+        let link_costs = topo
+            .links()
+            .iter()
+            .map(|link| {
+                let (a, b) = link.endpoints();
+                sep_costs.min_cost(topo.required_separation(a, b)).max(min_split_cost)
+            })
+            .collect();
+        // Session requests clone the shared base-mirror table (kept
+        // fresh by dirty-host refresh); one-shot requests build it from
+        // the base state directly.
+        let table = match session {
+            Some(shared) => shared.table.clone(),
+            None => CapacityTable::new(infra, base),
+        };
         Ok(Ctx {
             topo,
             infra,
@@ -193,12 +215,10 @@ impl<'a> Ctx<'a> {
             pinned_prefix,
             pinned,
             max_capacity,
-            sep_costs,
             sym_group,
             bw_order,
             parallel: request.parallel,
             use_estimate: request.use_estimate,
-            min_split_cost: sep_costs.min_cost(Some(DiversityLevel::Host)),
             score_threads: resolve_score_threads(request.score_threads),
             memoize: request.memoize_bounds && request.use_estimate,
             bound_cache: std::sync::Mutex::new(FxHashMap::default()),
@@ -206,6 +226,8 @@ impl<'a> Ctx<'a> {
             topo_sig: if session.is_some() { crate::session::topology_signature(topo) } else { 0 },
             session,
             chunk_cap: resolve_chunk_cap(request.chunk_bytes),
+            table: std::sync::Mutex::new(table),
+            link_costs,
         })
     }
 

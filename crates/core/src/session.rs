@@ -33,7 +33,9 @@
 
 use std::sync::{Mutex, OnceLock};
 
-use ostro_datacenter::{CapacityError, CapacityState, FxHashMap, HostId, Infrastructure};
+use ostro_datacenter::{
+    CapacityError, CapacityState, CapacityTable, FxHashMap, HostId, Infrastructure,
+};
 use ostro_model::{ApplicationTopology, NodeId, Resources};
 
 use crate::deploy::{DeployError, DeployPolicy, DeploymentReport, EvacuationOutcome, FaultProbe};
@@ -161,6 +163,11 @@ pub(crate) struct SessionShared {
     /// large enough to engage it and reused (workers, scratch buffers
     /// and all) for the rest of the session's life.
     pub(crate) pool: OnceLock<ScoringPool>,
+    /// Structure-of-arrays mirror of the session's base state (never
+    /// overlay-synced itself), kept fresh by the same dirty-host journal
+    /// that maintains the summaries. Each request clones it — a few
+    /// contiguous memcpys — instead of recomputing every column.
+    pub(crate) table: CapacityTable,
 }
 
 impl SessionShared {
@@ -182,6 +189,7 @@ impl SessionShared {
             summaries,
             cache: Mutex::new(SessionCache::default()),
             pool: OnceLock::new(),
+            table: CapacityTable::new(infra, state),
         }
     }
 }
@@ -448,9 +456,10 @@ impl<'a> SchedulerSession<'a> {
         }
     }
 
-    /// Drains the dirty-host journal into the summaries: exactly the
-    /// journaled hosts are re-resolved from the live state; everything
-    /// else keeps its summary (and therefore its cache keys) untouched.
+    /// Drains the dirty-host journal into the summaries and the shared
+    /// capacity-table columns: exactly the journaled hosts are
+    /// re-resolved from the live state; everything else keeps its
+    /// summary (and therefore its cache keys) untouched.
     fn refresh(&mut self) -> u64 {
         let drained = self.dirty.len() as u64;
         for host in self.dirty.drain(..) {
@@ -460,6 +469,7 @@ impl<'a> SchedulerSession<'a> {
                 nic_mbps: self.state.nic_available(host).as_mbps(),
                 avail_sig: avail_signature(free),
             };
+            self.shared.table.refresh_base_host(&self.state, host);
             self.shared.epochs[host.index()] += 1;
             self.dirty_flags[host.index()] = false;
         }
@@ -1206,10 +1216,10 @@ mod tests {
                     session.pending_dirty_hosts().iter().map(|h| h.index()).collect();
                 assert_eq!(journaled, pending, "{what}: journal mismatch");
                 // (2) Epochs advanced exactly once per refreshed touch.
-                for h in 0..infra.host_count() {
+                for (h, &expected) in expected_epochs.iter().enumerate() {
                     assert_eq!(
                         session.host_epoch(HostId::from_index(h as u32)),
-                        expected_epochs[h],
+                        expected,
                         "{what}: epoch of host {h}"
                     );
                 }
@@ -1410,5 +1420,64 @@ mod tests {
         assert_eq!(&recovery.state, session.state(), "kept repairs must be journaled too");
         assert_eq!(recovery.state.node_count(HostId::from_index(0)), 2);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// After any mix of session mutations — commit, release, evacuate,
+    /// direct reserve/release, reconcile repairs — the dirty-host
+    /// refresh must leave the shared capacity table's columns
+    /// bit-identical to a table freshly built from the live state.
+    #[test]
+    fn shared_table_matches_fresh_rebuild_after_session_churn() {
+        use crate::reconcile::HostTruth;
+
+        fn assert_table_fresh(session: &mut SchedulerSession<'_>, what: &str) {
+            session.refresh();
+            let fresh = CapacityTable::new(session.infrastructure(), session.state());
+            let table = &session.shared.table;
+            assert_eq!(table.vcpus(), fresh.vcpus(), "{what}: vcpus column");
+            assert_eq!(table.memory_mb(), fresh.memory_mb(), "{what}: memory column");
+            assert_eq!(table.disk_gb(), fresh.disk_gb(), "{what}: disk column");
+            assert_eq!(table.nic_mbps(), fresh.nic_mbps(), "{what}: nic column");
+            assert_eq!(table.epochs(), fresh.epochs(), "{what}: epoch column");
+            assert_eq!(table.group_sigs(), fresh.group_sigs(), "{what}: signature column");
+            assert_eq!(table.active(), fresh.active(), "{what}: active column");
+        }
+
+        let infra = infra_flat(3, 4);
+        let mut session = SchedulerSession::new(&infra);
+        let request = PlacementRequest::default();
+
+        let app_a = hub_app("a");
+        let placed_a = session.place(&app_a, &request).unwrap();
+        session.commit(&app_a, &placed_a.placement).unwrap();
+        assert_table_fresh(&mut session, "after commit a");
+
+        let app_b = chain_app("b");
+        let placed_b = session.place(&app_b, &request).unwrap();
+        session.commit(&app_b, &placed_b.placement).unwrap();
+        assert_table_fresh(&mut session, "after commit b");
+
+        session.release(&app_a, &placed_a.placement).unwrap();
+        assert_table_fresh(&mut session, "after release a");
+
+        let assignment: Vec<Option<HostId>> =
+            placed_b.placement.assignments().iter().copied().map(Some).collect();
+        let failed = placed_b.placement.assignments()[0];
+        let ev = session.evacuate(&app_b, &assignment, &request, failed, 4).unwrap();
+        session.commit(&app_b, &ev.online.outcome.placement).unwrap();
+        assert_table_fresh(&mut session, "after evacuation");
+
+        let unit = Resources::new(2, 2_048, 50);
+        session.reserve_node(HostId::from_index(5), unit).unwrap();
+        assert_table_fresh(&mut session, "after direct reserve");
+
+        // Anti-entropy repair: truth says host 5 runs two instances.
+        let truth =
+            vec![HostTruth { host: HostId::from_index(5), used: unit + unit, instances: 2 }];
+        session.reconcile(&truth).unwrap();
+        assert_table_fresh(&mut session, "after reconcile");
+
+        session.release_node(HostId::from_index(5), unit + unit).unwrap();
+        assert_table_fresh(&mut session, "after direct release");
     }
 }

@@ -97,7 +97,7 @@ mod tests {
         map.insert(2, "two");
         assert_eq!(map.get(&1), Some(&"one"));
         assert_eq!(map.remove(&2), Some("two"));
-        assert!(map.get(&2).is_none());
+        assert!(!map.contains_key(&2));
     }
 
     #[test]

@@ -48,6 +48,7 @@ mod path;
 mod spec;
 mod state;
 mod structure;
+mod table;
 
 pub use builder::InfrastructureBuilder;
 pub use error::{BuildError, CapacityError};
@@ -58,3 +59,4 @@ pub use path::{LinkRef, Separation};
 pub use spec::{HostSpec, InfraSpec, PodSpec, RackSpec, SiteSpec};
 pub use state::CapacityState;
 pub use structure::{Host, Infrastructure, Pod, Rack, Route, Site};
+pub use table::CapacityTable;

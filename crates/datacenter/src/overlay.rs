@@ -46,7 +46,7 @@ use crate::structure::Infrastructure;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct OverlayState<'a> {
     infra: &'a Infrastructure,
     base: &'a CapacityState,
@@ -54,21 +54,58 @@ pub struct OverlayState<'a> {
     used_link: FxHashMap<LinkRef, Bandwidth>,
     added_nodes: FxHashMap<HostId, u32>,
     journal: Vec<OverlayOp>,
+    /// Process-unique identity of this overlay's journal stream; fresh
+    /// on `new`, `clone`, and `fork` so a [`CapacityTable`] cursor from
+    /// one overlay can never silently apply to another.
+    ///
+    /// [`CapacityTable`]: crate::CapacityTable
+    generation: u64,
+    /// Total journal mutations ever performed: pushes *and* rollback
+    /// pops both count. A consumer that saw `(ops, journal_len)` can
+    /// tell "appended only" (`Δops == Δlen`) from "rolled back in
+    /// between" (`Δops > Δlen`) without scanning anything.
+    ops: u64,
+}
+
+impl Clone for OverlayState<'_> {
+    fn clone(&self) -> Self {
+        OverlayState {
+            infra: self.infra,
+            base: self.base,
+            used_host: self.used_host.clone(),
+            used_link: self.used_link.clone(),
+            added_nodes: self.added_nodes.clone(),
+            journal: self.journal.clone(),
+            generation: next_generation(),
+            ops: self.ops,
+        }
+    }
+}
+
+/// Monotonic source of overlay generations; generation 0 is reserved
+/// for "never synced" table cursors.
+fn next_generation() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
 }
 
 /// splitmix64 finalizer: a cheap bijective scrambler for signature
 /// construction (group signatures must not collide between "host 3
 /// touched twice" and "host 6 touched once" style neighbors).
-fn mix64(x: u64) -> u64 {
+/// Crate-visible so [`CapacityTable`](crate::CapacityTable) can build
+/// bit-identical signature columns.
+pub(crate) fn mix64(x: u64) -> u64 {
     let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
 }
 
-/// One journaled mutation, inverted on rollback.
+/// One journaled mutation, inverted on rollback. Crate-visible so
+/// [`CapacityTable`](crate::CapacityTable) can replay appended tails.
 #[derive(Debug, Clone, Copy)]
-enum OverlayOp {
+pub(crate) enum OverlayOp {
     Host { host: HostId, req: Resources },
     Link { link: LinkRef, amount: Bandwidth },
 }
@@ -90,6 +127,8 @@ impl<'a> OverlayState<'a> {
             used_link: FxHashMap::default(),
             added_nodes: FxHashMap::default(),
             journal: Vec::new(),
+            generation: next_generation(),
+            ops: 0,
         }
     }
 
@@ -118,7 +157,47 @@ impl<'a> OverlayState<'a> {
             used_link: self.used_link.clone(),
             added_nodes: self.added_nodes.clone(),
             journal: Vec::new(),
+            generation: next_generation(),
+            ops: 0,
         }
+    }
+
+    /// Identity of this overlay's journal stream (see the field docs).
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Lifetime count of journal pushes plus rollback pops.
+    #[must_use]
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Current journal length (also exposed as [`checkpoint`](Self::checkpoint)).
+    #[must_use]
+    pub fn journal_len(&self) -> usize {
+        self.journal.len()
+    }
+
+    /// The journal suffix starting at `from`, for incremental replay.
+    pub(crate) fn journal_tail(&self, from: usize) -> &[OverlayOp] {
+        &self.journal[from..]
+    }
+
+    /// Per-host resource usage entries of this hypothesis.
+    pub(crate) fn used_host_entries(&self) -> impl Iterator<Item = (HostId, Resources)> + '_ {
+        self.used_host.iter().map(|(&h, &r)| (h, r))
+    }
+
+    /// Per-link bandwidth usage entries of this hypothesis.
+    pub(crate) fn used_link_entries(&self) -> impl Iterator<Item = (LinkRef, Bandwidth)> + '_ {
+        self.used_link.iter().map(|(&l, &b)| (l, b))
+    }
+
+    /// Per-host added-node counts of this hypothesis.
+    pub(crate) fn added_node_entries(&self) -> impl Iterator<Item = (HostId, u32)> + '_ {
+        self.added_nodes.iter().map(|(&h, &c)| (h, c))
     }
 
     /// Marks the current journal position. Reservations made after the
@@ -146,6 +225,7 @@ impl<'a> OverlayState<'a> {
             self.journal.len()
         );
         while self.journal.len() > mark.0 {
+            self.ops += 1;
             match self.journal.pop().unwrap() {
                 OverlayOp::Host { host, req } => {
                     let used = self.used_host.get_mut(&host).expect("journaled host present");
@@ -284,6 +364,7 @@ impl<'a> OverlayState<'a> {
         *self.used_host.entry(host).or_insert(Resources::ZERO) += req;
         *self.added_nodes.entry(host).or_insert(0) += 1;
         self.journal.push(OverlayOp::Host { host, req });
+        self.ops += 1;
         Ok(())
     }
 
@@ -326,6 +407,7 @@ impl<'a> OverlayState<'a> {
         for link in route.iter() {
             *self.used_link.entry(link).or_insert(Bandwidth::ZERO) += demand;
             self.journal.push(OverlayOp::Link { link, amount: demand });
+            self.ops += 1;
         }
         Ok(())
     }

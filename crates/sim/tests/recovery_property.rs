@@ -106,7 +106,9 @@ fn random_crash_evacuate_replace_cycles_never_leak() {
                 continue;
             }
             let req = request(round as u64);
-            match scheduler.evacuate(
+            // An Err means the tenant is abandoned: evacuate released it
+            // fully, so it simply drops out of `kept`.
+            if let Ok(evac) = scheduler.evacuate(
                 &tenant.topology,
                 &tenant.assignment,
                 &mut state,
@@ -114,22 +116,19 @@ fn random_crash_evacuate_replace_cycles_never_leak() {
                 victim,
                 4,
             ) {
-                Ok(evac) => {
-                    let report = scheduler
-                        .deploy(
-                            &tenant.topology,
-                            &evac.online.outcome.placement,
-                            &mut state,
-                            &req,
-                            &policy,
-                            &[],
-                            &mut NoFaults,
-                        )
-                        .unwrap_or_else(|e| panic!("round {round}: re-deploy failed: {e}"));
-                    tenant.assignment = report.assignment;
-                    kept.push(tenant);
-                }
-                Err(_) => {} // abandoned: evacuate released it fully
+                let report = scheduler
+                    .deploy(
+                        &tenant.topology,
+                        &evac.online.outcome.placement,
+                        &mut state,
+                        &req,
+                        &policy,
+                        &[],
+                        &mut NoFaults,
+                    )
+                    .unwrap_or_else(|e| panic!("round {round}: re-deploy failed: {e}"));
+                tenant.assignment = report.assignment;
+                kept.push(tenant);
             }
         }
         tenants = kept;

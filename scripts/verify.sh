@@ -16,6 +16,15 @@ cargo bench -p ostro-bench --bench throughput -- --smoke
 # scheduler over a sustained arrival/departure stream; asserts every
 # event's decision bit-identical and the warm engine no slower.
 cargo bench -p ostro-bench --bench stream -- --smoke
+# Kernel smoke (64 hosts) twice — scalar build, then the explicit
+# `simd` intrinsics build — asserting the seeded EG/BA*/DBA* decision
+# digest is identical: vectorized candidate filtering must never
+# change a placement decision.
+cargo bench -p ostro-bench --bench kernel -- --smoke
+scalar_digest="$(grep -o '"decision_digest": "[0-9a-f]*"' target/BENCH_kernel_smoke.json)"
+cargo bench -p ostro-bench --bench kernel --features simd -- --smoke
+simd_digest="$(grep -o '"decision_digest": "[0-9a-f]*"' target/BENCH_kernel_smoke.json)"
+diff <(echo "$scalar_digest") <(echo "$simd_digest")
 # Recovery smoke (32 hosts, seeded host crashes + launch failures):
 # asserts internally that two same-seed runs yield bit-identical
 # recovery reports for every algorithm.
