@@ -2,14 +2,17 @@
 //! `String` so the logic is unit-testable without spawning processes.
 
 use std::collections::BTreeMap;
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use ostro_core::{
-    verify_placement, Algorithm, ObjectiveWeights, Placement, PlacementRequest, Scheduler,
-    SchedulerSession, SearchStats, Wal, WalOptions,
+    verify_placement, Algorithm, ObjectiveWeights, Placement, PlacementRequest, PlacementService,
+    Scheduler, SchedulerSession, SearchStats, ServiceConfig, ServiceResponse, ServiceStats, Ticket,
+    Wal, WalOptions,
 };
 use ostro_datacenter::{CapacityState, HostId, InfraSpec, Infrastructure};
 use ostro_heat::{annotate_template, extract_topology, HeatTemplate};
+use ostro_model::ApplicationTopology;
 use serde::{Deserialize, Serialize};
 
 use crate::cli_error::CliError;
@@ -96,6 +99,39 @@ pub enum Command {
         /// Ticks at which to kill + recover the scheduler.
         crash_at: Vec<usize>,
     },
+    /// Drive a deterministic arrival/departure stream through the
+    /// concurrent placement service (or, with `--serial`, through a
+    /// warm session in strict event order) and report throughput,
+    /// latency percentiles, the service's conflict/batching counters,
+    /// and an order-independent decision digest.
+    Serve {
+        /// Path to the infrastructure spec.
+        infra: String,
+        /// The algorithm to run.
+        algorithm: Algorithm,
+        /// Objective weights.
+        weights: ObjectiveWeights,
+        /// Tenant arrivals in the stream.
+        requests: usize,
+        /// Per-draw departure probability after each arrival.
+        depart_prob: f64,
+        /// Stream seed (shapes, schedule, and solver tie-breaks).
+        seed: u64,
+        /// Planner threads.
+        planners: usize,
+        /// Maximum jobs per admission batch.
+        batch: usize,
+        /// Optimistic re-plans before a request serializes.
+        retries: u32,
+        /// Bypass the service: replay the same stream through one warm
+        /// session in event order (the baseline for the digest diff).
+        serial: bool,
+        /// Optional path to the pre-existing capacity state.
+        state: Option<String>,
+        /// Optional journal directory; acknowledged commits are
+        /// group-commit fsynced before delivery.
+        wal_dir: Option<String>,
+    },
     /// Reconstruct scheduler state from a write-ahead journal.
     Recover {
         /// Path to the infrastructure spec.
@@ -151,6 +187,11 @@ usage:
                  [--launch-failure-prob X] [--stale-race-prob X]
                  [--race-leak-prob X] [--reconcile-every N]
                  [--wal-dir <dir>] [--crash-at T1,T2,...]
+  ostro serve    --infra <file> [--requests N] [--depart-prob X] [--seed N]
+                 [--planners N] [--batch N] [--retries N] [--serial]
+                 [--algorithm egc|egbw|eg|bastar|dbastar] [--deadline-ms N]
+                 [--theta-bw X] [--theta-c X]
+                 [--state <file>] [--wal-dir <dir>]
   ostro recover  --infra <file> --wal-dir <dir> [--state-out <file>]
   ostro example  infra|template";
 
@@ -168,7 +209,7 @@ impl Command {
         while let Some(arg) = iter.next() {
             if let Some(name) = arg.strip_prefix("--") {
                 // Boolean switches take no value.
-                if matches!(name, "session" | "stats") {
+                if matches!(name, "session" | "stats" | "serial") {
                     flags.insert(name.to_owned(), "true".to_owned());
                     continue;
                 }
@@ -280,6 +321,48 @@ impl Command {
                         .unwrap_or_default(),
                 }
             }
+            "serve" => {
+                let algorithm = algorithm_flags(&mut flags)?;
+                let weights = weight_flags(&mut flags)?;
+                Command::Serve {
+                    infra: take(&mut flags, "infra")?,
+                    algorithm,
+                    weights,
+                    requests: flags
+                        .remove("requests")
+                        .map(|v| parse_num(&v, "requests"))
+                        .transpose()?
+                        .unwrap_or(32) as usize,
+                    depart_prob: flags
+                        .remove("depart-prob")
+                        .map(|v| parse_float(&v, "depart-prob"))
+                        .transpose()?
+                        .unwrap_or(0.3),
+                    seed: flags
+                        .remove("seed")
+                        .map(|v| parse_num(&v, "seed"))
+                        .transpose()?
+                        .unwrap_or(0x5EED_57AE),
+                    planners: flags
+                        .remove("planners")
+                        .map(|v| parse_num(&v, "planners"))
+                        .transpose()?
+                        .unwrap_or(2) as usize,
+                    batch: flags
+                        .remove("batch")
+                        .map(|v| parse_num(&v, "batch"))
+                        .transpose()?
+                        .unwrap_or(8) as usize,
+                    retries: flags
+                        .remove("retries")
+                        .map(|v| parse_num(&v, "retries"))
+                        .transpose()?
+                        .unwrap_or(3) as u32,
+                    serial: flags.remove("serial").is_some(),
+                    state: flags.remove("state"),
+                    wal_dir: flags.remove("wal-dir"),
+                }
+            }
             "recover" => Command::Recover {
                 infra: take(&mut flags, "infra")?,
                 wal_dir: take(&mut flags, "wal-dir")?,
@@ -365,6 +448,33 @@ impl Command {
                 reconcile_every: *reconcile_every,
                 wal_dir: wal_dir.as_deref(),
                 crash_at,
+            }),
+            Command::Serve {
+                infra,
+                algorithm,
+                weights,
+                requests,
+                depart_prob,
+                seed,
+                planners,
+                batch,
+                retries,
+                serial,
+                state,
+                wal_dir,
+            } => serve(&ServeArgs {
+                infra,
+                algorithm: *algorithm,
+                weights: *weights,
+                requests: *requests,
+                depart_prob: *depart_prob,
+                seed: *seed,
+                planners: *planners,
+                batch: *batch,
+                retries: *retries,
+                serial: *serial,
+                state: state.as_deref(),
+                wal_dir: wal_dir.as_deref(),
             }),
             Command::Recover { infra, wal_dir, state_out } => {
                 recover(infra, wal_dir, state_out.as_deref())
@@ -660,6 +770,254 @@ fn churn(args: &ChurnArgs) -> Result<String, CliError> {
         ..ostro_sim::ChurnConfig::default()
     };
     let report = ostro_sim::run_churn(&infra, args.algorithm, &config)?;
+    Ok(serde_json::to_string_pretty(&report).expect("serializable") + "\n")
+}
+
+/// Everything `serve` needs, bundled so the executor stays readable.
+struct ServeArgs<'a> {
+    infra: &'a str,
+    algorithm: Algorithm,
+    weights: ObjectiveWeights,
+    requests: usize,
+    depart_prob: f64,
+    seed: u64,
+    planners: usize,
+    batch: usize,
+    retries: u32,
+    serial: bool,
+    state: Option<&'a str>,
+    wal_dir: Option<&'a str>,
+}
+
+/// The JSON document `serve` emits.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// `"service"` or `"serial"`.
+    pub mode: String,
+    /// Hosts in the fleet.
+    pub hosts: usize,
+    /// Tenant arrivals offered.
+    pub arrivals: usize,
+    /// Departures in the schedule.
+    pub departures: usize,
+    /// Arrivals admitted.
+    pub placed: usize,
+    /// Arrivals the books could not fit.
+    pub rejected: usize,
+    /// Tenants released back.
+    pub released: usize,
+    /// Offered arrivals over the driver's wall clock.
+    pub requests_per_sec: f64,
+    /// Median submit→acknowledge latency.
+    pub p50_ms: f64,
+    /// Tail submit→acknowledge latency.
+    pub p99_ms: f64,
+    /// Order-independent digest of the decision set — equal digests
+    /// mean every arrival got the same placement (or rejection). A
+    /// `--planners 1 --batch 1` service run must match `--serial`.
+    pub decision_digest: String,
+    /// The service's cumulative counters (conflicts, stale admissions,
+    /// re-plans, the batch-size histogram); absent in `--serial` mode.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub service: Option<ServiceStats>,
+}
+
+/// SplitMix64 finalizer — a cheap, stable bit mixer for the digest.
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Order-independent digest of the decision set: one mixed hash per
+/// arrival (its ordinal plus every node→host edge, or a rejection
+/// tag), XOR-folded so any submission interleaving that reaches the
+/// same per-arrival decisions reaches the same digest.
+fn decision_digest(placements: &[Option<Placement>]) -> u64 {
+    let mut digest = 0u64;
+    for (arrival, placement) in placements.iter().enumerate() {
+        let mut h = mix64(arrival as u64 ^ 0x9e37_79b9_7f4a_7c15);
+        match placement {
+            None => h = mix64(h ^ 0x0dec_1ded),
+            Some(p) => {
+                for (node, host) in p.assignments().iter().enumerate() {
+                    h = mix64(h ^ ((node as u64) << 32) ^ host.index() as u64);
+                }
+            }
+        }
+        digest ^= h;
+    }
+    digest
+}
+
+/// Nearest-rank percentile over an ascending-sorted latency list.
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * q).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+fn serve(args: &ServeArgs) -> Result<String, CliError> {
+    let infra = load_infra(args.infra)?;
+    let state = load_state(&infra, args.state)?;
+    let plan = ostro_sim::arrival_stream(&ostro_sim::StreamConfig {
+        requests: args.requests,
+        depart_prob: args.depart_prob,
+        seed: args.seed,
+    })
+    .map_err(ostro_sim::SimError::from)?;
+    let shapes: Vec<Arc<ApplicationTopology>> = plan.shapes.iter().cloned().map(Arc::new).collect();
+    let request = PlacementRequest {
+        algorithm: args.algorithm,
+        weights: args.weights,
+        seed: args.seed,
+        ..PlacementRequest::default()
+    };
+
+    let mut session = match args.wal_dir {
+        Some(dir) => {
+            let (wal, recovery) =
+                Wal::open(std::path::Path::new(dir), &infra, WalOptions::default())?;
+            let mut session = if recovery.seq > 0 {
+                SchedulerSession::with_recovery(&infra, &recovery)
+            } else {
+                SchedulerSession::with_state(&infra, state)
+            };
+            session.attach_wal(wal);
+            // Snapshot the starting books so a replay of the journal
+            // recovers onto the same base a crashed service would.
+            session.checkpoint()?;
+            session
+        }
+        None => SchedulerSession::with_state(&infra, state),
+    };
+
+    let arrivals = plan.arrivals();
+    let mut placements: Vec<Option<Placement>> = vec![None; arrivals];
+    let mut latencies: Vec<f64> = Vec::with_capacity(arrivals);
+    let mut placed = 0usize;
+    let mut rejected = 0usize;
+    let mut released = 0usize;
+    let mut service_stats = None;
+    let start = Instant::now();
+    if args.serial {
+        for event in &plan.events {
+            match *event {
+                ostro_sim::StreamEvent::Arrive { arrival, shape } => {
+                    let t0 = Instant::now();
+                    let outcome = session.place(&shapes[shape], &request);
+                    latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+                    match outcome {
+                        Ok(outcome) => {
+                            session.commit(&shapes[shape], &outcome.placement)?;
+                            placements[arrival] = Some(outcome.placement);
+                            placed += 1;
+                        }
+                        Err(_) => rejected += 1,
+                    }
+                }
+                ostro_sim::StreamEvent::Depart { arrival } => {
+                    if let Some(placement) = placements[arrival].clone() {
+                        session.release(&shapes[plan.shape_of[arrival]], &placement)?;
+                        released += 1;
+                    }
+                }
+            }
+        }
+        if let Some(e) = session.take_wal_error() {
+            return Err(e.into());
+        }
+    } else {
+        let config = ServiceConfig {
+            planners: args.planners.max(1),
+            batch: args.batch.max(1),
+            max_retries: args.retries,
+            ..ServiceConfig::default()
+        };
+        let service = PlacementService::new(session, config);
+        service.serve(|handle| {
+            let mut pending: Vec<Option<(Ticket, Instant)>> = (0..arrivals).map(|_| None).collect();
+            let mut release_tickets: Vec<Ticket> = Vec::new();
+            let resolve = |(ticket, t0): (Ticket, Instant)| -> (Option<Placement>, f64) {
+                let (response, when) = ticket.wait_timed();
+                let ms = when.duration_since(t0).as_secs_f64() * 1e3;
+                match response {
+                    ServiceResponse::Placed(outcome) => (Some(outcome.outcome.placement), ms),
+                    _ => (None, ms),
+                }
+            };
+            for event in &plan.events {
+                match *event {
+                    ostro_sim::StreamEvent::Arrive { arrival, shape } => {
+                        let ticket = handle.submit(Arc::clone(&shapes[shape]), request.clone());
+                        pending[arrival] = Some((ticket, Instant::now()));
+                    }
+                    ostro_sim::StreamEvent::Depart { arrival } => {
+                        // A tenant can only be torn down once its own
+                        // admission is acknowledged; resolve it now.
+                        if let Some(pair) = pending[arrival].take() {
+                            let (placement, ms) = resolve(pair);
+                            latencies.push(ms);
+                            match placement {
+                                Some(placement) => {
+                                    placements[arrival] = Some(placement.clone());
+                                    placed += 1;
+                                    release_tickets.push(handle.submit_release(
+                                        Arc::clone(&shapes[plan.shape_of[arrival]]),
+                                        placement,
+                                    ));
+                                }
+                                None => rejected += 1,
+                            }
+                        }
+                    }
+                }
+            }
+            for arrival in 0..arrivals {
+                if let Some(pair) = pending[arrival].take() {
+                    let (placement, ms) = resolve(pair);
+                    latencies.push(ms);
+                    match placement {
+                        Some(placement) => {
+                            placements[arrival] = Some(placement);
+                            placed += 1;
+                        }
+                        None => rejected += 1,
+                    }
+                }
+            }
+            for ticket in release_tickets {
+                if matches!(ticket.wait(), ServiceResponse::Released { .. }) {
+                    released += 1;
+                }
+            }
+        });
+        service_stats = Some(service.stats());
+        let mut session = service.into_session();
+        if let Some(e) = session.take_wal_error() {
+            return Err(e.into());
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    latencies.sort_by(f64::total_cmp);
+    let report = ServeReport {
+        mode: if args.serial { "serial" } else { "service" }.to_owned(),
+        hosts: infra.host_count(),
+        arrivals,
+        departures: plan.departures(),
+        placed,
+        rejected,
+        released,
+        requests_per_sec: arrivals as f64 / elapsed,
+        p50_ms: percentile(&latencies, 0.50),
+        p99_ms: percentile(&latencies, 0.99),
+        decision_digest: format!("{:016x}", decision_digest(&placements)),
+        service: service_stats,
+    };
     Ok(serde_json::to_string_pretty(&report).expect("serializable") + "\n")
 }
 
@@ -1136,6 +1494,84 @@ mod tests {
         a.faults.wal_records_replayed = 0;
         b.mean_solver_secs = 0.0;
         assert_eq!(a, b, "crash drills must not change any decision");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_accepts_serve_invocation() {
+        match Command::parse(argv(
+            "serve --infra i.json --requests 12 --depart-prob 0.5 --seed 9 \
+             --planners 3 --batch 4 --retries 2 --serial",
+        ))
+        .unwrap()
+        {
+            Command::Serve {
+                requests,
+                depart_prob,
+                seed,
+                planners,
+                batch,
+                retries,
+                serial,
+                ..
+            } => {
+                assert_eq!(requests, 12);
+                assert!((depart_prob - 0.5).abs() < 1e-12);
+                assert_eq!(seed, 9);
+                assert_eq!(planners, 3);
+                assert_eq!(batch, 4);
+                assert_eq!(retries, 2);
+                assert!(serial, "--serial is a boolean switch");
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(matches!(Command::parse(argv("serve --requests 5")), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn serve_single_planner_digest_matches_serial() {
+        let dir = tempdir("serve");
+        let (infra, _) = write_examples(&dir);
+        let base = format!("serve --infra {infra} --requests 6 --depart-prob 0.4 --seed 11");
+        let serial: ServeReport =
+            serde_json::from_str(&run(argv(&format!("{base} --serial"))).unwrap()).unwrap();
+        let service: ServeReport =
+            serde_json::from_str(&run(argv(&format!("{base} --planners 1 --batch 1"))).unwrap())
+                .unwrap();
+        assert_eq!(serial.mode, "serial");
+        assert_eq!(service.mode, "service");
+        assert_eq!(serial.arrivals, 6);
+        assert!(serial.service.is_none(), "serial mode has no service counters");
+        // One planner, batch size one: the service degenerates to the
+        // serial path and every decision must be identical.
+        assert_eq!(serial.decision_digest, service.decision_digest);
+        assert_eq!((serial.placed, serial.rejected), (service.placed, service.rejected));
+        assert_eq!(serial.released, service.released);
+        let stats = service.service.expect("service mode reports its counters");
+        assert_eq!(stats.committed as usize, service.placed);
+        assert_eq!(stats.commit_conflicts, 0, "a lone planner cannot conflict");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_concurrent_run_acknowledges_everything() {
+        let dir = tempdir("serve-mt");
+        let (infra, _) = write_examples(&dir);
+        let wal = dir.join("wal").to_str().unwrap().to_owned();
+        let out = run(argv(&format!(
+            "serve --infra {infra} --requests 8 --depart-prob 0.4 --seed 3 \
+             --planners 4 --batch 2 --wal-dir {wal}"
+        )))
+        .unwrap();
+        let report: ServeReport = serde_json::from_str(&out).unwrap();
+        assert_eq!(report.placed + report.rejected, report.arrivals);
+        let stats = report.service.expect("service counters");
+        assert!(stats.batches >= 1);
+        assert!(stats.wal_syncs >= 1, "durable acks must group-commit");
+        // The journal recovers to exactly the books the run left.
+        let doc = run(argv(&format!("recover --infra {infra} --wal-dir {wal}"))).unwrap();
+        let doc: RecoveryDocument = serde_json::from_str(&doc).unwrap();
+        assert!(!doc.truncated_tail);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -12,6 +12,9 @@
 //! ostro churn    --infra infra.json [--algorithm ...] [--arrivals N]
 //!                [--lifetime N] [--seed N] [--crashes N]
 //!                [--launch-failure-prob X] [--stale-race-prob X]
+//! ostro serve    --infra infra.json [--requests N] [--depart-prob X]
+//!                [--planners N] [--batch N] [--retries N] [--serial]
+//!                [--wal-dir dir]
 //! ostro example  infra|template
 //! ```
 //!

@@ -74,6 +74,7 @@ mod reconcile;
 mod request;
 mod scheduler;
 mod search;
+mod service;
 mod session;
 mod validate;
 pub mod wal;
@@ -89,6 +90,10 @@ pub use placement::{Placement, PlacementOutcome, SearchStats};
 pub use reconcile::{Divergence, DivergenceKind, HostTruth, ReconcileReport};
 pub use request::{Algorithm, PlacementRequest};
 pub use scheduler::Scheduler;
+pub use service::{
+    CommitAttempt, PlacementService, PlanSnapshot, PlannedPlacement, ServiceConfig, ServiceHandle,
+    ServiceOutcome, ServiceResponse, ServiceStats, Ticket,
+};
 pub use session::SchedulerSession;
 pub use validate::{reserved_bandwidth, verify_placement, Violation};
 pub use wal::{recover, Recovery, SyncPolicy, Wal, WalError, WalOptions};

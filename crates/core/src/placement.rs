@@ -130,6 +130,17 @@ pub struct SearchStats {
     /// Session-mode only: cumulative stale-race ghosts repaired.
     #[serde(default)]
     pub reconcile_ghosts: u64,
+    /// Service-mode only: optimistic commits of this request that
+    /// failed validation (a concurrent commit touched a planned host
+    /// between snapshot and commit, or saturated a shared link).
+    #[serde(default)]
+    pub commit_conflicts: u64,
+    /// Service-mode only: how many times this request was re-planned
+    /// against a fresh snapshot after losing a commit race (bounded by
+    /// the service's retry budget; the last resort plans serialized
+    /// under the commit lock and counts here too).
+    #[serde(default)]
+    pub replans: u64,
     /// `true` if a deadline-bounded run hit its deadline and returned
     /// the best bound found so far.
     pub deadline_hit: bool,

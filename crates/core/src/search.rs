@@ -1,6 +1,8 @@
 //! Shared search state: the per-request context and the partial
 //! placement paths the algorithms branch over.
 
+use std::sync::OnceLock;
+
 use ostro_datacenter::{
     CapacityState, CapacityTable, FxHashMap, HostId, Infrastructure, OverlayMark, OverlayState,
 };
@@ -624,16 +626,89 @@ fn resolve_score_threads(requested: usize) -> usize {
 /// to size chunks, so it needs to be the right magnitude, not exact.
 const BYTES_PER_CANDIDATE: usize = 192;
 
-/// Default per-chunk cache budget: a conservative slice of a typical
-/// per-core L2 (256 KiB keeps a chunk resident even on older parts).
+/// Fallback per-chunk cache budget when the core topology cannot be
+/// read: a conservative slice of a typical per-core L2 (256 KiB keeps
+/// a chunk resident even on older parts).
 const DEFAULT_CHUNK_BYTES: usize = 256 * 1024;
 
-/// Resolves the request's `chunk_bytes` knob (0 = default budget) into
-/// a ceiling on candidates per scoring chunk. Chunking never changes
-/// results — chunks are concatenated in host order — so this is purely
-/// a locality lever.
+/// Bounds on the detected budget: below 128 KiB chunking overhead
+/// dominates; above 2 MiB a chunk stops fitting any realistic
+/// mid-level cache slice and locality is lost anyway.
+const MIN_CHUNK_BYTES: usize = 128 * 1024;
+const MAX_CHUNK_BYTES: usize = 2 * 1024 * 1024;
+
+/// The per-chunk budget when `--chunk-bytes` is unset: each core's
+/// *share* of the mid-level (L2) cache, detected once from the core
+/// topology sysfs exports. On parts with a private L2 this is the
+/// whole L2; on parts sharing L2 across a module (or under SMT
+/// sharing) it is the slice one scoring worker can actually keep
+/// resident. Detection failure (non-Linux, masked sysfs) falls back to
+/// the conservative 256 KiB default.
+fn detected_chunk_bytes() -> usize {
+    static DETECTED: OnceLock<usize> = OnceLock::new();
+    *DETECTED.get_or_init(|| {
+        detect_cache_budget()
+            .map_or(DEFAULT_CHUNK_BYTES, |b| b.clamp(MIN_CHUNK_BYTES, MAX_CHUNK_BYTES))
+    })
+}
+
+/// One core's share of the L2: `cache/index2/size` divided by how many
+/// CPUs `shared_cpu_list` says share that cache instance.
+#[cfg(target_os = "linux")]
+fn detect_cache_budget() -> Option<usize> {
+    let base = "/sys/devices/system/cpu/cpu0/cache/index2";
+    let size = parse_cache_size(&std::fs::read_to_string(format!("{base}/size")).ok()?)?;
+    let sharers =
+        parse_cpu_list_len(&std::fs::read_to_string(format!("{base}/shared_cpu_list")).ok()?)?;
+    Some(size / sharers.max(1))
+}
+
+#[cfg(not(target_os = "linux"))]
+fn detect_cache_budget() -> Option<usize> {
+    None
+}
+
+/// Parses sysfs cache sizes: `"2048K"`, `"1M"`, or a bare byte count.
+fn parse_cache_size(raw: &str) -> Option<usize> {
+    let s = raw.trim();
+    if let Some(kib) = s.strip_suffix(['K', 'k']) {
+        return kib.parse::<usize>().ok().map(|v| v * 1024);
+    }
+    if let Some(mib) = s.strip_suffix(['M', 'm']) {
+        return mib.parse::<usize>().ok().map(|v| v * 1024 * 1024);
+    }
+    s.parse().ok()
+}
+
+/// Counts CPUs in a sysfs cpu list (`"0"`, `"0-3"`, `"0,2-5,7"`).
+fn parse_cpu_list_len(raw: &str) -> Option<usize> {
+    let mut count = 0usize;
+    for part in raw.trim().split(',').filter(|p| !p.is_empty()) {
+        match part.split_once('-') {
+            Some((lo, hi)) => {
+                let lo: usize = lo.trim().parse().ok()?;
+                let hi: usize = hi.trim().parse().ok()?;
+                count += hi.checked_sub(lo)? + 1;
+            }
+            None => {
+                let _: usize = part.trim().parse().ok()?;
+                count += 1;
+            }
+        }
+    }
+    if count == 0 {
+        None
+    } else {
+        Some(count)
+    }
+}
+
+/// Resolves the request's `chunk_bytes` knob (0 = the detected
+/// per-core cache budget) into a ceiling on candidates per scoring
+/// chunk. Chunking never changes results — chunks are concatenated in
+/// host order — so this is purely a locality lever.
 fn resolve_chunk_cap(chunk_bytes: usize) -> usize {
-    let budget = if chunk_bytes == 0 { DEFAULT_CHUNK_BYTES } else { chunk_bytes };
+    let budget = if chunk_bytes == 0 { detected_chunk_bytes() } else { chunk_bytes };
     (budget / BYTES_PER_CANDIDATE).max(8)
 }
 
@@ -654,6 +729,34 @@ mod tests {
         )
         .build()
         .unwrap()
+    }
+
+    #[test]
+    fn cache_size_parsing() {
+        assert_eq!(parse_cache_size("2048K\n"), Some(2048 * 1024));
+        assert_eq!(parse_cache_size("1M"), Some(1024 * 1024));
+        assert_eq!(parse_cache_size("524288"), Some(524_288));
+        assert_eq!(parse_cache_size("huge"), None);
+        assert_eq!(parse_cache_size(""), None);
+    }
+
+    #[test]
+    fn cpu_list_parsing() {
+        assert_eq!(parse_cpu_list_len("0\n"), Some(1));
+        assert_eq!(parse_cpu_list_len("0-3"), Some(4));
+        assert_eq!(parse_cpu_list_len("0,2-5,7"), Some(6));
+        assert_eq!(parse_cpu_list_len("3-0"), None);
+        assert_eq!(parse_cpu_list_len(""), None);
+    }
+
+    #[test]
+    fn detected_budget_is_clamped_and_stable() {
+        let detected = detected_chunk_bytes();
+        assert!((MIN_CHUNK_BYTES..=MAX_CHUNK_BYTES).contains(&detected));
+        assert_eq!(detected_chunk_bytes(), detected);
+        // An explicit knob always wins over detection.
+        assert_eq!(resolve_chunk_cap(192 * 1024), 192 * 1024 / BYTES_PER_CANDIDATE);
+        assert_eq!(resolve_chunk_cap(0), detected / BYTES_PER_CANDIDATE);
     }
 
     #[test]

@@ -1,0 +1,1560 @@
+//! The concurrent placement service: optimistic
+//! snapshot-plan / validate-commit scheduling over one
+//! [`SchedulerSession`].
+//!
+//! A [`SchedulerSession`] is a `&mut self` world — every request
+//! serializes through it, so sustained throughput is capped at
+//! single-planner speed no matter how fast one scoring round is. The
+//! [`PlacementService`] splits each request into two phases:
+//!
+//! 1. **Snapshot-plan** — the planner grabs the current
+//!    [`PlanSnapshot`] (an epoch-stamped, immutable copy of the
+//!    committed books plus the session's summaries and capacity-table
+//!    columns; the value-keyed bound cache is *shared*, not copied)
+//!    and solves against it with no lock held. Any number of planners
+//!    plan concurrently against the same snapshot.
+//! 2. **Validate-commit** — under the single commit lock, the planned
+//!    hosts' per-host epochs are compared with the snapshot's. If no
+//!    planned host changed since the snapshot, the decision commits:
+//!    the session applies it (journaling dirty hosts and appending to
+//!    the WAL, which makes the commit *order* durable), the touched
+//!    hosts' epochs advance to the new commit sequence number, and a
+//!    fresh snapshot is published. The lock is held only for the cheap
+//!    apply — never for planning.
+//!
+//! Validation is two-level. Epoch cleanliness is the fast path: a
+//! clean decision's books are exactly what it planned against, so its
+//! commit is guaranteed to apply and its objective is exact. An
+//! epoch-**stale** decision is not rejected outright — under a packing
+//! objective every concurrent planner wants the same attractive hosts,
+//! so strict staleness-equals-conflict degenerates the pipeline to
+//! serial. Instead (with [`ServiceConfig::admit_stale`], the default)
+//! the session's all-or-nothing commit re-validates the decision
+//! against the *live* books: if capacity and every link still admit
+//! it, it commits — its objective drifts by at most what raced in
+//! ahead of it. Only a decision the live books no longer admit is a
+//! **conflict**: the loser re-plans against a fresh snapshot, up to
+//! [`ServiceConfig::max_retries`] times, then plans *serialized* under
+//! the commit lock, where it cannot lose again. Host epochs alone are
+//! never sufficient — a concurrent commit elsewhere in a rack can
+//! saturate a shared uplink a "clean" plan relied on — so the session
+//! commit remains the authoritative check in every path, and a commit
+//! failure against a moved sequence number is a conflict too.
+//!
+//! One caveat of stale admission: the commit re-validates *capacity*,
+//! not candidacy policy. The service exposes no quarantine entry
+//! point, so this cannot currently admit a decision onto a host some
+//! concurrent operation disqualified; if the service ever grows such
+//! an entry point, quarantine must join the epoch check.
+//!
+//! **Admission batching**: [`PlacementService::serve`] runs a planner
+//! pool behind a FIFO queue. Each planner pops up to
+//! [`ServiceConfig::batch`] jobs, plans them all against *one*
+//! snapshot, detects host-set overlap between batch members up front
+//! (a later member overlapping an earlier one's hosts would lose
+//! validation anyway, so it goes straight to the retry path without
+//! entering the lock), then takes the commit lock **once** for the
+//! whole batch and publishes **one** snapshot. With
+//! [`ServiceConfig::durable_acks`] the batch also fsyncs the WAL once
+//! before any of its responses are delivered — group commit: a
+//! delivered `Placed` is durable.
+//!
+//! # What the service guarantees
+//!
+//! Commits are **linearized** by the commit sequence number: the final
+//! books equal a serial replay of the committed decisions in sequence
+//! order over the base state, and every decision was feasible at its
+//! commit point (the session's all-or-nothing commit checked it while
+//! holding the lock). With one planner and batch size 1 the pipeline
+//! degenerates to the serial warm-session path and decisions are
+//! bit-identical to [`SchedulerSession::place`] — `scripts/verify.sh`
+//! diffs the two decision digests on every run.
+//!
+//! Concurrent planners run their searches with request-level
+//! parallelism instead of intra-request scoring parallelism
+//! ([`PlacementRequest::parallel`] is forced off in
+//! [`plan`](PlacementService::plan)): a scoring pool serves one search
+//! at a time, and parallel-vs-serial scoring is bit-identical anyway.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use ostro_datacenter::{CapacityState, HostId, Infrastructure};
+use ostro_model::ApplicationTopology;
+use serde::{Deserialize, Serialize};
+
+use crate::error::PlacementError;
+use crate::placement::{Placement, PlacementOutcome};
+use crate::pool::lock_unpoisoned;
+use crate::request::PlacementRequest;
+use crate::scheduler::Scheduler;
+use crate::session::{avail_signature, HostSummary, SchedulerSession, SessionShared};
+
+/// Tuning for a [`PlacementService`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServiceConfig {
+    /// Planner threads [`serve`](PlacementService::serve) runs.
+    pub planners: usize,
+    /// Maximum jobs one planner plans against a single snapshot (and
+    /// commits under a single lock acquisition).
+    pub batch: usize,
+    /// Optimistic re-plans a losing request is granted before it falls
+    /// back to planning serialized under the commit lock.
+    pub max_retries: u32,
+    /// Admit epoch-stale decisions whose commit still succeeds against
+    /// the live books (see the module docs). `false` demands strict
+    /// epoch cleanliness — every stale decision re-plans, which keeps
+    /// objectives snapshot-exact but collapses throughput under
+    /// packing objectives where every planner wants the same hosts.
+    pub admit_stale: bool,
+    /// When a WAL is attached: fsync once per commit-lock acquisition,
+    /// *before* responses are delivered, so an acknowledged commit is
+    /// durable (group commit). Without a WAL this is a no-op.
+    pub durable_acks: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            planners: 1,
+            batch: 8,
+            max_retries: 3,
+            admit_stale: true,
+            durable_acks: true,
+        }
+    }
+}
+
+/// An epoch-stamped, immutable view of the committed books that any
+/// number of planners can solve against concurrently.
+#[derive(Debug)]
+pub struct PlanSnapshot {
+    /// Commit sequence number at capture: how many mutations (commits
+    /// and releases) the service had applied.
+    seq: u64,
+    /// Per-host commit epochs at capture — `host_epochs[h]` is the
+    /// sequence number of the last mutation that touched host `h`.
+    host_epochs: Vec<u64>,
+    /// The committed books at capture.
+    state: CapacityState,
+    /// The session's summaries and capacity-table columns describing
+    /// `state`, plus the *shared* value-keyed bound cache.
+    shared: SessionShared,
+}
+
+impl PlanSnapshot {
+    /// The commit sequence number this snapshot was captured at.
+    #[must_use]
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// The frozen books this snapshot plans against.
+    #[must_use]
+    pub fn state(&self) -> &CapacityState {
+        &self.state
+    }
+
+    /// The commit epoch of `host` at capture.
+    #[must_use]
+    pub fn host_epoch(&self, host: HostId) -> u64 {
+        self.host_epochs[host.index()]
+    }
+}
+
+/// Phase-1 output: a decision planned against a snapshot, not yet
+/// validated or committed.
+#[derive(Debug)]
+pub struct PlannedPlacement {
+    outcome: PlacementOutcome,
+    snapshot: Arc<PlanSnapshot>,
+    /// Distinct hosts the decision touches, ascending by index — the
+    /// set validate-commit checks epochs for.
+    hosts: Vec<HostId>,
+}
+
+impl PlannedPlacement {
+    /// The planned decision and its search metrics.
+    #[must_use]
+    pub fn outcome(&self) -> &PlacementOutcome {
+        &self.outcome
+    }
+
+    /// The snapshot this plan was computed against.
+    #[must_use]
+    pub fn snapshot(&self) -> &Arc<PlanSnapshot> {
+        &self.snapshot
+    }
+
+    /// Distinct hosts the decision touches, ascending by index.
+    #[must_use]
+    pub fn hosts(&self) -> &[HostId] {
+        &self.hosts
+    }
+}
+
+/// The result of one optimistic commit attempt.
+// One short-lived value per commit attempt; boxing the outcome would
+// trade an allocation per commit for nothing.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum CommitAttempt {
+    /// Validation passed; the decision is in the books (and, with a
+    /// WAL attached, in the journal).
+    Committed(ServiceOutcome),
+    /// A planned host changed since the snapshot (or a shared link the
+    /// plan relied on saturated). Re-plan against a fresh snapshot.
+    Conflict {
+        /// The first planned host whose epoch moved (or, for a link
+        /// conflict, the plan's first host).
+        host: HostId,
+    },
+}
+
+/// A committed placement: the decision plus its position in the
+/// service's total commit order.
+#[derive(Debug, Clone)]
+pub struct ServiceOutcome {
+    /// Commit sequence number — the service's total order. Replaying
+    /// committed decisions in `seq` order over the base state
+    /// reproduces the books exactly.
+    pub seq: u64,
+    /// The decision and search metrics;
+    /// [`stats.commit_conflicts`](crate::SearchStats::commit_conflicts)
+    /// and [`stats.replans`](crate::SearchStats::replans) record how
+    /// contended this request's path to commit was.
+    pub outcome: PlacementOutcome,
+}
+
+/// Cumulative service counters, serialized into `ostro serve` output
+/// and the service benchmark artifact.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServiceStats {
+    /// Placements committed.
+    pub committed: u64,
+    /// Tenants released.
+    pub released: u64,
+    /// Requests rejected (planning failed against current books).
+    pub rejected: u64,
+    /// Optimistic commits that failed validation (the live books no
+    /// longer admitted the decision, or — in strict mode — a planned
+    /// host's epoch moved).
+    pub commit_conflicts: u64,
+    /// Epoch-stale decisions the live books still admitted (committed
+    /// without re-planning; their objectives are snapshot-relative).
+    pub stale_admissions: u64,
+    /// Re-plans against a fresh snapshot after a lost commit race.
+    pub replans: u64,
+    /// Within-batch host-set overlaps detected by the up-front screen.
+    /// In strict mode these members go straight to the retry path; with
+    /// stale admission they proceed to live-book re-validation (and
+    /// usually land in [`stale_admissions`](Self::stale_admissions)).
+    pub overlap_conflicts: u64,
+    /// Requests that exhausted their retry budget and planned
+    /// serialized under the commit lock.
+    pub serialized_fallbacks: u64,
+    /// Batches popped by planners.
+    pub batches: u64,
+    /// Histogram of batch sizes: `batch_sizes[n]` batches held exactly
+    /// `n` jobs.
+    pub batch_sizes: Vec<u64>,
+    /// Snapshots published (one per mutating lock acquisition).
+    pub snapshots_published: u64,
+    /// Group-commit WAL fsyncs issued.
+    pub wal_syncs: u64,
+}
+
+/// The serialized half: the session (whose all-or-nothing commit is
+/// the authoritative feasibility check), the commit sequence number,
+/// and the per-host commit epochs validation compares against.
+#[derive(Debug)]
+struct Authority<'a> {
+    session: SchedulerSession<'a>,
+    seq: u64,
+    host_epochs: Vec<u64>,
+}
+
+impl Authority<'_> {
+    /// The first planned host whose epoch moved since the snapshot.
+    fn stale_host(&self, planned: &PlannedPlacement) -> Option<HostId> {
+        planned
+            .hosts
+            .iter()
+            .copied()
+            .find(|h| self.host_epochs[h.index()] != planned.snapshot.host_epochs[h.index()])
+    }
+
+    fn bump_epochs(&mut self, placement: &Placement) {
+        let seq = self.seq;
+        for &host in placement.assignments() {
+            self.host_epochs[host.index()] = seq;
+        }
+    }
+
+    fn apply_commit(
+        &mut self,
+        topology: &ApplicationTopology,
+        placement: &Placement,
+    ) -> Result<u64, PlacementError> {
+        self.session.commit(topology, placement)?;
+        self.seq += 1;
+        self.bump_epochs(placement);
+        Ok(self.seq)
+    }
+
+    fn apply_release(
+        &mut self,
+        topology: &ApplicationTopology,
+        placement: &Placement,
+    ) -> Result<u64, PlacementError> {
+        self.session.release(topology, placement)?;
+        self.seq += 1;
+        self.bump_epochs(placement);
+        Ok(self.seq)
+    }
+}
+
+/// Outcome of one validate-commit under the lock, before stats and
+/// snapshot publication are folded in.
+enum Validated {
+    /// Epoch-clean: committed with a snapshot-exact objective.
+    Committed {
+        seq: u64,
+    },
+    /// Epoch-stale but the live books still admitted it.
+    CommittedStale {
+        seq: u64,
+    },
+    Conflict {
+        host: HostId,
+    },
+}
+
+/// A batch's speculative books: one clone of the snapshot's state and
+/// shared tables, with earlier batch members' decisions applied
+/// virtually so later members plan around them instead of colliding.
+/// Batch members plan sequentially on one planner thread, so the
+/// overlay needs no synchronization; cross-planner races are still
+/// caught by epoch validation at commit time.
+struct BatchView {
+    state: CapacityState,
+    shared: SessionShared,
+}
+
+impl BatchView {
+    /// Re-resolves `hosts` from the overlaid state — the same per-host
+    /// resync the session's dirty-host journal performs after a real
+    /// commit, so summaries, capacity-table columns, and the epoch
+    /// component of cache keys stay value-correct.
+    fn refresh_hosts(&mut self, hosts: impl IntoIterator<Item = HostId>) {
+        for host in hosts {
+            let free = self.state.available(host);
+            self.shared.summaries[host.index()] = HostSummary {
+                free,
+                nic_mbps: self.state.nic_available(host).as_mbps(),
+                avail_sig: avail_signature(free),
+            };
+            self.shared.table.refresh_base_host(&self.state, host);
+            self.shared.epochs[host.index()] += 1;
+        }
+    }
+}
+
+/// The concurrent placement service. See the module docs for the
+/// pipeline; [`serve`](Self::serve) for the batched front-end;
+/// [`place_blocking`](Self::place_blocking) /
+/// [`release_blocking`](Self::release_blocking) for direct calls (any
+/// number of threads may call them concurrently — `&self` throughout).
+#[derive(Debug)]
+pub struct PlacementService<'a> {
+    infra: &'a Infrastructure,
+    authority: Mutex<Authority<'a>>,
+    snapshot: Mutex<Arc<PlanSnapshot>>,
+    stats: Mutex<ServiceStats>,
+    config: ServiceConfig,
+}
+
+impl<'a> PlacementService<'a> {
+    /// Wraps `session` in the service. The session's pending dirty
+    /// hosts are drained and the initial snapshot published.
+    #[must_use]
+    pub fn new(mut session: SchedulerSession<'a>, config: ServiceConfig) -> Self {
+        session.refresh();
+        let infra = session.infrastructure();
+        let host_epochs = vec![0u64; infra.host_count()];
+        let snapshot = Arc::new(PlanSnapshot {
+            seq: 0,
+            host_epochs: host_epochs.clone(),
+            state: session.state().clone(),
+            shared: session.shared().clone_for_snapshot(),
+        });
+        PlacementService {
+            infra,
+            authority: Mutex::new(Authority { session, seq: 0, host_epochs }),
+            snapshot: Mutex::new(snapshot),
+            stats: Mutex::new(ServiceStats::default()),
+            config,
+        }
+    }
+
+    /// The service's configuration.
+    #[must_use]
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The infrastructure the service places onto.
+    #[must_use]
+    pub fn infrastructure(&self) -> &'a Infrastructure {
+        self.infra
+    }
+
+    /// The current commit sequence number.
+    #[must_use]
+    pub fn seq(&self) -> u64 {
+        lock_unpoisoned(&self.authority).seq
+    }
+
+    /// A copy of the cumulative service counters.
+    #[must_use]
+    pub fn stats(&self) -> ServiceStats {
+        lock_unpoisoned(&self.stats).clone()
+    }
+
+    /// Consumes the service, returning the session with every commit
+    /// applied.
+    #[must_use]
+    pub fn into_session(self) -> SchedulerSession<'a> {
+        let authority = match self.authority.into_inner() {
+            Ok(a) => a,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let mut session = authority.session;
+        session.refresh();
+        session
+    }
+
+    fn note(&self, f: impl FnOnce(&mut ServiceStats)) {
+        f(&mut lock_unpoisoned(&self.stats));
+    }
+
+    /// The current published snapshot. Cheap: an [`Arc`] clone.
+    #[must_use]
+    pub fn snapshot(&self) -> Arc<PlanSnapshot> {
+        Arc::clone(&lock_unpoisoned(&self.snapshot))
+    }
+
+    /// Re-captures the snapshot from the authority's current books.
+    /// Called with the lock held, after every mutating acquisition.
+    fn publish_locked(&self, authority: &mut Authority<'a>) {
+        authority.session.refresh();
+        let snapshot = Arc::new(PlanSnapshot {
+            seq: authority.seq,
+            host_epochs: authority.host_epochs.clone(),
+            state: authority.session.state().clone(),
+            shared: authority.session.shared().clone_for_snapshot(),
+        });
+        *lock_unpoisoned(&self.snapshot) = snapshot;
+        self.note(|st| st.snapshots_published += 1);
+    }
+
+    /// Group-commit point: fsync the WAL once for everything this lock
+    /// acquisition committed, before any response is delivered.
+    fn sync_locked(&self, authority: &mut Authority<'a>) {
+        if self.config.durable_acks {
+            authority.session.sync_wal();
+            self.note(|st| st.wal_syncs += 1);
+        }
+    }
+
+    /// Forces the knobs concurrent planning requires: request-level
+    /// parallelism replaces intra-request scoring parallelism (a
+    /// scoring pool serves one search at a time). Decisions are
+    /// unaffected — parallel and serial scoring are bit-identical.
+    fn planning_request(request: &PlacementRequest) -> PlacementRequest {
+        let mut req = request.clone();
+        req.parallel = false;
+        req.score_threads = 1;
+        req
+    }
+
+    /// Phase 1: plans `topology` against `snapshot` with no lock held.
+    /// Safe to call from any number of threads concurrently.
+    ///
+    /// # Errors
+    ///
+    /// As [`Scheduler::place`] — note the failure is relative to the
+    /// snapshot's books, which may be stale;
+    /// [`place_blocking`](Self::place_blocking) re-plans such failures
+    /// against fresh state before rejecting.
+    pub fn plan(
+        &self,
+        topology: &ApplicationTopology,
+        request: &PlacementRequest,
+        snapshot: &Arc<PlanSnapshot>,
+    ) -> Result<PlannedPlacement, PlacementError> {
+        self.plan_against(topology, request, &snapshot.state, &snapshot.shared, snapshot)
+    }
+
+    /// Plans against arbitrary (`state`, `shared`) books — the
+    /// snapshot's own, or a batch's speculative overlay — stamping the
+    /// result with `origin` for epoch validation.
+    fn plan_against(
+        &self,
+        topology: &ApplicationTopology,
+        request: &PlacementRequest,
+        state: &CapacityState,
+        shared: &SessionShared,
+        origin: &Arc<PlanSnapshot>,
+    ) -> Result<PlannedPlacement, PlacementError> {
+        let req = Self::planning_request(request);
+        let evictions_before = {
+            let mut cache = lock_unpoisoned(&shared.cache);
+            cache.begin_request();
+            cache.evictions()
+        };
+        let result = Scheduler::new(self.infra).place_pinned_with(
+            topology,
+            state,
+            &req,
+            &vec![None; topology.node_count()],
+            Some(shared),
+        );
+        let evictions_after = lock_unpoisoned(&shared.cache).evictions();
+        let mut outcome = result?;
+        outcome.stats.session_cache_evictions = evictions_after.saturating_sub(evictions_before);
+        let mut hosts: Vec<HostId> = outcome.placement.assignments().to_vec();
+        hosts.sort_unstable_by_key(|h| h.index());
+        hosts.dedup();
+        Ok(PlannedPlacement { outcome, snapshot: Arc::clone(origin), hosts })
+    }
+
+    /// Validate-commit under an already-held lock. Epoch-clean
+    /// decisions commit with exact objectives; epoch-stale ones are
+    /// re-validated by the session's all-or-nothing commit against the
+    /// live books (unless [`ServiceConfig::admit_stale`] is off). A
+    /// commit failure against books that moved since the snapshot is a
+    /// conflict; against unmoved books it is a genuine error.
+    fn validate_commit_locked(
+        &self,
+        authority: &mut Authority<'a>,
+        topology: &ApplicationTopology,
+        planned: &PlannedPlacement,
+    ) -> Result<Validated, PlacementError> {
+        if let Some(host) = authority.stale_host(planned) {
+            if !self.config.admit_stale {
+                return Ok(Validated::Conflict { host });
+            }
+            return match authority.apply_commit(topology, &planned.outcome.placement) {
+                Ok(seq) => Ok(Validated::CommittedStale { seq }),
+                Err(_) => Ok(Validated::Conflict { host }),
+            };
+        }
+        match authority.apply_commit(topology, &planned.outcome.placement) {
+            Ok(seq) => Ok(Validated::Committed { seq }),
+            Err(e) => match planned.hosts.first() {
+                Some(&host) if authority.seq != planned.snapshot.seq => {
+                    Ok(Validated::Conflict { host })
+                }
+                _ => Err(e),
+            },
+        }
+    }
+
+    /// Phase 2: validates `planned`'s host epochs and, if nothing
+    /// moved, commits it — taking the commit lock, publishing a fresh
+    /// snapshot, and (with [`ServiceConfig::durable_acks`]) fsyncing
+    /// the WAL before returning.
+    ///
+    /// # Errors
+    ///
+    /// As [`SchedulerSession::commit`], only when the snapshot was
+    /// still current (stale-snapshot commit failures surface as
+    /// [`CommitAttempt::Conflict`]).
+    pub fn try_commit(
+        &self,
+        topology: &ApplicationTopology,
+        planned: &PlannedPlacement,
+    ) -> Result<CommitAttempt, PlacementError> {
+        let mut authority = lock_unpoisoned(&self.authority);
+        match self.validate_commit_locked(&mut authority, topology, planned)? {
+            committed @ (Validated::Committed { .. } | Validated::CommittedStale { .. }) => {
+                self.publish_locked(&mut authority);
+                self.sync_locked(&mut authority);
+                drop(authority);
+                let seq = match committed {
+                    Validated::Committed { seq } => {
+                        self.note(|st| st.committed += 1);
+                        seq
+                    }
+                    Validated::CommittedStale { seq } => {
+                        self.note(|st| {
+                            st.committed += 1;
+                            st.stale_admissions += 1;
+                        });
+                        seq
+                    }
+                    Validated::Conflict { .. } => unreachable!("matched committed variants"),
+                };
+                Ok(CommitAttempt::Committed(ServiceOutcome {
+                    seq,
+                    outcome: planned.outcome.clone(),
+                }))
+            }
+            Validated::Conflict { host } => {
+                drop(authority);
+                self.note(|st| st.commit_conflicts += 1);
+                Ok(CommitAttempt::Conflict { host })
+            }
+        }
+    }
+
+    /// Last resort after the retry budget: plan *under* the commit
+    /// lock, warm against the live session, where no concurrent commit
+    /// can invalidate the decision.
+    fn commit_serialized(
+        &self,
+        topology: &ApplicationTopology,
+        request: &PlacementRequest,
+        conflicts: u64,
+        replans: u64,
+    ) -> Result<ServiceOutcome, PlacementError> {
+        let req = Self::planning_request(request);
+        self.note(|st| st.serialized_fallbacks += 1);
+        let mut authority = lock_unpoisoned(&self.authority);
+        let result = authority.session.place(topology, &req).and_then(|outcome| {
+            authority.apply_commit(topology, &outcome.placement).map(|seq| (seq, outcome))
+        });
+        match result {
+            Ok((seq, mut outcome)) => {
+                self.publish_locked(&mut authority);
+                self.sync_locked(&mut authority);
+                drop(authority);
+                self.note(|st| st.committed += 1);
+                outcome.stats.commit_conflicts = conflicts;
+                outcome.stats.replans = replans;
+                Ok(ServiceOutcome { seq, outcome })
+            }
+            Err(e) => {
+                drop(authority);
+                self.note(|st| st.rejected += 1);
+                Err(e)
+            }
+        }
+    }
+
+    /// The full optimistic loop from a given starting snapshot:
+    /// plan → validate-commit → re-plan on conflict (bounded) →
+    /// serialized fallback. `conflicts`/`replans` carry counts from
+    /// attempts the caller already burned (the batch path).
+    fn place_from(
+        &self,
+        topology: &ApplicationTopology,
+        request: &PlacementRequest,
+        mut snapshot: Arc<PlanSnapshot>,
+        mut conflicts: u64,
+        mut replans: u64,
+    ) -> Result<ServiceOutcome, PlacementError> {
+        loop {
+            if replans > u64::from(self.config.max_retries) {
+                return self.commit_serialized(topology, request, conflicts, replans);
+            }
+            let planned = match self.plan(topology, request, &snapshot) {
+                Ok(p) => p,
+                Err(e) => {
+                    // A plan failure against *current* books is a
+                    // genuine rejection; against stale books it gets a
+                    // retry like any other loser.
+                    if self.seq() == snapshot.seq {
+                        self.note(|st| st.rejected += 1);
+                        return Err(e);
+                    }
+                    replans += 1;
+                    self.note(|st| st.replans += 1);
+                    snapshot = self.snapshot();
+                    continue;
+                }
+            };
+            match self.try_commit(topology, &planned)? {
+                CommitAttempt::Committed(mut outcome) => {
+                    outcome.outcome.stats.commit_conflicts = conflicts;
+                    outcome.outcome.stats.replans = replans;
+                    return Ok(outcome);
+                }
+                CommitAttempt::Conflict { .. } => {
+                    conflicts += 1;
+                    replans += 1;
+                    self.note(|st| st.replans += 1);
+                    snapshot = self.snapshot();
+                }
+            }
+        }
+    }
+
+    /// Places `topology` through the full optimistic pipeline,
+    /// blocking until it commits or is rejected against current books.
+    /// Any number of threads may call this concurrently.
+    ///
+    /// # Errors
+    ///
+    /// As [`Scheduler::place`], evaluated against current books.
+    pub fn place_blocking(
+        &self,
+        topology: &ApplicationTopology,
+        request: &PlacementRequest,
+    ) -> Result<ServiceOutcome, PlacementError> {
+        let snapshot = self.snapshot();
+        self.place_from(topology, request, snapshot, 0, 0)
+    }
+
+    /// Releases a committed tenant. Releases never conflict — they are
+    /// applied directly under the commit lock and take the next
+    /// sequence number.
+    ///
+    /// # Errors
+    ///
+    /// As [`SchedulerSession::release`].
+    pub fn release_blocking(
+        &self,
+        topology: &ApplicationTopology,
+        placement: &Placement,
+    ) -> Result<u64, PlacementError> {
+        let mut authority = lock_unpoisoned(&self.authority);
+        let seq = authority.apply_release(topology, placement)?;
+        self.publish_locked(&mut authority);
+        self.sync_locked(&mut authority);
+        drop(authority);
+        self.note(|st| st.released += 1);
+        Ok(seq)
+    }
+
+    /// Runs the batched service front-end: spawns
+    /// [`ServiceConfig::planners`] planner threads behind a FIFO
+    /// queue, hands `driver` a [`ServiceHandle`] to submit jobs
+    /// through, and drains the queue before returning `driver`'s
+    /// result. Every submitted ticket is resolved by then.
+    pub fn serve<R>(&self, driver: impl FnOnce(&ServiceHandle<'_, 'a>) -> R) -> R {
+        let shared = ServeShared {
+            queue: Mutex::new(ServeQueue { jobs: VecDeque::new(), closed: false }),
+            cv: Condvar::new(),
+        };
+        std::thread::scope(|scope| {
+            for _ in 0..self.config.planners.max(1) {
+                scope.spawn(|| self.planner_loop(&shared));
+            }
+            // Close the queue when the driver returns *or unwinds* —
+            // otherwise the planners would wait forever and the scope
+            // would never join.
+            let _close = CloseGuard(&shared);
+            let handle = ServiceHandle { service: self, shared: &shared };
+            driver(&handle)
+        })
+    }
+
+    fn planner_loop(&self, shared: &ServeShared) {
+        loop {
+            let batch: Vec<Job> = {
+                let mut queue = lock_unpoisoned(&shared.queue);
+                loop {
+                    if !queue.jobs.is_empty() {
+                        break;
+                    }
+                    if queue.closed {
+                        return;
+                    }
+                    queue = match shared.cv.wait(queue) {
+                        Ok(guard) => guard,
+                        Err(poisoned) => poisoned.into_inner(),
+                    };
+                }
+                let take = queue.jobs.len().min(self.config.batch.max(1));
+                queue.jobs.drain(..take).collect()
+            };
+            self.process_batch(batch);
+        }
+    }
+
+    /// One admission batch: plan every member against a single
+    /// snapshot, screen within-batch host-set overlap up front, commit
+    /// the survivors under one lock acquisition (one snapshot
+    /// publication, one group-commit fsync), then push the losers
+    /// through the individual retry path.
+    fn process_batch(&self, batch: Vec<Job>) {
+        self.note(|st| {
+            st.batches += 1;
+            if st.batch_sizes.len() <= batch.len() {
+                st.batch_sizes.resize(batch.len() + 1, 0);
+            }
+            st.batch_sizes[batch.len()] += 1;
+        });
+        let snapshot = self.snapshot();
+
+        // Phase 1: plan all arrivals with no lock held. Multi-member
+        // batches plan against a speculative overlay of the snapshot:
+        // each member's decision (place or release) is applied
+        // virtually before the next member plans, so members stop
+        // colliding with each other inside the batch. Overlaid plans
+        // are epoch-stale by construction relative to the snapshot the
+        // authority will validate against, which is exactly what the
+        // stale-admission path handles — in strict mode the overlay is
+        // skipped so epoch validation stays snapshot-exact.
+        // (A batch holds at most `config.batch` of these, briefly.)
+        #[allow(clippy::large_enum_variant)]
+        enum Member {
+            Place {
+                topology: Arc<ApplicationTopology>,
+                request: PlacementRequest,
+                ticket: Arc<TicketInner>,
+                plan: Result<PlannedPlacement, PlacementError>,
+                overlap: bool,
+            },
+            Release {
+                topology: Arc<ApplicationTopology>,
+                placement: Placement,
+                ticket: Arc<TicketInner>,
+            },
+        }
+        let mut view = (self.config.admit_stale && batch.len() > 1).then(|| BatchView {
+            state: snapshot.state.clone(),
+            shared: snapshot.shared.clone_for_snapshot(),
+        });
+        let scheduler = Scheduler::new(self.infra);
+        let mut members: Vec<Member> = batch
+            .into_iter()
+            .map(|job| match job {
+                Job::Place { topology, request, ticket } => {
+                    let plan = match view.as_mut() {
+                        Some(view) => {
+                            let plan = self.plan_against(
+                                &topology,
+                                &request,
+                                &view.state,
+                                &view.shared,
+                                &snapshot,
+                            );
+                            if let Ok(planned) = &plan {
+                                if scheduler
+                                    .commit(&topology, &planned.outcome.placement, &mut view.state)
+                                    .is_ok()
+                                {
+                                    view.refresh_hosts(planned.hosts.iter().copied());
+                                }
+                            }
+                            plan
+                        }
+                        None => self.plan(&topology, &request, &snapshot),
+                    };
+                    Member::Place { topology, request, ticket, plan, overlap: false }
+                }
+                Job::Release { topology, placement, ticket } => {
+                    if let Some(view) = view.as_mut() {
+                        if scheduler.release(&topology, &placement, &mut view.state).is_ok() {
+                            let mut hosts: Vec<HostId> = placement.assignments().to_vec();
+                            hosts.sort_unstable_by_key(|h| h.index());
+                            hosts.dedup();
+                            view.refresh_hosts(hosts);
+                        }
+                    }
+                    Member::Release { topology, placement, ticket }
+                }
+            })
+            .collect();
+
+        // Up-front overlap screen: members claim their host sets in
+        // batch order; a later plan touching an already-claimed host
+        // will be epoch-stale once the earlier member commits. With
+        // stale admission on, the flag routes it through live-book
+        // re-validation; in strict mode it goes straight to the retry
+        // path without entering the lock.
+        let mut claimed = vec![false; self.infra.host_count()];
+        let mut overlaps = 0u64;
+        for member in &mut members {
+            match member {
+                Member::Release { placement, .. } => {
+                    for &host in placement.assignments() {
+                        claimed[host.index()] = true;
+                    }
+                }
+                Member::Place { plan: Ok(planned), overlap, .. } => {
+                    if planned.hosts.iter().any(|h| claimed[h.index()]) {
+                        *overlap = true;
+                        overlaps += 1;
+                    } else {
+                        for &host in &planned.hosts {
+                            claimed[host.index()] = true;
+                        }
+                    }
+                }
+                Member::Place { .. } => {}
+            }
+        }
+
+        // Phase 2: one commit-lock acquisition for the whole batch.
+        let mut acks: Vec<(Arc<TicketInner>, ServiceResponse)> = Vec::new();
+        let mut losers: Vec<(Arc<ApplicationTopology>, PlacementRequest, Arc<TicketInner>, u64)> =
+            Vec::new();
+        let mut committed = 0u64;
+        let mut released = 0u64;
+        let mut rejected = 0u64;
+        let mut conflicts = 0u64;
+        let mut stale = 0u64;
+        {
+            let mut authority = lock_unpoisoned(&self.authority);
+            let mut mutated = false;
+            for member in members {
+                match member {
+                    Member::Release { topology, placement, ticket } => {
+                        match authority.apply_release(&topology, &placement) {
+                            Ok(seq) => {
+                                mutated = true;
+                                released += 1;
+                                acks.push((ticket, ServiceResponse::Released { seq }));
+                            }
+                            Err(e) => {
+                                rejected += 1;
+                                acks.push((ticket, ServiceResponse::Failed(e)));
+                            }
+                        }
+                    }
+                    Member::Place { topology, request, ticket, plan, overlap } => match plan {
+                        Ok(planned) if self.config.admit_stale || !overlap => {
+                            match self.validate_commit_locked(&mut authority, &topology, &planned) {
+                                Ok(
+                                    v @ (Validated::Committed { .. }
+                                    | Validated::CommittedStale { .. }),
+                                ) => {
+                                    let seq = match v {
+                                        Validated::Committed { seq } => seq,
+                                        Validated::CommittedStale { seq } => {
+                                            stale += 1;
+                                            seq
+                                        }
+                                        Validated::Conflict { .. } => {
+                                            unreachable!("matched committed variants")
+                                        }
+                                    };
+                                    mutated = true;
+                                    committed += 1;
+                                    let mut outcome = planned.outcome;
+                                    outcome.stats.commit_conflicts = 0;
+                                    outcome.stats.replans = 0;
+                                    acks.push((
+                                        ticket,
+                                        ServiceResponse::Placed(ServiceOutcome { seq, outcome }),
+                                    ));
+                                }
+                                Ok(Validated::Conflict { .. }) => {
+                                    conflicts += 1;
+                                    losers.push((topology, request, ticket, 1));
+                                }
+                                Err(e) => {
+                                    rejected += 1;
+                                    acks.push((ticket, ServiceResponse::Failed(e)));
+                                }
+                            }
+                        }
+                        Ok(_) => {
+                            // Strict-mode overlap loser: counted as the
+                            // conflict it would have been.
+                            conflicts += 1;
+                            losers.push((topology, request, ticket, 1));
+                        }
+                        Err(e) => {
+                            if authority.seq == snapshot.seq {
+                                rejected += 1;
+                                acks.push((ticket, ServiceResponse::Failed(e)));
+                            } else {
+                                losers.push((topology, request, ticket, 0));
+                            }
+                        }
+                    },
+                }
+            }
+            if mutated {
+                self.publish_locked(&mut authority);
+                self.sync_locked(&mut authority);
+            }
+        }
+        self.note(|st| {
+            st.committed += committed;
+            st.released += released;
+            st.rejected += rejected;
+            st.commit_conflicts += conflicts;
+            st.overlap_conflicts += overlaps;
+            st.stale_admissions += stale;
+            // Every conflict loser re-plans in phase 4; count those
+            // re-plans here so the global counter matches the sum of
+            // the per-request `stats.replans` the losers will report.
+            st.replans += conflicts;
+        });
+
+        // Phase 3: responses — after the group-commit fsync, so a
+        // delivered `Placed` is durable.
+        for (ticket, response) in acks {
+            deliver(&ticket, response);
+        }
+
+        // Phase 4: losers re-plan individually against fresh snapshots.
+        for (topology, request, ticket, burned) in losers {
+            let response =
+                match self.place_from(&topology, &request, self.snapshot(), burned, burned) {
+                    Ok(outcome) => ServiceResponse::Placed(outcome),
+                    Err(e) => ServiceResponse::Failed(e),
+                };
+            deliver(&ticket, response);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The batched front-end: queue, jobs, tickets
+// ---------------------------------------------------------------------------
+
+struct ServeQueue {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+struct ServeShared {
+    queue: Mutex<ServeQueue>,
+    cv: Condvar,
+}
+
+/// Closes the queue on drop so planners drain and exit even when the
+/// driver unwinds.
+struct CloseGuard<'s>(&'s ServeShared);
+
+impl Drop for CloseGuard<'_> {
+    fn drop(&mut self) {
+        lock_unpoisoned(&self.0.queue).closed = true;
+        self.0.cv.notify_all();
+    }
+}
+
+enum Job {
+    Place {
+        topology: Arc<ApplicationTopology>,
+        request: PlacementRequest,
+        ticket: Arc<TicketInner>,
+    },
+    Release {
+        topology: Arc<ApplicationTopology>,
+        placement: Placement,
+        ticket: Arc<TicketInner>,
+    },
+}
+
+/// The driver's side of a running [`PlacementService::serve`] call:
+/// submit jobs, get [`Ticket`]s back.
+#[derive(Clone, Copy)]
+pub struct ServiceHandle<'s, 'a> {
+    service: &'s PlacementService<'a>,
+    shared: &'s ServeShared,
+}
+
+impl<'s, 'a> ServiceHandle<'s, 'a> {
+    /// The service behind this handle.
+    #[must_use]
+    pub fn service(&self) -> &'s PlacementService<'a> {
+        self.service
+    }
+
+    /// Enqueues a placement request; the returned ticket resolves to
+    /// [`ServiceResponse::Placed`] or [`ServiceResponse::Failed`].
+    pub fn submit(&self, topology: Arc<ApplicationTopology>, request: PlacementRequest) -> Ticket {
+        let ticket = Arc::new(TicketInner::default());
+        self.push(Job::Place { topology, request, ticket: Arc::clone(&ticket) });
+        Ticket(ticket)
+    }
+
+    /// Enqueues a release; the returned ticket resolves to
+    /// [`ServiceResponse::Released`] or [`ServiceResponse::Failed`].
+    pub fn submit_release(
+        &self,
+        topology: Arc<ApplicationTopology>,
+        placement: Placement,
+    ) -> Ticket {
+        let ticket = Arc::new(TicketInner::default());
+        self.push(Job::Release { topology, placement, ticket: Arc::clone(&ticket) });
+        Ticket(ticket)
+    }
+
+    fn push(&self, job: Job) {
+        lock_unpoisoned(&self.shared.queue).jobs.push_back(job);
+        self.shared.cv.notify_one();
+    }
+}
+
+/// What a [`Ticket`] resolves to.
+#[derive(Debug)]
+pub enum ServiceResponse {
+    /// The placement committed (durably, with [`ServiceConfig::durable_acks`]).
+    Placed(ServiceOutcome),
+    /// The release applied at commit sequence `seq`.
+    Released {
+        /// The release's position in the commit order.
+        seq: u64,
+    },
+    /// The request was rejected against current books.
+    Failed(PlacementError),
+}
+
+#[derive(Default)]
+struct TicketInner {
+    slot: Mutex<Option<(ServiceResponse, Instant)>>,
+    cv: Condvar,
+}
+
+fn deliver(ticket: &TicketInner, response: ServiceResponse) {
+    *lock_unpoisoned(&ticket.slot) = Some((response, Instant::now()));
+    ticket.cv.notify_all();
+}
+
+/// A pending response from [`ServiceHandle::submit`] /
+/// [`ServiceHandle::submit_release`].
+pub struct Ticket(Arc<TicketInner>);
+
+impl Ticket {
+    /// Blocks until the job resolves.
+    #[must_use]
+    pub fn wait(self) -> ServiceResponse {
+        self.wait_timed().0
+    }
+
+    /// Like [`wait`](Self::wait), also returning the instant the
+    /// response was *delivered* (not observed) — what latency
+    /// percentiles should measure when tickets are drained late.
+    #[must_use]
+    pub fn wait_timed(self) -> (ServiceResponse, Instant) {
+        let mut slot = lock_unpoisoned(&self.0.slot);
+        loop {
+            if let Some(resolved) = slot.take() {
+                return resolved;
+            }
+            slot = match self.0.cv.wait(slot) {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Algorithm;
+    use crate::validate::verify_placement;
+    use crate::wal::{self, Wal, WalOptions};
+    use ostro_datacenter::InfrastructureBuilder;
+    use ostro_model::{Bandwidth, Resources, TopologyBuilder};
+
+    fn infra_flat(racks: usize, hosts: usize) -> Infrastructure {
+        InfrastructureBuilder::flat(
+            "dc",
+            racks,
+            hosts,
+            Resources::new(16, 32_768, 1_000),
+            Bandwidth::from_gbps(10),
+            Bandwidth::from_gbps(100),
+        )
+        .build()
+        .unwrap()
+    }
+
+    fn pair_app(name: &str, vcpus: u32) -> ApplicationTopology {
+        let mut b = TopologyBuilder::new(name);
+        let x = b.vm("x", vcpus, 2_048).unwrap();
+        let y = b.vm("y", vcpus, 2_048).unwrap();
+        b.link(x, y, Bandwidth::from_mbps(150)).unwrap();
+        b.build().unwrap()
+    }
+
+    fn hub_app(name: &str) -> ApplicationTopology {
+        let mut b = TopologyBuilder::new(name);
+        let hub = b.vm("hub", 4, 8_192).unwrap();
+        for i in 0..3 {
+            let w = b.vm(format!("w{i}"), 2, 2_048).unwrap();
+            b.link(hub, w, Bandwidth::from_mbps(100 + 50 * i as u64)).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn request() -> PlacementRequest {
+        PlacementRequest { algorithm: Algorithm::Greedy, ..PlacementRequest::default() }
+    }
+
+    /// Replays committed decisions in commit-sequence order over the
+    /// base state, verifying each was feasible at its commit point,
+    /// and asserts the fold equals `final_state` — the service's
+    /// linearizability contract.
+    fn assert_linearizable(
+        infra: &Infrastructure,
+        base: &CapacityState,
+        mut events: Vec<(u64, ApplicationTopology, Option<Placement>)>,
+        final_state: &CapacityState,
+    ) {
+        events.sort_by_key(|(seq, _, _)| *seq);
+        let scheduler = Scheduler::new(infra);
+        let mut state = base.clone();
+        let mut last_seq = 0;
+        for (seq, topology, placement) in &events {
+            assert!(*seq > last_seq, "commit sequence numbers must be strictly increasing");
+            last_seq = *seq;
+            match placement {
+                Some(p) => {
+                    let violations = verify_placement(topology, infra, &state, p).unwrap();
+                    assert!(
+                        violations.is_empty(),
+                        "decision at seq {seq} infeasible at its commit point: {violations:?}"
+                    );
+                    scheduler.commit(topology, p, &mut state).unwrap();
+                }
+                None => {
+                    // A release event: placement is carried in the
+                    // topology slot's paired entry; handled by caller.
+                    unreachable!("release events carry placements");
+                }
+            }
+        }
+        assert_eq!(&state, final_state, "serial replay in commit order diverged from the books");
+    }
+
+    /// With one planner and batch size 1 the service path must be
+    /// decision-identical to the serial warm session.
+    #[test]
+    fn single_planner_service_matches_serial_session() {
+        let infra = infra_flat(2, 4);
+        let shapes = [hub_app("a"), pair_app("b", 2), hub_app("c"), pair_app("d", 4), hub_app("e")];
+        let req = request();
+
+        // Serial warm session, with the same forced planning knobs.
+        let serial_req = PlacementService::planning_request(&req);
+        let mut session = SchedulerSession::new(&infra);
+        let mut serial: Vec<Placement> = Vec::new();
+        for shape in &shapes {
+            let outcome = session.place(shape, &serial_req).unwrap();
+            session.commit(shape, &outcome.placement).unwrap();
+            serial.push(outcome.placement);
+        }
+        session.release(&shapes[1], &serial[1]).unwrap();
+        let outcome = session.place(&shapes[1], &serial_req).unwrap();
+        session.commit(&shapes[1], &outcome.placement).unwrap();
+        let serial_replaced = outcome.placement.clone();
+        let serial_state = session.into_state();
+
+        // The same schedule through the service pipeline.
+        let config = ServiceConfig { planners: 1, batch: 1, ..ServiceConfig::default() };
+        let service = PlacementService::new(SchedulerSession::new(&infra), config);
+        let mut placed: Vec<Placement> = Vec::new();
+        for shape in &shapes {
+            let outcome = service.place_blocking(shape, &req).unwrap();
+            assert_eq!(outcome.outcome.stats.commit_conflicts, 0);
+            placed.push(outcome.outcome.placement.clone());
+        }
+        service.release_blocking(&shapes[1], &placed[1]).unwrap();
+        let replaced = service.place_blocking(&shapes[1], &req).unwrap();
+
+        assert_eq!(placed, serial, "service decisions diverged from serial session");
+        assert_eq!(replaced.outcome.placement, serial_replaced);
+        assert_eq!(service.into_session().into_state(), serial_state);
+    }
+
+    /// The linearizability property: N concurrent requests committed
+    /// through the service produce books identical to a serial replay
+    /// of the committed decisions in commit-sequence order, each
+    /// feasible at its commit point.
+    #[test]
+    fn concurrent_commits_linearize() {
+        let infra = infra_flat(4, 8);
+        let base = CapacityState::new(&infra);
+        let req = request();
+        let shapes: Vec<Arc<ApplicationTopology>> = (0..4)
+            .map(|i| {
+                Arc::new(if i % 2 == 0 {
+                    hub_app(&format!("hub{i}"))
+                } else {
+                    pair_app(&format!("pair{i}"), 2 + i as u32)
+                })
+            })
+            .collect();
+        let config =
+            ServiceConfig { planners: 4, batch: 2, max_retries: 2, ..ServiceConfig::default() };
+        let service =
+            PlacementService::new(SchedulerSession::with_state(&infra, base.clone()), config);
+
+        let arrivals = 24usize;
+        let responses: Vec<(usize, ServiceResponse)> = service.serve(|handle| {
+            let tickets: Vec<(usize, Ticket)> = (0..arrivals)
+                .map(|i| (i, handle.submit(Arc::clone(&shapes[i % shapes.len()]), req.clone())))
+                .collect();
+            tickets.into_iter().map(|(i, t)| (i, t.wait())).collect()
+        });
+
+        let mut events: Vec<(u64, ApplicationTopology, Option<Placement>)> = Vec::new();
+        let mut committed = 0;
+        for (i, response) in responses {
+            match response {
+                ServiceResponse::Placed(outcome) => {
+                    committed += 1;
+                    events.push((
+                        outcome.seq,
+                        (*shapes[i % shapes.len()]).clone(),
+                        Some(outcome.outcome.placement),
+                    ));
+                }
+                ServiceResponse::Failed(_) => {}
+                ServiceResponse::Released { .. } => panic!("no releases submitted"),
+            }
+        }
+        assert!(committed >= arrivals / 2, "too many rejections: {committed}/{arrivals}");
+        let final_state = service.into_session().into_state();
+        assert_linearizable(&infra, &base, events, &final_state);
+    }
+
+    /// A deterministic forced conflict in strict mode: plan against a
+    /// snapshot, let a competing commit touch the planned hosts, and
+    /// watch validation reject the stale plan; then run the full retry
+    /// loop from the same stale snapshot and watch it re-plan once and
+    /// commit.
+    #[test]
+    fn forced_conflict_is_detected_and_retried() {
+        let infra = infra_flat(1, 2);
+        let req = request();
+        let config = ServiceConfig { admit_stale: false, ..ServiceConfig::default() };
+        let service = PlacementService::new(SchedulerSession::new(&infra), config);
+
+        // Plan A against the initial snapshot, then commit B — a tiny
+        // DC guarantees host-set overlap.
+        let stale = service.snapshot();
+        let app_a = pair_app("a", 2);
+        let planned = service.plan(&app_a, &req, &stale).unwrap();
+        let app_b = pair_app("b", 2);
+        service.place_blocking(&app_b, &req).unwrap();
+
+        match service.try_commit(&app_a, &planned).unwrap() {
+            CommitAttempt::Conflict { host } => {
+                assert!(planned.hosts().contains(&host), "conflict must name a planned host");
+            }
+            CommitAttempt::Committed(_) => panic!("stale plan passed validation"),
+        }
+        assert_eq!(service.stats().commit_conflicts, 1);
+
+        // The loop from the same stale snapshot: one conflict, one
+        // re-plan, then commit.
+        let outcome = service.place_from(&app_a, &req, stale, 0, 0).unwrap();
+        assert_eq!(outcome.outcome.stats.commit_conflicts, 1);
+        assert_eq!(outcome.outcome.stats.replans, 1);
+        let stats = service.stats();
+        assert_eq!(stats.commit_conflicts, 2);
+        assert_eq!(stats.replans, 1);
+        assert_eq!(stats.serialized_fallbacks, 0);
+        assert_eq!(stats.committed, 2);
+    }
+
+    /// With a zero retry budget a conflicted request goes straight to
+    /// the serialized fallback — and still commits.
+    #[test]
+    fn exhausted_retry_budget_falls_back_to_serialized_planning() {
+        let infra = infra_flat(1, 2);
+        let req = request();
+        let config =
+            ServiceConfig { max_retries: 0, admit_stale: false, ..ServiceConfig::default() };
+        let service = PlacementService::new(SchedulerSession::new(&infra), config);
+
+        let stale = service.snapshot();
+        service.place_blocking(&pair_app("winner", 2), &req).unwrap();
+        let outcome = service.place_from(&pair_app("loser", 2), &req, stale, 0, 0).unwrap();
+        assert_eq!(outcome.outcome.stats.commit_conflicts, 1);
+        let stats = service.stats();
+        assert_eq!(stats.serialized_fallbacks, 1);
+        assert_eq!(stats.committed, 2);
+    }
+
+    /// The batch path flags within-batch host-set overlap up front;
+    /// with stale admission the overlapping member re-validates against
+    /// the live books under the same lock and commits without a
+    /// re-plan, with the histogram recording the batch size.
+    #[test]
+    fn batch_overlap_detected_up_front() {
+        let infra = infra_flat(1, 2);
+        let req = request();
+        let config = ServiceConfig { planners: 1, batch: 4, ..ServiceConfig::default() };
+        let service = PlacementService::new(SchedulerSession::new(&infra), config);
+
+        let a = Arc::new(pair_app("a", 2));
+        let b = Arc::new(pair_app("b", 2));
+        let ta = Arc::new(TicketInner::default());
+        let tb = Arc::new(TicketInner::default());
+        service.process_batch(vec![
+            Job::Place { topology: Arc::clone(&a), request: req.clone(), ticket: Arc::clone(&ta) },
+            Job::Place { topology: Arc::clone(&b), request: req.clone(), ticket: Arc::clone(&tb) },
+        ]);
+        let ra = Ticket(ta).wait();
+        let rb = Ticket(tb).wait();
+        assert!(matches!(ra, ServiceResponse::Placed(_)), "first member must commit: {ra:?}");
+        assert!(matches!(rb, ServiceResponse::Placed(_)), "overlap member must commit: {rb:?}");
+        let stats = service.stats();
+        assert_eq!(stats.overlap_conflicts, 1, "overlap must be caught before the lock");
+        assert_eq!(stats.stale_admissions, 1, "the books still fit both pairs");
+        assert_eq!(stats.commit_conflicts, 0);
+        assert_eq!(stats.replans, 0);
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.batch_sizes, vec![0, 0, 1]);
+        assert_eq!(stats.committed, 2);
+    }
+
+    /// Strict mode sends the within-batch overlap member to the retry
+    /// path instead, where it re-plans and commits.
+    #[test]
+    fn strict_batch_overlap_goes_to_retry_path() {
+        let infra = infra_flat(1, 2);
+        let req = request();
+        let config =
+            ServiceConfig { planners: 1, batch: 4, admit_stale: false, ..ServiceConfig::default() };
+        let service = PlacementService::new(SchedulerSession::new(&infra), config);
+
+        let a = Arc::new(pair_app("a", 2));
+        let b = Arc::new(pair_app("b", 2));
+        let ta = Arc::new(TicketInner::default());
+        let tb = Arc::new(TicketInner::default());
+        service.process_batch(vec![
+            Job::Place { topology: Arc::clone(&a), request: req.clone(), ticket: Arc::clone(&ta) },
+            Job::Place { topology: Arc::clone(&b), request: req.clone(), ticket: Arc::clone(&tb) },
+        ]);
+        assert!(matches!(Ticket(ta).wait(), ServiceResponse::Placed(_)));
+        assert!(matches!(Ticket(tb).wait(), ServiceResponse::Placed(_)));
+        let stats = service.stats();
+        assert_eq!(stats.overlap_conflicts, 1);
+        assert_eq!(stats.commit_conflicts, 1, "strict mode turns the overlap into a conflict");
+        assert_eq!(stats.replans, 1);
+        assert_eq!(stats.stale_admissions, 0);
+        assert_eq!(stats.committed, 2);
+    }
+
+    /// Stale admission end-to-end: a plan whose snapshot went stale
+    /// commits without re-planning when the live books still admit it.
+    #[test]
+    fn stale_plan_admitted_when_books_still_fit() {
+        let infra = infra_flat(1, 2);
+        let req = request();
+        let service =
+            PlacementService::new(SchedulerSession::new(&infra), ServiceConfig::default());
+
+        let stale = service.snapshot();
+        let app_a = pair_app("a", 2);
+        let planned = service.plan(&app_a, &req, &stale).unwrap();
+        service.place_blocking(&pair_app("b", 2), &req).unwrap();
+
+        match service.try_commit(&app_a, &planned).unwrap() {
+            CommitAttempt::Committed(outcome) => assert_eq!(outcome.seq, 2),
+            CommitAttempt::Conflict { .. } => panic!("books still fit — must admit stale plan"),
+        }
+        let stats = service.stats();
+        assert_eq!(stats.stale_admissions, 1);
+        assert_eq!(stats.commit_conflicts, 0);
+        assert_eq!(stats.committed, 2);
+    }
+
+    /// Stale admission still conflicts when the racing commit actually
+    /// consumed the capacity the plan relied on — and the retry loop
+    /// then rejects against current books if nothing fits.
+    #[test]
+    fn stale_plan_conflicts_when_capacity_moved() {
+        // 9-vcpu VMs cannot co-locate on a 16-vcpu host, so each pair
+        // spreads 9+9 across both hosts; after one commits, the other
+        // genuinely no longer fits anywhere.
+        let infra = infra_flat(1, 2);
+        let req = request();
+        let service =
+            PlacementService::new(SchedulerSession::new(&infra), ServiceConfig::default());
+
+        let stale = service.snapshot();
+        let loser = pair_app("loser", 9);
+        service.place_blocking(&pair_app("winner", 9), &req).unwrap();
+        let err = service.place_from(&loser, &req, stale, 0, 0).unwrap_err();
+        let _ = err;
+        let stats = service.stats();
+        assert_eq!(stats.commit_conflicts, 1, "stale commit against full books must conflict");
+        assert_eq!(stats.replans, 1);
+        assert_eq!(stats.rejected, 1, "re-plan against current books finds nothing");
+        assert_eq!(stats.stale_admissions, 0);
+        assert_eq!(stats.committed, 1);
+    }
+
+    /// Group commit keeps acknowledged commits durable: everything the
+    /// service acknowledged is recoverable from the WAL alone after an
+    /// abrupt stop (no checkpoint, no graceful shutdown).
+    #[test]
+    fn acknowledged_commits_survive_a_crash() {
+        let dir = std::env::temp_dir().join(format!("ostro-service-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let infra = infra_flat(2, 4);
+        let req = request();
+        let (journal, _recovery) =
+            Wal::open(&dir, &infra, WalOptions { snapshot_every: 0, ..WalOptions::default() })
+                .unwrap();
+        let mut session = SchedulerSession::new(&infra);
+        session.attach_wal(journal);
+        let service = PlacementService::new(session, ServiceConfig::default());
+
+        let shapes = [hub_app("a"), pair_app("b", 2), hub_app("c")];
+        let mut placed = Vec::new();
+        for shape in &shapes {
+            placed.push(service.place_blocking(shape, &req).unwrap());
+        }
+        service.release_blocking(&shapes[1], &placed[1].outcome.placement).unwrap();
+        let live = service.into_session().into_state();
+
+        // "Crash": the Wal is simply dropped with the session — no
+        // checkpoint. Recovery must reproduce every acknowledged
+        // mutation.
+        let recovered = wal::recover(&dir, &infra).unwrap();
+        assert_eq!(recovered.state, live, "recovered books diverged from acknowledged commits");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Sanity for the serve front-end: arrivals and departures mixed
+    /// through the queue, every ticket resolves, and the books balance
+    /// back to base after all tenants depart.
+    #[test]
+    fn serve_roundtrip_releases_everything() {
+        let infra = infra_flat(2, 4);
+        let base = CapacityState::new(&infra);
+        let req = request();
+        let config = ServiceConfig { planners: 2, batch: 3, ..ServiceConfig::default() };
+        let service =
+            PlacementService::new(SchedulerSession::with_state(&infra, base.clone()), config);
+        let shapes: Vec<Arc<ApplicationTopology>> =
+            (0..3).map(|i| Arc::new(pair_app(&format!("t{i}"), 2))).collect();
+
+        service.serve(|handle| {
+            let tickets: Vec<(usize, Ticket)> = (0..6)
+                .map(|i| (i % 3, handle.submit(Arc::clone(&shapes[i % 3]), req.clone())))
+                .collect();
+            let mut live = Vec::new();
+            for (shape, ticket) in tickets {
+                match ticket.wait() {
+                    ServiceResponse::Placed(outcome) => {
+                        live.push((shape, outcome.outcome.placement))
+                    }
+                    ServiceResponse::Failed(e) => panic!("placement failed: {e}"),
+                    ServiceResponse::Released { .. } => unreachable!(),
+                }
+            }
+            let releases: Vec<Ticket> = live
+                .into_iter()
+                .map(|(shape, placement)| {
+                    handle.submit_release(Arc::clone(&shapes[shape]), placement)
+                })
+                .collect();
+            for ticket in releases {
+                assert!(matches!(ticket.wait(), ServiceResponse::Released { .. }));
+            }
+        });
+        let stats = service.stats();
+        assert_eq!(stats.committed, 6);
+        assert_eq!(stats.released, 6);
+        assert_eq!(service.into_session().into_state(), base);
+    }
+}

@@ -31,7 +31,7 @@
 //!
 //! [`lower_bound_mbps`]: crate::heuristic::lower_bound_mbps
 
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use ostro_datacenter::{
     CapacityError, CapacityState, CapacityTable, FxHashMap, HostId, Infrastructure,
@@ -157,8 +157,12 @@ pub(crate) struct SessionShared {
     /// re-resolved from the journal. Diagnostics and tests only — the
     /// cache keys are value-based and never read these.
     pub(crate) epochs: Vec<u64>,
-    /// The cross-request bound cache.
-    pub(crate) cache: Mutex<SessionCache>,
+    /// The cross-request bound cache. Behind an [`Arc`] so epoch
+    /// snapshots ([`clone_for_snapshot`](Self::clone_for_snapshot))
+    /// share the *same* cache with the live session: the keys are pure
+    /// values (see the module docs), so an entry written while planning
+    /// against one snapshot is bit-exact for every other state too.
+    pub(crate) cache: Arc<Mutex<SessionCache>>,
     /// The persistent scoring pool, created lazily on the first request
     /// large enough to engage it and reused (workers, scratch buffers
     /// and all) for the rest of the session's life.
@@ -187,9 +191,25 @@ impl SessionShared {
         SessionShared {
             epochs: vec![0; summaries.len()],
             summaries,
-            cache: Mutex::new(SessionCache::default()),
+            cache: Arc::new(Mutex::new(SessionCache::default())),
             pool: OnceLock::new(),
             table: CapacityTable::new(infra, state),
+        }
+    }
+
+    /// A frozen copy for an epoch snapshot: summaries, epochs, and the
+    /// capacity-table columns are cloned (they describe one specific
+    /// state), the bound cache is *shared* (its keys are state-
+    /// independent values), and the scoring pool starts empty — each
+    /// concurrent planner must bring its own workers, a pool serves one
+    /// search at a time.
+    pub(crate) fn clone_for_snapshot(&self) -> SessionShared {
+        SessionShared {
+            summaries: self.summaries.clone(),
+            epochs: self.epochs.clone(),
+            cache: Arc::clone(&self.cache),
+            pool: OnceLock::new(),
+            table: self.table.clone(),
         }
     }
 }
@@ -416,6 +436,26 @@ impl<'a> SchedulerSession<'a> {
         self.scheduler
     }
 
+    /// The shared half of the session (summaries, epochs, bound cache,
+    /// capacity table) — what an epoch snapshot clones.
+    pub(crate) fn shared(&self) -> &SessionShared {
+        &self.shared
+    }
+
+    /// Fsyncs the journal now (the service's group-commit point: one
+    /// sync covers every record appended since the last). Fail-stop
+    /// like [`journal`](Self::journal): a sync error is recorded in
+    /// [`wal_error`](Self::wal_error) and journaling stops.
+    pub(crate) fn sync_wal(&mut self) {
+        if self.wal_error.is_some() {
+            return;
+        }
+        let Some(w) = self.wal.as_mut() else { return };
+        if let Err(e) = w.sync() {
+            self.wal_error = Some(e);
+        }
+    }
+
     /// The infrastructure this session schedules onto.
     #[must_use]
     pub fn infrastructure(&self) -> &'a Infrastructure {
@@ -460,7 +500,7 @@ impl<'a> SchedulerSession<'a> {
     /// capacity-table columns: exactly the journaled hosts are
     /// re-resolved from the live state; everything else keeps its
     /// summary (and therefore its cache keys) untouched.
-    fn refresh(&mut self) -> u64 {
+    pub(crate) fn refresh(&mut self) -> u64 {
         let drained = self.dirty.len() as u64;
         for host in self.dirty.drain(..) {
             let free = self.state.available(host);

@@ -15,6 +15,8 @@
 //! * [`faults`] — seeded fault-injection plans (host crashes, transient
 //!   launch failures, stale-capacity races) for the churn simulator's
 //!   failure-aware deployment pipeline.
+//! * [`stream`] — deterministic concurrent arrival/departure schedules
+//!   for the placement service benchmark and `ostro serve`.
 //! * [`runner`] — algorithm comparison harness with seeded averaging.
 //! * [`report`] — fixed-width text tables matching the paper's layout.
 //!
@@ -47,6 +49,7 @@ pub mod report;
 pub mod requirements;
 pub mod runner;
 pub mod scenarios;
+pub mod stream;
 pub mod workloads;
 
 pub use availability::AvailabilityProfile;
@@ -54,3 +57,4 @@ pub use churn::{run_churn, ChurnConfig, ChurnReport, FaultStats, RecoveryConfig}
 pub use faults::{FaultConfig, FaultPlan, PlanProbe};
 pub use requirements::{RequirementClass, RequirementMix};
 pub use runner::{run_comparison, ComparisonRow, SimError};
+pub use stream::{arrival_stream, StreamConfig, StreamEvent, StreamPlan};

@@ -1,0 +1,192 @@
+//! Concurrent arrival/departure stream generation for the placement
+//! service.
+//!
+//! The churn simulator ([`run_churn`](crate::run_churn)) drives one
+//! scheduler through a tick loop; the *service* benchmark and `ostro
+//! serve` instead need a pre-materialized schedule of tenant arrivals
+//! and departures that can be submitted concurrently — many requests
+//! in flight at once, departures racing arrivals — while staying
+//! deterministic for a given seed so two runs (or a serve run and a
+//! serial replay) see the same offered load.
+//!
+//! [`arrival_stream`] produces that schedule: a fixed shape catalog
+//! (the same recurring-template regime as the stream benchmark) plus
+//! an event list where each arrival may be followed by departures of
+//! uniformly-chosen still-resident tenants. Departures reference the
+//! *arrival index* — the consumer resolves it to a placement once the
+//! arrival's own request has been acknowledged, which is exactly the
+//! dependency structure a real tenant lifecycle has (you can only
+//! tear down what was stood up).
+
+use ostro_model::{ApplicationTopology, ModelError};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::requirements::RequirementMix;
+use crate::workloads::{mesh, multi_tier};
+
+/// Knobs for one generated stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamConfig {
+    /// Tenant arrivals in the stream.
+    pub requests: usize,
+    /// After each arrival, the probability of drawing a departure
+    /// (repeated until the draw fails, so bursts of departures occur);
+    /// `0.0` is arrivals-only, values near `1.0` churn hard.
+    pub depart_prob: f64,
+    /// Seed for both the shape catalog and the event draws.
+    pub seed: u64,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig { requests: 64, depart_prob: 0.3, seed: 0x5EED_57AE }
+    }
+}
+
+/// One scheduled event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamEvent {
+    /// Tenant `arrival` (its ordinal among arrivals) requests
+    /// placement of `shapes[shape]`.
+    Arrive {
+        /// The arrival's ordinal, `0..requests`.
+        arrival: usize,
+        /// Index into [`StreamPlan::shapes`].
+        shape: usize,
+    },
+    /// The tenant admitted as arrival `arrival` departs. Never emitted
+    /// before that tenant's own [`StreamEvent::Arrive`]; a consumer
+    /// whose arrival was *rejected* simply skips the departure.
+    Depart {
+        /// The departing tenant's arrival ordinal.
+        arrival: usize,
+    },
+}
+
+/// A deterministic offered-load schedule: the shape catalog and the
+/// interleaved arrival/departure events.
+#[derive(Debug)]
+pub struct StreamPlan {
+    /// The application-topology catalog arrivals draw from. The same
+    /// values recur across the stream — the recurring-template regime
+    /// a long-running service sees.
+    pub shapes: Vec<ApplicationTopology>,
+    /// The schedule, in submission order.
+    pub events: Vec<StreamEvent>,
+    /// The shape index of each arrival: `shape_of[a]` for arrival `a`.
+    pub shape_of: Vec<usize>,
+}
+
+impl StreamPlan {
+    /// Arrivals in the plan.
+    #[must_use]
+    pub fn arrivals(&self) -> usize {
+        self.shape_of.len()
+    }
+
+    /// Departures in the plan.
+    #[must_use]
+    pub fn departures(&self) -> usize {
+        self.events.len() - self.arrivals()
+    }
+}
+
+/// Builds the fixed shape catalog for `seed`: two multi-tier stacks,
+/// a mesh, and a small pair — enough size variance that concurrent
+/// plans touch overlapping host sets and the service's conflict path
+/// actually runs.
+///
+/// # Errors
+///
+/// Propagates [`ModelError`] from workload construction (only possible
+/// if the fixed sizes here are made invalid).
+pub fn shape_catalog(seed: u64) -> Result<Vec<ApplicationTopology>, ModelError> {
+    let mix = RequirementMix::homogeneous();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    Ok(vec![
+        multi_tier(25, &mix, &mut rng)?,
+        mesh(5, &mix, &mut rng)?,
+        multi_tier(50, &mix, &mut rng)?,
+        mesh(3, &mix, &mut rng)?,
+    ])
+}
+
+/// Generates a deterministic arrival/departure schedule.
+///
+/// Each arrival draws its shape uniformly; after it, departures of
+/// uniformly-chosen resident tenants are drawn while a
+/// [`StreamConfig::depart_prob`] coin keeps landing heads. Tenants
+/// still resident when arrivals run out stay resident — sustained
+/// load, not a drain-to-empty cycle.
+///
+/// # Errors
+///
+/// Propagates [`ModelError`] from [`shape_catalog`].
+pub fn arrival_stream(config: &StreamConfig) -> Result<StreamPlan, ModelError> {
+    let shapes = shape_catalog(config.seed ^ 0x057A_EA44)?;
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut events = Vec::with_capacity(config.requests * 2);
+    let mut shape_of = Vec::with_capacity(config.requests);
+    let mut resident: Vec<usize> = Vec::new();
+    for arrival in 0..config.requests {
+        let shape = rng.gen_range(0..shapes.len());
+        shape_of.push(shape);
+        events.push(StreamEvent::Arrive { arrival, shape });
+        resident.push(arrival);
+        while !resident.is_empty() && config.depart_prob > 0.0 && rng.gen_bool(config.depart_prob) {
+            let k = rng.gen_range(0..resident.len());
+            let departing = resident.swap_remove(k);
+            events.push(StreamEvent::Depart { arrival: departing });
+        }
+    }
+    Ok(StreamPlan { shapes, events, shape_of })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let config = StreamConfig { requests: 40, depart_prob: 0.4, seed: 7 };
+        let a = arrival_stream(&config).unwrap();
+        let b = arrival_stream(&config).unwrap();
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.shape_of, b.shape_of);
+        assert_eq!(a.shapes, b.shapes);
+    }
+
+    #[test]
+    fn departures_follow_their_arrivals_exactly_once() {
+        let config = StreamConfig { requests: 60, depart_prob: 0.5, seed: 11 };
+        let plan = arrival_stream(&config).unwrap();
+        assert_eq!(plan.arrivals(), 60);
+        let mut arrived = vec![false; plan.arrivals()];
+        let mut departed = vec![false; plan.arrivals()];
+        for event in &plan.events {
+            match *event {
+                StreamEvent::Arrive { arrival, shape } => {
+                    assert!(!arrived[arrival]);
+                    arrived[arrival] = true;
+                    assert!(shape < plan.shapes.len());
+                    assert_eq!(plan.shape_of[arrival], shape);
+                }
+                StreamEvent::Depart { arrival } => {
+                    assert!(arrived[arrival], "departure before arrival {arrival}");
+                    assert!(!departed[arrival], "double departure of {arrival}");
+                    departed[arrival] = true;
+                }
+            }
+        }
+        assert_eq!(plan.departures(), departed.iter().filter(|&&d| d).count());
+    }
+
+    #[test]
+    fn zero_depart_prob_is_arrivals_only() {
+        let plan =
+            arrival_stream(&StreamConfig { requests: 10, depart_prob: 0.0, seed: 3 }).unwrap();
+        assert_eq!(plan.events.len(), 10);
+        assert_eq!(plan.departures(), 0);
+    }
+}

@@ -75,6 +75,25 @@ strip_restart_fields() {
 }
 diff <(strip_restart_fields "$tmp/crash.json") \
      <(strip_restart_fields "$tmp/churn1.json")
+# Concurrent service smoke (64 hosts): plans batches against epoch-
+# stamped snapshots, commits optimistically, asserts the commit-order
+# replay reproduces the final books exactly, and runs a crash drill.
+# (Regenerating the full artifact — `cargo bench -p ostro-bench
+# --bench service` — additionally fails on a >10% req/s regression
+# against the checked-in BENCH_service.json on a comparable box.)
+cargo bench -p ostro-bench --bench service -- --smoke
+# Service-vs-serial decision digest through the CLI: with one planner
+# and batch size one the service degenerates to the serial path, so
+# the same seeded stream must reach the identical decision set (the
+# digest is order-independent and covers every placement/rejection).
+serve_stream() {
+  cargo run -q --release -p ostro-cli -- serve --infra "$tmp/infra.json" \
+    --requests 8 --depart-prob 0.4 --seed 7 "$@"
+}
+serve_stream --serial > "$tmp/serve-serial.json"
+serve_stream --planners 1 --batch 1 > "$tmp/serve-service.json"
+diff <(grep -o '"decision_digest": "[0-9a-f]*"' "$tmp/serve-serial.json") \
+     <(grep -o '"decision_digest": "[0-9a-f]*"' "$tmp/serve-service.json")
 # Recovery through the CLI: a journaled placement must be rebuildable
 # from its write-ahead log alone.
 cargo run -q --release -p ostro-cli -- place --infra "$tmp/infra.json" \
