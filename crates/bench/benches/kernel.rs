@@ -217,7 +217,7 @@ fn decision_digest() -> u64 {
     for (shape, infra) in [("flat", flat_infra(&SMOKE)), ("three_level", three_level_infra(&SMOKE))]
     {
         // Seeded background load so candidate masks have real structure.
-        let mut rng = SmallRng::seed_from_u64(0xD16E_57 ^ shape.len() as u64);
+        let mut rng = SmallRng::seed_from_u64(0x00D1_6E57 ^ shape.len() as u64);
         let mut base = CapacityState::new(&infra);
         for _ in 0..infra.host_count() / 2 {
             let host = HostId::from_index(rng.gen_range(0..infra.host_count() as u32));

@@ -384,6 +384,7 @@ fn main() {
         requests: scale.requests,
         depart_prob: 0.3,
         seed: 0x5EED_57AE,
+        burst: 0,
     })
     .expect("valid arrival stream");
     let request = PlacementRequest { algorithm: Algorithm::Greedy, ..PlacementRequest::default() };

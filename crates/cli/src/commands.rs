@@ -6,9 +6,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ostro_core::{
-    verify_placement, Algorithm, ObjectiveWeights, Placement, PlacementRequest, PlacementService,
-    Scheduler, SchedulerSession, SearchStats, ServiceConfig, ServiceResponse, ServiceStats, Ticket,
-    Wal, WalOptions,
+    verify_placement, Algorithm, DegradePolicy, ObjectiveWeights, Placement, PlacementError,
+    PlacementRequest, PlacementService, Scheduler, SchedulerSession, SearchStats, ServiceConfig,
+    ServiceResponse, ServiceStats, Ticket, Wal, WalOptions,
 };
 use ostro_datacenter::{CapacityState, HostId, InfraSpec, Infrastructure};
 use ostro_heat::{annotate_template, extract_topology, HeatTemplate};
@@ -123,6 +123,20 @@ pub enum Command {
         batch: usize,
         /// Optimistic re-plans before a request serializes.
         retries: u32,
+        /// Ingress-queue bound; placements over it are shed at the
+        /// door with a typed `QueueFull` error (0 = unbounded).
+        queue_depth: usize,
+        /// Per-request admission deadline budget in milliseconds;
+        /// placements that waited longer in the queue are shed with a
+        /// typed `DeadlineExceeded` error (0 = no budget).
+        budget_ms: u64,
+        /// Enable load-aware degraded-mode planning: step the engine
+        /// ladder down (expansion caps, then greedy) as the ingress
+        /// queue deepens, with hysteresis on recovery.
+        degrade: bool,
+        /// Seed for a chaos fault plan (planner panics, latency
+        /// spikes, WAL faults) injected into the run; absent = none.
+        chaos_seed: Option<u64>,
         /// Bypass the service: replay the same stream through one warm
         /// session in event order (the baseline for the digest diff).
         serial: bool,
@@ -189,6 +203,7 @@ usage:
                  [--wal-dir <dir>] [--crash-at T1,T2,...]
   ostro serve    --infra <file> [--requests N] [--depart-prob X] [--seed N]
                  [--planners N] [--batch N] [--retries N] [--serial]
+                 [--queue-depth N] [--budget-ms N] [--degrade] [--chaos-seed N]
                  [--algorithm egc|egbw|eg|bastar|dbastar] [--deadline-ms N]
                  [--theta-bw X] [--theta-c X]
                  [--state <file>] [--wal-dir <dir>]
@@ -209,7 +224,7 @@ impl Command {
         while let Some(arg) = iter.next() {
             if let Some(name) = arg.strip_prefix("--") {
                 // Boolean switches take no value.
-                if matches!(name, "session" | "stats" | "serial") {
+                if matches!(name, "session" | "stats" | "serial" | "degrade") {
                     flags.insert(name.to_owned(), "true".to_owned());
                     continue;
                 }
@@ -358,6 +373,21 @@ impl Command {
                         .map(|v| parse_num(&v, "retries"))
                         .transpose()?
                         .unwrap_or(3) as u32,
+                    queue_depth: flags
+                        .remove("queue-depth")
+                        .map(|v| parse_num(&v, "queue-depth"))
+                        .transpose()?
+                        .unwrap_or(0) as usize,
+                    budget_ms: flags
+                        .remove("budget-ms")
+                        .map(|v| parse_num(&v, "budget-ms"))
+                        .transpose()?
+                        .unwrap_or(0),
+                    degrade: flags.remove("degrade").is_some(),
+                    chaos_seed: flags
+                        .remove("chaos-seed")
+                        .map(|v| parse_num(&v, "chaos-seed"))
+                        .transpose()?,
                     serial: flags.remove("serial").is_some(),
                     state: flags.remove("state"),
                     wal_dir: flags.remove("wal-dir"),
@@ -459,6 +489,10 @@ impl Command {
                 planners,
                 batch,
                 retries,
+                queue_depth,
+                budget_ms,
+                degrade,
+                chaos_seed,
                 serial,
                 state,
                 wal_dir,
@@ -472,6 +506,10 @@ impl Command {
                 planners: *planners,
                 batch: *batch,
                 retries: *retries,
+                queue_depth: *queue_depth,
+                budget_ms: *budget_ms,
+                degrade: *degrade,
+                chaos_seed: *chaos_seed,
                 serial: *serial,
                 state: state.as_deref(),
                 wal_dir: wal_dir.as_deref(),
@@ -784,6 +822,10 @@ struct ServeArgs<'a> {
     planners: usize,
     batch: usize,
     retries: u32,
+    queue_depth: usize,
+    budget_ms: u64,
+    degrade: bool,
+    chaos_seed: Option<u64>,
     serial: bool,
     state: Option<&'a str>,
     wal_dir: Option<&'a str>,
@@ -804,6 +846,14 @@ pub struct ServeReport {
     pub placed: usize,
     /// Arrivals the books could not fit.
     pub rejected: usize,
+    /// Arrivals shed by the robustness machinery: the bounded ingress
+    /// queue, the admission deadline budget, or a durability rollback.
+    #[serde(default)]
+    pub shed: usize,
+    /// Arrivals whose planning invocation panicked; the panic was
+    /// contained and surfaced as a typed error.
+    #[serde(default)]
+    pub panicked: usize,
     /// Tenants released back.
     pub released: usize,
     /// Offered arrivals over the driver's wall clock.
@@ -812,10 +862,23 @@ pub struct ServeReport {
     pub p50_ms: f64,
     /// Tail submit→acknowledge latency.
     pub p99_ms: f64,
-    /// Order-independent digest of the decision set — equal digests
-    /// mean every arrival got the same placement (or rejection). A
-    /// `--planners 1 --batch 1` service run must match `--serial`.
+    /// Order-independent digest of the *decided* set — arrivals that
+    /// were placed or genuinely rejected against the books. Equal
+    /// digests mean every decided arrival got the same placement (or
+    /// rejection). Shed and panicked arrivals are excluded (they fold
+    /// into [`shed_digest`](Self::shed_digest) instead) so a
+    /// `--planners 1 --batch 1` service run still matches `--serial`
+    /// when nothing was shed.
     pub decision_digest: String,
+    /// Order-independent digest of the shed/panicked set, tagged by
+    /// shed class — the overload counterpart of the decision digest.
+    #[serde(default)]
+    pub shed_digest: String,
+    /// The first journaling failure the run latched (durability was
+    /// degraded from that point on); surfaced loudly rather than
+    /// silently dropping acknowledged commits.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub wal_error: Option<String>,
     /// The service's cumulative counters (conflicts, stale admissions,
     /// re-plans, the batch-size histogram); absent in `--serial` mode.
     #[serde(default, skip_serializing_if = "Option::is_none")]
@@ -831,25 +894,68 @@ fn mix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
-/// Order-independent digest of the decision set: one mixed hash per
-/// arrival (its ordinal plus every node→host edge, or a rejection
-/// tag), XOR-folded so any submission interleaving that reaches the
-/// same per-arrival decisions reaches the same digest.
-fn decision_digest(placements: &[Option<Placement>]) -> u64 {
-    let mut digest = 0u64;
-    for (arrival, placement) in placements.iter().enumerate() {
-        let mut h = mix64(arrival as u64 ^ 0x9e37_79b9_7f4a_7c15);
-        match placement {
-            None => h = mix64(h ^ 0x0dec_1ded),
-            Some(p) => {
-                for (node, host) in p.assignments().iter().enumerate() {
-                    h = mix64(h ^ ((node as u64) << 32) ^ host.index() as u64);
-                }
-            }
-        }
-        digest ^= h;
+/// Tag folded into the decision digest for a genuine rejection (the
+/// value predates the shed digest — keeping it preserves digest
+/// compatibility with earlier serve reports).
+const REJECTED_TAG: u64 = 0x0dec_1ded;
+
+/// Shed-class tags folded into the shed digest, one per way the
+/// robustness machinery can refuse an arrival without deciding it.
+const SHED_QUEUE_TAG: u64 = 0x0dec_1ded;
+const SHED_DEADLINE_TAG: u64 = 0xdead_11fe;
+const SHED_PANIC_TAG: u64 = 0x009a_0a1c;
+const SHED_DURABILITY_TAG: u64 = 0xd15c_f011;
+
+/// How one arrival left the run: a committed placement, a genuine
+/// rejection against the books, or a shed (admission control, a
+/// contained panic, or a durability rollback — tagged by class).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Decision {
+    Placed,
+    Rejected,
+    Shed(u64),
+}
+
+/// Classifies a service failure: overload/fault outcomes are sheds
+/// (with their class tag); anything else is a real planning rejection.
+fn classify_failure(err: &PlacementError) -> Decision {
+    match err {
+        PlacementError::QueueFull { .. } => Decision::Shed(SHED_QUEUE_TAG),
+        PlacementError::DeadlineExceeded { .. } => Decision::Shed(SHED_DEADLINE_TAG),
+        PlacementError::PlannerPanic { .. } => Decision::Shed(SHED_PANIC_TAG),
+        PlacementError::Durability { .. } => Decision::Shed(SHED_DURABILITY_TAG),
+        _ => Decision::Rejected,
     }
-    digest
+}
+
+/// Order-independent digests of the run's outcome: one mixed hash per
+/// arrival (its ordinal plus every node→host edge, or a class tag),
+/// XOR-folded so any submission interleaving that reaches the same
+/// per-arrival outcomes reaches the same digests.
+///
+/// Returns `(decision_digest, shed_digest)`. Shed arrivals fold only
+/// into the shed digest, so the decision digest stays comparable
+/// between a `--serial` replay (which never sheds) and a service run.
+fn decision_digests(placements: &[Option<Placement>], decisions: &[Decision]) -> (u64, u64) {
+    let mut decided = 0u64;
+    let mut shed = 0u64;
+    for (arrival, decision) in decisions.iter().enumerate() {
+        let base = mix64(arrival as u64 ^ 0x9e37_79b9_7f4a_7c15);
+        match decision {
+            Decision::Placed => {
+                let mut h = base;
+                if let Some(p) = &placements[arrival] {
+                    for (node, host) in p.assignments().iter().enumerate() {
+                        h = mix64(h ^ ((node as u64) << 32) ^ host.index() as u64);
+                    }
+                }
+                decided ^= h;
+            }
+            Decision::Rejected => decided ^= mix64(base ^ REJECTED_TAG),
+            Decision::Shed(tag) => shed ^= mix64(base ^ tag),
+        }
+    }
+    (decided, shed)
 }
 
 /// Nearest-rank percentile over an ascending-sorted latency list.
@@ -868,6 +974,7 @@ fn serve(args: &ServeArgs) -> Result<String, CliError> {
         requests: args.requests,
         depart_prob: args.depart_prob,
         seed: args.seed,
+        burst: 0,
     })
     .map_err(ostro_sim::SimError::from)?;
     let shapes: Vec<Arc<ApplicationTopology>> = plan.shapes.iter().cloned().map(Arc::new).collect();
@@ -895,13 +1002,25 @@ fn serve(args: &ServeArgs) -> Result<String, CliError> {
         }
         None => SchedulerSession::with_state(&infra, state),
     };
+    let chaos = args.chaos_seed.map(|seed| {
+        ostro_sim::ChaosPlan::new(ostro_sim::ChaosConfig {
+            seed,
+            ..ostro_sim::ChaosConfig::default()
+        })
+    });
+    if let Some(chaos) = &chaos {
+        // No-op without `--wal-dir`; with one, journal writes draw
+        // injected faults (the serve path's durability drill).
+        session.set_wal_fault_hook(Some(chaos.wal_hook()));
+    }
 
     let arrivals = plan.arrivals();
     let mut placements: Vec<Option<Placement>> = vec![None; arrivals];
+    let mut decisions: Vec<Decision> = vec![Decision::Rejected; arrivals];
     let mut latencies: Vec<f64> = Vec::with_capacity(arrivals);
     let mut placed = 0usize;
-    let mut rejected = 0usize;
     let mut released = 0usize;
+    let wal_error;
     let mut service_stats = None;
     let start = Instant::now();
     if args.serial {
@@ -915,9 +1034,10 @@ fn serve(args: &ServeArgs) -> Result<String, CliError> {
                         Ok(outcome) => {
                             session.commit(&shapes[shape], &outcome.placement)?;
                             placements[arrival] = Some(outcome.placement);
+                            decisions[arrival] = Decision::Placed;
                             placed += 1;
                         }
-                        Err(_) => rejected += 1,
+                        Err(_) => decisions[arrival] = Decision::Rejected,
                     }
                 }
                 ostro_sim::StreamEvent::Depart { arrival } => {
@@ -928,26 +1048,33 @@ fn serve(args: &ServeArgs) -> Result<String, CliError> {
                 }
             }
         }
-        if let Some(e) = session.take_wal_error() {
-            return Err(e.into());
-        }
+        wal_error = session.take_wal_error().map(|e| e.to_string());
     } else {
         let config = ServiceConfig {
             planners: args.planners.max(1),
             batch: args.batch.max(1),
             max_retries: args.retries,
+            queue_depth: args.queue_depth,
+            deadline_ms: args.budget_ms,
+            degrade: DegradePolicy { enabled: args.degrade, ..DegradePolicy::default() },
             ..ServiceConfig::default()
         };
-        let service = PlacementService::new(session, config);
+        let mut service = PlacementService::new(session, config);
+        if let Some(chaos) = &chaos {
+            service.set_plan_hook(Some(chaos.plan_hook()));
+        }
         service.serve(|handle| {
             let mut pending: Vec<Option<(Ticket, Instant)>> = (0..arrivals).map(|_| None).collect();
             let mut release_tickets: Vec<Ticket> = Vec::new();
-            let resolve = |(ticket, t0): (Ticket, Instant)| -> (Option<Placement>, f64) {
+            let resolve = |(ticket, t0): (Ticket, Instant)| -> (Option<Placement>, Decision, f64) {
                 let (response, when) = ticket.wait_timed();
                 let ms = when.duration_since(t0).as_secs_f64() * 1e3;
                 match response {
-                    ServiceResponse::Placed(outcome) => (Some(outcome.outcome.placement), ms),
-                    _ => (None, ms),
+                    ServiceResponse::Placed(outcome) => {
+                        (Some(outcome.outcome.placement), Decision::Placed, ms)
+                    }
+                    ServiceResponse::Failed(err) => (None, classify_failure(&err), ms),
+                    ServiceResponse::Released { .. } => (None, Decision::Rejected, ms),
                 }
             };
             for event in &plan.events {
@@ -958,20 +1085,20 @@ fn serve(args: &ServeArgs) -> Result<String, CliError> {
                     }
                     ostro_sim::StreamEvent::Depart { arrival } => {
                         // A tenant can only be torn down once its own
-                        // admission is acknowledged; resolve it now.
+                        // admission is acknowledged; resolve it now. A
+                        // shed or rejected arrival has nothing to tear
+                        // down — the departure is skipped.
                         if let Some(pair) = pending[arrival].take() {
-                            let (placement, ms) = resolve(pair);
+                            let (placement, decision, ms) = resolve(pair);
                             latencies.push(ms);
-                            match placement {
-                                Some(placement) => {
-                                    placements[arrival] = Some(placement.clone());
-                                    placed += 1;
-                                    release_tickets.push(handle.submit_release(
-                                        Arc::clone(&shapes[plan.shape_of[arrival]]),
-                                        placement,
-                                    ));
-                                }
-                                None => rejected += 1,
+                            decisions[arrival] = decision;
+                            if let Some(placement) = placement {
+                                placements[arrival] = Some(placement.clone());
+                                placed += 1;
+                                release_tickets.push(handle.submit_release(
+                                    Arc::clone(&shapes[plan.shape_of[arrival]]),
+                                    placement,
+                                ));
                             }
                         }
                     }
@@ -979,14 +1106,12 @@ fn serve(args: &ServeArgs) -> Result<String, CliError> {
             }
             for arrival in 0..arrivals {
                 if let Some(pair) = pending[arrival].take() {
-                    let (placement, ms) = resolve(pair);
+                    let (placement, decision, ms) = resolve(pair);
                     latencies.push(ms);
-                    match placement {
-                        Some(placement) => {
-                            placements[arrival] = Some(placement);
-                            placed += 1;
-                        }
-                        None => rejected += 1,
+                    decisions[arrival] = decision;
+                    if let Some(placement) = placement {
+                        placements[arrival] = Some(placement);
+                        placed += 1;
                     }
                 }
             }
@@ -998,12 +1123,22 @@ fn serve(args: &ServeArgs) -> Result<String, CliError> {
         });
         service_stats = Some(service.stats());
         let mut session = service.into_session();
-        if let Some(e) = session.take_wal_error() {
-            return Err(e.into());
-        }
+        wal_error = session.take_wal_error().map(|e| e.to_string());
     }
     let elapsed = start.elapsed().as_secs_f64().max(1e-9);
     latencies.sort_by(f64::total_cmp);
+    let mut rejected = 0usize;
+    let mut shed = 0usize;
+    let mut panicked = 0usize;
+    for decision in &decisions {
+        match decision {
+            Decision::Placed => {}
+            Decision::Rejected => rejected += 1,
+            Decision::Shed(SHED_PANIC_TAG) => panicked += 1,
+            Decision::Shed(_) => shed += 1,
+        }
+    }
+    let (decided_digest, shed_digest) = decision_digests(&placements, &decisions);
     let report = ServeReport {
         mode: if args.serial { "serial" } else { "service" }.to_owned(),
         hosts: infra.host_count(),
@@ -1011,11 +1146,15 @@ fn serve(args: &ServeArgs) -> Result<String, CliError> {
         departures: plan.departures(),
         placed,
         rejected,
+        shed,
+        panicked,
         released,
         requests_per_sec: arrivals as f64 / elapsed,
         p50_ms: percentile(&latencies, 0.50),
         p99_ms: percentile(&latencies, 0.99),
-        decision_digest: format!("{:016x}", decision_digest(&placements)),
+        decision_digest: format!("{decided_digest:016x}"),
+        shed_digest: format!("{shed_digest:016x}"),
+        wal_error,
         service: service_stats,
     };
     Ok(serde_json::to_string_pretty(&report).expect("serializable") + "\n")
@@ -1501,7 +1640,8 @@ mod tests {
     fn parse_accepts_serve_invocation() {
         match Command::parse(argv(
             "serve --infra i.json --requests 12 --depart-prob 0.5 --seed 9 \
-             --planners 3 --batch 4 --retries 2 --serial",
+             --planners 3 --batch 4 --retries 2 --queue-depth 6 --budget-ms 250 \
+             --degrade --chaos-seed 17 --serial",
         ))
         .unwrap()
         {
@@ -1512,6 +1652,10 @@ mod tests {
                 planners,
                 batch,
                 retries,
+                queue_depth,
+                budget_ms,
+                degrade,
+                chaos_seed,
                 serial,
                 ..
             } => {
@@ -1521,7 +1665,20 @@ mod tests {
                 assert_eq!(planners, 3);
                 assert_eq!(batch, 4);
                 assert_eq!(retries, 2);
+                assert_eq!(queue_depth, 6);
+                assert_eq!(budget_ms, 250);
+                assert!(degrade, "--degrade is a boolean switch");
+                assert_eq!(chaos_seed, Some(17));
                 assert!(serial, "--serial is a boolean switch");
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        match Command::parse(argv("serve --infra i.json")).unwrap() {
+            Command::Serve { queue_depth, budget_ms, degrade, chaos_seed, .. } => {
+                assert_eq!(queue_depth, 0, "unbounded queue by default");
+                assert_eq!(budget_ms, 0, "no deadline budget by default");
+                assert!(!degrade);
+                assert_eq!(chaos_seed, None);
             }
             other => panic!("wrong command {other:?}"),
         }
@@ -1572,6 +1729,56 @@ mod tests {
         let doc = run(argv(&format!("recover --infra {infra} --wal-dir {wal}"))).unwrap();
         let doc: RecoveryDocument = serde_json::from_str(&doc).unwrap();
         assert!(!doc.truncated_tail);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_overload_sheds_with_typed_breakdown() {
+        let dir = tempdir("serve-shed");
+        let (infra, _) = write_examples(&dir);
+        let out = run(argv(&format!(
+            "serve --infra {infra} --requests 32 --depart-prob 0.0 --seed 5 \
+             --planners 1 --batch 1 --queue-depth 1 --degrade"
+        )))
+        .unwrap();
+        let report: ServeReport = serde_json::from_str(&out).unwrap();
+        assert_eq!(
+            report.placed + report.rejected + report.shed + report.panicked,
+            report.arrivals,
+            "every arrival resolves into exactly one bucket"
+        );
+        assert!(report.shed > 0, "queue depth 1 under a 32-request burst must shed");
+        assert_ne!(report.shed_digest, format!("{:016x}", 0u64), "sheds fold into the digest");
+        let stats = report.service.expect("service counters");
+        assert_eq!(
+            stats.shed_queue_full + stats.shed_deadline,
+            report.shed as u64,
+            "the report's shed bucket is the service's admission counters"
+        );
+        assert!(report.wal_error.is_none(), "no journal, no journal error");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_chaos_run_accounts_for_every_arrival() {
+        let dir = tempdir("serve-chaos");
+        let (infra, _) = write_examples(&dir);
+        let wal = dir.join("wal").to_str().unwrap().to_owned();
+        let out = run(argv(&format!(
+            "serve --infra {infra} --requests 10 --depart-prob 0.3 --seed 4 \
+             --planners 2 --batch 2 --chaos-seed 99 --wal-dir {wal}"
+        )))
+        .unwrap();
+        let report: ServeReport = serde_json::from_str(&out).unwrap();
+        assert_eq!(
+            report.placed + report.rejected + report.shed + report.panicked,
+            report.arrivals,
+            "chaos may shed or panic, but never lose an arrival"
+        );
+        // Whatever chaos injected, the journal still recovers; torn
+        // tails are truncated, never fatal.
+        let doc = run(argv(&format!("recover --infra {infra} --wal-dir {wal}"))).unwrap();
+        let _: RecoveryDocument = serde_json::from_str(&doc).unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }
 

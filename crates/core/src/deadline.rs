@@ -19,6 +19,20 @@ use crate::error::PlacementError;
 use crate::placement::SearchStats;
 use crate::search::{Ctx, Path};
 
+/// When a service job entered the ingress queue, on whichever clock
+/// the service runs its admission deadline budgets: real wall time, or
+/// — for deterministic overload tests and the chaos harness — the
+/// virtual submission-tick counter (the queue-level analogue of
+/// [`DeadlineClock::Tick`]: queue age becomes a pure function of the
+/// submission schedule, never of the machine).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum BudgetStamp {
+    /// Wall-clock admission time (the default).
+    Wall(Instant),
+    /// The service's submission-tick counter at admission.
+    Tick(u64),
+}
+
 /// The clock a [`DeadlinePolicy`] reads. Wall time by default; the
 /// virtual variant is a deterministic tick clock (the same simulated-
 /// tick idea as the deploy retry loop's backoff ticks): every poll

@@ -51,6 +51,33 @@ pub enum PlacementError {
     /// A capacity operation failed while committing or releasing a
     /// placement.
     Capacity(CapacityError),
+    /// Admission control shed the request at the door: the service's
+    /// bounded ingress queue was already holding `depth` jobs.
+    QueueFull {
+        /// The configured queue bound that was hit.
+        depth: usize,
+    },
+    /// Admission control shed the request before planning: it had
+    /// already waited past its deadline budget in the ingress queue.
+    DeadlineExceeded {
+        /// The configured per-request budget, in milliseconds.
+        budget_ms: u64,
+    },
+    /// The planner thread panicked while solving this request. The
+    /// panic was contained — the service keeps serving — and the
+    /// payload's message is carried here for diagnostics.
+    PlannerPanic {
+        /// The panic payload rendered to text.
+        reason: String,
+    },
+    /// The commit could not be made durable (a WAL append or fsync
+    /// failed) and the service's durability policy rejects rather than
+    /// degrade to non-durable acknowledgements. The books were rolled
+    /// back; the request was never acknowledged.
+    Durability {
+        /// The underlying WAL failure rendered to text.
+        reason: String,
+    },
 }
 
 impl fmt::Display for PlacementError {
@@ -78,6 +105,18 @@ impl fmt::Display for PlacementError {
                 write!(f, "search returned a path that leaves nodes unassigned")
             }
             Self::Capacity(e) => write!(f, "capacity error: {e}"),
+            Self::QueueFull { depth } => {
+                write!(f, "shed at admission: ingress queue full ({depth} jobs queued)")
+            }
+            Self::DeadlineExceeded { budget_ms } => {
+                write!(f, "shed before planning: deadline budget of {budget_ms}ms already spent")
+            }
+            Self::PlannerPanic { reason } => {
+                write!(f, "planner thread panicked: {reason}")
+            }
+            Self::Durability { reason } => {
+                write!(f, "commit could not be made durable: {reason}")
+            }
         }
     }
 }
@@ -111,6 +150,19 @@ mod tests {
         let e: PlacementError = cap.clone().into();
         assert_eq!(e, PlacementError::Capacity(cap));
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn overload_errors_render_their_budgets() {
+        let e = PlacementError::QueueFull { depth: 32 };
+        assert!(e.to_string().contains("32"));
+        let e = PlacementError::DeadlineExceeded { budget_ms: 250 };
+        assert!(e.to_string().contains("250ms"));
+        let e = PlacementError::PlannerPanic { reason: "index out of bounds".into() };
+        assert!(e.to_string().contains("index out of bounds"));
+        let e = PlacementError::Durability { reason: "wal: No space left".into() };
+        assert!(e.to_string().contains("No space left"));
+        assert!(e.clone() == e);
     }
 
     #[test]

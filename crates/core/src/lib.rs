@@ -91,9 +91,12 @@ pub use reconcile::{Divergence, DivergenceKind, HostTruth, ReconcileReport};
 pub use request::{Algorithm, PlacementRequest};
 pub use scheduler::Scheduler;
 pub use service::{
-    CommitAttempt, PlacementService, PlanSnapshot, PlannedPlacement, ServiceConfig, ServiceHandle,
-    ServiceOutcome, ServiceResponse, ServiceStats, Ticket,
+    CommitAttempt, DegradePolicy, DurabilityPolicy, PlacementService, PlanHook, PlanSnapshot,
+    PlannedPlacement, ServiceConfig, ServiceHandle, ServiceOutcome, ServiceResponse, ServiceStats,
+    Ticket,
 };
 pub use session::SchedulerSession;
 pub use validate::{reserved_bandwidth, verify_placement, Violation};
-pub use wal::{recover, Recovery, SyncPolicy, Wal, WalError, WalOptions};
+pub use wal::{
+    recover, Recovery, SyncPolicy, Wal, WalError, WalFault, WalFaultHook, WalIoOp, WalOptions,
+};

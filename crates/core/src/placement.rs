@@ -144,6 +144,11 @@ pub struct SearchStats {
     /// `true` if a deadline-bounded run hit its deadline and returned
     /// the best bound found so far.
     pub deadline_hit: bool,
+    /// Service-mode only: `true` if overload degraded this request down
+    /// the engine ladder (a capped or greedy-floor search solved it
+    /// instead of the algorithm the caller asked for).
+    #[serde(default)]
+    pub degraded: bool,
 }
 
 /// The result of one placement request: the decision plus the resource

@@ -168,6 +168,44 @@ impl PlacementRequest {
         self.virtual_tick_us = us;
         self
     }
+
+    /// First step down the engine ladder under overload: caps the A\*
+    /// variants' expansion budget at `cap` (tightening an existing
+    /// cap, never loosening one). The greedy engines are already the
+    /// floor and are untouched. Returns whether anything changed.
+    pub fn cap_search(&mut self, cap: u64) -> bool {
+        if cap == 0 {
+            return false;
+        }
+        match self.algorithm {
+            Algorithm::BoundedAStar | Algorithm::DeadlineBoundedAStar { .. } => {
+                let capped = match self.max_expansions {
+                    0 => cap,
+                    n => n.min(cap),
+                };
+                if capped == self.max_expansions {
+                    return false;
+                }
+                self.max_expansions = capped;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Last step down the engine ladder: replaces the A\* variants with
+    /// the greedy EG engine (the cheapest full-objective search — the
+    /// single-objective baselines are evaluation-only, not a service
+    /// tier). Returns whether anything changed.
+    pub fn floor_search(&mut self) -> bool {
+        match self.algorithm {
+            Algorithm::BoundedAStar | Algorithm::DeadlineBoundedAStar { .. } => {
+                self.algorithm = Algorithm::Greedy;
+                true
+            }
+            _ => false,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -197,6 +235,32 @@ mod tests {
         assert!(r.parallel);
         assert_eq!(r.score_threads, 0, "0 = resolve from available_parallelism");
         assert!(r.memoize_bounds);
+    }
+
+    #[test]
+    fn ladder_steps_only_touch_the_astar_tiers() {
+        let mut r = PlacementRequest::with_algorithm(Algorithm::BoundedAStar);
+        assert!(r.cap_search(4_096));
+        assert_eq!(r.max_expansions, 4_096);
+        assert!(!r.cap_search(8_192), "a cap never loosens an existing one");
+        assert_eq!(r.max_expansions, 4_096);
+        assert!(r.cap_search(1_024));
+        assert_eq!(r.max_expansions, 1_024);
+        assert!(r.floor_search());
+        assert_eq!(r.algorithm, Algorithm::Greedy);
+        assert!(!r.floor_search(), "the floor is idempotent");
+
+        let mut greedy = PlacementRequest::default();
+        assert!(!greedy.cap_search(64));
+        assert!(!greedy.floor_search());
+        assert_eq!(greedy.algorithm, Algorithm::Greedy);
+
+        let mut dba = PlacementRequest::with_algorithm(Algorithm::DeadlineBoundedAStar {
+            deadline: Duration::from_millis(100),
+        });
+        assert!(dba.cap_search(2_048));
+        assert!(dba.floor_search());
+        assert_eq!(dba.algorithm, Algorithm::Greedy);
     }
 
     #[test]

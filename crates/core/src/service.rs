@@ -77,19 +77,24 @@
 //! at a time, and parallel-vs-serial scoring is bit-identical anyway.
 
 use std::collections::VecDeque;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use ostro_datacenter::{CapacityState, HostId, Infrastructure};
 use ostro_model::ApplicationTopology;
 use serde::{Deserialize, Serialize};
 
+use crate::deadline::BudgetStamp;
 use crate::error::PlacementError;
 use crate::placement::{Placement, PlacementOutcome};
 use crate::pool::lock_unpoisoned;
 use crate::request::PlacementRequest;
 use crate::scheduler::Scheduler;
 use crate::session::{avail_signature, HostSummary, SchedulerSession, SessionShared};
+use crate::wal::WalMark;
 
 /// Tuning for a [`PlacementService`].
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -112,6 +117,49 @@ pub struct ServiceConfig {
     /// *before* responses are delivered, so an acknowledged commit is
     /// durable (group commit). Without a WAL this is a no-op.
     pub durable_acks: bool,
+    /// Bound on the ingress queue [`serve`](PlacementService::serve)
+    /// runs behind: a placement submitted while this many jobs are
+    /// already queued is shed at the door with
+    /// [`PlacementError::QueueFull`]. Releases are always admitted —
+    /// shedding a release would leak capacity. `0` (the default) is
+    /// the legacy unbounded queue.
+    #[serde(default)]
+    pub queue_depth: usize,
+    /// Per-request deadline budget in milliseconds: a placement that
+    /// has already waited this long in the ingress queue is shed
+    /// before planning with [`PlacementError::DeadlineExceeded`]. `0`
+    /// (the default) disables budgets.
+    #[serde(default)]
+    pub deadline_ms: u64,
+    /// Virtual microseconds one submission tick represents. `0` (the
+    /// default) measures queue age on the wall clock; non-zero
+    /// replaces it with the service's submission-tick counter — the
+    /// queue-level analogue of the search's virtual deadline clock —
+    /// so deadline shedding becomes a pure function of the submission
+    /// schedule (what the chaos harness's bit-identity drills need).
+    #[serde(default)]
+    pub virtual_tick_us: u64,
+    /// Load-aware degraded-mode policy: step planning down the engine
+    /// ladder as queue depth rises. Disabled by default.
+    #[serde(default)]
+    pub degrade: DegradePolicy,
+    /// What a group commit does when the WAL fails under it. The
+    /// default keeps the legacy fail-stop behavior (acks continue
+    /// non-durably; the latched error surfaces via
+    /// [`SchedulerSession::take_wal_error`]).
+    #[serde(default)]
+    pub wal_policy: DurabilityPolicy,
+    /// With [`DurabilityPolicy::Reject`]: fsync retries before the
+    /// batch is rolled back (retries only run when every append
+    /// landed and just the fsync failed).
+    #[serde(default)]
+    pub wal_retries: u32,
+    /// With [`DurabilityPolicy::Reject`]: base backoff between fsync
+    /// retries in milliseconds, doubling per attempt and capped at 8×.
+    /// `0` (the default) retries immediately — what deterministic
+    /// tests and the virtual-clock chaos drills use.
+    #[serde(default)]
+    pub wal_backoff_ms: u64,
 }
 
 impl Default for ServiceConfig {
@@ -122,8 +170,73 @@ impl Default for ServiceConfig {
             max_retries: 3,
             admit_stale: true,
             durable_acks: true,
+            queue_depth: 0,
+            deadline_ms: 0,
+            virtual_tick_us: 0,
+            degrade: DegradePolicy::default(),
+            wal_policy: DurabilityPolicy::default(),
+            wal_retries: 0,
+            wal_backoff_ms: 0,
         }
     }
+}
+
+/// The load-aware degraded-mode policy: as the ingress queue deepens,
+/// planning steps down the engine ladder — first capping the A\*
+/// tiers' expansion budgets, then dropping to the greedy EG floor —
+/// and climbs back up with hysteresis as the backlog drains.
+///
+/// The ladder has three rungs, keyed off the queue depth a planner
+/// observes when it wakes: **normal** (the requested algorithm,
+/// untouched), **capped** (depth ≥ [`high`](Self::high):
+/// `max_expansions` tightened to [`cap_expansions`](Self::cap_expansions)),
+/// and **floor** (depth ≥ [`floor`](Self::floor): A\* tiers replaced
+/// by greedy EG). Recovery is sticky: a capped service returns to
+/// normal only at depth ≤ [`low`](Self::low), and the floor steps
+/// back to capped only at depth ≤ [`high`](Self::high) — the
+/// hysteresis that keeps the ladder from thrashing at a threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DegradePolicy {
+    /// Master switch; `false` (the default) never degrades.
+    pub enabled: bool,
+    /// Queue depth at or above which planning enters the capped tier.
+    pub high: usize,
+    /// Queue depth at or below which a degraded service returns to
+    /// normal (hysteresis low-water mark; keep `low < high`).
+    pub low: usize,
+    /// Queue depth at or above which planning drops to the greedy
+    /// floor (keep `floor > high`).
+    pub floor: usize,
+    /// The expansion budget the capped tier imposes on the A\* tiers
+    /// (never loosening a tighter request-level cap).
+    pub cap_expansions: u64,
+}
+
+impl Default for DegradePolicy {
+    fn default() -> Self {
+        DegradePolicy { enabled: false, high: 16, low: 4, floor: 64, cap_expansions: 4_096 }
+    }
+}
+
+/// What a group commit does when the WAL fails under it (an append
+/// error during the batch, or the group-commit fsync itself).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DurabilityPolicy {
+    /// Legacy fail-stop journaling: the first WAL error latches, the
+    /// service keeps acknowledging *non-durably*, and the typed error
+    /// surfaces through [`SchedulerSession::take_wal_error`] (the CLI
+    /// reports it loudly). Recovery replays the consistent prefix up
+    /// to the fault.
+    #[default]
+    Degrade,
+    /// Never acknowledge what is not durable: retry the fsync with
+    /// bounded, capped backoff ([`ServiceConfig::wal_retries`] /
+    /// [`ServiceConfig::wal_backoff_ms`]); if the journal still cannot
+    /// be completed, roll the books back, rewind the journal to the
+    /// pre-batch mark, and fail every acknowledgement of the batch
+    /// with [`PlacementError::Durability`]. The journal heals in
+    /// place, so the service keeps serving once the disk recovers.
+    Reject,
 }
 
 /// An epoch-stamped, immutable view of the committed books that any
@@ -263,6 +376,42 @@ pub struct ServiceStats {
     pub snapshots_published: u64,
     /// Group-commit WAL fsyncs issued.
     pub wal_syncs: u64,
+    /// Placements shed at the door: the bounded ingress queue was full.
+    #[serde(default)]
+    pub shed_queue_full: u64,
+    /// Placements shed before planning: their deadline budget was
+    /// already spent waiting in the queue.
+    #[serde(default)]
+    pub shed_deadline: u64,
+    /// Planner panics contained by `catch_unwind` (each surfaced as a
+    /// typed [`PlacementError::PlannerPanic`], never a poisoned
+    /// service).
+    #[serde(default)]
+    pub planner_panics: u64,
+    /// Placements solved by a degraded (capped or greedy-floor)
+    /// search instead of the requested algorithm.
+    #[serde(default)]
+    pub degraded_decisions: u64,
+    /// Degrade-ladder level changes (in either direction).
+    #[serde(default)]
+    pub degraded_transitions: u64,
+    /// Group commits that observed a WAL failure (whatever the
+    /// durability policy then did about it).
+    #[serde(default)]
+    pub wal_faults: u64,
+    /// Fsync retries issued by [`DurabilityPolicy::Reject`].
+    #[serde(default)]
+    pub wal_retry_syncs: u64,
+    /// Acknowledgements delivered *non-durably* after a WAL failure
+    /// under [`DurabilityPolicy::Degrade`] (or when a rewind was
+    /// impossible).
+    #[serde(default)]
+    pub non_durable_acks: u64,
+    /// Acknowledgements converted to [`PlacementError::Durability`]
+    /// rejections by [`DurabilityPolicy::Reject`] (books rolled back,
+    /// journal rewound).
+    #[serde(default)]
+    pub durability_rejections: u64,
 }
 
 /// The serialized half: the session (whose all-or-nothing commit is
@@ -373,6 +522,52 @@ pub struct PlacementService<'a> {
     snapshot: Mutex<Arc<PlanSnapshot>>,
     stats: Mutex<ServiceStats>,
     config: ServiceConfig,
+    /// Current degrade-ladder rung (one of the `LEVEL_*` constants).
+    degrade_level: AtomicU8,
+    /// Submission-tick counter for the virtual admission clock.
+    ticks: AtomicU64,
+    plan_hook: Option<PlanHook>,
+}
+
+/// Degrade-ladder rungs (see [`DegradePolicy`]).
+const LEVEL_NORMAL: u8 = 0;
+const LEVEL_CAPPED: u8 = 1;
+const LEVEL_FLOOR: u8 = 2;
+
+/// An injectable planner hook, called at the top of every plan with
+/// the topology about to be solved. The chaos harness uses it to
+/// inject planner panics (a panicking hook is exactly a panicking
+/// search, and must be contained the same way) and latency spikes (a
+/// sleeping hook). Production services have none.
+#[derive(Clone)]
+pub struct PlanHook(Arc<dyn Fn(&ApplicationTopology) + Send + Sync>);
+
+impl PlanHook {
+    /// Wraps a hook closure.
+    pub fn new(f: impl Fn(&ApplicationTopology) + Send + Sync + 'static) -> Self {
+        PlanHook(Arc::new(f))
+    }
+
+    fn call(&self, topology: &ApplicationTopology) {
+        (self.0)(topology);
+    }
+}
+
+impl fmt::Debug for PlanHook {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("PlanHook(..)")
+    }
+}
+
+/// Renders a contained panic payload for the typed per-request error.
+fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 impl<'a> PlacementService<'a> {
@@ -395,7 +590,109 @@ impl<'a> PlacementService<'a> {
             snapshot: Mutex::new(snapshot),
             stats: Mutex::new(ServiceStats::default()),
             config,
+            degrade_level: AtomicU8::new(LEVEL_NORMAL),
+            ticks: AtomicU64::new(0),
+            plan_hook: None,
         }
+    }
+
+    /// Installs (or clears) the planner hook consulted at the top of
+    /// every plan — the chaos harness's panic/latency injection point.
+    pub fn set_plan_hook(&mut self, hook: Option<PlanHook>) {
+        self.plan_hook = hook;
+    }
+
+    /// The current degrade-ladder rung: 0 = normal, 1 = capped,
+    /// 2 = greedy floor.
+    #[must_use]
+    pub fn degrade_level(&self) -> u8 {
+        self.degrade_level.load(Ordering::Relaxed)
+    }
+
+    /// Stamps a submission on whichever admission clock the service
+    /// runs (see [`ServiceConfig::virtual_tick_us`]).
+    fn stamp(&self) -> BudgetStamp {
+        if self.config.virtual_tick_us > 0 {
+            BudgetStamp::Tick(self.ticks.fetch_add(1, Ordering::Relaxed))
+        } else {
+            BudgetStamp::Wall(Instant::now())
+        }
+    }
+
+    /// Milliseconds a stamped job has spent in the ingress queue.
+    fn budget_elapsed_ms(&self, stamp: BudgetStamp) -> u64 {
+        match stamp {
+            BudgetStamp::Wall(at) => at.elapsed().as_millis().try_into().unwrap_or(u64::MAX),
+            BudgetStamp::Tick(at) => {
+                let now = self.ticks.load(Ordering::Relaxed);
+                now.saturating_sub(at) * self.config.virtual_tick_us / 1_000
+            }
+        }
+    }
+
+    /// Steps the degrade ladder for an observed queue depth (called by
+    /// a planner as it wakes), with the hysteresis described on
+    /// [`DegradePolicy`]. Returns the level planning should run at.
+    fn update_degrade(&self, depth: usize) -> u8 {
+        let policy = &self.config.degrade;
+        if !policy.enabled {
+            return LEVEL_NORMAL;
+        }
+        let current = self.degrade_level.load(Ordering::Relaxed);
+        let next = match current {
+            LEVEL_NORMAL => {
+                if depth >= policy.floor {
+                    LEVEL_FLOOR
+                } else if depth >= policy.high {
+                    LEVEL_CAPPED
+                } else {
+                    LEVEL_NORMAL
+                }
+            }
+            LEVEL_CAPPED => {
+                if depth >= policy.floor {
+                    LEVEL_FLOOR
+                } else if depth <= policy.low {
+                    LEVEL_NORMAL
+                } else {
+                    LEVEL_CAPPED
+                }
+            }
+            _ => {
+                if depth <= policy.low {
+                    LEVEL_NORMAL
+                } else if depth <= policy.high {
+                    LEVEL_CAPPED
+                } else {
+                    LEVEL_FLOOR
+                }
+            }
+        };
+        if next != current
+            && self
+                .degrade_level
+                .compare_exchange(current, next, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        {
+            self.note(|st| st.degraded_transitions += 1);
+        }
+        next
+    }
+
+    /// The request `level` actually plans with: `None` when the rung
+    /// leaves it untouched (normal level, or an engine already at or
+    /// below the rung's tier).
+    fn degraded_request(&self, request: &PlacementRequest, level: u8) -> Option<PlacementRequest> {
+        if level == LEVEL_NORMAL {
+            return None;
+        }
+        let mut req = request.clone();
+        let changed = if level == LEVEL_CAPPED {
+            req.cap_search(self.config.degrade.cap_expansions)
+        } else {
+            req.floor_search()
+        };
+        changed.then_some(req)
     }
 
     /// The service's configuration.
@@ -461,10 +758,80 @@ impl<'a> PlacementService<'a> {
 
     /// Group-commit point: fsync the WAL once for everything this lock
     /// acquisition committed, before any response is delivered.
-    fn sync_locked(&self, authority: &mut Authority<'a>) {
-        if self.config.durable_acks {
-            authority.session.sync_wal();
-            self.note(|st| st.wal_syncs += 1);
+    ///
+    /// `mark` is the journal position captured when the lock was
+    /// acquired (before the first append), `applied` how many
+    /// mutations this acquisition performed, and `undo` a books-only
+    /// rollback of those mutations in reverse order. On a WAL failure
+    /// the [`DurabilityPolicy`] decides: `Degrade` keeps the
+    /// acknowledgements (counted non-durable; the latched error stays
+    /// loud via [`SchedulerSession::take_wal_error`]); `Reject`
+    /// retries the fsync, then runs `undo`, rewinds the journal to
+    /// `mark`, and returns the typed error the caller must convert
+    /// this acquisition's acknowledgements into.
+    fn sync_locked(
+        &self,
+        authority: &mut Authority<'a>,
+        mark: Option<WalMark>,
+        applied: u64,
+        undo: impl FnOnce(&mut SchedulerSession<'a>),
+    ) -> Option<PlacementError> {
+        if !self.config.durable_acks {
+            return None;
+        }
+        authority.session.sync_wal();
+        self.note(|st| st.wal_syncs += 1);
+        authority.session.wal_error()?;
+        self.note(|st| st.wal_faults += 1);
+        match self.config.wal_policy {
+            DurabilityPolicy::Degrade => {
+                self.note(|st| st.non_durable_acks += applied);
+                None
+            }
+            DurabilityPolicy::Reject => {
+                let mark = mark?;
+                // Retrying the fsync only helps when every append
+                // landed; a missing append means the journal cannot be
+                // completed, only rewound.
+                if authority.session.wal_seq() == Some(mark.seq() + applied) {
+                    for attempt in 0..self.config.wal_retries {
+                        self.backoff(attempt);
+                        self.note(|st| st.wal_retry_syncs += 1);
+                        if authority.session.retry_sync() {
+                            return None;
+                        }
+                    }
+                }
+                if !authority.session.wal_can_rewind(&mark) {
+                    // A snapshot compaction ran mid-batch, so part of
+                    // the batch is already durably in the snapshot —
+                    // rolling back would contradict durable state.
+                    // Degrade these acknowledgements instead.
+                    self.note(|st| st.non_durable_acks += applied);
+                    return None;
+                }
+                let reason = match authority.session.wal_error() {
+                    Some(e) => e.to_string(),
+                    None => "journal unavailable".to_string(),
+                };
+                // Books-only rollback: the fail-stop latch keeps these
+                // inverse mutations out of the journal; the rewind then
+                // erases the batch's records and clears the latch, so
+                // journal and books agree again and the service keeps
+                // serving durably once the disk recovers.
+                undo(&mut authority.session);
+                let _ = authority.session.wal_rewind(&mark);
+                self.note(|st| st.durability_rejections += applied);
+                Some(PlacementError::Durability { reason })
+            }
+        }
+    }
+
+    /// Capped doubling backoff between fsync retries.
+    fn backoff(&self, attempt: u32) {
+        if self.config.wal_backoff_ms > 0 {
+            let factor = 1u64 << attempt.min(3);
+            std::thread::sleep(Duration::from_millis(self.config.wal_backoff_ms * factor));
         }
     }
 
@@ -514,13 +881,29 @@ impl<'a> PlacementService<'a> {
             cache.begin_request();
             cache.evictions()
         };
-        let result = Scheduler::new(self.infra).place_pinned_with(
-            topology,
-            state,
-            &req,
-            &vec![None; topology.node_count()],
-            Some(shared),
-        );
+        // Contain planner panics: every lock on the shared path is
+        // taken through `lock_unpoisoned`, so a panicking search (or
+        // hook) is surfaced as a typed per-request error instead of
+        // poisoning the service.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(hook) = &self.plan_hook {
+                hook.call(topology);
+            }
+            Scheduler::new(self.infra).place_pinned_with(
+                topology,
+                state,
+                &req,
+                &vec![None; topology.node_count()],
+                Some(shared),
+            )
+        }));
+        let result = match result {
+            Ok(r) => r,
+            Err(payload) => {
+                self.note(|st| st.planner_panics += 1);
+                Err(PlacementError::PlannerPanic { reason: panic_reason(payload.as_ref()) })
+            }
+        };
         let evictions_after = lock_unpoisoned(&shared.cache).evictions();
         let mut outcome = result?;
         outcome.stats.session_cache_evictions = evictions_after.saturating_sub(evictions_before);
@@ -571,18 +954,25 @@ impl<'a> PlacementService<'a> {
     ///
     /// As [`SchedulerSession::commit`], only when the snapshot was
     /// still current (stale-snapshot commit failures surface as
-    /// [`CommitAttempt::Conflict`]).
+    /// [`CommitAttempt::Conflict`]); [`PlacementError::Durability`] if
+    /// the rejecting durability policy rolled the commit back.
     pub fn try_commit(
         &self,
         topology: &ApplicationTopology,
         planned: &PlannedPlacement,
     ) -> Result<CommitAttempt, PlacementError> {
         let mut authority = lock_unpoisoned(&self.authority);
+        let mark = authority.session.wal_mark();
         match self.validate_commit_locked(&mut authority, topology, planned)? {
             committed @ (Validated::Committed { .. } | Validated::CommittedStale { .. }) => {
+                let durability = self.sync_locked(&mut authority, mark, 1, |session| {
+                    let _ = session.release(topology, &planned.outcome.placement);
+                });
                 self.publish_locked(&mut authority);
-                self.sync_locked(&mut authority);
                 drop(authority);
+                if let Some(err) = durability {
+                    return Err(err);
+                }
                 let seq = match committed {
                     Validated::Committed { seq } => {
                         self.note(|st| st.committed += 1);
@@ -623,14 +1013,37 @@ impl<'a> PlacementService<'a> {
         let req = Self::planning_request(request);
         self.note(|st| st.serialized_fallbacks += 1);
         let mut authority = lock_unpoisoned(&self.authority);
-        let result = authority.session.place(topology, &req).and_then(|outcome| {
+        let mark = authority.session.wal_mark();
+        // The serialized path plans on the same ladder as the
+        // optimistic one: a panicking search (or hook) must yield a
+        // typed error here too, or a sticky panic would sneak through
+        // the fallback.
+        let planned = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(hook) = &self.plan_hook {
+                hook.call(topology);
+            }
+            authority.session.place(topology, &req)
+        }));
+        let planned = match planned {
+            Ok(r) => r,
+            Err(payload) => {
+                self.note(|st| st.planner_panics += 1);
+                Err(PlacementError::PlannerPanic { reason: panic_reason(payload.as_ref()) })
+            }
+        };
+        let result = planned.and_then(|outcome| {
             authority.apply_commit(topology, &outcome.placement).map(|seq| (seq, outcome))
         });
         match result {
             Ok((seq, mut outcome)) => {
+                let durability = self.sync_locked(&mut authority, mark, 1, |session| {
+                    let _ = session.release(topology, &outcome.placement);
+                });
                 self.publish_locked(&mut authority);
-                self.sync_locked(&mut authority);
                 drop(authority);
+                if let Some(err) = durability {
+                    return Err(err);
+                }
                 self.note(|st| st.committed += 1);
                 outcome.stats.commit_conflicts = conflicts;
                 outcome.stats.replans = replans;
@@ -714,17 +1127,24 @@ impl<'a> PlacementService<'a> {
     ///
     /// # Errors
     ///
-    /// As [`SchedulerSession::release`].
+    /// As [`SchedulerSession::release`]; [`PlacementError::Durability`]
+    /// if the rejecting durability policy rolled the release back.
     pub fn release_blocking(
         &self,
         topology: &ApplicationTopology,
         placement: &Placement,
     ) -> Result<u64, PlacementError> {
         let mut authority = lock_unpoisoned(&self.authority);
+        let mark = authority.session.wal_mark();
         let seq = authority.apply_release(topology, placement)?;
+        let durability = self.sync_locked(&mut authority, mark, 1, |session| {
+            let _ = session.commit(topology, placement);
+        });
         self.publish_locked(&mut authority);
-        self.sync_locked(&mut authority);
         drop(authority);
+        if let Some(err) = durability {
+            return Err(err);
+        }
         self.note(|st| st.released += 1);
         Ok(seq)
     }
@@ -739,7 +1159,7 @@ impl<'a> PlacementService<'a> {
             queue: Mutex::new(ServeQueue { jobs: VecDeque::new(), closed: false }),
             cv: Condvar::new(),
         };
-        std::thread::scope(|scope| {
+        let result = std::thread::scope(|scope| {
             for _ in 0..self.config.planners.max(1) {
                 scope.spawn(|| self.planner_loop(&shared));
             }
@@ -749,12 +1169,18 @@ impl<'a> PlacementService<'a> {
             let _close = CloseGuard(&shared);
             let handle = ServiceHandle { service: self, shared: &shared };
             driver(&handle)
-        })
+        });
+        // Graceful shutdown: the scope joining means every planner
+        // drained the queue and exited; one final fsync makes the tail
+        // durable even without `durable_acks` (which already synced
+        // per batch). Not counted as a group-commit sync.
+        lock_unpoisoned(&self.authority).session.sync_wal();
+        result
     }
 
     fn planner_loop(&self, shared: &ServeShared) {
         loop {
-            let batch: Vec<Job> = {
+            let (batch, depth): (Vec<Job>, usize) = {
                 let mut queue = lock_unpoisoned(&shared.queue);
                 loop {
                     if !queue.jobs.is_empty() {
@@ -768,10 +1194,29 @@ impl<'a> PlacementService<'a> {
                         Err(poisoned) => poisoned.into_inner(),
                     };
                 }
-                let take = queue.jobs.len().min(self.config.batch.max(1));
-                queue.jobs.drain(..take).collect()
+                let depth = queue.jobs.len();
+                let take = depth.min(self.config.batch.max(1));
+                (queue.jobs.drain(..take).collect(), depth)
             };
-            self.process_batch(batch);
+            self.update_degrade(depth);
+            // Safety net under the whole batch: planning panics are
+            // already contained in `plan_against`, but nothing that
+            // panics may strand a ticket — the driver would hang on it
+            // forever. Tickets the batch resolved keep their response;
+            // the rest get the typed panic error.
+            let tickets: Vec<Arc<TicketInner>> = batch.iter().map(Job::ticket).collect();
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| self.process_batch(batch))) {
+                let reason = panic_reason(payload.as_ref());
+                self.note(|st| st.planner_panics += 1);
+                for ticket in &tickets {
+                    deliver_if_empty(
+                        ticket,
+                        ServiceResponse::Failed(PlacementError::PlannerPanic {
+                            reason: reason.clone(),
+                        }),
+                    );
+                }
+            }
         }
     }
 
@@ -808,6 +1253,7 @@ impl<'a> PlacementService<'a> {
                 ticket: Arc<TicketInner>,
                 plan: Result<PlannedPlacement, PlacementError>,
                 overlap: bool,
+                degraded: bool,
             },
             Release {
                 topology: Arc<ApplicationTopology>,
@@ -815,16 +1261,41 @@ impl<'a> PlacementService<'a> {
                 ticket: Arc<TicketInner>,
             },
         }
+        let level = self.degrade_level.load(Ordering::Relaxed);
         let mut view = (self.config.admit_stale && batch.len() > 1).then(|| BatchView {
             state: snapshot.state.clone(),
             shared: snapshot.shared.clone_for_snapshot(),
         });
         let scheduler = Scheduler::new(self.infra);
-        let mut members: Vec<Member> = batch
-            .into_iter()
-            .map(|job| match job {
-                Job::Place { topology, request, ticket } => {
-                    let plan = match view.as_mut() {
+        let mut shed_deadline = 0u64;
+        let mut degraded_decisions = 0u64;
+        let mut members: Vec<Member> = Vec::new();
+        for job in batch {
+            match job {
+                Job::Place { topology, request, ticket, stamp } => {
+                    // Deadline shed: a request whose budget was already
+                    // burned waiting in the queue gets a typed error
+                    // *before* any planning work is spent on it.
+                    let budget_ms = self.config.deadline_ms;
+                    if budget_ms > 0 && self.budget_elapsed_ms(stamp) >= budget_ms {
+                        shed_deadline += 1;
+                        deliver(
+                            &ticket,
+                            ServiceResponse::Failed(PlacementError::DeadlineExceeded { budget_ms }),
+                        );
+                        continue;
+                    }
+                    // Engine-ladder degradation: under overload the
+                    // request plans with a cheaper search than it asked
+                    // for, flagged in its stats.
+                    let (request, degraded) = match self.degraded_request(&request, level) {
+                        Some(down) => {
+                            degraded_decisions += 1;
+                            (down, true)
+                        }
+                        None => (request, false),
+                    };
+                    let mut plan = match view.as_mut() {
                         Some(view) => {
                             let plan = self.plan_against(
                                 &topology,
@@ -845,7 +1316,19 @@ impl<'a> PlacementService<'a> {
                         }
                         None => self.plan(&topology, &request, &snapshot),
                     };
-                    Member::Place { topology, request, ticket, plan, overlap: false }
+                    if degraded {
+                        if let Ok(planned) = &mut plan {
+                            planned.outcome.stats.degraded = true;
+                        }
+                    }
+                    members.push(Member::Place {
+                        topology,
+                        request,
+                        ticket,
+                        plan,
+                        overlap: false,
+                        degraded,
+                    });
                 }
                 Job::Release { topology, placement, ticket } => {
                     if let Some(view) = view.as_mut() {
@@ -856,10 +1339,16 @@ impl<'a> PlacementService<'a> {
                             view.refresh_hosts(hosts);
                         }
                     }
-                    Member::Release { topology, placement, ticket }
+                    members.push(Member::Release { topology, placement, ticket });
                 }
-            })
-            .collect();
+            }
+        }
+        if shed_deadline > 0 || degraded_decisions > 0 {
+            self.note(|st| {
+                st.shed_deadline += shed_deadline;
+                st.degraded_decisions += degraded_decisions;
+            });
+        }
 
         // Up-front overlap screen: members claim their host sets in
         // batch order; a later plan touching an already-claimed host
@@ -892,15 +1381,28 @@ impl<'a> PlacementService<'a> {
 
         // Phase 2: one commit-lock acquisition for the whole batch.
         let mut acks: Vec<(Arc<TicketInner>, ServiceResponse)> = Vec::new();
-        let mut losers: Vec<(Arc<ApplicationTopology>, PlacementRequest, Arc<TicketInner>, u64)> =
-            Vec::new();
+        #[allow(clippy::type_complexity)]
+        let mut losers: Vec<(
+            Arc<ApplicationTopology>,
+            PlacementRequest,
+            Arc<TicketInner>,
+            u64,
+            bool,
+        )> = Vec::new();
         let mut committed = 0u64;
         let mut released = 0u64;
         let mut rejected = 0u64;
         let mut conflicts = 0u64;
         let mut stale = 0u64;
+        let mut durability = None;
         {
             let mut authority = lock_unpoisoned(&self.authority);
+            let mark = authority.session.wal_mark();
+            // Under the Reject policy every applied mutation records
+            // its inverse so a failed group-commit fsync can roll the
+            // whole batch back off the books.
+            let log_undo = matches!(self.config.wal_policy, DurabilityPolicy::Reject);
+            let mut undo_log: Vec<(Arc<ApplicationTopology>, Placement, bool)> = Vec::new();
             let mut mutated = false;
             for member in members {
                 match member {
@@ -909,6 +1411,9 @@ impl<'a> PlacementService<'a> {
                             Ok(seq) => {
                                 mutated = true;
                                 released += 1;
+                                if log_undo {
+                                    undo_log.push((topology, placement, false));
+                                }
                                 acks.push((ticket, ServiceResponse::Released { seq }));
                             }
                             Err(e) => {
@@ -917,64 +1422,104 @@ impl<'a> PlacementService<'a> {
                             }
                         }
                     }
-                    Member::Place { topology, request, ticket, plan, overlap } => match plan {
-                        Ok(planned) if self.config.admit_stale || !overlap => {
-                            match self.validate_commit_locked(&mut authority, &topology, &planned) {
-                                Ok(
-                                    v @ (Validated::Committed { .. }
-                                    | Validated::CommittedStale { .. }),
-                                ) => {
-                                    let seq = match v {
-                                        Validated::Committed { seq } => seq,
-                                        Validated::CommittedStale { seq } => {
-                                            stale += 1;
-                                            seq
+                    Member::Place { topology, request, ticket, plan, overlap, degraded } => {
+                        match plan {
+                            Ok(planned) if self.config.admit_stale || !overlap => {
+                                match self.validate_commit_locked(
+                                    &mut authority,
+                                    &topology,
+                                    &planned,
+                                ) {
+                                    Ok(
+                                        v @ (Validated::Committed { .. }
+                                        | Validated::CommittedStale { .. }),
+                                    ) => {
+                                        let seq = match v {
+                                            Validated::Committed { seq } => seq,
+                                            Validated::CommittedStale { seq } => {
+                                                stale += 1;
+                                                seq
+                                            }
+                                            Validated::Conflict { .. } => {
+                                                unreachable!("matched committed variants")
+                                            }
+                                        };
+                                        mutated = true;
+                                        committed += 1;
+                                        if log_undo {
+                                            undo_log.push((
+                                                Arc::clone(&topology),
+                                                planned.outcome.placement.clone(),
+                                                true,
+                                            ));
                                         }
-                                        Validated::Conflict { .. } => {
-                                            unreachable!("matched committed variants")
-                                        }
-                                    };
-                                    mutated = true;
-                                    committed += 1;
-                                    let mut outcome = planned.outcome;
-                                    outcome.stats.commit_conflicts = 0;
-                                    outcome.stats.replans = 0;
-                                    acks.push((
-                                        ticket,
-                                        ServiceResponse::Placed(ServiceOutcome { seq, outcome }),
-                                    ));
+                                        let mut outcome = planned.outcome;
+                                        outcome.stats.commit_conflicts = 0;
+                                        outcome.stats.replans = 0;
+                                        acks.push((
+                                            ticket,
+                                            ServiceResponse::Placed(ServiceOutcome {
+                                                seq,
+                                                outcome,
+                                            }),
+                                        ));
+                                    }
+                                    Ok(Validated::Conflict { .. }) => {
+                                        conflicts += 1;
+                                        losers.push((topology, request, ticket, 1, degraded));
+                                    }
+                                    Err(e) => {
+                                        rejected += 1;
+                                        acks.push((ticket, ServiceResponse::Failed(e)));
+                                    }
                                 }
-                                Ok(Validated::Conflict { .. }) => {
-                                    conflicts += 1;
-                                    losers.push((topology, request, ticket, 1));
-                                }
-                                Err(e) => {
+                            }
+                            Ok(_) => {
+                                // Strict-mode overlap loser: counted as the
+                                // conflict it would have been.
+                                conflicts += 1;
+                                losers.push((topology, request, ticket, 1, degraded));
+                            }
+                            Err(e) => {
+                                if authority.seq == snapshot.seq {
                                     rejected += 1;
                                     acks.push((ticket, ServiceResponse::Failed(e)));
+                                } else {
+                                    losers.push((topology, request, ticket, 0, degraded));
                                 }
                             }
                         }
-                        Ok(_) => {
-                            // Strict-mode overlap loser: counted as the
-                            // conflict it would have been.
-                            conflicts += 1;
-                            losers.push((topology, request, ticket, 1));
-                        }
-                        Err(e) => {
-                            if authority.seq == snapshot.seq {
-                                rejected += 1;
-                                acks.push((ticket, ServiceResponse::Failed(e)));
-                            } else {
-                                losers.push((topology, request, ticket, 0));
-                            }
-                        }
-                    },
+                    }
                 }
             }
             if mutated {
+                // Sync *before* publishing: if the Reject policy rolls
+                // the batch back, readers never see the undone books.
+                durability =
+                    self.sync_locked(&mut authority, mark, committed + released, |session| {
+                        for (topology, placement, was_commit) in undo_log.iter().rev() {
+                            if *was_commit {
+                                let _ = session.release(topology, placement);
+                            } else {
+                                let _ = session.commit(topology, placement);
+                            }
+                        }
+                    });
                 self.publish_locked(&mut authority);
-                self.sync_locked(&mut authority);
             }
+        }
+        if let Some(err) = &durability {
+            // The batch's mutations were rolled back — convert every
+            // would-be ack into the typed durability rejection.
+            for (_, response) in &mut acks {
+                if matches!(response, ServiceResponse::Placed(_) | ServiceResponse::Released { .. })
+                {
+                    *response = ServiceResponse::Failed(err.clone());
+                }
+            }
+            committed = 0;
+            released = 0;
+            stale = 0;
         }
         self.note(|st| {
             st.committed += committed;
@@ -996,10 +1541,17 @@ impl<'a> PlacementService<'a> {
         }
 
         // Phase 4: losers re-plan individually against fresh snapshots.
-        for (topology, request, ticket, burned) in losers {
+        // A loser that planned degraded re-plans with the same degraded
+        // request, so the flag stays truthful on its final outcome.
+        for (topology, request, ticket, burned, degraded) in losers {
             let response =
                 match self.place_from(&topology, &request, self.snapshot(), burned, burned) {
-                    Ok(outcome) => ServiceResponse::Placed(outcome),
+                    Ok(mut outcome) => {
+                        if degraded {
+                            outcome.outcome.stats.degraded = true;
+                        }
+                        ServiceResponse::Placed(outcome)
+                    }
                     Err(e) => ServiceResponse::Failed(e),
                 };
             deliver(&ticket, response);
@@ -1037,12 +1589,23 @@ enum Job {
         topology: Arc<ApplicationTopology>,
         request: PlacementRequest,
         ticket: Arc<TicketInner>,
+        /// When the request was admitted — the deadline budget counts
+        /// from here, so queue wait burns it down.
+        stamp: BudgetStamp,
     },
     Release {
         topology: Arc<ApplicationTopology>,
         placement: Placement,
         ticket: Arc<TicketInner>,
     },
+}
+
+impl Job {
+    fn ticket(&self) -> Arc<TicketInner> {
+        match self {
+            Job::Place { ticket, .. } | Job::Release { ticket, .. } => Arc::clone(ticket),
+        }
+    }
 }
 
 /// The driver's side of a running [`PlacementService::serve`] call:
@@ -1061,10 +1624,13 @@ impl<'s, 'a> ServiceHandle<'s, 'a> {
     }
 
     /// Enqueues a placement request; the returned ticket resolves to
-    /// [`ServiceResponse::Placed`] or [`ServiceResponse::Failed`].
+    /// [`ServiceResponse::Placed`] or [`ServiceResponse::Failed`] —
+    /// immediately with [`PlacementError::QueueFull`] when admission
+    /// control sheds it.
     pub fn submit(&self, topology: Arc<ApplicationTopology>, request: PlacementRequest) -> Ticket {
         let ticket = Arc::new(TicketInner::default());
-        self.push(Job::Place { topology, request, ticket: Arc::clone(&ticket) });
+        let stamp = self.service.stamp();
+        self.push(Job::Place { topology, request, ticket: Arc::clone(&ticket), stamp });
         Ticket(ticket)
     }
 
@@ -1081,7 +1647,21 @@ impl<'s, 'a> ServiceHandle<'s, 'a> {
     }
 
     fn push(&self, job: Job) {
-        lock_unpoisoned(&self.shared.queue).jobs.push_back(job);
+        let limit = self.service.config.queue_depth;
+        let mut queue = lock_unpoisoned(&self.shared.queue);
+        if limit > 0 && queue.jobs.len() >= limit {
+            // Admission control: placements are shed with a typed
+            // rejection; releases are always admitted — shedding a
+            // release would leak the capacity it returns.
+            if let Job::Place { ticket, .. } = &job {
+                let depth = queue.jobs.len();
+                drop(queue);
+                self.service.note(|st| st.shed_queue_full += 1);
+                deliver(ticket, ServiceResponse::Failed(PlacementError::QueueFull { depth }));
+                return;
+            }
+        }
+        queue.jobs.push_back(job);
         self.shared.cv.notify_one();
     }
 }
@@ -1109,6 +1689,16 @@ struct TicketInner {
 fn deliver(ticket: &TicketInner, response: ServiceResponse) {
     *lock_unpoisoned(&ticket.slot) = Some((response, Instant::now()));
     ticket.cv.notify_all();
+}
+
+/// Delivers only if the ticket is still unresolved — the panic safety
+/// net must not overwrite a response the batch already produced.
+fn deliver_if_empty(ticket: &TicketInner, response: ServiceResponse) {
+    let mut slot = lock_unpoisoned(&ticket.slot);
+    if slot.is_none() {
+        *slot = Some((response, Instant::now()));
+        ticket.cv.notify_all();
+    }
 }
 
 /// A pending response from [`ServiceHandle::submit`] /
@@ -1145,7 +1735,7 @@ mod tests {
     use super::*;
     use crate::request::Algorithm;
     use crate::validate::verify_placement;
-    use crate::wal::{self, Wal, WalOptions};
+    use crate::wal::{self, Wal, WalFault, WalFaultHook, WalIoOp, WalOptions};
     use ostro_datacenter::InfrastructureBuilder;
     use ostro_model::{Bandwidth, Resources, TopologyBuilder};
 
@@ -1387,8 +1977,18 @@ mod tests {
         let ta = Arc::new(TicketInner::default());
         let tb = Arc::new(TicketInner::default());
         service.process_batch(vec![
-            Job::Place { topology: Arc::clone(&a), request: req.clone(), ticket: Arc::clone(&ta) },
-            Job::Place { topology: Arc::clone(&b), request: req.clone(), ticket: Arc::clone(&tb) },
+            Job::Place {
+                topology: Arc::clone(&a),
+                request: req.clone(),
+                ticket: Arc::clone(&ta),
+                stamp: BudgetStamp::Wall(Instant::now()),
+            },
+            Job::Place {
+                topology: Arc::clone(&b),
+                request: req.clone(),
+                ticket: Arc::clone(&tb),
+                stamp: BudgetStamp::Wall(Instant::now()),
+            },
         ]);
         let ra = Ticket(ta).wait();
         let rb = Ticket(tb).wait();
@@ -1419,8 +2019,18 @@ mod tests {
         let ta = Arc::new(TicketInner::default());
         let tb = Arc::new(TicketInner::default());
         service.process_batch(vec![
-            Job::Place { topology: Arc::clone(&a), request: req.clone(), ticket: Arc::clone(&ta) },
-            Job::Place { topology: Arc::clone(&b), request: req.clone(), ticket: Arc::clone(&tb) },
+            Job::Place {
+                topology: Arc::clone(&a),
+                request: req.clone(),
+                ticket: Arc::clone(&ta),
+                stamp: BudgetStamp::Wall(Instant::now()),
+            },
+            Job::Place {
+                topology: Arc::clone(&b),
+                request: req.clone(),
+                ticket: Arc::clone(&tb),
+                stamp: BudgetStamp::Wall(Instant::now()),
+            },
         ]);
         assert!(matches!(Ticket(ta).wait(), ServiceResponse::Placed(_)));
         assert!(matches!(Ticket(tb).wait(), ServiceResponse::Placed(_)));
@@ -1516,45 +2126,386 @@ mod tests {
 
     /// Sanity for the serve front-end: arrivals and departures mixed
     /// through the queue, every ticket resolves, and the books balance
-    /// back to base after all tenants depart.
+    /// back to base after all tenants depart. Exercised at 1, 2, and 4
+    /// planners so both the serial and the contended paths are covered.
     #[test]
     fn serve_roundtrip_releases_everything() {
-        let infra = infra_flat(2, 4);
-        let base = CapacityState::new(&infra);
-        let req = request();
-        let config = ServiceConfig { planners: 2, batch: 3, ..ServiceConfig::default() };
-        let service =
-            PlacementService::new(SchedulerSession::with_state(&infra, base.clone()), config);
-        let shapes: Vec<Arc<ApplicationTopology>> =
-            (0..3).map(|i| Arc::new(pair_app(&format!("t{i}"), 2))).collect();
+        for planners in [1usize, 2, 4] {
+            let infra = infra_flat(2, 4);
+            let base = CapacityState::new(&infra);
+            let req = request();
+            let config = ServiceConfig { planners, batch: 3, ..ServiceConfig::default() };
+            let service =
+                PlacementService::new(SchedulerSession::with_state(&infra, base.clone()), config);
+            let shapes: Vec<Arc<ApplicationTopology>> =
+                (0..3).map(|i| Arc::new(pair_app(&format!("t{i}"), 2))).collect();
 
-        service.serve(|handle| {
-            let tickets: Vec<(usize, Ticket)> = (0..6)
-                .map(|i| (i % 3, handle.submit(Arc::clone(&shapes[i % 3]), req.clone())))
-                .collect();
-            let mut live = Vec::new();
-            for (shape, ticket) in tickets {
-                match ticket.wait() {
-                    ServiceResponse::Placed(outcome) => {
-                        live.push((shape, outcome.outcome.placement))
+            service.serve(|handle| {
+                let tickets: Vec<(usize, Ticket)> = (0..6)
+                    .map(|i| (i % 3, handle.submit(Arc::clone(&shapes[i % 3]), req.clone())))
+                    .collect();
+                let mut live = Vec::new();
+                for (shape, ticket) in tickets {
+                    match ticket.wait() {
+                        ServiceResponse::Placed(outcome) => {
+                            live.push((shape, outcome.outcome.placement))
+                        }
+                        ServiceResponse::Failed(e) => {
+                            panic!("placement failed at {planners} planners: {e}")
+                        }
+                        ServiceResponse::Released { .. } => unreachable!(),
                     }
-                    ServiceResponse::Failed(e) => panic!("placement failed: {e}"),
-                    ServiceResponse::Released { .. } => unreachable!(),
                 }
+                let releases: Vec<Ticket> = live
+                    .into_iter()
+                    .map(|(shape, placement)| {
+                        handle.submit_release(Arc::clone(&shapes[shape]), placement)
+                    })
+                    .collect();
+                for ticket in releases {
+                    assert!(matches!(ticket.wait(), ServiceResponse::Released { .. }));
+                }
+            });
+            let stats = service.stats();
+            assert_eq!(stats.committed, 6, "at {planners} planners");
+            assert_eq!(stats.released, 6, "at {planners} planners");
+            assert_eq!(service.into_session().into_state(), base, "at {planners} planners");
+        }
+    }
+
+    /// Admission control: with a bounded queue and a gated planner, the
+    /// overflow submission is shed immediately with the typed
+    /// queue-full error while admitted work completes untouched.
+    #[test]
+    fn bounded_queue_sheds_overflow_with_typed_error() {
+        let infra = infra_flat(2, 4);
+        let req = request();
+        // Gate the planner inside the plan hook so the queue can be
+        // filled deterministically while a batch is in flight.
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let hook_gate = Arc::clone(&gate);
+        let config =
+            ServiceConfig { planners: 1, batch: 1, queue_depth: 2, ..ServiceConfig::default() };
+        let mut service = PlacementService::new(SchedulerSession::new(&infra), config);
+        service.set_plan_hook(Some(PlanHook::new(move |_| {
+            let (open, cv) = &*hook_gate;
+            let mut open = lock_unpoisoned(open);
+            while !*open {
+                open = match cv.wait(open) {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
             }
-            let releases: Vec<Ticket> = live
-                .into_iter()
-                .map(|(shape, placement)| {
-                    handle.submit_release(Arc::clone(&shapes[shape]), placement)
-                })
-                .collect();
-            for ticket in releases {
-                assert!(matches!(ticket.wait(), ServiceResponse::Released { .. }));
+        })));
+
+        let shapes: Vec<Arc<ApplicationTopology>> =
+            (0..4).map(|i| Arc::new(pair_app(&format!("t{i}"), 2))).collect();
+        service.serve(|handle| {
+            // First submission is popped by the planner (which then
+            // blocks on the gate), leaving the queue empty.
+            let first = handle.submit(Arc::clone(&shapes[0]), req.clone());
+            while handle.service().stats().batches < 1 {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            // Two more fill the bounded queue; the fourth must shed.
+            let second = handle.submit(Arc::clone(&shapes[1]), req.clone());
+            let third = handle.submit(Arc::clone(&shapes[2]), req.clone());
+            let overflow = handle.submit(Arc::clone(&shapes[3]), req.clone());
+            match overflow.wait() {
+                ServiceResponse::Failed(PlacementError::QueueFull { depth }) => {
+                    assert_eq!(depth, 2)
+                }
+                other => panic!("overflow must shed with QueueFull: {other:?}"),
+            }
+            // Open the gate; everything admitted completes.
+            let (open, cv) = &*gate;
+            *lock_unpoisoned(open) = true;
+            cv.notify_all();
+            for ticket in [first, second, third] {
+                assert!(matches!(ticket.wait(), ServiceResponse::Placed(_)));
             }
         });
         let stats = service.stats();
-        assert_eq!(stats.committed, 6);
-        assert_eq!(stats.released, 6);
-        assert_eq!(service.into_session().into_state(), base);
+        assert_eq!(stats.shed_queue_full, 1);
+        assert_eq!(stats.committed, 3);
+    }
+
+    /// Deadline shedding on the deterministic virtual clock: a request
+    /// stamped before the budget's worth of ticks elapsed is shed with
+    /// the typed error before any planning; a fresh one plans.
+    #[test]
+    fn stale_deadline_budget_sheds_before_planning() {
+        let infra = infra_flat(2, 4);
+        let req = request();
+        let config = ServiceConfig {
+            planners: 1,
+            batch: 2,
+            deadline_ms: 5,
+            virtual_tick_us: 1_000, // one tick = 1ms of budget
+            ..ServiceConfig::default()
+        };
+        let service = PlacementService::new(SchedulerSession::new(&infra), config);
+        service.ticks.store(10, Ordering::Relaxed);
+
+        let expired = Arc::new(TicketInner::default());
+        let fresh = Arc::new(TicketInner::default());
+        service.process_batch(vec![
+            Job::Place {
+                topology: Arc::new(pair_app("expired", 2)),
+                request: req.clone(),
+                ticket: Arc::clone(&expired),
+                stamp: BudgetStamp::Tick(0), // 10 ticks = 10ms spent > 5ms budget
+            },
+            Job::Place {
+                topology: Arc::new(pair_app("fresh", 2)),
+                request: req.clone(),
+                ticket: Arc::clone(&fresh),
+                stamp: BudgetStamp::Tick(10), // 0ms spent
+            },
+        ]);
+        match Ticket(expired).wait() {
+            ServiceResponse::Failed(PlacementError::DeadlineExceeded { budget_ms }) => {
+                assert_eq!(budget_ms, 5)
+            }
+            other => panic!("stale budget must shed: {other:?}"),
+        }
+        assert!(matches!(Ticket(fresh).wait(), ServiceResponse::Placed(_)));
+        let stats = service.stats();
+        assert_eq!(stats.shed_deadline, 1);
+        assert_eq!(stats.committed, 1);
+    }
+
+    /// The degrade ladder's hysteresis: up fast on backlog, down only
+    /// once the queue has drained past the low-water mark.
+    #[test]
+    fn degrade_ladder_moves_with_hysteresis() {
+        let infra = infra_flat(1, 2);
+        let config = ServiceConfig {
+            degrade: DegradePolicy { enabled: true, ..DegradePolicy::default() },
+            ..ServiceConfig::default()
+        };
+        // Default thresholds: high 16, low 4, floor 64.
+        let service = PlacementService::new(SchedulerSession::new(&infra), config);
+        assert_eq!(service.update_degrade(10), LEVEL_NORMAL, "below high stays normal");
+        assert_eq!(service.update_degrade(16), LEVEL_CAPPED, "high-water trips capping");
+        assert_eq!(service.update_degrade(10), LEVEL_CAPPED, "mid-band holds (hysteresis)");
+        assert_eq!(service.update_degrade(64), LEVEL_FLOOR, "floor-water trips the floor");
+        assert_eq!(service.update_degrade(16), LEVEL_CAPPED, "draining past high re-caps");
+        assert_eq!(service.update_degrade(5), LEVEL_CAPPED, "still above low holds");
+        assert_eq!(service.update_degrade(4), LEVEL_NORMAL, "low-water restores normal");
+        assert_eq!(service.stats().degraded_transitions, 4);
+
+        // Normal jumps straight to the floor under a deep burst.
+        assert_eq!(service.update_degrade(100), LEVEL_FLOOR);
+        assert_eq!(service.update_degrade(0), LEVEL_NORMAL, "floor drains straight to normal");
+
+        // Disabled policy never degrades.
+        let off_infra = infra_flat(1, 2);
+        let off =
+            PlacementService::new(SchedulerSession::new(&off_infra), ServiceConfig::default());
+        assert_eq!(off.update_degrade(1_000), LEVEL_NORMAL);
+    }
+
+    /// At the floor level an A*-tier request plans with the greedy
+    /// engine and its outcome is flagged as degraded.
+    #[test]
+    fn floored_batch_plans_greedy_and_flags_the_outcome() {
+        let infra = infra_flat(2, 4);
+        let config = ServiceConfig {
+            degrade: DegradePolicy { enabled: true, ..DegradePolicy::default() },
+            ..ServiceConfig::default()
+        };
+        let service = PlacementService::new(SchedulerSession::new(&infra), config);
+        service.degrade_level.store(LEVEL_FLOOR, Ordering::Relaxed);
+
+        let ticket = Arc::new(TicketInner::default());
+        service.process_batch(vec![Job::Place {
+            topology: Arc::new(pair_app("a", 2)),
+            request: PlacementRequest::with_algorithm(Algorithm::BoundedAStar),
+            ticket: Arc::clone(&ticket),
+            stamp: BudgetStamp::Wall(Instant::now()),
+        }]);
+        match Ticket(ticket).wait() {
+            ServiceResponse::Placed(outcome) => {
+                assert!(outcome.outcome.stats.degraded, "outcome must carry the degraded flag");
+            }
+            other => panic!("floored request must still place: {other:?}"),
+        }
+        assert_eq!(service.stats().degraded_decisions, 1);
+
+        // A greedy request at the floor is already at the floor — no
+        // degradation recorded, no flag.
+        let greedy = Arc::new(TicketInner::default());
+        service.process_batch(vec![Job::Place {
+            topology: Arc::new(pair_app("b", 2)),
+            request: request(),
+            ticket: Arc::clone(&greedy),
+            stamp: BudgetStamp::Wall(Instant::now()),
+        }]);
+        match Ticket(greedy).wait() {
+            ServiceResponse::Placed(outcome) => assert!(!outcome.outcome.stats.degraded),
+            other => panic!("greedy request must place: {other:?}"),
+        }
+        assert_eq!(service.stats().degraded_decisions, 1);
+    }
+
+    /// Planner panics become typed per-request errors and the service
+    /// keeps serving — both on the blocking path and through serve().
+    #[test]
+    fn planner_panic_is_contained_as_a_typed_error() {
+        let infra = infra_flat(2, 4);
+        let req = request();
+        let mut service =
+            PlacementService::new(SchedulerSession::new(&infra), ServiceConfig::default());
+        service.set_plan_hook(Some(PlanHook::new(|topology| {
+            if topology.name() == "boom" {
+                panic!("injected planner fault");
+            }
+        })));
+
+        // Suppress the default panic backtrace spew for this test.
+        let prior = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let err = service.place_blocking(&pair_app("boom", 2), &req).unwrap_err();
+        match &err {
+            PlacementError::PlannerPanic { reason } => {
+                assert!(reason.contains("injected planner fault"), "reason: {reason}")
+            }
+            other => panic!("expected PlannerPanic, got {other}"),
+        }
+        // The service is still healthy.
+        service.place_blocking(&pair_app("ok", 2), &req).unwrap();
+
+        // Through the queue: the poison request fails typed, its batch
+        // neighbours still resolve, nothing hangs.
+        let shapes = [
+            Arc::new(pair_app("t0", 2)),
+            Arc::new(pair_app("boom", 2)),
+            Arc::new(pair_app("t1", 2)),
+        ];
+        let responses = service.serve(|handle| {
+            let tickets: Vec<Ticket> =
+                shapes.iter().map(|s| handle.submit(Arc::clone(s), req.clone())).collect();
+            tickets.into_iter().map(Ticket::wait).collect::<Vec<_>>()
+        });
+        std::panic::set_hook(prior);
+        assert!(matches!(&responses[0], ServiceResponse::Placed(_)));
+        assert!(matches!(
+            &responses[1],
+            ServiceResponse::Failed(PlacementError::PlannerPanic { .. })
+        ));
+        assert!(matches!(&responses[2], ServiceResponse::Placed(_)));
+        assert!(service.stats().planner_panics >= 1);
+    }
+
+    /// WAL disk-full mid-group-commit under the Reject policy: the
+    /// fsync fails between the batch's journal appends and the ack, the
+    /// whole batch is rolled back off the books, every member gets the
+    /// typed durability error, and recovery replays exactly the acked
+    /// prefix. Once the disk heals the same service commits again.
+    #[test]
+    fn disk_full_mid_group_commit_rejects_the_batch() {
+        let dir = std::env::temp_dir().join(format!("ostro-enospc-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let infra = infra_flat(2, 4);
+        let req = request();
+        let (journal, _recovery) =
+            Wal::open(&dir, &infra, WalOptions { snapshot_every: 0, ..WalOptions::default() })
+                .unwrap();
+        let mut session = SchedulerSession::new(&infra);
+        session.attach_wal(journal);
+        let armed = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let hook_armed = Arc::clone(&armed);
+        session.set_wal_fault_hook(Some(WalFaultHook::new(move |op, _seq| {
+            (hook_armed.load(Ordering::Relaxed) && op == WalIoOp::Sync)
+                .then_some(WalFault::Error(std::io::ErrorKind::StorageFull))
+        })));
+        let config = ServiceConfig {
+            planners: 1,
+            batch: 4,
+            wal_policy: DurabilityPolicy::Reject,
+            wal_retries: 2,
+            ..ServiceConfig::default()
+        };
+        let service = PlacementService::new(session, config);
+
+        // A commits durably while the disk is healthy.
+        let a = pair_app("a", 2);
+        service.place_blocking(&a, &req).unwrap();
+        let acked = wal::recover(&dir, &infra).unwrap().state;
+
+        // Disk fills; a two-member batch appends its records, then the
+        // group-commit fsync fails.
+        armed.store(true, Ordering::Relaxed);
+        let tb = Arc::new(TicketInner::default());
+        let tc = Arc::new(TicketInner::default());
+        service.process_batch(vec![
+            Job::Place {
+                topology: Arc::new(pair_app("b", 2)),
+                request: req.clone(),
+                ticket: Arc::clone(&tb),
+                stamp: BudgetStamp::Wall(Instant::now()),
+            },
+            Job::Place {
+                topology: Arc::new(pair_app("c", 2)),
+                request: req.clone(),
+                ticket: Arc::clone(&tc),
+                stamp: BudgetStamp::Wall(Instant::now()),
+            },
+        ]);
+        for ticket in [tb, tc] {
+            match Ticket(ticket).wait() {
+                ServiceResponse::Failed(PlacementError::Durability { reason }) => {
+                    assert!(reason.contains("injected"), "reason: {reason}")
+                }
+                other => panic!("un-durable member must reject typed: {other:?}"),
+            }
+        }
+        let stats = service.stats();
+        assert_eq!(stats.durability_rejections, 2);
+        assert_eq!(stats.non_durable_acks, 0, "Reject must never degrade the ack");
+        assert!(stats.wal_retry_syncs >= 1, "bounded fsync retries must have run");
+        assert_eq!(stats.committed, 1, "the rolled-back batch must not count as committed");
+
+        // Nothing beyond A is on disk or on the books.
+        assert_eq!(wal::recover(&dir, &infra).unwrap().state, acked);
+
+        // Disk heals: the same service commits D durably again.
+        armed.store(false, Ordering::Relaxed);
+        let d = pair_app("d", 2);
+        service.place_blocking(&d, &req).unwrap();
+        let live = service.into_session().into_state();
+        assert_eq!(wal::recover(&dir, &infra).unwrap().state, live);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The default Degrade policy keeps serving on WAL faults: the ack
+    /// stands, flagged as non-durable in the stats, and the fail-stop
+    /// latch carries the typed error for the report path.
+    #[test]
+    fn degrade_policy_acks_non_durably_on_wal_fault() {
+        let dir = std::env::temp_dir().join(format!("ostro-degrade-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let infra = infra_flat(2, 4);
+        let req = request();
+        let (journal, _recovery) =
+            Wal::open(&dir, &infra, WalOptions { snapshot_every: 0, ..WalOptions::default() })
+                .unwrap();
+        let mut session = SchedulerSession::new(&infra);
+        session.attach_wal(journal);
+        session.set_wal_fault_hook(Some(WalFaultHook::new(|op, _seq| {
+            (op == WalIoOp::Sync).then_some(WalFault::Error(std::io::ErrorKind::StorageFull))
+        })));
+        let service = PlacementService::new(session, ServiceConfig::default());
+
+        service.place_blocking(&pair_app("a", 2), &req).unwrap();
+        let stats = service.stats();
+        assert_eq!(stats.non_durable_acks, 1);
+        assert_eq!(stats.wal_faults, 1);
+        assert_eq!(stats.committed, 1, "the ack stands under Degrade");
+        let mut session = service.into_session();
+        let latched = session.take_wal_error().expect("fault must latch for the report path");
+        assert!(latched.to_string().contains("injected"), "latched: {latched}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -47,7 +47,7 @@ use crate::reconcile::{Divergence, DivergenceKind, HostTruth, ReconcileReport, R
 use crate::request::PlacementRequest;
 use crate::scheduler::Scheduler;
 use crate::search::mix64;
-use crate::wal::{self, Effect, Recovery, Wal, WalError, WalOp};
+use crate::wal::{self, Effect, Recovery, Wal, WalError, WalMark, WalOp};
 
 /// Entries kept per generation of the session cache; at ~24 bytes per
 /// entry the two live generations stay comfortably inside a few
@@ -453,6 +453,74 @@ impl<'a> SchedulerSession<'a> {
         let Some(w) = self.wal.as_mut() else { return };
         if let Err(e) = w.sync() {
             self.wal_error = Some(e);
+        }
+    }
+
+    /// Installs (or clears) a fault-injection hook on the attached
+    /// journal, if any — the chaos harness's WAL fault entry point.
+    pub fn set_wal_fault_hook(&mut self, hook: Option<crate::wal::WalFaultHook>) {
+        if let Some(w) = self.wal.as_mut() {
+            w.set_fault_hook(hook);
+        }
+    }
+
+    /// Captures the journal position for a later [`wal_rewind`] — the
+    /// service takes one before each group commit so a failed fsync can
+    /// be undone. `None` without an attached journal.
+    ///
+    /// [`wal_rewind`]: Self::wal_rewind
+    pub(crate) fn wal_mark(&self) -> Option<WalMark> {
+        self.wal.as_ref().map(Wal::mark)
+    }
+
+    /// Whether the journal can still be rewound to `mark` (a snapshot
+    /// compaction since the mark makes it impossible).
+    pub(crate) fn wal_can_rewind(&self, mark: &WalMark) -> bool {
+        self.wal.as_ref().is_some_and(|w| w.can_rewind(mark))
+    }
+
+    /// Rewinds the journal to `mark`, erasing every record appended
+    /// since, and clears the fail-stop latch on success so journaling
+    /// resumes — the service calls this after rolling the books back,
+    /// at which point journal and books agree again. Returns whether
+    /// the rewind succeeded; on failure the latch keeps (or takes) the
+    /// rewind error so it still surfaces.
+    pub(crate) fn wal_rewind(&mut self, mark: &WalMark) -> bool {
+        let Some(w) = self.wal.as_mut() else { return false };
+        match w.rewind(mark) {
+            Ok(()) => {
+                self.wal_error = None;
+                true
+            }
+            Err(e) => {
+                if self.wal_error.is_none() {
+                    self.wal_error = Some(e);
+                }
+                false
+            }
+        }
+    }
+
+    /// Sequence number of the journal's last durable record, if a
+    /// journal is attached.
+    pub(crate) fn wal_seq(&self) -> Option<u64> {
+        self.wal.as_ref().map(Wal::seq)
+    }
+
+    /// Retries the group-commit fsync after a failure: clears the
+    /// fail-stop latch and syncs again. Returns whether the sync
+    /// succeeded; on failure the latch is re-armed with the new error.
+    pub(crate) fn retry_sync(&mut self) -> bool {
+        let Some(w) = self.wal.as_mut() else { return false };
+        match w.sync() {
+            Ok(()) => {
+                self.wal_error = None;
+                true
+            }
+            Err(e) => {
+                self.wal_error = Some(e);
+                false
+            }
         }
     }
 

@@ -64,6 +64,7 @@ use std::fmt;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -910,6 +911,66 @@ fn collect_quarantined(flags: &[bool]) -> Vec<HostId> {
 }
 
 // ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+/// The journal I/O operation a fault hook is consulted for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WalIoOp {
+    /// A record append (consulted before any bytes are written).
+    Append,
+    /// An explicit flush + fsync via [`Wal::sync`].
+    Sync,
+    /// A snapshot + compaction via [`Wal::snapshot`].
+    Snapshot,
+}
+
+/// The fault a hook can inject into a journal operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WalFault {
+    /// Fail the operation with an I/O error of this kind (`ENOSPC`,
+    /// `EIO`, …) without touching the journal bytes.
+    Error(io::ErrorKind),
+    /// Write only a prefix of the record before failing — the torn
+    /// tail a crash mid-write leaves, which recovery's last-good-record
+    /// scan tolerates and [`Wal::rewind`](Wal) truncates away. Only
+    /// meaningful for [`WalIoOp::Append`]; elsewhere it degrades to a
+    /// plain error.
+    Torn,
+}
+
+/// An injectable fault hook: consulted with the operation and the
+/// sequence number it concerns, it returns `Some(fault)` to make that
+/// operation fail. A hook that sleeps before returning `None` models a
+/// slow disk. Install one with [`Wal::set_fault_hook`]; production
+/// journals have none and pay only an `Option` check.
+#[derive(Clone)]
+pub struct WalFaultHook(Arc<dyn Fn(WalIoOp, u64) -> Option<WalFault> + Send + Sync>);
+
+impl WalFaultHook {
+    /// Wraps a fault-drawing closure.
+    pub fn new(f: impl Fn(WalIoOp, u64) -> Option<WalFault> + Send + Sync + 'static) -> Self {
+        WalFaultHook(Arc::new(f))
+    }
+
+    fn draw(&self, op: WalIoOp, seq: u64) -> Option<WalFault> {
+        (self.0)(op, seq)
+    }
+}
+
+impl fmt::Debug for WalFaultHook {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("WalFaultHook(..)")
+    }
+}
+
+fn injected(kind: io::ErrorKind, what: &str) -> io::Error {
+    io::Error::new(kind, format!("injected {what} fault"))
+}
+
+// ---------------------------------------------------------------------------
 // The writer
 // ---------------------------------------------------------------------------
 
@@ -926,7 +987,27 @@ pub struct Wal {
     snapshot_seq: Option<u64>,
     since_snapshot: u64,
     snapshots_taken: u64,
+    journal_bytes: u64,
     options: WalOptions,
+    fault: Option<WalFaultHook>,
+}
+
+/// A journal position captured before a group commit: enough to
+/// [`Wal::rewind`](Wal) the journal to exactly this point if the
+/// commit cannot be made durable.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct WalMark {
+    seq: u64,
+    bytes: u64,
+    since_snapshot: u64,
+    generation: u64,
+}
+
+impl WalMark {
+    /// Sequence number of the last record covered by the mark.
+    pub(crate) fn seq(&self) -> u64 {
+        self.seq
+    }
 }
 
 impl Wal {
@@ -967,7 +1048,7 @@ impl Wal {
             file.set_len(scan.good_len).map_err(|e| io_err(&path, e))?;
             file.sync_data().map_err(|e| io_err(&path, e))?;
         }
-        file.seek(SeekFrom::End(0)).map_err(|e| io_err(&path, e))?;
+        let journal_bytes = file.seek(SeekFrom::End(0)).map_err(|e| io_err(&path, e))?;
         let mut wal = Wal {
             path,
             dir: dir.to_path_buf(),
@@ -977,7 +1058,9 @@ impl Wal {
             snapshot_seq: recovery.snapshot_seq,
             since_snapshot: if scan.good_len == 0 { 0 } else { recovery.records_replayed },
             snapshots_taken: 0,
+            journal_bytes,
             options,
+            fault: None,
         };
         if scan.stale_prefix {
             // A previous compaction crashed between the snapshot rename
@@ -1019,6 +1102,24 @@ impl Wal {
     pub fn append(&mut self, op: WalOp, effects: &[Effect]) -> Result<u64, WalError> {
         let seq = self.seq + 1;
         let record = encode_record(seq, op, effects);
+        if let Some(fault) = self.fault.as_ref().and_then(|h| h.draw(WalIoOp::Append, seq)) {
+            match fault {
+                WalFault::Error(kind) => return Err(io_err(&self.path, injected(kind, "append"))),
+                WalFault::Torn => {
+                    // Leave exactly what a crash mid-write leaves: a
+                    // prefix of the record on disk. Recovery truncates
+                    // it; so does `rewind`.
+                    let half = record.len() / 2;
+                    let _ = self.writer.write_all(&record[..half]);
+                    let _ = self.writer.flush();
+                    self.journal_bytes += half as u64;
+                    return Err(io_err(
+                        &self.path,
+                        injected(io::ErrorKind::WriteZero, "torn append"),
+                    ));
+                }
+            }
+        }
         self.writer.write_all(&record).map_err(|e| io_err(&self.path, e))?;
         self.writer.flush().map_err(|e| io_err(&self.path, e))?;
         if self.options.sync == SyncPolicy::Always {
@@ -1026,7 +1127,68 @@ impl Wal {
         }
         self.seq = seq;
         self.since_snapshot += 1;
+        self.journal_bytes += record.len() as u64;
         Ok(seq)
+    }
+
+    /// Installs (or clears) the fault-injection hook consulted before
+    /// every append, sync, and snapshot.
+    pub fn set_fault_hook(&mut self, hook: Option<WalFaultHook>) {
+        self.fault = hook;
+    }
+
+    /// Captures the journal's current position for a later [`rewind`].
+    ///
+    /// [`rewind`]: Wal::rewind
+    pub(crate) fn mark(&self) -> WalMark {
+        WalMark {
+            seq: self.seq,
+            bytes: self.journal_bytes,
+            since_snapshot: self.since_snapshot,
+            generation: self.snapshots_taken,
+        }
+    }
+
+    /// Whether [`rewind`](Self::rewind) to `mark` is possible — false
+    /// once a snapshot compaction has run since the mark was taken.
+    pub(crate) fn can_rewind(&self, mark: &WalMark) -> bool {
+        mark.generation == self.snapshots_taken
+    }
+
+    /// Truncates the journal back to `mark`, erasing every record (and
+    /// any torn residue) appended since. Used by the service to undo a
+    /// group commit whose fsync failed under a rejecting durability
+    /// policy, so the on-disk journal never claims commits that were
+    /// never acknowledged.
+    ///
+    /// # Errors
+    ///
+    /// [`WalError::Snapshot`] if a snapshot compaction has run since
+    /// the mark was taken (the marked bytes no longer exist);
+    /// [`WalError::Io`] if the truncation itself fails.
+    pub(crate) fn rewind(&mut self, mark: &WalMark) -> Result<(), WalError> {
+        if mark.generation != self.snapshots_taken {
+            return Err(WalError::Snapshot {
+                path: self.path.clone(),
+                reason: "cannot rewind across a snapshot compaction".into(),
+            });
+        }
+        // A failed flush can strand half-written bytes inside the
+        // BufWriter; replace the writer wholesale so that residue can
+        // never reach disk after the truncation.
+        let _ = self.writer.flush();
+        if !self.writer.buffer().is_empty() {
+            let file = self.writer.get_ref().try_clone().map_err(|e| io_err(&self.path, e))?;
+            self.writer = io::BufWriter::new(file);
+        }
+        let file = self.writer.get_mut();
+        file.set_len(mark.bytes).map_err(|e| io_err(&self.path, e))?;
+        file.seek(SeekFrom::Start(mark.bytes)).map_err(|e| io_err(&self.path, e))?;
+        file.sync_data().map_err(|e| io_err(&self.path, e))?;
+        self.seq = mark.seq;
+        self.since_snapshot = mark.since_snapshot;
+        self.journal_bytes = mark.bytes;
+        Ok(())
     }
 
     /// Whether the automatic snapshot cadence is due.
@@ -1058,6 +1220,13 @@ impl Wal {
                 expected: self.host_count,
                 found: state.host_count(),
             });
+        }
+        if let Some(fault) = self.fault.as_ref().and_then(|h| h.draw(WalIoOp::Snapshot, self.seq)) {
+            let kind = match fault {
+                WalFault::Error(kind) => kind,
+                WalFault::Torn => io::ErrorKind::WriteZero,
+            };
+            return Err(io_err(&self.path, injected(kind, "snapshot")));
         }
         // Make the journal durable first: the snapshot must never be
         // *ahead* of the journal it replaces.
@@ -1100,6 +1269,7 @@ impl Wal {
         self.snapshot_seq = Some(self.seq);
         self.since_snapshot = 0;
         self.snapshots_taken += 1;
+        self.journal_bytes = HEADER_LEN as u64;
         Ok(())
     }
 
@@ -1110,6 +1280,13 @@ impl Wal {
     /// [`WalError::Io`] on disk failure.
     pub fn sync(&mut self) -> Result<(), WalError> {
         self.writer.flush().map_err(|e| io_err(&self.path, e))?;
+        if let Some(fault) = self.fault.as_ref().and_then(|h| h.draw(WalIoOp::Sync, self.seq)) {
+            let kind = match fault {
+                WalFault::Error(kind) => kind,
+                WalFault::Torn => io::ErrorKind::WriteZero,
+            };
+            return Err(io_err(&self.path, injected(kind, "fsync")));
+        }
         self.writer.get_ref().sync_data().map_err(|e| io_err(&self.path, e))
     }
 
@@ -1282,6 +1459,108 @@ mod tests {
             assert_eq!(healed.seq, 3, "{tag}");
             let _ = fs::remove_dir_all(&dir);
         }
+    }
+
+    #[test]
+    fn fault_hook_fails_the_operation_and_clears_cleanly() {
+        let infra = infra(2);
+        let dir = temp_dir("fault-hook");
+        let res = Resources::new(1, 1_024, 10);
+        let (mut wal, _) = Wal::open(&dir, &infra, WalOptions::default()).unwrap();
+        wal.set_fault_hook(Some(WalFaultHook::new(|op, _seq| match op {
+            WalIoOp::Append => Some(WalFault::Error(io::ErrorKind::StorageFull)),
+            _ => None,
+        })));
+        let err = wal
+            .append(WalOp::ReserveNode, &[Effect::ReserveNode { host: h(0), resources: res }])
+            .unwrap_err();
+        assert!(matches!(err, WalError::Io { .. }), "got {err:?}");
+        assert_eq!(wal.seq(), 0, "a failed append must not advance the sequence");
+        // The failed append left no bytes behind: the journal still
+        // accepts and recovers records once the fault clears.
+        wal.set_fault_hook(None);
+        wal.append(WalOp::ReserveNode, &[Effect::ReserveNode { host: h(0), resources: res }])
+            .unwrap();
+        drop(wal);
+        let recovery = recover(&dir, &infra).unwrap();
+        assert_eq!(recovery.seq, 1);
+        assert!(!recovery.truncated_tail);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rewind_erases_everything_after_the_mark() {
+        let infra = infra(2);
+        let dir = temp_dir("rewind");
+        let res = Resources::new(1, 1_024, 10);
+        let (mut wal, _) = Wal::open(&dir, &infra, WalOptions::default()).unwrap();
+        wal.append(WalOp::ReserveNode, &[Effect::ReserveNode { host: h(0), resources: res }])
+            .unwrap();
+        let mark = wal.mark();
+        assert_eq!(mark.seq(), 1);
+        wal.append(WalOp::ReserveNode, &[Effect::ReserveNode { host: h(1), resources: res }])
+            .unwrap();
+        wal.append(WalOp::ReserveNode, &[Effect::ReserveNode { host: h(2), resources: res }])
+            .unwrap();
+        wal.rewind(&mark).unwrap();
+        assert_eq!(wal.seq(), 1);
+        // The erased sequence numbers are reusable — the journal is
+        // exactly as it was at the mark.
+        let seq = wal
+            .append(WalOp::ReserveNode, &[Effect::ReserveNode { host: h(3), resources: res }])
+            .unwrap();
+        assert_eq!(seq, 2);
+        drop(wal);
+        let recovery = recover(&dir, &infra).unwrap();
+        assert_eq!(recovery.seq, 2);
+        assert_eq!(recovery.records_replayed, 2);
+        let mut expected = CapacityState::new(&infra);
+        expected.reserve_node(h(0), res).unwrap();
+        expected.reserve_node(h(3), res).unwrap();
+        assert_eq!(recovery.state, expected, "rewound records must not replay");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rewind_truncates_torn_residue() {
+        let infra = infra(2);
+        let dir = temp_dir("rewind-torn");
+        let res = Resources::new(1, 1_024, 10);
+        let (mut wal, _) = Wal::open(&dir, &infra, WalOptions::default()).unwrap();
+        wal.append(WalOp::ReserveNode, &[Effect::ReserveNode { host: h(0), resources: res }])
+            .unwrap();
+        let mark = wal.mark();
+        wal.set_fault_hook(Some(WalFaultHook::new(|op, _| {
+            (op == WalIoOp::Append).then_some(WalFault::Torn)
+        })));
+        let err = wal
+            .append(WalOp::ReserveNode, &[Effect::ReserveNode { host: h(1), resources: res }])
+            .unwrap_err();
+        assert!(matches!(err, WalError::Io { .. }), "got {err:?}");
+        wal.set_fault_hook(None);
+        wal.rewind(&mark).unwrap();
+        drop(wal);
+        let recovery = recover(&dir, &infra).unwrap();
+        assert_eq!(recovery.seq, 1);
+        assert!(!recovery.truncated_tail, "rewind must have erased the torn bytes");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rewind_refuses_to_cross_a_snapshot_compaction() {
+        let infra = infra(2);
+        let dir = temp_dir("rewind-snap");
+        let res = Resources::new(1, 1_024, 10);
+        let (mut wal, _) = Wal::open(&dir, &infra, WalOptions::default()).unwrap();
+        let mark = wal.mark();
+        let mut state = CapacityState::new(&infra);
+        state.reserve_node(h(0), res).unwrap();
+        wal.append(WalOp::ReserveNode, &[Effect::ReserveNode { host: h(0), resources: res }])
+            .unwrap();
+        wal.snapshot(&state, &[]).unwrap();
+        let err = wal.rewind(&mark).unwrap_err();
+        assert!(matches!(err, WalError::Snapshot { .. }), "got {err:?}");
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -17,8 +17,19 @@
 //!
 //! [`PlanProbe`] adapts a plan to the executor's
 //! [`FaultProbe`](ostro_core::FaultProbe) interface for one tick.
+//!
+//! [`ChaosPlan`] extends the same stateless-draw idiom to the
+//! *service* layer: seeded planner panics, planning latency spikes,
+//! and WAL I/O faults, packaged as the hooks
+//! ([`PlanHook`](ostro_core::PlanHook) /
+//! [`WalFaultHook`](ostro_core::WalFaultHook)) the placement service
+//! and the session accept.
 
-use ostro_core::{FaultProbe, LaunchVerdict};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use ostro_core::{FaultProbe, LaunchVerdict, PlanHook, WalFault, WalFaultHook, WalIoOp};
 use ostro_datacenter::HostId;
 use ostro_model::NodeId;
 use rand::rngs::SmallRng;
@@ -183,6 +194,143 @@ impl FaultProbe for PlanProbe<'_> {
     }
 }
 
+/// Knobs of a seeded service-layer chaos plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosConfig {
+    /// Seed for every chaos stream (independent of workload and churn
+    /// fault seeds).
+    pub seed: u64,
+    /// Probability that one planning invocation panics.
+    pub panic_prob: f64,
+    /// Probability that one planning invocation stalls for
+    /// [`latency_ms`](Self::latency_ms).
+    pub latency_prob: f64,
+    /// Length of an injected planning stall, in milliseconds.
+    pub latency_ms: u64,
+    /// Probability that one WAL I/O operation draws a fault.
+    pub wal_fault_prob: f64,
+    /// Of drawn WAL faults, the fraction that are torn writes; the
+    /// rest surface as I/O errors (disk-full).
+    pub torn_fraction: f64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 0xC4A0_5EED,
+            panic_prob: 0.02,
+            latency_prob: 0.05,
+            latency_ms: 2,
+            wal_fault_prob: 0.01,
+            torn_fraction: 0.25,
+        }
+    }
+}
+
+/// A seeded chaos schedule for one service run. Every verdict is a
+/// stateless hash of the seed and the event's coordinates — the
+/// planning-invocation ordinal, or the WAL `(operation, sequence)`
+/// pair — so the same seed draws the same faults regardless of how
+/// calls interleave.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosPlan {
+    config: ChaosConfig,
+}
+
+impl ChaosPlan {
+    /// Materializes the plan (pure configuration; the draws are lazy).
+    #[must_use]
+    pub fn new(config: ChaosConfig) -> Self {
+        ChaosPlan { config }
+    }
+
+    /// The configuration this plan draws from.
+    #[must_use]
+    pub fn config(&self) -> &ChaosConfig {
+        &self.config
+    }
+
+    /// Whether planning invocation number `invocation` panics.
+    #[must_use]
+    pub fn planner_panics(&self, invocation: u64) -> bool {
+        hash_unit(&[self.config.seed, 0x9A01C, invocation]) < self.config.panic_prob
+    }
+
+    /// The stall injected into planning invocation `invocation`, in
+    /// milliseconds (0 = none).
+    #[must_use]
+    pub fn latency_spike_ms(&self, invocation: u64) -> u64 {
+        if hash_unit(&[self.config.seed, 0x01A7_E4C1, invocation]) < self.config.latency_prob {
+            self.config.latency_ms
+        } else {
+            0
+        }
+    }
+
+    /// The fault (if any) drawn for WAL operation `op` at journal
+    /// sequence `seq`.
+    #[must_use]
+    pub fn wal_fault(&self, op: WalIoOp, seq: u64) -> Option<WalFault> {
+        let op_tag = match op {
+            WalIoOp::Append => 1u64,
+            WalIoOp::Sync => 2,
+            _ => 3,
+        };
+        if hash_unit(&[self.config.seed, 0x3A11_F417, op_tag, seq]) >= self.config.wal_fault_prob {
+            return None;
+        }
+        // Torn writes only make sense for appends; everything else
+        // surfaces as the I/O error.
+        if op == WalIoOp::Append
+            && hash_unit(&[self.config.seed, 0x7042, op_tag, seq]) < self.config.torn_fraction
+        {
+            Some(WalFault::Torn)
+        } else {
+            Some(WalFault::Error(std::io::ErrorKind::StorageFull))
+        }
+    }
+
+    /// The plan as a service plan hook: each planning invocation takes
+    /// the next ordinal from a shared counter, sleeps through its
+    /// latency spike, then panics if the draw says so. Deterministic
+    /// when the service runs one planner (invocation order is queue
+    /// order); with more planners the ordinals depend on thread
+    /// interleaving.
+    #[must_use]
+    pub fn plan_hook(&self) -> PlanHook {
+        let plan = self.clone();
+        let invocations = Arc::new(AtomicU64::new(0));
+        PlanHook::new(move |_topology| {
+            let i = invocations.fetch_add(1, Ordering::Relaxed);
+            let stall = plan.latency_spike_ms(i);
+            if stall > 0 {
+                std::thread::sleep(Duration::from_millis(stall));
+            }
+            if plan.planner_panics(i) {
+                panic!("chaos: injected planner panic at invocation {i}");
+            }
+        })
+    }
+
+    /// The plan as a WAL fault hook. Draws on the hook's own
+    /// consultation ordinal rather than the journal sequence the
+    /// operation reports: a rejected batch rewinds the journal and
+    /// *reuses* its sequence numbers, and drawing on those would
+    /// re-inject the identical fault forever — a permanent wedge
+    /// instead of a transient one. The ordinal always advances, so the
+    /// disk "heals" the way a real flaky disk does, while staying a
+    /// pure function of the consultation history (deterministic for a
+    /// serialized single-planner run).
+    #[must_use]
+    pub fn wal_hook(&self) -> WalFaultHook {
+        let plan = self.clone();
+        let consults = Arc::new(AtomicU64::new(0));
+        WalFaultHook::new(move |op, _seq| {
+            plan.wal_fault(op, consults.fetch_add(1, Ordering::Relaxed))
+        })
+    }
+}
+
 /// splitmix64 finalizer — the same mixer the vendored rand facade uses
 /// for seeding, applied here as a stateless hash.
 fn mix(mut z: u64) -> u64 {
@@ -305,6 +453,52 @@ mod tests {
         for tick in 0..30 {
             assert_eq!(p.race_leaks(tick), p.race_leaks(tick));
         }
+    }
+
+    #[test]
+    fn chaos_draws_are_deterministic_and_gated() {
+        let plan = ChaosPlan::new(ChaosConfig::default());
+        for i in 0..200 {
+            assert_eq!(plan.planner_panics(i), plan.planner_panics(i));
+            assert_eq!(plan.latency_spike_ms(i), plan.latency_spike_ms(i));
+            assert_eq!(
+                plan.wal_fault(WalIoOp::Sync, i),
+                plan.wal_fault(WalIoOp::Sync, i),
+                "WAL draws must be pure functions of (op, seq)"
+            );
+        }
+
+        let quiet = ChaosPlan::new(ChaosConfig {
+            panic_prob: 0.0,
+            latency_prob: 0.0,
+            wal_fault_prob: 0.0,
+            ..ChaosConfig::default()
+        });
+        for i in 0..200 {
+            assert!(!quiet.planner_panics(i));
+            assert_eq!(quiet.latency_spike_ms(i), 0);
+            assert_eq!(quiet.wal_fault(WalIoOp::Append, i), None);
+        }
+
+        let loud = ChaosPlan::new(ChaosConfig {
+            panic_prob: 1.0,
+            latency_prob: 1.0,
+            latency_ms: 7,
+            wal_fault_prob: 1.0,
+            torn_fraction: 1.0,
+            ..ChaosConfig::default()
+        });
+        assert!(loud.planner_panics(0));
+        assert_eq!(loud.latency_spike_ms(0), 7);
+        assert_eq!(
+            loud.wal_fault(WalIoOp::Append, 3),
+            Some(WalFault::Torn),
+            "torn fraction 1.0 makes every append fault a torn write"
+        );
+        assert!(
+            matches!(loud.wal_fault(WalIoOp::Sync, 3), Some(WalFault::Error(_))),
+            "torn writes never hit syncs"
+        );
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub mod workloads;
 
 pub use availability::AvailabilityProfile;
 pub use churn::{run_churn, ChurnConfig, ChurnReport, FaultStats, RecoveryConfig};
-pub use faults::{FaultConfig, FaultPlan, PlanProbe};
+pub use faults::{ChaosConfig, ChaosPlan, FaultConfig, FaultPlan, PlanProbe};
 pub use requirements::{RequirementClass, RequirementMix};
 pub use runner::{run_comparison, ComparisonRow, SimError};
 pub use stream::{arrival_stream, StreamConfig, StreamEvent, StreamPlan};

@@ -36,11 +36,16 @@ pub struct StreamConfig {
     pub depart_prob: f64,
     /// Seed for both the shape catalog and the event draws.
     pub seed: u64,
+    /// Arrivals per submission wave; `0` keeps the whole plan a single
+    /// wave. A driver that dumps each wave at once and drains between
+    /// waves turns the schedule into an overload burst pattern — the
+    /// wave size over the service's batch size is the burst factor.
+    pub burst: usize,
 }
 
 impl Default for StreamConfig {
     fn default() -> Self {
-        StreamConfig { requests: 64, depart_prob: 0.3, seed: 0x5EED_57AE }
+        StreamConfig { requests: 64, depart_prob: 0.3, seed: 0x5EED_57AE, burst: 0 }
     }
 }
 
@@ -76,6 +81,9 @@ pub struct StreamPlan {
     pub events: Vec<StreamEvent>,
     /// The shape index of each arrival: `shape_of[a]` for arrival `a`.
     pub shape_of: Vec<usize>,
+    /// Event-index starts of the submission waves, in order; always
+    /// `[0]` when [`StreamConfig::burst`] is `0` (one wave).
+    pub wave_starts: Vec<usize>,
 }
 
 impl StreamPlan {
@@ -89,6 +97,13 @@ impl StreamPlan {
     #[must_use]
     pub fn departures(&self) -> usize {
         self.events.len() - self.arrivals()
+    }
+
+    /// The submission waves, in order: contiguous event slices whose
+    /// concatenation is exactly [`events`](Self::events).
+    pub fn waves(&self) -> impl Iterator<Item = &[StreamEvent]> {
+        let ends = self.wave_starts.iter().copied().skip(1).chain([self.events.len()]);
+        self.wave_starts.iter().copied().zip(ends).map(|(start, end)| &self.events[start..end])
     }
 }
 
@@ -129,7 +144,11 @@ pub fn arrival_stream(config: &StreamConfig) -> Result<StreamPlan, ModelError> {
     let mut events = Vec::with_capacity(config.requests * 2);
     let mut shape_of = Vec::with_capacity(config.requests);
     let mut resident: Vec<usize> = Vec::new();
+    let mut wave_starts = vec![0];
     for arrival in 0..config.requests {
+        if config.burst > 0 && arrival > 0 && arrival % config.burst == 0 {
+            wave_starts.push(events.len());
+        }
         let shape = rng.gen_range(0..shapes.len());
         shape_of.push(shape);
         events.push(StreamEvent::Arrive { arrival, shape });
@@ -140,7 +159,7 @@ pub fn arrival_stream(config: &StreamConfig) -> Result<StreamPlan, ModelError> {
             events.push(StreamEvent::Depart { arrival: departing });
         }
     }
-    Ok(StreamPlan { shapes, events, shape_of })
+    Ok(StreamPlan { shapes, events, shape_of, wave_starts })
 }
 
 #[cfg(test)]
@@ -149,7 +168,7 @@ mod tests {
 
     #[test]
     fn same_seed_same_schedule() {
-        let config = StreamConfig { requests: 40, depart_prob: 0.4, seed: 7 };
+        let config = StreamConfig { requests: 40, depart_prob: 0.4, seed: 7, burst: 0 };
         let a = arrival_stream(&config).unwrap();
         let b = arrival_stream(&config).unwrap();
         assert_eq!(a.events, b.events);
@@ -159,7 +178,7 @@ mod tests {
 
     #[test]
     fn departures_follow_their_arrivals_exactly_once() {
-        let config = StreamConfig { requests: 60, depart_prob: 0.5, seed: 11 };
+        let config = StreamConfig { requests: 60, depart_prob: 0.5, seed: 11, burst: 0 };
         let plan = arrival_stream(&config).unwrap();
         assert_eq!(plan.arrivals(), 60);
         let mut arrived = vec![false; plan.arrivals()];
@@ -183,9 +202,28 @@ mod tests {
     }
 
     #[test]
+    fn burst_waves_partition_the_event_list() {
+        let config = StreamConfig { requests: 10, depart_prob: 0.5, seed: 9, burst: 4 };
+        let plan = arrival_stream(&config).unwrap();
+        assert_eq!(plan.wave_starts.len(), 3, "10 arrivals at 4 per wave is 3 waves");
+        let rejoined: Vec<StreamEvent> = plan.waves().flatten().copied().collect();
+        assert_eq!(rejoined, plan.events, "waves must concatenate back to the schedule");
+        for (i, wave) in plan.waves().enumerate() {
+            let arrivals = wave.iter().filter(|e| matches!(e, StreamEvent::Arrive { .. })).count();
+            assert!(arrivals <= 4, "wave {i} holds {arrivals} arrivals");
+        }
+        // The same seed without bursts produces the same events in one
+        // wave — the burst knob only re-partitions, never re-draws.
+        let single = arrival_stream(&StreamConfig { burst: 0, ..config.clone() }).unwrap();
+        assert_eq!(single.events, plan.events);
+        assert_eq!(single.wave_starts, vec![0]);
+    }
+
+    #[test]
     fn zero_depart_prob_is_arrivals_only() {
         let plan =
-            arrival_stream(&StreamConfig { requests: 10, depart_prob: 0.0, seed: 3 }).unwrap();
+            arrival_stream(&StreamConfig { requests: 10, depart_prob: 0.0, seed: 3, burst: 0 })
+                .unwrap();
         assert_eq!(plan.events.len(), 10);
         assert_eq!(plan.departures(), 0);
     }

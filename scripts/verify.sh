@@ -82,6 +82,12 @@ diff <(strip_restart_fields "$tmp/crash.json") \
 # --bench service` — additionally fails on a >10% req/s regression
 # against the checked-in BENCH_service.json on a comparable box.)
 cargo bench -p ostro-bench --bench service -- --smoke
+# Chaos smoke (small fleet): a burst-overload drill (bounded queue +
+# deadline budgets, baseline vs degrade ladder) and a seeded WAL/panic
+# fault storm under DurabilityPolicy::Reject — asserts every arrival
+# resolves typed, no acknowledged commit is lost (recovered ≡ live
+# books), and two same-seed storms are bit-identical.
+cargo bench -p ostro-bench --bench chaos -- --smoke
 # Service-vs-serial decision digest through the CLI: with one planner
 # and batch size one the service degenerates to the serial path, so
 # the same seeded stream must reach the identical decision set (the
@@ -94,6 +100,16 @@ serve_stream --serial > "$tmp/serve-serial.json"
 serve_stream --planners 1 --batch 1 > "$tmp/serve-service.json"
 diff <(grep -o '"decision_digest": "[0-9a-f]*"' "$tmp/serve-serial.json") \
      <(grep -o '"decision_digest": "[0-9a-f]*"' "$tmp/serve-service.json")
+# Burst-overload serve through the CLI: a bounded ingress queue under a
+# one-shot 32-request burst must shed with typed errors, account for
+# every arrival in exactly one bucket, and still exit cleanly.
+cargo run -q --release -p ostro-cli -- serve --infra "$tmp/infra.json" \
+  --requests 32 --depart-prob 0.0 --seed 7 --planners 1 --batch 1 \
+  --queue-depth 1 --degrade > "$tmp/serve-overload.json"
+count() { grep -o "\"$1\": [0-9]*" "$tmp/serve-overload.json" | head -1 | grep -o '[0-9]*$'; }
+test "$(count shed)" -gt 0
+test "$(( $(count placed) + $(count rejected) + $(count shed) + $(count panicked) ))" \
+  -eq "$(count arrivals)"
 # Recovery through the CLI: a journaled placement must be rebuildable
 # from its write-ahead log alone.
 cargo run -q --release -p ostro-cli -- place --infra "$tmp/infra.json" \
