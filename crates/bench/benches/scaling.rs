@@ -1,12 +1,21 @@
 //! Criterion benches for Figures 9 and 10c/d: algorithm run time as
 //! the multi-tier / mesh topologies scale, on a data center reduced to
 //! a benchable size (the figure *binaries* run the full 2400 hosts).
+//!
+//! Also covers the multi-pod `pod_fleet` generator at CI-sized fleets,
+//! comparing sharded and unsharded requests and emitting one
+//! machine-readable `shard_curve_row {json}` line per fleet — the same
+//! row shape `benches/shard.rs` prints for its 1k/10k/100k curve, so
+//! both benches feed one latency-vs-fleet-size curve.
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{BenchmarkId, Criterion};
 use ostro_bench::{mesh_instance, multi_tier_instance, Args};
 use ostro_core::{Algorithm, ObjectiveWeights, PlacementRequest, Scheduler};
+use ostro_model::{ApplicationTopology, Bandwidth, TopologyBuilder};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 
 fn bench_args() -> Args {
     Args { racks: 10, hosts_per_rack: 8, ..Args::default() }
@@ -72,5 +81,69 @@ fn bench_mesh(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_multi_tier, bench_mesh);
-criterion_main!(benches);
+/// The multi-pod fleets this bench covers: CI-sized points below the
+/// 1k/10k/100k curve `benches/shard.rs` measures.
+const POD_FLEETS: [(usize, usize, usize); 2] = [(8, 2, 16), (10, 5, 20)];
+
+/// The same 16-VM chain family on every pod fleet.
+fn pod_fleet_topology() -> ApplicationTopology {
+    let mut b = TopologyBuilder::new("pod-fleet-scaling");
+    let ids: Vec<_> = (0..16).map(|i| b.vm(format!("vm{i}"), 2, 2_048).unwrap()).collect();
+    for w in ids.windows(2) {
+        b.link(w[0], w[1], Bandwidth::from_mbps(80)).unwrap();
+    }
+    b.build().unwrap()
+}
+
+fn bench_pod_fleet(c: &mut Criterion) {
+    let topo = pod_fleet_topology();
+    for (pods, racks, hosts_per_rack) in POD_FLEETS {
+        let hosts = pods * racks * hosts_per_rack;
+        let mut rng = SmallRng::seed_from_u64(0x5AAD_0000 ^ hosts as u64);
+        let (infra, state) =
+            ostro_sim::scenarios::pod_fleet(pods, racks, hosts_per_rack, true, &mut rng).unwrap();
+        let scheduler = Scheduler::new(&infra);
+        let mut group = c.benchmark_group(format!("pod_fleet_runtime/{hosts}"));
+        group.sample_size(10);
+        for (mode, shard) in [("sharded", true), ("unsharded", false)] {
+            let request = PlacementRequest { shard, ..PlacementRequest::default() };
+            group.bench_with_input(BenchmarkId::from_parameter(mode), &request, |b, request| {
+                b.iter(|| scheduler.place(&topo, &state, request).unwrap());
+            });
+        }
+        group.finish();
+    }
+}
+
+fn median_ms(c: &Criterion, id: &str) -> f64 {
+    c.measurements
+        .iter()
+        .find(|m| m.id == id)
+        .unwrap_or_else(|| panic!("missing measurement {id}"))
+        .median
+        .as_secs_f64()
+        * 1e3
+}
+
+/// One `shard_curve_row` line per pod fleet, shaped exactly like the
+/// rows `benches/shard.rs` prints, so downstream tooling can merge
+/// both into one curve.
+fn emit_pod_fleet_rows(c: &Criterion) {
+    for (pods, racks, hosts_per_rack) in POD_FLEETS {
+        let hosts = pods * racks * hosts_per_rack;
+        let sharded = median_ms(c, &format!("pod_fleet_runtime/{hosts}/sharded"));
+        let unsharded = median_ms(c, &format!("pod_fleet_runtime/{hosts}/unsharded"));
+        println!(
+            "shard_curve_row {{\"fleet\": \"pod_fleet\", \"hosts\": {hosts}, \"pods\": {pods}, \
+             \"sharded_ms\": {sharded:.3}, \"unsharded_ms\": {unsharded:.3}}}"
+        );
+    }
+}
+
+fn main() {
+    let mut criterion = Criterion::default().configure_from_args();
+    bench_multi_tier(&mut criterion);
+    bench_mesh(&mut criterion);
+    bench_pod_fleet(&mut criterion);
+    emit_pod_fleet_rows(&criterion);
+}

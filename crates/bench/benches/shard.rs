@@ -1,0 +1,295 @@
+//! Scaling curve for the two-level sharded placement: pod-digest
+//! pre-selection plus range-restricted exact search, measured on
+//! multi-pod fleets from 1k to 100k hosts against the plain unsharded
+//! engine.
+//!
+//! Writes `BENCH_shard.json` at the repository root with the latency
+//! curve, the quality ratio at the smallest size (where unsharded is
+//! cheap enough to compare), and the PR's two scaling gates:
+//! the 100k-host sharded point must land within 2x of the 10k-host
+//! sharded point, and the *unsharded* 10k point must already exceed
+//! the sharded 100k point.
+//!
+//! `--smoke` runs a 64-host fleet (used by `scripts/verify.sh`) and
+//! writes `target/BENCH_shard_smoke.json` instead. Both artifacts
+//! carry two seeded decision digests over EG/BA*/DBA*:
+//! `unsharded_digest` (plain requests) and `sharded_all_digest`
+//! (sharded requests whose K spans every pod) — verify.sh diffs them
+//! to pin that K-covering-all-pods sharding never changes a decision.
+//!
+//! Each stdout row is also emitted as a machine-readable
+//! `shard_curve_row {json}` line; `benches/scaling.rs` emits rows of
+//! the same shape for its smaller fleets, so both feed one curve.
+
+use std::time::Duration;
+
+use criterion::Criterion;
+use ostro_core::{Algorithm, PlacementRequest, SchedulerSession};
+use ostro_datacenter::{CapacityState, HostId, Infrastructure};
+use ostro_model::{ApplicationTopology, Bandwidth, Resources, TopologyBuilder};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One fleet on the curve. Host counts: pods x racks x hosts-per-rack.
+/// The 10k and 100k fleets share a 1,000-host pod size, so the exact
+/// stage does identical work at both and the curve isolates the
+/// fleet-size-dependent costs.
+struct Fleet {
+    pods: usize,
+    racks_per_pod: usize,
+    hosts_per_rack: usize,
+    /// Measure the unsharded baseline too (skipped at 100k, where only
+    /// the sharded engine is expected to stay interactive).
+    unsharded: bool,
+}
+
+impl Fleet {
+    const fn hosts(&self) -> usize {
+        self.pods * self.racks_per_pod * self.hosts_per_rack
+    }
+}
+
+const CURVE: [Fleet; 3] = [
+    Fleet { pods: 10, racks_per_pod: 5, hosts_per_rack: 20, unsharded: true },
+    Fleet { pods: 10, racks_per_pod: 25, hosts_per_rack: 40, unsharded: true },
+    Fleet { pods: 100, racks_per_pod: 25, hosts_per_rack: 40, unsharded: false },
+];
+
+const SMOKE_FLEET: [Fleet; 1] =
+    [Fleet { pods: 4, racks_per_pod: 2, hosts_per_rack: 8, unsharded: true }];
+
+fn build_fleet(f: &Fleet) -> (Infrastructure, CapacityState) {
+    let mut rng = SmallRng::seed_from_u64(0x5AAD_0000 ^ f.hosts() as u64);
+    ostro_sim::scenarios::pod_fleet(f.pods, f.racks_per_pod, f.hosts_per_rack, true, &mut rng)
+        .expect("fleet dimensions are nonzero")
+}
+
+/// The measured tenant: a 24-VM chain with cross links — large enough
+/// that the exact stage does real expansion work at every fleet size.
+fn app_topology() -> ApplicationTopology {
+    let mut b = TopologyBuilder::new("shard-bench");
+    let ids: Vec<_> = (0..24).map(|i| b.vm(format!("vm{i}"), 2, 2_048).unwrap()).collect();
+    for w in ids.windows(2) {
+        b.link(w[0], w[1], Bandwidth::from_mbps(80)).unwrap();
+    }
+    for i in (0..ids.len() - 5).step_by(6) {
+        b.link(ids[i], ids[i + 4], Bandwidth::from_mbps(40)).unwrap();
+    }
+    b.build().unwrap()
+}
+
+fn request(shard: bool) -> PlacementRequest {
+    PlacementRequest { shard, ..PlacementRequest::default() }
+}
+
+fn bench_curve(c: &mut Criterion, fleets: &[Fleet]) {
+    let topo = app_topology();
+    for f in fleets {
+        let hosts = f.hosts();
+        let (infra, state) = build_fleet(f);
+        let mut group = c.benchmark_group(format!("shard_curve/{hosts}"));
+        group.sample_size(10);
+        // Sessions are the intended long-running deployment: pod
+        // digests and capacity columns stay journal-maintained instead
+        // of being rebuilt per request.
+        let mut session = SchedulerSession::with_state(&infra, state.clone());
+        group.bench_function("sharded", |b| {
+            b.iter(|| session.place(&topo, &request(true)).unwrap());
+        });
+        if f.unsharded {
+            let mut session = SchedulerSession::with_state(&infra, state.clone());
+            group.bench_function("unsharded", |b| {
+                b.iter(|| session.place(&topo, &request(false)).unwrap());
+            });
+        }
+        group.finish();
+    }
+}
+
+/// splitmix64 finalizer for the decision digests.
+fn mix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seeded topology family for the digests: chains with cross links
+/// and varied demands.
+fn digest_topology(seed: u64) -> ApplicationTopology {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let vms = rng.gen_range(5..=10);
+    let mut b = TopologyBuilder::new(format!("digest{seed}"));
+    let ids: Vec<_> = (0..vms)
+        .map(|i| {
+            b.vm(format!("vm{i}"), rng.gen_range(1..=4), 1_024 * rng.gen_range(1..=4)).unwrap()
+        })
+        .collect();
+    for w in ids.windows(2) {
+        b.link(w[0], w[1], Bandwidth::from_mbps(rng.gen_range(10..=150))).unwrap();
+    }
+    b.build().unwrap()
+}
+
+/// Folds EG/BA*/DBA* decisions over seeded topologies on the smoke
+/// fleet into one hash. `all_pods` switches the requests to sharded
+/// mode with K spanning every pod — which must not change a single
+/// assignment, so `scripts/verify.sh` string-diffs the two values.
+fn decision_digest(all_pods: bool) -> u64 {
+    let (infra, mut base) = build_fleet(&SMOKE_FLEET[0]);
+    // Extra seeded background load on top of the Table IV profile.
+    let mut rng = SmallRng::seed_from_u64(0x00D1_6E58);
+    for _ in 0..infra.host_count() / 2 {
+        let host = HostId::from_index(rng.gen_range(0..infra.host_count() as u32));
+        let res = Resources::new(rng.gen_range(1..6), 1_024 * rng.gen_range(1..8), 0);
+        let _ = base.reserve_node(host, res);
+    }
+    let algorithms = [
+        Algorithm::Greedy,
+        Algorithm::BoundedAStar,
+        Algorithm::DeadlineBoundedAStar { deadline: Duration::from_secs(5) },
+    ];
+    let scheduler = ostro_core::Scheduler::new(&infra);
+    let mut digest = 0u64;
+    for algorithm in algorithms {
+        let request = PlacementRequest {
+            algorithm,
+            max_expansions: 50_000,
+            shard: all_pods,
+            pods_considered: if all_pods { infra.pods().len() } else { 0 },
+            ..PlacementRequest::default()
+        };
+        for seed in 0..4u64 {
+            let topo = digest_topology(seed);
+            digest = mix64(digest ^ mix64(seed));
+            match scheduler.place(&topo, &base, &request) {
+                Ok(outcome) => {
+                    for (node, host) in outcome.placement.iter() {
+                        digest =
+                            mix64(digest ^ (((node.index() as u64) << 32) | host.index() as u64));
+                    }
+                }
+                Err(_) => digest = mix64(digest ^ 0xDEAD),
+            }
+        }
+    }
+    digest
+}
+
+/// Untimed single-shot objectives at the smallest fleet: how much
+/// placement quality the top-K restriction gives up when the unsharded
+/// search is still affordable to run.
+fn quality_ratio(fleet: &Fleet) -> (f64, f64, f64) {
+    let (infra, state) = build_fleet(fleet);
+    let topo = app_topology();
+    let scheduler = ostro_core::Scheduler::new(&infra);
+    let sharded = scheduler.place(&topo, &state, &request(true)).expect("sharded placement");
+    let unsharded = scheduler.place(&topo, &state, &request(false)).expect("unsharded placement");
+    (sharded.objective, unsharded.objective, sharded.objective / unsharded.objective.max(1e-12))
+}
+
+fn median_ms(c: &Criterion, id: &str) -> Option<f64> {
+    c.measurements.iter().find(|m| m.id == id).map(|m| m.median.as_secs_f64() * 1e3)
+}
+
+fn write_artifact(c: &Criterion, smoke: bool, fleets: &[Fleet]) {
+    let mut rows = Vec::new();
+    let mut sharded_ms = std::collections::BTreeMap::new();
+    let mut unsharded_ms = std::collections::BTreeMap::new();
+    for f in fleets {
+        let hosts = f.hosts();
+        let sharded = median_ms(c, &format!("shard_curve/{hosts}/sharded"))
+            .unwrap_or_else(|| panic!("missing sharded measurement for {hosts}"));
+        sharded_ms.insert(hosts, sharded);
+        let unsharded = median_ms(c, &format!("shard_curve/{hosts}/unsharded"));
+        if let Some(u) = unsharded {
+            unsharded_ms.insert(hosts, u);
+        }
+        let unsharded_json = unsharded.map_or("null".to_owned(), |u| format!("{u:.3}"));
+        rows.push(format!(
+            concat!(
+                "    {{\"hosts\": {}, \"pods\": {}, ",
+                "\"sharded_ms\": {:.3}, \"unsharded_ms\": {}}}"
+            ),
+            hosts, f.pods, sharded, unsharded_json,
+        ));
+        println!(
+            "shard_curve_row {{\"fleet\": \"pod_fleet\", \"hosts\": {hosts}, \"pods\": {}, \
+             \"sharded_ms\": {sharded:.3}, \"unsharded_ms\": {unsharded_json}}}",
+            f.pods,
+        );
+    }
+    let (sharded_obj, unsharded_obj, ratio) = quality_ratio(&fleets[0]);
+    let unsharded_digest = decision_digest(false);
+    let sharded_all_digest = decision_digest(true);
+    let gates = if smoke {
+        "  \"gates\": null,\n".to_owned()
+    } else {
+        let s10k = sharded_ms[&10_000];
+        let s100k = sharded_ms[&100_000];
+        let u10k = unsharded_ms[&10_000];
+        format!(
+            concat!(
+                "  \"gates\": {{\n",
+                "    \"sharded_100k_over_10k\": {:.2},\n",
+                "    \"sharded_100k_within_2x_of_10k\": {},\n",
+                "    \"unsharded_10k_over_sharded_100k\": {:.2},\n",
+                "    \"unsharded_10k_exceeds_sharded_100k\": {}\n",
+                "  }},\n"
+            ),
+            s100k / s10k,
+            s100k <= 2.0 * s10k,
+            u10k / s100k,
+            u10k > s100k,
+        )
+    };
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"benchmark\": \"two-level sharded placement scaling curve\",\n",
+            "  \"smoke\": {},\n",
+            "  \"vms\": 24,\n",
+            "  \"pods_considered\": \"default (4)\",\n",
+            "  \"curve\": [\n{}\n  ],\n",
+            "{}",
+            "  \"quality\": {{\n",
+            "    \"hosts\": {},\n",
+            "    \"sharded_objective\": {:.6},\n",
+            "    \"unsharded_objective\": {:.6},\n",
+            "    \"sharded_over_unsharded\": {:.4}\n",
+            "  }},\n",
+            "  \"unsharded_digest\": \"{:016x}\",\n",
+            "  \"sharded_all_digest\": \"{:016x}\"\n",
+            "}}\n"
+        ),
+        smoke,
+        rows.join(",\n"),
+        gates,
+        fleets[0].hosts(),
+        sharded_obj,
+        unsharded_obj,
+        ratio,
+        unsharded_digest,
+        sharded_all_digest,
+    );
+    let path = if smoke {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/BENCH_shard_smoke.json")
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_shard.json")
+    };
+    std::fs::write(path, json).expect("write shard benchmark artifact");
+    println!("unsharded digest: {unsharded_digest:016x}");
+    println!("sharded (K = all pods) digest: {sharded_all_digest:016x}");
+    println!("wrote {path}");
+}
+
+fn main() {
+    // The vendored criterion facade ignores argv; parse by hand so
+    // `--smoke` composes with whatever the harness passes through.
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = argv.iter().any(|a| a == "--smoke");
+    let fleets: &[Fleet] = if smoke { &SMOKE_FLEET } else { &CURVE };
+    let mut criterion = Criterion::default().configure_from_args();
+    bench_curve(&mut criterion, fleets);
+    write_artifact(&criterion, smoke, fleets);
+}

@@ -43,6 +43,12 @@ pub enum Command {
         score_threads: usize,
         /// Per-chunk cache budget in bytes (0 = default).
         chunk_bytes: usize,
+        /// Two-level sharded placement: score pod digests first, then
+        /// search only the top-K candidate pods.
+        shard: bool,
+        /// Candidate pods the coarse stage keeps (0 = engine default;
+        /// only meaningful with `--shard`).
+        pods: usize,
         /// Solve through a [`SchedulerSession`] instead of a cold
         /// per-request scheduler. Bit-identical results; exercises the
         /// online-service path and enables the session stats counters.
@@ -137,6 +143,10 @@ pub enum Command {
         /// Seed for a chaos fault plan (planner panics, latency
         /// spikes, WAL faults) injected into the run; absent = none.
         chaos_seed: Option<u64>,
+        /// Two-level sharded placement for every planned request.
+        shard: bool,
+        /// Candidate pods the coarse stage keeps (0 = engine default).
+        pods: usize,
         /// Bypass the service: replay the same stream through one warm
         /// session in event order (the baseline for the digest diff).
         serial: bool,
@@ -190,7 +200,7 @@ usage:
   ostro place    --infra <file> --template <file>
                  [--algorithm egc|egbw|eg|bastar|dbastar] [--deadline-ms N]
                  [--theta-bw X] [--theta-c X] [--seed N] [--score-threads N]
-                 [--chunk-bytes N] [--session] [--stats]
+                 [--chunk-bytes N] [--session] [--stats] [--shard] [--pods N]
                  [--state <file>] [--commit <file>] [--wal-dir <dir>]
   ostro validate --infra <file> --template <file> --placement <file>
                  [--state <file>]
@@ -204,6 +214,7 @@ usage:
   ostro serve    --infra <file> [--requests N] [--depart-prob X] [--seed N]
                  [--planners N] [--batch N] [--retries N] [--serial]
                  [--queue-depth N] [--budget-ms N] [--degrade] [--chaos-seed N]
+                 [--shard] [--pods N]
                  [--algorithm egc|egbw|eg|bastar|dbastar] [--deadline-ms N]
                  [--theta-bw X] [--theta-c X]
                  [--state <file>] [--wal-dir <dir>]
@@ -224,7 +235,7 @@ impl Command {
         while let Some(arg) = iter.next() {
             if let Some(name) = arg.strip_prefix("--") {
                 // Boolean switches take no value.
-                if matches!(name, "session" | "stats" | "serial" | "degrade") {
+                if matches!(name, "session" | "stats" | "serial" | "degrade" | "shard") {
                     flags.insert(name.to_owned(), "true".to_owned());
                     continue;
                 }
@@ -266,6 +277,12 @@ impl Command {
                     chunk_bytes: flags
                         .remove("chunk-bytes")
                         .map(|v| parse_num(&v, "chunk-bytes"))
+                        .transpose()?
+                        .unwrap_or(0) as usize,
+                    shard: flags.remove("shard").is_some(),
+                    pods: flags
+                        .remove("pods")
+                        .map(|v| parse_num(&v, "pods"))
                         .transpose()?
                         .unwrap_or(0) as usize,
                     session: flags.remove("session").is_some(),
@@ -388,6 +405,12 @@ impl Command {
                         .remove("chaos-seed")
                         .map(|v| parse_num(&v, "chaos-seed"))
                         .transpose()?,
+                    shard: flags.remove("shard").is_some(),
+                    pods: flags
+                        .remove("pods")
+                        .map(|v| parse_num(&v, "pods"))
+                        .transpose()?
+                        .unwrap_or(0) as usize,
                     serial: flags.remove("serial").is_some(),
                     state: flags.remove("state"),
                     wal_dir: flags.remove("wal-dir"),
@@ -428,6 +451,8 @@ impl Command {
                 seed,
                 score_threads,
                 chunk_bytes,
+                shard,
+                pods,
                 session,
                 stats,
                 state,
@@ -441,6 +466,8 @@ impl Command {
                 seed: *seed,
                 score_threads: *score_threads,
                 chunk_bytes: *chunk_bytes,
+                shard: *shard,
+                pods: *pods,
                 session: *session,
                 stats: *stats,
                 state: state.as_deref(),
@@ -493,6 +520,8 @@ impl Command {
                 budget_ms,
                 degrade,
                 chaos_seed,
+                shard,
+                pods,
                 serial,
                 state,
                 wal_dir,
@@ -510,6 +539,8 @@ impl Command {
                 budget_ms: *budget_ms,
                 degrade: *degrade,
                 chaos_seed: *chaos_seed,
+                shard: *shard,
+                pods: *pods,
                 serial: *serial,
                 state: state.as_deref(),
                 wal_dir: wal_dir.as_deref(),
@@ -642,6 +673,8 @@ struct PlaceArgs<'a> {
     seed: u64,
     score_threads: usize,
     chunk_bytes: usize,
+    shard: bool,
+    pods: usize,
     session: bool,
     stats: bool,
     state: Option<&'a str>,
@@ -660,6 +693,8 @@ fn place(args: &PlaceArgs) -> Result<String, CliError> {
         seed: args.seed,
         score_threads: args.score_threads,
         chunk_bytes: args.chunk_bytes,
+        shard: args.shard,
+        pods_considered: args.pods,
         ..PlacementRequest::default()
     };
     // The session path produces bit-identical decisions; it exists so
@@ -826,6 +861,8 @@ struct ServeArgs<'a> {
     budget_ms: u64,
     degrade: bool,
     chaos_seed: Option<u64>,
+    shard: bool,
+    pods: usize,
     serial: bool,
     state: Option<&'a str>,
     wal_dir: Option<&'a str>,
@@ -982,6 +1019,8 @@ fn serve(args: &ServeArgs) -> Result<String, CliError> {
         algorithm: args.algorithm,
         weights: args.weights,
         seed: args.seed,
+        shard: args.shard,
+        pods_considered: args.pods,
         ..PlacementRequest::default()
     };
 
@@ -1286,7 +1325,7 @@ mod tests {
             "place --infra i.json --template t.json --algorithm dbastar \
              --deadline-ms 250 --theta-bw 0.99 --theta-c 0.01 --seed 7 \
              --score-threads 3 --chunk-bytes 65536 --session --stats \
-             --state s.json --commit out.json",
+             --shard --pods 6 --state s.json --commit out.json",
         ))
         .unwrap();
         match cmd {
@@ -1296,6 +1335,8 @@ mod tests {
                 seed,
                 score_threads,
                 chunk_bytes,
+                shard,
+                pods,
                 session,
                 stats,
                 state,
@@ -1312,6 +1353,8 @@ mod tests {
                 assert_eq!(chunk_bytes, 65_536);
                 assert!(session, "--session is a boolean switch");
                 assert!(stats, "--stats is a boolean switch");
+                assert!(shard, "--shard is a boolean switch");
+                assert_eq!(pods, 6);
                 assert_eq!(state.as_deref(), Some("s.json"));
                 assert_eq!(commit.as_deref(), Some("out.json"));
             }
@@ -1319,9 +1362,11 @@ mod tests {
         }
         // Without the switches both default off.
         match Command::parse(argv("place --infra i --template t")).unwrap() {
-            Command::Place { session, stats, chunk_bytes, .. } => {
+            Command::Place { session, stats, chunk_bytes, shard, pods, .. } => {
                 assert!(!session);
                 assert!(!stats);
+                assert!(!shard);
+                assert_eq!(pods, 0, "0 = engine default K");
                 assert_eq!(chunk_bytes, 0);
             }
             other => panic!("wrong command {other:?}"),
@@ -1641,7 +1686,7 @@ mod tests {
         match Command::parse(argv(
             "serve --infra i.json --requests 12 --depart-prob 0.5 --seed 9 \
              --planners 3 --batch 4 --retries 2 --queue-depth 6 --budget-ms 250 \
-             --degrade --chaos-seed 17 --serial",
+             --degrade --chaos-seed 17 --shard --pods 3 --serial",
         ))
         .unwrap()
         {
@@ -1656,6 +1701,8 @@ mod tests {
                 budget_ms,
                 degrade,
                 chaos_seed,
+                shard,
+                pods,
                 serial,
                 ..
             } => {
@@ -1669,20 +1716,46 @@ mod tests {
                 assert_eq!(budget_ms, 250);
                 assert!(degrade, "--degrade is a boolean switch");
                 assert_eq!(chaos_seed, Some(17));
+                assert!(shard, "--shard is a boolean switch");
+                assert_eq!(pods, 3);
                 assert!(serial, "--serial is a boolean switch");
             }
             other => panic!("wrong command {other:?}"),
         }
         match Command::parse(argv("serve --infra i.json")).unwrap() {
-            Command::Serve { queue_depth, budget_ms, degrade, chaos_seed, .. } => {
+            Command::Serve { queue_depth, budget_ms, degrade, chaos_seed, shard, pods, .. } => {
                 assert_eq!(queue_depth, 0, "unbounded queue by default");
                 assert_eq!(budget_ms, 0, "no deadline budget by default");
                 assert!(!degrade);
                 assert_eq!(chaos_seed, None);
+                assert!(!shard);
+                assert_eq!(pods, 0);
             }
             other => panic!("wrong command {other:?}"),
         }
         assert!(matches!(Command::parse(argv("serve --requests 5")), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn place_stats_surface_the_shard_counters() {
+        let dir = tempdir("shard-stats");
+        let (infra, template) = write_examples(&dir);
+        let output =
+            run(argv(&format!("place --infra {infra} --template {template} --shard --stats")))
+                .unwrap();
+        let doc: PlacementDocument = serde_json::from_str(&output).unwrap();
+        let stats = doc.stats.expect("--stats requested");
+        // The example infra is a single transparent pod, so a sharded
+        // request falls back to the plain search — and says so.
+        assert_eq!(stats.shard_fallbacks, 1);
+        assert_eq!(stats.pods_scanned, 0);
+        assert!(output.contains("shard_fallbacks"), "counter missing from the document");
+        // Fallback decisions are bit-identical to the unsharded run.
+        let plain = run(argv(&format!("place --infra {infra} --template {template}"))).unwrap();
+        let plain_doc: PlacementDocument = serde_json::from_str(&plain).unwrap();
+        assert_eq!(doc.assignments, plain_doc.assignments);
+        assert_eq!(doc.objective.to_bits(), plain_doc.objective.to_bits());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -95,22 +95,29 @@ pub(crate) fn feasible_hosts_into(
         return 0;
     }
     let n = ctx.infra.host_count();
-    stats.candidates_scanned += n as u64;
+    let range = ctx.sweep_range();
+    let (lo, hi) = (range.start, range.end);
+    stats.candidates_scanned += (hi - lo) as u64;
     let mask = &mut scratch.mask;
-    mask.clear();
-    mask.resize(n, 0);
+    // Out-of-range bytes stay 0 for the scratch's whole life: they are
+    // zeroed here once and every writer below is range-restricted, so
+    // a restricted sweep never pays an O(fleet) clear per expansion.
+    if mask.len() != n {
+        mask.clear();
+        mask.resize(n, 0);
+    }
     {
         let mut table = lock_unpoisoned(&ctx.table);
         table.sync(&path.overlay);
         // Conservative NIC demand: every incident edge off-host, no
         // promises (exact for hosts outside the special set below).
         let total_bw: u64 = ctx.topo.neighbors(node).iter().map(|&(_, bw)| bw.as_mbps()).sum();
-        capacity_mask(mask, &table, req, total_bw);
-        stats.candidates_pruned_simd += mask.iter().filter(|&&m| m == 0).count() as u64;
+        capacity_mask(&mut mask[lo..hi], &table, lo, req, total_bw);
+        stats.candidates_pruned_simd += mask[lo..hi].iter().filter(|&&m| m == 0).count() as u64;
         // Latency bounds and diversity zones as dense column compares.
         for &(neighbor, proximity) in ctx.topo.proximity_bounds(node) {
             if let Some(neighbor_host) = path.assignment[neighbor.index()] {
-                apply_within_mask(mask, &table, neighbor_host, proximity);
+                apply_within_mask(&mut mask[lo..hi], &table, lo, neighbor_host, proximity);
             }
         }
         for &zone_id in ctx.topo.zones_of(node) {
@@ -120,7 +127,7 @@ pub(crate) fn feasible_hosts_into(
                     continue;
                 }
                 if let Some(member_host) = path.assignment[member.index()] {
-                    apply_diversity_mask(mask, &table, member_host, zone.level());
+                    apply_diversity_mask(&mut mask[lo..hi], &table, lo, member_host, zone.level());
                 }
             }
         }
@@ -142,12 +149,17 @@ pub(crate) fn feasible_hosts_into(
         }
     }
     for &host in &scratch.special {
-        scratch.mask[host.index()] = u8::from(admits(ctx, path, node, req, host));
+        // Out-of-range hosts are not candidates no matter what the
+        // exact screen says (their mask bytes must stay 0).
+        if range.contains(&host.index()) {
+            scratch.mask[host.index()] = u8::from(admits(ctx, path, node, req, host));
+        }
     }
     // Symmetry floor last, counting hosts it alone excluded.
     let min_host = symmetry_floor(ctx, path, node);
     let mut skipped = 0;
-    for (i, &m) in scratch.mask.iter().enumerate() {
+    for (i, &m) in scratch.mask[lo..hi].iter().enumerate() {
+        let i = lo + i;
         if m != 0 {
             if (i as u32) < min_host {
                 skipped += 1;
@@ -180,30 +192,45 @@ fn capacity_mask_scalar(
 }
 
 #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
-fn capacity_mask(mask: &mut [u8], table: &CapacityTable, req: ostro_model::Resources, nic: u64) {
+fn capacity_mask(
+    mask: &mut [u8],
+    table: &CapacityTable,
+    lo: usize,
+    req: ostro_model::Resources,
+    nic: u64,
+) {
+    let hi = lo + mask.len();
     capacity_mask_scalar(
         mask,
-        table.vcpus(),
-        table.memory_mb(),
-        table.disk_gb(),
-        table.nic_mbps(),
+        &table.vcpus()[lo..hi],
+        &table.memory_mb()[lo..hi],
+        &table.disk_gb()[lo..hi],
+        &table.nic_mbps()[lo..hi],
         req,
         nic,
     );
 }
 
 #[cfg(all(feature = "simd", target_arch = "x86_64"))]
-fn capacity_mask(mask: &mut [u8], table: &CapacityTable, req: ostro_model::Resources, nic: u64) {
+fn capacity_mask(
+    mask: &mut [u8],
+    table: &CapacityTable,
+    lo: usize,
+    req: ostro_model::Resources,
+    nic: u64,
+) {
+    let hi = lo + mask.len();
     if std::arch::is_x86_feature_detected!("sse4.2") {
-        // SAFETY: gated on runtime SSE4.2 support; all slices share the
-        // table's host count, matching `mask`'s length.
+        // SAFETY: gated on runtime SSE4.2 support; all column slices
+        // cover the same `lo..hi` host range, matching `mask`'s length
+        // (loads are unaligned, so any offset is fine).
         unsafe {
             capacity_mask_sse42(
                 mask,
-                table.vcpus(),
-                table.memory_mb(),
-                table.disk_gb(),
-                table.nic_mbps(),
+                &table.vcpus()[lo..hi],
+                &table.memory_mb()[lo..hi],
+                &table.disk_gb()[lo..hi],
+                &table.nic_mbps()[lo..hi],
                 req,
                 nic,
             );
@@ -211,10 +238,10 @@ fn capacity_mask(mask: &mut [u8], table: &CapacityTable, req: ostro_model::Resou
     } else {
         capacity_mask_scalar(
             mask,
-            table.vcpus(),
-            table.memory_mb(),
-            table.disk_gb(),
-            table.nic_mbps(),
+            &table.vcpus()[lo..hi],
+            &table.memory_mb()[lo..hi],
+            &table.disk_gb()[lo..hi],
+            &table.nic_mbps()[lo..hi],
             req,
             nic,
         );
@@ -274,14 +301,17 @@ unsafe fn capacity_mask_sse42(
 fn apply_within_mask(
     mask: &mut [u8],
     table: &CapacityTable,
+    lo: usize,
     neighbor_host: HostId,
     proximity: Proximity,
 ) {
+    // `mask` covers hosts `lo..lo + mask.len()`; the neighbor is
+    // addressed globally (it may sit outside a restricted sweep).
     let ni = neighbor_host.index();
     let column = match proximity {
         Proximity::Host => {
             for (i, m) in mask.iter_mut().enumerate() {
-                *m &= u8::from(i == ni);
+                *m &= u8::from(lo + i == ni);
             }
             return;
         }
@@ -290,7 +320,7 @@ fn apply_within_mask(
         Proximity::DataCenter => table.sites(),
     };
     let unit = column[ni];
-    for (m, &c) in mask.iter_mut().zip(column) {
+    for (m, &c) in mask.iter_mut().zip(&column[lo..]) {
         *m &= u8::from(c == unit);
     }
 }
@@ -305,13 +335,18 @@ fn apply_within_mask(
 fn apply_diversity_mask(
     mask: &mut [u8],
     table: &CapacityTable,
+    lo: usize,
     member_host: HostId,
     level: DiversityLevel,
 ) {
+    // `mask` covers hosts `lo..lo + mask.len()`; the member is
+    // addressed globally (it may sit outside a restricted sweep).
     let mi = member_host.index();
     let column = match level {
         DiversityLevel::Host => {
-            mask[mi] = 0;
+            if (lo..lo + mask.len()).contains(&mi) {
+                mask[mi - lo] = 0;
+            }
             return;
         }
         DiversityLevel::Rack => table.racks(),
@@ -319,7 +354,7 @@ fn apply_diversity_mask(
         DiversityLevel::DataCenter => table.sites(),
     };
     let unit = column[mi];
-    for (m, &c) in mask.iter_mut().zip(column) {
+    for (m, &c) in mask.iter_mut().zip(&column[lo..]) {
         *m &= u8::from(c != unit);
     }
 }

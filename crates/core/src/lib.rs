@@ -76,6 +76,7 @@ mod scheduler;
 mod search;
 mod service;
 mod session;
+mod shard;
 mod validate;
 pub mod wal;
 

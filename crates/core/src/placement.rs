@@ -141,6 +141,20 @@ pub struct SearchStats {
     /// under the commit lock and counts here too).
     #[serde(default)]
     pub replans: u64,
+    /// Sharded mode only: pods scored by the coarse digest stage
+    /// before exact search (the whole fleet, once per request).
+    #[serde(default)]
+    pub pods_scanned: u64,
+    /// Sharded mode only: pods the coarse stage dropped before exact
+    /// search (everything outside the top-K candidate set).
+    #[serde(default)]
+    pub pods_pruned: u64,
+    /// Sharded mode only: how many times this request fell back to the
+    /// plain unsharded search — pins present, K covering every pod, a
+    /// fleet without a contiguous pod layout, or every candidate pod
+    /// infeasible.
+    #[serde(default)]
+    pub shard_fallbacks: u64,
     /// `true` if a deadline-bounded run hit its deadline and returned
     /// the best bound found so far.
     pub deadline_hit: bool,

@@ -102,7 +102,27 @@ pub struct PlacementRequest {
     /// cover DBA\*; production keeps the wall clock.
     #[serde(default)]
     pub virtual_tick_us: u64,
+    /// Two-level sharded placement: score per-pod digests against the
+    /// request's footprint, then run the exact search inside the top-K
+    /// candidate pods only (in parallel when
+    /// [`parallel`](Self::parallel) allows). Off by default — the
+    /// unsharded search sweeps the whole fleet. Requests that cannot
+    /// shard (pinned nodes, a single or non-contiguous pod layout, or
+    /// K covering every pod) fall back to the unsharded search, which
+    /// is bit-identical to `shard: false`.
+    #[serde(default)]
+    pub shard: bool,
+    /// Candidate pods the coarse stage keeps for exact search when
+    /// [`shard`](Self::shard) is on. `0` (the default) resolves to
+    /// [`DEFAULT_PODS_CONSIDERED`]; any value covering every pod
+    /// disables sharding for the request (trivially bit-identical).
+    #[serde(default)]
+    pub pods_considered: usize,
 }
+
+/// Candidate pods kept by the coarse stage when
+/// [`PlacementRequest::pods_considered`] is 0.
+pub const DEFAULT_PODS_CONSIDERED: usize = 4;
 
 fn default_memoize_bounds() -> bool {
     true
@@ -122,6 +142,8 @@ impl Default for PlacementRequest {
             memoize_bounds: true,
             chunk_bytes: 0,
             virtual_tick_us: 0,
+            shard: false,
+            pods_considered: 0,
         }
     }
 }
@@ -166,6 +188,21 @@ impl PlacementRequest {
     #[must_use]
     pub fn virtual_tick_us(mut self, us: u64) -> Self {
         self.virtual_tick_us = us;
+        self
+    }
+
+    /// Enables or disables two-level sharded placement, builder-style.
+    #[must_use]
+    pub fn shard(mut self, shard: bool) -> Self {
+        self.shard = shard;
+        self
+    }
+
+    /// Sets how many candidate pods the coarse stage keeps,
+    /// builder-style (0 = [`DEFAULT_PODS_CONSIDERED`]).
+    #[must_use]
+    pub fn pods_considered(mut self, pods: usize) -> Self {
+        self.pods_considered = pods;
         self
     }
 
@@ -280,5 +317,17 @@ mod tests {
         assert_eq!(r.score_threads, 0);
         assert!(r.memoize_bounds);
         assert_eq!(r.chunk_bytes, 0, "0 = default cache budget");
+        assert!(!r.shard, "pre-shard requests solve unsharded");
+        assert_eq!(r.pods_considered, 0, "0 = DEFAULT_PODS_CONSIDERED");
+    }
+
+    #[test]
+    fn shard_knobs_round_trip() {
+        let r = PlacementRequest::default().shard(true).pods_considered(7);
+        assert!(r.shard);
+        assert_eq!(r.pods_considered, 7);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: PlacementRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
     }
 }

@@ -122,37 +122,20 @@ impl<'a> Scheduler<'a> {
     ) -> Result<PlacementOutcome, PlacementError> {
         assert_eq!(pinned.len(), topology.node_count(), "one pin slot per node");
         let started = Instant::now();
+        if request.shard {
+            return crate::shard::place_sharded(
+                self.infra, topology, state, request, pinned, session, started,
+            );
+        }
         let ctx =
             Ctx::with_session(topology, self.infra, state, request, pinned.to_vec(), session)?;
         let mut stats = SearchStats::default();
-        let path = match request.algorithm {
-            Algorithm::GreedyCompute => {
-                let root = pinned_root(&ctx)?;
-                run_egc(&ctx, &root, &mut stats)?
-            }
-            Algorithm::GreedyBandwidth => {
-                let root = pinned_root(&ctx)?;
-                run_egbw(&ctx, &root, &mut stats)?
-            }
-            Algorithm::Greedy => {
-                let root = pinned_root(&ctx)?;
-                run_eg(&ctx, &root, &mut stats)?
-            }
-            Algorithm::BoundedAStar => run_bastar(&ctx, &mut stats, request.max_expansions)?,
-            Algorithm::DeadlineBoundedAStar { deadline } => run_dbastar(
-                &ctx,
-                &mut stats,
-                deadline,
-                request.seed,
-                request.max_expansions,
-                request.virtual_tick_us,
-            )?,
-        };
+        let path = run_algorithm(&ctx, request, &mut stats)?;
         drop(ctx);
         Self::outcome(path, stats, started)
     }
 
-    fn outcome(
+    pub(crate) fn outcome(
         path: Path<'_>,
         stats: SearchStats,
         started: Instant,
@@ -250,6 +233,39 @@ impl<'a> Scheduler<'a> {
         }
         *state = trial;
         Ok(())
+    }
+}
+
+/// Dispatches `request.algorithm` over an already-built context — the
+/// one search entry point shared by the unsharded path and the sharded
+/// per-pod searches.
+pub(crate) fn run_algorithm<'a>(
+    ctx: &Ctx<'a>,
+    request: &PlacementRequest,
+    stats: &mut SearchStats,
+) -> Result<Path<'a>, PlacementError> {
+    match request.algorithm {
+        Algorithm::GreedyCompute => {
+            let root = pinned_root(ctx)?;
+            run_egc(ctx, &root, stats)
+        }
+        Algorithm::GreedyBandwidth => {
+            let root = pinned_root(ctx)?;
+            run_egbw(ctx, &root, stats)
+        }
+        Algorithm::Greedy => {
+            let root = pinned_root(ctx)?;
+            run_eg(ctx, &root, stats)
+        }
+        Algorithm::BoundedAStar => run_bastar(ctx, stats, request.max_expansions),
+        Algorithm::DeadlineBoundedAStar { deadline } => run_dbastar(
+            ctx,
+            stats,
+            deadline,
+            request.seed,
+            request.max_expansions,
+            request.virtual_tick_us,
+        ),
     }
 }
 

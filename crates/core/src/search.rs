@@ -140,6 +140,10 @@ pub(crate) struct Ctx<'a> {
     /// `topo.links()`. Precomputed so the heuristic's edge-costing loop
     /// reads a flat column instead of re-deriving hop costs per call.
     pub(crate) link_costs: Vec<u64>,
+    /// When set, candidate enumeration sweeps only this contiguous
+    /// host-index range (the sharded per-pod search); hosts outside it
+    /// are never candidates. `None` sweeps the whole fleet.
+    pub(crate) host_range: Option<std::ops::Range<usize>>,
 }
 
 impl<'a> Ctx<'a> {
@@ -230,7 +234,17 @@ impl<'a> Ctx<'a> {
             chunk_cap: resolve_chunk_cap(request.chunk_bytes),
             table: std::sync::Mutex::new(table),
             link_costs,
+            host_range: None,
         })
+    }
+
+    /// The candidate sweep's host-index range: the restriction when one
+    /// is set, the whole fleet otherwise.
+    pub(crate) fn sweep_range(&self) -> std::ops::Range<usize> {
+        match &self.host_range {
+            Some(r) => r.clone(),
+            None => 0..self.infra.host_count(),
+        }
     }
 
     /// The scoring pool serving this request: the session's persistent
@@ -613,7 +627,7 @@ pub(crate) fn mix64(x: u64) -> u64 {
 /// Resolves the request's `score_threads` knob: 0 means "ask the OS",
 /// capped so an accidental 256-core box does not spawn 255 scoring
 /// workers for candidate sets that rarely exceed a few thousand.
-fn resolve_score_threads(requested: usize) -> usize {
+pub(crate) fn resolve_score_threads(requested: usize) -> usize {
     if requested > 0 {
         return requested;
     }

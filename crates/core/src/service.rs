@@ -412,6 +412,17 @@ pub struct ServiceStats {
     /// journal rewound).
     #[serde(default)]
     pub durability_rejections: u64,
+    /// Pods scored by the sharded coarse stage, summed over requests
+    /// (zero unless requests set `shard`).
+    #[serde(default)]
+    pub pods_scanned: u64,
+    /// Pods the coarse stage pruned before exact search, summed over
+    /// requests.
+    #[serde(default)]
+    pub pods_pruned: u64,
+    /// Sharded requests that fell back to the plain unsharded search.
+    #[serde(default)]
+    pub shard_fallbacks: u64,
 }
 
 /// The serialized half: the session (whose all-or-nothing commit is
@@ -499,11 +510,14 @@ impl BatchView {
     fn refresh_hosts(&mut self, hosts: impl IntoIterator<Item = HostId>) {
         for host in hosts {
             let free = self.state.available(host);
-            self.shared.summaries[host.index()] = HostSummary {
+            let fresh = HostSummary {
                 free,
                 nic_mbps: self.state.nic_available(host).as_mbps(),
                 avail_sig: avail_signature(free),
             };
+            let old = self.shared.summaries[host.index()];
+            self.shared.pods.update(host.index(), &old, &fresh);
+            self.shared.summaries[host.index()] = fresh;
             self.shared.table.refresh_base_host(&self.state, host);
             self.shared.epochs[host.index()] += 1;
         }
@@ -907,6 +921,18 @@ impl<'a> PlacementService<'a> {
         let evictions_after = lock_unpoisoned(&shared.cache).evictions();
         let mut outcome = result?;
         outcome.stats.session_cache_evictions = evictions_after.saturating_sub(evictions_before);
+        if outcome.stats.pods_scanned != 0 || outcome.stats.shard_fallbacks != 0 {
+            let (scanned, pruned, fallbacks) = (
+                outcome.stats.pods_scanned,
+                outcome.stats.pods_pruned,
+                outcome.stats.shard_fallbacks,
+            );
+            self.note(|st| {
+                st.pods_scanned += scanned;
+                st.pods_pruned += pruned;
+                st.shard_fallbacks += fallbacks;
+            });
+        }
         let mut hosts: Vec<HostId> = outcome.placement.assignments().to_vec();
         hosts.sort_unstable_by_key(|h| h.index());
         hosts.dedup();
@@ -1667,6 +1693,11 @@ impl<'s, 'a> ServiceHandle<'s, 'a> {
 }
 
 /// What a [`Ticket`] resolves to.
+///
+/// The `Placed` payload dwarfs the other variants, but a response is
+/// constructed once and moved straight into its ticket slot — never
+/// stored in bulk — so boxing would only add an allocation per commit.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum ServiceResponse {
     /// The placement committed (durably, with [`ServiceConfig::durable_acks`]).

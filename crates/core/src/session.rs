@@ -172,6 +172,11 @@ pub(crate) struct SessionShared {
     /// that maintains the summaries. Each request clones it — a few
     /// contiguous memcpys — instead of recomputing every column.
     pub(crate) table: CapacityTable,
+    /// Per-pod aggregate digests for the sharded coarse stage, updated
+    /// by the same dirty-host journal: whenever a summary is
+    /// re-resolved, its pod's digest retires the old summary and admits
+    /// the new one — bit-exactly equal to a from-scratch rebuild.
+    pub(crate) pods: crate::shard::PodDigests,
 }
 
 impl SessionShared {
@@ -190,6 +195,7 @@ impl SessionShared {
             .collect::<Vec<_>>();
         SessionShared {
             epochs: vec![0; summaries.len()],
+            pods: crate::shard::PodDigests::new(infra, &summaries),
             summaries,
             cache: Arc::new(Mutex::new(SessionCache::default())),
             pool: OnceLock::new(),
@@ -210,6 +216,7 @@ impl SessionShared {
             cache: Arc::clone(&self.cache),
             pool: OnceLock::new(),
             table: self.table.clone(),
+            pods: self.pods.clone(),
         }
     }
 }
@@ -572,11 +579,14 @@ impl<'a> SchedulerSession<'a> {
         let drained = self.dirty.len() as u64;
         for host in self.dirty.drain(..) {
             let free = self.state.available(host);
-            self.shared.summaries[host.index()] = HostSummary {
+            let fresh = HostSummary {
                 free,
                 nic_mbps: self.state.nic_available(host).as_mbps(),
                 avail_sig: avail_signature(free),
             };
+            let old = self.shared.summaries[host.index()];
+            self.shared.pods.update(host.index(), &old, &fresh);
+            self.shared.summaries[host.index()] = fresh;
             self.shared.table.refresh_base_host(&self.state, host);
             self.shared.epochs[host.index()] += 1;
             self.dirty_flags[host.index()] = false;
@@ -1587,5 +1597,128 @@ mod tests {
 
         session.release_node(HostId::from_index(5), unit + unit).unwrap();
         assert_table_fresh(&mut session, "after direct release");
+    }
+
+    /// The sharded coarse stage's property test: after any randomized
+    /// commit / release / evacuate / direct-reserve / reconcile
+    /// sequence, the journal-maintained pod digests are *bit-identical*
+    /// to digests rebuilt from scratch — at every event against the
+    /// current summaries (digests and summaries move in lockstep), and
+    /// after every journal drain against the live state itself.
+    #[test]
+    fn pod_digests_match_scratch_rebuild_after_random_churn() {
+        use crate::reconcile::HostTruth;
+        use crate::shard::PodDigests;
+
+        // 3 pods × 2 racks × 4 hosts so digests actually partition.
+        let mut b = InfrastructureBuilder::new();
+        let site = b.site("dc", Bandwidth::from_gbps(400));
+        for p in 0..3 {
+            let pod = b.pod(site, format!("p{p}"), Bandwidth::from_gbps(200)).unwrap();
+            for r in 0..2 {
+                let rack =
+                    b.rack_in_pod(pod, format!("p{p}r{r}"), Bandwidth::from_gbps(100)).unwrap();
+                for h in 0..4 {
+                    b.host(
+                        rack,
+                        format!("p{p}r{r}h{h}"),
+                        Resources::new(8, 16_384, 500),
+                        Bandwidth::from_gbps(10),
+                    )
+                    .unwrap();
+                }
+            }
+        }
+        let infra = b.build().unwrap();
+        let request = PlacementRequest::default();
+        let mut rng = SmallRng::seed_from_u64(0xD16E_5700);
+
+        for trial in 0u64..4 {
+            let mut session = SchedulerSession::new(&infra);
+            let mut live: Vec<(ApplicationTopology, Placement)> = Vec::new();
+            for event in 0u64..25 {
+                let what = format!("trial {trial} event {event}");
+                match rng.gen_range(0u32..10) {
+                    // Arrive: place and commit a small random app.
+                    0..=4 => {
+                        let mut b = TopologyBuilder::new(format!("t{trial}e{event}"));
+                        let n = rng.gen_range(2usize..5);
+                        let ids: Vec<_> = (0..n)
+                            .map(|i| {
+                                b.vm(
+                                    format!("v{i}"),
+                                    rng.gen_range(1u32..4),
+                                    1_024 * rng.gen_range(1u64..4),
+                                )
+                                .unwrap()
+                            })
+                            .collect();
+                        for w in ids.windows(2) {
+                            b.link(w[0], w[1], Bandwidth::from_mbps(rng.gen_range(10u64..150)))
+                                .unwrap();
+                        }
+                        let topo = b.build().unwrap();
+                        if let Ok(out) = session.place(&topo, &request) {
+                            session.commit(&topo, &out.placement).unwrap();
+                            live.push((topo, out.placement));
+                        }
+                    }
+                    // Depart.
+                    5..=6 if !live.is_empty() => {
+                        let idx = rng.gen_range(0..live.len());
+                        let (topo, placement) = live.swap_remove(idx);
+                        session.release(&topo, &placement).unwrap();
+                    }
+                    // Evacuate a live tenant's first host.
+                    7 if !live.is_empty() => {
+                        let idx = rng.gen_range(0..live.len());
+                        let (topo, placement) = live.swap_remove(idx);
+                        let assignment: Vec<Option<HostId>> =
+                            placement.assignments().iter().copied().map(Some).collect();
+                        let failed = placement.assignments()[0];
+                        if let Ok(ev) = session.evacuate(&topo, &assignment, &request, failed, 4) {
+                            let placement = ev.online.outcome.placement;
+                            session.commit(&topo, &placement).unwrap();
+                            live.push((topo, placement));
+                        }
+                    }
+                    // Out-of-band reservation.
+                    8 => {
+                        let host = HostId::from_index(rng.gen_range(0..infra.host_count()) as u32);
+                        let _ = session.reserve_node(host, Resources::new(1, 256, 0));
+                    }
+                    // Anti-entropy repair toward a random (in-capacity)
+                    // truth for one host.
+                    _ => {
+                        let host = HostId::from_index(rng.gen_range(0..infra.host_count()) as u32);
+                        let used = Resources::new(
+                            rng.gen_range(0u32..5),
+                            1_024 * rng.gen_range(0u64..5),
+                            10 * rng.gen_range(0u64..5),
+                        );
+                        let instances =
+                            if used == Resources::ZERO { 0 } else { rng.gen_range(1u32..3) };
+                        session.reconcile(&[HostTruth { host, used, instances }]).unwrap();
+                    }
+                }
+                // Digests and summaries move in lockstep: folding the
+                // current summaries from scratch must reproduce the
+                // incrementally maintained digests exactly — even with
+                // journaled-but-unrefreshed hosts outstanding.
+                assert_eq!(
+                    session.shared.pods,
+                    PodDigests::new(&infra, &session.shared.summaries),
+                    "{what}: digests diverged from a summary fold"
+                );
+                // After a drain, the summaries equal the live state, so
+                // the digests must too.
+                session.refresh();
+                assert_eq!(
+                    session.shared.pods,
+                    PodDigests::from_state(&infra, session.state()),
+                    "{what}: digests diverged from a live-state rebuild"
+                );
+            }
+        }
     }
 }

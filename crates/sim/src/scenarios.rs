@@ -154,6 +154,51 @@ pub fn multi_site_datacenter<R: Rng + ?Sized>(
     Ok((infra, state))
 }
 
+/// Builds a single-site, many-pod fleet — the sharded two-level
+/// placement's benchmark geometry, sized up to 100k hosts (100 pods ×
+/// 25 racks × 40 hosts): `pods` pods × `racks_per_pod` racks ×
+/// `hosts_per_rack` hosts under one site.
+///
+/// Hosts are emitted pod by pod, so every pod occupies one contiguous
+/// host-id range — the layout the coarse pod-digest stage restricts
+/// exact searches to. Host/link capacities match
+/// [`simulated_datacenter`]; pod uplinks are 200 Gbps.
+///
+/// With `non_uniform` set, Table IV's availability mix is applied
+/// per-rack, so pods end up with distinct aggregate headroom and the
+/// coarse stage has a real ranking to do.
+///
+/// # Errors
+///
+/// Propagates [`BuildError`] if any dimension is zero.
+pub fn pod_fleet<R: Rng + ?Sized>(
+    pods: usize,
+    racks_per_pod: usize,
+    hosts_per_rack: usize,
+    non_uniform: bool,
+    rng: &mut R,
+) -> Result<(Infrastructure, CapacityState), BuildError> {
+    let mut b = InfrastructureBuilder::new();
+    let capacity = Resources::new(16, 32 * 1024, 1_000);
+    let site = b.site("dc", Bandwidth::from_gbps(400));
+    for p in 0..pods {
+        let pod = b.pod(site, format!("p{p}"), Bandwidth::from_gbps(200))?;
+        for r in 0..racks_per_pod {
+            let rack = b.rack_in_pod(pod, format!("p{p}r{r}"), Bandwidth::from_gbps(100))?;
+            for h in 0..hosts_per_rack {
+                b.host(rack, format!("p{p}r{r}h{h}"), capacity, Bandwidth::from_gbps(10))?;
+            }
+        }
+    }
+    let infra = b.build()?;
+    let state = if non_uniform {
+        AvailabilityProfile::table_iv().apply(&infra, rng)
+    } else {
+        CapacityState::new(&infra)
+    };
+    Ok((infra, state))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -249,6 +294,37 @@ mod tests {
         let (.., site_a) = infra.location(outcome.placement.host_of(primary));
         let (.., site_b) = infra.location(outcome.placement.host_of(replica));
         assert_ne!(site_a, site_b);
+    }
+
+    #[test]
+    fn pod_fleet_is_contiguous_per_pod() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let (infra, state) = pod_fleet(5, 2, 4, false, &mut rng).unwrap();
+        assert_eq!(infra.sites().len(), 1);
+        assert_eq!(infra.pods().len(), 5);
+        assert_eq!(infra.racks().len(), 10);
+        assert_eq!(infra.host_count(), 40);
+        assert_eq!(state.active_host_count(), 0);
+        // Hosts are emitted pod by pod: host id / 8 is the pod ordinal.
+        for (i, host) in infra.hosts().iter().enumerate() {
+            let (_, pod, _) = infra.location(host.id());
+            assert_eq!(pod.index(), i / 8, "host {i} out of pod order");
+        }
+    }
+
+    #[test]
+    fn pod_fleet_non_uniform_loads_pods_differently() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let (infra, state) = pod_fleet(4, 2, 8, true, &mut rng).unwrap();
+        assert!(state.active_host_count() > 0);
+        // Aggregate free vCPUs per pod — the digest signal — must not
+        // be identical across all pods under Table IV load.
+        let mut free = vec![0u64; infra.pods().len()];
+        for host in infra.hosts() {
+            let (_, pod, _) = infra.location(host.id());
+            free[pod.index()] += u64::from(state.available(host.id()).vcpus);
+        }
+        assert!(free.iter().any(|&f| f != free[0]), "uniform pods: {free:?}");
     }
 
     #[test]

@@ -25,6 +25,16 @@ scalar_digest="$(grep -o '"decision_digest": "[0-9a-f]*"' target/BENCH_kernel_sm
 cargo bench -p ostro-bench --bench kernel --features simd -- --smoke
 simd_digest="$(grep -o '"decision_digest": "[0-9a-f]*"' target/BENCH_kernel_smoke.json)"
 diff <(echo "$scalar_digest") <(echo "$simd_digest")
+# Shard smoke (64-host multi-pod fleet): runs the two-level sharded
+# engine next to the unsharded baseline and diffs the seeded
+# EG/BA*/DBA* decision digests — a sharded request whose K covers
+# every pod must reproduce the unsharded decisions bit-for-bit.
+cargo bench -p ostro-bench --bench shard -- --smoke
+unsharded_digest="$(grep -o '"unsharded_digest": "[0-9a-f]*"' target/BENCH_shard_smoke.json \
+  | grep -o '"[0-9a-f]*"$')"
+sharded_all_digest="$(grep -o '"sharded_all_digest": "[0-9a-f]*"' target/BENCH_shard_smoke.json \
+  | grep -o '"[0-9a-f]*"$')"
+diff <(echo "$unsharded_digest") <(echo "$sharded_all_digest")
 # Recovery smoke (32 hosts, seeded host crashes + launch failures):
 # asserts internally that two same-seed runs yield bit-identical
 # recovery reports for every algorithm.
