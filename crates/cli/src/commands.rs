@@ -6,13 +6,15 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ostro_core::{
-    verify_placement, Algorithm, DegradePolicy, ObjectiveWeights, Placement, PlacementError,
-    PlacementRequest, PlacementService, Scheduler, SchedulerSession, SearchStats, ServiceConfig,
-    ServiceResponse, ServiceStats, Ticket, Wal, WalOptions,
+    verify_placement, Algorithm, DegradePolicy, FragStats, HealthConfig, HealthState, MaintStats,
+    MaintenanceConfig, MaintenanceLoad, MaintenancePlane, ObjectiveWeights, Placement,
+    PlacementError, PlacementRequest, PlacementService, Scheduler, SchedulerSession, SearchStats,
+    ServiceConfig, ServiceResponse, ServiceStats, TenantRecord, Ticket, Wal, WalOptions,
 };
 use ostro_datacenter::{CapacityState, HostId, InfraSpec, Infrastructure};
 use ostro_heat::{annotate_template, extract_topology, HeatTemplate};
-use ostro_model::ApplicationTopology;
+use ostro_model::{ApplicationTopology, Bandwidth, TopologyBuilder};
+use ostro_sim::{HeartbeatConfig, HeartbeatPlan};
 use serde::{Deserialize, Serialize};
 
 use crate::cli_error::CliError;
@@ -150,10 +152,61 @@ pub enum Command {
         /// Bypass the service: replay the same stream through one warm
         /// session in event order (the baseline for the digest diff).
         serial: bool,
+        /// Run the background maintenance plane after the stream
+        /// drains: the surviving tenants become the ledger and a few
+        /// all-healthy maintenance ticks defragment them through the
+        /// service's authority lock (epoch bumps included).
+        maintain: bool,
         /// Optional path to the pre-existing capacity state.
         state: Option<String>,
         /// Optional journal directory; acknowledged commits are
         /// group-commit fsynced before delivery.
+        wal_dir: Option<String>,
+    },
+    /// Run a deterministic self-healing maintenance scenario: seeded
+    /// fill/decay churn fragments the fleet, then the maintenance
+    /// plane (phi-accrual health detection, suspicion-driven drains,
+    /// budgeted defrag sweeps) repairs it. Prints fragmentation
+    /// gauges before/after plus determinism digests.
+    Maintain {
+        /// Path to the infrastructure spec.
+        infra: String,
+        /// The planner algorithm for drain/defrag re-placements.
+        algorithm: Algorithm,
+        /// Objective weights.
+        weights: ObjectiveWeights,
+        /// Seeded tenant arrivals in the fill phase.
+        arrivals: usize,
+        /// Fraction of placed tenants departing in the decay phase.
+        decay: f64,
+        /// Seed for the workload and the heartbeat streams.
+        seed: u64,
+        /// Maintenance ticks to run after the decay.
+        ticks: u64,
+        /// Node-moves one defrag sweep may spend.
+        sweep_budget: u32,
+        /// Tenants one sweep examines (round-robin over the ledger).
+        candidates: usize,
+        /// Hosts whose heartbeats fail-stop mid-run (exercises the
+        /// drain path: Suspect → Draining → Dead).
+        fail_stop: usize,
+        /// Hosts whose heartbeats slow down but stay regular (must
+        /// NOT be suspected).
+        gray: usize,
+        /// Hosts that skip a few beats then recover (exercises the
+        /// hysteretic Suspect → Healthy edge).
+        flappy: usize,
+        /// Two-level sharded placement for re-placements.
+        shard: bool,
+        /// Candidate pods the coarse stage keeps (0 = engine default).
+        pods: usize,
+        /// Run the churn but skip the maintenance plane entirely —
+        /// the equal-churn baseline `scripts/verify.sh` compares
+        /// fragmentation indices against.
+        no_maintenance: bool,
+        /// Optional path to the pre-existing capacity state.
+        state: Option<String>,
+        /// Optional journal directory; every migration is journaled.
         wal_dir: Option<String>,
     },
     /// Reconstruct scheduler state from a write-ahead journal.
@@ -214,6 +267,13 @@ usage:
   ostro serve    --infra <file> [--requests N] [--depart-prob X] [--seed N]
                  [--planners N] [--batch N] [--retries N] [--serial]
                  [--queue-depth N] [--budget-ms N] [--degrade] [--chaos-seed N]
+                 [--shard] [--pods N] [--maintain]
+                 [--algorithm egc|egbw|eg|bastar|dbastar] [--deadline-ms N]
+                 [--theta-bw X] [--theta-c X]
+                 [--state <file>] [--wal-dir <dir>]
+  ostro maintain --infra <file> [--arrivals N] [--decay X] [--seed N]
+                 [--ticks N] [--sweep-budget N] [--candidates N]
+                 [--fail-stop N] [--gray N] [--flappy N] [--no-maintenance]
                  [--shard] [--pods N]
                  [--algorithm egc|egbw|eg|bastar|dbastar] [--deadline-ms N]
                  [--theta-bw X] [--theta-c X]
@@ -235,7 +295,16 @@ impl Command {
         while let Some(arg) = iter.next() {
             if let Some(name) = arg.strip_prefix("--") {
                 // Boolean switches take no value.
-                if matches!(name, "session" | "stats" | "serial" | "degrade" | "shard") {
+                if matches!(
+                    name,
+                    "session"
+                        | "stats"
+                        | "serial"
+                        | "degrade"
+                        | "shard"
+                        | "maintain"
+                        | "no-maintenance"
+                ) {
                     flags.insert(name.to_owned(), "true".to_owned());
                     continue;
                 }
@@ -412,6 +481,70 @@ impl Command {
                         .transpose()?
                         .unwrap_or(0) as usize,
                     serial: flags.remove("serial").is_some(),
+                    maintain: flags.remove("maintain").is_some(),
+                    state: flags.remove("state"),
+                    wal_dir: flags.remove("wal-dir"),
+                }
+            }
+            "maintain" => {
+                let algorithm = algorithm_flags(&mut flags)?;
+                let weights = weight_flags(&mut flags)?;
+                Command::Maintain {
+                    infra: take(&mut flags, "infra")?,
+                    algorithm,
+                    weights,
+                    arrivals: flags
+                        .remove("arrivals")
+                        .map(|v| parse_num(&v, "arrivals"))
+                        .transpose()?
+                        .unwrap_or(64) as usize,
+                    decay: flags
+                        .remove("decay")
+                        .map(|v| parse_float(&v, "decay"))
+                        .transpose()?
+                        .unwrap_or(0.5),
+                    seed: flags
+                        .remove("seed")
+                        .map(|v| parse_num(&v, "seed"))
+                        .transpose()?
+                        .unwrap_or(0xA117_5EED),
+                    ticks: flags
+                        .remove("ticks")
+                        .map(|v| parse_num(&v, "ticks"))
+                        .transpose()?
+                        .unwrap_or(64),
+                    sweep_budget: flags
+                        .remove("sweep-budget")
+                        .map(|v| parse_num(&v, "sweep-budget"))
+                        .transpose()?
+                        .unwrap_or(8) as u32,
+                    candidates: flags
+                        .remove("candidates")
+                        .map(|v| parse_num(&v, "candidates"))
+                        .transpose()?
+                        .unwrap_or(16) as usize,
+                    fail_stop: flags
+                        .remove("fail-stop")
+                        .map(|v| parse_num(&v, "fail-stop"))
+                        .transpose()?
+                        .unwrap_or(0) as usize,
+                    gray: flags
+                        .remove("gray")
+                        .map(|v| parse_num(&v, "gray"))
+                        .transpose()?
+                        .unwrap_or(0) as usize,
+                    flappy: flags
+                        .remove("flappy")
+                        .map(|v| parse_num(&v, "flappy"))
+                        .transpose()?
+                        .unwrap_or(0) as usize,
+                    shard: flags.remove("shard").is_some(),
+                    pods: flags
+                        .remove("pods")
+                        .map(|v| parse_num(&v, "pods"))
+                        .transpose()?
+                        .unwrap_or(0) as usize,
+                    no_maintenance: flags.remove("no-maintenance").is_some(),
                     state: flags.remove("state"),
                     wal_dir: flags.remove("wal-dir"),
                 }
@@ -523,6 +656,7 @@ impl Command {
                 shard,
                 pods,
                 serial,
+                maintain,
                 state,
                 wal_dir,
             } => serve(&ServeArgs {
@@ -542,6 +676,44 @@ impl Command {
                 shard: *shard,
                 pods: *pods,
                 serial: *serial,
+                maintain: *maintain,
+                state: state.as_deref(),
+                wal_dir: wal_dir.as_deref(),
+            }),
+            Command::Maintain {
+                infra,
+                algorithm,
+                weights,
+                arrivals,
+                decay,
+                seed,
+                ticks,
+                sweep_budget,
+                candidates,
+                fail_stop,
+                gray,
+                flappy,
+                shard,
+                pods,
+                no_maintenance,
+                state,
+                wal_dir,
+            } => maintain_fleet(&MaintainArgs {
+                infra,
+                algorithm: *algorithm,
+                weights: *weights,
+                arrivals: *arrivals,
+                decay: *decay,
+                seed: *seed,
+                ticks: *ticks,
+                sweep_budget: *sweep_budget,
+                candidates: *candidates,
+                fail_stop: *fail_stop,
+                gray: *gray,
+                flappy: *flappy,
+                shard: *shard,
+                pods: *pods,
+                no_maintenance: *no_maintenance,
                 state: state.as_deref(),
                 wal_dir: wal_dir.as_deref(),
             }),
@@ -864,9 +1036,13 @@ struct ServeArgs<'a> {
     shard: bool,
     pods: usize,
     serial: bool,
+    maintain: bool,
     state: Option<&'a str>,
     wal_dir: Option<&'a str>,
 }
+
+/// Maintenance ticks `serve --maintain` runs once the stream drains.
+const SERVE_MAINTENANCE_TICKS: u64 = 8;
 
 /// The JSON document `serve` emits.
 #[derive(Debug, Serialize, Deserialize)]
@@ -920,6 +1096,10 @@ pub struct ServeReport {
     /// re-plans, the batch-size histogram); absent in `--serial` mode.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub service: Option<ServiceStats>,
+    /// Maintenance-plane counters from the post-stream defrag pass;
+    /// present only with `--maintain`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub maintenance: Option<MaintStats>,
 }
 
 /// SplitMix64 finalizer — a cheap, stable bit mixer for the digest.
@@ -1005,6 +1185,11 @@ fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
 }
 
 fn serve(args: &ServeArgs) -> Result<String, CliError> {
+    if args.maintain && args.serial {
+        return Err(CliError::Usage(
+            "--maintain exercises the service's maintenance path; drop --serial".into(),
+        ));
+    }
     let infra = load_infra(args.infra)?;
     let state = load_state(&infra, args.state)?;
     let plan = ostro_sim::arrival_stream(&ostro_sim::StreamConfig {
@@ -1061,6 +1246,7 @@ fn serve(args: &ServeArgs) -> Result<String, CliError> {
     let mut released = 0usize;
     let wal_error;
     let mut service_stats = None;
+    let mut maintenance_stats: Option<MaintStats> = None;
     let start = Instant::now();
     if args.serial {
         for event in &plan.events {
@@ -1102,8 +1288,10 @@ fn serve(args: &ServeArgs) -> Result<String, CliError> {
         if let Some(chaos) = &chaos {
             service.set_plan_hook(Some(chaos.plan_hook()));
         }
+        let mut plane_slot: Option<MaintenancePlane> = None;
         service.serve(|handle| {
             let mut pending: Vec<Option<(Ticket, Instant)>> = (0..arrivals).map(|_| None).collect();
+            let mut released_flags = vec![false; arrivals];
             let mut release_tickets: Vec<Ticket> = Vec::new();
             let resolve = |(ticket, t0): (Ticket, Instant)| -> (Option<Placement>, Decision, f64) {
                 let (response, when) = ticket.wait_timed();
@@ -1134,6 +1322,7 @@ fn serve(args: &ServeArgs) -> Result<String, CliError> {
                             if let Some(placement) = placement {
                                 placements[arrival] = Some(placement.clone());
                                 placed += 1;
+                                released_flags[arrival] = true;
                                 release_tickets.push(handle.submit_release(
                                     Arc::clone(&shapes[plan.shape_of[arrival]]),
                                     placement,
@@ -1159,7 +1348,32 @@ fn serve(args: &ServeArgs) -> Result<String, CliError> {
                     released += 1;
                 }
             }
+            if args.maintain {
+                // The survivors become the maintenance ledger; a few
+                // all-healthy ticks defragment them through the
+                // service's authority lock.
+                let mut ledger: Vec<TenantRecord> = (0..arrivals)
+                    .filter(|&a| !released_flags[a])
+                    .filter_map(|a| {
+                        placements[a].clone().map(|placement| TenantRecord {
+                            id: a as u64,
+                            topology: Arc::clone(&shapes[plan.shape_of[a]]),
+                            placement,
+                        })
+                    })
+                    .collect();
+                let cfg = MaintenanceConfig { request: request.clone(), ..Default::default() };
+                let mut plane = MaintenancePlane::new(cfg, infra.host_count());
+                for tick in 0..SERVE_MAINTENANCE_TICKS {
+                    for i in 0..infra.host_count() {
+                        plane.heartbeat(HostId::from_index(i as u32), tick);
+                    }
+                    handle.maintain(&mut plane, &mut ledger, tick);
+                }
+                plane_slot = Some(plane);
+            }
         });
+        maintenance_stats = plane_slot.map(|plane| *plane.stats());
         service_stats = Some(service.stats());
         let mut session = service.into_session();
         wal_error = session.take_wal_error().map(|e| e.to_string());
@@ -1195,6 +1409,249 @@ fn serve(args: &ServeArgs) -> Result<String, CliError> {
         shed_digest: format!("{shed_digest:016x}"),
         wal_error,
         service: service_stats,
+        maintenance: maintenance_stats,
+    };
+    Ok(serde_json::to_string_pretty(&report).expect("serializable") + "\n")
+}
+
+/// Everything `maintain` needs, bundled so the executor stays readable.
+struct MaintainArgs<'a> {
+    infra: &'a str,
+    algorithm: Algorithm,
+    weights: ObjectiveWeights,
+    arrivals: usize,
+    decay: f64,
+    seed: u64,
+    ticks: u64,
+    sweep_budget: u32,
+    candidates: usize,
+    fail_stop: usize,
+    gray: usize,
+    flappy: usize,
+    shard: bool,
+    pods: usize,
+    no_maintenance: bool,
+    state: Option<&'a str>,
+    wal_dir: Option<&'a str>,
+}
+
+/// The JSON document `maintain` emits. Every field is a pure function
+/// of the inputs — no wall-clock — so `scripts/verify.sh` diffs two
+/// same-seed runs whole.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct MaintainReport {
+    /// Hosts in the fleet.
+    pub hosts: usize,
+    /// Seeded arrivals offered in the fill phase.
+    pub arrivals: usize,
+    /// Arrivals the books admitted.
+    pub placed: usize,
+    /// Tenants departing in the decay phase.
+    pub departures: usize,
+    /// Tenants still placed when maintenance started.
+    pub survivors: usize,
+    /// Whether the maintenance plane ran (false with
+    /// `--no-maintenance`).
+    pub maintained: bool,
+    /// Maintenance ticks run.
+    pub ticks: u64,
+    /// Fragmentation gauges after the decay, before maintenance.
+    pub frag_before: FragStats,
+    /// Fragmentation gauges after maintenance (equal to
+    /// `frag_before` when it did not run).
+    pub frag_after: FragStats,
+    /// Maintenance-plane counters; absent with `--no-maintenance`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub maintenance: Option<MaintStats>,
+    /// Hosts the failure detector is draining at the end of the run.
+    #[serde(default)]
+    pub draining_hosts: Vec<String>,
+    /// Hosts declared dead (drain completed or φ past the threshold).
+    #[serde(default)]
+    pub dead_hosts: Vec<String>,
+    /// Migrations in the plane's journal-ordered migration log.
+    #[serde(default)]
+    pub migrations: usize,
+    /// Digest of the serialized migration log; two same-seed runs
+    /// must agree bit-for-bit.
+    pub migration_log_digest: String,
+    /// Digest of every surviving tenant's final placement — the
+    /// "final decision digest" the determinism gate diffs.
+    pub placement_digest: String,
+    /// The first journaling failure, if any.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub wal_error: Option<String>,
+}
+
+/// A hash mapped to the unit interval `[0, 1)` with 53-bit precision.
+fn unit(x: u64) -> f64 {
+    (mix64(x) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Seeded tenant family for `maintain`: short chains with linked
+/// demands, derived from the splitmix mixer so the CLI needs no RNG.
+fn maintenance_tenant(seed: u64, id: u64) -> ApplicationTopology {
+    let h = mix64(seed ^ mix64(id ^ 0x7E4A_47));
+    let vms = 2 + (h % 3) as usize;
+    let mut b = TopologyBuilder::new(format!("t{id}"));
+    let mut prev = None;
+    for i in 0..vms {
+        let hi = mix64(h ^ i as u64);
+        let node = b
+            .vm(format!("vm{i}"), 1 + (hi % 3) as u32, 1_024 * (1 + ((hi >> 8) % 3)))
+            .expect("generated VM demand is valid");
+        if let Some(p) = prev {
+            b.link(p, node, Bandwidth::from_mbps(50 + ((hi >> 16) % 100)))
+                .expect("generated link demand is valid");
+        }
+        prev = Some(node);
+    }
+    b.build().expect("generated topology is valid")
+}
+
+/// Folds the ledger's placements into one digest: equal digests mean
+/// every surviving tenant ended on exactly the same hosts.
+fn ledger_digest(ledger: &[TenantRecord]) -> u64 {
+    let mut digest = 0u64;
+    for t in ledger {
+        digest = mix64(digest ^ t.id);
+        for (node, host) in t.placement.iter() {
+            digest = mix64(digest ^ (((node.index() as u64) << 32) | host.index() as u64));
+        }
+    }
+    digest
+}
+
+/// FNV-1a over serialized text, splitmix-finalized.
+fn text_digest(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    mix64(h)
+}
+
+fn maintain_fleet(args: &MaintainArgs) -> Result<String, CliError> {
+    let infra = load_infra(args.infra)?;
+    let state = load_state(&infra, args.state)?;
+    let request = PlacementRequest {
+        algorithm: args.algorithm,
+        weights: args.weights,
+        seed: args.seed,
+        shard: args.shard,
+        pods_considered: args.pods,
+        ..PlacementRequest::default()
+    };
+    let mut session = match args.wal_dir {
+        Some(dir) => {
+            let (wal, recovery) =
+                Wal::open(std::path::Path::new(dir), &infra, WalOptions::default())?;
+            let mut session = if recovery.seq > 0 {
+                SchedulerSession::with_recovery(&infra, &recovery)
+            } else {
+                SchedulerSession::with_state(&infra, state)
+            };
+            session.attach_wal(wal);
+            session
+        }
+        None => SchedulerSession::with_state(&infra, state),
+    };
+
+    // Fill: seeded arrivals, committed as they land.
+    let mut ledger: Vec<TenantRecord> = Vec::with_capacity(args.arrivals);
+    let mut placed = 0usize;
+    for id in 0..args.arrivals as u64 {
+        let topology = maintenance_tenant(args.seed, id);
+        let Ok(outcome) = session.place(&topology, &request) else { continue };
+        session.commit(&topology, &outcome.placement)?;
+        ledger.push(TenantRecord {
+            id,
+            topology: Arc::new(topology),
+            placement: outcome.placement,
+        });
+        placed += 1;
+    }
+
+    // Decay: a seeded fraction departs, stranding the survivors.
+    let mut departures = 0usize;
+    let mut survivors = Vec::with_capacity(ledger.len());
+    for t in ledger {
+        if unit(args.seed ^ 0xD_EC_A7 ^ mix64(t.id)) < args.decay {
+            session.release(&t.topology, &t.placement)?;
+            departures += 1;
+        } else {
+            survivors.push(t);
+        }
+    }
+    let mut ledger = survivors;
+    let frag_before = FragStats::compute(&infra, session.state(), &ledger);
+
+    let mut maintenance = None;
+    let mut draining_hosts = Vec::new();
+    let mut dead_hosts = Vec::new();
+    let mut migrations = 0usize;
+    let mut log_digest = text_digest("[]");
+    if !args.no_maintenance {
+        // A 2-tick heartbeat period (and a matching detector prior)
+        // keeps fail-stop detection and the drain inside the default
+        // 64-tick run.
+        let hb = HeartbeatPlan::generate(
+            &HeartbeatConfig {
+                seed: args.seed,
+                interval: 2,
+                fail_stop: args.fail_stop,
+                gray: args.gray,
+                flappy: args.flappy,
+                ..HeartbeatConfig::default()
+            },
+            infra.host_count(),
+            args.ticks as usize,
+        );
+        let cfg = MaintenanceConfig {
+            health: HealthConfig { expected_interval: 2, ..HealthConfig::default() },
+            request: request.clone(),
+            sweep_budget: args.sweep_budget,
+            sweep_candidates: args.candidates.max(1),
+            ..MaintenanceConfig::default()
+        };
+        let mut plane = MaintenancePlane::new(cfg, infra.host_count());
+        for tick in 0..args.ticks {
+            for host in hb.beats_at(tick) {
+                plane.heartbeat(host, tick);
+            }
+            plane.tick(&mut session, &mut ledger, tick, MaintenanceLoad::default());
+        }
+        let host_names = |hosts: Vec<HostId>| -> Vec<String> {
+            hosts.into_iter().map(|h| infra.host(h).name().to_owned()).collect()
+        };
+        draining_hosts = host_names(plane.monitor().hosts_in(HealthState::Draining));
+        dead_hosts = host_names(plane.monitor().hosts_in(HealthState::Dead));
+        migrations = plane.migration_log().len();
+        log_digest =
+            text_digest(&serde_json::to_string(plane.migration_log()).expect("serializable"));
+        maintenance = Some(*plane.stats());
+    }
+    let frag_after = FragStats::compute(&infra, session.state(), &ledger);
+    let wal_error = session.take_wal_error().map(|e| e.to_string());
+
+    let report = MaintainReport {
+        hosts: infra.host_count(),
+        arrivals: args.arrivals,
+        placed,
+        departures,
+        survivors: ledger.len(),
+        maintained: !args.no_maintenance,
+        ticks: if args.no_maintenance { 0 } else { args.ticks },
+        frag_before,
+        frag_after,
+        maintenance,
+        draining_hosts,
+        dead_hosts,
+        migrations,
+        migration_log_digest: format!("{log_digest:016x}"),
+        placement_digest: format!("{:016x}", ledger_digest(&ledger)),
+        wal_error,
     };
     Ok(serde_json::to_string_pretty(&report).expect("serializable") + "\n")
 }
@@ -1852,6 +2309,131 @@ mod tests {
         // tails are truncated, never fatal.
         let doc = run(argv(&format!("recover --infra {infra} --wal-dir {wal}"))).unwrap();
         let _: RecoveryDocument = serde_json::from_str(&doc).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_accepts_maintain_invocation() {
+        match Command::parse(argv(
+            "maintain --infra i.json --arrivals 40 --decay 0.6 --seed 3 --ticks 20 \
+             --sweep-budget 4 --candidates 8 --fail-stop 2 --gray 1 --flappy 1 \
+             --shard --pods 2 --no-maintenance --wal-dir /tmp/w",
+        ))
+        .unwrap()
+        {
+            Command::Maintain {
+                arrivals,
+                decay,
+                seed,
+                ticks,
+                sweep_budget,
+                candidates,
+                fail_stop,
+                gray,
+                flappy,
+                shard,
+                pods,
+                no_maintenance,
+                wal_dir,
+                ..
+            } => {
+                assert_eq!(arrivals, 40);
+                assert!((decay - 0.6).abs() < 1e-12);
+                assert_eq!(seed, 3);
+                assert_eq!(ticks, 20);
+                assert_eq!(sweep_budget, 4);
+                assert_eq!(candidates, 8);
+                assert_eq!(fail_stop, 2);
+                assert_eq!(gray, 1);
+                assert_eq!(flappy, 1);
+                assert!(shard);
+                assert_eq!(pods, 2);
+                assert!(no_maintenance, "--no-maintenance is a boolean switch");
+                assert_eq!(wal_dir.as_deref(), Some("/tmp/w"));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        match Command::parse(argv("maintain --infra i.json")).unwrap() {
+            Command::Maintain { arrivals, ticks, sweep_budget, no_maintenance, .. } => {
+                assert_eq!(arrivals, 64);
+                assert_eq!(ticks, 64);
+                assert_eq!(sweep_budget, 8);
+                assert!(!no_maintenance);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(matches!(Command::parse(argv("maintain --ticks 5")), Err(CliError::Usage(_))));
+        assert!(matches!(
+            Command::parse(argv("serve --infra i.json --serial --maintain")).unwrap().execute(),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn maintain_recovers_fragmentation_and_is_deterministic() {
+        let dir = tempdir("maintain");
+        let (infra, _) = write_examples(&dir);
+        let cmdline = format!("maintain --infra {infra} --seed 7 --fail-stop 1");
+        let out = run(argv(&cmdline)).unwrap();
+        let report: MaintainReport = serde_json::from_str(&out).unwrap();
+        assert!(report.maintained);
+        assert!(
+            report.frag_after.fleet_objective < report.frag_before.fleet_objective,
+            "maintenance must strictly improve the fleet objective: {} -> {}",
+            report.frag_before.fleet_objective,
+            report.frag_after.fleet_objective,
+        );
+        assert!(report.frag_after.active_hosts < report.frag_before.active_hosts);
+        assert_eq!(report.dead_hosts.len(), 1, "the fail-stop host must die");
+        assert!(report.migrations > 0);
+        // No wall-clock fields: two same-seed runs diff whole.
+        assert_eq!(out, run(argv(&cmdline)).unwrap(), "maintain must be bit-deterministic");
+        // The equal-churn baseline leaves the fragmentation in place.
+        let base = run(argv(&format!("{cmdline} --no-maintenance"))).unwrap();
+        let base: MaintainReport = serde_json::from_str(&base).unwrap();
+        assert!(!base.maintained);
+        assert_eq!(base.frag_before.fleet_objective, base.frag_after.fleet_objective);
+        assert_eq!(base.frag_before.fleet_objective, report.frag_before.fleet_objective);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn maintain_journals_every_migration() {
+        let dir = tempdir("maintain-wal");
+        let (infra, _) = write_examples(&dir);
+        let wal = dir.join("wal").to_str().unwrap().to_owned();
+        let out = run(argv(&format!("maintain --infra {infra} --seed 7 --wal-dir {wal}"))).unwrap();
+        let report: MaintainReport = serde_json::from_str(&out).unwrap();
+        assert!(report.wal_error.is_none());
+        assert!(report.migrations > 0);
+        // The journal replays to books with exactly the run's active
+        // hosts — migrations included.
+        let doc = run(argv(&format!("recover --infra {infra} --wal-dir {wal}"))).unwrap();
+        let doc: RecoveryDocument = serde_json::from_str(&doc).unwrap();
+        assert!(!doc.truncated_tail);
+        assert_eq!(doc.active_hosts, report.frag_after.active_hosts);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_maintain_defragments_after_the_stream() {
+        let dir = tempdir("serve-maintain");
+        let (infra, _) = write_examples(&dir);
+        let out = run(argv(&format!(
+            "serve --infra {infra} --requests 16 --depart-prob 0.5 --seed 11 \
+             --planners 1 --batch 1 --maintain"
+        )))
+        .unwrap();
+        let report: ServeReport = serde_json::from_str(&out).unwrap();
+        let maintenance = report.maintenance.expect("--maintain reports the plane's counters");
+        assert_eq!(maintenance.sweeps, 8, "one sweep per post-stream tick");
+        let stats = report.service.expect("service counters");
+        assert_eq!(stats.maintenance_ticks, 8);
+        assert_eq!(
+            stats.maintenance_migrations,
+            maintenance.drain_migrations + maintenance.defrag_migrations,
+            "the service's counter mirrors the plane's"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -14,7 +14,10 @@
 //!                [--launch-failure-prob X] [--stale-race-prob X]
 //! ostro serve    --infra infra.json [--requests N] [--depart-prob X]
 //!                [--planners N] [--batch N] [--retries N] [--serial]
-//!                [--wal-dir dir]
+//!                [--maintain] [--wal-dir dir]
+//! ostro maintain --infra infra.json [--arrivals N] [--decay X] [--seed N]
+//!                [--ticks N] [--sweep-budget N] [--fail-stop N] [--gray N]
+//!                [--flappy N] [--no-maintenance] [--wal-dir dir]
 //! ostro example  infra|template
 //! ```
 //!

@@ -1,0 +1,430 @@
+//! Per-host health detection: a phi-accrual failure detector over
+//! deterministic heartbeat streams, driving a hysteretic state machine
+//! (`Healthy → Suspect → Draining → Dead`, with recovery back to
+//! `Healthy` from `Suspect` only).
+//!
+//! The detector follows the accrual construction of Hayashibara et
+//! al. (the one Cassandra ships): instead of a boolean alive/dead
+//! verdict, each host accrues a suspicion level φ that grows with the
+//! time since its last heartbeat, scaled by the host's *own* recent
+//! inter-arrival history. Under the exponential inter-arrival model
+//! the closed form is
+//!
+//! ```text
+//! φ(t) = log10(e) · (t − t_last) / mean_interval
+//! ```
+//!
+//! so a host that has historically beaten every 5 ticks reaches φ = 1
+//! after ~11.5 silent ticks (P(still alive) ≈ 10⁻¹), φ = 2 after ~23,
+//! and so on. Gray hosts — alive but degraded, with inflating and
+//! jittery intervals — raise their own mean, which keeps φ honest: a
+//! slow-but-steady host is *not* suspected, while a host whose silence
+//! outruns even its degraded history is.
+//!
+//! Everything here is integer-tick driven and allocation-stable:
+//! feeding the same heartbeat stream through [`HealthMonitor`] twice
+//! produces bit-identical φ values and transition sequences, which is
+//! what lets the maintenance plane's decision digests be diffed across
+//! runs (see `scripts/verify.sh`).
+
+use ostro_datacenter::HostId;
+use serde::{Deserialize, Serialize};
+
+/// log10(e): converts the exponential survival exponent to φ's
+/// base-10 suspicion scale.
+const LOG10_E: f64 = std::f64::consts::LOG10_E;
+
+/// The maintenance plane's view of one host's health.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HealthState {
+    /// Heartbeats arriving on schedule; full placement target.
+    Healthy,
+    /// φ crossed [`HealthConfig::suspect_phi`]: the host is watched
+    /// but untouched. Recovers to `Healthy` after
+    /// [`HealthConfig::recovery_ticks`] consecutive calm evaluations
+    /// (the hysteresis that keeps a flappy host from thrashing).
+    Suspect,
+    /// φ crossed [`HealthConfig::drain_phi`]: the plane freezes the
+    /// host and migrates its tenants away *before* the crash.
+    /// Deliberately one-way — a drained host rejoins the fleet through
+    /// operator action, not by beating twice.
+    Draining,
+    /// The drain completed (or φ crossed
+    /// [`HealthConfig::dead_phi`] first). Terminal.
+    Dead,
+}
+
+/// Thresholds and hysteresis for the per-host state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HealthConfig {
+    /// φ at which a host becomes [`HealthState::Suspect`].
+    pub suspect_phi: f64,
+    /// φ at which a suspect host starts [`HealthState::Draining`].
+    pub drain_phi: f64,
+    /// φ at which a draining host is declared [`HealthState::Dead`]
+    /// even if its drain is still retrying.
+    pub dead_phi: f64,
+    /// Consecutive calm (φ < `suspect_phi`) evaluations a suspect
+    /// host must string together before it recovers to `Healthy`.
+    pub recovery_ticks: u32,
+    /// Inter-arrival samples kept per host (a sliding window).
+    pub window: usize,
+    /// Prior mean inter-arrival, in ticks, used until a host has real
+    /// samples — and the floor under the observed mean, so a burst of
+    /// back-to-back beats cannot make the detector hair-triggered.
+    pub expected_interval: u64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            suspect_phi: 1.0,
+            drain_phi: 3.0,
+            dead_phi: 8.0,
+            recovery_ticks: 3,
+            window: 16,
+            expected_interval: 5,
+        }
+    }
+}
+
+/// One host's detector state: last-arrival bookkeeping plus the
+/// sliding inter-arrival window.
+#[derive(Debug, Clone)]
+struct HostHealth {
+    state: HealthState,
+    /// Tick of the most recent heartbeat; `None` until the first.
+    last_beat: Option<u64>,
+    /// Ring buffer of recent inter-arrival intervals.
+    intervals: Vec<u64>,
+    /// Next write position in `intervals` once it is full.
+    cursor: usize,
+    /// Running sum of `intervals` (kept incrementally; the window is
+    /// small but `evaluate` runs every tick for every host).
+    interval_sum: u64,
+    /// Consecutive calm evaluations while `Suspect`.
+    calm_streak: u32,
+}
+
+impl HostHealth {
+    fn new() -> Self {
+        HostHealth {
+            state: HealthState::Healthy,
+            last_beat: None,
+            intervals: Vec::new(),
+            cursor: 0,
+            interval_sum: 0,
+            calm_streak: 0,
+        }
+    }
+
+    fn mean_interval(&self, cfg: &HealthConfig) -> f64 {
+        if self.intervals.is_empty() {
+            return cfg.expected_interval.max(1) as f64;
+        }
+        let observed = self.interval_sum as f64 / self.intervals.len() as f64;
+        observed.max(cfg.expected_interval.max(1) as f64)
+    }
+}
+
+/// One state-machine edge, reported by [`HealthMonitor::evaluate`] in
+/// ascending host order (the determinism contract).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HealthTransition {
+    /// The host that moved.
+    pub host: HostId,
+    /// The state it left.
+    pub from: HealthState,
+    /// The state it entered.
+    pub to: HealthState,
+    /// The evaluation tick the edge fired on.
+    pub tick: u64,
+}
+
+/// The fleet-wide failure detector: feed it heartbeats with
+/// [`heartbeat`](Self::heartbeat), advance it with
+/// [`evaluate`](Self::evaluate), and act on the transitions it
+/// returns. Purely computational — it never touches capacity books;
+/// the [`MaintenancePlane`](crate::MaintenancePlane) owns the
+/// consequences.
+#[derive(Debug, Clone)]
+pub struct HealthMonitor {
+    cfg: HealthConfig,
+    hosts: Vec<HostHealth>,
+}
+
+impl HealthMonitor {
+    /// A monitor for `host_count` hosts, all initially `Healthy`.
+    #[must_use]
+    pub fn new(cfg: HealthConfig, host_count: usize) -> Self {
+        HealthMonitor { cfg, hosts: vec![HostHealth::new(); host_count] }
+    }
+
+    /// The configured thresholds.
+    #[must_use]
+    pub fn config(&self) -> &HealthConfig {
+        &self.cfg
+    }
+
+    /// Records a heartbeat from `host` at `tick`. Out-of-order beats
+    /// (tick earlier than the last seen) are ignored rather than
+    /// poisoning the window.
+    pub fn heartbeat(&mut self, host: HostId, tick: u64) {
+        let h = &mut self.hosts[host.index()];
+        match h.last_beat {
+            None => h.last_beat = Some(tick),
+            Some(last) if tick > last => {
+                let interval = tick - last;
+                if h.intervals.len() < self.cfg.window.max(1) {
+                    h.intervals.push(interval);
+                } else {
+                    h.interval_sum -= h.intervals[h.cursor];
+                    h.intervals[h.cursor] = interval;
+                    h.cursor = (h.cursor + 1) % h.intervals.len();
+                }
+                h.interval_sum += interval;
+                h.last_beat = Some(tick);
+            }
+            Some(_) => {}
+        }
+    }
+
+    /// The suspicion level φ of `host` at `tick`. Zero before the
+    /// first heartbeat (an unborn host is given the benefit of the
+    /// doubt — the simulator always beats once at start-up).
+    #[must_use]
+    pub fn phi(&self, host: HostId, tick: u64) -> f64 {
+        let h = &self.hosts[host.index()];
+        let Some(last) = h.last_beat else { return 0.0 };
+        let elapsed = tick.saturating_sub(last);
+        LOG10_E * elapsed as f64 / h.mean_interval(&self.cfg)
+    }
+
+    /// The current state of `host`.
+    #[must_use]
+    pub fn state(&self, host: HostId) -> HealthState {
+        self.hosts[host.index()].state
+    }
+
+    /// Forces `host` into `to` — the plane's hook for edges the
+    /// detector cannot see (drain completed → `Dead`, operator
+    /// intervention). Returns the transition if the state changed.
+    pub fn mark(&mut self, host: HostId, to: HealthState, tick: u64) -> Option<HealthTransition> {
+        let h = &mut self.hosts[host.index()];
+        if h.state == to {
+            return None;
+        }
+        let from = h.state;
+        h.state = to;
+        h.calm_streak = 0;
+        Some(HealthTransition { host, from, to, tick })
+    }
+
+    /// Advances every host's state machine to `tick`, returning the
+    /// edges that fired in ascending host order. φ is evaluated once
+    /// per host per call; a single evaluation can climb at most one
+    /// level towards draining (Suspect this tick, Draining no earlier
+    /// than the next), so a host is always *observed* suspect before
+    /// the plane acts on it.
+    pub fn evaluate(&mut self, tick: u64) -> Vec<HealthTransition> {
+        let mut transitions = Vec::new();
+        for index in 0..self.hosts.len() {
+            let host = HostId::from_index(index as u32);
+            let phi = self.phi(host, tick);
+            let h = &mut self.hosts[index];
+            let (from, to) = match h.state {
+                HealthState::Healthy if phi >= self.cfg.suspect_phi => {
+                    (HealthState::Healthy, HealthState::Suspect)
+                }
+                HealthState::Suspect => {
+                    if phi >= self.cfg.drain_phi {
+                        h.calm_streak = 0;
+                        (HealthState::Suspect, HealthState::Draining)
+                    } else if phi < self.cfg.suspect_phi {
+                        h.calm_streak += 1;
+                        if h.calm_streak >= self.cfg.recovery_ticks.max(1) {
+                            h.calm_streak = 0;
+                            (HealthState::Suspect, HealthState::Healthy)
+                        } else {
+                            continue;
+                        }
+                    } else {
+                        // Between thresholds: still suspicious; the
+                        // calm streak resets so recovery requires
+                        // *consecutive* quiet ticks.
+                        h.calm_streak = 0;
+                        continue;
+                    }
+                }
+                HealthState::Draining if phi >= self.cfg.dead_phi => {
+                    (HealthState::Draining, HealthState::Dead)
+                }
+                _ => continue,
+            };
+            h.state = to;
+            transitions.push(HealthTransition { host, from, to, tick });
+        }
+        transitions
+    }
+
+    /// Hosts currently in `state`, ascending.
+    #[must_use]
+    pub fn hosts_in(&self, state: HealthState) -> Vec<HostId> {
+        self.hosts
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.state == state)
+            .map(|(i, _)| HostId::from_index(i as u32))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(i: u32) -> HostId {
+        HostId::from_index(i)
+    }
+
+    fn monitor(hosts: usize) -> HealthMonitor {
+        HealthMonitor::new(HealthConfig::default(), hosts)
+    }
+
+    #[test]
+    fn steady_heartbeats_stay_healthy() {
+        let mut m = monitor(1);
+        for tick in (0..100).step_by(5) {
+            m.heartbeat(h(0), tick);
+            assert!(m.evaluate(tick).is_empty());
+        }
+        assert_eq!(m.state(h(0)), HealthState::Healthy);
+        assert!(m.phi(h(0), 100) < 1.0);
+    }
+
+    #[test]
+    fn silence_escalates_suspect_then_draining_then_dead() {
+        let mut m = monitor(1);
+        for tick in (0..50).step_by(5) {
+            m.heartbeat(h(0), tick);
+        }
+        // Host falls silent after tick 45.
+        let mut seen = Vec::new();
+        for tick in 46..200 {
+            for t in m.evaluate(tick) {
+                seen.push((t.from, t.to));
+            }
+        }
+        assert_eq!(
+            seen,
+            vec![
+                (HealthState::Healthy, HealthState::Suspect),
+                (HealthState::Suspect, HealthState::Draining),
+                (HealthState::Draining, HealthState::Dead),
+            ]
+        );
+    }
+
+    #[test]
+    fn suspect_recovers_with_hysteresis() {
+        let mut m = monitor(1);
+        for tick in (0..50).step_by(5) {
+            m.heartbeat(h(0), tick);
+        }
+        // One long gap pushes the host over the suspect threshold…
+        let mut suspected_at = None;
+        for tick in 46..70 {
+            for t in m.evaluate(tick) {
+                if t.to == HealthState::Suspect {
+                    suspected_at = Some(tick);
+                }
+            }
+            if suspected_at.is_some() {
+                break;
+            }
+        }
+        let suspected_at = suspected_at.expect("host should be suspected");
+        assert_eq!(m.state(h(0)), HealthState::Suspect);
+        // …then beats resume: recovery needs `recovery_ticks`
+        // consecutive calm evaluations, not just one.
+        m.heartbeat(h(0), suspected_at);
+        m.heartbeat(h(0), suspected_at + 1);
+        assert!(m.evaluate(suspected_at + 1).is_empty(), "one calm tick must not recover");
+        assert_eq!(m.state(h(0)), HealthState::Suspect);
+        let mut recovered_at = None;
+        for tick in suspected_at + 2..suspected_at + 10 {
+            m.heartbeat(h(0), tick);
+            for t in m.evaluate(tick) {
+                if t.to == HealthState::Healthy {
+                    recovered_at = Some(tick);
+                }
+            }
+        }
+        assert!(recovered_at.is_some(), "calm streak should recover the host");
+        assert_eq!(m.state(h(0)), HealthState::Healthy);
+    }
+
+    #[test]
+    fn gray_host_with_inflated_intervals_is_not_suspected() {
+        let mut m = monitor(1);
+        // Degraded but steady: beats every 15 ticks instead of 5. The
+        // window adapts, so φ stays low between beats.
+        for tick in (0..300).step_by(15) {
+            m.heartbeat(h(0), tick);
+        }
+        assert!(m.phi(h(0), 299) < 1.0, "steady-slow host must not accrue suspicion");
+        assert_eq!(m.state(h(0)), HealthState::Healthy);
+    }
+
+    #[test]
+    fn draining_is_one_way_without_mark() {
+        let mut m = monitor(1);
+        for tick in (0..20).step_by(5) {
+            m.heartbeat(h(0), tick);
+        }
+        for tick in 21..120 {
+            m.evaluate(tick);
+            if m.state(h(0)) == HealthState::Draining {
+                break;
+            }
+        }
+        assert_eq!(m.state(h(0)), HealthState::Draining);
+        // Beats resume — the machine must stay draining.
+        for tick in 120..160 {
+            m.heartbeat(h(0), tick);
+            m.evaluate(tick);
+        }
+        assert_eq!(m.state(h(0)), HealthState::Draining);
+        let edge = m.mark(h(0), HealthState::Dead, 160).expect("mark fires");
+        assert_eq!(edge.from, HealthState::Draining);
+        assert_eq!(m.state(h(0)), HealthState::Dead);
+    }
+
+    #[test]
+    fn same_stream_is_bit_deterministic() {
+        let drive = || {
+            let mut m = monitor(4);
+            let mut log = Vec::new();
+            for tick in 0..400u64 {
+                for host in 0..4u32 {
+                    // Host 3 goes gray after tick 100; host 1 dies at 200.
+                    let period = if host == 3 && tick > 100 { 13 } else { 5 };
+                    let alive = !(host == 1 && tick > 200);
+                    if alive && tick % period == 0 {
+                        m.heartbeat(h(host), tick);
+                    }
+                }
+                for t in m.evaluate(tick) {
+                    log.push((t.host.index(), t.from, t.to, t.tick));
+                }
+                for host in 0..4u32 {
+                    log.push((host as usize, m.state(h(host)), m.state(h(host)), {
+                        m.phi(h(host), tick).to_bits()
+                    }));
+                }
+            }
+            log
+        };
+        assert_eq!(drive(), drive());
+    }
+}

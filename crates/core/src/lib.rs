@@ -62,9 +62,11 @@ mod baselines;
 pub mod bench_support;
 mod candidates;
 mod deadline;
+mod defrag;
 mod deploy;
 mod error;
 mod greedy;
+mod health;
 mod heuristic;
 mod objective;
 mod online;
@@ -80,11 +82,16 @@ mod shard;
 mod validate;
 pub mod wal;
 
+pub use defrag::{
+    FragStats, MaintStats, MaintenanceConfig, MaintenanceLoad, MaintenancePlane, MaintenanceTick,
+    MigrationReason, MigrationRecord, TenantRecord,
+};
 pub use deploy::{
     Degradation, DeployError, DeployPolicy, DeploymentReport, EvacuationOutcome, FaultProbe,
     LaunchVerdict, NoFaults, NodeFate,
 };
 pub use error::PlacementError;
+pub use health::{HealthConfig, HealthMonitor, HealthState, HealthTransition};
 pub use objective::{Normalizers, ObjectiveWeights};
 pub use online::OnlineOutcome;
 pub use placement::{Placement, PlacementOutcome, SearchStats};

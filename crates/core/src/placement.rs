@@ -130,6 +130,11 @@ pub struct SearchStats {
     /// Session-mode only: cumulative stale-race ghosts repaired.
     #[serde(default)]
     pub reconcile_ghosts: u64,
+    /// Session-mode only: cumulative atomic tenant migrations applied
+    /// by the maintenance plane (defragmentation sweeps and proactive
+    /// drains) over the session's lifetime so far.
+    #[serde(default)]
+    pub maintenance_migrations: u64,
     /// Service-mode only: optimistic commits of this request that
     /// failed validation (a concurrent commit touched a planned host
     /// between snapshot and commit, or saturated a shared link).

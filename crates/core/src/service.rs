@@ -88,6 +88,7 @@ use ostro_model::ApplicationTopology;
 use serde::{Deserialize, Serialize};
 
 use crate::deadline::BudgetStamp;
+use crate::defrag::{MaintenanceLoad, MaintenancePlane, MaintenanceTick, TenantRecord};
 use crate::error::PlacementError;
 use crate::placement::{Placement, PlacementOutcome};
 use crate::pool::lock_unpoisoned;
@@ -423,6 +424,17 @@ pub struct ServiceStats {
     /// Sharded requests that fell back to the plain unsharded search.
     #[serde(default)]
     pub shard_fallbacks: u64,
+    /// Maintenance-plane ticks run through [`PlacementService::maintain`].
+    #[serde(default)]
+    pub maintenance_ticks: u64,
+    /// Tenant migrations the maintenance plane applied (drains +
+    /// defrag moves), each journaled as one atomic WAL record.
+    #[serde(default)]
+    pub maintenance_migrations: u64,
+    /// Defrag sweeps that yielded to foreground load (queue depth or
+    /// an elevated degrade-ladder rung).
+    #[serde(default)]
+    pub maintenance_yields: u64,
 }
 
 /// The serialized half: the session (whose all-or-nothing commit is
@@ -754,6 +766,48 @@ impl<'a> PlacementService<'a> {
     #[must_use]
     pub fn snapshot(&self) -> Arc<PlanSnapshot> {
         Arc::clone(&lock_unpoisoned(&self.snapshot))
+    }
+
+    /// Runs one maintenance-plane tick against the live books,
+    /// serialized with foreground commits. The plane sees the caller's
+    /// `queue_depth` and the current degrade-ladder rung, so sweeps
+    /// yield whenever foreground traffic is already struggling. If the
+    /// tick touched the books, every touched host's epoch is bumped —
+    /// in-flight optimistic plans whose hosts were migrated under them
+    /// revalidate instead of committing stale — a fresh snapshot is
+    /// published, and (under durable acknowledgements) one group-commit
+    /// fsync covers every migration record the tick journaled.
+    pub fn maintain(
+        &self,
+        plane: &mut MaintenancePlane,
+        ledger: &mut Vec<TenantRecord>,
+        tick: u64,
+        queue_depth: usize,
+    ) -> MaintenanceTick {
+        let load = MaintenanceLoad { queue_depth, degrade_level: self.degrade_level() };
+        let mut authority = lock_unpoisoned(&self.authority);
+        let report = plane.tick(&mut authority.session, ledger, tick, load);
+        let touched: Vec<HostId> = authority.session.pending_dirty_hosts().to_vec();
+        if !touched.is_empty() {
+            authority.seq += 1;
+            let seq = authority.seq;
+            for host in touched {
+                authority.host_epochs[host.index()] = seq;
+            }
+            self.publish_locked(&mut authority);
+            if self.config.durable_acks {
+                authority.session.sync_wal();
+                self.note(|st| st.wal_syncs += 1);
+            }
+        }
+        self.note(|st| {
+            st.maintenance_ticks += 1;
+            st.maintenance_migrations += u64::from(report.migrations);
+            if report.yielded {
+                st.maintenance_yields += 1;
+            }
+        });
+        report
     }
 
     /// Re-captures the snapshot from the authority's current books.
@@ -1670,6 +1724,20 @@ impl<'s, 'a> ServiceHandle<'s, 'a> {
         let ticket = Arc::new(TicketInner::default());
         self.push(Job::Release { topology, placement, ticket: Arc::clone(&ticket) });
         Ticket(ticket)
+    }
+
+    /// Runs one maintenance tick with the *live* ingress queue depth
+    /// as the yield signal — the `serve --maintain` entry point. The
+    /// driver interleaves these with submissions; sweeps automatically
+    /// back off whenever the queue it shares with placements deepens.
+    pub fn maintain(
+        &self,
+        plane: &mut MaintenancePlane,
+        ledger: &mut Vec<TenantRecord>,
+        tick: u64,
+    ) -> MaintenanceTick {
+        let depth = lock_unpoisoned(&self.shared.queue).jobs.len();
+        self.service.maintain(plane, ledger, tick, depth)
     }
 
     fn push(&self, job: Job) {

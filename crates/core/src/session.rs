@@ -312,6 +312,11 @@ pub struct SchedulerSession<'a> {
     /// Cumulative anti-entropy tallies, copied into every outcome's
     /// [`SearchStats`](crate::SearchStats).
     recon: ReconcileTotals,
+    /// Cumulative maintenance-plane tallies (atomic tenant migrations
+    /// applied through [`migrate`](Self::migrate)), copied into every
+    /// outcome's [`SearchStats`](crate::SearchStats) like the
+    /// reconcile totals above.
+    maintenance_migrations: u64,
 }
 
 impl<'a> SchedulerSession<'a> {
@@ -334,6 +339,7 @@ impl<'a> SchedulerSession<'a> {
             wal: None,
             wal_error: None,
             recon: ReconcileTotals::default(),
+            maintenance_migrations: 0,
             state,
             shared,
         }
@@ -571,6 +577,23 @@ impl<'a> SchedulerSession<'a> {
         }
     }
 
+    /// Re-freezes every quarantined host among `hosts`. The raw
+    /// [`CapacityState`] stores no quarantine flag, so a release on a
+    /// quarantined host — a tenant departing normally after its host
+    /// was frozen — would silently *resurrect* the capacity the
+    /// quarantine zeroed, and candidate sweeps (and the pod digests
+    /// built from the summaries) would rank capacity nothing can use.
+    /// Every release-shaped mutation calls this; WAL replay applies
+    /// the identical re-freeze per effect, so recovery stays
+    /// bit-identical to the live books.
+    fn refreeze_quarantined(&mut self, hosts: impl IntoIterator<Item = HostId>) {
+        for host in hosts {
+            if self.quarantined[host.index()] {
+                self.state.quarantine_host(host);
+            }
+        }
+    }
+
     /// Drains the dirty-host journal into the summaries and the shared
     /// capacity-table columns: exactly the journaled hosts are
     /// re-resolved from the live state; everything else keeps its
@@ -646,6 +669,7 @@ impl<'a> SchedulerSession<'a> {
         outcome.stats.reconcile_orphaned = self.recon.orphaned;
         outcome.stats.reconcile_leaked = self.recon.leaked;
         outcome.stats.reconcile_ghosts = self.recon.ghosts;
+        outcome.stats.maintenance_migrations = self.maintenance_migrations;
         Ok(outcome)
     }
 
@@ -702,6 +726,7 @@ impl<'a> SchedulerSession<'a> {
         placement: &Placement,
     ) -> Result<(), PlacementError> {
         self.scheduler.release(topology, placement, &mut self.state)?;
+        self.refreeze_quarantined(placement.assignments().iter().copied());
         for i in 0..placement.assignments().len() {
             self.touch(placement.assignments()[i]);
         }
@@ -725,6 +750,7 @@ impl<'a> SchedulerSession<'a> {
         assignment: &[Option<HostId>],
     ) -> Result<(), PlacementError> {
         self.scheduler.release_partial(topology, assignment, &mut self.state)?;
+        self.refreeze_quarantined(assignment.iter().copied().flatten());
         for host in assignment.iter().copied().flatten() {
             self.touch(host);
         }
@@ -802,6 +828,20 @@ impl<'a> SchedulerSession<'a> {
         failed: HostId,
         max_rounds: u32,
     ) -> Result<EvacuationOutcome, PlacementError> {
+        // Fast path: the tenant has no replica on the failed host, so
+        // there is nothing to release and nothing to re-place —
+        // freezing the host is the only book change. The tenant's own
+        // hosts are neither journaled dirty nor cache-invalidated, so
+        // their epochs (and every warm bound keyed off them) survive.
+        if assignment.iter().all(Option::is_some) && !assignment.contains(&Some(failed)) {
+            self.quarantine_host(failed);
+            let placement = Placement::new(assignment.iter().copied().flatten().collect());
+            let outcome = self.kept_outcome(topology, request, placement);
+            return Ok(EvacuationOutcome {
+                online: OnlineOutcome { outcome, repositioned: Vec::new(), rounds: 0 },
+                dead: Vec::new(),
+            });
+        }
         self.release_partial(topology, assignment)?;
         // The release restored the dead replicas' capacity on the
         // crashed host; freeze it again so nothing lands there.
@@ -818,9 +858,92 @@ impl<'a> SchedulerSession<'a> {
         Ok(EvacuationOutcome { online, dead })
     }
 
+    /// Describes keeping `placement` exactly where it is, without
+    /// running a search: the objective, bandwidth, and host tallies a
+    /// fully pinned re-place would report, computed directly from the
+    /// books. Used by [`evacuate`](Self::evacuate)'s untouched-tenant
+    /// fast path.
+    fn kept_outcome(
+        &self,
+        topology: &ApplicationTopology,
+        request: &PlacementRequest,
+        placement: Placement,
+    ) -> PlacementOutcome {
+        let infra = self.scheduler.infrastructure();
+        let reserved = crate::validate::reserved_bandwidth(topology, infra, &placement);
+        let norms = crate::objective::Normalizers::compute(topology, infra, &self.state);
+        // The tenant is already committed, so keeping it activates no
+        // new host by definition.
+        let objective = norms.objective(request.weights, reserved.as_mbps(), 0);
+        let stats = crate::placement::SearchStats {
+            reconcile_orphaned: self.recon.orphaned,
+            reconcile_leaked: self.recon.leaked,
+            reconcile_ghosts: self.recon.ghosts,
+            maintenance_migrations: self.maintenance_migrations,
+            ..Default::default()
+        };
+        PlacementOutcome {
+            hosts_used: placement.distinct_hosts(),
+            placement,
+            objective,
+            reserved_bandwidth: reserved,
+            new_active_hosts: 0,
+            elapsed: std::time::Duration::ZERO,
+            stats,
+        }
+    }
+
+    /// Moves one committed tenant from placement `from` to placement
+    /// `to` **atomically**: the old reservation is released and the new
+    /// one committed in memory, and both halves are journaled as a
+    /// single [`WalOp::Migrate`] record — so a crash can never surface
+    /// a half-moved tenant. This is the maintenance plane's only write
+    /// primitive (see [`MaintenancePlane`](crate::MaintenancePlane)).
+    ///
+    /// # Errors
+    ///
+    /// As [`Scheduler::release`] / [`Scheduler::commit`]; on a commit
+    /// failure the old placement is restored bit-exactly (integer
+    /// bookkeeping round-trips) and nothing is journaled.
+    pub fn migrate(
+        &mut self,
+        topology: &ApplicationTopology,
+        from: &Placement,
+        to: &Placement,
+    ) -> Result<(), PlacementError> {
+        self.scheduler.release(topology, from, &mut self.state)?;
+        if let Err(e) = self.scheduler.commit(topology, to, &mut self.state) {
+            // Put the tenant back: the release freed exactly what the
+            // original commit reserved, so re-committing cannot fail.
+            if self.scheduler.commit(topology, from, &mut self.state).is_err() {
+                unreachable!("re-committing a just-released placement");
+            }
+            return Err(e);
+        }
+        self.refreeze_quarantined(from.assignments().iter().copied());
+        for &host in from.assignments() {
+            self.touch(host);
+        }
+        for &host in to.assignments() {
+            self.touch(host);
+        }
+        self.maintenance_migrations += 1;
+        if self.journaling() {
+            let mut effects = wal::release_effects(topology, from);
+            effects.extend(wal::commit_effects(topology, to));
+            self.journal(WalOp::Migrate, &effects);
+        }
+        Ok(())
+    }
+
     /// Freezes a host out of all future placements (crash handling),
-    /// journaling it dirty.
+    /// journaling it dirty. Idempotent: re-quarantining an already
+    /// frozen host neither dirties the journal nor appends a record,
+    /// so repeated evacuations off one crashed host stay cheap.
     pub fn quarantine_host(&mut self, host: HostId) {
+        if self.quarantined[host.index()] {
+            return;
+        }
         self.state.quarantine_host(host);
         self.quarantined[host.index()] = true;
         self.touch(host);
@@ -849,6 +972,7 @@ impl<'a> SchedulerSession<'a> {
     /// error.
     pub fn release_node(&mut self, host: HostId, req: Resources) -> Result<(), CapacityError> {
         self.state.release_node(self.scheduler.infrastructure(), host, req)?;
+        self.refreeze_quarantined([host]);
         self.touch(host);
         self.journal(WalOp::ReleaseNode, &[Effect::ReleaseNode { host, resources: req }]);
         Ok(())
@@ -1720,5 +1844,277 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Satellite regression: a release on a quarantined host must not
+    /// resurrect its capacity. The raw `CapacityState` stores no
+    /// quarantine flag, so before the session-side re-freeze a tenant
+    /// departing normally after its host crashed restored the host's
+    /// availability — and the pod digests then ranked a pod by
+    /// capacity nothing can use. After the fix the digests stay
+    /// identical to a from-scratch rebuild and both the plain and the
+    /// sharded search refuse to land on the host.
+    #[test]
+    fn release_on_quarantined_host_does_not_resurrect_capacity() {
+        use crate::shard::PodDigests;
+
+        // 2 pods × 1 rack × 2 hosts so the digest pre-selection has
+        // real pods to rank.
+        let mut b = InfrastructureBuilder::new();
+        let site = b.site("dc", Bandwidth::from_gbps(400));
+        for p in 0..2 {
+            let pod = b.pod(site, format!("p{p}"), Bandwidth::from_gbps(200)).unwrap();
+            let rack = b.rack_in_pod(pod, format!("p{p}r0"), Bandwidth::from_gbps(100)).unwrap();
+            for h in 0..2 {
+                b.host(
+                    rack,
+                    format!("p{p}r0h{h}"),
+                    Resources::new(8, 16_384, 500),
+                    Bandwidth::from_gbps(10),
+                )
+                .unwrap();
+            }
+        }
+        let infra = b.build().unwrap();
+        let request = PlacementRequest::default();
+        let mut session = SchedulerSession::new(&infra);
+
+        // Fill every host down to 2 free vcpus, keeping handles so the
+        // victim's tenant can depart after the quarantine.
+        let filler = |name: &str| {
+            let mut b = TopologyBuilder::new(name);
+            b.vm("big", 6, 4_096).unwrap();
+            b.build().unwrap()
+        };
+        let mut placed = Vec::new();
+        for i in 0..infra.host_count() {
+            let app = filler(&format!("f{i}"));
+            let out = session.place(&app, &request).unwrap();
+            session.commit(&app, &out.placement).unwrap();
+            placed.push((app, out.placement));
+        }
+        let (victim_app, victim_placement) = placed.swap_remove(0);
+        let victim = victim_placement.assignments()[0];
+
+        // Crash the victim's host, then let its tenant depart normally
+        // — the departure's release must not thaw the frozen books.
+        session.quarantine_host(victim);
+        session.release(&victim_app, &victim_placement).unwrap();
+        session.refresh();
+        assert_eq!(
+            session.state().available(victim),
+            Resources::ZERO,
+            "release resurrected quarantined capacity"
+        );
+        assert_eq!(session.state().nic_available(victim).as_mbps(), 0);
+        assert_eq!(session.shared.summaries[victim.index()].free, Resources::ZERO);
+
+        // Digest invariants: the incrementally maintained digests
+        // equal both a summary fold and a live-state rebuild.
+        assert_eq!(session.shared.pods, PodDigests::new(&infra, &session.shared.summaries));
+        assert_eq!(session.shared.pods, PodDigests::from_state(&infra, session.state()));
+
+        // Only the phantom capacity could fit this app: every live
+        // host has 2 free vcpus, the quarantined host would have 6 if
+        // resurrected. Sharded and unsharded search must both refuse.
+        let mut b = TopologyBuilder::new("needs-phantom");
+        b.vm("n", 4, 2_048).unwrap();
+        let needy = b.build().unwrap();
+        assert!(session.place(&needy, &request).is_err(), "phantom capacity admitted a tenant");
+        let sharded = PlacementRequest { shard: true, ..request.clone() };
+        assert!(session.place(&needy, &sharded).is_err(), "sharded screen ranked a frozen pod");
+
+        // A small app still fits elsewhere — and never on the victim.
+        let mut b = TopologyBuilder::new("fits");
+        b.vm("s", 2, 1_024).unwrap();
+        let small = b.build().unwrap();
+        let out = session.place(&small, &sharded).unwrap();
+        assert!(!out.placement.assignments().contains(&victim));
+    }
+
+    /// Satellite regression: evacuating a host none of the tenant's
+    /// replicas live on is a cheap no-op — only the failed host itself
+    /// is journaled (for the quarantine); the tenant's hosts keep
+    /// their epochs, summaries, and warm cache entries.
+    #[test]
+    fn evacuate_of_untouched_host_keeps_epochs_and_skips_search() {
+        let infra = infra_flat(4, 8);
+        let request = PlacementRequest::default();
+        let mut session = SchedulerSession::new(&infra);
+
+        let app = hub_app("a");
+        let out = session.place(&app, &request).unwrap();
+        session.commit(&app, &out.placement).unwrap();
+        session.refresh();
+
+        let failed = (0..infra.host_count())
+            .map(|i| HostId::from_index(i as u32))
+            .find(|h| !out.placement.assignments().contains(h))
+            .expect("an untouched host exists");
+        let epochs_before: Vec<u64> = (0..infra.host_count())
+            .map(|i| session.host_epoch(HostId::from_index(i as u32)))
+            .collect();
+
+        let assignment: Vec<Option<HostId>> =
+            out.placement.assignments().iter().copied().map(Some).collect();
+        let ev = session.evacuate(&app, &assignment, &request, failed, 4).unwrap();
+
+        assert!(ev.dead.is_empty());
+        assert_eq!(ev.online.rounds, 0, "no search rounds may run");
+        assert!(ev.online.repositioned.is_empty());
+        assert_eq!(ev.online.outcome.placement, out.placement, "the tenant must not move");
+        assert_eq!(ev.online.outcome.stats.expanded, 0, "no search may run");
+        assert_eq!(
+            session.pending_dirty_hosts(),
+            &[failed],
+            "only the failed host may be journaled"
+        );
+
+        session.refresh();
+        for i in 0..infra.host_count() {
+            let host = HostId::from_index(i as u32);
+            let expected = if host == failed { epochs_before[i] + 1 } else { epochs_before[i] };
+            assert_eq!(session.host_epoch(host), expected, "epoch of host {i}");
+        }
+        assert!(session.is_quarantined(failed));
+
+        // Repeating the evacuation for a second unaffected tenant is
+        // equally cheap: the quarantine is idempotent, so nothing at
+        // all is journaled.
+        let ev2 = session.evacuate(&app, &assignment, &request, failed, 4).unwrap();
+        assert_eq!(ev2.online.outcome.placement, out.placement);
+        assert!(session.pending_dirty_hosts().is_empty(), "idempotent re-quarantine journaled");
+    }
+
+    /// Satellite drill: crash mid-defrag-sweep. Every maintenance move
+    /// is one atomic `Migrate` record, so (a) a recovery taken between
+    /// migration records rebuilds books bit-identical to the live
+    /// session, (b) any byte-truncated journal prefix — the image an
+    /// actual crash leaves — recovers cleanly with monotonically
+    /// shorter replay, and (c) a session resumed from the recovery
+    /// finishes the interrupted sweep with balanced books: releasing
+    /// every ledger tenant drains the fleet to zero.
+    #[test]
+    fn wal_crash_drill_mid_defrag_sweep() {
+        use crate::defrag::{
+            FragStats, MaintenanceConfig, MaintenanceLoad, MaintenancePlane, TenantRecord,
+        };
+        use crate::wal::{recover, Wal, WalOptions, WAL_FILE};
+        use std::sync::Arc;
+
+        let infra = infra_flat(2, 6);
+        let request = PlacementRequest::default();
+        let dir = wal_dir("defrag-drill");
+        // No snapshot compaction: the drill truncates the raw journal.
+        let (walh, _) = Wal::open(
+            &dir,
+            &infra,
+            WalOptions { snapshot_every: u64::MAX, ..WalOptions::default() },
+        )
+        .unwrap();
+        let mut session = SchedulerSession::new(&infra);
+        session.attach_wal(walh);
+
+        // Churn-decay: commit 10 two-node tenants, then depart every
+        // other one, leaving the survivors scattered.
+        let pair = |name: &str| {
+            let mut b = TopologyBuilder::new(name);
+            let a = b.vm("a", 2, 2_048).unwrap();
+            let c = b.vm("c", 2, 2_048).unwrap();
+            b.link(a, c, Bandwidth::from_mbps(200)).unwrap();
+            b.build().unwrap()
+        };
+        let mut ledger: Vec<TenantRecord> = Vec::new();
+        for i in 0..10u64 {
+            let app = pair(&format!("t{i}"));
+            let out = session.place(&app, &request).unwrap();
+            session.commit(&app, &out.placement).unwrap();
+            ledger.push(TenantRecord { id: i, topology: Arc::new(app), placement: out.placement });
+        }
+        let mut kept = Vec::new();
+        for (i, t) in ledger.drain(..).enumerate() {
+            if i % 2 == 0 {
+                session.release(&t.topology, &t.placement).unwrap();
+            } else {
+                kept.push(t);
+            }
+        }
+        let mut ledger = kept;
+
+        // A tiny per-sweep budget guarantees the sweep is still
+        // mid-flight when the crash hits.
+        let cfg = MaintenanceConfig {
+            sweep_budget: 2,
+            sweep_candidates: 4,
+            ..MaintenanceConfig::default()
+        };
+        let mut plane = MaintenancePlane::new(cfg.clone(), infra.host_count());
+        let beat_all = |plane: &mut MaintenancePlane, tick: u64| {
+            for i in 0..infra.host_count() {
+                plane.heartbeat(HostId::from_index(i as u32), tick);
+            }
+        };
+        for tick in 0..3u64 {
+            beat_all(&mut plane, tick);
+            plane.tick(&mut session, &mut ledger, tick, MaintenanceLoad::default());
+        }
+        let migrations_at_crash = plane.migration_log().len();
+        assert!(migrations_at_crash > 0, "the sweep must have started moving tenants");
+
+        // Crash. The dropped journal is the crash image.
+        assert!(session.wal_error().is_none());
+        drop(session.detach_wal());
+
+        // (a) Recovered ≡ live, mid-sweep.
+        let recovery = recover(&dir, &infra).unwrap();
+        assert_eq!(&recovery.state, session.state(), "mid-sweep recovery diverges from live");
+        assert_eq!(recovery.quarantined, session.quarantined_hosts());
+
+        // (b) Every byte-truncated prefix — a crash can land anywhere
+        // between (or inside) migration records — recovers cleanly,
+        // with replay length monotone in the prefix length.
+        let image = std::fs::read(dir.join(WAL_FILE)).unwrap();
+        let scratch = wal_dir("defrag-drill-prefix");
+        std::fs::create_dir_all(&scratch).unwrap();
+        let mut last_replayed = 0u64;
+        for cut in (0..image.len()).step_by(7).chain(std::iter::once(image.len())) {
+            std::fs::write(scratch.join(WAL_FILE), &image[..cut]).unwrap();
+            let partial = recover(&scratch, &infra).unwrap();
+            assert!(
+                partial.records_replayed >= last_replayed || partial.records_replayed == 0,
+                "replay went backwards at cut {cut}"
+            );
+            last_replayed = partial.records_replayed.max(last_replayed);
+        }
+        assert_eq!(last_replayed, recovery.records_replayed);
+        let _ = std::fs::remove_dir_all(&scratch);
+
+        // (c) Resume from the recovery and finish the sweep: the
+        // resumed plane keeps consolidating, and afterwards releasing
+        // every ledger tenant drains the books to zero — no tenant was
+        // half-moved, no capacity leaked.
+        let (walh, recovered) = Wal::open(
+            &dir,
+            &infra,
+            WalOptions { snapshot_every: u64::MAX, ..WalOptions::default() },
+        )
+        .unwrap();
+        let mut resumed = SchedulerSession::with_recovery(&infra, &recovered);
+        resumed.attach_wal(walh);
+        let mut plane2 = MaintenancePlane::new(cfg, infra.host_count());
+        for tick in 3..12u64 {
+            beat_all(&mut plane2, tick);
+            plane2.tick(&mut resumed, &mut ledger, tick, MaintenanceLoad::default());
+        }
+        let after = FragStats::compute(&infra, resumed.state(), &ledger);
+        assert_eq!(after.active_hosts, resumed.state().active_host_count());
+        for t in &ledger {
+            resumed.release(&t.topology, &t.placement).unwrap_or_else(|e| {
+                panic!("ledger tenant {} no longer releases cleanly: {e}", t.id)
+            });
+        }
+        assert_eq!(resumed.state().active_host_count(), 0, "books must balance");
+        assert_eq!(resumed.state().total_reserved_bandwidth(&infra).as_mbps(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -248,6 +248,12 @@ pub enum WalOp {
     /// An anti-entropy correction journaled by
     /// [`SchedulerSession::reconcile`](crate::SchedulerSession::reconcile).
     Reconcile,
+    /// One atomic tenant migration journaled by
+    /// [`SchedulerSession::migrate`](crate::SchedulerSession::migrate):
+    /// the release of the old placement followed by the commit of the
+    /// new one in a single record, so a crash can never observe a
+    /// half-moved tenant.
+    Migrate,
 }
 
 impl WalOp {
@@ -262,6 +268,7 @@ impl WalOp {
             WalOp::ReserveNode => 6,
             WalOp::ReleaseNode => 7,
             WalOp::Reconcile => 8,
+            WalOp::Migrate => 9,
         }
     }
 
@@ -276,6 +283,7 @@ impl WalOp {
             6 => WalOp::ReserveNode,
             7 => WalOp::ReleaseNode,
             8 => WalOp::Reconcile,
+            9 => WalOp::Migrate,
             _ => return None,
         })
     }
@@ -884,21 +892,43 @@ fn apply_effect(
 ) -> Result<(), WalError> {
     let result = match effect {
         Effect::ReserveNode { host, resources } => state.reserve_node(host, resources),
-        Effect::ReleaseNode { host, resources } => state.release_node(infra, host, resources),
+        Effect::ReleaseNode { host, resources } => {
+            let out = state.release_node(infra, host, resources);
+            refreeze(state, quarantined, host);
+            out
+        }
         Effect::ReserveFlow { a, b, mbps } => {
             state.reserve_flow(infra, a, b, Bandwidth::from_mbps(mbps))
         }
         Effect::ReleaseFlow { a, b, mbps } => {
-            state.release_flow(infra, a, b, Bandwidth::from_mbps(mbps))
+            let out = state.release_flow(infra, a, b, Bandwidth::from_mbps(mbps));
+            refreeze(state, quarantined, a);
+            refreeze(state, quarantined, b);
+            out
         }
         Effect::Quarantine { host } => {
             state.quarantine_host(host);
             quarantined[host.index()] = true;
             Ok(())
         }
-        Effect::Resync { host, used, instances } => state.resync_host(infra, host, used, instances),
+        Effect::Resync { host, used, instances } => {
+            let out = state.resync_host(infra, host, used, instances);
+            refreeze(state, quarantined, host);
+            out
+        }
     };
     result.map_err(|source| WalError::Replay { seq, source })
+}
+
+/// Re-zeroes a quarantined host's availability after a release-like
+/// effect. `CapacityState` stores no quarantine flag, so a release on a
+/// quarantined host would otherwise resurrect the capacity the
+/// quarantine froze; the live session applies the same re-freeze, so
+/// replay stays bit-identical.
+fn refreeze(state: &mut CapacityState, quarantined: &[bool], host: HostId) {
+    if quarantined[host.index()] {
+        state.quarantine_host(host);
+    }
 }
 
 fn collect_quarantined(flags: &[bool]) -> Vec<HostId> {

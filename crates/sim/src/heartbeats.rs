@@ -1,0 +1,310 @@
+//! Deterministic heartbeat and gray-failure streams for the
+//! maintenance plane.
+//!
+//! A [`HeartbeatPlan`] is the liveness-signal counterpart of
+//! [`FaultPlan`](crate::faults::FaultPlan): generated once per run from
+//! a [`HeartbeatConfig`], it pre-computes which hosts misbehave and
+//! how, and then answers `beats(host, tick)` as a pure function of the
+//! plan — two runs with the same seed feed the
+//! [`HealthMonitor`](ostro_core::HealthMonitor) bit-identical streams
+//! regardless of how the surrounding simulation interleaves.
+//!
+//! Three failure shapes are scheduled, each exercising a different
+//! edge of the phi-accrual detector:
+//!
+//! * **Fail-stop** hosts beat normally until a seeded death tick, then
+//!   fall silent forever — φ climbs unbounded and the host escalates
+//!   `Suspect → Draining → Dead`.
+//! * **Gray** hosts degrade without dying: after a seeded onset their
+//!   heartbeat interval stretches by an integer factor. Because the
+//!   detector normalizes elapsed time by the host's *own* observed
+//!   mean, a slow-but-steady host inflates its mean and stays
+//!   unsuspected — the plan exists so tests can assert exactly that.
+//! * **Flappy** hosts skip a seeded window of beats and then resume,
+//!   exercising the hysteretic `Suspect → Healthy` recovery path
+//!   without ever deserving a drain.
+
+use ostro_core::HealthMonitor;
+use ostro_datacenter::HostId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Knobs of a seeded heartbeat plan.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeartbeatConfig {
+    /// Seed for every liveness stream (independent of workload and
+    /// fault seeds).
+    pub seed: u64,
+    /// Base heartbeat period, in ticks. Each host gets a seeded phase
+    /// so the fleet's beats spread across the period.
+    pub interval: u64,
+    /// Hosts that fail-stop: beat normally, then fall silent forever.
+    pub fail_stop: usize,
+    /// Hosts that go gray: their interval stretches by
+    /// [`gray_stretch`](Self::gray_stretch) after a seeded onset.
+    pub gray: usize,
+    /// Hosts that flap: skip [`flap_beats`](Self::flap_beats) beats
+    /// once, then resume on schedule.
+    pub flappy: usize,
+    /// Integer factor a gray host's interval stretches by.
+    pub gray_stretch: u64,
+    /// Consecutive beats a flappy host skips.
+    pub flap_beats: u64,
+}
+
+impl Default for HeartbeatConfig {
+    fn default() -> Self {
+        HeartbeatConfig {
+            seed: 0xBEA7_5EED,
+            interval: 5,
+            fail_stop: 1,
+            gray: 1,
+            flappy: 1,
+            gray_stretch: 3,
+            flap_beats: 2,
+        }
+    }
+}
+
+/// The shape of one host's scheduled misbehavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum Affliction {
+    /// Silence begins at the tick and never ends.
+    FailStop { death: u64 },
+    /// The interval multiplies by `stretch` from `onset` on.
+    Gray { onset: u64 },
+    /// Beats whose on-schedule tick falls in `[from, to)` are skipped.
+    Flap { from: u64, to: u64 },
+}
+
+/// A fully materialized liveness schedule for one run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeartbeatPlan {
+    config: HeartbeatConfig,
+    /// Afflicted hosts, ascending by host index; at most one
+    /// affliction per host.
+    afflicted: Vec<(HostId, Affliction)>,
+    host_count: usize,
+}
+
+impl HeartbeatPlan {
+    /// Generates the plan for a run of `horizon` ticks over
+    /// `host_count` hosts. Victims are distinct; deaths, onsets, and
+    /// flap windows land in the middle of the run so the detector sees
+    /// both the healthy prefix and the misbehavior.
+    #[must_use]
+    pub fn generate(config: &HeartbeatConfig, host_count: usize, horizon: usize) -> Self {
+        let mut rng = SmallRng::seed_from_u64(config.seed ^ 0x4EA2_7BEA_75EE_D000);
+        let horizon = horizon.max(4) as u64;
+        let wanted =
+            (config.fail_stop + config.gray + config.flappy).min(host_count.saturating_sub(1));
+        let mut victims: Vec<HostId> = Vec::with_capacity(wanted);
+        while victims.len() < wanted {
+            let host = HostId::from_index(rng.gen_range(0..host_count as u32));
+            if !victims.contains(&host) {
+                victims.push(host);
+            }
+        }
+        let mut afflicted: Vec<(HostId, Affliction)> = Vec::with_capacity(wanted);
+        for (i, &host) in victims.iter().enumerate() {
+            let mid = rng.gen_range(horizon / 4..horizon / 2).max(1);
+            let affliction = if i < config.fail_stop.min(wanted) {
+                Affliction::FailStop { death: mid }
+            } else if i < (config.fail_stop + config.gray).min(wanted) {
+                Affliction::Gray { onset: mid }
+            } else {
+                let gap = config.flap_beats.max(1) * config.interval.max(1);
+                Affliction::Flap { from: mid, to: mid + gap }
+            };
+            afflicted.push((host, affliction));
+        }
+        afflicted.sort_unstable_by_key(|&(host, _)| host.index());
+        HeartbeatPlan { config: config.clone(), afflicted, host_count }
+    }
+
+    /// The configuration this plan was generated from.
+    #[must_use]
+    pub fn config(&self) -> &HeartbeatConfig {
+        &self.config
+    }
+
+    /// Hosts scheduled to fail-stop, ascending by index.
+    #[must_use]
+    pub fn fail_stop_hosts(&self) -> Vec<HostId> {
+        self.hosts_where(|a| matches!(a, Affliction::FailStop { .. }))
+    }
+
+    /// Hosts scheduled to go gray, ascending by index.
+    #[must_use]
+    pub fn gray_hosts(&self) -> Vec<HostId> {
+        self.hosts_where(|a| matches!(a, Affliction::Gray { .. }))
+    }
+
+    /// Hosts scheduled to flap, ascending by index.
+    #[must_use]
+    pub fn flappy_hosts(&self) -> Vec<HostId> {
+        self.hosts_where(|a| matches!(a, Affliction::Flap { .. }))
+    }
+
+    fn hosts_where(&self, pred: impl Fn(Affliction) -> bool) -> Vec<HostId> {
+        self.afflicted.iter().filter(|&&(_, a)| pred(a)).map(|&(h, _)| h).collect()
+    }
+
+    fn affliction(&self, host: HostId) -> Option<Affliction> {
+        self.afflicted
+            .binary_search_by_key(&host.index(), |&(h, _)| h.index())
+            .ok()
+            .map(|i| self.afflicted[i].1)
+    }
+
+    /// A host's seeded phase: beats land on ticks where
+    /// `(tick + phase) % interval == 0`, spreading the fleet's beats
+    /// across the period.
+    fn phase(&self, host: HostId) -> u64 {
+        let interval = self.config.interval.max(1);
+        hash(&[self.config.seed, 0xBEA7, host.index() as u64]) % interval
+    }
+
+    /// Whether `host` emits a heartbeat at `tick`. Pure function of
+    /// the plan — no draw order, no hidden state.
+    #[must_use]
+    pub fn beats(&self, host: HostId, tick: u64) -> bool {
+        let interval = self.config.interval.max(1);
+        let phase = self.phase(host);
+        let on_schedule = (tick + phase).is_multiple_of(interval);
+        match self.affliction(host) {
+            None => on_schedule,
+            Some(Affliction::FailStop { death }) => on_schedule && tick < death,
+            Some(Affliction::Gray { onset }) => {
+                if tick < onset {
+                    on_schedule
+                } else {
+                    // Same phase, stretched period: still perfectly
+                    // regular, just slower.
+                    let stretched = interval * self.config.gray_stretch.max(2);
+                    (tick + phase).is_multiple_of(stretched)
+                }
+            }
+            Some(Affliction::Flap { from, to }) => on_schedule && !(from..to).contains(&tick),
+        }
+    }
+
+    /// All hosts beating at `tick`, ascending by index.
+    #[must_use]
+    pub fn beats_at(&self, tick: u64) -> Vec<HostId> {
+        (0..self.host_count)
+            .map(|i| HostId::from_index(i as u32))
+            .filter(|&h| self.beats(h, tick))
+            .collect()
+    }
+
+    /// Feeds one tick's beats into a [`HealthMonitor`], ascending by
+    /// host index.
+    pub fn drive(&self, monitor: &mut HealthMonitor, tick: u64) {
+        for host in self.beats_at(tick) {
+            monitor.heartbeat(host, tick);
+        }
+    }
+}
+
+/// Order-sensitive splitmix64 hash of a word sequence (the same
+/// stateless idiom [`crate::faults`] uses).
+fn hash(parts: &[u64]) -> u64 {
+    let mut h = 0xBEA7_5EED_0DD0_F417u64;
+    for &p in parts {
+        h = h.wrapping_add(p).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 31;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ostro_core::{HealthConfig, HealthState};
+
+    fn plan() -> HeartbeatPlan {
+        HeartbeatPlan::generate(&HeartbeatConfig::default(), 24, 120)
+    }
+
+    #[test]
+    fn same_seed_same_plan_and_stream() {
+        let a = plan();
+        let b = plan();
+        assert_eq!(a, b);
+        for tick in 0..120 {
+            assert_eq!(a.beats_at(tick), b.beats_at(tick));
+        }
+    }
+
+    #[test]
+    fn victims_are_distinct_and_typed() {
+        let p = plan();
+        assert_eq!(p.fail_stop_hosts().len(), 1);
+        assert_eq!(p.gray_hosts().len(), 1);
+        assert_eq!(p.flappy_hosts().len(), 1);
+        let mut all: Vec<_> =
+            p.fail_stop_hosts().into_iter().chain(p.gray_hosts()).chain(p.flappy_hosts()).collect();
+        all.sort_unstable_by_key(|h| h.index());
+        all.dedup();
+        assert_eq!(all.len(), 3, "one affliction per host");
+    }
+
+    #[test]
+    fn fail_stop_host_goes_silent_and_only_it_dies() {
+        let p = plan();
+        let dead = p.fail_stop_hosts()[0];
+        let last_beat = (0..120).filter(|&t| p.beats(dead, t)).max().expect("beats before death");
+        assert!((last_beat + 1..120).all(|t| !p.beats(dead, t)), "silence is forever");
+
+        let mut monitor = HealthMonitor::new(HealthConfig::default(), 24);
+        // Past the plan horizon every stream is pure silence-or-schedule,
+        // so keep driving until the silent host's phi crosses dead_phi.
+        for tick in 0..360u64 {
+            p.drive(&mut monitor, tick);
+            monitor.evaluate(tick);
+        }
+        assert_eq!(monitor.state(dead), HealthState::Dead);
+        // Gray and flappy hosts never deserve a drain.
+        assert_eq!(monitor.state(p.gray_hosts()[0]), HealthState::Healthy);
+        assert_eq!(monitor.state(p.flappy_hosts()[0]), HealthState::Healthy);
+    }
+
+    #[test]
+    fn gray_host_slows_but_stays_regular() {
+        let p = plan();
+        let gray = p.gray_hosts()[0];
+        let beats: Vec<u64> = (0..120).filter(|&t| p.beats(gray, t)).collect();
+        assert!(beats.len() >= 4, "a gray host keeps beating");
+        let gaps: Vec<u64> = beats.windows(2).map(|w| w[1] - w[0]).collect();
+        let max_gap = *gaps.iter().max().expect("gaps");
+        let min_gap = *gaps.iter().min().expect("gaps");
+        assert!(max_gap > min_gap, "the interval must stretch after onset");
+        let stretched = p.config().interval * p.config().gray_stretch;
+        assert!(gaps.iter().all(|&g| g == min_gap || g % stretched == 0 || g <= stretched));
+    }
+
+    #[test]
+    fn flappy_host_recovers_through_hysteresis() {
+        let p = plan();
+        let flappy = p.flappy_hosts()[0];
+        let mut monitor = HealthMonitor::new(HealthConfig::default(), 24);
+        let mut suspected = false;
+        for tick in 0..240u64 {
+            p.drive(&mut monitor, tick);
+            monitor.evaluate(tick);
+            if monitor.state(flappy) == HealthState::Suspect {
+                suspected = true;
+            }
+        }
+        assert!(suspected, "the skipped beats must raise suspicion");
+        assert_eq!(
+            monitor.state(flappy),
+            HealthState::Healthy,
+            "resumed beats must clear the suspicion hysteretically"
+        );
+    }
+}

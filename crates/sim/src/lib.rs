@@ -15,6 +15,9 @@
 //! * [`faults`] — seeded fault-injection plans (host crashes, transient
 //!   launch failures, stale-capacity races) for the churn simulator's
 //!   failure-aware deployment pipeline.
+//! * [`heartbeats`] — seeded liveness streams (fail-stop silence, gray
+//!   slowdowns, flapping) feeding the maintenance plane's phi-accrual
+//!   failure detector.
 //! * [`stream`] — deterministic concurrent arrival/departure schedules
 //!   for the placement service benchmark and `ostro serve`.
 //! * [`runner`] — algorithm comparison harness with seeded averaging.
@@ -45,6 +48,7 @@
 pub mod availability;
 pub mod churn;
 pub mod faults;
+pub mod heartbeats;
 pub mod report;
 pub mod requirements;
 pub mod runner;
@@ -55,6 +59,7 @@ pub mod workloads;
 pub use availability::AvailabilityProfile;
 pub use churn::{run_churn, ChurnConfig, ChurnReport, FaultStats, RecoveryConfig};
 pub use faults::{ChaosConfig, ChaosPlan, FaultConfig, FaultPlan, PlanProbe};
+pub use heartbeats::{HeartbeatConfig, HeartbeatPlan};
 pub use requirements::{RequirementClass, RequirementMix};
 pub use runner::{run_comparison, ComparisonRow, SimError};
 pub use stream::{arrival_stream, StreamConfig, StreamEvent, StreamPlan};

@@ -120,6 +120,36 @@ count() { grep -o "\"$1\": [0-9]*" "$tmp/serve-overload.json" | head -1 | grep -
 test "$(count shed)" -gt 0
 test "$(( $(count placed) + $(count rejected) + $(count shed) + $(count panicked) ))" \
   -eq "$(count arrivals)"
+# Defrag smoke (64 hosts): churn-decays a multi-pod fleet, runs the
+# maintenance plane's budgeted sweeps, and asserts internally that the
+# fleet objective strictly beats the no-maintenance baseline, every
+# sweep respects its move budget, and two same-seed runs produce
+# bit-identical migration logs and final placement digests.
+cargo bench -p ostro-bench --bench defrag -- --smoke
+# Maintenance determinism through the CLI: every field of the maintain
+# report is a pure function of the seed (no wall clock), so two
+# same-seed runs — migration log digest and final decision digest
+# included — must diff clean whole.
+maintain_run() {
+  cargo run -q --release -p ostro-cli -- maintain --infra "$tmp/infra.json" \
+    --seed 7 --fail-stop 1 "$@"
+}
+maintain_run > "$tmp/maintain1.json"
+maintain_run > "$tmp/maintain2.json"
+diff "$tmp/maintain1.json" "$tmp/maintain2.json"
+grep -q '"migration_log_digest"' "$tmp/maintain1.json"
+# Churn-with-maintenance vs churn-without: at equal churn (same seed,
+# same arrivals, same departures) the maintained fleet must end with a
+# strictly lower fragmentation objective than the unmaintained baseline.
+maintain_run --no-maintenance > "$tmp/maintain-base.json"
+frag_after_objective() {
+  grep -A6 '"frag_after"' "$1" | grep '"fleet_objective"' | grep -o '[0-9][0-9.]*'
+}
+maintained="$(frag_after_objective "$tmp/maintain1.json")"
+baseline="$(frag_after_objective "$tmp/maintain-base.json")"
+awk -v m="$maintained" -v b="$baseline" 'BEGIN {
+  if (m >= b) { printf "maintenance did not reduce fragmentation: %s >= %s\n", m, b; exit 1 }
+}'
 # Recovery through the CLI: a journaled placement must be rebuildable
 # from its write-ahead log alone.
 cargo run -q --release -p ostro-cli -- place --infra "$tmp/infra.json" \
